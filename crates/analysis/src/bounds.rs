@@ -1,0 +1,88 @@
+//! Hoeffding's inequality and the paper's sampling constraint.
+//!
+//! Lemma 1 (Hoeffding): for independent `Xᵢ ∈ [0, nᵢ]` and `X = ΣXᵢ`,
+//! `Pr[|X − EX| ≥ λ] ≤ 2·exp(−2λ² / Σnᵢ²)`.
+//!
+//! Lemma 2 applies this to the non-uniform sample: split the stream into `t`
+//! disjoint blocks of sizes `n₁..n_t`, take one uniform representative per
+//! block weighted by its block size, and let
+//! `X = (Σnᵢ)² / Σnᵢ²`.
+//! The probability that the weighted `(φ±αε)`-quantiles of the sample are
+//! **not** ε-approximate φ-quantiles of the stream is at most
+//! `2·exp(−2(1−α)²ε²·X)`.
+
+/// Two-sided Hoeffding tail `2·exp(−2λ²/s2)` where `s2 = Σnᵢ²`.
+///
+/// # Panics
+/// Panics if `s2 <= 0` or `lambda < 0`.
+pub fn hoeffding_tail(lambda: f64, s2: f64) -> f64 {
+    assert!(s2 > 0.0, "sum of squared ranges must be positive");
+    assert!(lambda >= 0.0, "deviation must be non-negative");
+    (2.0 * (-2.0 * lambda * lambda / s2).exp()).min(1.0)
+}
+
+/// Failure probability of the non-uniform sampling step (Lemma 2):
+/// `2·exp(−2(1−α)²ε²·X)` with `X = (Σnᵢ)²/Σnᵢ²`.
+pub fn sampling_failure(alpha: f64, epsilon: f64, x: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    assert!(x >= 0.0, "X must be non-negative");
+    let lam = (1.0 - alpha) * epsilon;
+    (2.0 * (-2.0 * lam * lam * x).exp()).min(1.0)
+}
+
+/// The smallest `X` for which the sampling step fails with probability at
+/// most `δ` (Eqn 1 rearranged): `X ≥ ln(2/δ) / (2(1−α)²ε²)`.
+pub fn required_x(alpha: f64, epsilon: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    let lam = (1.0 - alpha) * epsilon;
+    (2.0 / delta).ln() / (2.0 * lam * lam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_decreases_with_deviation() {
+        let a = hoeffding_tail(1.0, 100.0);
+        let b = hoeffding_tail(10.0, 100.0);
+        let c = hoeffding_tail(100.0, 100.0);
+        assert!(a > b && b > c);
+        assert!(c < 1e-80);
+    }
+
+    #[test]
+    fn tail_is_capped_at_one() {
+        assert_eq!(hoeffding_tail(0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn required_x_inverts_sampling_failure() {
+        for &(alpha, eps, delta) in &[(0.5, 0.01, 1e-4), (0.3, 0.001, 1e-3), (0.9, 0.1, 0.05)] {
+            let x = required_x(alpha, eps, delta);
+            let p = sampling_failure(alpha, eps, x);
+            assert!((p - delta).abs() / delta < 1e-9, "p={p} delta={delta}");
+            // More sample mass -> smaller failure probability.
+            assert!(sampling_failure(alpha, eps, 2.0 * x) < delta);
+        }
+    }
+
+    #[test]
+    fn required_x_grows_quadratically_in_inverse_epsilon() {
+        let x1 = required_x(0.5, 0.02, 1e-4);
+        let x2 = required_x(0.5, 0.01, 1e-4);
+        assert!((x2 / x1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_sampling_case_matches_folklore() {
+        // Uniform blocks (reservoir baseline): X equals the sample size s,
+        // so required_x with alpha=0 reproduces ln(2/δ)/(2ε²).
+        let s = required_x(0.0, 0.01, 0.01);
+        let folklore = (2.0f64 / 0.01).ln() / (2.0 * 0.01 * 0.01);
+        assert!((s - folklore).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Kullback–Leibler divergence and Stein's-lemma sample sizing (§7).
+//!
+//! The extreme-value estimator keeps the `k = ⌈φs⌉` smallest elements of a
+//! uniform sample of size `s`. The estimate (the k-th smallest sample
+//! element) fails to be an ε-approximate φ-quantile only if a likelihood
+//! test between Bernoulli parameters `φ` and `φ∓ε` fails; Stein's lemma
+//! (Lemma 6) bounds each failure by `2^{−s·D(φ; φ∓ε)}`, giving the paper's
+//! condition
+//!
+//! ```text
+//! δ ≥ 2^{−s·D(φ; φ−ε)} + 2^{−s·D(φ; φ+ε)}
+//! ```
+//!
+//! where `D(p;q) = p·log₂(p/q) + (1−p)·log₂((1−p)/(1−q))`.
+//!
+//! When `φ − ε ≤ 0` the lower test is vacuous (no element can have rank
+//! below 0), so only the upper term remains.
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits between Bernoulli
+/// parameters `p` and `q`.
+///
+/// Boundary conventions: terms with `p = 0` or `p = 1` use the limit
+/// `0·log(0/q) = 0`. Returns `+∞` when `q` puts zero mass where `p` puts
+/// positive mass.
+///
+/// # Panics
+/// Panics unless `p ∈ [0, 1]` and `q ∈ [0, 1]`.
+pub fn kl_divergence_bits(p: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    assert!((0.0..=1.0).contains(&q), "q must lie in [0, 1]");
+    let term = |pp: f64, qq: f64| -> f64 {
+        if pp == 0.0 {
+            0.0
+        } else if qq == 0.0 {
+            f64::INFINITY
+        } else {
+            pp * (pp / qq).log2()
+        }
+    };
+    term(p, q) + term(1.0 - p, 1.0 - q)
+}
+
+/// Upper bound on the failure probability of the extreme-value estimator
+/// with sample size `s` (§7): `2^{−s·D(φ;φ−ε)} + 2^{−s·D(φ;φ+ε)}`, with the
+/// lower term dropped when `φ ≤ ε`.
+pub fn stein_failure_bound(phi: f64, epsilon: f64, s: u64) -> f64 {
+    assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    let s = s as f64;
+    let upper = {
+        let d = kl_divergence_bits(phi, (phi + epsilon).min(1.0));
+        (-s * d).exp2()
+    };
+    let lower = if phi > epsilon {
+        let d = kl_divergence_bits(phi, phi - epsilon);
+        (-s * d).exp2()
+    } else {
+        0.0
+    };
+    (upper + lower).min(1.0)
+}
+
+/// The smallest sample size `s` such that the extreme-value estimator is an
+/// ε-approximate φ-quantile with probability at least `1 − δ`, together
+/// with the retained-heap size `k = ⌈φ·s⌉` (which is the estimator's entire
+/// memory footprint).
+///
+/// Returns `(s, k)`.
+///
+/// # Panics
+/// Panics unless `0 < φ < 1`, `0 < ε < 1`, `0 < δ < 1`.
+pub fn stein_sample_size(phi: f64, epsilon: f64, delta: f64) -> (u64, u64) {
+    assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    // The failure bound is monotone decreasing in s: exponential search for
+    // an upper bracket, then binary search for the threshold.
+    let mut hi = 1u64;
+    while stein_failure_bound(phi, epsilon, hi) > delta {
+        hi = hi.checked_mul(2).expect("sample size overflow");
+        assert!(
+            hi < 1 << 60,
+            "no feasible sample size: phi={phi}, epsilon={epsilon}, delta={delta}"
+        );
+    }
+    let mut lo = hi / 2; // failure(lo) > delta (or lo == 0)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if stein_failure_bound(phi, epsilon, mid) > delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let s = hi;
+    let k = (phi * s as f64).ceil() as u64;
+    (s, k.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_is_zero_iff_equal() {
+        for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(kl_divergence_bits(p, p), 0.0);
+        }
+        assert!(kl_divergence_bits(0.5, 0.4) > 0.0);
+    }
+
+    #[test]
+    fn kl_boundary_conventions() {
+        assert_eq!(kl_divergence_bits(0.0, 0.5), 1.0); // log2(1/0.5)
+        assert!(kl_divergence_bits(0.5, 0.0).is_infinite());
+        assert!(kl_divergence_bits(0.5, 1.0).is_infinite());
+        assert_eq!(kl_divergence_bits(1.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn kl_hand_computed_value() {
+        // D(0.5 ; 0.25) = 0.5*log2(2) + 0.5*log2(0.5/0.75)
+        let expect = 0.5 + 0.5 * (0.5f64 / 0.75).log2();
+        assert!((kl_divergence_bits(0.5, 0.25) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_bound_decreases_in_s() {
+        let a = stein_failure_bound(0.01, 0.005, 1_000);
+        let b = stein_failure_bound(0.01, 0.005, 10_000);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn sample_size_is_tight_threshold() {
+        let (s, k) = stein_sample_size(0.01, 0.005, 1e-4);
+        assert!(stein_failure_bound(0.01, 0.005, s) <= 1e-4);
+        assert!(stein_failure_bound(0.01, 0.005, s - 1) > 1e-4);
+        assert_eq!(k, (0.01 * s as f64).ceil() as u64);
+    }
+
+    #[test]
+    fn tiny_phi_drops_lower_term() {
+        // phi == epsilon: Min qualifies; only the upper tail constrains s.
+        let (s, k) = stein_sample_size(0.001, 0.001, 1e-4);
+        assert!(k >= 1);
+        assert!(s > 0);
+        // With phi <= epsilon the k retained elements are very few.
+        assert!(k < 100, "k = {k} unexpectedly large");
+    }
+
+    #[test]
+    fn memory_k_much_smaller_than_general_algorithm_regime() {
+        // Headline of §7: for small phi, k is small. phi = 1%,
+        // epsilon = 0.1%: the paper's general algorithm needs tens of
+        // thousands of elements; the extreme estimator's heap is ~ phi*s.
+        let (s, k) = stein_sample_size(0.01, 0.001, 1e-4);
+        assert!(k < s / 50, "k={k} not ~phi*s of s={s}");
+        assert!(k < 10_000);
+    }
+
+    #[test]
+    fn smaller_epsilon_needs_larger_sample() {
+        let (s1, _) = stein_sample_size(0.05, 0.01, 1e-4);
+        let (s2, _) = stein_sample_size(0.05, 0.005, 1e-4);
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn extreme_quantiles_beat_median_sampling() {
+        // The paper's "interesting statistical fact": at equal epsilon and
+        // delta, estimating an extreme quantile (phi=0.01) needs a smaller
+        // sample than the median (phi=0.5), because the rank distribution of
+        // an extreme order statistic is more tightly clustered.
+        let (s_extreme, _) = stein_sample_size(0.01, 0.005, 1e-4);
+        let (s_median, _) = stein_sample_size(0.5, 0.005, 1e-4);
+        assert!(
+            s_extreme < s_median / 5,
+            "extreme sample {s_extreme} not much smaller than median sample {s_median}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! [CMN98]-style block-level sampling.
+//!
+//! Chaudhuri, Motwani and Narasayya estimate quantiles from a sample of
+//! whole **disk blocks** rather than individual tuples: one random block
+//! IO yields `block_size` tuples, so block sampling is `block_size`×
+//! cheaper per sampled tuple. The catch — and the reason MRL99 notes their
+//! "error metrics differ from ours and the algorithm can possibly require
+//! multiple passes" — is that tuples within a block are *correlated*: when
+//! on-disk order tracks value order (a clustered index, an append-only log
+//! of increasing keys), `m` blocks contribute `m·block_size` tuples but
+//! only ~`m` independent "looks" at the distribution.
+//!
+//! The streaming adaptation here reservoir-samples block *indices*: each
+//! consecutive run of `block_size` elements is a block; a size-`m` block
+//! reservoir keeps whole blocks.
+
+use mrl_sampling::{rng_from_seed, Reservoir, SketchRng};
+
+/// Streaming block-level sampler and quantile estimator ([CMN98]).
+#[derive(Debug)]
+pub struct BlockSampling {
+    block_size: usize,
+    reservoir: Reservoir<Vec<u64>>,
+    current: Vec<u64>,
+    n: u64,
+    rng: SketchRng,
+}
+
+impl BlockSampling {
+    /// Sample `blocks` whole blocks of `block_size` consecutive elements.
+    ///
+    /// Memory: `blocks · block_size` elements (plus one block in flight).
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(blocks: usize, block_size: usize, seed: u64) -> Self {
+        assert!(blocks >= 1, "need at least one block");
+        assert!(block_size >= 1, "blocks must hold at least one element");
+        Self {
+            block_size,
+            reservoir: Reservoir::new(blocks),
+            current: Vec::with_capacity(block_size),
+            n: 0,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Insert one element.
+    pub fn insert(&mut self, value: u64) {
+        self.n += 1;
+        self.current.push(value);
+        if self.current.len() == self.block_size {
+            let block = std::mem::replace(&mut self.current, Vec::with_capacity(self.block_size));
+            self.reservoir.offer(block, &mut self.rng);
+        }
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+
+    /// Elements seen so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Memory footprint in elements (sampled blocks + the block in
+    /// flight).
+    pub fn memory_elements(&self) -> usize {
+        self.reservoir.sample().iter().map(Vec::len).sum::<usize>() + self.current.len()
+    }
+
+    /// The φ-quantile of the union of sampled blocks (plus the in-flight
+    /// partial block). `None` before the first element.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&phi), "phi must lie in [0, 1]");
+        let mut all: Vec<u64> = self
+            .reservoir
+            .sample()
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.current.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_unstable();
+        let pos = ((phi * all.len() as f64).ceil() as usize).clamp(1, all.len());
+        Some(all[pos - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_order_data_is_estimated_well() {
+        let mut b = BlockSampling::new(50, 64, 1);
+        let n = 200_000u64;
+        b.extend((0..n).map(|i| (i * 2654435761) % n));
+        let med = b.quantile(0.5).unwrap() as f64;
+        // Random arrival: blocks are as good as tuples.
+        assert!((med - n as f64 / 2.0).abs() < 0.05 * n as f64, "median {med}");
+    }
+
+    #[test]
+    fn clustered_data_degrades_blocks() {
+        // Sorted arrival: each block covers a tiny value range, so the
+        // union of m blocks is a coarse, clumpy sample. The estimate's
+        // error is dominated by which blocks happened to be kept — at only
+        // 8 blocks the median can easily be off by ~1/8 of the range.
+        let n = 200_000u64;
+        let trials = 30u64;
+        let mut worst = 0.0f64;
+        for seed in 0..trials {
+            let mut b = BlockSampling::new(8, 64, seed);
+            b.extend(0..n); // sorted
+            let med = b.quantile(0.5).unwrap() as f64;
+            worst = worst.max((med - n as f64 / 2.0).abs() / n as f64);
+        }
+        // Documented weakness (not a bug): clustered data with few blocks
+        // is unreliable.
+        assert!(
+            worst > 0.02,
+            "expected visible clustering error, worst was {worst}"
+        );
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut b = BlockSampling::new(10, 32, 3);
+        b.extend(0..100_000u64);
+        assert!(b.memory_elements() <= 10 * 32 + 32);
+        assert_eq!(b.n(), 100_000);
+    }
+
+    #[test]
+    fn tiny_streams_are_exact() {
+        let mut b = BlockSampling::new(4, 8, 4);
+        b.extend([5u64, 1, 3]);
+        assert_eq!(b.quantile(0.5), Some(3));
+        assert_eq!(b.quantile(1.0), Some(5));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let b = BlockSampling::new(2, 4, 5);
+        assert_eq!(b.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the framework's primitive operations: weighted
+//! collapse, weighted output selection, and the per-policy collapse cost
+//! (B2 ablation support in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use mrl_framework::{
+    collapse_targets, select_weighted, AdaptiveLowestLevel, AlsabtiRankaSingh, CollapsePolicy,
+    Engine, EngineConfig, FixedRate, MunroPaterson, WeightedSource,
+};
+
+fn bench_weighted_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_select");
+    for &k in &[64usize, 512, 4096] {
+        // c = 5 sorted runs of k elements with mixed weights.
+        let runs: Vec<(Vec<u64>, u64)> = (0..5u64)
+            .map(|i| {
+                let mut v: Vec<u64> = (0..k as u64).map(|j| (j * 2654435761 + i) % 1_000_003).collect();
+                v.sort_unstable();
+                (v, 1 + i)
+            })
+            .collect();
+        let w: u64 = runs.iter().map(|&(_, w)| w).sum();
+        group.bench_with_input(BenchmarkId::new("collapse_5_buffers", k), &k, |b, &k| {
+            b.iter(|| {
+                let sources: Vec<WeightedSource<'_, u64>> =
+                    runs.iter().map(|(d, w)| WeightedSource::new(d, *w)).collect();
+                select_weighted(&sources, &collapse_targets(k, w, false))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn run_to_completion<P: CollapsePolicy>(policy: P, data: &[u64], b: usize, k: usize) -> u64 {
+    let mut e = Engine::new(EngineConfig::new(b, k), policy, FixedRate::new(1), 3);
+    for &v in data {
+        e.insert(v);
+    }
+    e.stats().collapses
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let data: Vec<u64> = (0..200_000u64).map(|i| (i * 48271) % 1_000_003).collect();
+    let mut group = c.benchmark_group("policy_full_run_200k");
+    group.sample_size(10);
+    group.bench_function("adaptive_lowest_level", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| run_to_completion(AdaptiveLowestLevel, &d, 5, 256),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("munro_paterson", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| run_to_completion(MunroPaterson, &d, 5, 256),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("alsabti_ranka_singh", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| run_to_completion(AlsabtiRankaSingh, &d, 5, 256),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_select, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks of the §6 machinery: end-to-end parallel runs at varying
+//! worker counts, the serial sketch merge, and the coordinator's
+//! shrink-by-sampling path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use mrl_core::{OptimizerOptions, UnknownN};
+use mrl_parallel::{merge_sketches, parallel_quantiles};
+
+const N_TOTAL: u64 = 1_000_000;
+
+fn data() -> Vec<u64> {
+    (0..N_TOTAL).map(|i| (i * 2654435761) % 1_000_003).collect()
+}
+
+fn bench_parallel_workers(c: &mut Criterion) {
+    let all = data();
+    let opts = OptimizerOptions::default();
+    let mut group = c.benchmark_group("parallel_quantiles_1m");
+    group.throughput(Throughput::Elements(N_TOTAL));
+    group.sample_size(10);
+    for &p in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", p), &p, |b, &p| {
+            b.iter_batched(
+                || {
+                    (0..p)
+                        .map(|w| all.iter().skip(w).step_by(p).copied().collect::<Vec<u64>>())
+                        .collect::<Vec<_>>()
+                },
+                |inputs| parallel_quantiles(inputs, 0.02, 0.001, &[0.5], opts, 1),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_serial_merge(c: &mut Criterion) {
+    let all = data();
+    let config =
+        mrl_analysis::optimizer::optimize_unknown_n_with(0.02, 0.001, OptimizerOptions::default());
+    let mut group = c.benchmark_group("merge_sketches");
+    group.sample_size(10);
+    group.bench_function("merge_4_prebuilt_sketches", |b| {
+        b.iter_batched(
+            || {
+                (0..4usize)
+                    .map(|w| {
+                        let mut s = UnknownN::<u64>::from_config(config.clone(), w as u64);
+                        s.extend(all.iter().skip(w).step_by(4).copied());
+                        s
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |sketches| merge_sketches(sketches, 7),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_workers, bench_serial_merge);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Insert throughput: the unknown-`N` sketch vs the reservoir baseline vs
+//! the extreme-value estimator vs raw exact collection, on a 1M-element
+//! stream (B1 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mrl_core::{ExtremeValue, OptimizerOptions, Tail, UnknownN};
+use mrl_datagen::{ValueDistribution, WorkloadStream};
+use mrl_sampling::{rng_from_seed, Reservoir};
+
+const N: u64 = 1_000_000;
+
+fn stream() -> Vec<u64> {
+    WorkloadStream::new(ValueDistribution::Uniform { range: 1 << 40 }, 7)
+        .take(N as usize)
+        .collect()
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let data = stream();
+    let config =
+        mrl_analysis::optimizer::optimize_unknown_n_with(0.01, 1e-4, OptimizerOptions::default());
+
+    let mut group = c.benchmark_group("insert_1m");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+
+    group.bench_function("unknown_n_eps_0.01", |b| {
+        b.iter_batched(
+            || UnknownN::<u64>::from_config(config.clone(), 1),
+            |mut sketch| {
+                for &v in &data {
+                    sketch.insert(v);
+                }
+                sketch
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("reservoir_same_memory", |b| {
+        b.iter_batched(
+            || (Reservoir::<u64>::new(config.memory), rng_from_seed(1)),
+            |(mut res, mut rng)| {
+                for &v in &data {
+                    res.offer(v, &mut rng);
+                }
+                res
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("extreme_p99", |b| {
+        b.iter_batched(
+            || ExtremeValue::<u64>::known_n(0.99, 0.002, 1e-4, N, Tail::High, 1),
+            |mut est| {
+                for &v in &data {
+                    est.insert(v);
+                }
+                est
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("collect_and_sort_exact", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut all| {
+                all.sort_unstable();
+                all[all.len() / 2]
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let data = stream();
+    let config =
+        mrl_analysis::optimizer::optimize_unknown_n_with(0.01, 1e-4, OptimizerOptions::default());
+    let mut sketch = UnknownN::<u64>::from_config(config, 1);
+    sketch.extend(data.iter().copied());
+
+    let mut group = c.benchmark_group("query");
+    group.bench_function("single_phi", |b| b.iter(|| sketch.query(0.5)));
+    group.bench_function("seven_phis_one_pass", |b| {
+        b.iter(|| sketch.query_many(&[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_query);
+criterion_main!(benches);

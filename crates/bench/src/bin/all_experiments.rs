@@ -1,0 +1,68 @@
+//! Run every experiment binary in sequence — the one-command reproduction
+//! of the paper's evaluation (`cargo run --release -p mrl-bench --bin
+//! all_experiments`). Each child's stdout is passed through with a banner;
+//! a summary of exit statuses is printed at the end.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "table_extreme",
+    "tree_shapes",
+    "accuracy",
+    "policy_ablation",
+    "parallel_eval",
+    "alpha_sweep",
+    "h_sweep",
+    "crossover",
+    "prefix_validity",
+    "baselines_compare",
+    "comparisons",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+
+    for name in EXPERIMENTS {
+        println!("\n{}", "=".repeat(74));
+        println!("== {name}");
+        println!("{}", "=".repeat(74));
+        let path = bin_dir.join(name);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo (e.g. when run via `cargo run` from a
+            // clean target dir).
+            Command::new("cargo")
+                .args(["run", "--quiet", "--release", "-p", "mrl-bench", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("** {name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("** {name} failed to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+
+    println!("\n{}", "=".repeat(74));
+    if failures.is_empty() {
+        println!(
+            "All {} experiments completed. Paper-vs-measured notes: EXPERIMENTS.md",
+            EXPERIMENTS.len()
+        );
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,100 @@
+//! **Related-work comparison** (§1.5): MRL99 vs the two baselines the
+//! paper cites — GMP97 split/merge equi-depth histograms and CMN98 block
+//! sampling — at comparable memory, on random and clustered (sorted)
+//! arrival orders.
+//!
+//! Shapes to reproduce: GMP97 balances buckets but gives no per-quantile
+//! rank guarantee (visible as larger/more variable errors); CMN98 matches
+//! tuple sampling on random order but collapses on clustered data
+//! ("possibly requires multiple passes"); MRL99 holds ε on both.
+
+use mrl_baselines::{BlockSampling, GmpHistogram};
+use mrl_bench::{emit_json, TextTable};
+use mrl_core::UnknownN;
+use mrl_datagen::{ArrivalOrder, ValueDistribution, Workload};
+use mrl_exact::rank_error;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    estimator: String,
+    order: String,
+    max_err: f64,
+    memory: usize,
+}
+
+fn main() {
+    let opts = mrl_bench::eval::experiment_options();
+    let (eps, delta) = (0.01, 0.001);
+    let config = mrl_analysis::optimizer::optimize_unknown_n_with(eps, delta, opts);
+    let n = if cfg!(debug_assertions) { 300_000u64 } else { 1_000_000 };
+    let phis = [0.1, 0.25, 0.5, 0.75, 0.9];
+    let mem = config.memory;
+
+    println!(
+        "Related-work comparison at ~equal memory ({mem} elements), N = {n}, \
+         epsilon = {eps}\n"
+    );
+    let mut table = TextTable::new(["estimator", "arrival", "max rank err", "memory"]);
+
+    for order in [ArrivalOrder::Random, ArrivalOrder::SortedAscending] {
+        let data = Workload {
+            values: ValueDistribution::Uniform { range: 1 << 30 },
+            order,
+            n,
+            seed: 21,
+        }
+        .generate();
+
+        // MRL99.
+        let mut sketch = UnknownN::<u64>::from_config(config.clone(), 1);
+        sketch.extend(data.iter().copied());
+        let mrl_err = phis
+            .iter()
+            .map(|&p| rank_error(&data, &sketch.query(p).unwrap(), p))
+            .fold(0.0f64, f64::max);
+
+        // GMP97: bucket budget ~ 1/eps style, backing sample sized to the
+        // same memory budget.
+        let mut gmp = GmpHistogram::new(100, 0.5, mem.saturating_sub(101).max(200), 1);
+        gmp.extend(data.iter().copied());
+        let gmp_err = phis
+            .iter()
+            .map(|&p| rank_error(&data, &gmp.quantile(p).unwrap(), p))
+            .fold(0.0f64, f64::max);
+
+        // CMN98: same memory split into blocks of 64.
+        let blocks = (mem / 64).max(1);
+        let mut cmn = BlockSampling::new(blocks, 64, 1);
+        cmn.extend(data.iter().copied());
+        let cmn_err = phis
+            .iter()
+            .map(|&p| rank_error(&data, &cmn.quantile(p).unwrap(), p))
+            .fold(0.0f64, f64::max);
+
+        for (name, err, memory) in [
+            ("MRL99 unknown-N", mrl_err, mem),
+            ("GMP97 split/merge", gmp_err, mem),
+            ("CMN98 block sampling", cmn_err, cmn.memory_elements()),
+        ] {
+            table.row([
+                name.to_string(),
+                order.label().to_string(),
+                format!("{err:.5}"),
+                format!("{memory}"),
+            ]);
+            emit_json(&Row {
+                estimator: name.to_string(),
+                order: order.label().to_string(),
+                max_err: err,
+                memory,
+            });
+        }
+    }
+    table.print();
+    println!(
+        "\nShape checks: MRL99 <= epsilon on both orders; CMN98 fine on random \
+         arrival but degraded on sorted (clustered blocks); GMP97 in between \
+         (different error metric, no rank guarantee)."
+    );
+}

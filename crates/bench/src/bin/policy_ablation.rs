@@ -1,0 +1,87 @@
+//! **Ablation**: the three collapse policies of the framework (§2.1, §3.6)
+//! at identical `(b, k)` — tree accounting (`W`, collapses, height) and
+//! observed rank error. The adaptive lowest-level policy is what the
+//! MRL99 analysis assumes; Munro–Paterson and Alsabti–Ranka–Singh are the
+//! antecedents it generalises.
+
+use mrl_bench::{emit_json, TextTable};
+use mrl_datagen::{ArrivalOrder, ValueDistribution, Workload};
+use mrl_exact::rank_error;
+use mrl_framework::{
+    AdaptiveLowestLevel, AlsabtiRankaSingh, CollapsePolicy, Engine, EngineConfig, FixedRate,
+    MunroPaterson,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    collapses: u64,
+    w_sum: u64,
+    height: u32,
+    bound: u64,
+    max_err: f64,
+}
+
+fn run_policy<P: CollapsePolicy>(
+    policy: P,
+    b: usize,
+    k: usize,
+    data: &[u64],
+    phis: &[f64],
+) -> Row {
+    let name = policy.name().to_string();
+    let mut e = Engine::new(EngineConfig::new(b, k), policy, FixedRate::new(1), 11);
+    for &v in data {
+        e.insert(v);
+    }
+    let mut max_err = 0.0f64;
+    for &phi in phis {
+        let ans = e.query(phi).expect("nonempty");
+        max_err = max_err.max(rank_error(data, &ans, phi));
+    }
+    Row {
+        policy: name,
+        collapses: e.stats().collapses,
+        w_sum: e.stats().collapse_weight_sum,
+        height: e.stats().max_level,
+        bound: e.tree_error_bound(),
+        max_err,
+    }
+}
+
+fn main() {
+    let (b, k) = (5usize, 100usize);
+    let n = if cfg!(debug_assertions) { 200_000 } else { 1_000_000 };
+    let data = Workload {
+        values: ValueDistribution::Uniform { range: 1 << 30 },
+        order: ArrivalOrder::Random,
+        n,
+        seed: 31,
+    }
+    .generate();
+    let phis = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+    println!("Collapse-policy ablation: b = {b}, k = {k}, N = {n} (deterministic, rate 1)\n");
+    let mut table = TextTable::new([
+        "policy", "collapses", "W", "height", "Lemma-4 bound", "max obs. err",
+    ]);
+    for row in [
+        run_policy(AdaptiveLowestLevel, b, k, &data, &phis),
+        run_policy(MunroPaterson, b, k, &data, &phis),
+        run_policy(AlsabtiRankaSingh, b, k, &data, &phis),
+    ] {
+        table.row([
+            row.policy.clone(),
+            format!("{}", row.collapses),
+            format!("{}", row.w_sum),
+            format!("{}", row.height),
+            format!("{}", row.bound),
+            format!("{:.5}", row.max_err),
+        ]);
+        emit_json(&row);
+    }
+    table.print();
+    println!("\nShape checks: observed error <= Lemma-4 bound / N for every policy;");
+    println!("the adaptive policy's W (and so its bound) undercuts ARS at equal memory.");
+}

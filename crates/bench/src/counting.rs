@@ -1,0 +1,78 @@
+//! Comparison counting: the paper's §2 frames selection in *number of
+//! comparisons* ([BFP+73]'s 5.43N, Pohl's lower bounds, Paterson's
+//! survey). [`Counting`] wraps an element type and counts every `Ord`
+//! comparison through a thread-local counter, letting experiments report
+//! comparisons-per-element for the streaming sketch against sort-based
+//! selection.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+
+thread_local! {
+    static COMPARISONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Reset this thread's comparison counter.
+pub fn reset_comparisons() {
+    COMPARISONS.with(|c| c.set(0));
+}
+
+/// Comparisons performed on this thread since the last reset.
+pub fn comparisons() -> u64 {
+    COMPARISONS.with(Cell::get)
+}
+
+/// An element wrapper whose `Ord` increments the thread-local comparison
+/// counter.
+#[derive(Clone, Copy, Debug)]
+pub struct Counting<T>(pub T);
+
+impl<T: PartialEq> PartialEq for Counting<T> {
+    fn eq(&self, other: &Self) -> bool {
+        COMPARISONS.with(|c| c.set(c.get() + 1));
+        self.0 == other.0
+    }
+}
+
+impl<T: Eq> Eq for Counting<T> {}
+
+impl<T: Ord> PartialOrd for Counting<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord> Ord for Counting<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        COMPARISONS.with(|c| c.set(c.get() + 1));
+        self.0.cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_comparisons_in_a_sort() {
+        reset_comparisons();
+        // Scrambled input (a reversed run would let the sort cheat with a
+        // single detected run and ~n comparisons).
+        let mut v: Vec<Counting<u32>> = (0..256u32).map(|i| Counting((i * 167) % 256)).collect();
+        v.sort();
+        let c = comparisons();
+        // Sorting n scrambled elements needs ~n·log2(n)-ish comparisons
+        // and far fewer than n^2.
+        assert!(c > 256, "suspiciously few comparisons: {c}");
+        assert!(c < 65_536, "suspiciously many comparisons: {c}");
+    }
+
+    #[test]
+    fn reset_zeroes_the_counter() {
+        reset_comparisons();
+        let _ = Counting(1u32) < Counting(2u32);
+        assert!(comparisons() >= 1);
+        reset_comparisons();
+        assert_eq!(comparisons(), 0);
+    }
+}

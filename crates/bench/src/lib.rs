@@ -1,0 +1,50 @@
+//! Experiment harness: everything the table/figure binaries share.
+//!
+//! One binary per paper artefact (see DESIGN.md §4):
+//!
+//! | binary            | artefact |
+//! |-------------------|----------|
+//! | `table1`          | Table 1 — unknown-`N` vs known-`N` memory |
+//! | `table2`          | Table 2 — memory vs number of quantiles |
+//! | `fig4`            | Figure 4 — memory vs `log₁₀ N` |
+//! | `fig5`            | Figure 5 — valid buffer-allocation schedule |
+//! | `table_extreme`   | §7 — extreme-value sample/heap sizes + validation |
+//! | `tree_shapes`     | Figures 2–3 — collapse-tree shapes |
+//! | `accuracy`        | headline guarantee across distributions & orders |
+//! | `policy_ablation` | collapse-policy comparison (adaptive/MP/ARS) |
+//! | `parallel_eval`   | §6 — parallel accuracy and memory |
+//! | `alpha_sweep`     | ablation: the α error split (§4.4 vs §4.5) |
+//! | `h_sweep`         | ablation: the sampling-onset height h |
+//! | `crossover`       | MRL99 vs reservoir memory across ε (§2.2) |
+//! | `prefix_validity` | guarantee at every prefix under drift (§1.2) |
+//! | `baselines_compare` | vs GMP97 and CMN98 (§1.5 related work) |
+//! | `comparisons`     | comparison counts (§2's cost metric) |
+//! | `all_experiments` | run everything above in sequence |
+//!
+//! Each binary prints an aligned text table; set `MRL_JSON=1` to also emit
+//! machine-readable JSON lines on stderr.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod counting;
+pub mod eval;
+pub mod table;
+
+pub use eval::{failure_rate, observed_errors, ErrorSummary, Trial};
+pub use table::TextTable;
+
+/// True when the environment requests JSON side-channel output.
+pub fn json_enabled() -> bool {
+    std::env::var("MRL_JSON").is_ok_and(|v| v == "1")
+}
+
+/// Emit one JSON line on stderr when enabled.
+pub fn emit_json<S: serde::Serialize>(value: &S) {
+    if json_enabled() {
+        eprintln!(
+            "{}",
+            serde_json::to_string(value).expect("experiment rows serialise")
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Hand-rolled argument parsing for `mrl-quantiles` (no CLI-framework
+//! dependency; the surface is five flags).
+
+use std::fmt;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Args {
+    /// Approximation guarantee ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Quantiles to report.
+    pub phis: Vec<f64>,
+    /// Sketch seed.
+    pub seed: u64,
+    /// Print running estimates every `report_every` lines (0 = only at
+    /// end-of-stream).
+    pub report_every: u64,
+    /// Parse input as floating-point numbers instead of integers.
+    pub float: bool,
+    /// Print the help text and exit.
+    pub help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.01,
+            delta: 1e-4,
+            phis: vec![0.5],
+            seed: 0,
+            report_every: 0,
+            float: false,
+            help: false,
+        }
+    }
+}
+
+/// A malformed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+mrl-quantiles: single-pass approximate quantiles over stdin (MRL99)
+
+USAGE:
+    <numbers on stdin, one per line> | mrl-quantiles [OPTIONS]
+
+OPTIONS:
+    --eps <float>     rank-error guarantee epsilon in (0,1)   [default: 0.01]
+    --delta <float>   failure probability delta in (0,1)      [default: 1e-4]
+    --phi <list>      comma-separated quantiles in [0,1]      [default: 0.5]
+    --seed <u64>      sampler seed                            [default: 0]
+    --every <u64>     also report every N input lines         [default: off]
+    --float           parse input as floating-point numbers
+    --help            show this text
+
+Input lines that do not parse are counted and skipped. Values are read as
+i64 by default (negative numbers welcome) or as f64 with --float (NaN
+lines are skipped).";
+
+impl Args {
+    /// Parse `argv[1..]`.
+    pub fn parse<I, S>(argv: I) -> Result<Args, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut args = Args::default();
+        let mut it = argv.into_iter();
+        while let Some(flag) = it.next() {
+            let flag = flag.as_ref();
+            let mut value_for = |name: &str| -> Result<String, ParseError> {
+                it.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| ParseError(format!("{name} requires a value")))
+            };
+            match flag {
+                "--eps" => {
+                    args.epsilon = value_for("--eps")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--eps: {e}")))?;
+                }
+                "--delta" => {
+                    args.delta = value_for("--delta")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--delta: {e}")))?;
+                }
+                "--phi" => {
+                    let raw = value_for("--phi")?;
+                    let mut phis = Vec::new();
+                    for part in raw.split(',') {
+                        let phi: f64 = part
+                            .trim()
+                            .parse()
+                            .map_err(|e| ParseError(format!("--phi '{part}': {e}")))?;
+                        if !(0.0..=1.0).contains(&phi) {
+                            return Err(ParseError(format!("--phi {phi} outside [0, 1]")));
+                        }
+                        phis.push(phi);
+                    }
+                    if phis.is_empty() {
+                        return Err(ParseError("--phi needs at least one value".into()));
+                    }
+                    args.phis = phis;
+                }
+                "--seed" => {
+                    args.seed = value_for("--seed")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--seed: {e}")))?;
+                }
+                "--every" => {
+                    args.report_every = value_for("--every")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--every: {e}")))?;
+                }
+                "--float" => args.float = true,
+                "--help" | "-h" => args.help = true,
+                other => return Err(ParseError(format!("unknown flag: {other}"))),
+            }
+        }
+        if !(args.epsilon > 0.0 && args.epsilon < 1.0) {
+            return Err(ParseError(format!("--eps {} outside (0, 1)", args.epsilon)));
+        }
+        if !(args.delta > 0.0 && args.delta < 1.0) {
+            return Err(ParseError(format!("--delta {} outside (0, 1)", args.delta)));
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a, Args::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = Args::parse([
+            "--eps", "0.05", "--delta", "0.001", "--phi", "0.25,0.5,0.99", "--seed", "7",
+            "--every", "1000",
+        ])
+        .unwrap();
+        assert_eq!(a.epsilon, 0.05);
+        assert_eq!(a.delta, 0.001);
+        assert_eq!(a.phis, vec![0.25, 0.5, 0.99]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.report_every, 1000);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(Args::parse(["--eps", "1.5"]).is_err());
+        assert!(Args::parse(["--eps", "0"]).is_err());
+        assert!(Args::parse(["--eps", "abc"]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_phi() {
+        assert!(Args::parse(["--phi", "1.2"]).is_err());
+        assert!(Args::parse(["--phi", ""]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_missing_value() {
+        assert!(Args::parse(["--frobnicate"]).is_err());
+        assert!(Args::parse(["--eps"]).is_err());
+    }
+
+    #[test]
+    fn float_flag() {
+        assert!(Args::parse(["--float"]).unwrap().float);
+        assert!(!Args::parse(Vec::<String>::new()).unwrap().float);
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(Args::parse(["--help"]).unwrap().help);
+        assert!(Args::parse(["-h"]).unwrap().help);
+    }
+}

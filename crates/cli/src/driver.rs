@@ -1,0 +1,227 @@
+//! The line-oriented streaming driver: read numbers, feed the sketch,
+//! report quantiles (optionally at a cadence — the online-aggregation
+//! mode). Supports integer (default) and floating-point (`--float`)
+//! inputs.
+
+use std::io::{BufRead, Write};
+
+use mrl_core::{OptimizerOptions, OrderedF64, UnknownN};
+
+use crate::args::Args;
+
+/// What a run saw and concluded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Parsed input values consumed.
+    pub n: u64,
+    /// Lines skipped because they did not parse.
+    pub skipped: u64,
+    /// Final `(phi, rendered estimate)` pairs (empty input ⇒ empty).
+    pub quantiles: Vec<(f64, String)>,
+    /// The sketch's memory bound in elements.
+    pub memory_elements: usize,
+}
+
+/// A value type the CLI can stream.
+trait CliValue: Ord + Clone {
+    fn parse(s: &str) -> Option<Self>;
+    fn render(&self) -> String;
+}
+
+impl CliValue for i64 {
+    fn parse(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl CliValue for OrderedF64 {
+    fn parse(s: &str) -> Option<Self> {
+        s.parse::<f64>().ok().and_then(OrderedF64::new)
+    }
+    fn render(&self) -> String {
+        self.get().to_string()
+    }
+}
+
+/// Run the tool: read numbers line by line from `input`, write reports to
+/// `output`. Separated from `main` for testing.
+pub fn run<R: BufRead, W: Write>(args: &Args, input: R, output: W) -> std::io::Result<Summary> {
+    if args.float {
+        run_typed::<OrderedF64, R, W>(args, input, output)
+    } else {
+        run_typed::<i64, R, W>(args, input, output)
+    }
+}
+
+fn run_typed<T: CliValue, R: BufRead, W: Write>(
+    args: &Args,
+    input: R,
+    mut output: W,
+) -> std::io::Result<Summary> {
+    let opts = if cfg!(debug_assertions) {
+        OptimizerOptions::fast()
+    } else {
+        OptimizerOptions::default()
+    };
+    let mut sketch =
+        UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
+    let mut skipped = 0u64;
+
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match T::parse(trimmed) {
+            Some(v) => {
+                sketch.insert(v);
+                if args.report_every > 0 && sketch.n().is_multiple_of(args.report_every) {
+                    report(&sketch, &args.phis, &mut output, true)?;
+                }
+            }
+            None => skipped += 1,
+        }
+    }
+
+    let quantiles = report(&sketch, &args.phis, &mut output, false)?;
+    if skipped > 0 {
+        writeln!(output, "# skipped {skipped} unparseable lines")?;
+    }
+    Ok(Summary {
+        n: sketch.n(),
+        skipped,
+        quantiles,
+        memory_elements: sketch.memory_bound_elements(),
+    })
+}
+
+fn report<T: CliValue, W: Write>(
+    sketch: &UnknownN<T>,
+    phis: &[f64],
+    output: &mut W,
+    interim: bool,
+) -> std::io::Result<Vec<(f64, String)>> {
+    let Some(answers) = sketch.query_many(phis) else {
+        writeln!(output, "# empty input")?;
+        return Ok(Vec::new());
+    };
+    let pairs: Vec<(f64, String)> = phis
+        .iter()
+        .copied()
+        .zip(answers.iter().map(CliValue::render))
+        .collect();
+    let tag = if interim {
+        format!("@{} ", sketch.n())
+    } else {
+        String::new()
+    };
+    for (phi, v) in &pairs {
+        writeln!(output, "{tag}p{phi}\t{v}")?;
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(input: &str, args: &Args) -> (Summary, String) {
+        let mut out = Vec::new();
+        let summary = run(args, input.as_bytes(), &mut out).expect("io on buffers");
+        (summary, String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn args_with_phis(phis: &[f64]) -> Args {
+        Args {
+            epsilon: 0.05,
+            delta: 0.01,
+            phis: phis.to_vec(),
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn small_input_is_exact() {
+        let input = "5\n1\n4\n2\n3\n";
+        let (summary, out) = run_on(input, &args_with_phis(&[0.5, 1.0]));
+        assert_eq!(summary.n, 5);
+        assert_eq!(summary.skipped, 0);
+        assert_eq!(
+            summary.quantiles,
+            vec![(0.5, "3".to_string()), (1.0, "5".to_string())]
+        );
+        assert!(out.contains("p0.5\t3"));
+        assert!(out.contains("p1\t5"));
+    }
+
+    #[test]
+    fn unparseable_lines_are_counted_not_fatal() {
+        let input = "10\nhello\n20\n\n30\nNaN\n";
+        let (summary, out) = run_on(input, &args_with_phis(&[0.5]));
+        assert_eq!(summary.n, 3);
+        assert_eq!(summary.skipped, 2); // blank lines are ignored silently
+        assert!(out.contains("# skipped 2"));
+    }
+
+    #[test]
+    fn negative_numbers_are_ordered_correctly() {
+        let input = "-5\n-1\n-3\n0\n2\n";
+        let (summary, _) = run_on(input, &args_with_phis(&[0.0, 1.0]));
+        assert_eq!(
+            summary.quantiles,
+            vec![(0.0, "-5".to_string()), (1.0, "2".to_string())]
+        );
+    }
+
+    #[test]
+    fn float_mode_parses_and_orders() {
+        let mut args = args_with_phis(&[0.0, 0.5, 1.0]);
+        args.float = true;
+        let input = "2.5\n-0.5\n1.25\n1e3\nNaN\n";
+        let (summary, out) = run_on(input, &args);
+        assert_eq!(summary.n, 4);
+        assert_eq!(summary.skipped, 1, "NaN must be skipped: {out}");
+        assert_eq!(summary.quantiles[0].1, "-0.5");
+        assert_eq!(summary.quantiles[2].1, "1000");
+    }
+
+    #[test]
+    fn integer_mode_rejects_floats() {
+        let (summary, _) = run_on("1.5\n2\n", &args_with_phis(&[0.5]));
+        assert_eq!(summary.n, 1);
+        assert_eq!(summary.skipped, 1);
+    }
+
+    #[test]
+    fn empty_input_reports_gracefully() {
+        let (summary, out) = run_on("", &args_with_phis(&[0.5]));
+        assert_eq!(summary.n, 0);
+        assert!(summary.quantiles.is_empty());
+        assert!(out.contains("# empty input"));
+    }
+
+    #[test]
+    fn interim_reports_at_cadence() {
+        let mut args = args_with_phis(&[0.5]);
+        args.report_every = 10;
+        let input: String = (1..=25).map(|i| format!("{i}\n")).collect();
+        let (summary, out) = run_on(&input, &args);
+        assert_eq!(summary.n, 25);
+        assert!(out.contains("@10 p0.5"));
+        assert!(out.contains("@20 p0.5"));
+    }
+
+    #[test]
+    fn large_stream_is_approximately_right() {
+        let input: String = (0..50_000u64)
+            .map(|i| format!("{}\n", (i * 48271) % 50_000))
+            .collect();
+        let (summary, _) = run_on(&input, &args_with_phis(&[0.5]));
+        let med: f64 = summary.quantiles[0].1.parse().unwrap();
+        assert!((med - 25_000.0).abs() <= 0.05 * 50_000.0 + 1.0, "median {med}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Library backing the `mrl-quantiles` command-line tool: argument
+//! parsing and the line-oriented streaming driver, factored out of
+//! `main.rs` so they can be unit-tested.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod driver;
+
+pub use args::{Args, ParseError};
+pub use driver::{run, Summary};

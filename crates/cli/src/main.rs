@@ -1,0 +1,41 @@
+//! `mrl-quantiles`: approximate quantiles of integers on stdin, in one
+//! pass and bounded memory, without knowing how much input is coming —
+//! the MRL99 algorithm as a shell tool.
+//!
+//! ```sh
+//! seq 1 1000000 | shuf | mrl-quantiles --eps 0.01 --phi 0.5,0.9,0.99
+//! ```
+
+use std::io::{self, BufWriter};
+use std::process::ExitCode;
+
+use mrl_cli::{args::USAGE, run, Args};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let stdin = io::stdin().lock();
+    let stdout = BufWriter::new(io::stdout().lock());
+    match run(&args, stdin, stdout) {
+        Ok(summary) => {
+            eprintln!(
+                "# n={} memory_bound={} elements (eps={}, delta={})",
+                summary.n, summary.memory_elements, args.epsilon, args.delta
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Extreme-value estimation (§7).
+//!
+//! When the requested quantile φ is close to 0 (or 1), the general
+//! algorithm is overkill: the paper's "simple algorithm which seems to
+//! outperform most other algorithms handily" draws a uniform random sample
+//! of size `s` and keeps only its `k = ⌈φ·s⌉` smallest (resp. largest)
+//! elements in a bounded heap. The estimate — the k-th order statistic of
+//! the sample — has expected rank `φ·N`, and Stein's lemma (Lemma 6) sizes
+//! `s` so the estimate is an ε-approximate φ-quantile with probability
+//! `1 − δ`:
+//!
+//! ```text
+//! δ ≥ 2^{−s·D(φ;φ−ε)} + 2^{−s·D(φ;φ+ε)}
+//! ```
+//!
+//! The paper's key statistical fact: the rank distribution of an extreme
+//! order statistic is more tightly clustered than the median's, so `s` —
+//! and especially the retained heap `k = φ·s` — is far smaller than the
+//! general algorithm's memory.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mrl_analysis::kl::stein_sample_size;
+use mrl_sampling::{rng_from_seed, BernoulliSampler, Reservoir, SketchRng};
+
+/// Which tail the target quantile sits in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tail {
+    /// φ close to 0: keep the `k` smallest sample elements.
+    Low,
+    /// φ close to 1: keep the `k` largest sample elements.
+    High,
+}
+
+#[derive(Clone, Debug)]
+enum SampleMode<T> {
+    /// Known `N`: Bernoulli(s/N) coin per element, heap of the k most
+    /// extreme sampled elements. Memory `O(k)` — the paper's §7 setting
+    /// ("the sampling rate s/N is dependent on N").
+    KnownN {
+        sampler: BernoulliSampler,
+        low_heap: BinaryHeap<T>,            // max-heap of the k smallest
+        high_heap: BinaryHeap<Reverse<T>>,  // min-heap of the k largest
+    },
+    /// Unknown `N`: maintain a size-`s` uniform reservoir instead. Memory
+    /// `O(s)` — a convenience fallback, not the paper's low-memory claim.
+    UnknownN { reservoir: Reservoir<T> },
+}
+
+/// Estimator for an extreme φ-quantile (§7).
+///
+/// ```
+/// use mrl_core::{ExtremeValue, Tail};
+///
+/// let n = 200_000u64;
+/// let mut est = ExtremeValue::<u64>::known_n(0.01, 0.005, 1e-4, n, Tail::Low, 7);
+/// for v in 0..n {
+///     est.insert(v);
+/// }
+/// let p1 = est.query().unwrap();
+/// assert!((p1 as f64) <= 0.015 * n as f64 + 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExtremeValue<T> {
+    phi: f64,
+    epsilon: f64,
+    delta: f64,
+    tail: Tail,
+    s: u64,
+    k: u64,
+    seen: u64,
+    mode: SampleMode<T>,
+    rng: SketchRng,
+}
+
+impl<T: Ord + Clone> ExtremeValue<T> {
+    /// Estimator for a stream of known length `n`: samples each element
+    /// independently with probability `s/n` and retains the `k` most
+    /// extreme sampled elements — total memory `k` elements.
+    ///
+    /// For `Tail::Low`, `φ` is the quantile itself (small); for
+    /// `Tail::High`, `φ` is still the quantile (large, e.g. 0.99) and the
+    /// symmetric construction on `1−φ` is used internally.
+    ///
+    /// # Panics
+    /// Panics unless `0 < φ < 1`, `0 < ε < 1`, `0 < δ < 1`, `n ≥ 1`.
+    pub fn known_n(phi: f64, epsilon: f64, delta: f64, n: u64, tail: Tail, seed: u64) -> Self {
+        let phi_eff = effective_phi(phi, tail);
+        let (s, k) = stein_sample_size(phi_eff, epsilon, delta);
+        let sampler = BernoulliSampler::for_expected_sample(s, n);
+        Self {
+            phi,
+            epsilon,
+            delta,
+            tail,
+            s,
+            k,
+            seen: 0,
+            mode: SampleMode::KnownN {
+                sampler,
+                low_heap: BinaryHeap::new(),
+                high_heap: BinaryHeap::new(),
+            },
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Estimator for a stream of unknown length: maintains a size-`s`
+    /// reservoir (memory `O(s)`, not `O(k)`) and answers the k-th extreme
+    /// of the reservoir scaled to the current stream length.
+    ///
+    /// # Panics
+    /// As [`ExtremeValue::known_n`].
+    pub fn unknown_n(phi: f64, epsilon: f64, delta: f64, tail: Tail, seed: u64) -> Self {
+        let phi_eff = effective_phi(phi, tail);
+        let (s, k) = stein_sample_size(phi_eff, epsilon, delta);
+        Self {
+            phi,
+            epsilon,
+            delta,
+            tail,
+            s,
+            k,
+            seen: 0,
+            mode: SampleMode::UnknownN {
+                reservoir: Reservoir::new(s as usize),
+            },
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Insert one stream element.
+    pub fn insert(&mut self, item: T) {
+        self.seen += 1;
+        let k = self.k as usize;
+        match &mut self.mode {
+            SampleMode::KnownN {
+                sampler,
+                low_heap,
+                high_heap,
+            } => {
+                if !sampler.accept(&mut self.rng) {
+                    return;
+                }
+                match self.tail {
+                    Tail::Low => {
+                        low_heap.push(item);
+                        if low_heap.len() > k {
+                            low_heap.pop();
+                        }
+                    }
+                    Tail::High => {
+                        high_heap.push(Reverse(item));
+                        if high_heap.len() > k {
+                            high_heap.pop();
+                        }
+                    }
+                }
+            }
+            SampleMode::UnknownN { reservoir } => {
+                reservoir.offer(item, &mut self.rng);
+            }
+        }
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+
+    /// The current estimate: the k-th most extreme element of the sample
+    /// (expected rank `φ·N`). `None` until the sample has at least one
+    /// retained element.
+    pub fn query(&self) -> Option<T> {
+        match &self.mode {
+            SampleMode::KnownN {
+                low_heap,
+                high_heap,
+                ..
+            } => match self.tail {
+                // Max of the k smallest = k-th smallest of the sample.
+                Tail::Low => low_heap.peek().cloned(),
+                Tail::High => high_heap.peek().map(|r| r.0.clone()),
+            },
+            SampleMode::UnknownN { reservoir } => {
+                // k-th extreme of the reservoir, scaled: the reservoir is a
+                // uniform sample of whatever has arrived, so its
+                // φ-quantile estimates the stream's.
+                reservoir.quantile(match self.tail {
+                    Tail::Low => self.phi,
+                    Tail::High => self.phi,
+                })
+            }
+        }
+    }
+
+    /// Elements seen so far.
+    pub fn n(&self) -> u64 {
+        self.seen
+    }
+
+    /// The Stein sample size `s`.
+    pub fn sample_size(&self) -> u64 {
+        self.s
+    }
+
+    /// The retained-heap size `k = ⌈φ·s⌉` — the estimator's memory bound
+    /// in known-`N` mode.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The guarantee `(φ, ε, δ)`.
+    pub fn guarantee(&self) -> (f64, f64, f64) {
+        (self.phi, self.epsilon, self.delta)
+    }
+
+    /// Current memory footprint in elements.
+    pub fn memory_elements(&self) -> usize {
+        match &self.mode {
+            SampleMode::KnownN {
+                low_heap,
+                high_heap,
+                ..
+            } => low_heap.len() + high_heap.len(),
+            SampleMode::UnknownN { reservoir } => reservoir.sample().len(),
+        }
+    }
+}
+
+fn effective_phi(phi: f64, tail: Tail) -> f64 {
+    assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+    match tail {
+        Tail::Low => phi,
+        Tail::High => 1.0 - phi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_tail_estimate_lands_near_phi_n() {
+        let n = 300_000u64;
+        let mut est = ExtremeValue::<u64>::known_n(0.01, 0.005, 1e-3, n, Tail::Low, 1);
+        est.extend((0..n).map(|i| (i * 2654435761) % n));
+        let q = est.query().unwrap() as f64;
+        // Value v has rank ~v in this permutation of 0..n.
+        assert!(
+            (q - 0.01 * n as f64).abs() <= 0.005 * n as f64 + 50.0,
+            "estimate {q} vs expected {}",
+            0.01 * n as f64
+        );
+    }
+
+    #[test]
+    fn high_tail_estimate_lands_near_phi_n() {
+        let n = 300_000u64;
+        let mut est = ExtremeValue::<u64>::known_n(0.99, 0.005, 1e-3, n, Tail::High, 2);
+        est.extend((0..n).map(|i| (i * 48271) % n));
+        let q = est.query().unwrap() as f64;
+        assert!(
+            (q - 0.99 * n as f64).abs() <= 0.005 * n as f64 + 50.0,
+            "estimate {q} vs expected {}",
+            0.99 * n as f64
+        );
+    }
+
+    #[test]
+    fn memory_is_bounded_by_k() {
+        let n = 500_000u64;
+        let mut est = ExtremeValue::<u64>::known_n(0.01, 0.002, 1e-4, n, Tail::Low, 3);
+        est.extend(0..n);
+        assert!(est.memory_elements() as u64 <= est.k());
+        // And k is small: the whole point of section 7.
+        assert!(est.k() < 1_000, "k = {}", est.k());
+    }
+
+    #[test]
+    fn unknown_n_reservoir_variant_tracks_prefixes() {
+        let mut est = ExtremeValue::<u64>::unknown_n(0.05, 0.02, 1e-3, Tail::Low, 4);
+        for i in 0..100_000u64 {
+            est.insert((i * 69621) % 100_000);
+        }
+        let q = est.query().unwrap() as f64;
+        assert!(
+            (q - 5_000.0).abs() <= 0.02 * 100_000.0 + 100.0,
+            "estimate {q}"
+        );
+    }
+
+    #[test]
+    fn empty_estimator_returns_none() {
+        let est = ExtremeValue::<u64>::known_n(0.01, 0.005, 1e-3, 100, Tail::Low, 5);
+        assert!(est.query().is_none());
+        assert_eq!(est.memory_elements(), 0);
+    }
+
+    #[test]
+    fn k_scales_with_phi() {
+        let a = ExtremeValue::<u64>::known_n(0.001, 0.0005, 1e-4, 1 << 30, Tail::Low, 6);
+        let b = ExtremeValue::<u64>::known_n(0.01, 0.005, 1e-4, 1 << 30, Tail::Low, 6);
+        // k = ceil(phi * s); both are small relative to the general
+        // algorithm but k grows with phi for fixed relative accuracy.
+        assert!(a.k() >= 1 && b.k() >= 1);
+        assert!(a.sample_size() > b.sample_size());
+    }
+}

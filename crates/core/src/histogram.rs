@@ -1,0 +1,268 @@
+//! Equi-depth histograms and the any-quantile pre-computation trick (§4.7,
+//! §1.1–1.2).
+//!
+//! Equi-depth histograms "are simply i/p-quantiles, for i ∈ {1, …, p−1},
+//! computed over column values of database tables" — the workhorse of query
+//! optimizers ([PIHS96], [SALP79]). Because the underlying sketch handles
+//! unknown `N`, the histogram stays accurate for a *dynamically growing*
+//! table (§1.2): re-query the boundaries whenever they are needed.
+//!
+//! The pre-computation trick: maintain the sketch at guarantee ε/2 and
+//! answer *any* φ by snapping to the nearest of the `⌈1/ε⌉` grid quantiles
+//! — memory independent of how many quantiles are eventually asked for.
+
+use crate::unknown_n::UnknownN;
+use mrl_analysis::optimizer::OptimizerOptions;
+
+/// A `p`-bucket equi-depth histogram over a stream of unknown length.
+///
+/// ```
+/// use mrl_core::{EquiDepthHistogram, OptimizerOptions};
+///
+/// let mut hist =
+///     EquiDepthHistogram::<u64>::with_options(10, 0.005, 1e-4, OptimizerOptions::fast())
+///         .with_seed(2);
+/// hist.extend(0..100_000u64);
+/// let bounds = hist.boundaries().unwrap();
+/// assert_eq!(bounds.len(), 9); // p-1 splitters
+/// assert!((bounds[4] as f64 - 50_000.0).abs() <= 1_000.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EquiDepthHistogram<T> {
+    sketch: UnknownN<T>,
+    buckets: usize,
+}
+
+impl<T: Ord + Clone> EquiDepthHistogram<T> {
+    /// A histogram with `buckets ≥ 2` buckets whose boundary ranks are each
+    /// within `ε·N` of exact with probability `1 − δ` (jointly over all
+    /// boundaries, via the union bound of §4.7).
+    ///
+    /// # Panics
+    /// Panics if `buckets < 2` or the guarantee parameters are out of
+    /// range.
+    pub fn new(buckets: usize, epsilon: f64, delta: f64) -> Self {
+        Self::with_options(buckets, epsilon, delta, OptimizerOptions::default())
+    }
+
+    /// As [`EquiDepthHistogram::new`] with an explicit optimizer search
+    /// space.
+    pub fn with_options(
+        buckets: usize,
+        epsilon: f64,
+        delta: f64,
+        opts: OptimizerOptions,
+    ) -> Self {
+        assert!(buckets >= 2, "a histogram needs at least two buckets");
+        // p-1 simultaneous quantiles: delta -> delta/(p-1).
+        let p = (buckets - 1) as f64;
+        let config =
+            mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta / p, opts);
+        Self {
+            sketch: UnknownN::from_config(config, 0),
+            buckets,
+        }
+    }
+
+    /// Re-seed (fresh, empty histogram).
+    ///
+    /// # Panics
+    /// Panics if data has already been inserted.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        Self {
+            sketch: self.sketch.with_seed(seed),
+            buckets: self.buckets,
+        }
+    }
+
+    /// Insert one element.
+    pub fn insert(&mut self, item: T) {
+        self.sketch.insert(item);
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.sketch.extend(iter);
+    }
+
+    /// The `p−1` bucket boundaries (the i/p-quantiles) of everything
+    /// inserted so far. `None` before the first insert. May be called at
+    /// any time — the histogram of a growing table (§1.2).
+    pub fn boundaries(&self) -> Option<Vec<T>> {
+        let phis: Vec<f64> = (1..self.buckets)
+            .map(|i| i as f64 / self.buckets as f64)
+            .collect();
+        self.sketch.query_many(&phis)
+    }
+
+    /// Number of buckets `p`.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Elements inserted so far.
+    pub fn n(&self) -> u64 {
+        self.sketch.n()
+    }
+
+    /// Memory bound in elements.
+    pub fn memory_bound_elements(&self) -> usize {
+        self.sketch.memory_bound_elements()
+    }
+
+    /// Access the underlying sketch (e.g. for ad-hoc quantile queries).
+    pub fn sketch(&self) -> &UnknownN<T> {
+        &self.sketch
+    }
+}
+
+/// Any-quantile answering via the ε/2 grid (§4.7's pre-computation trick).
+///
+/// Maintains `⌈1/ε⌉` pre-computed quantiles at guarantee ε/2; any requested
+/// φ snaps to the nearest grid point, giving an ε-approximate answer for an
+/// **arbitrary, unbounded number of queries** — memory independent of the
+/// query count.
+#[derive(Clone, Debug)]
+pub struct AnyQuantile<T> {
+    sketch: UnknownN<T>,
+    grid: usize,
+}
+
+impl<T: Ord + Clone> AnyQuantile<T> {
+    /// Build for guarantee (ε, δ).
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        Self::with_options(epsilon, delta, OptimizerOptions::default())
+    }
+
+    /// As [`AnyQuantile::new`] with an explicit optimizer search space.
+    pub fn with_options(epsilon: f64, delta: f64, opts: OptimizerOptions) -> Self {
+        let grid = (1.0 / epsilon).ceil() as usize;
+        let config = mrl_analysis::optimizer::optimize_unknown_n_with(
+            epsilon / 2.0,
+            delta / grid as f64,
+            opts,
+        );
+        Self {
+            sketch: UnknownN::from_config(config, 0),
+            grid,
+        }
+    }
+
+    /// Re-seed (fresh, empty).
+    ///
+    /// # Panics
+    /// Panics if data has already been inserted.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        Self {
+            sketch: self.sketch.with_seed(seed),
+            grid: self.grid,
+        }
+    }
+
+    /// Insert one element.
+    pub fn insert(&mut self, item: T) {
+        self.sketch.insert(item);
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.sketch.extend(iter);
+    }
+
+    /// Any φ-quantile: snap φ to the nearest grid point `(2i−1)/(2·grid)`
+    /// and return that pre-computable quantile. ε-approximate overall.
+    pub fn query(&self, phi: f64) -> Option<T> {
+        assert!((0.0..=1.0).contains(&phi), "phi must lie in [0, 1]");
+        // Grid points phi_i = (2i - 1) / (2 grid), i = 1..=grid.
+        let i = (phi * self.grid as f64 + 0.5).round().clamp(1.0, self.grid as f64);
+        let snapped = (2.0 * i - 1.0) / (2.0 * self.grid as f64);
+        self.sketch.query(snapped)
+    }
+
+    /// Elements inserted so far.
+    pub fn n(&self) -> u64 {
+        self.sketch.n()
+    }
+
+    /// Memory bound in elements.
+    pub fn memory_bound_elements(&self) -> usize {
+        self.sketch.memory_bound_elements()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_analysis::optimizer::OptimizerOptions;
+
+    #[test]
+    fn boundaries_split_uniform_data_evenly() {
+        let mut h =
+            EquiDepthHistogram::<u64>::with_options(10, 0.01, 1e-3, OptimizerOptions::fast())
+                .with_seed(1);
+        let n = 200_000u64;
+        h.extend((0..n).map(|i| (i * 2654435761) % n));
+        let bounds = h.boundaries().unwrap();
+        assert_eq!(bounds.len(), 9);
+        for (i, b) in bounds.iter().enumerate() {
+            let expect = (i + 1) as f64 / 10.0 * n as f64;
+            assert!(
+                (*b as f64 - expect).abs() <= 0.01 * n as f64 + 1.0,
+                "boundary {i}: {b} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundaries_are_monotone() {
+        let mut h =
+            EquiDepthHistogram::<u64>::with_options(7, 0.02, 1e-2, OptimizerOptions::fast())
+                .with_seed(3);
+        h.extend((0..50_000u64).map(|i| (i * 31) % 49_999));
+        let bounds = h.boundaries().unwrap();
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn histogram_of_growing_table_stays_accurate() {
+        let mut h =
+            EquiDepthHistogram::<u64>::with_options(4, 0.05, 1e-2, OptimizerOptions::fast())
+                .with_seed(5);
+        for chunk in 0..5u64 {
+            let base = chunk * 20_000;
+            h.extend((base..base + 20_000).map(|i| (i * 48271) % 1_000_000));
+            if let Some(bounds) = h.boundaries() {
+                assert_eq!(bounds.len(), 3);
+                // Uniform over [0, 1e6): median boundary near 500k.
+                assert!(
+                    (bounds[1] as f64 - 500_000.0).abs() <= 0.05 * 1_000_000.0 + 20_000.0,
+                    "chunk {chunk}: median boundary {}",
+                    bounds[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_quantile_answers_arbitrary_phis() {
+        let mut a = AnyQuantile::<u64>::with_options(0.05, 1e-2, OptimizerOptions::fast())
+            .with_seed(7);
+        let n = 100_000u64;
+        a.extend((0..n).map(|i| (i * 69621) % n));
+        for phi in [0.137, 0.5, 0.734, 0.99] {
+            let q = a.query(phi).unwrap() as f64;
+            assert!(
+                (q - phi * n as f64).abs() <= 0.05 * n as f64 + 1.0,
+                "phi={phi}: {q}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two buckets")]
+    fn one_bucket_is_rejected() {
+        let _ = EquiDepthHistogram::<u64>::with_options(1, 0.1, 0.01, OptimizerOptions::fast());
+    }
+}

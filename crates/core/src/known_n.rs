@@ -1,0 +1,206 @@
+//! The known-`N` baseline (MRL98): quantiles of a stream whose length is
+//! declared up front.
+//!
+//! Used by the paper as the comparison point for Table 1 and Figure 4: the
+//! deterministic algorithm for short streams, or a uniform block-sample
+//! feeding the deterministic tree for long ones. Knowing `N` lets the
+//! sampling rate be fixed in advance — the whole difficulty the unknown-`N`
+//! algorithm removes.
+
+use mrl_analysis::optimizer::{optimize_known_n, KnownNMode, KnownNPlan};
+use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, FixedRate};
+
+/// Single-pass ε-approximate quantiles of a stream of **declared** length.
+///
+/// ```
+/// use mrl_core::KnownN;
+///
+/// let mut sketch = KnownN::<u64>::new(0.05, 0.01, 10_000).with_seed(3);
+/// sketch.extend(0..10_000u64);
+/// let med = sketch.query(0.5).unwrap();
+/// assert!((med as f64 - 5_000.0).abs() <= 500.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KnownN<T> {
+    engine: Engine<T, AdaptiveLowestLevel, FixedRate>,
+    plan: KnownNPlan,
+    epsilon: f64,
+    delta: f64,
+    expected_n: u64,
+    seed: u64,
+}
+
+impl<T: Ord + Clone> KnownN<T> {
+    /// Create a sketch for exactly `n` elements with guarantee
+    /// (ε, δ). Chooses the cheaper of the deterministic and sampled MRL98
+    /// plans.
+    ///
+    /// # Panics
+    /// Panics if `ε ∉ (0, 1)`, `δ ∉ (0, 1)` or `n == 0`.
+    pub fn new(epsilon: f64, delta: f64, n: u64) -> Self {
+        let plan = optimize_known_n(epsilon, delta, n);
+        Self::from_plan(plan, epsilon, delta, n, 0)
+    }
+
+    /// Build from an explicit plan.
+    pub fn from_plan(plan: KnownNPlan, epsilon: f64, delta: f64, n: u64, seed: u64) -> Self {
+        assert!(n > 0, "stream length must be positive");
+        let rate = match &plan.mode {
+            KnownNMode::Deterministic => 1,
+            KnownNMode::Sampled { sample_size, .. } => (n / (*sample_size).max(1)).max(1),
+        };
+        let engine = Engine::new(
+            EngineConfig::new(plan.b, plan.k),
+            AdaptiveLowestLevel,
+            FixedRate::new(rate),
+            seed,
+        );
+        Self {
+            engine,
+            plan,
+            epsilon,
+            delta,
+            expected_n: n,
+            seed,
+        }
+    }
+
+    /// Re-seed the sampler (returns a fresh, empty sketch).
+    ///
+    /// # Panics
+    /// Panics if data has already been inserted.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        assert_eq!(self.engine.n(), 0, "with_seed on a non-empty sketch");
+        Self::from_plan(self.plan, self.epsilon, self.delta, self.expected_n, seed)
+    }
+
+    /// Insert one element.
+    ///
+    /// # Panics
+    /// Panics if more than the declared `n` elements are inserted — the
+    /// known-`N` guarantee is void beyond the declared length (use
+    /// [`crate::UnknownN`] when the length is uncertain).
+    pub fn insert(&mut self, item: T) {
+        assert!(
+            self.engine.n() < self.expected_n,
+            "inserted more than the declared {} elements",
+            self.expected_n
+        );
+        self.engine.insert(item);
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+
+    /// Estimate the φ-quantile of everything inserted so far. The (ε, δ)
+    /// guarantee applies once all `n` declared elements have arrived.
+    pub fn query(&self, phi: f64) -> Option<T> {
+        self.engine.query(phi)
+    }
+
+    /// Estimate several quantiles in one merge pass.
+    pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
+        self.engine.query_many(phis)
+    }
+
+    /// Elements inserted so far.
+    pub fn n(&self) -> u64 {
+        self.engine.n()
+    }
+
+    /// The declared stream length.
+    pub fn expected_n(&self) -> u64 {
+        self.expected_n
+    }
+
+    /// The plan in use (deterministic or sampled, with `b`, `k`).
+    pub fn plan(&self) -> &KnownNPlan {
+        &self.plan
+    }
+
+    /// The guarantee parameters.
+    pub fn guarantee(&self) -> (f64, f64) {
+        (self.epsilon, self.delta)
+    }
+
+    /// The seed the sampler was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Memory footprint in elements.
+    pub fn memory_elements(&self) -> usize {
+        self.plan.memory
+    }
+
+    /// Approximate selectivities of `x < v` / `x <= v` (§1.1):
+    /// `(frac_below, frac_at_most)`. `None` before the first insert.
+    pub fn rank_of(&self, value: &T) -> Option<(f64, f64)> {
+        self.engine.rank_of(value)
+    }
+
+    /// The stepwise CDF of the sketch's weighted contents.
+    pub fn cdf(&self) -> Vec<mrl_framework::CdfPoint<T>> {
+        self.engine.cdf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_plan_for_small_n_is_exact_or_close() {
+        let n = 5_000u64;
+        let mut s = KnownN::<u64>::new(0.01, 0.001, n);
+        s.extend(0..n);
+        let med = s.query(0.5).unwrap() as f64;
+        assert!((med - 2_500.0).abs() <= 0.01 * n as f64);
+    }
+
+    #[test]
+    fn sampled_plan_engages_for_large_n() {
+        let n = 50_000_000u64;
+        let s = KnownN::<u64>::new(0.05, 0.01, n);
+        match s.plan().mode {
+            KnownNMode::Sampled { sample_size, .. } => assert!(sample_size < n),
+            KnownNMode::Deterministic => {
+                panic!("expected the sampled plan for n = 5·10^7 at epsilon 0.05")
+            }
+        }
+        // Memory far below n.
+        assert!(s.memory_elements() < 100_000);
+    }
+
+    #[test]
+    fn sampled_plan_is_accurate() {
+        let n = 2_000_000u64;
+        let mut s = KnownN::<u64>::new(0.05, 0.01, n).with_seed(5);
+        s.extend((0..n).map(|i| (i * 2654435761) % n));
+        let q = s.query(0.25).unwrap() as f64;
+        assert!(
+            (q - 0.25 * n as f64).abs() <= 0.05 * n as f64,
+            "p25 {q} vs {}",
+            0.25 * n as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more than the declared")]
+    fn over_inserting_panics() {
+        let mut s = KnownN::<u64>::new(0.1, 0.01, 10);
+        s.extend(0..11u64);
+    }
+
+    #[test]
+    fn memory_is_monotone_in_n_until_sampling() {
+        let m1 = KnownN::<u64>::new(0.01, 0.001, 10_000).memory_elements();
+        let m2 = KnownN::<u64>::new(0.01, 0.001, 10_000_000).memory_elements();
+        assert!(m2 >= m1);
+    }
+}

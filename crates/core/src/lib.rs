@@ -1,0 +1,45 @@
+//! The MRL99 algorithms: single-pass approximate quantiles of large
+//! datasets, **without advance knowledge of the stream length**.
+//!
+//! This crate is the user-facing surface of the workspace:
+//!
+//! * [`UnknownN`] — the paper's headline algorithm (§3–§4): non-uniform
+//!   random sampling feeding a deterministic collapse tree. Guarantees an
+//!   ε-approximate φ-quantile with probability ≥ 1−δ at *any* prefix of the
+//!   stream, in `O(ε⁻¹ log²ε⁻¹ + ε⁻¹ log² log δ⁻¹)` memory, independent of
+//!   the stream length.
+//! * [`KnownN`] — the MRL98 baseline for streams of known length
+//!   (deterministic for short streams, uniformly sampled for long ones).
+//! * [`ExtremeValue`] — §7's estimator for extreme quantiles (φ close to 0
+//!   or 1): keep only the `k = ⌈φ·s⌉` most extreme elements of a random
+//!   sample sized by Stein's lemma. Far less memory than the general
+//!   algorithm when φ is small.
+//! * [`EquiDepthHistogram`] — §4.7's pre-computation trick: maintain
+//!   `⌈1/ε⌉` equally spaced quantiles at guarantee ε/2 and answer *any*
+//!   quantile, or build a `p`-bucket equi-depth histogram of a dynamically
+//!   growing table (§1.2).
+//!
+//! Parameters (`b`, `k`, `h`, `α`) are chosen automatically by the
+//! certified optimizer in `mrl-analysis`; power users can supply their own.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod dynamic;
+mod ext;
+mod extreme;
+mod histogram;
+mod known_n;
+mod persist;
+mod unknown_n;
+
+pub use dynamic::DynamicUnknownN;
+pub use ext::QuantileIteratorExt;
+pub use persist::SketchSnapshot;
+pub use extreme::{ExtremeValue, Tail};
+pub use histogram::{AnyQuantile, EquiDepthHistogram};
+pub use known_n::KnownN;
+pub use unknown_n::UnknownN;
+
+pub use mrl_analysis::optimizer::{KnownNPlan, OptimizerOptions, UnknownNConfig};
+pub use mrl_framework::OrderedF64;

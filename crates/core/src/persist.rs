@@ -1,0 +1,111 @@
+//! Persistence: checkpoint an [`UnknownN`] sketch and restore it later.
+//!
+//! A quantile sketch in a database outlives processes — an equi-depth
+//! histogram maintained alongside a growing table is checkpointed with the
+//! table. [`SketchSnapshot`] serialises the sketch's full logical state
+//! (configuration plus engine snapshot); restore resumes the stream with
+//! the same (ε, δ) guarantee. The sampler is re-seeded on restore, so a
+//! resumed run is statistically equivalent but not bit-identical to an
+//! uninterrupted one (the analysis only needs per-block uniformity and
+//! independence, which re-seeding preserves).
+
+use serde::{Deserialize, Serialize};
+
+use mrl_analysis::optimizer::UnknownNConfig;
+use mrl_framework::{AdaptiveLowestLevel, Engine, EngineSnapshot, Mrl99Schedule};
+
+use crate::unknown_n::UnknownN;
+
+/// Serializable checkpoint of an [`UnknownN`] sketch.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct SketchSnapshot<T> {
+    /// The certified configuration.
+    pub config: UnknownNConfig,
+    /// The engine state.
+    pub engine: EngineSnapshot<T, Mrl99Schedule>,
+}
+
+impl<T: Ord + Clone> UnknownN<T> {
+    /// Capture the sketch's state for checkpointing.
+    pub fn to_snapshot(&self) -> SketchSnapshot<T> {
+        SketchSnapshot {
+            config: self.config().clone(),
+            engine: self.engine_ref().snapshot(),
+        }
+    }
+
+    /// Resume from a checkpoint with a fresh sampler seed.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is internally inconsistent.
+    pub fn from_snapshot(snapshot: SketchSnapshot<T>, seed: u64) -> Self {
+        let engine: Engine<T, AdaptiveLowestLevel, Mrl99Schedule> =
+            Engine::restore(snapshot.engine, AdaptiveLowestLevel, seed);
+        UnknownN::from_parts(engine, snapshot.config, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_analysis::optimizer::OptimizerOptions;
+
+    fn sketch_with_data(n: u64) -> UnknownN<u64> {
+        let mut s = UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast())
+            .with_seed(11);
+        s.extend((0..n).map(|i| (i * 2654435761) % 1_000_003));
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_query_identical() {
+        let s = sketch_with_data(30_000);
+        let snap = s.to_snapshot();
+        let restored = UnknownN::from_snapshot(snap, 99);
+        assert_eq!(
+            s.query_many(&[0.1, 0.5, 0.9]),
+            restored.query_many(&[0.1, 0.5, 0.9])
+        );
+        assert_eq!(s.n(), restored.n());
+    }
+
+    #[test]
+    fn snapshot_survives_json() {
+        let s = sketch_with_data(5_000);
+        let snap = s.to_snapshot();
+        let json = serde_json::to_string(&snap).expect("serialises");
+        let back: SketchSnapshot<u64> = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(snap, back);
+        let restored = UnknownN::from_snapshot(back, 1);
+        assert_eq!(restored.query(0.5), s.query(0.5));
+    }
+
+    #[test]
+    fn restored_sketch_keeps_the_guarantee_on_continuation() {
+        let mut original = sketch_with_data(40_000);
+        let restored_snap = original.to_snapshot();
+        let mut resumed = UnknownN::from_snapshot(restored_snap, 12345);
+        for i in 40_000u64..150_000 {
+            let v = (i * 2654435761) % 1_000_003;
+            original.insert(v);
+            resumed.insert(v);
+        }
+        let n = 150_000f64;
+        for sketch in [&original, &resumed] {
+            let med = sketch.query(0.5).unwrap() as f64;
+            assert!(
+                (med - 500_000.0).abs() <= 0.05 * 1_000_003.0 + n,
+                "median {med} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn config_travels_with_the_snapshot() {
+        let s = sketch_with_data(100);
+        let snap = s.to_snapshot();
+        let restored = UnknownN::from_snapshot(snap, 5);
+        assert_eq!(restored.config(), s.config());
+        assert_eq!(restored.seed(), 5);
+    }
+}

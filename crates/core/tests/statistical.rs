@@ -1,0 +1,150 @@
+//! Statistical validation of the probabilistic guarantees: failure *rates*
+//! over many seeded trials, not just single runs. Trial counts are scaled
+//! down in debug builds; run with `--release` for the full sweep.
+
+use mrl_core::{ExtremeValue, OptimizerOptions, Tail, UnknownN};
+
+fn trials() -> u64 {
+    if cfg!(debug_assertions) {
+        8
+    } else {
+        60
+    }
+}
+
+fn stream_len() -> u64 {
+    if cfg!(debug_assertions) {
+        60_000
+    } else {
+        400_000
+    }
+}
+
+/// Normalised rank error of `value` at quantile `phi` within `data`.
+fn rank_err(data: &[u64], value: u64, phi: f64) -> f64 {
+    let n = data.len() as u64;
+    let pos = ((phi * n as f64).ceil() as u64).clamp(1, n);
+    let below = data.iter().filter(|&&v| v < value).count() as u64;
+    let at_most = data.iter().filter(|&&v| v <= value).count() as u64;
+    let dist = if pos < below + 1 {
+        below + 1 - pos
+    } else { pos.saturating_sub(at_most) };
+    dist as f64 / n as f64
+}
+
+#[test]
+fn unknown_n_failure_rate_is_far_below_delta_budget() {
+    // delta = 0.1 gives a loose budget; with the analysis' conservative
+    // Hoeffding constants the observed failure rate should be ~zero. Any
+    // failure at all across seeds would indicate a real bug, but we assert
+    // the rate, not perfection, to keep the test honest.
+    let (eps, delta) = (0.04, 0.1);
+    let config = mrl_analysis::optimizer::optimize_unknown_n_with(
+        eps,
+        delta,
+        OptimizerOptions::fast(),
+    );
+    let n = stream_len();
+    let data: Vec<u64> = (0..n).map(|i| (i * 2654435761) % n).collect();
+    let mut failures = 0u64;
+    let mut total = 0u64;
+    for seed in 0..trials() {
+        let mut s = UnknownN::<u64>::from_config(config.clone(), seed);
+        s.extend(data.iter().copied());
+        for phi in [0.1, 0.5, 0.9] {
+            total += 1;
+            let ans = s.query(phi).unwrap();
+            if rank_err(&data, ans, phi) > eps {
+                failures += 1;
+            }
+        }
+    }
+    let rate = failures as f64 / total as f64;
+    assert!(
+        rate <= delta,
+        "failure rate {rate} over {total} measurements exceeds delta {delta}"
+    );
+}
+
+#[test]
+fn extreme_value_failure_rate_within_delta_budget() {
+    let (phi, eps, delta) = (0.01, 0.005, 0.05);
+    let n = stream_len();
+    let data: Vec<u64> = (0..n).map(|i| (i * 48271) % n).collect();
+    let mut failures = 0u64;
+    for seed in 0..trials() {
+        let mut est = ExtremeValue::<u64>::known_n(phi, eps, delta, n, Tail::Low, seed);
+        est.extend(data.iter().copied());
+        match est.query() {
+            Some(ans) if rank_err(&data, ans, phi) <= eps => {}
+            _ => failures += 1,
+        }
+    }
+    let rate = failures as f64 / trials() as f64;
+    // Allow generous sampling slack on the rate estimate itself.
+    assert!(
+        rate <= delta + 0.1,
+        "extreme-value failure rate {rate} over {} trials (delta {delta})",
+        trials()
+    );
+}
+
+#[test]
+fn expected_rank_of_extreme_estimator_is_phi_n() {
+    // Section 7: "an estimator whose expected rank is phi*N". Average the
+    // observed rank over seeds and check it brackets phi*N.
+    let (phi, eps, delta) = (0.02, 0.01, 0.01);
+    let n = stream_len();
+    let data: Vec<u64> = (0..n).collect(); // value == rank - 1
+    let mut sum_rank = 0.0f64;
+    for seed in 0..trials() {
+        let mut est = ExtremeValue::<u64>::known_n(phi, eps, delta, n, Tail::Low, 1000 + seed);
+        est.extend(data.iter().copied());
+        let ans = est.query().expect("nonempty") as f64 + 1.0;
+        sum_rank += ans;
+    }
+    let mean_rank = sum_rank / trials() as f64;
+    let target = phi * n as f64;
+    assert!(
+        (mean_rank - target).abs() <= 0.6 * eps * n as f64,
+        "mean rank {mean_rank} vs expected {target}"
+    );
+}
+
+#[test]
+fn answers_at_many_prefixes_respect_epsilon_with_sorted_input() {
+    // The unknown-N guarantee holds at every prefix even on sorted input —
+    // the case plain reservoir sampling handles poorly when the sample is
+    // frozen early.
+    let (eps, delta) = (0.05, 0.05);
+    let config = mrl_analysis::optimizer::optimize_unknown_n_with(
+        eps,
+        delta,
+        OptimizerOptions::fast(),
+    );
+    let n = stream_len();
+    let mut failures = 0u64;
+    let mut total = 0u64;
+    for seed in 0..trials().min(10) {
+        let mut s = UnknownN::<u64>::from_config(config.clone(), 77 + seed);
+        for i in 0..n {
+            s.insert(i); // sorted ascending: value == rank - 1
+            if (i + 1) % (n / 5) == 0 {
+                let prefix = i + 1;
+                for phi in [0.25, 0.75] {
+                    total += 1;
+                    let ans = s.query(phi).unwrap() as f64;
+                    let target = phi * prefix as f64;
+                    if (ans - target).abs() > eps * prefix as f64 + 1.0 {
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+    let rate = failures as f64 / total as f64;
+    assert!(
+        rate <= delta + 0.05,
+        "prefix failure rate {rate} over {total} checks"
+    );
+}

@@ -1,0 +1,330 @@
+//! Value distributions and arrival orders.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How stream values are distributed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueDistribution {
+    /// Uniform integers in `[0, range)`.
+    Uniform {
+        /// Exclusive upper bound.
+        range: u64,
+    },
+    /// Rounded samples of a normal distribution (Box–Muller), shifted to be
+    /// non-negative: `max(0, mean + sigma·Z)`.
+    Normal {
+        /// Location.
+        mean: f64,
+        /// Scale.
+        sigma: f64,
+    },
+    /// Zipf-distributed ranks in `[1, n]` with exponent `s` (heavy head):
+    /// value `v` occurs with probability proportional to `v^{-s}`.
+    Zipf {
+        /// Number of distinct values.
+        n: u64,
+        /// Skew exponent (> 0).
+        s: f64,
+    },
+    /// Exponentially distributed values scaled by `scale` (heavy tail).
+    Exponential {
+        /// Scale (mean of the underlying exponential).
+        scale: f64,
+    },
+    /// Only `distinct` different values, uniformly likely (stress for
+    /// duplicate handling).
+    FewDistinct {
+        /// Number of distinct values.
+        distinct: u64,
+    },
+}
+
+impl ValueDistribution {
+    /// Build a sampler (pre-computes the Zipf CDF table when needed).
+    pub fn sampler(&self) -> Sampler {
+        let zipf_cdf = if let ValueDistribution::Zipf { n, s } = *self {
+            assert!(n >= 1, "zipf needs at least one value");
+            assert!(s > 0.0, "zipf exponent must be positive");
+            assert!(n <= 10_000_000, "zipf table capped at 10^7 distinct values");
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0f64;
+            for v in 1..=n {
+                acc += (v as f64).powf(-s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            Some(cdf)
+        } else {
+            None
+        };
+        Sampler {
+            dist: *self,
+            zipf_cdf,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ValueDistribution::Uniform { .. } => "uniform",
+            ValueDistribution::Normal { .. } => "normal",
+            ValueDistribution::Zipf { .. } => "zipf",
+            ValueDistribution::Exponential { .. } => "exponential",
+            ValueDistribution::FewDistinct { .. } => "few-distinct",
+        }
+    }
+}
+
+/// A ready-to-draw sampler for a [`ValueDistribution`].
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    dist: ValueDistribution,
+    zipf_cdf: Option<Vec<f64>>,
+}
+
+impl Sampler {
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self.dist {
+            ValueDistribution::Uniform { range } => rng.gen_range(0..range.max(1)),
+            ValueDistribution::Normal { mean, sigma } => {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mean + sigma * z).max(0.0).round() as u64
+            }
+            ValueDistribution::Zipf { .. } => {
+                // Exact inverse-CDF lookup on the pre-computed table.
+                let cdf = self.zipf_cdf.as_ref().expect("sampler built with table");
+                let u: f64 = rng.gen();
+                match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("CDF is NaN-free")) {
+                    Ok(i) | Err(i) => (i as u64 + 1).min(cdf.len() as u64),
+                }
+            }
+            ValueDistribution::Exponential { scale } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (-u.ln() * scale).round() as u64
+            }
+            ValueDistribution::FewDistinct { distinct } => rng.gen_range(0..distinct.max(1)),
+        }
+    }
+}
+
+/// The order in which generated values arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// As drawn (exchangeable).
+    Random,
+    /// Sorted ascending — the adversarial case for naive sampling.
+    SortedAscending,
+    /// Sorted descending.
+    SortedDescending,
+    /// First half ascending, second half descending ("organ pipe").
+    OrganPipe,
+}
+
+impl ArrivalOrder {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalOrder::Random => "random",
+            ArrivalOrder::SortedAscending => "sorted-asc",
+            ArrivalOrder::SortedDescending => "sorted-desc",
+            ArrivalOrder::OrganPipe => "organ-pipe",
+        }
+    }
+}
+
+/// A complete workload: distribution × arrival order × length × seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Value distribution.
+    pub values: ValueDistribution,
+    /// Arrival order.
+    pub order: ArrivalOrder,
+    /// Stream length.
+    pub n: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Materialise the workload (needed for non-random arrival orders and
+    /// for exact ground-truth computation).
+    pub fn generate(&self) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let sampler = self.values.sampler();
+        let mut data: Vec<u64> = (0..self.n).map(|_| sampler.sample(&mut rng)).collect();
+        match self.order {
+            ArrivalOrder::Random => {}
+            ArrivalOrder::SortedAscending => data.sort_unstable(),
+            ArrivalOrder::SortedDescending => {
+                data.sort_unstable();
+                data.reverse();
+            }
+            ArrivalOrder::OrganPipe => {
+                data.sort_unstable();
+                let mut pipe = Vec::with_capacity(data.len());
+                let mut tail = Vec::with_capacity(data.len() / 2);
+                for (i, v) in data.into_iter().enumerate() {
+                    if i % 2 == 0 {
+                        pipe.push(v);
+                    } else {
+                        tail.push(v);
+                    }
+                }
+                pipe.extend(tail.into_iter().rev());
+                data = pipe;
+            }
+        }
+        data
+    }
+
+    /// A descriptive label `distribution/order`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.values.label(), self.order.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = ValueDistribution::Uniform { range: 100 }.sampler();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) < 100);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centred() {
+        let d = ValueDistribution::Uniform { range: 1000 }.sampler();
+        let mut r = rng();
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut r) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 499.5).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_concentrates_around_mean() {
+        let d = ValueDistribution::Normal { mean: 500.0, sigma: 50.0 }.sampler();
+        let mut r = rng();
+        let xs: Vec<u64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+        let within_2sigma = xs.iter().filter(|&&x| (400..=600).contains(&x)).count();
+        assert!(within_2sigma as f64 / xs.len() as f64 > 0.93);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_in_range() {
+        let d = ValueDistribution::Zipf { n: 1000, s: 1.2 }.sampler();
+        let mut r = rng();
+        let xs: Vec<u64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| (1..=1000).contains(&x)));
+        let ones = xs.iter().filter(|&&x| x == 1).count() as f64 / xs.len() as f64;
+        assert!(ones > 0.2, "P[X=1] = {ones} not head-heavy");
+    }
+
+    #[test]
+    fn exponential_has_heavy_tail() {
+        let d = ValueDistribution::Exponential { scale: 100.0 }.sampler();
+        let mut r = rng();
+        let xs: Vec<u64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+        assert!((mean - 100.0).abs() < 10.0, "mean {mean}");
+        assert!(xs.iter().any(|&x| x > 400), "no tail values");
+    }
+
+    #[test]
+    fn few_distinct_has_exactly_that_many() {
+        let d = ValueDistribution::FewDistinct { distinct: 5 }.sampler();
+        let mut r = rng();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1_000 {
+            seen.insert(d.sample(&mut r));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let w = Workload {
+            values: ValueDistribution::Uniform { range: 1000 },
+            order: ArrivalOrder::Random,
+            n: 1000,
+            seed: 7,
+        };
+        assert_eq!(w.generate(), w.generate());
+    }
+
+    #[test]
+    fn arrival_orders_permute_the_same_multiset() {
+        let mk = |order| Workload {
+            values: ValueDistribution::Uniform { range: 100 },
+            order,
+            n: 2_000,
+            seed: 11,
+        };
+        let mut base = mk(ArrivalOrder::Random).generate();
+        base.sort_unstable();
+        for order in [
+            ArrivalOrder::SortedAscending,
+            ArrivalOrder::SortedDescending,
+            ArrivalOrder::OrganPipe,
+        ] {
+            let mut v = mk(order).generate();
+            v.sort_unstable();
+            assert_eq!(v, base, "{order:?} changed the multiset");
+        }
+    }
+
+    #[test]
+    fn sorted_orders_are_sorted() {
+        let asc = Workload {
+            values: ValueDistribution::Uniform { range: 100 },
+            order: ArrivalOrder::SortedAscending,
+            n: 500,
+            seed: 1,
+        }
+        .generate();
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let desc = Workload {
+            values: ValueDistribution::Uniform { range: 100 },
+            order: ArrivalOrder::SortedDescending,
+            n: 500,
+            seed: 1,
+        }
+        .generate();
+        assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn organ_pipe_rises_then_falls() {
+        let pipe = Workload {
+            values: ValueDistribution::Uniform { range: 10_000 },
+            order: ArrivalOrder::OrganPipe,
+            n: 1_000,
+            seed: 3,
+        }
+        .generate();
+        let peak = pipe
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(peak > 300 && peak < 700, "peak at {peak}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic workload generators for quantile evaluation.
+//!
+//! The paper's §1.3 requires that "the efficiency and the correctness of
+//! the algorithm should be data independent. It should not be influenced by
+//! the arrival distribution or the value distribution of the input." The
+//! accuracy experiments therefore sweep both axes:
+//!
+//! * **value distributions** — uniform, normal, zipfian, exponential,
+//!   few-distinct ([`ValueDistribution`]);
+//! * **arrival orders** — random, sorted ascending/descending, organ-pipe
+//!   ([`ArrivalOrder`]);
+//!
+//! plus a synthetic "quarterly sales" workload ([`sales_stream`]) standing
+//! in for the paper's motivating business-intelligence examples (§1.1):
+//! skewed revenue values whose extreme quantiles characterise outliers.
+//!
+//! Generators are deterministic given a seed and stream as iterators so
+//! arbitrarily long inputs never need materialising.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod distributions;
+mod sales;
+mod stream;
+
+pub use distributions::{ArrivalOrder, Sampler, ValueDistribution, Workload};
+pub use sales::{sales_stream, SaleRecord};
+pub use stream::{DriftingStream, WorkloadStream};

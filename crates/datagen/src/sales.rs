@@ -1,0 +1,88 @@
+//! The "quarterly sales table" workload of §1.1.
+//!
+//! The paper motivates extreme quantiles with business data: "the 95th
+//! quantile in a quarterly sales table for all franchises of a company".
+//! This generator emulates such a table: per-franchise revenue records with
+//! log-normally distributed amounts (the classic shape of transaction
+//! sizes: many small sales, a long right tail of large ones).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of the synthetic sales table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaleRecord {
+    /// Franchise identifier in `[0, franchises)`.
+    pub franchise: u32,
+    /// Sale amount in cents.
+    pub amount_cents: u64,
+}
+
+/// A seeded iterator of [`SaleRecord`]s across `franchises` outlets.
+///
+/// Amounts are log-normal with location `mu` and scale `sigma` (natural-log
+/// parameters), in cents. With the defaults used by the examples
+/// (`mu = ln(50_00)`, `sigma = 1.0`) the median sale is ~$50 while the top
+/// 1% exceeds ~$500 — a realistic right-skew for the paper's outlier
+/// discussion.
+pub fn sales_stream(
+    franchises: u32,
+    mu: f64,
+    sigma: f64,
+    seed: u64,
+) -> impl Iterator<Item = SaleRecord> {
+    assert!(franchises >= 1, "need at least one franchise");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    std::iter::from_fn(move || {
+        let franchise = rng.gen_range(0..franchises);
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let amount_cents = (mu + sigma * z).exp().round().max(1.0) as u64;
+        Some(SaleRecord {
+            franchise,
+            amount_cents,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amounts_are_right_skewed() {
+        let sales: Vec<u64> = sales_stream(100, (50_00f64).ln(), 1.0, 42)
+            .take(50_000)
+            .map(|s| s.amount_cents)
+            .collect();
+        let mut sorted = sales.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let p99 = sorted[(sorted.len() as f64 * 0.99) as usize];
+        // Median around $50 (log-normal median = e^mu).
+        assert!((40_00..60_00).contains(&median), "median {median}");
+        // Heavy right tail: p99 is many times the median.
+        assert!(p99 > 5 * median, "p99 {p99} vs median {median}");
+        let mean = sales.iter().sum::<u64>() as f64 / sales.len() as f64;
+        assert!(mean > median as f64, "log-normal mean must exceed median");
+    }
+
+    #[test]
+    fn franchises_are_covered() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in sales_stream(10, 5.0, 0.5, 7).take(1_000) {
+            assert!(s.franchise < 10);
+            seen.insert(s.franchise);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let a: Vec<SaleRecord> = sales_stream(5, 6.0, 1.0, 9).take(100).collect();
+        let b: Vec<SaleRecord> = sales_stream(5, 6.0, 1.0, 9).take(100).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,156 @@
+//! Streaming (non-materialised) workload generation.
+//!
+//! For throughput benches and very long inputs, the values are drawn on the
+//! fly: an iterator that never allocates the stream. Only the `Random`
+//! arrival order can be streamed (global sorts need materialisation — use
+//! [`crate::Workload::generate`] for those).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::distributions::{Sampler, ValueDistribution};
+
+/// An infinite, seeded iterator of values from a distribution.
+#[derive(Clone, Debug)]
+pub struct WorkloadStream {
+    sampler: Sampler,
+    rng: SmallRng,
+    produced: u64,
+}
+
+impl WorkloadStream {
+    /// Create a stream of `dist` values from `seed`.
+    pub fn new(dist: ValueDistribution, seed: u64) -> Self {
+        Self {
+            sampler: dist.sampler(),
+            rng: SmallRng::seed_from_u64(seed),
+            produced: 0,
+        }
+    }
+
+    /// Values produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.produced += 1;
+        Some(self.sampler.sample(&mut self.rng))
+    }
+}
+
+/// A stream whose value distribution *drifts* over time: normal values
+/// whose mean moves linearly from `start_mean` to `end_mean` across
+/// `horizon` elements (and stays at `end_mean` after).
+///
+/// Drift is the adversarial case for any sketch that freezes a uniform
+/// sample early: old samples describe a distribution that no longer
+/// exists. The unknown-`N` algorithm's at-every-prefix guarantee is about
+/// the *multiset seen so far*, which remains exact under drift — the
+/// `prefix_validity` experiment demonstrates this.
+#[derive(Clone, Debug)]
+pub struct DriftingStream {
+    start_mean: f64,
+    end_mean: f64,
+    sigma: f64,
+    horizon: u64,
+    produced: u64,
+    rng: SmallRng,
+}
+
+impl DriftingStream {
+    /// Create a drifting stream.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or `horizon == 0`.
+    pub fn new(start_mean: f64, end_mean: f64, sigma: f64, horizon: u64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(horizon > 0, "horizon must be positive");
+        Self {
+            start_mean,
+            end_mean,
+            sigma,
+            horizon,
+            produced: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current mean (where the drift has reached).
+    pub fn current_mean(&self) -> f64 {
+        let t = (self.produced as f64 / self.horizon as f64).min(1.0);
+        self.start_mean + t * (self.end_mean - self.start_mean)
+    }
+}
+
+impl Iterator for DriftingStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        use rand::Rng;
+        let mean = self.current_mean();
+        self.produced += 1;
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        Some((mean + self.sigma * z).max(0.0).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrivalOrder, Workload};
+
+    #[test]
+    fn stream_matches_materialised_workload() {
+        let dist = ValueDistribution::Uniform { range: 12345 };
+        let streamed: Vec<u64> = WorkloadStream::new(dist, 77).take(500).collect();
+        let materialised = Workload {
+            values: dist,
+            order: ArrivalOrder::Random,
+            n: 500,
+            seed: 77,
+        }
+        .generate();
+        assert_eq!(streamed, materialised);
+    }
+
+    #[test]
+    fn stream_is_unbounded() {
+        let mut s = WorkloadStream::new(ValueDistribution::FewDistinct { distinct: 3 }, 5);
+        for _ in 0..100_000 {
+            assert!(s.next().is_some());
+        }
+        assert_eq!(s.produced(), 100_000);
+    }
+
+    #[test]
+    fn drift_moves_the_mean() {
+        let mut s = DriftingStream::new(1_000.0, 9_000.0, 100.0, 50_000, 3);
+        let early: Vec<u64> = s.by_ref().take(5_000).collect();
+        let _skip: Vec<u64> = s.by_ref().take(40_000).collect();
+        let late: Vec<u64> = s.by_ref().take(5_000).collect();
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(mean(&early) < 2_500.0, "early mean {}", mean(&early));
+        assert!(mean(&late) > 7_500.0, "late mean {}", mean(&late));
+    }
+
+    #[test]
+    fn drift_saturates_at_end_mean() {
+        let mut s = DriftingStream::new(0.0, 100.0, 0.0, 10, 1);
+        let _burn: Vec<u64> = s.by_ref().take(100).collect();
+        assert!((s.current_mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_reproducible() {
+        let a: Vec<u64> = DriftingStream::new(5.0, 10.0, 1.0, 100, 9).take(50).collect();
+        let b: Vec<u64> = DriftingStream::new(5.0, 10.0, 1.0, 100, 9).take(50).collect();
+        assert_eq!(a, b);
+    }
+}

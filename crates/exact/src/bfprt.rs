@@ -1,0 +1,117 @@
+//! Blum–Floyd–Pratt–Rivest–Tarjan selection (median of medians).
+//!
+//! The celebrated [BFP+73] algorithm the paper cites (§2): worst-case
+//! linear-time exact selection via recursive median-of-medians pivoting
+//! with groups of five.
+
+/// Select the 1-indexed rank `r` element of `data` in worst-case linear
+/// time (consumed and permuted).
+///
+/// # Panics
+/// Panics if `r ∉ [1, data.len()]`.
+pub fn bfprt_select<T: Ord + Clone>(mut data: Vec<T>, r: usize) -> T {
+    assert!(r >= 1 && r <= data.len(), "rank out of range");
+    let len = data.len();
+    select_in(&mut data, 0, len, r - 1)
+}
+
+/// Selection within `data[lo..hi]` for 0-indexed global `target`.
+fn select_in<T: Ord + Clone>(data: &mut [T], mut lo: usize, mut hi: usize, target: usize) -> T {
+    loop {
+        debug_assert!(lo <= target && target < hi);
+        if hi - lo <= 10 {
+            data[lo..hi].sort_unstable();
+            return data[target].clone();
+        }
+        let pivot = median_of_medians(data, lo, hi);
+        // Three-way partition around `pivot`.
+        let (lt, eq_hi) = partition3(data, lo, hi, &pivot);
+        if target < lt {
+            hi = lt;
+        } else if target < eq_hi {
+            return pivot;
+        } else {
+            lo = eq_hi;
+        }
+    }
+}
+
+/// The classic groups-of-five pivot: median of the ⌈n/5⌉ group medians.
+fn median_of_medians<T: Ord + Clone>(data: &mut [T], lo: usize, hi: usize) -> T {
+    let mut medians: Vec<T> = Vec::with_capacity((hi - lo).div_ceil(5));
+    let mut i = lo;
+    while i < hi {
+        let end = (i + 5).min(hi);
+        data[i..end].sort_unstable();
+        medians.push(data[i + (end - i - 1) / 2].clone());
+        i = end;
+    }
+    let mid = (medians.len() - 1) / 2;
+    let len = medians.len();
+    select_in(&mut medians, 0, len, mid)
+}
+
+/// Dutch-flag partition of `data[lo..hi]` around `pivot`; returns
+/// `(lt, eq_hi)`: `[lo, lt)` < pivot, `[lt, eq_hi)` == pivot, `[eq_hi, hi)`
+/// > pivot.
+fn partition3<T: Ord>(data: &mut [T], lo: usize, hi: usize, pivot: &T) -> (usize, usize) {
+    let mut lt = lo;
+    let mut i = lo;
+    let mut gt = hi;
+    while i < gt {
+        if data[i] < *pivot {
+            data.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if data[i] > *pivot {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_ranks(data: Vec<u32>) {
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for r in 1..=data.len() {
+            assert_eq!(bfprt_select(data.clone(), r), sorted[r - 1], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn selects_every_rank_small() {
+        check_all_ranks(vec![5, 3, 9, 1, 7]);
+        check_all_ranks((0..67).map(|i| (i * 29) % 31).collect());
+    }
+
+    #[test]
+    fn duplicates_and_sorted_inputs() {
+        check_all_ranks(vec![7; 23]);
+        check_all_ranks((0..40).collect());
+        check_all_ranks((0..40).rev().collect());
+    }
+
+    #[test]
+    fn adversarial_organ_pipe() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.extend((0..50).rev());
+        check_all_ranks(v);
+    }
+
+    #[test]
+    fn large_matches_sort() {
+        let data: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(2654435761) % 65_536).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for r in [1, 123, 10_000, 19_999, 20_000] {
+            assert_eq!(bfprt_select(data.clone(), r), sorted[r - 1]);
+        }
+    }
+}

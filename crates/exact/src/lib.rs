@@ -1,0 +1,24 @@
+//! Exact selection baselines and rank utilities.
+//!
+//! The paper's antecedents (§2) are exact selection algorithms: the
+//! Blum–Floyd–Pratt–Rivest–Tarjan median-of-medians algorithm ([BFP+73],
+//! ≤ 5.43·N comparisons), randomized quickselect, and the multi-pass
+//! selection of Munro and Paterson ([MP80], `Θ(N^{1/p})` memory for `p`
+//! passes). This crate implements them as evaluation ground truth and as
+//! baselines for the benchmark harness, plus the rank utilities the
+//! accuracy experiments use to score approximate answers.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bfprt;
+mod multipass;
+mod quickselect;
+mod rank;
+mod twopass;
+
+pub use bfprt::bfprt_select;
+pub use multipass::multi_pass_select;
+pub use quickselect::quickselect;
+pub use rank::{exact_quantile, rank_error, rank_interval, sort_select};
+pub use twopass::two_pass_select;

@@ -1,0 +1,172 @@
+//! Multi-pass exact selection ([MP80]).
+//!
+//! Munro and Paterson: `Θ(N^{1/p})` memory is necessary and sufficient to
+//! select exactly in `p` passes. The randomized realisation here
+//! generalises the two-pass scheme: each of the first `p − 1` passes
+//! reservoir-samples *within the current bracket* and narrows the bracket
+//! around the target rank; the final pass collects the bracket and reads
+//! the answer off. Expected working memory per pass is
+//! `O(N^{1/p} · polylog)`; a missed bracket (rare) widens the margin and
+//! retries the narrowing pass.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact selection of the 1-indexed rank `r` over re-iterable data in
+/// `passes ≥ 2` passes (plus one initial counting pass).
+///
+/// # Panics
+/// Panics if the data is empty, `r ∉ [1, N]`, or `passes < 2`.
+pub fn multi_pass_select<T, F, I>(make_iter: F, r: u64, passes: u32, seed: u64) -> T
+where
+    T: Ord + Clone,
+    F: Fn() -> I,
+    I: Iterator<Item = T>,
+{
+    assert!(passes >= 2, "multi-pass selection needs at least two passes");
+    let n = make_iter().count() as u64;
+    assert!(n > 0, "selection over empty data");
+    assert!(r >= 1 && r <= n, "rank out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Per-pass sample size ~ N^(1/p), floored for tiny inputs.
+    let s = ((n as f64).powf(1.0 / f64::from(passes)).ceil() as u64).max(32);
+
+    // Current bracket (lo, hi): target is the rank-r element, known to be
+    // > lo (when Some) and <= hi (when Some). `below_lo` counts elements
+    // <= lo seen by a full scan.
+    let mut lo: Option<T> = None;
+    let mut hi: Option<T> = None;
+    let mut margin_mult = 4.0f64;
+
+    let mut pass = 1u32;
+    while pass < passes {
+        // Scan: count below/inside, reservoir-sample inside.
+        let mut below_lo = 0u64;
+        let mut inside_count = 0u64;
+        let mut sample: Vec<T> = Vec::with_capacity(s as usize);
+        for item in make_iter() {
+            let under = lo.as_ref().is_some_and(|l| item <= *l);
+            let over = hi.as_ref().is_some_and(|h| item > *h);
+            if under {
+                below_lo += 1;
+            } else if !over {
+                inside_count += 1;
+                let i = inside_count - 1;
+                if i < s {
+                    sample.push(item);
+                } else {
+                    let j = rng.gen_range(0..=i);
+                    if j < s {
+                        sample[j as usize] = item;
+                    }
+                }
+            }
+        }
+        if r <= below_lo || r > below_lo + inside_count {
+            // Bracket missed the target: widen and retry this pass.
+            margin_mult *= 2.0;
+            lo = None;
+            hi = None;
+            if margin_mult > n as f64 {
+                break; // degenerate; fall through to full collection
+            }
+            continue;
+        }
+        sample.sort_unstable();
+        let s_actual = sample.len() as f64;
+        let frac = (r - below_lo) as f64 / inside_count.max(1) as f64;
+        let center = frac * s_actual;
+        let margin = margin_mult * s_actual.sqrt();
+        let lo_idx = (center - margin).floor().max(0.0) as usize;
+        let hi_idx = ((center + margin).ceil() as usize).min(sample.len().saturating_sub(1));
+        let new_lo = if lo_idx == 0 { lo.clone() } else { Some(sample[lo_idx].clone()) };
+        let new_hi = if hi_idx + 1 >= sample.len() {
+            hi.clone()
+        } else {
+            Some(sample[hi_idx].clone())
+        };
+        lo = new_lo;
+        hi = new_hi;
+        pass += 1;
+    }
+
+    // Final pass: collect the bracket and select exactly; on overflow or
+    // miss, fall back to a full sort (never reached for sane data).
+    let mut below_lo = 0u64;
+    let mut inside: Vec<T> = Vec::new();
+    let cap = (64.0 * s as f64 * margin_mult) as usize + 1024;
+    let mut overflow = false;
+    for item in make_iter() {
+        let under = lo.as_ref().is_some_and(|l| item <= *l);
+        let over = hi.as_ref().is_some_and(|h| item > *h);
+        if under {
+            below_lo += 1;
+        } else if !over {
+            inside.push(item);
+            if inside.len() > cap {
+                overflow = true;
+                break;
+            }
+        }
+    }
+    if !overflow && r > below_lo && (r - below_lo) as usize <= inside.len() {
+        inside.sort_unstable();
+        return inside[(r - below_lo - 1) as usize].clone();
+    }
+    let mut all: Vec<T> = make_iter().collect();
+    all.sort_unstable();
+    all[(r - 1) as usize].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_passes_match_sort_select() {
+        let data: Vec<u64> = (0..60_000u64).map(|i| (i * 2654435761) % 999_983).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for &r in &[1u64, 1_234, 30_000, 59_999, 60_000] {
+            let got = multi_pass_select(|| data.iter().copied(), r, 3, 7);
+            assert_eq!(got, sorted[(r - 1) as usize], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn more_passes_same_answers() {
+        let data: Vec<u32> = (0..20_000).map(|i| (i * 37) % 4_099).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for passes in [2u32, 3, 4, 5] {
+            let got = multi_pass_select(|| data.iter().copied(), 10_000, passes, 3);
+            assert_eq!(got, sorted[9_999], "passes = {passes}");
+        }
+    }
+
+    #[test]
+    fn duplicates_everywhere() {
+        let data: Vec<u32> = (0..10_000).map(|i| i % 5).collect();
+        for r in [1u64, 5_000, 10_000] {
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                multi_pass_select(|| data.iter().copied(), r, 3, 1),
+                sorted[(r - 1) as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_input_falls_back_gracefully() {
+        let data = [3u32, 1, 2];
+        assert_eq!(multi_pass_select(|| data.iter().copied(), 2, 4, 1), 2);
+    }
+
+    #[test]
+    fn sorted_input() {
+        let data: Vec<u64> = (0..50_000).collect();
+        assert_eq!(multi_pass_select(|| data.iter().copied(), 25_000, 3, 9), 24_999);
+    }
+}

@@ -1,0 +1,107 @@
+//! Randomized quickselect (Hoare's FIND): expected `O(N)` comparisons.
+//!
+//! §2's "folklore" observation is that randomization beats Yao's `Ω(N)`
+//! deterministic lower bound for approximation; quickselect is the simplest
+//! randomized exact selector and serves as the fast in-memory baseline in
+//! the benches.
+
+use rand::Rng;
+
+/// Select the 1-indexed rank `r` element of `data` (consumed and permuted).
+///
+/// Expected linear time; worst case quadratic (see [`crate::bfprt_select`]
+/// for a worst-case linear alternative).
+///
+/// # Panics
+/// Panics if `r ∉ [1, data.len()]`.
+pub fn quickselect<T: Ord + Clone, R: Rng>(mut data: Vec<T>, r: usize, rng: &mut R) -> T {
+    assert!(r >= 1 && r <= data.len(), "rank out of range");
+    let target = r - 1; // 0-indexed
+    let mut lo = 0usize;
+    let mut hi = data.len(); // exclusive
+    loop {
+        if hi - lo == 1 {
+            return data[lo].clone();
+        }
+        let pivot_idx = rng.gen_range(lo..hi);
+        data.swap(pivot_idx, hi - 1);
+        // Three-way partition around the pivot to handle duplicates.
+        let pivot = data[hi - 1].clone();
+        let mut lt = lo; // end of < region
+        let mut i = lo;
+        let mut gt = hi - 1; // start of > region
+        while i < gt {
+            if data[i] < pivot {
+                data.swap(i, lt);
+                lt += 1;
+                i += 1;
+            } else if data[i] > pivot {
+                gt -= 1;
+                data.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        data.swap(gt, hi - 1); // move pivot into the == region
+        let eq_hi = {
+            // == region is [lt, gt]; everything in it equals pivot.
+            gt + 1
+        };
+        if target < lt {
+            hi = lt;
+        } else if target < eq_hi {
+            return pivot;
+        } else {
+            lo = eq_hi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check_all_ranks(data: Vec<u32>) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for r in 1..=data.len() {
+            assert_eq!(
+                quickselect(data.clone(), r, &mut rng),
+                sorted[r - 1],
+                "rank {r} of {data:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn selects_every_rank() {
+        check_all_ranks(vec![5, 3, 9, 1, 7]);
+        check_all_ranks((0..50).map(|i| (i * 17) % 23).collect());
+    }
+
+    #[test]
+    fn handles_heavy_duplicates() {
+        check_all_ranks(vec![4; 20]);
+        check_all_ranks(vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn singleton() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(quickselect(vec![42u32], 1, &mut rng), 42);
+    }
+
+    #[test]
+    fn large_random_matches_sort() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for r in [1, 17, 5_000, 9_999, 10_000] {
+            assert_eq!(quickselect(data.clone(), r, &mut rng), sorted[r - 1]);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Rank utilities: exact quantiles by sorting, rank intervals, and the
+//! rank-error metric used throughout the evaluation.
+//!
+//! Following §1, the φ-quantile of a sequence of length `N` is the element
+//! at position `⌈φ·N⌉` of the sorted sequence, and an ε-approximate
+//! φ-quantile is any *element of the sequence* whose rank lies within
+//! `[(φ−ε)·N, (φ+ε)·N]`.
+
+/// Exact φ-quantile by sorting a copy: the element at 1-indexed position
+/// `⌈φ·N⌉` (clamped to `[1, N]`) of the sorted data.
+///
+/// # Panics
+/// Panics on empty data or `φ ∉ [0, 1]`.
+pub fn exact_quantile<T: Ord + Clone>(data: &[T], phi: f64) -> T {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&phi), "phi must lie in [0, 1]");
+    let mut sorted: Vec<T> = data.to_vec();
+    sorted.sort_unstable();
+    let pos = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[pos - 1].clone()
+}
+
+/// Exact selection of the 1-indexed rank `r` element by sorting.
+///
+/// # Panics
+/// Panics if `r` is out of `[1, N]`.
+pub fn sort_select<T: Ord + Clone>(data: &[T], r: usize) -> T {
+    assert!(r >= 1 && r <= data.len(), "rank out of range");
+    let mut sorted: Vec<T> = data.to_vec();
+    sorted.sort_unstable();
+    sorted[r - 1].clone()
+}
+
+/// The 1-indexed rank interval `[lo, hi]` that `value` occupies in the
+/// sorted order of `data`: `lo` = 1 + #elements strictly below, `hi` =
+/// #elements ≤ `value`. If `value` does not occur, `lo > hi` and the
+/// interval is the empty gap where it would sit.
+pub fn rank_interval<T: Ord>(data: &[T], value: &T) -> (u64, u64) {
+    let below = data.iter().filter(|v| *v < value).count() as u64;
+    let at_most = data.iter().filter(|v| *v <= value).count() as u64;
+    (below + 1, at_most)
+}
+
+/// Normalised rank error of an approximate φ-quantile: the distance (in
+/// ranks, divided by `N`) from the target position `⌈φ·N⌉` to the nearest
+/// rank `value` occupies. Zero when the value's rank interval covers the
+/// target.
+pub fn rank_error<T: Ord>(data: &[T], value: &T, phi: f64) -> f64 {
+    assert!(!data.is_empty(), "rank error on empty data");
+    let n = data.len() as u64;
+    let pos = ((phi * n as f64).ceil() as u64).clamp(1, n);
+    let (lo, hi) = rank_interval(data, value);
+    let dist = if hi < lo {
+        // Value absent: its gap position is [lo-1, lo]; distance to pos.
+        if pos < lo {
+            lo - 1 - pos.min(lo - 1)
+        } else {
+            pos - (lo - 1).min(pos)
+        }
+    } else if pos < lo {
+        lo - pos
+    } else { pos.saturating_sub(hi) };
+    dist as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantile_positions() {
+        let data = [50u32, 10, 40, 20, 30];
+        assert_eq!(exact_quantile(&data, 0.0), 10);
+        assert_eq!(exact_quantile(&data, 0.2), 10);
+        assert_eq!(exact_quantile(&data, 0.21), 20);
+        assert_eq!(exact_quantile(&data, 0.5), 30);
+        assert_eq!(exact_quantile(&data, 1.0), 50);
+    }
+
+    #[test]
+    fn rank_interval_with_duplicates() {
+        let data = [1u32, 2, 2, 2, 3];
+        assert_eq!(rank_interval(&data, &2), (2, 4));
+        assert_eq!(rank_interval(&data, &1), (1, 1));
+        assert_eq!(rank_interval(&data, &3), (5, 5));
+    }
+
+    #[test]
+    fn rank_interval_of_absent_value() {
+        let data = [10u32, 20, 30];
+        let (lo, hi) = rank_interval(&data, &25);
+        assert!(hi < lo);
+        assert_eq!(lo, 3); // two elements below it
+    }
+
+    #[test]
+    fn rank_error_zero_within_interval() {
+        let data = [1u32, 2, 2, 2, 3];
+        // Median position 3 is a 2.
+        assert_eq!(rank_error(&data, &2, 0.5), 0.0);
+    }
+
+    #[test]
+    fn rank_error_counts_distance() {
+        let data: Vec<u32> = (1..=100).collect();
+        // Value 60 at phi=0.5: target rank 50, value rank 60 -> 10/100.
+        assert!((rank_error(&data, &60, 0.5) - 0.10).abs() < 1e-12);
+        assert!((rank_error(&data, &40, 0.5) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_select_matches_quantile() {
+        let data: Vec<u32> = (0..57).map(|i| (i * 37) % 101).collect();
+        for r in [1, 5, 28, 57] {
+            let v = sort_select(&data, r);
+            let mut s = data.clone();
+            s.sort_unstable();
+            assert_eq!(v, s[r - 1]);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Two-pass exact selection in sublinear memory (Munro–Paterson style).
+//!
+//! [MP80] shows `Θ(N^{1/p})` memory is necessary and sufficient for exact
+//! selection in `p` passes. This module implements the classic randomized
+//! two-pass scheme over re-iterable (e.g. disk-resident) data:
+//!
+//! 1. **Pass 1** draws a uniform sample of size `s` and brackets the target
+//!    rank between two sample order statistics with a safety margin of
+//!    `O(N/√s)` ranks (a Hoeffding bound puts the true element inside the
+//!    bracket with high probability).
+//! 2. **Pass 2** counts elements below the bracket and collects the
+//!    elements inside it; the answer is read off the collected slice.
+//!
+//! If the bracket misses (rare) or overflows memory, the margin is widened
+//! and the procedure retried — matching the expected-two-passes behaviour.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact selection of the 1-indexed rank `r` over re-iterable data using
+/// `O(√N·polylog)` working memory in expectation.
+///
+/// `make_iter` must yield the same multiset on every call (two or more
+/// passes are made).
+///
+/// # Panics
+/// Panics if the data is empty or `r ∉ [1, N]`.
+pub fn two_pass_select<T, F, I>(make_iter: F, r: u64, seed: u64) -> T
+where
+    T: Ord + Clone,
+    F: Fn() -> I,
+    I: Iterator<Item = T>,
+{
+    let n = make_iter().count() as u64;
+    assert!(n > 0, "selection over empty data");
+    assert!(r >= 1 && r <= n, "rank out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Sample size ~ sqrt(N) keeps both the sample and the pass-2 bracket
+    // at ~sqrt(N) expected size.
+    let s = ((n as f64).sqrt().ceil() as u64).max(16).min(n);
+    let mut margin_mult = 4.0f64;
+
+    loop {
+        // Pass 1: uniform sample by reservoir.
+        let mut sample: Vec<T> = Vec::with_capacity(s as usize);
+        for (i, item) in make_iter().enumerate() {
+            let i = i as u64;
+            if i < s {
+                sample.push(item);
+            } else {
+                let j = rng.gen_range(0..=i);
+                if j < s {
+                    sample[j as usize] = item;
+                }
+            }
+        }
+        sample.sort_unstable();
+        let s_actual = sample.len() as f64;
+        // Sample position corresponding to rank r, with margin.
+        let margin = margin_mult * s_actual.sqrt();
+        let center = r as f64 / n as f64 * s_actual;
+        let lo_idx = (center - margin).floor().max(0.0) as usize;
+        let hi_idx = ((center + margin).ceil() as usize).min(sample.len() - 1);
+        let lo_bracket = if lo_idx == 0 { None } else { Some(sample[lo_idx].clone()) };
+        let hi_bracket = if hi_idx + 1 >= sample.len() {
+            None
+        } else {
+            Some(sample[hi_idx].clone())
+        };
+
+        // Pass 2: count below the bracket, collect inside it.
+        let mut below = 0u64;
+        let mut inside: Vec<T> = Vec::new();
+        let cap = (16.0 * margin / s_actual * n as f64 + 64.0) as usize;
+        let mut overflowed = false;
+        for item in make_iter() {
+            let under_lo = lo_bracket.as_ref().is_some_and(|lo| item < *lo);
+            let over_hi = hi_bracket.as_ref().is_some_and(|hi| item > *hi);
+            if under_lo {
+                below += 1;
+            } else if !over_hi {
+                inside.push(item);
+                if inside.len() > cap {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        if !overflowed && r > below && (r - below) as usize <= inside.len() {
+            inside.sort_unstable();
+            return inside[(r - below - 1) as usize].clone();
+        }
+        // Bracket missed or overflowed: widen and retry.
+        margin_mult *= 2.0;
+        if margin_mult > s_actual {
+            // Degenerate fallback: full sort (never reached for sane data).
+            let mut all: Vec<T> = make_iter().collect();
+            all.sort_unstable();
+            return all[(r - 1) as usize].clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sort_select_on_random_data() {
+        let data: Vec<u64> = (0..40_000u64).map(|i| (i * 2654435761) % 999_983).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for &r in &[1u64, 777, 20_000, 39_999, 40_000] {
+            let got = two_pass_select(|| data.iter().copied(), r, 42);
+            assert_eq!(got, sorted[(r - 1) as usize], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let data: Vec<u32> = (0..5_000).map(|i| i % 7).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for &r in &[1u64, 2_500, 5_000] {
+            assert_eq!(
+                two_pass_select(|| data.iter().copied(), r, 7),
+                sorted[(r - 1) as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let data = [9u32, 1, 5];
+        assert_eq!(two_pass_select(|| data.iter().copied(), 1, 1), 1);
+        assert_eq!(two_pass_select(|| data.iter().copied(), 2, 1), 5);
+        assert_eq!(two_pass_select(|| data.iter().copied(), 3, 1), 9);
+    }
+
+    #[test]
+    fn sorted_and_reversed_inputs() {
+        let asc: Vec<u32> = (0..10_000).collect();
+        let desc: Vec<u32> = (0..10_000).rev().collect();
+        assert_eq!(two_pass_select(|| asc.iter().copied(), 5_000, 3), 4_999);
+        assert_eq!(two_pass_select(|| desc.iter().copied(), 5_000, 3), 4_999);
+    }
+}

@@ -1,0 +1,201 @@
+//! Buffers: the unit of storage in the MRL framework.
+//!
+//! The algorithm manages `b` buffers, each able to hold `k` elements.
+//! Buffers are always labelled *empty*, *partial* or *full* (§3), carry a
+//! positive integer weight, and — once populated — an integer *level*
+//! recording their position in the collapse tree (§3.5–3.6).
+
+/// Lifecycle label of a buffer (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferState {
+    /// Holds no elements and may be given to `New`.
+    Empty,
+    /// Holds exactly `k` elements; eligible for `Collapse`.
+    Full,
+    /// Holds fewer than `k` elements because the stream ran dry mid-`New`.
+    /// Participates only in `Output`.
+    Partial,
+}
+
+/// A weighted, levelled buffer of sorted elements.
+///
+/// Invariant: when the state is `Full` or `Partial`, `data` is sorted in
+/// non-decreasing order. Every element logically stands for `weight`
+/// consecutive input elements.
+#[derive(Clone, Debug)]
+pub struct Buffer<T> {
+    data: Vec<T>,
+    weight: u64,
+    level: u32,
+    state: BufferState,
+}
+
+impl<T: Ord> Buffer<T> {
+    /// A fresh empty buffer with storage reserved for `k` elements.
+    pub fn empty(k: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(k),
+            weight: 0,
+            level: 0,
+            state: BufferState::Empty,
+        }
+    }
+
+    /// Populate this buffer with `data` (sorted internally), `weight` and
+    /// `level`, marking it `Full` if `data.len() == k` and `Partial`
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty, `data` is empty, `data` exceeds
+    /// `k`, or `weight == 0`.
+    pub fn populate(&mut self, mut data: Vec<T>, weight: u64, level: u32, k: usize) {
+        assert_eq!(self.state, BufferState::Empty, "populate requires an empty buffer");
+        assert!(!data.is_empty(), "cannot populate a buffer with no elements");
+        assert!(data.len() <= k, "buffer over capacity");
+        assert!(weight > 0, "buffer weight must be positive");
+        data.sort_unstable();
+        self.state = if data.len() == k {
+            BufferState::Full
+        } else {
+            BufferState::Partial
+        };
+        self.data = data;
+        self.weight = weight;
+        self.level = level;
+    }
+
+    /// Return the buffer to the `Empty` state, retaining its allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.weight = 0;
+        self.level = 0;
+        self.state = BufferState::Empty;
+    }
+}
+
+impl<T> Buffer<T> {
+    /// The sorted contents.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Number of elements currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The buffer weight `w(X)`: how many input elements each stored element
+    /// represents.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// The buffer's level in the collapse tree.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Raise the level (used by collapse policies that promote a lone
+    /// lowest-level buffer, §3.6).
+    ///
+    /// # Panics
+    /// Panics if `level` would decrease.
+    pub fn promote(&mut self, level: u32) {
+        assert!(level >= self.level, "buffer levels never decrease");
+        self.level = level;
+    }
+
+    /// The lifecycle state.
+    pub fn state(&self) -> BufferState {
+        self.state
+    }
+
+    /// The weighted mass of the buffer: `len · weight`.
+    pub fn mass(&self) -> u64 {
+        self.data.len() as u64 * self.weight
+    }
+
+    /// Snapshot of the scheduling-relevant metadata.
+    pub fn meta(&self, index: usize) -> BufferMeta {
+        BufferMeta {
+            index,
+            weight: self.weight,
+            level: self.level,
+            state: self.state,
+        }
+    }
+}
+
+/// Metadata describing one buffer to a collapse policy.
+///
+/// Policies decide *which* buffers to collapse purely from this view, which
+/// lets `mrl-analysis` simulate collapse schedules without any data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferMeta {
+    /// Position of the buffer in the engine's slot table.
+    pub index: usize,
+    /// Buffer weight `w(X)`.
+    pub weight: u64,
+    /// Level in the collapse tree.
+    pub level: u32,
+    /// Lifecycle state.
+    pub state: BufferState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_sorts_and_labels() {
+        let mut b = Buffer::empty(4);
+        assert_eq!(b.state(), BufferState::Empty);
+        b.populate(vec![3, 1, 2, 4], 2, 1, 4);
+        assert_eq!(b.state(), BufferState::Full);
+        assert_eq!(b.data(), &[1, 2, 3, 4]);
+        assert_eq!(b.weight(), 2);
+        assert_eq!(b.level(), 1);
+        assert_eq!(b.mass(), 8);
+    }
+
+    #[test]
+    fn short_fill_is_partial() {
+        let mut b = Buffer::empty(4);
+        b.populate(vec![5, 2], 8, 3, 4);
+        assert_eq!(b.state(), BufferState::Partial);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.mass(), 16);
+    }
+
+    #[test]
+    fn clear_recycles() {
+        let mut b = Buffer::empty(2);
+        b.populate(vec![1, 2], 1, 0, 2);
+        b.clear();
+        assert_eq!(b.state(), BufferState::Empty);
+        assert!(b.is_empty());
+        b.populate(vec![9, 8], 4, 2, 2);
+        assert_eq!(b.data(), &[8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn double_populate_panics() {
+        let mut b = Buffer::empty(2);
+        b.populate(vec![1, 2], 1, 0, 2);
+        b.populate(vec![3, 4], 1, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never decrease")]
+    fn demotion_panics() {
+        let mut b = Buffer::empty(2);
+        b.populate(vec![1, 2], 1, 5, 2);
+        b.promote(3);
+    }
+}

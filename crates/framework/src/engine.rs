@@ -1,0 +1,595 @@
+//! The streaming engine: `New` / `Collapse` / `Output` composed under a
+//! collapse policy and a sampling-rate schedule.
+//!
+//! [`Engine`] is the common machinery behind every algorithm in the paper:
+//!
+//! * unknown-`N` (§3): [`crate::AdaptiveLowestLevel`] + [`crate::Mrl99Schedule`],
+//! * known-`N` deterministic (MRL98/[MP80]/[ARS97]): any policy +
+//!   [`crate::FixedRate`]`::new(1)`,
+//! * known-`N` sampled: any policy + [`crate::FixedRate`]`::new(r)`.
+//!
+//! `Output` is non-destructive and may be invoked at any prefix of the
+//! stream, which is what makes the algorithm suitable for online
+//! aggregation (§3.7, [Hel97]).
+
+use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
+
+use crate::buffer::{Buffer, BufferMeta, BufferState};
+use crate::merge::{collapse_targets, output_position, select_weighted, total_mass, WeightedSource};
+use crate::policy::CollapsePolicy;
+use crate::schedule::RateSchedule;
+use crate::stats::TreeStats;
+use crate::tree::TreeRecorder;
+
+/// Sizing of an engine: `b` buffers of `k` elements each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of buffers `b` (≥ 2).
+    pub num_buffers: usize,
+    /// Elements per buffer `k` (≥ 1).
+    pub buffer_size: usize,
+}
+
+impl EngineConfig {
+    /// Create a configuration, validating `b ≥ 2` and `k ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics on invalid sizes.
+    pub fn new(num_buffers: usize, buffer_size: usize) -> Self {
+        assert!(num_buffers >= 2, "need at least two buffers to collapse");
+        assert!(buffer_size >= 1, "buffer size must be positive");
+        Self {
+            num_buffers,
+            buffer_size,
+        }
+    }
+
+    /// The paper's memory metric: `b · k` elements.
+    pub fn memory_elements(&self) -> usize {
+        self.num_buffers * self.buffer_size
+    }
+}
+
+/// Single-pass approximate-quantile engine.
+///
+/// Generic over the element type `T`, the [`CollapsePolicy`] `P` and the
+/// [`RateSchedule`] `R`. Elements are inserted one at a time with
+/// [`Engine::insert`]; quantile estimates are available at any moment via
+/// [`Engine::query`].
+#[derive(Clone, Debug)]
+pub struct Engine<T, P, R> {
+    config: EngineConfig,
+    /// Allocated buffer slots; may be shorter than `b` under a lazy
+    /// allocation schedule (§5).
+    buffers: Vec<Buffer<T>>,
+    /// `allocation[i]` = number of leaves that must exist before slot `i`
+    /// may be allocated (all zero by default: allocate up front).
+    allocation: Vec<u64>,
+    policy: P,
+    rate_schedule: R,
+    sampler: BlockSampler<T>,
+    filler: Vec<T>,
+    fill_rate: u64,
+    fill_level: u32,
+    filling: bool,
+    collapse_high_phase: bool,
+    stats: TreeStats,
+    recorder: Option<TreeRecorder>,
+    slot_nodes: Vec<Option<usize>>,
+    sample_tap: Option<Vec<(T, u64)>>,
+    max_allocated: usize,
+    finished: bool,
+    rng: SketchRng,
+}
+
+impl<T, P, R> Engine<T, P, R>
+where
+    T: Ord + Clone,
+    P: CollapsePolicy,
+    R: RateSchedule,
+{
+    /// Create an engine with all buffers allocated up front.
+    pub fn new(config: EngineConfig, policy: P, rate_schedule: R, seed: u64) -> Self {
+        let allocation = vec![0; config.num_buffers];
+        Self::with_allocation(config, policy, rate_schedule, allocation, seed)
+    }
+
+    /// Create an engine with a lazy buffer-allocation schedule (§5):
+    /// `allocation[i]` is the number of leaves that must have been created
+    /// before buffer `i` is allocated. Must be non-decreasing, with
+    /// `allocation[0] == 0`.
+    ///
+    /// # Panics
+    /// Panics if the schedule is malformed.
+    pub fn with_allocation(
+        config: EngineConfig,
+        policy: P,
+        rate_schedule: R,
+        allocation: Vec<u64>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            allocation.len(),
+            config.num_buffers,
+            "allocation schedule must cover every buffer"
+        );
+        assert_eq!(allocation[0], 0, "the first buffer must be available immediately");
+        assert!(
+            allocation.windows(2).all(|w| w[0] <= w[1]),
+            "allocation schedule must be non-decreasing"
+        );
+        let rate = rate_schedule.rate();
+        Self {
+            config,
+            buffers: Vec::new(),
+            allocation,
+            policy,
+            rate_schedule,
+            sampler: BlockSampler::new(rate),
+            filler: Vec::with_capacity(config.buffer_size),
+            fill_rate: rate,
+            fill_level: 0,
+            filling: false,
+            collapse_high_phase: false,
+            stats: TreeStats::default(),
+            recorder: None,
+            slot_nodes: Vec::new(),
+            sample_tap: None,
+            max_allocated: 0,
+            finished: false,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Enable recording of the full collapse tree (Figures 2–3). Call before
+    /// inserting data.
+    pub fn enable_tree_recording(&mut self) {
+        assert_eq!(self.stats.elements, 0, "enable recording before inserting");
+        self.recorder = Some(TreeRecorder::new());
+    }
+
+    /// Enable recording of every emitted sample element and its weight
+    /// (test support: lets tests compute the exact weighted quantile of the
+    /// sample sequence fed to the deterministic tree).
+    pub fn enable_sample_tap(&mut self) {
+        assert_eq!(self.stats.elements, 0, "enable the tap before inserting");
+        self.sample_tap = Some(Vec::new());
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Stream elements consumed so far.
+    pub fn n(&self) -> u64 {
+        self.stats.elements + self.sampler.pending()
+    }
+
+    /// True once [`Engine::finish`] has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Tree statistics (exact accounting of `W`, `C`, leaves, `Σnᵢ²`).
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// The recorded collapse tree, if recording was enabled.
+    pub fn recorder(&self) -> Option<&TreeRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// The recorded sample sequence, if the tap was enabled.
+    pub fn sample_tap(&self) -> Option<&[(T, u64)]> {
+        self.sample_tap.as_deref()
+    }
+
+    /// Node ids (into the recorder) of the current root buffers, if
+    /// recording was enabled.
+    pub fn root_nodes(&self) -> Vec<usize> {
+        self.slot_nodes
+            .iter()
+            .zip(&self.buffers)
+            .filter(|(_, b)| b.state() != BufferState::Empty)
+            .filter_map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Buffer slots currently allocated.
+    pub fn allocated_slots(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// High-water mark of allocated slots.
+    pub fn max_allocated_slots(&self) -> usize {
+        self.max_allocated
+    }
+
+    /// Current memory footprint in elements (allocated slots × `k`).
+    pub fn memory_elements(&self) -> usize {
+        self.buffers.len() * self.config.buffer_size
+    }
+
+    /// Current sampling rate of the `New` operation.
+    pub fn current_rate(&self) -> u64 {
+        self.rate_schedule.rate()
+    }
+
+    /// True once the non-uniform sampler has moved past rate 1.
+    pub fn sampling_started(&self) -> bool {
+        self.rate_schedule.sampling_started()
+    }
+
+    /// Insert one stream element.
+    ///
+    /// # Panics
+    /// Panics if called after [`Engine::finish`].
+    pub fn insert(&mut self, item: T) {
+        assert!(!self.finished, "cannot insert after finish()");
+        if !self.filling {
+            self.begin_fill();
+        }
+        if let Some(repr) = self.sampler.offer(item, &mut self.rng) {
+            self.stats.record_block(self.fill_rate);
+            if let Some(tap) = &mut self.sample_tap {
+                tap.push((repr.clone(), self.fill_rate));
+            }
+            self.filler.push(repr);
+            if self.filler.len() == self.config.buffer_size {
+                self.complete_fill();
+            }
+        }
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+
+    /// Declare end-of-stream: the partially filled buffer (if any) becomes a
+    /// `Partial` buffer (§3.1). Queries remain available; further inserts
+    /// panic.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        if self.filling {
+            if let Some((tail, pending)) = self.sampler.flush() {
+                // The trailing incomplete block still contributes its
+                // representative; per the paper the partial buffer's
+                // elements all carry the buffer weight `r` (the analysis
+                // excludes the partial buffer from Lemma 5, §4.2).
+                self.stats.record_block(pending);
+                if let Some(tap) = &mut self.sample_tap {
+                    tap.push((tail.clone(), self.fill_rate));
+                }
+                self.filler.push(tail);
+            }
+            if !self.filler.is_empty() {
+                let data = std::mem::take(&mut self.filler);
+                let idx = self
+                    .empty_slot()
+                    .expect("begin_fill reserved an empty slot");
+                self.buffers[idx].populate(data, self.fill_rate, self.fill_level, self.config.buffer_size);
+                if let Some(rec) = &mut self.recorder {
+                    self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
+                }
+            }
+            self.filling = false;
+        }
+        self.finished = true;
+    }
+
+    /// Estimate the φ-quantile of everything inserted so far.
+    ///
+    /// Non-destructive: this is the paper's `Output` operation, which "does
+    /// not destroy or modify the state [and] can be invoked as many times as
+    /// required" (§3.7). Returns `None` before any element has arrived.
+    pub fn query(&self, phi: f64) -> Option<T> {
+        self.query_many(&[phi]).map(|mut v| v.remove(0))
+    }
+
+    /// Estimate several quantiles at once from one merge pass. Results are
+    /// returned in the order of `phis`. Returns `None` before any element
+    /// has arrived.
+    pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
+        let filler_sorted = self.filler_snapshot();
+        let pending = self.sampler.peek();
+        let mut sources: Vec<WeightedSource<'_, T>> = Vec::new();
+        for b in &self.buffers {
+            if b.state() != BufferState::Empty {
+                sources.push(WeightedSource::new(b.data(), b.weight()));
+            }
+        }
+        if !filler_sorted.is_empty() {
+            sources.push(WeightedSource::new(&filler_sorted, self.fill_rate));
+        }
+        let tail_holder;
+        if let Some((tail, seen)) = pending {
+            tail_holder = [tail.clone()];
+            sources.push(WeightedSource::new(&tail_holder, seen));
+        }
+        let s = total_mass(&sources);
+        if s == 0 {
+            return None;
+        }
+        // Map each phi to its weighted position, select in sorted order,
+        // then restore the caller's order.
+        let mut order: Vec<(u64, usize)> = phis
+            .iter()
+            .map(|&phi| output_position(phi, s))
+            .zip(0..)
+            .collect();
+        order.sort_unstable();
+        let targets: Vec<u64> = order.iter().map(|&(p, _)| p).collect();
+        let picked = select_weighted(&sources, &targets);
+        let mut out: Vec<Option<T>> = vec![None; phis.len()];
+        for ((_, original), value) in order.into_iter().zip(picked) {
+            out[original] = Some(value);
+        }
+        Some(out.into_iter().map(|v| v.expect("every slot filled")).collect())
+    }
+
+    /// Total weighted mass visible to `Output` right now. Equals [`Engine::n`]
+    /// while streaming; may exceed it by less than one block after
+    /// [`Engine::finish`] (the partial buffer rounds its tail block's weight
+    /// up to `r`).
+    pub fn output_mass(&self) -> u64 {
+        let mut s: u64 = self
+            .buffers
+            .iter()
+            .filter(|b| b.state() != BufferState::Empty)
+            .map(Buffer::mass)
+            .sum();
+        s += self.filler.len() as u64 * self.fill_rate;
+        if let Some((_, seen)) = self.sampler.peek() {
+            s += seen;
+        }
+        s
+    }
+
+    /// Greatest weight among the buffers `Output` would consult (the
+    /// `w_max` of Lemma 4). Zero if no data.
+    pub fn w_max(&self) -> u64 {
+        let mut w = self
+            .buffers
+            .iter()
+            .filter(|b| b.state() != BufferState::Empty)
+            .map(Buffer::weight)
+            .max()
+            .unwrap_or(0);
+        if !self.filler.is_empty() || self.sampler.peek().is_some() {
+            w = w.max(self.fill_rate);
+        }
+        w
+    }
+
+    /// The deterministic part of the rank-error guarantee at this instant:
+    /// `(W + w_max)/2` weighted-rank units (weakened Lemma 4). The sampling
+    /// error comes on top of this, controlled by ε, δ and the schedule.
+    pub fn tree_error_bound(&self) -> u64 {
+        self.stats.tree_error_bound(self.w_max())
+    }
+
+    /// Collapse **all** full buffers into one (used by the parallel
+    /// protocol, §6, before shipping buffers to the coordinator). No-op if
+    /// fewer than two buffers are full.
+    pub fn collapse_all_full(&mut self) {
+        let full: Vec<usize> = self.full_slots();
+        if full.len() < 2 {
+            return;
+        }
+        let max_level = full
+            .iter()
+            .map(|&i| self.buffers[i].level())
+            .max()
+            .expect("nonempty");
+        self.perform_collapse(&full, max_level + 1);
+    }
+
+    /// Tear down the engine and return its non-empty buffers
+    /// (full-or-partial), e.g. for shipping to a parallel coordinator.
+    pub fn into_buffers(mut self) -> Vec<Buffer<T>> {
+        self.finish();
+        self.buffers
+            .drain(..)
+            .filter(|b| b.state() != BufferState::Empty)
+            .collect()
+    }
+
+    // ---- snapshot support (see crate::snapshot) --------------------------
+
+    /// All buffer slots (including empty ones), for snapshotting.
+    pub(crate) fn raw_buffers(&self) -> &[Buffer<T>] {
+        &self.buffers
+    }
+
+    /// Lazy-allocation thresholds.
+    pub(crate) fn allocation_thresholds(&self) -> &[u64] {
+        &self.allocation
+    }
+
+    /// In-progress fill: (elements, rate, level, active?).
+    pub(crate) fn fill_state(&self) -> (&[T], u64, u32, bool) {
+        (&self.filler, self.fill_rate, self.fill_level, self.filling)
+    }
+
+    /// The pending (incomplete) block's representative and element count.
+    pub(crate) fn pending_block(&self) -> Option<(T, u64)> {
+        self.sampler.peek().map(|(v, seen)| (v.clone(), seen))
+    }
+
+    /// Even-weight collapse alternation phase.
+    pub(crate) fn collapse_phase(&self) -> bool {
+        self.collapse_high_phase
+    }
+
+    /// The rate schedule's current state.
+    pub(crate) fn schedule_state(&self) -> &R {
+        &self.rate_schedule
+    }
+
+    /// Overwrite the internals from a snapshot (called by
+    /// [`Engine::restore`] on a freshly constructed engine).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore_internals(
+        &mut self,
+        buffers: Vec<Buffer<T>>,
+        filler: Vec<T>,
+        fill_rate: u64,
+        fill_level: u32,
+        filling: bool,
+        pending: Option<(T, u64)>,
+        collapse_high_phase: bool,
+        stats: TreeStats,
+        finished: bool,
+    ) {
+        assert!(filler.len() < self.config.buffer_size || !filling);
+        // Slot table: the restored buffers plus one empty slot when a fill
+        // is in progress (begin_fill had reserved one).
+        self.buffers = buffers;
+        if filling {
+            self.buffers.push(Buffer::empty(self.config.buffer_size));
+        }
+        assert!(
+            self.buffers.len() <= self.config.num_buffers,
+            "snapshot exceeds the buffer budget"
+        );
+        self.slot_nodes = vec![None; self.buffers.len()];
+        self.max_allocated = self.buffers.len();
+        self.filler = filler;
+        self.fill_rate = fill_rate;
+        self.fill_level = fill_level;
+        self.filling = filling;
+        self.sampler = BlockSampler::with_pending(fill_rate, pending);
+        self.collapse_high_phase = collapse_high_phase;
+        self.stats = stats;
+        self.finished = finished;
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn filler_snapshot(&self) -> Vec<T> {
+        let mut v = self.filler.clone();
+        v.sort_unstable();
+        v
+    }
+
+    fn empty_slot(&self) -> Option<usize> {
+        self.buffers.iter().position(|b| b.state() == BufferState::Empty)
+    }
+
+    fn full_slots(&self) -> Vec<usize> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state() == BufferState::Full)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn begin_fill(&mut self) {
+        debug_assert!(!self.filling);
+        debug_assert_eq!(self.sampler.pending(), 0);
+        // Secure an empty slot: allocate lazily when the schedule allows,
+        // collapse otherwise.
+        while self.empty_slot().is_none() {
+            let allocated = self.buffers.len();
+            let may_allocate = allocated < self.config.num_buffers
+                && self.stats.leaves >= self.allocation[allocated];
+            let full = self.full_slots();
+            if may_allocate || full.len() < 2 {
+                assert!(
+                    allocated < self.config.num_buffers,
+                    "no empty buffer, none allocatable, and fewer than two full buffers"
+                );
+                self.buffers.push(Buffer::empty(self.config.buffer_size));
+                self.slot_nodes.push(None);
+                self.max_allocated = self.max_allocated.max(self.buffers.len());
+            } else {
+                self.collapse_once();
+            }
+        }
+        self.fill_rate = self.rate_schedule.rate();
+        self.fill_level = self.rate_schedule.new_buffer_level();
+        self.sampler.reset_with_rate(self.fill_rate);
+        self.filling = true;
+    }
+
+    fn complete_fill(&mut self) {
+        debug_assert_eq!(self.filler.len(), self.config.buffer_size);
+        let data = std::mem::take(&mut self.filler);
+        self.filler = Vec::with_capacity(self.config.buffer_size);
+        let idx = self.empty_slot().expect("begin_fill reserved an empty slot");
+        self.buffers[idx].populate(data, self.fill_rate, self.fill_level, self.config.buffer_size);
+        if let Some(rec) = &mut self.recorder {
+            self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
+        }
+        self.stats.record_leaf(self.fill_level);
+        self.rate_schedule.observe_level(self.fill_level);
+        self.rate_schedule.observe_leaves(self.stats.leaves);
+        if self.rate_schedule.sampling_started() {
+            self.stats.record_onset();
+        }
+        self.filling = false;
+    }
+
+    fn collapse_once(&mut self) {
+        let metas: Vec<BufferMeta> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state() == BufferState::Full)
+            .map(|(i, b)| b.meta(i))
+            .collect();
+        let decision = self.policy.choose(&metas);
+        for &(idx, level) in &decision.promotions {
+            self.buffers[idx].promote(level);
+        }
+        assert!(decision.collapse.len() >= 2, "policy must collapse >= 2 buffers");
+        self.perform_collapse(&decision.collapse, decision.output_level);
+    }
+
+    fn perform_collapse(&mut self, slots: &[usize], output_level: u32) {
+        let w: u64 = slots.iter().map(|&i| self.buffers[i].weight()).sum();
+        let new_data = {
+            let sources: Vec<WeightedSource<'_, T>> = slots
+                .iter()
+                .map(|&i| WeightedSource::new(self.buffers[i].data(), self.buffers[i].weight()))
+                .collect();
+            let high = if w.is_multiple_of(2) {
+                let phase = self.collapse_high_phase;
+                self.collapse_high_phase = !self.collapse_high_phase;
+                phase
+            } else {
+                false
+            };
+            let targets = collapse_targets(self.config.buffer_size, w, high);
+            select_weighted(&sources, &targets)
+        };
+        if let Some(rec) = &mut self.recorder {
+            let children: Vec<usize> = slots
+                .iter()
+                .filter_map(|&i| self.slot_nodes[i])
+                .collect();
+            let node = rec.add_collapse(w, output_level, children);
+            for &i in slots {
+                self.slot_nodes[i] = None;
+            }
+            self.slot_nodes[slots[0]] = Some(node);
+        }
+        for &i in slots {
+            self.buffers[i].clear();
+        }
+        self.buffers[slots[0]].populate(new_data, w, output_level, self.config.buffer_size);
+        self.stats.record_collapse(w, output_level);
+        self.rate_schedule.observe_level(output_level);
+        if self.rate_schedule.sampling_started() {
+            self.stats.record_onset();
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Weighted merging and selection.
+//!
+//! `Collapse` and `Output` (§3.2–3.3) are both defined in terms of the same
+//! thought experiment: make `w(Xᵢ)` copies of each element of buffer `Xᵢ`,
+//! sort everything together, and pick elements at certain positions of the
+//! combined sequence. As the paper notes, the copies never need to be
+//! materialised: a k-way merge that advances a cumulative weight counter
+//! visits exactly the same positions in `O(Σ|Xᵢ| log c)` time and `O(c)`
+//! extra space.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One sorted input to a weighted merge: a slice of non-decreasing elements,
+/// each representing `weight` input elements.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedSource<'a, T> {
+    /// Sorted elements.
+    pub data: &'a [T],
+    /// Weight of every element in `data`.
+    pub weight: u64,
+}
+
+impl<'a, T> WeightedSource<'a, T> {
+    /// Construct a source; `weight` must be positive.
+    pub fn new(data: &'a [T], weight: u64) -> Self {
+        assert!(weight > 0, "source weight must be positive");
+        Self { data, weight }
+    }
+
+    /// Weighted mass contributed by this source.
+    pub fn mass(&self) -> u64 {
+        self.data.len() as u64 * self.weight
+    }
+}
+
+/// Total weighted mass of a set of sources.
+pub fn total_mass<T>(sources: &[WeightedSource<'_, T>]) -> u64 {
+    sources.iter().map(WeightedSource::mass).sum()
+}
+
+/// Select the elements at 1-indexed weighted positions `targets` (sorted
+/// non-decreasing) of the logical sorted-with-multiplicity concatenation of
+/// `sources`.
+///
+/// Returns one element per target (duplicates allowed: several targets may
+/// fall on the same heavy element).
+///
+/// # Panics
+/// Panics if `targets` is not sorted, a target is zero, or a target exceeds
+/// the total mass.
+pub fn select_weighted<T: Ord + Clone>(
+    sources: &[WeightedSource<'_, T>],
+    targets: &[u64],
+) -> Vec<T> {
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    let mass = total_mass(sources);
+    assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets must be sorted");
+    assert!(targets[0] >= 1, "weighted positions are 1-indexed");
+    assert!(
+        *targets.last().expect("targets nonempty") <= mass,
+        "target {} exceeds total mass {}",
+        targets.last().unwrap(),
+        mass
+    );
+
+    // Min-heap over the heads of each source. Ties broken by source index so
+    // the merge is deterministic.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Head<T: Ord>(T, usize, usize); // (value, source, position)
+
+    let mut heap: BinaryHeap<Reverse<Head<T>>> = sources
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.data.is_empty())
+        .map(|(i, s)| Reverse(Head(s.data[0].clone(), i, 0)))
+        .collect();
+
+    let mut out = Vec::with_capacity(targets.len());
+    let mut cum: u64 = 0;
+    let mut ti = 0usize;
+    while let Some(Reverse(Head(value, src, pos))) = heap.pop() {
+        cum += sources[src].weight;
+        while ti < targets.len() && targets[ti] <= cum {
+            out.push(value.clone());
+            ti += 1;
+        }
+        if ti == targets.len() {
+            break;
+        }
+        let next = pos + 1;
+        if next < sources[src].data.len() {
+            heap.push(Reverse(Head(sources[src].data[next].clone(), src, next)));
+        }
+    }
+    assert_eq!(out.len(), targets.len(), "ran out of mass before all targets");
+    out
+}
+
+/// The `k` selection positions of a `Collapse` whose output weight is `w`
+/// (§3.2).
+///
+/// * `w` odd: positions `j·w + (w+1)/2` for `j = 0..k`.
+/// * `w` even: positions `j·w + w/2` (low phase) or `j·w + (w+2)/2` (high
+///   phase); the caller alternates `high` between successive even-weight
+///   collapses so the ±½ rounding bias cancels.
+pub fn collapse_targets(k: usize, w: u64, high: bool) -> Vec<u64> {
+    assert!(w > 0, "collapse output weight must be positive");
+    let offset = if w % 2 == 1 {
+        w.div_ceil(2)
+    } else if high {
+        (w + 2) / 2
+    } else {
+        w / 2
+    };
+    (0..k as u64).map(|j| j * w + offset).collect()
+}
+
+/// The weighted position selected by `Output` for quantile `φ` over total
+/// mass `s` (§3.3): `⌈φ·s⌉`, clamped into `[1, s]`.
+pub fn output_position(phi: f64, s: u64) -> u64 {
+    assert!((0.0..=1.0).contains(&phi), "phi must lie in [0, 1]");
+    assert!(s > 0, "cannot select from an empty sequence");
+    let raw = (phi * s as f64).ceil();
+    if raw < 1.0 {
+        1
+    } else if raw >= s as f64 {
+        s
+    } else {
+        raw as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: materialise all copies and index directly.
+    fn select_brute<T: Ord + Clone>(sources: &[WeightedSource<'_, T>], targets: &[u64]) -> Vec<T> {
+        let mut all: Vec<T> = Vec::new();
+        for s in sources {
+            for v in s.data {
+                for _ in 0..s.weight {
+                    all.push(v.clone());
+                }
+            }
+        }
+        all.sort();
+        targets.iter().map(|&t| all[(t - 1) as usize].clone()).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        let a = vec![1, 4, 7, 9];
+        let b = vec![2, 2, 8];
+        let c = vec![5];
+        let sources = [
+            WeightedSource::new(&a, 3),
+            WeightedSource::new(&b, 1),
+            WeightedSource::new(&c, 5),
+        ];
+        let mass = total_mass(&sources);
+        assert_eq!(mass, 4 * 3 + 3 + 5);
+        let targets: Vec<u64> = (1..=mass).collect();
+        assert_eq!(select_weighted(&sources, &targets), select_brute(&sources, &targets));
+    }
+
+    #[test]
+    fn single_target_median() {
+        let a = vec![10, 20, 30];
+        let sources = [WeightedSource::new(&a, 2)];
+        assert_eq!(select_weighted(&sources, &[3]), vec![20]);
+        assert_eq!(select_weighted(&sources, &[4]), vec![20]);
+        assert_eq!(select_weighted(&sources, &[6]), vec![30]);
+    }
+
+    #[test]
+    fn repeated_targets_yield_duplicates() {
+        let a = vec![5];
+        let sources = [WeightedSource::new(&a, 4)];
+        assert_eq!(select_weighted(&sources, &[1, 2, 4]), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn empty_targets_empty_result() {
+        let a = vec![1, 2];
+        let sources = [WeightedSource::new(&a, 1)];
+        assert!(select_weighted(&sources, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total mass")]
+    fn overlong_target_panics() {
+        let a = vec![1, 2];
+        let sources = [WeightedSource::new(&a, 1)];
+        let _ = select_weighted(&sources, &[3]);
+    }
+
+    #[test]
+    fn collapse_targets_odd_weight() {
+        // w = 3, k = 4: positions j*3 + 2.
+        assert_eq!(collapse_targets(4, 3, false), vec![2, 5, 8, 11]);
+        // `high` is ignored for odd weights.
+        assert_eq!(collapse_targets(4, 3, true), vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    fn collapse_targets_even_weight_alternate() {
+        // w = 4, k = 3: low phase 2, 6, 10; high phase 3, 7, 11.
+        assert_eq!(collapse_targets(3, 4, false), vec![2, 6, 10]);
+        assert_eq!(collapse_targets(3, 4, true), vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn collapse_targets_stay_in_range() {
+        for k in 1..8usize {
+            for w in 1..10u64 {
+                for high in [false, true] {
+                    let t = collapse_targets(k, w, high);
+                    assert!(t[0] >= 1);
+                    assert!(*t.last().unwrap() <= k as u64 * w, "k={k} w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_position_basics() {
+        assert_eq!(output_position(0.5, 100), 50);
+        assert_eq!(output_position(0.0, 100), 1);
+        assert_eq!(output_position(1.0, 100), 100);
+        assert_eq!(output_position(0.501, 100), 51);
+        assert_eq!(output_position(0.5, 1), 1);
+    }
+
+    #[test]
+    fn output_position_huge_mass_is_clamped() {
+        let s = u64::MAX / 2;
+        let p = output_position(1.0, s);
+        assert_eq!(p, s);
+        assert!(output_position(0.9999999, s) <= s);
+    }
+}

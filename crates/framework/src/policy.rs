@@ -1,0 +1,232 @@
+//! Collapse policies: which full buffers to collapse when space runs out.
+//!
+//! The MRL framework composes algorithms from `New`/`Collapse`/`Output`; the
+//! *collapse policy* is what distinguishes the algorithms the paper discusses
+//! (§2.1, §3.6):
+//!
+//! * [`AdaptiveLowestLevel`] — MRL99 §3.6: collapse **all** buffers at the
+//!   lowest occupied level, promoting a lone lowest buffer first. This is the
+//!   policy the paper's analysis (leaf counts `L_d`, `L_s`) assumes.
+//! * [`MunroPaterson`] — binary collapses of two equal-level buffers
+//!   (`β = 2` in §4.4), the classic [MP80] scheme.
+//! * [`AlsabtiRankaSingh`] — collapse everything at once ([ARS97]), a flat
+//!   tree that trades accuracy for minimal bookkeeping.
+//!
+//! Policies see only [`BufferMeta`], never data, so the `mrl-analysis` crate
+//! can replay schedules symbolically.
+
+use crate::buffer::{BufferMeta, BufferState};
+
+/// What the engine should do when it must reclaim a buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollapseDecision {
+    /// `(slot index, new level)` promotions to apply before collapsing.
+    pub promotions: Vec<(usize, u32)>,
+    /// Slot indices (≥ 2) of the full buffers to collapse, all at the same
+    /// level after promotions.
+    pub collapse: Vec<usize>,
+    /// Level assigned to the collapse output.
+    pub output_level: u32,
+}
+
+/// A rule choosing which full buffers to collapse.
+///
+/// Implementations must be deterministic functions of the metadata so that
+/// data-free schedule simulation reproduces real executions exactly.
+pub trait CollapsePolicy {
+    /// Human-readable policy name (used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Decide a collapse given the metadata of **all full buffers**
+    /// (`metas` is non-empty and contains only `Full` entries).
+    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision;
+}
+
+/// Shared helper: the lowest level among full buffers, the slots at that
+/// level, and the next-lowest occupied level (if any).
+fn level_profile(metas: &[BufferMeta]) -> (u32, Vec<usize>, Option<u32>) {
+    debug_assert!(!metas.is_empty());
+    debug_assert!(metas.iter().all(|m| m.state == BufferState::Full));
+    let lowest = metas.iter().map(|m| m.level).min().expect("nonempty");
+    let at_lowest: Vec<usize> = metas
+        .iter()
+        .filter(|m| m.level == lowest)
+        .map(|m| m.index)
+        .collect();
+    let next = metas
+        .iter()
+        .map(|m| m.level)
+        .filter(|&l| l > lowest)
+        .min();
+    (lowest, at_lowest, next)
+}
+
+/// MRL99 §3.6: collapse the entire set of buffers at the lowest occupied
+/// level; if that set is a singleton, promote it to the next occupied level
+/// first (and keep promoting until at least two buffers share the lowest
+/// level).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdaptiveLowestLevel;
+
+impl CollapsePolicy for AdaptiveLowestLevel {
+    fn name(&self) -> &'static str {
+        "adaptive-lowest-level"
+    }
+
+    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+        assert!(metas.len() >= 2, "collapse needs at least two full buffers");
+        let (lowest, at_lowest, next) = level_profile(metas);
+        if at_lowest.len() >= 2 {
+            return CollapseDecision {
+                promotions: Vec::new(),
+                collapse: at_lowest,
+                output_level: lowest + 1,
+            };
+        }
+        // Lone buffer at the lowest level: promote it to the next occupied
+        // level, where it joins at least one other buffer.
+        let target = next.expect("metas.len() >= 2 so another level exists");
+        let lone = at_lowest[0];
+        let mut collapse: Vec<usize> = metas
+            .iter()
+            .filter(|m| m.level == target)
+            .map(|m| m.index)
+            .collect();
+        collapse.push(lone);
+        collapse.sort_unstable();
+        CollapseDecision {
+            promotions: vec![(lone, target)],
+            collapse,
+            output_level: target + 1,
+        }
+    }
+}
+
+/// Munro–Paterson [MP80]: binary collapses. Pick the lowest level holding at
+/// least two buffers and collapse exactly two of them; if every level is a
+/// singleton, promote the lowest buffer to the next occupied level first.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MunroPaterson;
+
+impl CollapsePolicy for MunroPaterson {
+    fn name(&self) -> &'static str {
+        "munro-paterson"
+    }
+
+    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+        assert!(metas.len() >= 2, "collapse needs at least two full buffers");
+        // Lowest level with >= 2 buffers, if any.
+        let mut by_level: Vec<(u32, usize)> = metas.iter().map(|m| (m.level, m.index)).collect();
+        by_level.sort_unstable();
+        for w in by_level.windows(2) {
+            if w[0].0 == w[1].0 {
+                return CollapseDecision {
+                    promotions: Vec::new(),
+                    collapse: vec![w[0].1, w[1].1],
+                    output_level: w[0].0 + 1,
+                };
+            }
+        }
+        // All distinct: promote the lowest to the second-lowest and collapse
+        // that pair.
+        let (lowest_level, lowest_idx) = by_level[0];
+        let (target_level, partner_idx) = by_level[1];
+        debug_assert!(target_level > lowest_level);
+        let mut collapse = vec![lowest_idx, partner_idx];
+        collapse.sort_unstable();
+        CollapseDecision {
+            promotions: vec![(lowest_idx, target_level)],
+            collapse,
+            output_level: target_level + 1,
+        }
+    }
+}
+
+/// Alsabti–Ranka–Singh [ARS97]: collapse **all** full buffers into one,
+/// regardless of level. Produces a flat, high-degree tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlsabtiRankaSingh;
+
+impl CollapsePolicy for AlsabtiRankaSingh {
+    fn name(&self) -> &'static str {
+        "alsabti-ranka-singh"
+    }
+
+    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+        assert!(metas.len() >= 2, "collapse needs at least two full buffers");
+        let max_level = metas.iter().map(|m| m.level).max().expect("nonempty");
+        let mut collapse: Vec<usize> = metas.iter().map(|m| m.index).collect();
+        collapse.sort_unstable();
+        CollapseDecision {
+            promotions: Vec::new(),
+            collapse,
+            output_level: max_level + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(index: usize, weight: u64, level: u32) -> BufferMeta {
+        BufferMeta {
+            index,
+            weight,
+            level,
+            state: BufferState::Full,
+        }
+    }
+
+    #[test]
+    fn adaptive_collapses_all_at_lowest() {
+        let metas = [meta(0, 1, 0), meta(1, 1, 0), meta(2, 4, 2), meta(3, 1, 0)];
+        let d = AdaptiveLowestLevel.choose(&metas);
+        assert!(d.promotions.is_empty());
+        assert_eq!(d.collapse, vec![0, 1, 3]);
+        assert_eq!(d.output_level, 1);
+    }
+
+    #[test]
+    fn adaptive_promotes_lone_lowest() {
+        let metas = [meta(0, 2, 1), meta(1, 4, 2), meta(2, 4, 2)];
+        let d = AdaptiveLowestLevel.choose(&metas);
+        assert_eq!(d.promotions, vec![(0, 2)]);
+        assert_eq!(d.collapse, vec![0, 1, 2]);
+        assert_eq!(d.output_level, 3);
+    }
+
+    #[test]
+    fn munro_paterson_collapses_exactly_two() {
+        let metas = [meta(0, 1, 0), meta(1, 1, 0), meta(2, 1, 0)];
+        let d = MunroPaterson.choose(&metas);
+        assert_eq!(d.collapse.len(), 2);
+        assert_eq!(d.output_level, 1);
+        assert!(d.promotions.is_empty());
+    }
+
+    #[test]
+    fn munro_paterson_promotes_when_levels_distinct() {
+        let metas = [meta(0, 1, 0), meta(1, 2, 1), meta(2, 4, 2)];
+        let d = MunroPaterson.choose(&metas);
+        assert_eq!(d.promotions, vec![(0, 1)]);
+        assert_eq!(d.collapse, vec![0, 1]);
+        assert_eq!(d.output_level, 2);
+    }
+
+    #[test]
+    fn ars_collapses_everything() {
+        let metas = [meta(0, 1, 0), meta(1, 2, 1), meta(2, 8, 3)];
+        let d = AlsabtiRankaSingh.choose(&metas);
+        assert_eq!(d.collapse, vec![0, 1, 2]);
+        assert_eq!(d.output_level, 4);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let metas = [meta(0, 1, 0), meta(1, 1, 0), meta(2, 2, 1)];
+        assert_eq!(AdaptiveLowestLevel.choose(&metas), AdaptiveLowestLevel.choose(&metas));
+        assert_eq!(MunroPaterson.choose(&metas), MunroPaterson.choose(&metas));
+        assert_eq!(AlsabtiRankaSingh.choose(&metas), AlsabtiRankaSingh.choose(&metas));
+    }
+}

@@ -1,0 +1,299 @@
+//! Sampling-rate schedules: how the rate of the `New` operation evolves.
+//!
+//! The heart of MRL99 is the **non-uniform** schedule of §3.7: the algorithm
+//! starts deterministic (rate 1, new buffers at level 0); once the collapse
+//! tree reaches height `h`, sampling begins with rate 2 and new buffers at
+//! level 1; each time the tree grows another level the rate doubles. The
+//! effect is that early stream elements are sampled with higher probability
+//! than later ones, which is what lets the algorithm handle a stream of
+//! unknown length with the space of the best known-`N` algorithms.
+
+/// How the engine picks the sampling rate and level of the next `New`.
+pub trait RateSchedule {
+    /// Current block size `r`: `New` keeps one element per block of `r`.
+    fn rate(&self) -> u64;
+
+    /// Level assigned to buffers produced by `New` at the current rate.
+    fn new_buffer_level(&self) -> u32;
+
+    /// Notify the schedule that a buffer now exists at `level` (either a
+    /// `New` output or a `Collapse` output). May change the rate.
+    fn observe_level(&mut self, level: u32);
+
+    /// Notify the schedule that `leaves` `New` operations have completed
+    /// (used by the leaf-count onset of §5; default no-op).
+    fn observe_leaves(&mut self, leaves: u64) {
+        let _ = leaves;
+    }
+
+    /// True once the rate has exceeded 1 (sampling onset, §3.7).
+    fn sampling_started(&self) -> bool;
+}
+
+use serde::{Deserialize, Serialize};
+
+/// The MRL99 non-uniform schedule (§3.7).
+///
+/// Rate 1 and level 0 until the first buffer at height `h` appears; then,
+/// whenever the first buffer at height `h + i` is produced (`i ≥ 0`),
+/// subsequent `New` operations run at rate `2^{i+1}` and their buffers get
+/// level `i + 1`.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Mrl99Schedule {
+    h: u32,
+    max_level_seen: u32,
+    seen_any: bool,
+}
+
+impl Mrl99Schedule {
+    /// Create the schedule with sampling-onset height `h ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `h == 0` (the tree trivially starts at height 0, so `h = 0`
+    /// would mean sampling before any data arrives).
+    pub fn new(h: u32) -> Self {
+        assert!(h >= 1, "onset height h must be at least 1");
+        Self {
+            h,
+            max_level_seen: 0,
+            seen_any: false,
+        }
+    }
+
+    /// The onset height `h`.
+    pub fn h(&self) -> u32 {
+        self.h
+    }
+
+    /// The greatest buffer level observed so far (tree height).
+    pub fn height(&self) -> u32 {
+        if self.seen_any {
+            self.max_level_seen
+        } else {
+            0
+        }
+    }
+}
+
+impl RateSchedule for Mrl99Schedule {
+    fn rate(&self) -> u64 {
+        if !self.seen_any || self.max_level_seen < self.h {
+            1
+        } else {
+            let i = self.max_level_seen - self.h;
+            1u64 << (i + 1)
+        }
+    }
+
+    fn new_buffer_level(&self) -> u32 {
+        if !self.seen_any || self.max_level_seen < self.h {
+            0
+        } else {
+            self.max_level_seen - self.h + 1
+        }
+    }
+
+    fn observe_level(&mut self, level: u32) {
+        if !self.seen_any || level > self.max_level_seen {
+            self.seen_any = true;
+            self.max_level_seen = self.max_level_seen.max(level);
+        }
+    }
+
+    fn sampling_started(&self) -> bool {
+        self.seen_any && self.max_level_seen >= self.h
+    }
+}
+
+/// A constant-rate schedule: rate `r` forever, new buffers at level 0.
+///
+/// `FixedRate::new(1)` gives the deterministic known-`N` algorithms of
+/// MRL98/[MP80]/[ARS97]; `r > 1` gives the uniformly sampled known-`N`
+/// variant (the sampling rate can be fixed up front precisely because `N` is
+/// known).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FixedRate {
+    rate: u64,
+}
+
+impl FixedRate {
+    /// Create a constant-rate schedule.
+    ///
+    /// # Panics
+    /// Panics if `rate == 0`.
+    pub fn new(rate: u64) -> Self {
+        assert!(rate >= 1, "sampling rate must be at least 1");
+        Self { rate }
+    }
+}
+
+impl RateSchedule for FixedRate {
+    fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    fn new_buffer_level(&self) -> u32 {
+        0
+    }
+
+    fn observe_level(&mut self, _level: u32) {}
+
+    fn sampling_started(&self) -> bool {
+        self.rate > 1
+    }
+}
+
+/// The §5 variant of the non-uniform schedule: deterministic until exactly
+/// `L_d` leaves have been created ("When L_d New operations have been
+/// carried out, we start sampling and we follow the original algorithm"),
+/// then rate-doubling anchored at the tree height reached at onset.
+///
+/// This is the onset rule the dynamic buffer-allocation algorithm needs:
+/// with buffers allocated lazily, the tree reaches any fixed height far too
+/// early, so the trigger must be the leaf count, not the height.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct LeafCountSchedule {
+    l_d: u64,
+    leaves: u64,
+    max_level: u32,
+    /// Tree height at onset; sampling rate is `2^{max_level − base + 1}`
+    /// once set.
+    base: Option<u32>,
+}
+
+impl LeafCountSchedule {
+    /// Start sampling after exactly `l_d ≥ 1` leaves.
+    ///
+    /// # Panics
+    /// Panics if `l_d == 0`.
+    pub fn new(l_d: u64) -> Self {
+        assert!(l_d >= 1, "need at least one deterministic leaf");
+        Self {
+            l_d,
+            leaves: 0,
+            max_level: 0,
+            base: None,
+        }
+    }
+
+    /// The configured onset leaf count.
+    pub fn l_d(&self) -> u64 {
+        self.l_d
+    }
+}
+
+impl RateSchedule for LeafCountSchedule {
+    fn rate(&self) -> u64 {
+        match self.base {
+            None => 1,
+            Some(base) => 1u64 << (self.max_level.saturating_sub(base) + 1),
+        }
+    }
+
+    fn new_buffer_level(&self) -> u32 {
+        match self.base {
+            None => 0,
+            Some(base) => self.max_level.saturating_sub(base) + 1,
+        }
+    }
+
+    fn observe_level(&mut self, level: u32) {
+        self.max_level = self.max_level.max(level);
+    }
+
+    fn observe_leaves(&mut self, leaves: u64) {
+        self.leaves = leaves;
+        if self.base.is_none() && self.leaves >= self.l_d {
+            self.base = Some(self.max_level);
+        }
+    }
+
+    fn sampling_started(&self) -> bool {
+        self.base.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_deterministic_below_h() {
+        let mut s = Mrl99Schedule::new(3);
+        assert_eq!(s.rate(), 1);
+        assert_eq!(s.new_buffer_level(), 0);
+        s.observe_level(0);
+        s.observe_level(1);
+        s.observe_level(2);
+        assert_eq!(s.rate(), 1);
+        assert_eq!(s.new_buffer_level(), 0);
+        assert!(!s.sampling_started());
+    }
+
+    #[test]
+    fn onset_at_height_h_doubles_rate_per_level() {
+        let mut s = Mrl99Schedule::new(3);
+        s.observe_level(3); // first buffer at height h: i = 0
+        assert!(s.sampling_started());
+        assert_eq!(s.rate(), 2);
+        assert_eq!(s.new_buffer_level(), 1);
+        s.observe_level(4); // height h+1: i = 1
+        assert_eq!(s.rate(), 4);
+        assert_eq!(s.new_buffer_level(), 2);
+        s.observe_level(7); // height h+4: i = 4
+        assert_eq!(s.rate(), 32);
+        assert_eq!(s.new_buffer_level(), 5);
+    }
+
+    #[test]
+    fn observing_lower_levels_never_regresses() {
+        let mut s = Mrl99Schedule::new(2);
+        s.observe_level(4);
+        let r = s.rate();
+        s.observe_level(1);
+        s.observe_level(3);
+        assert_eq!(s.rate(), r);
+    }
+
+    #[test]
+    fn h_one_starts_sampling_at_first_collapse() {
+        let mut s = Mrl99Schedule::new(1);
+        assert_eq!(s.rate(), 1);
+        s.observe_level(0); // leaves do not trigger
+        assert_eq!(s.rate(), 1);
+        s.observe_level(1); // first collapse output
+        assert_eq!(s.rate(), 2);
+    }
+
+    #[test]
+    fn leaf_count_schedule_triggers_on_leaves() {
+        let mut s = LeafCountSchedule::new(5);
+        assert_eq!(s.rate(), 1);
+        // Height grows but leaves have not reached l_d: still deterministic.
+        s.observe_level(3);
+        s.observe_leaves(4);
+        assert!(!s.sampling_started());
+        assert_eq!(s.rate(), 1);
+        // Fifth leaf: onset, anchored at the current height 3.
+        s.observe_leaves(5);
+        assert!(s.sampling_started());
+        assert_eq!(s.rate(), 2);
+        assert_eq!(s.new_buffer_level(), 1);
+        // Each further height gained doubles the rate.
+        s.observe_level(4);
+        assert_eq!(s.rate(), 4);
+        assert_eq!(s.new_buffer_level(), 2);
+        s.observe_level(6);
+        assert_eq!(s.rate(), 16);
+    }
+
+    #[test]
+    fn fixed_rate_is_constant() {
+        let mut s = FixedRate::new(8);
+        s.observe_level(10);
+        assert_eq!(s.rate(), 8);
+        assert_eq!(s.new_buffer_level(), 0);
+        assert!(s.sampling_started());
+        assert!(!FixedRate::new(1).sampling_started());
+    }
+}

@@ -1,0 +1,140 @@
+//! Exact accounting of the collapse tree, mirroring the quantities in the
+//! paper's analysis (§4):
+//!
+//! * `W` — the sum of weights of all `Collapse` outputs (Lemma 4/5),
+//! * `C` — the number of `Collapse` operations,
+//! * `Σnᵢ²` — the sum of squared block sizes over emitted sample elements,
+//!   which together with `N = Σnᵢ` gives the Hoeffding quantity
+//!   `X = (Σnᵢ)² / Σnᵢ²` of Lemma 2.
+//!
+//! These are maintained incrementally by the engine and exposed so tests can
+//! assert the Lemma 4 bound `rank error ≤ (W + w_max)/2` against brute-force
+//! computations, and so the analysis crate's data-free simulator can be
+//! cross-checked against real executions.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Running statistics of an engine's collapse tree.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Stream elements consumed so far (`N`).
+    pub elements: u64,
+    /// Completed (full) `New` buffers, i.e. leaves of the tree.
+    pub leaves: u64,
+    /// Leaves per level (level 0 = pre-sampling, level `i ≥ 1` = rate `2^i`).
+    pub leaves_by_level: BTreeMap<u32, u64>,
+    /// Number of `Collapse` operations performed (`C`).
+    pub collapses: u64,
+    /// Sum of the weights of all `Collapse` outputs (`W`).
+    pub collapse_weight_sum: u64,
+    /// `Σ nᵢ²` over sample elements emitted so far (`nᵢ` = block size).
+    pub sum_block_sq: u64,
+    /// Greatest buffer level produced so far (tree height).
+    pub max_level: u32,
+    /// `N` at the moment sampling started, if it has.
+    pub sampling_onset_n: Option<u64>,
+}
+
+impl TreeStats {
+    /// Record that a block of `n` elements emitted one sample element.
+    pub fn record_block(&mut self, n: u64) {
+        self.elements += n;
+        self.sum_block_sq += n * n;
+    }
+
+    /// Record a completed `New` buffer at `level`.
+    pub fn record_leaf(&mut self, level: u32) {
+        self.leaves += 1;
+        *self.leaves_by_level.entry(level).or_insert(0) += 1;
+        self.max_level = self.max_level.max(level);
+    }
+
+    /// Record a `Collapse` whose output has weight `w` at `level`.
+    pub fn record_collapse(&mut self, w: u64, level: u32) {
+        self.collapses += 1;
+        self.collapse_weight_sum += w;
+        self.max_level = self.max_level.max(level);
+    }
+
+    /// Record the onset of sampling.
+    pub fn record_onset(&mut self) {
+        if self.sampling_onset_n.is_none() {
+            self.sampling_onset_n = Some(self.elements);
+        }
+    }
+
+    /// The Hoeffding quantity `X = (Σnᵢ)² / Σnᵢ²` of Lemma 2 for the sample
+    /// emitted so far. Equals `N` while no sampling has happened. Returns 0.0
+    /// before any input.
+    pub fn hoeffding_x(&self) -> f64 {
+        if self.sum_block_sq == 0 {
+            return 0.0;
+        }
+        let n = self.elements as f64;
+        n * n / self.sum_block_sq as f64
+    }
+
+    /// The deterministic part of the rank-error guarantee at this instant:
+    /// `(W + w_max)/2` (weakened Lemma 4), where the caller supplies the
+    /// current `w_max` (greatest weight among buffers that would participate
+    /// in `Output`).
+    pub fn tree_error_bound(&self, w_max: u64) -> u64 {
+        (self.collapse_weight_sum + w_max).div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut s = TreeStats::default();
+        for _ in 0..4 {
+            s.record_block(1);
+        }
+        s.record_leaf(0);
+        assert_eq!(s.elements, 4);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.sum_block_sq, 4);
+        assert!((s.hoeffding_x() - 4.0).abs() < 1e-12);
+
+        // A sampled leaf: 4 blocks of 8.
+        for _ in 0..4 {
+            s.record_block(8);
+        }
+        s.record_leaf(1);
+        assert_eq!(s.elements, 36);
+        assert_eq!(s.sum_block_sq, 4 + 4 * 64);
+        // X = 36^2 / 260
+        assert!((s.hoeffding_x() - 1296.0 / 260.0).abs() < 1e-9);
+
+        s.record_collapse(2, 1);
+        s.record_collapse(4, 2);
+        assert_eq!(s.collapses, 2);
+        assert_eq!(s.collapse_weight_sum, 6);
+        assert_eq!(s.max_level, 2);
+        assert_eq!(s.tree_error_bound(4), 5);
+    }
+
+    #[test]
+    fn onset_recorded_once() {
+        let mut s = TreeStats::default();
+        s.record_block(1);
+        s.record_onset();
+        s.record_block(1);
+        s.record_onset();
+        assert_eq!(s.sampling_onset_n, Some(1));
+    }
+
+    #[test]
+    fn x_is_n_before_sampling() {
+        let mut s = TreeStats::default();
+        for _ in 0..100 {
+            s.record_block(1);
+        }
+        assert!((s.hoeffding_x() - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Optional recording of the collapse tree (§3.5).
+//!
+//! The paper visualises algorithms as trees whose vertices are the logical
+//! buffers produced during a run (Figures 2 and 3). [`TreeRecorder`]
+//! reconstructs that tree from a live engine so the `tree_shapes` experiment
+//! binary can render it, and so tests can verify structural properties
+//! (weights of internal nodes equal the sum of their children's, leaf counts
+//! per level match the paper's formulas, ...).
+
+/// What produced a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Populated from the stream by `New`.
+    Leaf,
+    /// Output of a `Collapse`.
+    Collapse,
+}
+
+/// One logical buffer in the tree.
+#[derive(Clone, Debug)]
+pub struct TreeNode {
+    /// Buffer weight.
+    pub weight: u64,
+    /// Buffer level.
+    pub level: u32,
+    /// Children (indices into the recorder's node table); empty for leaves.
+    pub children: Vec<usize>,
+    /// Leaf or collapse output.
+    pub kind: NodeKind,
+}
+
+/// Records every logical buffer created during a run.
+#[derive(Clone, Debug, Default)]
+pub struct TreeRecorder {
+    nodes: Vec<TreeNode>,
+}
+
+impl TreeRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a leaf; returns its node id.
+    pub fn add_leaf(&mut self, weight: u64, level: u32) -> usize {
+        self.nodes.push(TreeNode {
+            weight,
+            level,
+            children: Vec::new(),
+            kind: NodeKind::Leaf,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Record a collapse output over `children`; returns its node id.
+    pub fn add_collapse(&mut self, weight: u64, level: u32, children: Vec<usize>) -> usize {
+        debug_assert!(children.iter().all(|&c| c < self.nodes.len()));
+        self.nodes.push(TreeNode {
+            weight,
+            level,
+            children,
+            kind: NodeKind::Collapse,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// All recorded nodes, in creation order.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Number of leaves recorded.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Leaf).count()
+    }
+
+    /// Render the subtrees rooted at `roots` as indented ASCII, one line per
+    /// node, labelled with weight and level (the format of Figures 2–3).
+    pub fn render(&self, roots: &[usize]) -> String {
+        let mut out = String::new();
+        for &r in roots {
+            self.render_node(r, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, id: usize, depth: usize, out: &mut String) {
+        let n = &self.nodes[id];
+        let kind = match n.kind {
+            NodeKind::Leaf => "leaf",
+            NodeKind::Collapse => "collapse",
+        };
+        out.push_str(&format!(
+            "{:indent$}[w={} L{} {}]\n",
+            "",
+            n.weight,
+            n.level,
+            kind,
+            indent = depth * 2
+        ));
+        for &c in &n.children {
+            self.render_node(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = TreeRecorder::new();
+        let a = t.add_leaf(1, 0);
+        let b = t.add_leaf(1, 0);
+        let c = t.add_collapse(2, 1, vec![a, b]);
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.nodes()[c].weight, 2);
+        let s = t.render(&[c]);
+        assert!(s.contains("[w=2 L1 collapse]"));
+        assert!(s.contains("  [w=1 L0 leaf]"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn weights_of_internal_nodes_sum_children() {
+        let mut t = TreeRecorder::new();
+        let leaves: Vec<usize> = (0..3).map(|_| t.add_leaf(2, 1)).collect();
+        let c = t.add_collapse(6, 2, leaves.clone());
+        let sum: u64 = leaves.iter().map(|&l| t.nodes()[l].weight).sum();
+        assert_eq!(t.nodes()[c].weight, sum);
+    }
+}

@@ -1,0 +1,93 @@
+//! Element-type helpers.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A totally ordered `f64` that rejects NaN at construction.
+///
+/// The framework is generic over `T: Ord + Clone`; `f64` is only partially
+/// ordered, so floating-point streams wrap their values in `OrderedF64`.
+/// `-0.0` and `+0.0` compare equal; infinities are allowed and ordered.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wrap a float, returning `None` for NaN.
+    pub fn new(value: f64) -> Option<Self> {
+        if value.is_nan() {
+            None
+        } else {
+            Some(Self(value))
+        }
+    }
+
+    /// Wrap a float, panicking on NaN. Convenient for literals and
+    /// generators that cannot produce NaN.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN.
+    pub fn from_f64(value: f64) -> Self {
+        Self::new(value).expect("NaN cannot be ordered")
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("OrderedF64 is NaN-free")
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        let mut v = vec![
+            OrderedF64::from_f64(3.5),
+            OrderedF64::from_f64(-1.0),
+            OrderedF64::from_f64(f64::INFINITY),
+            OrderedF64::from_f64(0.0),
+            OrderedF64::from_f64(f64::NEG_INFINITY),
+        ];
+        v.sort();
+        let got: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(
+            got,
+            vec![f64::NEG_INFINITY, -1.0, 0.0, 3.5, f64::INFINITY]
+        );
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        assert!(OrderedF64::new(f64::NAN).is_none());
+        assert!(OrderedF64::new(1.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn from_f64_panics_on_nan() {
+        let _ = OrderedF64::from_f64(f64::NAN);
+    }
+}

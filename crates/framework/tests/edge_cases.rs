@@ -1,0 +1,201 @@
+//! Edge-case coverage for the engine: degenerate sizes, duplicate-heavy
+//! and non-numeric element types, and boundary quantiles.
+
+use mrl_framework::{
+    AdaptiveLowestLevel, Engine, EngineConfig, FixedRate, Mrl99Schedule, OrderedF64,
+};
+
+#[test]
+fn k_equal_one_still_works() {
+    // Buffers of a single element: every leaf is one block; collapses pick
+    // a single weighted position.
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(3, 1),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(1),
+        1,
+    );
+    for i in 0..1_000u64 {
+        e.insert(i);
+    }
+    assert_eq!(e.output_mass(), 1_000);
+    let med = e.query(0.5).unwrap();
+    // With k = 1 the error bound is weak, but the answer must at least be
+    // an element of the stream, and mass must balance.
+    assert!(med < 1_000);
+}
+
+#[test]
+fn minimal_engine_b2_k1() {
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(2, 1),
+        AdaptiveLowestLevel,
+        FixedRate::new(1),
+        2,
+    );
+    for i in 0..100u64 {
+        e.insert(i);
+    }
+    assert_eq!(e.output_mass(), 100);
+    assert!(e.query(0.5).is_some());
+}
+
+#[test]
+fn all_identical_elements() {
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(4, 8),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        3,
+    );
+    for _ in 0..50_000 {
+        e.insert(42);
+    }
+    for phi in [0.0, 0.5, 1.0] {
+        assert_eq!(e.query(phi), Some(42));
+    }
+}
+
+#[test]
+fn two_distinct_values_preserve_proportion() {
+    // 30% zeros, 70% ones: the 0.29-quantile must be 0 and the
+    // 0.31-quantile 1 (within epsilon of the boundary).
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(5, 64),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(3),
+        4,
+    );
+    let n = 100_000u64;
+    for i in 0..n {
+        e.insert(u64::from(i % 10 >= 3));
+    }
+    assert_eq!(e.query(0.05).unwrap(), 0);
+    assert_eq!(e.query(0.95).unwrap(), 1);
+    // The transition happens near 0.3.
+    let at_boundary = e.query(0.3).unwrap();
+    assert!(at_boundary <= 1);
+}
+
+#[test]
+fn float_elements_via_ordered_wrapper() {
+    let mut e: Engine<OrderedF64, _, _> = Engine::new(
+        EngineConfig::new(4, 32),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        5,
+    );
+    let n = 60_000;
+    for i in 0..n {
+        let x = (f64::from(i) * 0.7301).sin(); // values in [-1, 1]
+        e.insert(OrderedF64::from_f64(x));
+    }
+    // This small uncertified config has a Lemma-4 bound of a few percent
+    // of N; the arcsine-distributed sin values make ranks near the median
+    // value-sensitive, so allow that bound's worth of slack.
+    let bound = e.tree_error_bound() as f64 / f64::from(n);
+    let med = e.query(0.5).unwrap().get();
+    // |P(sin < med) - 0.5| = |asin(med)|/pi must be within the bound.
+    assert!(
+        (med.asin() / std::f64::consts::PI).abs() <= bound + 0.01,
+        "median of sin values {med} (bound {bound:.3})"
+    );
+    let lo = e.query(0.01).unwrap().get();
+    let hi = e.query(0.99).unwrap().get();
+    assert!(lo < -0.8 && hi > 0.8, "tails {lo}/{hi}");
+}
+
+#[test]
+fn string_elements_sort_lexicographically() {
+    let mut e: Engine<String, _, _> = Engine::new(
+        EngineConfig::new(3, 16),
+        AdaptiveLowestLevel,
+        FixedRate::new(1),
+        6,
+    );
+    for i in 0..500u32 {
+        e.insert(format!("key-{:04}", (i * 7) % 500));
+    }
+    // 500 elements through a 3x16 engine collapse a few times; the
+    // extremes can shift by the Lemma-4 bound.
+    let bound = e.tree_error_bound() as usize;
+    let lo: usize = e.query(0.0).unwrap()[4..].parse().unwrap();
+    let hi: usize = e.query(1.0).unwrap()[4..].parse().unwrap();
+    assert!(lo <= bound, "phi=0 gave rank ~{lo}, bound {bound}");
+    assert!(hi >= 499 - bound, "phi=1 gave rank ~{hi}, bound {bound}");
+}
+
+#[test]
+fn extreme_phi_values_stay_clamped() {
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(3, 8),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(1),
+        7,
+    );
+    for i in 0..10_000u64 {
+        e.insert(i);
+    }
+    // phi = 0 and 1 are in-range per the paper's definition (position
+    // clamped to [1, S]).
+    let lo = e.query(0.0).unwrap();
+    let hi = e.query(1.0).unwrap();
+    assert!(lo <= hi);
+    assert!(lo < 2_000, "phi=0 answer {lo} too high");
+    assert!(hi > 8_000, "phi=1 answer {hi} too low");
+}
+
+#[test]
+fn exactly_one_element() {
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(2, 4),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(1),
+        8,
+    );
+    e.insert(99);
+    for phi in [0.0, 0.5, 1.0] {
+        assert_eq!(e.query(phi), Some(99));
+    }
+    e.finish();
+    assert_eq!(e.query(0.5), Some(99));
+}
+
+#[test]
+fn stream_length_exactly_at_buffer_boundaries() {
+    for n in [8u64, 16, 24, 32, 40] {
+        let mut e: Engine<u64, _, _> = Engine::new(
+            EngineConfig::new(4, 8),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            9,
+        );
+        for i in 0..n {
+            e.insert(i);
+        }
+        assert_eq!(e.output_mass(), n, "n={n}");
+        // Collapses may shift the extremes by the certified bound.
+        let bound = e.tree_error_bound();
+        assert!(e.query(0.0).unwrap() <= bound, "n={n}");
+        assert!(e.query(1.0).unwrap() + bound >= n - 1, "n={n}");
+    }
+}
+
+#[test]
+fn reverse_sorted_heavy_duplicates_mixed() {
+    let mut e: Engine<u64, _, _> = Engine::new(
+        EngineConfig::new(4, 16),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        10,
+    );
+    let n = 30_000u64;
+    for i in (0..n).rev() {
+        e.insert(i / 100); // 300 distinct values, descending
+    }
+    let med = e.query(0.5).unwrap();
+    assert!(
+        (med as f64 - 150.0).abs() < 25.0,
+        "median {med} of 300 duplicated values"
+    );
+}

@@ -1,0 +1,372 @@
+//! Integration tests for the streaming engine: exactness in the
+//! no-collapse regime, mass conservation, the Lemma-4 error bound, and the
+//! behaviour of the non-uniform sampling schedule.
+
+use mrl_framework::{
+    AdaptiveLowestLevel, AlsabtiRankaSingh, CollapsePolicy, Engine, EngineConfig, FixedRate,
+    Mrl99Schedule, MunroPaterson,
+};
+
+type DetEngine = Engine<u64, AdaptiveLowestLevel, FixedRate>;
+
+fn det_engine(b: usize, k: usize, seed: u64) -> DetEngine {
+    Engine::new(
+        EngineConfig::new(b, k),
+        AdaptiveLowestLevel,
+        FixedRate::new(1),
+        seed,
+    )
+}
+
+fn mrl99_engine(b: usize, k: usize, h: u32, seed: u64) -> Engine<u64, AdaptiveLowestLevel, Mrl99Schedule> {
+    Engine::new(
+        EngineConfig::new(b, k),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(h),
+        seed,
+    )
+}
+
+/// Exact φ-quantile of a slice per the paper's definition: the element at
+/// position ⌈φ·N⌉ (1-indexed) of the sorted sequence, clamped to [1, N].
+fn exact_quantile(data: &[u64], phi: f64) -> u64 {
+    let mut v = data.to_vec();
+    v.sort_unstable();
+    let n = v.len() as f64;
+    let pos = ((phi * n).ceil() as usize).clamp(1, v.len());
+    v[pos - 1]
+}
+
+/// The weighted-rank interval [lo, hi] that `value` occupies in the weighted
+/// sequence `tap` (1-indexed positions).
+fn weighted_rank_interval(tap: &[(u64, u64)], value: u64) -> (u64, u64) {
+    let mut sorted: Vec<(u64, u64)> = tap.to_vec();
+    sorted.sort_unstable();
+    let mut cum = 0u64;
+    let mut lo = None;
+    let mut hi = 0u64;
+    for (v, w) in sorted {
+        if v == value {
+            lo.get_or_insert(cum + 1);
+            hi = cum + w;
+        }
+        cum += w;
+    }
+    let lo = lo.expect("value must occur in the tap");
+    (lo, hi)
+}
+
+#[test]
+fn single_partial_buffer_is_exact() {
+    let mut e = det_engine(3, 100, 1);
+    let data: Vec<u64> = vec![42, 17, 99, 3, 55];
+    e.extend(data.iter().copied());
+    for phi in [0.0, 0.2, 0.5, 0.9, 1.0] {
+        assert_eq!(e.query(phi), Some(exact_quantile(&data, phi)), "phi={phi}");
+    }
+}
+
+#[test]
+fn no_collapse_regime_is_exact() {
+    // b*k = 300 >= N = 250: leaves fill but never collapse, so Output sees
+    // the full data and is exact.
+    let mut e = det_engine(3, 100, 2);
+    let data: Vec<u64> = (0..250).map(|i| (i * 7919) % 1000).collect();
+    e.extend(data.iter().copied());
+    for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+        assert_eq!(e.query(phi), Some(exact_quantile(&data, phi)), "phi={phi}");
+    }
+    assert_eq!(e.stats().collapses, 0);
+}
+
+#[test]
+fn mass_is_conserved_while_streaming() {
+    let mut e = det_engine(4, 8, 3);
+    for i in 0..1000u64 {
+        e.insert(i * 13 % 997);
+        assert_eq!(e.output_mass(), i + 1, "mass mismatch after {} inserts", i + 1);
+        assert_eq!(e.n(), i + 1);
+    }
+}
+
+#[test]
+fn mass_is_conserved_with_sampling() {
+    let mut e = mrl99_engine(4, 8, 2, 4);
+    for i in 0..5000u64 {
+        e.insert(i);
+        assert_eq!(e.output_mass(), i + 1, "mass mismatch after {} inserts", i + 1);
+    }
+    assert!(e.sampling_started(), "5000 elements through a 4x8 engine must sample");
+}
+
+#[test]
+fn finish_overcounts_less_than_one_block() {
+    let mut e = mrl99_engine(4, 8, 2, 5);
+    for i in 0..4443u64 {
+        e.insert(i);
+    }
+    let n = e.n();
+    let rate = e.current_rate();
+    e.finish();
+    let s = e.output_mass();
+    assert!(s >= n, "finish must not lose mass");
+    assert!(s - n < rate, "overcount {} >= one block {}", s - n, rate);
+}
+
+#[test]
+fn output_is_nondestructive_and_repeatable() {
+    let mut e = mrl99_engine(5, 16, 2, 6);
+    for i in 0..3000u64 {
+        e.insert((i * 2654435761) % 100_000);
+    }
+    let a = e.query(0.5);
+    let b = e.query(0.5);
+    assert_eq!(a, b);
+    let many = e.query_many(&[0.25, 0.5, 0.75]).unwrap();
+    assert_eq!(many[1], b.unwrap());
+    // Continue inserting after a query.
+    for i in 0..100u64 {
+        e.insert(i);
+    }
+    assert_eq!(e.n(), 3100);
+}
+
+#[test]
+fn query_many_matches_individual_queries_in_caller_order() {
+    let mut e = det_engine(5, 20, 7);
+    for i in 0..700u64 {
+        e.insert((i * 31) % 1009);
+    }
+    let phis = [0.9, 0.1, 0.5, 0.5, 0.0, 1.0];
+    let many = e.query_many(&phis).unwrap();
+    for (i, &phi) in phis.iter().enumerate() {
+        assert_eq!(Some(many[i]), e.query(phi), "phi={phi}");
+    }
+}
+
+#[test]
+fn empty_engine_returns_none() {
+    let e = det_engine(3, 4, 8);
+    assert_eq!(e.query(0.5), None);
+    assert_eq!(e.n(), 0);
+    assert_eq!(e.output_mass(), 0);
+}
+
+#[test]
+fn lemma4_bound_holds_for_deterministic_run() {
+    // Deterministic engine (rate 1): the sample sequence is the input
+    // itself, so the output must be within (W + w_max)/2 ranks of the exact
+    // quantile.
+    for seed in 0..5u64 {
+        let mut e = det_engine(4, 16, seed);
+        e.enable_sample_tap();
+        let data: Vec<u64> = (0..4096u64).map(|i| (i * 48271 + seed) % 65_536).collect();
+        e.extend(data.iter().copied());
+        let bound = e.tree_error_bound();
+        let s = e.output_mass();
+        let tap: Vec<(u64, u64)> = e.sample_tap().unwrap().to_vec();
+        assert_eq!(tap.len(), data.len(), "rate-1 tap records every element");
+        for phi in [0.05, 0.3, 0.5, 0.7, 0.95] {
+            let out = e.query(phi).unwrap();
+            let pos = ((phi * s as f64).ceil() as u64).clamp(1, s);
+            let (lo, hi) = weighted_rank_interval(&tap, out);
+            let dist = if pos < lo {
+                lo - pos
+            } else { pos.saturating_sub(hi) };
+            assert!(
+                dist <= bound,
+                "seed={seed} phi={phi}: rank distance {dist} exceeds Lemma-4 bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma4_bound_holds_for_sampled_tree_over_its_sample() {
+    // With sampling, the tree's guarantee is relative to the weighted
+    // sample sequence (Figure 1): check the output against the tap.
+    for seed in 0..3u64 {
+        let mut e = mrl99_engine(4, 12, 2, 100 + seed);
+        e.enable_sample_tap();
+        for i in 0..20_000u64 {
+            e.insert((i * 69621 + seed) % 1_000_003);
+        }
+        assert!(e.sampling_started());
+        let bound = e.tree_error_bound();
+        let tap: Vec<(u64, u64)> = e.sample_tap().unwrap().to_vec();
+        let tap_mass: u64 = tap.iter().map(|&(_, w)| w).sum();
+        // Live tail block: query() sees it, the tap does not (it is pushed
+        // on completion); compare at positions within the tap mass only.
+        for phi in [0.1, 0.5, 0.9] {
+            let out = e.query(phi).unwrap();
+            let s = e.output_mass();
+            let pos = ((phi * s as f64).ceil() as u64).clamp(1, tap_mass);
+            let (lo, hi) = weighted_rank_interval(&tap, out);
+            let dist = if pos < lo {
+                lo - pos
+            } else { pos.saturating_sub(hi) };
+            // The live tail may shift ranks by up to one block weight.
+            let slack = bound + e.current_rate();
+            assert!(
+                dist <= slack,
+                "seed={seed} phi={phi}: distance {dist} exceeds bound {slack}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_rate_doubles_as_tree_grows() {
+    let mut e = mrl99_engine(3, 4, 1, 9);
+    let mut rates = vec![e.current_rate()];
+    for i in 0..10_000u64 {
+        e.insert(i);
+        let r = e.current_rate();
+        if *rates.last().unwrap() != r {
+            rates.push(r);
+        }
+    }
+    // Rates must be 1, 2, 4, 8, ... consecutive powers of two.
+    assert!(rates.len() >= 3, "rate never advanced: {rates:?}");
+    for (i, &r) in rates.iter().enumerate() {
+        assert_eq!(r, if i == 0 { 1 } else { 1 << i }, "rates: {rates:?}");
+    }
+}
+
+#[test]
+fn memory_is_bounded_by_bk() {
+    let (b, k) = (5, 32);
+    let mut e = mrl99_engine(b, k, 3, 10);
+    for i in 0..100_000u64 {
+        e.insert(i);
+    }
+    assert!(e.memory_elements() <= b * k);
+    assert_eq!(e.max_allocated_slots(), b);
+}
+
+#[test]
+fn lazy_allocation_respects_schedule() {
+    let config = EngineConfig::new(4, 8);
+    // Buffer 0 immediately, 1 after 1 leaf, 2 after 4 leaves, 3 after 8.
+    let mut e: Engine<u64, _, _> = Engine::with_allocation(
+        config,
+        AdaptiveLowestLevel,
+        FixedRate::new(1),
+        vec![0, 1, 4, 8],
+        11,
+    );
+    let mut max_slots_at_leaf = Vec::new();
+    for i in 0..800u64 {
+        e.insert(i);
+        max_slots_at_leaf.push((e.stats().leaves, e.allocated_slots()));
+    }
+    for &(leaves, slots) in &max_slots_at_leaf {
+        // No slot may appear before its threshold (allowing the forced
+        // allocation when fewer than two buffers are full).
+        if leaves < 1 {
+            assert!(slots <= 2);
+        } else if leaves < 4 {
+            assert!(slots <= 3, "slots={slots} at leaves={leaves}");
+        }
+    }
+    assert_eq!(e.allocated_slots(), 4);
+    // Still answers queries.
+    assert!(e.query(0.5).is_some());
+}
+
+#[test]
+fn all_policies_produce_valid_runs() {
+    let data: Vec<u64> = (0..3000u64).map(|i| (i * 7907) % 10_000).collect();
+    let exact = exact_quantile(&data, 0.5);
+    let n = data.len() as u64;
+
+    fn check<P: CollapsePolicy>(policy: P, data: &[u64], n: u64, exact: u64) {
+        let name = policy.name();
+        let mut e = Engine::new(EngineConfig::new(4, 32), policy, FixedRate::new(1), 1);
+        e.extend(data.iter().copied());
+        assert_eq!(e.output_mass(), n, "{name} lost mass");
+        let out = e.query(0.5).unwrap();
+        // Rank error within the engine's own certified bound.
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        let rank_lo = sorted.iter().take_while(|&&v| v < out).count() as u64 + 1;
+        let rank_hi = sorted.iter().take_while(|&&v| v <= out).count() as u64;
+        let pos = (0.5 * n as f64).ceil() as u64;
+        let dist = if pos < rank_lo {
+            rank_lo - pos
+        } else { pos.saturating_sub(rank_hi) };
+        assert!(
+            dist <= e.tree_error_bound(),
+            "{name}: rank distance {dist} > bound {} (exact median {exact}, got {out})",
+            e.tree_error_bound()
+        );
+    }
+    check(AdaptiveLowestLevel, &data, n, exact);
+    check(MunroPaterson, &data, n, exact);
+    check(AlsabtiRankaSingh, &data, n, exact);
+}
+
+#[test]
+fn tree_recording_reconstructs_structure() {
+    let mut e = det_engine(3, 4, 12);
+    e.enable_tree_recording();
+    for i in 0..64u64 {
+        e.insert(i);
+    }
+    let rec = e.recorder().unwrap();
+    assert_eq!(rec.leaf_count() as u64, e.stats().leaves);
+    // Every collapse node's weight equals the sum of its children's weights.
+    for node in rec.nodes() {
+        if !node.children.is_empty() {
+            let sum: u64 = node.children.iter().map(|&c| rec.nodes()[c].weight).sum();
+            assert_eq!(node.weight, sum);
+        }
+    }
+    // Root mass accounts for all full leaves.
+    let roots = e.root_nodes();
+    assert!(!roots.is_empty());
+}
+
+#[test]
+fn extremes_of_stream_are_reachable() {
+    // phi = 0 returns something <= everything seen at rate 1 with no
+    // collapses; with collapses it must still be within bound of minimum.
+    let mut e = det_engine(3, 10, 13);
+    let data: Vec<u64> = (0..30u64).rev().collect();
+    e.extend(data.iter().copied());
+    assert_eq!(e.query(0.0), Some(0));
+    assert_eq!(e.query(1.0), Some(29));
+}
+
+#[test]
+#[should_panic(expected = "after finish")]
+fn insert_after_finish_panics() {
+    let mut e = det_engine(2, 2, 14);
+    e.insert(1);
+    e.finish();
+    e.insert(2);
+}
+
+#[test]
+fn finish_is_idempotent() {
+    let mut e = det_engine(2, 4, 15);
+    for i in 0..7u64 {
+        e.insert(i);
+    }
+    e.finish();
+    let a = e.query(0.5);
+    e.finish();
+    assert_eq!(e.query(0.5), a);
+}
+
+#[test]
+fn collapse_all_full_reduces_to_single_full_buffer() {
+    let mut e = det_engine(4, 8, 16);
+    for i in 0..32u64 {
+        e.insert(i); // exactly 4 full buffers
+    }
+    e.collapse_all_full();
+    let bufs = e.into_buffers();
+    assert_eq!(bufs.len(), 1);
+    assert_eq!(bufs[0].mass(), 32);
+}

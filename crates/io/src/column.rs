@@ -1,0 +1,241 @@
+//! A minimal binary column format and its streaming scan.
+//!
+//! Layout: 8-byte magic, 8-byte little-endian row count, then the rows as
+//! little-endian `u64`. The row count makes the file self-describing (and
+//! lets tests exercise the known-`N` algorithms against disk data), but
+//! the scan also works on truncated files — it simply ends early, which is
+//! exactly the unknown-`N` situation.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: `mrlcol01`.
+pub const COLUMN_MAGIC: [u8; 8] = *b"mrlcol01";
+
+/// Streaming writer for the binary column format.
+///
+/// Values are buffered and flushed through `BufWriter`; the row count in
+/// the header is back-patched on [`ColumnWriter::finish`].
+#[derive(Debug)]
+pub struct ColumnWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    rows: u64,
+}
+
+impl ColumnWriter {
+    /// Create (truncate) `path` and write the header.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut file = BufWriter::new(File::create(path.as_ref())?);
+        file.write_all(&COLUMN_MAGIC)?;
+        file.write_all(&0u64.to_le_bytes())?; // placeholder row count
+        Ok(Self {
+            file,
+            path: path.as_ref().to_path_buf(),
+            rows: 0,
+        })
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, value: u64) -> io::Result<()> {
+        self.file.write_all(&value.to_le_bytes())?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) -> io::Result<()> {
+        for v in iter {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flush, back-patch the row count, and close. Returns the row count.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.file.flush()?;
+        let file = self.file.into_inner().map_err(io::IntoInnerError::into_error)?;
+        drop(file);
+        // Back-patch the header.
+        use std::io::{Seek, SeekFrom};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        f.seek(SeekFrom::Start(COLUMN_MAGIC.len() as u64))?;
+        f.write_all(&self.rows.to_le_bytes())?;
+        Ok(self.rows)
+    }
+}
+
+/// Buffered forward scan of a binary column file.
+///
+/// Iterates `io::Result<u64>`; use [`ColumnScan::values`] when read errors
+/// should simply end the stream (with a counter of how many occurred).
+#[derive(Debug)]
+pub struct ColumnScan {
+    file: BufReader<File>,
+    declared_rows: u64,
+    read_rows: u64,
+}
+
+impl ColumnScan {
+    /// Open `path`, validating the magic and reading the declared row
+    /// count.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if magic != COLUMN_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an mrl column file (bad magic)",
+            ));
+        }
+        let mut count = [0u8; 8];
+        file.read_exact(&mut count)?;
+        Ok(Self {
+            file,
+            declared_rows: u64::from_le_bytes(count),
+            read_rows: 0,
+        })
+    }
+
+    /// The row count declared in the header (0 for files written by a
+    /// crashed writer that never called `finish`).
+    pub fn declared_rows(&self) -> u64 {
+        self.declared_rows
+    }
+
+    /// Rows read so far.
+    pub fn read_rows(&self) -> u64 {
+        self.read_rows
+    }
+
+    /// Adapt into a plain `Iterator<Item = u64>` that stops at end-of-file
+    /// or the first short read (a truncated trailing value is dropped).
+    pub fn values(self) -> impl Iterator<Item = u64> {
+        self.filter_map(Result::ok)
+    }
+}
+
+impl Iterator for ColumnScan {
+    type Item = io::Result<u64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut buf = [0u8; 8];
+        let mut filled = 0usize;
+        while filled < 8 {
+            match self.file.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return None, // clean EOF
+                Ok(0) => return None,                // truncated tail: drop
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        self.read_rows += 1;
+        Some(Ok(u64::from_le_bytes(buf)))
+    }
+}
+
+/// A re-openable scan: multi-pass algorithms (e.g. two-pass exact
+/// selection) need to read the same data more than once.
+#[derive(Clone, Debug)]
+pub struct Reiterable {
+    path: PathBuf,
+}
+
+impl Reiterable {
+    /// Wrap a column file path.
+    pub fn new<P: AsRef<Path>>(path: P) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Open a fresh scan (panics on IO errors — multi-pass callers have
+    /// already validated the file on pass one).
+    pub fn scan(&self) -> impl Iterator<Item = u64> {
+        ColumnScan::open(&self.path)
+            .expect("re-opening a previously valid column file")
+            .values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mrl-io-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let path = temp_path("roundtrip");
+        let mut w = ColumnWriter::create(&path).unwrap();
+        let data: Vec<u64> = (0..10_000).map(|i| i * 37 % 9973).collect();
+        w.extend(data.iter().copied()).unwrap();
+        assert_eq!(w.finish().unwrap(), 10_000);
+
+        let scan = ColumnScan::open(&path).unwrap();
+        assert_eq!(scan.declared_rows(), 10_000);
+        let back: Vec<u64> = scan.values().collect();
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_column() {
+        let path = temp_path("empty");
+        let w = ColumnWriter::create(&path).unwrap();
+        assert_eq!(w.finish().unwrap(), 0);
+        let scan = ColumnScan::open(&path).unwrap();
+        assert_eq!(scan.declared_rows(), 0);
+        assert_eq!(scan.values().count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"not a column file at all").unwrap();
+        let err = ColumnScan::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let path = temp_path("truncated");
+        let mut w = ColumnWriter::create(&path).unwrap();
+        w.extend([1u64, 2, 3]).unwrap();
+        w.finish().unwrap();
+        // Chop 3 bytes off the last value.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let back: Vec<u64> = ColumnScan::open(&path).unwrap().values().collect();
+        assert_eq!(back, vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reiterable_supports_multiple_passes() {
+        let path = temp_path("reiter");
+        let mut w = ColumnWriter::create(&path).unwrap();
+        w.extend(0..1_000u64).unwrap();
+        w.finish().unwrap();
+        let r = Reiterable::new(&path);
+        assert_eq!(r.scan().count(), 1_000);
+        assert_eq!(r.scan().sum::<u64>(), 499_500);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

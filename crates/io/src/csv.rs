@@ -1,0 +1,157 @@
+//! Single-column CSV scanning.
+//!
+//! Reads one numeric column out of a comma-separated file without
+//! materialising rows. Deliberately minimal: no quoting or escaping (the
+//! synthetic table exports this repository works with don't use them);
+//! malformed cells are counted and skipped rather than aborting the scan —
+//! a one-pass aggregation over a billion rows should not die on row
+//! 999 999 999.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Streaming scan of one CSV column as `u64`.
+#[derive(Debug)]
+pub struct CsvColumnScan {
+    reader: BufReader<File>,
+    column: usize,
+    line: String,
+    skipped: u64,
+    rows: u64,
+}
+
+impl CsvColumnScan {
+    /// Open `path` and scan column `column` (0-based). When `has_header`
+    /// is true the first line is consumed and ignored.
+    pub fn open<P: AsRef<Path>>(path: P, column: usize, has_header: bool) -> io::Result<Self> {
+        let mut reader = BufReader::new(File::open(path)?);
+        if has_header {
+            let mut header = String::new();
+            reader.read_line(&mut header)?;
+        }
+        Ok(Self {
+            reader,
+            column,
+            line: String::new(),
+            skipped: 0,
+            rows: 0,
+        })
+    }
+
+    /// Cells that failed to parse (or rows missing the column) so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Values produced so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+impl Iterator for CsvColumnScan {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(_) => return None,
+            }
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            match trimmed.split(',').nth(self.column) {
+                Some(cell) => match cell.trim().parse::<u64>() {
+                    Ok(v) => {
+                        self.rows += 1;
+                        return Some(v);
+                    }
+                    Err(_) => {
+                        self.skipped += 1;
+                        continue;
+                    }
+                },
+                None => {
+                    self.skipped += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: scan column `column` of `path` (header expected when
+/// `has_header`), yielding all parseable values.
+pub fn csv_column<P: AsRef<Path>>(
+    path: P,
+    column: usize,
+    has_header: bool,
+) -> io::Result<CsvColumnScan> {
+    CsvColumnScan::open(path, column, has_header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_csv(tag: &str, contents: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mrl-io-csv-{tag}-{}.csv", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        p
+    }
+
+    #[test]
+    fn scans_the_requested_column() {
+        let p = temp_csv(
+            "basic",
+            "id,amount,region\n1,500,west\n2,1200,east\n3,80,west\n",
+        );
+        let scan = csv_column(&p, 1, true).unwrap();
+        let vals: Vec<u64> = scan.collect();
+        assert_eq!(vals, vec![500, 1200, 80]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn malformed_cells_are_skipped_and_counted() {
+        let p = temp_csv("malformed", "a\n10\nnot-a-number\n20\n\n30\n");
+        let mut scan = csv_column(&p, 0, true).unwrap();
+        let mut vals = Vec::new();
+        for v in scan.by_ref() {
+            vals.push(v);
+        }
+        assert_eq!(vals, vec![10, 20, 30]);
+        assert_eq!(scan.skipped(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn missing_column_counts_as_skipped() {
+        let p = temp_csv("narrow", "1,2\n3\n4,5\n");
+        let mut scan = csv_column(&p, 1, false).unwrap();
+        let mut vals = Vec::new();
+        for v in scan.by_ref() {
+            vals.push(v);
+        }
+        assert_eq!(vals, vec![2, 5]);
+        assert_eq!(scan.skipped(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn windows_line_endings() {
+        let p = temp_csv("crlf", "x\r\n7\r\n8\r\n");
+        let vals: Vec<u64> = csv_column(&p, 0, true).unwrap().collect();
+        assert_eq!(vals, vec![7, 8]);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

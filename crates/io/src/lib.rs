@@ -1,0 +1,26 @@
+//! Disk-resident dataset substrate.
+//!
+//! The paper targets "online **or disk-resident** datasets" processed in a
+//! single pass (§1): the quantile algorithms never need the data in
+//! memory, only a forward scan. This crate provides that scan:
+//!
+//! * [`ColumnWriter`] / [`ColumnScan`] — a minimal binary column format
+//!   (little-endian `u64` values with a small header), written streaming
+//!   and read back as a buffered iterator;
+//! * [`csv_column`] — a single numeric column out of a CSV file, scanned
+//!   without materialising rows;
+//! * [`Reiterable`] — re-openable scans for the multi-pass algorithms
+//!   (`mrl-exact`'s two-pass selection needs to read the data twice).
+//!
+//! Everything is plain `std::io` (no new dependencies) and streams through
+//! fixed-size buffers — the working set stays `O(1)` regardless of file
+//! size, matching the algorithms it feeds.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod column;
+mod csv;
+
+pub use column::{ColumnScan, ColumnWriter, Reiterable, COLUMN_MAGIC};
+pub use csv::{csv_column, CsvColumnScan};

@@ -1,0 +1,81 @@
+//! The disk-resident pipeline end-to-end: generate a table to disk, scan
+//! it once through the sketch, and compare against exact quantiles of the
+//! same file — the paper's single-pass-over-disk-data setting.
+
+use mrl_core::{OptimizerOptions, UnknownN};
+use mrl_exact::rank_error;
+use mrl_io::{ColumnScan, ColumnWriter, Reiterable};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mrl-io-pipeline-{tag}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn single_pass_over_disk_column_meets_guarantee() {
+    let path = temp_path("sketch");
+    let n = 300_000u64;
+    {
+        let mut w = ColumnWriter::create(&path).unwrap();
+        w.extend((0..n).map(|i| (i * 2654435761) % 1_000_003)).unwrap();
+        assert_eq!(w.finish().unwrap(), n);
+    }
+
+    // One streaming pass: the file never fits in the sketch's memory.
+    let mut sketch = UnknownN::<u64>::with_options(0.02, 0.01, OptimizerOptions::fast())
+        .with_seed(4);
+    for v in ColumnScan::open(&path).unwrap().values() {
+        sketch.insert(v);
+    }
+    assert_eq!(sketch.n(), n);
+
+    // Ground truth from a second (test-only) pass.
+    let data: Vec<u64> = ColumnScan::open(&path).unwrap().values().collect();
+    for phi in [0.1, 0.5, 0.9] {
+        let ans = sketch.query(phi).unwrap();
+        assert!(
+            rank_error(&data, &ans, phi) <= 0.02,
+            "phi={phi} over disk data"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn two_pass_exact_selection_over_disk() {
+    let path = temp_path("twopass");
+    let n = 50_000u64;
+    {
+        let mut w = ColumnWriter::create(&path).unwrap();
+        w.extend((0..n).map(|i| (i * 48271) % 99_991)).unwrap();
+        w.finish().unwrap();
+    }
+    let reiter = Reiterable::new(&path);
+    let r = n / 2;
+    let got = mrl_exact::two_pass_select(|| reiter.scan(), r, 7);
+    let mut data: Vec<u64> = reiter.scan().collect();
+    data.sort_unstable();
+    assert_eq!(got, data[(r - 1) as usize]);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn sketch_memory_stays_flat_while_file_grows() {
+    let path = temp_path("flatmem");
+    let mut w = ColumnWriter::create(&path).unwrap();
+    w.extend(0..400_000u64).unwrap();
+    w.finish().unwrap();
+
+    let mut sketch = UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast())
+        .with_seed(9);
+    let bound = sketch.memory_bound_elements();
+    for (i, v) in ColumnScan::open(&path).unwrap().values().enumerate() {
+        sketch.insert(v);
+        if i % 50_000 == 0 {
+            assert!(sketch.memory_elements() <= bound);
+        }
+    }
+    assert!(sketch.memory_elements() <= bound);
+    std::fs::remove_file(&path).unwrap();
+}

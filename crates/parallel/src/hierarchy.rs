@@ -1,0 +1,149 @@
+//! Hierarchical (grouped) merging for high degrees of parallelism (§6).
+//!
+//! "When the degree of parallelism is very large, collecting output
+//! buffers at one node may deteriorate performance significantly. In such
+//! a case, we aggregate processors into multiple groups. One designated
+//! processor in each group collects the output buffers from all others in
+//! its group. In the end, the outputs from these processors can be
+//! collected at one processor. As far as theoretical analysis … all that
+//! matters is the increase in the height of the tree, which we denote by
+//! h'."
+//!
+//! A group coordinator behaves exactly like the root coordinator; its
+//! *own* buffers are then shipped upward: full buffers travel as-is
+//! (weights retained), and its staging buffer travels as a partial buffer.
+
+use mrl_framework::{Buffer, BufferState};
+
+use crate::Coordinator;
+
+/// Extract a coordinator's state as shippable buffers (full buffers plus
+/// at most one partial from the staging area), for forwarding to a
+/// higher-level coordinator.
+pub fn ship_upward<T: Ord + Clone>(coordinator: Coordinator<T>) -> Vec<Buffer<T>> {
+    coordinator.into_buffers()
+}
+
+/// Merge worker buffer sets through a two-level hierarchy: `group_size`
+/// workers per group coordinator, then one root coordinator over the
+/// groups. Returns the root. (`b`, `k` size every coordinator; the §6
+/// analysis charges the extra level as `+h'` tree height.)
+///
+/// # Panics
+/// Panics if `group_size == 0` or `worker_outputs` is empty.
+pub fn merge_hierarchical<T: Ord + Clone>(
+    worker_outputs: Vec<Vec<Buffer<T>>>,
+    group_size: usize,
+    b: usize,
+    k: usize,
+    seed: u64,
+) -> Coordinator<T> {
+    assert!(group_size >= 1, "groups must hold at least one worker");
+    assert!(!worker_outputs.is_empty(), "need at least one worker output");
+    let mut root = Coordinator::<T>::new(b, k, seed);
+    for (g, group) in worker_outputs.chunks(group_size).enumerate() {
+        let mut group_coord = Coordinator::<T>::new(b, k, seed ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9));
+        // Full buffers first, then partials heaviest-first, so every
+        // shrink ratio stays integral (partial weights are powers of two).
+        let mut partials: Vec<Buffer<T>> = Vec::new();
+        for buffers in group {
+            for buf in buffers.iter().cloned() {
+                if buf.state() == BufferState::Full {
+                    group_coord.add_buffer(buf);
+                } else {
+                    partials.push(buf);
+                }
+            }
+        }
+        partials.sort_by_key(|p| std::cmp::Reverse(p.weight()));
+        for p in partials {
+            group_coord.add_buffer(p);
+        }
+        // Ship the group's state to the root.
+        let mut shipped = ship_upward(group_coord);
+        shipped.sort_by_key(|p| {
+            (
+                p.state() == BufferState::Partial, // fulls first
+                std::cmp::Reverse(p.weight()),
+            )
+        });
+        for buf in shipped {
+            root.add_buffer(buf);
+        }
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_buffer(data: Vec<u64>, weight: u64, k: usize) -> Buffer<u64> {
+        let mut b = Buffer::empty(k);
+        b.populate(data, weight, 0, k);
+        b
+    }
+
+    #[test]
+    fn hierarchical_merge_of_sixteen_workers() {
+        let k = 32usize;
+        // 16 workers, each covering a disjoint slice of 0..16*32.
+        let outputs: Vec<Vec<Buffer<u64>>> = (0..16u64)
+            .map(|w| {
+                let data: Vec<u64> = (0..k as u64).map(|i| w * k as u64 + i).collect();
+                vec![full_buffer(data, 1, k)]
+            })
+            .collect();
+        let root = merge_hierarchical(outputs, 4, 4, k, 7);
+        let n = 16.0 * k as f64;
+        let med = root.query(0.5).unwrap() as f64;
+        assert!((med - n / 2.0).abs() <= 0.2 * n, "median {med} of {n}");
+        // Mass is conserved through both levels (all-full shipments incur
+        // no shrink loss).
+        assert_eq!(root.mass(), 16 * k as u64);
+    }
+
+    #[test]
+    fn flat_and_hierarchical_agree_approximately() {
+        let k = 64usize;
+        let outputs: Vec<Vec<Buffer<u64>>> = (0..8u64)
+            .map(|w| {
+                let data: Vec<u64> = (0..k as u64).map(|i| (w * k as u64 + i) * 7 % 4096).collect();
+                vec![full_buffer(data, 2, k)]
+            })
+            .collect();
+        let flat = merge_hierarchical(outputs.clone(), 8, 4, k, 3); // one group = flat
+        let hier = merge_hierarchical(outputs, 2, 4, k, 3);
+        let n = flat.mass() as f64;
+        for phi in [0.25, 0.5, 0.75] {
+            let a = flat.query(phi).unwrap() as f64;
+            let b = hier.query(phi).unwrap() as f64;
+            // Both are approximations of the same multiset; they must land
+            // within a few collapse-errors of each other.
+            assert!(
+                (a - b).abs() <= 0.25 * 4096.0,
+                "phi={phi}: flat {a} vs hierarchical {b} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn partials_survive_two_levels() {
+        let k = 8usize;
+        let mut p1 = Buffer::empty(k);
+        p1.populate(vec![1, 2, 3], 2, 0, k);
+        let mut p2 = Buffer::empty(k);
+        p2.populate(vec![10, 20], 2, 0, k);
+        let root = merge_hierarchical(vec![vec![p1], vec![p2]], 1, 3, k, 9);
+        // Each went through its own group coordinator, then upward.
+        assert_eq!(root.mass(), (3 + 2) * 2);
+        assert_eq!(root.query(0.0), Some(1));
+        assert_eq!(root.query(1.0), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_input_panics() {
+        let _ = merge_hierarchical(Vec::<Vec<Buffer<u64>>>::new(), 4, 4, 8, 1);
+    }
+}

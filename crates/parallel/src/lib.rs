@@ -1,0 +1,32 @@
+//! Parallel quantile computation (§6).
+//!
+//! `P` workers each run the single-stream unknown-`N` algorithm on their own
+//! input sequence; any sequence may terminate at any time. On termination a
+//! worker collapses its full buffers down to at most one full and one
+//! partial buffer and ships them — tagged with weights and sizes — to a
+//! distinguished coordinator (the paper's "Processor P₀"), which:
+//!
+//! * assigns level 0 to incoming full buffers, **retaining their weights**;
+//! * folds incoming partial buffers into a staging buffer `B₀`, first
+//!   equalising weights by *shrink-by-sampling*: the lighter buffer is
+//!   subsampled at rate `w_big / w_small` (one random element per block)
+//!   and re-weighted (§6's worked example: `W_in = 8`, `W₀ = 2` shrinks
+//!   `B₀` by 4);
+//! * collapses as needed when its buffer set fills, and finally invokes
+//!   `Output` over everything.
+//!
+//! Interprocessor communication is one buffer shipment per worker — the
+//! minimal traffic the paper calls for.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod coordinator;
+mod hierarchy;
+mod merge;
+mod runner;
+
+pub use coordinator::Coordinator;
+pub use hierarchy::{merge_hierarchical, ship_upward};
+pub use merge::merge_sketches;
+pub use runner::{parallel_quantiles, ParallelOutcome};

@@ -1,0 +1,131 @@
+//! Serial sketch merging: combine independently built [`UnknownN`]
+//! sketches without threads (the map-reduce shape: build sketches
+//! wherever the data lives, merge the small sketch states centrally).
+//!
+//! Semantically identical to [`crate::parallel_quantiles`]'s coordinator
+//! stage — each sketch contributes at most one full and one partial buffer
+//! after its final collapse (§6).
+
+use mrl_core::UnknownN;
+use mrl_framework::{Buffer, BufferState};
+
+use crate::Coordinator;
+
+/// Merge finished sketches into a [`Coordinator`] answering quantiles over
+/// the union of their inputs. All sketches must share the same `(b, k)`
+/// configuration (build them from one `UnknownNConfig`).
+///
+/// Returns `None` when every sketch is empty.
+///
+/// # Panics
+/// Panics if `sketches` is empty or configurations disagree.
+pub fn merge_sketches<T: Ord + Clone>(
+    sketches: Vec<UnknownN<T>>,
+    seed: u64,
+) -> Option<Coordinator<T>> {
+    assert!(!sketches.is_empty(), "need at least one sketch");
+    let (b, k) = {
+        let c = sketches[0].config();
+        (c.b, c.k)
+    };
+    let mut any_data = false;
+    let mut fulls: Vec<Buffer<T>> = Vec::new();
+    let mut partials: Vec<Buffer<T>> = Vec::new();
+    for sketch in sketches {
+        assert_eq!(
+            (sketch.config().b, sketch.config().k),
+            (b, k),
+            "all sketches must share one (b, k) configuration"
+        );
+        if sketch.n() > 0 {
+            any_data = true;
+        }
+        let mut engine = sketch.into_engine();
+        engine.finish();
+        engine.collapse_all_full();
+        for buf in engine.into_buffers() {
+            if buf.state() == BufferState::Full {
+                fulls.push(buf);
+            } else {
+                partials.push(buf);
+            }
+        }
+    }
+    if !any_data {
+        return None;
+    }
+    let mut coordinator = Coordinator::new(b, k, seed);
+    for buf in fulls {
+        coordinator.add_buffer(buf);
+    }
+    // Heaviest-first keeps every shrink ratio integral (weights are powers
+    // of two).
+    partials.sort_by_key(|p| std::cmp::Reverse(p.weight()));
+    for buf in partials {
+        coordinator.add_buffer(buf);
+    }
+    Some(coordinator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrl_core::OptimizerOptions;
+
+    fn config() -> mrl_core::UnknownNConfig {
+        mrl_analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, OptimizerOptions::fast())
+    }
+
+    #[test]
+    fn merged_sketches_cover_the_union() {
+        let cfg = config();
+        let mut parts = Vec::new();
+        for w in 0..4u64 {
+            let mut s = UnknownN::<u64>::from_config(cfg.clone(), w);
+            s.extend((0..50_000u64).map(|i| w * 50_000 + i));
+            parts.push(s);
+        }
+        let merged = merge_sketches(parts, 9).unwrap();
+        let n = 200_000f64;
+        for phi in [0.25, 0.5, 0.75] {
+            let q = merged.query(phi).unwrap() as f64;
+            assert!(
+                (q - phi * n).abs() <= 0.06 * n,
+                "phi={phi}: merged quantile {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_one_sketch_preserves_answers_approximately() {
+        let cfg = config();
+        let mut s = UnknownN::<u64>::from_config(cfg.clone(), 3);
+        s.extend((0..80_000u64).map(|i| (i * 48271) % 80_000));
+        let direct = s.query(0.5).unwrap() as f64;
+        let merged = merge_sketches(vec![s], 1).unwrap();
+        let via_merge = merged.query(0.5).unwrap() as f64;
+        // The final collapse perturbs ranks by at most the tree bound.
+        assert!(
+            (direct - via_merge).abs() <= 0.1 * 80_000.0,
+            "direct {direct} vs merged {via_merge}"
+        );
+    }
+
+    #[test]
+    fn empty_sketches_merge_to_none() {
+        let cfg = config();
+        let parts = vec![
+            UnknownN::<u64>::from_config(cfg.clone(), 1),
+            UnknownN::<u64>::from_config(cfg.clone(), 2),
+        ];
+        assert!(merge_sketches(parts, 5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one (b, k)")]
+    fn mismatched_configs_panic() {
+        let a = UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast());
+        let b = UnknownN::<u64>::with_options(0.1, 0.01, OptimizerOptions::fast());
+        let _ = merge_sketches(vec![a, b], 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end parallel execution: spawn one worker thread per input
+//! sequence, run the single-stream unknown-`N` algorithm in each, ship the
+//! final buffers to a [`Coordinator`], and answer quantiles over the
+//! aggregate (§6).
+
+use crossbeam::channel;
+use std::thread;
+
+use mrl_core::{OptimizerOptions, UnknownN, UnknownNConfig};
+use mrl_framework::Buffer;
+
+use crate::Coordinator;
+
+/// Result of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelOutcome<T> {
+    /// The requested quantiles, in caller order.
+    pub quantiles: Vec<T>,
+    /// Total elements consumed across all workers.
+    pub total_n: u64,
+    /// Number of workers.
+    pub workers: usize,
+    /// Per-worker memory bound in elements (`b·k`).
+    pub worker_memory_elements: usize,
+    /// Coordinator memory bound in elements.
+    pub coordinator_memory_elements: usize,
+}
+
+/// Compute approximate quantiles of the aggregate of `inputs`, running one
+/// worker per input sequence (§6's setting: "P separate input sequences,
+/// one per processor; any input sequence may terminate at any time").
+///
+/// Every worker runs the single-stream algorithm with the certified
+/// `(ε, δ)` configuration; upon exhaustion it collapses its full buffers
+/// and ships at most one full and one partial buffer to the coordinator.
+///
+/// Returns `None` if every input was empty.
+///
+/// # Panics
+/// Panics if `inputs` is empty or a worker thread panics.
+pub fn parallel_quantiles<T, I>(
+    inputs: Vec<I>,
+    epsilon: f64,
+    delta: f64,
+    phis: &[f64],
+    opts: OptimizerOptions,
+    seed: u64,
+) -> Option<ParallelOutcome<T>>
+where
+    T: Ord + Clone + Send + 'static,
+    I: IntoIterator<Item = T> + Send,
+{
+    assert!(!inputs.is_empty(), "need at least one input sequence");
+    let config = mrl_analysis_config(epsilon, delta, opts);
+    let workers = inputs.len();
+    let (tx, rx) = channel::unbounded::<(u64, Vec<Buffer<T>>)>();
+
+    thread::scope(|scope| {
+        for (i, input) in inputs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut sketch = UnknownN::from_config(config, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                for item in input {
+                    sketch.insert(item);
+                }
+                let n = sketch.n();
+                let mut engine = sketch.into_engine();
+                engine.finish();
+                // At most one full + one partial buffer leave the worker.
+                engine.collapse_all_full();
+                tx.send((n, engine.into_buffers()))
+                    .expect("coordinator outlives workers");
+            });
+        }
+        drop(tx);
+
+        let mut coordinator = Coordinator::<T>::new(config.b, config.k, seed ^ 0x00C0_FFEE);
+        let mut total_n = 0u64;
+        // Collect full buffers first so the coordinator's staging logic sees
+        // partials in one batch — arrival order is otherwise arbitrary.
+        let mut partials: Vec<Buffer<T>> = Vec::new();
+        for (n, buffers) in rx {
+            total_n += n;
+            for b in buffers {
+                if b.state() == mrl_framework::BufferState::Full {
+                    coordinator.add_buffer(b);
+                } else {
+                    partials.push(b);
+                }
+            }
+        }
+        // Ship partials heaviest-first so every shrink ratio is integral
+        // even in mixed-rate runs (weights are powers of two).
+        partials.sort_by_key(|b| std::cmp::Reverse(b.weight()));
+        for b in partials {
+            coordinator.add_buffer(b);
+        }
+
+        let quantiles = coordinator.query_many(phis)?;
+        Some(ParallelOutcome {
+            quantiles,
+            total_n,
+            workers,
+            worker_memory_elements: config.memory,
+            coordinator_memory_elements: coordinator.memory_bound_elements(),
+        })
+    })
+}
+
+fn mrl_analysis_config(epsilon: f64, delta: f64, opts: OptimizerOptions) -> UnknownNConfig {
+    mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> OptimizerOptions {
+        OptimizerOptions::fast()
+    }
+
+    #[test]
+    fn two_workers_cover_disjoint_ranges() {
+        let n_per = 100_000u64;
+        let inputs = vec![
+            (0..n_per).collect::<Vec<u64>>(),
+            (n_per..2 * n_per).collect::<Vec<u64>>(),
+        ];
+        let out = parallel_quantiles(inputs, 0.05, 0.01, &[0.25, 0.5, 0.75], fast(), 1).unwrap();
+        assert_eq!(out.total_n, 2 * n_per);
+        assert_eq!(out.workers, 2);
+        let n = 2.0 * n_per as f64;
+        for (q, phi) in out.quantiles.iter().zip([0.25, 0.5, 0.75]) {
+            assert!(
+                (*q as f64 - phi * n).abs() <= 0.05 * n + 1.0,
+                "phi={phi}: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_worker_loads() {
+        // One giant stream, one tiny, one empty-ish: §6 allows any
+        // sequence to terminate at any time.
+        let inputs = vec![
+            (0..300_000u64).map(|i| (i * 2654435761) % 1_000_000).collect::<Vec<u64>>(),
+            (0..137u64).map(|i| i * 7_000).collect::<Vec<u64>>(),
+            vec![999_999u64],
+        ];
+        let mut all: Vec<u64> = inputs.iter().flatten().copied().collect();
+        let out = parallel_quantiles(inputs, 0.05, 0.01, &[0.5], fast(), 3).unwrap();
+        all.sort_unstable();
+        let exact = all[all.len() / 2] as f64;
+        let got = out.quantiles[0] as f64;
+        assert!(
+            (got - exact).abs() <= 0.06 * all.len() as f64 * (1_000_000.0 / all.len() as f64),
+            "median {got} vs exact {exact}"
+        );
+        // Rank-based check (values are ~uniform over 0..1e6 so ranks scale).
+        let rank = all.iter().filter(|&&v| v <= out.quantiles[0]).count() as f64;
+        let err = (rank - all.len() as f64 / 2.0).abs() / all.len() as f64;
+        assert!(err <= 0.06, "rank error {err}");
+    }
+
+    #[test]
+    fn eight_workers_accuracy() {
+        let per = 50_000u64;
+        let inputs: Vec<Vec<u64>> = (0..8u64)
+            .map(|w| {
+                (0..per)
+                    .map(|i| ((w * per + i) * 48271) % 400_000)
+                    .collect()
+            })
+            .collect();
+        let mut all: Vec<u64> = inputs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let out = parallel_quantiles(inputs, 0.05, 0.01, &[0.1, 0.9], fast(), 5).unwrap();
+        for (q, phi) in out.quantiles.iter().zip([0.1, 0.9]) {
+            let rank = all.iter().filter(|&&v| v <= *q).count() as f64;
+            let err = (rank - phi * all.len() as f64).abs() / all.len() as f64;
+            assert!(err <= 0.06, "phi={phi}: rank error {err}");
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let input = vec![(0..80_000u64).collect::<Vec<u64>>()];
+        let out = parallel_quantiles(input, 0.05, 0.01, &[0.5], fast(), 7).unwrap();
+        assert!((out.quantiles[0] as f64 - 40_000.0).abs() <= 0.05 * 80_000.0 + 1.0);
+    }
+
+    #[test]
+    fn all_empty_inputs_return_none() {
+        let inputs: Vec<Vec<u64>> = vec![vec![], vec![]];
+        assert!(parallel_quantiles(inputs, 0.1, 0.01, &[0.5], fast(), 9).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Independent per-element Bernoulli sampling.
+//!
+//! The extreme-value estimator of §7 draws a random sample "with
+//! replacement (not much different from a sample without replacement if the
+//! sample size is small with respect to N)". The practical known-`N`
+//! realisation is to flip an independent coin with success probability
+//! `s / N` for each element, giving a sample of expected size `s`.
+
+use rand::Rng;
+
+use crate::SketchRng;
+
+/// Samples each offered element independently with a fixed probability.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler {
+    probability: f64,
+    seen: u64,
+    taken: u64,
+}
+
+impl BernoulliSampler {
+    /// Create a sampler with inclusion probability `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a finite number in `[0, 1]`.
+    pub fn new(probability: f64) -> Self {
+        assert!(
+            probability.is_finite() && (0.0..=1.0).contains(&probability),
+            "inclusion probability must lie in [0, 1]"
+        );
+        Self {
+            probability,
+            seen: 0,
+            taken: 0,
+        }
+    }
+
+    /// Sampler sized for an expected `s` samples out of `n` elements
+    /// (probability `min(1, s/n)`).
+    pub fn for_expected_sample(s: u64, n: u64) -> Self {
+        assert!(n > 0, "population size must be positive");
+        Self::new((s as f64 / n as f64).min(1.0))
+    }
+
+    /// Decide whether the next element is sampled.
+    pub fn accept(&mut self, rng: &mut SketchRng) -> bool {
+        self.seen += 1;
+        let take = self.probability >= 1.0 || rng.gen::<f64>() < self.probability;
+        if take {
+            self.taken += 1;
+        }
+        take
+    }
+
+    /// The inclusion probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Elements accepted so far.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn probability_one_takes_everything() {
+        let mut rng = rng_from_seed(5);
+        let mut s = BernoulliSampler::new(1.0);
+        for _ in 0..1000 {
+            assert!(s.accept(&mut rng));
+        }
+        assert_eq!(s.taken(), 1000);
+    }
+
+    #[test]
+    fn probability_zero_takes_nothing() {
+        let mut rng = rng_from_seed(5);
+        let mut s = BernoulliSampler::new(0.0);
+        for _ in 0..1000 {
+            assert!(!s.accept(&mut rng));
+        }
+        assert_eq!(s.taken(), 0);
+    }
+
+    #[test]
+    fn sample_size_concentrates_around_expectation() {
+        let mut rng = rng_from_seed(5);
+        let mut s = BernoulliSampler::for_expected_sample(5_000, 100_000);
+        for _ in 0..100_000 {
+            s.accept(&mut rng);
+        }
+        let taken = s.taken() as f64;
+        assert!(
+            (taken - 5_000.0).abs() < 300.0,
+            "sample size {taken} far from expected 5000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn rejects_out_of_range_probability() {
+        let _ = BernoulliSampler::new(1.5);
+    }
+}

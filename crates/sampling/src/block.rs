@@ -1,0 +1,208 @@
+//! Per-block sampling: one uniform representative from every block of `r`
+//! consecutive stream elements.
+//!
+//! This is the sampler behind the paper's `New` operation (§3.1). Choosing
+//! one element from each *disjoint* block is sampling **without replacement**
+//! and, as the paper notes (§4.4), is much easier to implement online than
+//! classical without-replacement schemes: no index bookkeeping is needed.
+//!
+//! The implementation uses a size-one reservoir per block (replace the
+//! current representative of the `i`-th element of the block with probability
+//! `1/i`). This is exactly uniform over the block and — unlike drawing the
+//! winning offset up front — still yields a uniform representative of
+//! whatever *prefix* of the final block has arrived when the stream runs dry,
+//! which the partial-buffer logic relies on.
+
+use rand::Rng;
+
+use crate::SketchRng;
+
+/// Streaming sampler that emits one uniformly chosen representative per
+/// block of `rate` input elements.
+///
+/// Feed elements with [`BlockSampler::offer`]; it returns `Some(repr)`
+/// whenever a block completes. On end of stream, [`BlockSampler::flush`]
+/// returns the representative of the trailing incomplete block (if any)
+/// together with the number of elements it actually represents.
+#[derive(Debug, Clone)]
+pub struct BlockSampler<T> {
+    rate: u64,
+    seen_in_block: u64,
+    current: Option<T>,
+}
+
+impl<T> BlockSampler<T> {
+    /// Create a sampler with the given block size (`rate >= 1`).
+    ///
+    /// # Panics
+    /// Panics if `rate == 0`.
+    pub fn new(rate: u64) -> Self {
+        assert!(rate >= 1, "block sampling rate must be at least 1");
+        Self {
+            rate,
+            seen_in_block: 0,
+            current: None,
+        }
+    }
+
+    /// The block size `r`. Each emitted representative stands for `r`
+    /// consecutive input elements.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Number of elements consumed from the current (incomplete) block.
+    pub fn pending(&self) -> u64 {
+        self.seen_in_block
+    }
+
+    /// Offer one stream element. Returns the block representative when this
+    /// element completes a block of `rate` elements.
+    pub fn offer(&mut self, item: T, rng: &mut SketchRng) -> Option<T> {
+        self.seen_in_block += 1;
+        // Size-one reservoir: the i-th element of the block replaces the
+        // current representative with probability 1/i.
+        if self.seen_in_block == 1 || rng.gen_range(0..self.seen_in_block) == 0 {
+            self.current = Some(item);
+        }
+        if self.seen_in_block == self.rate {
+            self.seen_in_block = 0;
+            self.current.take()
+        } else {
+            None
+        }
+    }
+
+    /// The representative of the current incomplete block, together with the
+    /// number of elements it represents, without consuming it. Used for
+    /// non-destructive mid-stream `Output`.
+    pub fn peek(&self) -> Option<(&T, u64)> {
+        self.current.as_ref().map(|v| (v, self.seen_in_block))
+    }
+
+    /// Close the current block early (end of stream). Returns the
+    /// representative of the incomplete block and the number of elements it
+    /// represents, or `None` if the block was empty.
+    pub fn flush(&mut self) -> Option<(T, u64)> {
+        let seen = self.seen_in_block;
+        self.seen_in_block = 0;
+        self.current.take().map(|item| (item, seen))
+    }
+
+    /// Reconstruct a sampler mid-block (snapshot restore): `pending` is the
+    /// current block's representative and how many elements it has seen.
+    ///
+    /// # Panics
+    /// Panics if `rate == 0` or the pending count is not below `rate`.
+    pub fn with_pending(rate: u64, pending: Option<(T, u64)>) -> Self {
+        assert!(rate >= 1, "block sampling rate must be at least 1");
+        let (current, seen_in_block) = match pending {
+            Some((repr, seen)) => {
+                assert!(seen >= 1 && seen < rate, "pending count must lie in [1, rate)");
+                (Some(repr), seen)
+            }
+            None => (None, 0),
+        };
+        Self {
+            rate,
+            seen_in_block,
+            current,
+        }
+    }
+
+    /// Discard any partially accumulated block and change the block size.
+    ///
+    /// The MRL99 algorithm only changes the sampling rate on block
+    /// boundaries aligned with buffer boundaries, so in practice the pending
+    /// block is empty when this is called; the engine asserts as much.
+    pub fn reset_with_rate(&mut self, rate: u64) {
+        assert!(rate >= 1, "block sampling rate must be at least 1");
+        self.rate = rate;
+        self.seen_in_block = 0;
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn rate_one_is_identity() {
+        let mut rng = rng_from_seed(7);
+        let mut s = BlockSampler::new(1);
+        for i in 0..100u32 {
+            assert_eq!(s.offer(i, &mut rng), Some(i));
+        }
+        assert!(s.flush().is_none());
+    }
+
+    #[test]
+    fn emits_one_per_block() {
+        let mut rng = rng_from_seed(7);
+        let mut s = BlockSampler::new(4);
+        let mut out = Vec::new();
+        for i in 0..17u32 {
+            if let Some(v) = s.offer(i, &mut rng) {
+                out.push(v);
+            }
+        }
+        assert_eq!(out.len(), 4);
+        // Representative of block j lies within that block.
+        for (j, v) in out.iter().enumerate() {
+            let lo = (j as u32) * 4;
+            assert!((lo..lo + 4).contains(v), "repr {v} outside block {j}");
+        }
+        // One element pending in the trailing block.
+        let (tail, seen) = s.flush().expect("trailing block has an element");
+        assert_eq!(tail, 16);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn representative_is_uniform_within_block() {
+        // Chi-square-style check: over many blocks of size 8, each offset
+        // should win about 1/8 of the time.
+        let mut rng = rng_from_seed(12345);
+        let mut s = BlockSampler::new(8);
+        let mut counts = [0u32; 8];
+        let trials = 40_000u32;
+        for i in 0..trials * 8 {
+            if let Some(v) = s.offer(i, &mut rng) {
+                counts[(v % 8) as usize] += 1;
+            }
+        }
+        let expected = trials as f64 / 8.0;
+        for (off, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "offset {off} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn flush_of_partial_block_is_uniform_over_prefix() {
+        let mut rng = rng_from_seed(99);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let mut s = BlockSampler::new(8);
+            for i in 0..3u32 {
+                assert!(s.offer(i, &mut rng).is_none());
+            }
+            let (v, seen) = s.flush().unwrap();
+            assert_eq!(seen, 3);
+            counts[v as usize] += 1;
+        }
+        let expected = 10_000.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.06, "prefix offset {i} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rate_panics() {
+        let _ = BlockSampler::<u32>::new(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Random sampling primitives used by the MRL quantile algorithms.
+//!
+//! This crate implements the sampling substrate of Manku, Rajagopalan and
+//! Lindsay, *Random Sampling Techniques for Space Efficient Online
+//! Computation of Order Statistics of Large Datasets* (SIGMOD 1999):
+//!
+//! * [`BlockSampler`] — the sampler behind the paper's `New` operation: pick
+//!   exactly one uniformly random representative from each consecutive block
+//!   of `r` input elements ("sampling without replacement", §4.4).
+//! * [`Reservoir`] — Vitter's reservoir sampling (Algorithm R), the
+//!   unknown-`N` baseline discussed in §2.2.
+//! * [`BernoulliSampler`] — independent per-element coin flips, used by the
+//!   known-`N` extreme-value estimator of §7.
+//!
+//! All samplers are deterministic given a seed, which the test-suite relies
+//! on heavily.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bernoulli;
+mod block;
+mod reservoir;
+mod rng;
+
+pub use bernoulli::BernoulliSampler;
+pub use block::BlockSampler;
+pub use reservoir::{reservoir_sample_size, Reservoir};
+pub use rng::{new_rng, rng_from_seed, SketchRng};

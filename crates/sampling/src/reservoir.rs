@@ -1,0 +1,193 @@
+//! Vitter-style reservoir sampling.
+//!
+//! The paper (§2.2) uses reservoir sampling as the natural unknown-`N`
+//! baseline: a uniform sample of fixed size `s` maintained over a stream of
+//! unknown length. Folklore analysis shows `s = O(ε⁻² log δ⁻¹)` suffices for
+//! an ε-approximate quantile with probability `1 − δ`, but the quadratic
+//! dependence on `ε⁻¹` makes it impractical for small ε — which is exactly
+//! the gap the MRL99 non-uniform scheme closes.
+
+use rand::Rng;
+
+use crate::SketchRng;
+
+/// A uniform random sample of up to `capacity` elements over a stream of
+/// unknown length (Vitter's Algorithm R).
+///
+/// After `n` elements have been offered, every element of the stream is in
+/// the reservoir with probability `min(1, capacity / n)`.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Create a reservoir holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity.min(1 << 20)),
+        }
+    }
+
+    /// Offer one stream element.
+    pub fn offer(&mut self, item: T, rng: &mut SketchRng) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of stream elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum sample size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current sample (unordered).
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Consume the reservoir, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.sample
+    }
+
+    /// True if fewer elements than `capacity` have been offered (the sample
+    /// is the whole prefix, i.e. exact).
+    pub fn is_exhaustive(&self) -> bool {
+        self.seen <= self.capacity as u64
+    }
+}
+
+impl<T: Clone + Ord> Reservoir<T> {
+    /// The φ-quantile of the current sample: the element of rank
+    /// `⌈φ·len⌉` in the sorted sample. Returns `None` on an empty reservoir.
+    ///
+    /// This is the folklore baseline estimator the paper compares against.
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        if self.sample.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&phi), "phi must lie in [0, 1]");
+        let mut sorted: Vec<T> = self.sample.to_vec();
+        sorted.sort_unstable();
+        let len = sorted.len();
+        let pos = ((phi * len as f64).ceil() as usize).clamp(1, len);
+        Some(sorted[pos - 1].clone())
+    }
+}
+
+/// Sample size needed by the folklore reservoir analysis so that the sample
+/// φ-quantile is an ε-approximate φ-quantile with probability `1 − δ`.
+///
+/// From a two-sided Hoeffding bound on the number of sample points below the
+/// (φ±ε)-quantiles: `2·exp(−2ε²s) ≤ δ  ⇒  s ≥ ln(2/δ) / (2ε²)`.
+pub fn reservoir_sample_size(epsilon: f64, delta: f64) -> u64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    ((2.0f64 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn fills_then_stays_at_capacity() {
+        let mut rng = rng_from_seed(3);
+        let mut r = Reservoir::new(10);
+        for i in 0..5u32 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 5);
+        assert!(r.is_exhaustive());
+        for i in 5..1000u32 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert!(!r.is_exhaustive());
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Element 0 (first) and element 999 (last) should both end up in a
+        // capacity-50 reservoir over 1000 elements about 5% of the time.
+        let trials = 20_000;
+        let mut first = 0u32;
+        let mut last = 0u32;
+        for t in 0..trials {
+            let mut rng = rng_from_seed(1000 + t);
+            let mut r = Reservoir::new(50);
+            for i in 0..1000u32 {
+                r.offer(i, &mut rng);
+            }
+            if r.sample().contains(&0) {
+                first += 1;
+            }
+            if r.sample().contains(&999) {
+                last += 1;
+            }
+        }
+        let expect = trials as f64 * 0.05;
+        for (name, c) in [("first", first), ("last", last)] {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.08, "{name} inclusion off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn sample_quantile_close_on_uniform_stream() {
+        let mut rng = rng_from_seed(7);
+        let s = reservoir_sample_size(0.05, 0.01);
+        let mut r = Reservoir::new(s as usize);
+        let n = 200_000u32;
+        for i in 0..n {
+            r.offer(i, &mut rng);
+        }
+        let med = r.quantile(0.5).unwrap();
+        let err = (f64::from(med) - 0.5 * f64::from(n)).abs() / f64::from(n);
+        assert!(err <= 0.05, "median rank error {err:.4} exceeds epsilon");
+    }
+
+    #[test]
+    fn quantile_of_exhaustive_prefix_is_exact() {
+        let mut rng = rng_from_seed(7);
+        let mut r = Reservoir::new(100);
+        for i in 0..50u32 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.quantile(0.5), Some(24)); // ceil(0.5*50) = 25 -> index 24
+        assert_eq!(r.quantile(0.0), Some(0));
+        assert_eq!(r.quantile(1.0), Some(49));
+    }
+
+    #[test]
+    fn sample_size_formula_matches_hand_computation() {
+        // ln(2/0.01) / (2 * 0.01^2) = ln(200)/0.0002 ~ 26492
+        assert_eq!(reservoir_sample_size(0.01, 0.01), 26_492);
+        // Quadratic blow-up in 1/epsilon: halving epsilon ~quadruples s.
+        let a = reservoir_sample_size(0.02, 0.01);
+        let b = reservoir_sample_size(0.01, 0.01);
+        assert!(b >= 4 * a - 4 && b <= 4 * a + 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! RNG plumbing shared by all samplers.
+//!
+//! Every randomized structure in this workspace takes its randomness from a
+//! [`SketchRng`] so that experiments and tests are reproducible from a single
+//! `u64` seed.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The pseudo-random generator used throughout the workspace.
+///
+/// `SmallRng` is a fast, non-cryptographic generator; quantile sketches only
+/// need statistical uniformity, not unpredictability, and the sampler sits on
+/// the per-element hot path.
+pub type SketchRng = SmallRng;
+
+/// Create a generator from an explicit seed (reproducible).
+pub fn rng_from_seed(seed: u64) -> SketchRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Create a generator seeded from the operating system (non-reproducible).
+pub fn new_rng() -> SketchRng {
+    SmallRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_rngs_are_reproducible() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4, "seeds 1 and 2 produced near-identical streams");
+    }
+}

@@ -1,0 +1,54 @@
+//! Equi-depth histogram of a dynamically growing table (paper §1.1–1.2).
+//!
+//! Query optimizers keep equi-depth histograms — the i/p-quantiles of a
+//! column — for selectivity estimation. Because the MRL99 sketch needs no
+//! advance knowledge of the table size, the histogram stays valid while
+//! the table grows: just re-read the boundaries whenever the optimizer
+//! wants them.
+//!
+//! ```sh
+//! cargo run --release --example equidepth_histogram
+//! ```
+
+use mrl::datagen::{sales_stream, SaleRecord};
+use mrl::sketch::{EquiDepthHistogram, OptimizerOptions};
+
+fn main() {
+    let buckets = 10;
+    let opts = if cfg!(debug_assertions) {
+        OptimizerOptions::fast()
+    } else {
+        OptimizerOptions::default()
+    };
+    // Boundary ranks within 0.5% of exact, all ten at once, 99.99% of the
+    // time.
+    let mut hist =
+        EquiDepthHistogram::<u64>::with_options(buckets, 0.005, 1e-4, opts).with_seed(7);
+    println!(
+        "10-bucket equi-depth histogram over a growing sales table \
+         (memory bound: {} elements)\n",
+        hist.memory_bound_elements()
+    );
+
+    // The table grows in four batches; after each batch the optimizer
+    // re-reads fresh, still-accurate boundaries.
+    let mut sales = sales_stream(500, (50_00f64).ln(), 1.0, 99);
+    for batch in 1..=4u32 {
+        let batch_size = 250_000usize * batch as usize;
+        for SaleRecord { amount_cents, .. } in sales.by_ref().take(batch_size) {
+            hist.insert(amount_cents);
+        }
+        let bounds = hist.boundaries().expect("table is nonempty");
+        println!("after {:>9} rows:", hist.n());
+        print!("  splitters ($): ");
+        for b in &bounds {
+            print!("{:>8.2}", *b as f64 / 100.0);
+        }
+        println!("\n");
+    }
+    println!(
+        "Each bucket holds ~{}% of rows; boundaries shift as the heavy right \
+         tail of sales accumulates.",
+        100 / buckets
+    );
+}

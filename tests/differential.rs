@@ -1,0 +1,155 @@
+//! Differential matrix: every estimator in the workspace runs over the
+//! same workloads and is scored with the same rank metric. Catches
+//! regressions in any single estimator by comparing all of them at once.
+
+use mrl::baselines::{BlockSampling, GmpHistogram};
+use mrl::datagen::{ArrivalOrder, ValueDistribution, Workload};
+use mrl::exact::rank_error;
+use mrl::sampling::{rng_from_seed, Reservoir};
+use mrl::sketch::{KnownN, OptimizerOptions, UnknownN};
+
+struct Scores {
+    name: &'static str,
+    max_err: f64,
+}
+
+fn score_all(order: ArrivalOrder, seed: u64) -> Vec<Scores> {
+    let n = 150_000u64;
+    let data = Workload {
+        values: ValueDistribution::Uniform { range: 1 << 26 },
+        order,
+        n,
+        seed,
+    }
+    .generate();
+    let phis = [0.1, 0.5, 0.9];
+    let opts = OptimizerOptions::fast();
+    let config = mrl::analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, opts);
+    let mem = config.memory;
+    let mut out = Vec::new();
+
+    let max_err = |answers: &[u64]| -> f64 {
+        answers
+            .iter()
+            .zip(phis)
+            .map(|(a, p)| rank_error(&data, a, p))
+            .fold(0.0f64, f64::max)
+    };
+
+    // MRL99 unknown-N.
+    {
+        let mut s = UnknownN::<u64>::from_config(config.clone(), seed);
+        s.extend(data.iter().copied());
+        let answers = s.query_many(&phis).unwrap();
+        out.push(Scores {
+            name: "mrl99",
+            max_err: max_err(&answers),
+        });
+    }
+    // Known-N.
+    {
+        let mut s = KnownN::<u64>::new(0.05, 0.01, n).with_seed(seed);
+        s.extend(data.iter().copied());
+        let answers = s.query_many(&phis).unwrap();
+        out.push(Scores {
+            name: "known-n",
+            max_err: max_err(&answers),
+        });
+    }
+    // Reservoir at the same memory.
+    {
+        let mut rng = rng_from_seed(seed);
+        let mut r = Reservoir::<u64>::new(mem);
+        for &v in &data {
+            r.offer(v, &mut rng);
+        }
+        let answers: Vec<u64> = phis.iter().map(|&p| r.quantile(p).unwrap()).collect();
+        out.push(Scores {
+            name: "reservoir",
+            max_err: max_err(&answers),
+        });
+    }
+    // GMP97 at the same memory.
+    {
+        let mut g = GmpHistogram::new(20, 0.5, mem.max(40), seed);
+        g.extend(data.iter().copied());
+        let answers: Vec<u64> = phis.iter().map(|&p| g.quantile(p).unwrap()).collect();
+        out.push(Scores {
+            name: "gmp97",
+            max_err: max_err(&answers),
+        });
+    }
+    // CMN98 block sampling at the same memory.
+    {
+        let mut b = BlockSampling::new((mem / 64).max(1), 64, seed);
+        b.extend(data.iter().copied());
+        let answers: Vec<u64> = phis.iter().map(|&p| b.quantile(p).unwrap()).collect();
+        out.push(Scores {
+            name: "cmn98",
+            max_err: max_err(&answers),
+        });
+    }
+    out
+}
+
+#[test]
+fn guaranteed_estimators_hold_epsilon_on_random_order() {
+    let scores = score_all(ArrivalOrder::Random, 3);
+    for s in &scores {
+        match s.name {
+            // The two estimators with a certified (eps, delta) guarantee.
+            "mrl99" | "known-n" => assert!(
+                s.max_err <= 0.05,
+                "{}: error {} above epsilon on random order",
+                s.name,
+                s.max_err
+            ),
+            // The baselines should at least be sane here.
+            _ => assert!(
+                s.max_err <= 0.25,
+                "{}: error {} wildly off on random order",
+                s.name,
+                s.max_err
+            ),
+        }
+    }
+}
+
+#[test]
+fn only_guaranteed_estimators_survive_sorted_order() {
+    let scores = score_all(ArrivalOrder::SortedAscending, 5);
+    let mrl = scores.iter().find(|s| s.name == "mrl99").unwrap();
+    let known = scores.iter().find(|s| s.name == "known-n").unwrap();
+    let cmn = scores.iter().find(|s| s.name == "cmn98").unwrap();
+    assert!(mrl.max_err <= 0.05, "mrl99 on sorted: {}", mrl.max_err);
+    assert!(known.max_err <= 0.05, "known-n on sorted: {}", known.max_err);
+    // The clustering pathology: block sampling degrades well past the
+    // guaranteed estimators on sorted input.
+    assert!(
+        cmn.max_err > mrl.max_err,
+        "expected cmn98 ({}) worse than mrl99 ({}) on sorted input",
+        cmn.max_err,
+        mrl.max_err
+    );
+}
+
+#[test]
+fn all_estimators_agree_on_tiny_exact_inputs() {
+    // With fewer elements than any estimator's memory, everyone is exact.
+    let data: Vec<u64> = vec![40, 10, 30, 20, 50];
+    let opts = OptimizerOptions::fast();
+    let config = mrl::analysis::optimizer::optimize_unknown_n_with(0.1, 0.01, opts);
+
+    let mut sketch = UnknownN::<u64>::from_config(config, 1);
+    sketch.extend(data.iter().copied());
+    let mut gmp = GmpHistogram::new(2, 0.5, 100, 1);
+    gmp.extend(data.iter().copied());
+    let mut blocks = BlockSampling::new(10, 4, 1);
+    blocks.extend(data.iter().copied());
+
+    assert_eq!(sketch.query(0.5), Some(30));
+    assert_eq!(blocks.quantile(0.5), Some(30));
+    // GMP's bucket interpolation is exact here too (backing sample holds
+    // everything).
+    assert_eq!(gmp.quantile(1.0), Some(50));
+}

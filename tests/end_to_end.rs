@@ -1,0 +1,216 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! generation through sketching to exact-rank scoring, exercising every
+//! crate through the facade.
+
+use mrl::datagen::{ArrivalOrder, ValueDistribution, Workload};
+use mrl::exact::{exact_quantile, rank_error};
+use mrl::sketch::{
+    AnyQuantile, DynamicUnknownN, EquiDepthHistogram, ExtremeValue, KnownN, OptimizerOptions,
+    Tail, UnknownN,
+};
+
+fn fast() -> OptimizerOptions {
+    OptimizerOptions::fast()
+}
+
+#[test]
+fn unknown_n_beats_guarantee_on_every_distribution_and_order() {
+    let (eps, delta) = (0.05, 0.01);
+    let config = mrl::analysis::optimizer::optimize_unknown_n_with(eps, delta, fast());
+    let distributions = [
+        ValueDistribution::Uniform { range: 1 << 24 },
+        ValueDistribution::Zipf { n: 10_000, s: 1.2 },
+        ValueDistribution::FewDistinct { distinct: 5 },
+        ValueDistribution::Exponential { scale: 1e4 },
+    ];
+    let orders = [
+        ArrivalOrder::Random,
+        ArrivalOrder::SortedAscending,
+        ArrivalOrder::SortedDescending,
+        ArrivalOrder::OrganPipe,
+    ];
+    for dist in distributions {
+        for order in orders {
+            let data = Workload {
+                values: dist,
+                order,
+                n: 120_000,
+                seed: 3,
+            }
+            .generate();
+            let mut sketch = UnknownN::<u64>::from_config(config.clone(), 17);
+            sketch.extend(data.iter().copied());
+            for phi in [0.1, 0.5, 0.9] {
+                let ans = sketch.query(phi).unwrap();
+                let err = rank_error(&data, &ans, phi);
+                assert!(
+                    err <= eps,
+                    "{}/{:?} phi={phi}: rank error {err} > {eps}",
+                    dist.label(),
+                    order
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn known_n_and_unknown_n_agree_on_the_same_stream() {
+    let n = 150_000u64;
+    let data = Workload {
+        values: ValueDistribution::Uniform { range: 1 << 20 },
+        order: ArrivalOrder::Random,
+        n,
+        seed: 5,
+    }
+    .generate();
+    let mut unknown = UnknownN::<u64>::with_options(0.02, 0.01, fast()).with_seed(1);
+    let mut known = KnownN::<u64>::new(0.02, 0.01, n).with_seed(1);
+    unknown.extend(data.iter().copied());
+    known.extend(data.iter().copied());
+    for phi in [0.25, 0.5, 0.75] {
+        let a = unknown.query(phi).unwrap();
+        let b = known.query(phi).unwrap();
+        assert!(rank_error(&data, &a, phi) <= 0.02, "unknown phi={phi}");
+        assert!(rank_error(&data, &b, phi) <= 0.02, "known phi={phi}");
+    }
+}
+
+#[test]
+fn extreme_estimator_matches_general_sketch_on_the_tail() {
+    let n = 200_000u64;
+    let data = Workload {
+        values: ValueDistribution::Exponential { scale: 5e4 },
+        order: ArrivalOrder::Random,
+        n,
+        seed: 9,
+    }
+    .generate();
+    let (phi, eps, delta) = (0.99, 0.005, 1e-3);
+    let mut extreme = ExtremeValue::<u64>::known_n(phi, eps, delta, n, Tail::High, 4);
+    extreme.extend(data.iter().copied());
+    let tail = extreme.query().unwrap();
+    assert!(rank_error(&data, &tail, phi) <= eps + 0.001, "extreme p99");
+    // The heap is tiny compared to the general algorithm.
+    let general = mrl::analysis::optimizer::optimize_unknown_n_with(eps, delta, fast());
+    assert!(
+        (extreme.k() as usize) < general.memory / 10,
+        "heap {} not small vs {}",
+        extreme.k(),
+        general.memory
+    );
+}
+
+#[test]
+fn histogram_boundaries_score_against_exact_quantiles() {
+    let data = Workload {
+        values: ValueDistribution::Normal { mean: 1e6, sigma: 1e5 },
+        order: ArrivalOrder::Random,
+        n: 100_000,
+        seed: 13,
+    }
+    .generate();
+    let mut hist = EquiDepthHistogram::<u64>::with_options(8, 0.02, 0.01, fast()).with_seed(2);
+    hist.extend(data.iter().copied());
+    let bounds = hist.boundaries().unwrap();
+    for (i, b) in bounds.iter().enumerate() {
+        let phi = (i + 1) as f64 / 8.0;
+        assert!(
+            rank_error(&data, b, phi) <= 0.02,
+            "boundary {i}: {b} vs exact {}",
+            exact_quantile(&data, phi)
+        );
+    }
+}
+
+#[test]
+fn any_quantile_snaps_within_combined_guarantee() {
+    let data = Workload {
+        values: ValueDistribution::Uniform { range: 1 << 22 },
+        order: ArrivalOrder::Random,
+        n: 90_000,
+        seed: 21,
+    }
+    .generate();
+    let mut any = AnyQuantile::<u64>::with_options(0.05, 0.01, fast()).with_seed(3);
+    any.extend(data.iter().copied());
+    for phi in [0.123, 0.456, 0.789, 0.999] {
+        let ans = any.query(phi).unwrap();
+        assert!(
+            rank_error(&data, &ans, phi) <= 0.05,
+            "phi={phi}: snap answer too far"
+        );
+    }
+}
+
+#[test]
+fn dynamic_allocation_stays_accurate_while_growing() {
+    // Early ceiling = the unconstrained optimum's memory, final ceiling 2x:
+    // the plan may use extra buffers late but must start within the base
+    // footprint. (Tighter early ceilings quickly become *mathematically*
+    // infeasible at eps = 0.05: too few buffers early means a path-shaped
+    // tree whose error no k can absorb — see DESIGN.md section 3.5.)
+    let base = mrl::analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, fast());
+    let limits = [
+        mrl::analysis::MemoryLimit { n: 5_000, max_memory: base.memory },
+        mrl::analysis::MemoryLimit { n: u64::MAX / 2, max_memory: base.memory * 2 },
+    ];
+    let Some(mut sketch) = DynamicUnknownN::<u64>::new(0.05, 0.01, &limits, fast(), 6) else {
+        panic!("staged limits should be feasible");
+    };
+    let data = Workload {
+        values: ValueDistribution::Uniform { range: 1 << 26 },
+        order: ArrivalOrder::SortedDescending,
+        n: 250_000,
+        seed: 33,
+    }
+    .generate();
+    sketch.extend(data.iter().copied());
+    for phi in [0.2, 0.5, 0.8] {
+        let ans = sketch.query(phi).unwrap();
+        assert!(rank_error(&data, &ans, phi) <= 0.05, "phi={phi}");
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_within_guarantee() {
+    let data = Workload {
+        values: ValueDistribution::Zipf { n: 50_000, s: 1.1 },
+        order: ArrivalOrder::Random,
+        n: 200_000,
+        seed: 41,
+    }
+    .generate();
+    let inputs: Vec<Vec<u64>> = (0..4)
+        .map(|w| data.iter().skip(w).step_by(4).copied().collect())
+        .collect();
+    let out = mrl::parallel::parallel_quantiles(inputs, 0.05, 0.01, &[0.5, 0.95], fast(), 8)
+        .unwrap();
+    for (q, phi) in out.quantiles.iter().zip([0.5, 0.95]) {
+        assert!(
+            rank_error(&data, q, phi) <= 0.06,
+            "parallel phi={phi}: error too large"
+        );
+    }
+}
+
+#[test]
+fn exact_baselines_agree_with_each_other() {
+    let data = Workload {
+        values: ValueDistribution::Uniform { range: 100_000 },
+        order: ArrivalOrder::Random,
+        n: 30_000,
+        seed: 55,
+    }
+    .generate();
+    let mut rng = mrl::sampling::rng_from_seed(5);
+    for r in [1usize, 500, 15_000, 30_000] {
+        let a = mrl::exact::sort_select(&data, r);
+        let b = mrl::exact::quickselect(data.clone(), r, &mut rng);
+        let c = mrl::exact::bfprt_select(data.clone(), r);
+        let d = mrl::exact::two_pass_select(|| data.iter().copied(), r as u64, 77);
+        assert_eq!(a, b, "quickselect rank {r}");
+        assert_eq!(a, c, "bfprt rank {r}");
+        assert_eq!(a, d, "two-pass rank {r}");
+    }
+}

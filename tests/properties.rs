@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * weighted selection agrees with brute-force materialisation,
+//! * collapse conserves mass and emits sorted output,
+//! * the deterministic engine's Lemma-4 bound holds on arbitrary inputs,
+//! * exact selectors agree on arbitrary inputs,
+//! * sketch answers are always elements of the input (the paper's
+//!   definition requires an approximate quantile to *belong to the input
+//!   sequence*).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mrl::exact::{rank_error, sort_select};
+use mrl::framework::{
+    collapse_targets, select_weighted, total_mass, AdaptiveLowestLevel, Engine, EngineConfig,
+    FixedRate, Mrl99Schedule, WeightedSource,
+};
+
+/// Brute-force weighted selection: materialise every copy.
+fn select_brute(sources: &[(Vec<u32>, u64)], targets: &[u64]) -> Vec<u32> {
+    let mut all = Vec::new();
+    for (data, w) in sources {
+        for v in data {
+            for _ in 0..*w {
+                all.push(*v);
+            }
+        }
+    }
+    all.sort_unstable();
+    targets.iter().map(|&t| all[(t - 1) as usize]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_selection_matches_brute_force(
+        raw in vec((vec(0u32..1000, 1..12), 1u64..6), 1..5),
+        picks in vec(0.0f64..1.0, 1..6),
+    ) {
+        let sources: Vec<(Vec<u32>, u64)> = raw
+            .into_iter()
+            .map(|(mut d, w)| {
+                d.sort_unstable();
+                (d, w)
+            })
+            .collect();
+        let borrowed: Vec<WeightedSource<'_, u32>> = sources
+            .iter()
+            .map(|(d, w)| WeightedSource::new(d, *w))
+            .collect();
+        let mass = total_mass(&borrowed);
+        let mut targets: Vec<u64> = picks
+            .iter()
+            .map(|p| ((p * mass as f64).ceil() as u64).clamp(1, mass))
+            .collect();
+        targets.sort_unstable();
+        prop_assert_eq!(
+            select_weighted(&borrowed, &targets),
+            select_brute(&sources, &targets)
+        );
+    }
+
+    #[test]
+    fn collapse_positions_cover_all_offsets_in_range(
+        k in 1usize..20,
+        w in 1u64..40,
+        high in any::<bool>(),
+    ) {
+        let t = collapse_targets(k, w, high);
+        prop_assert_eq!(t.len(), k);
+        prop_assert!(t[0] >= 1);
+        prop_assert!(*t.last().unwrap() <= k as u64 * w);
+        // Equal spacing w between consecutive targets.
+        for pair in t.windows(2) {
+            prop_assert_eq!(pair[1] - pair[0], w);
+        }
+    }
+
+    #[test]
+    fn deterministic_engine_respects_lemma4_on_arbitrary_input(
+        data in vec(0u64..100_000, 20..800),
+        b in 2usize..6,
+        k in 4usize..32,
+    ) {
+        let mut e = Engine::new(
+            EngineConfig::new(b, k),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            7,
+        );
+        e.extend(data.iter().copied());
+        let bound = e.tree_error_bound() as f64 / data.len() as f64;
+        for phi in [0.0, 0.5, 1.0] {
+            let ans = e.query(phi).unwrap();
+            let err = rank_error(&data, &ans, phi);
+            prop_assert!(
+                err <= bound + 1e-12,
+                "phi={}, err={}, bound={}", phi, err, bound
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_answers_belong_to_the_input(
+        data in vec(0u64..1_000_000, 1..600),
+    ) {
+        let mut e = Engine::new(
+            EngineConfig::new(3, 8),
+            AdaptiveLowestLevel,
+            Mrl99Schedule::new(2),
+            3,
+        );
+        e.extend(data.iter().copied());
+        for phi in [0.0, 0.3, 0.77, 1.0] {
+            let ans = e.query(phi).unwrap();
+            prop_assert!(data.contains(&ans), "answer {} not in input", ans);
+        }
+    }
+
+    #[test]
+    fn exact_selectors_agree(
+        data in vec(0u32..10_000, 1..200),
+        pick in 0.0f64..1.0,
+    ) {
+        let r = ((pick * data.len() as f64).ceil() as usize).clamp(1, data.len());
+        let expected = sort_select(&data, r);
+        let mut rng = mrl::sampling::rng_from_seed(1);
+        prop_assert_eq!(mrl::exact::quickselect(data.clone(), r, &mut rng), expected);
+        prop_assert_eq!(mrl::exact::bfprt_select(data.clone(), r), expected);
+        prop_assert_eq!(
+            mrl::exact::two_pass_select(|| data.iter().copied(), r as u64, 2),
+            expected
+        );
+    }
+
+    #[test]
+    fn mass_conservation_under_any_stream_length(
+        n in 1u64..5_000,
+    ) {
+        let mut e = Engine::new(
+            EngineConfig::new(3, 16),
+            AdaptiveLowestLevel,
+            Mrl99Schedule::new(1),
+            11,
+        );
+        for i in 0..n {
+            e.insert(i);
+        }
+        prop_assert_eq!(e.output_mass(), n);
+        prop_assert_eq!(e.n(), n);
+    }
+
+    #[test]
+    fn quantile_outputs_are_monotone_in_phi(
+        data in vec(0u64..50_000, 10..500),
+    ) {
+        let mut e = Engine::new(
+            EngineConfig::new(4, 8),
+            AdaptiveLowestLevel,
+            Mrl99Schedule::new(2),
+            13,
+        );
+        e.extend(data.iter().copied());
+        let qs = e.query_many(&[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]).unwrap();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
