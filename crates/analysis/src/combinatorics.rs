@@ -81,10 +81,7 @@ pub fn min_x_per_k(l_d: u64, l_s: u64, max_levels: u32) -> f64 {
             (l_d, l_d)
         } else {
             // sum_{i=1}^{H-1} 2^i = 2^H - 2 ; sum 4^i = (4^H - 4)/3
-            (
-                l_d + (two_h - 2.0) * l_s,
-                l_d + (four_h - 4.0) / 3.0 * l_s,
-            )
+            (l_d + (two_h - 2.0) * l_s, l_d + (four_h - 4.0) / 3.0 * l_s)
         };
         // X/k as a function of top-level leaf count u:
         //   X/k = (P + 2^H u)² / (Q + 4^H u).

@@ -149,11 +149,7 @@ pub fn optimize_unknown_n(epsilon: f64, delta: f64) -> UnknownNConfig {
 ///
 /// # Panics
 /// See [`optimize_unknown_n`].
-pub fn optimize_unknown_n_with(
-    epsilon: f64,
-    delta: f64,
-    opts: OptimizerOptions,
-) -> UnknownNConfig {
+pub fn optimize_unknown_n_with(epsilon: f64, delta: f64, opts: OptimizerOptions) -> UnknownNConfig {
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
     assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
     let mut best: Option<UnknownNConfig> = None;

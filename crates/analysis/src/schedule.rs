@@ -11,7 +11,6 @@
 //! on memory at various stream lengths; try increasingly large `k`, derive
 //! the schedule each limit set implies, and accept the first valid one.
 
-
 use crate::optimizer::{optimize_unknown_n_with, OptimizerOptions};
 use crate::simulate::{simulate_schedule_with_allocation, ScheduleScalars, SimOptions};
 
@@ -265,8 +264,14 @@ mod tests {
     #[test]
     fn thresholds_respect_limits() {
         let limits = [
-            MemoryLimit { n: 1_000, max_memory: 100 },
-            MemoryLimit { n: 100_000, max_memory: 500 },
+            MemoryLimit {
+                n: 1_000,
+                max_memory: 100,
+            },
+            MemoryLimit {
+                n: 100_000,
+                max_memory: 500,
+            },
         ];
         let t = thresholds_for(&limits, 5, 100).unwrap();
         assert_eq!(t[0], 0);
@@ -292,8 +297,14 @@ mod tests {
         let base = optimize_unknown_n_with(0.05, 0.01, FAST);
         let m = base.memory;
         let limits = [
-            MemoryLimit { n: 2_000, max_memory: m / 2 },
-            MemoryLimit { n: 1_000_000_000, max_memory: 4 * m },
+            MemoryLimit {
+                n: 2_000,
+                max_memory: m / 2,
+            },
+            MemoryLimit {
+                n: 1_000_000_000,
+                max_memory: 4 * m,
+            },
         ];
         if let Some(plan) = find_schedule(0.05, 0.01, &limits, FAST) {
             let profile = plan.memory_profile();
@@ -315,7 +326,10 @@ mod tests {
 
     #[test]
     fn impossible_limits_return_none() {
-        let limits = [MemoryLimit { n: u64::MAX / 2, max_memory: 3 }];
+        let limits = [MemoryLimit {
+            n: u64::MAX / 2,
+            max_memory: 3,
+        }];
         assert!(find_schedule(0.05, 0.01, &limits, FAST).is_none());
     }
 }

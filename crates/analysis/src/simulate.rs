@@ -147,7 +147,9 @@ impl<R: RateSchedule> Sim<R> {
     }
 
     fn new_level(&self) -> u32 {
-        self.schedule.as_ref().map_or(0, RateSchedule::new_buffer_level)
+        self.schedule
+            .as_ref()
+            .map_or(0, RateSchedule::new_buffer_level)
     }
 
     fn sampling_started(&self) -> bool {
@@ -240,7 +242,8 @@ impl<R: RateSchedule> Sim<R> {
     /// engine would), then add a leaf at the current rate and level.
     fn step_new(&mut self) {
         while self.empty_slot().is_none() {
-            let may_allocate = self.allocated < self.b && self.leaves >= self.thresholds[self.allocated];
+            let may_allocate =
+                self.allocated < self.b && self.leaves >= self.thresholds[self.allocated];
             if may_allocate || self.full_count() < 2 {
                 assert!(self.allocated < self.b, "cannot make progress");
                 self.slots.push(None);
@@ -439,8 +442,16 @@ mod tests {
     fn empirical_leaf_counts_match_binomial_formulas() {
         for b in 2..=7usize {
             for h in 1..=4u32 {
-                let s = simulate_schedule(b, h, SimOptions { leaf_cap: 100_000, extra_levels: 3, ..SimOptions::default() })
-                    .expect("small combos always certify");
+                let s = simulate_schedule(
+                    b,
+                    h,
+                    SimOptions {
+                        leaf_cap: 100_000,
+                        extra_levels: 3,
+                        ..SimOptions::default()
+                    },
+                )
+                .expect("small combos always certify");
                 assert_eq!(
                     s.l_d,
                     leaves_before_sampling(b as u64, u64::from(h)),
@@ -459,14 +470,32 @@ mod tests {
     fn hand_simulated_b3_h2() {
         // Walked through in the combinatorics docs: onset after 6 leaves,
         // 3 leaves at level 1.
-        let s = simulate_schedule(3, 2, SimOptions { leaf_cap: 1000, extra_levels: 2, ..SimOptions::default() }).unwrap();
+        let s = simulate_schedule(
+            3,
+            2,
+            SimOptions {
+                leaf_cap: 1000,
+                extra_levels: 2,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(s.l_d, 6);
         assert_eq!(s.l_s, 3);
     }
 
     #[test]
     fn leaf_cap_aborts_oversized_combos() {
-        assert!(simulate_schedule(30, 10, SimOptions { leaf_cap: 1000, extra_levels: 1, ..SimOptions::default() }).is_none());
+        assert!(simulate_schedule(
+            30,
+            10,
+            SimOptions {
+                leaf_cap: 1000,
+                extra_levels: 1,
+                ..SimOptions::default()
+            }
+        )
+        .is_none());
     }
 
     #[test]
@@ -535,7 +564,11 @@ mod tests {
             4,
             8,
             vec![0, 2, 6, 12],
-            SimOptions { leaf_cap: 100_000, extra_levels: 8, ..SimOptions::default() },
+            SimOptions {
+                leaf_cap: 100_000,
+                extra_levels: 8,
+                ..SimOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -560,10 +593,12 @@ mod tests {
 
     #[test]
     fn lazy_allocation_replay_is_deterministic() {
-        let a = simulate_schedule_with_allocation(5, 6, vec![0, 1, 4, 10, 20], SimOptions::default())
-            .unwrap();
-        let b = simulate_schedule_with_allocation(5, 6, vec![0, 1, 4, 10, 20], SimOptions::default())
-            .unwrap();
+        let a =
+            simulate_schedule_with_allocation(5, 6, vec![0, 1, 4, 10, 20], SimOptions::default())
+                .unwrap();
+        let b =
+            simulate_schedule_with_allocation(5, 6, vec![0, 1, 4, 10, 20], SimOptions::default())
+                .unwrap();
         assert_eq!(a, b);
         // A staged start cannot *reduce* the total information seen by the
         // sampler: the post-onset Hoeffding mass stays positive and finite.

@@ -8,7 +8,12 @@ use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, Mrl99Schedule};
 
 /// Run a real engine and capture `(leaves, W, max_level, onset)` at each
 /// leaf completion.
-fn engine_trace(b: usize, k: usize, h: u32, total_elements: u64) -> Vec<(u64, u64, u32, Option<u64>)> {
+fn engine_trace(
+    b: usize,
+    k: usize,
+    h: u32,
+    total_elements: u64,
+) -> Vec<(u64, u64, u32, Option<u64>)> {
     let mut e: Engine<u64, _, _> = Engine::new(
         EngineConfig::new(b, k),
         AdaptiveLowestLevel,
@@ -74,7 +79,10 @@ fn sampling_onset_leaf_count_is_scale_free() {
             while !e.sampling_started() {
                 e.insert(i);
                 i += 1;
-                assert!(i < 10_000_000, "sampling never started for b={b} h={h} k={k}");
+                assert!(
+                    i < 10_000_000,
+                    "sampling never started for b={b} h={h} k={k}"
+                );
             }
             onsets.push(e.stats().leaves);
         }
@@ -83,8 +91,7 @@ fn sampling_onset_leaf_count_is_scale_free() {
             "onset leaves varied with k: {onsets:?} (b={b}, h={h})"
         );
         // And matches the binomial formula.
-        let expected =
-            mrl_analysis::combinatorics::leaves_before_sampling(b as u64, u64::from(h));
+        let expected = mrl_analysis::combinatorics::leaves_before_sampling(b as u64, u64::from(h));
         // Onset is detected at the collapse that creates the level-h
         // buffer; the engine counts leaves at that moment.
         assert_eq!(onsets[0], expected, "b={b} h={h}");

@@ -105,7 +105,10 @@ mod tests {
         b.extend((0..n).map(|i| (i * 2654435761) % n));
         let med = b.quantile(0.5).unwrap() as f64;
         // Random arrival: blocks are as good as tuples.
-        assert!((med - n as f64 / 2.0).abs() < 0.05 * n as f64, "median {med}");
+        assert!(
+            (med - n as f64 / 2.0).abs() < 0.05 * n as f64,
+            "median {med}"
+        );
     }
 
     #[test]

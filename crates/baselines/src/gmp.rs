@@ -56,7 +56,10 @@ impl GmpHistogram {
     pub fn new(buckets: usize, gamma: f64, sample_size: usize, seed: u64) -> Self {
         assert!(buckets >= 2, "need at least two buckets");
         assert!(gamma > 0.0, "imbalance tolerance must be positive");
-        assert!(sample_size >= buckets, "backing sample must cover the buckets");
+        assert!(
+            sample_size >= buckets,
+            "backing sample must cover the buckets"
+        );
         Self {
             buckets: vec![Bucket {
                 upper: u64::MAX,
@@ -129,7 +132,11 @@ impl GmpHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             if cum + b.count >= target {
                 // Refine inside (lower, upper] with the backing sample.
-                let lower = if i == 0 { 0 } else { self.buckets[i - 1].upper.saturating_add(1) };
+                let lower = if i == 0 {
+                    0
+                } else {
+                    self.buckets[i - 1].upper.saturating_add(1)
+                };
                 let within: Vec<u64> = self
                     .backing
                     .sample()
@@ -173,7 +180,7 @@ impl GmpHistogram {
                 continue;
             }
             let sum = self.buckets[j].count + self.buckets[j + 1].count;
-            if best.map_or(true, |(_, s)| sum < s) {
+            if best.is_none_or(|(_, s)| sum < s) {
                 best = Some((j, sum));
             }
         }
@@ -259,10 +266,7 @@ impl GmpHistogram {
                     continue;
                 }
             }
-            new_buckets.push(Bucket {
-                upper,
-                count: 0,
-            });
+            new_buckets.push(Bucket { upper, count: 0 });
         }
         // Distribute the observed N evenly over the fresh buckets (the
         // counts restart as estimates, per GMP97's recompute phase).

@@ -15,7 +15,9 @@ fn bench_weighted_select(c: &mut Criterion) {
         // c = 5 sorted runs of k elements with mixed weights.
         let runs: Vec<(Vec<u64>, u64)> = (0..5u64)
             .map(|i| {
-                let mut v: Vec<u64> = (0..k as u64).map(|j| (j * 2654435761 + i) % 1_000_003).collect();
+                let mut v: Vec<u64> = (0..k as u64)
+                    .map(|j| (j * 2654435761 + i) % 1_000_003)
+                    .collect();
                 v.sort_unstable();
                 (v, 1 + i)
             })
@@ -23,10 +25,98 @@ fn bench_weighted_select(c: &mut Criterion) {
         let w: u64 = runs.iter().map(|&(_, w)| w).sum();
         group.bench_with_input(BenchmarkId::new("collapse_5_buffers", k), &k, |b, &k| {
             b.iter(|| {
-                let sources: Vec<WeightedSource<'_, u64>> =
-                    runs.iter().map(|(d, w)| WeightedSource::new(d, *w)).collect();
+                let sources: Vec<WeightedSource<'_, u64>> = runs
+                    .iter()
+                    .map(|(d, w)| WeightedSource::new(d, *w))
+                    .collect();
                 select_weighted(&sources, &collapse_targets(k, w, false))
             })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-skip reference: a k-way `BinaryHeap` merge that visits every
+/// element of every source, accumulating mass until each target is hit.
+/// Kept here (not in the library) purely as the baseline for
+/// `skip_vs_heap`.
+fn select_weighted_heap<T: Ord + Clone>(
+    sources: &[WeightedSource<'_, T>],
+    targets: &[u64],
+) -> Vec<T> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(&T, usize, usize)>> = sources
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.data.is_empty())
+        .map(|(i, s)| Reverse((&s.data[0], i, 0)))
+        .collect();
+    let mut out = Vec::with_capacity(targets.len());
+    let mut cum = 0u64;
+    let mut ti = 0usize;
+    while let Some(Reverse((v, i, j))) = heap.pop() {
+        cum += sources[i].weight;
+        while ti < targets.len() && targets[ti] <= cum {
+            out.push(v.clone());
+            ti += 1;
+        }
+        if ti == targets.len() {
+            break;
+        }
+        if j + 1 < sources[i].data.len() {
+            heap.push(Reverse((&sources[i].data[j + 1], i, j + 1)));
+        }
+    }
+    out
+}
+
+/// Sparse targets over large sources: the regime the run-based skip merge
+/// is built for (collapse touches every position, but output selection
+/// only needs a handful).
+fn bench_skip_vs_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skip_vs_heap");
+    for &k in &[512usize, 4096, 32_768] {
+        let runs: Vec<(Vec<u64>, u64)> = (0..5u64)
+            .map(|i| {
+                let mut v: Vec<u64> = (0..k as u64)
+                    .map(|j| (j * 2654435761 + i) % 1_000_003)
+                    .collect();
+                v.sort_unstable();
+                (v, 1 + i)
+            })
+            .collect();
+        let sources: Vec<WeightedSource<'_, u64>> = runs
+            .iter()
+            .map(|(d, w)| WeightedSource::new(d, *w))
+            .collect();
+        let mass: u64 = sources.iter().map(WeightedSource::mass).sum();
+        // 33 output positions spread over the full mass.
+        let targets: Vec<u64> = (0..33u64).map(|i| 1 + i * (mass - 1) / 32).collect();
+        group.bench_with_input(BenchmarkId::new("skip", k), &k, |b, _| {
+            b.iter(|| select_weighted(&sources, &targets))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, _| {
+            b.iter(|| select_weighted_heap(&sources, &targets))
+        });
+
+        // Disjoint value ranges (the §6 coordinator case: workers over
+        // different partitions): runs span whole buffers, so the skip
+        // merge jumps straight to the targets.
+        let disjoint: Vec<(Vec<u64>, u64)> = (0..5u64)
+            .map(|i| ((i * k as u64..(i + 1) * k as u64).collect(), 1 + i))
+            .collect();
+        let dsources: Vec<WeightedSource<'_, u64>> = disjoint
+            .iter()
+            .map(|(d, w)| WeightedSource::new(d, *w))
+            .collect();
+        let dmass: u64 = dsources.iter().map(WeightedSource::mass).sum();
+        let dtargets: Vec<u64> = (0..33u64).map(|i| 1 + i * (dmass - 1) / 32).collect();
+        group.bench_with_input(BenchmarkId::new("skip_disjoint", k), &k, |b, _| {
+            b.iter(|| select_weighted(&dsources, &dtargets))
+        });
+        group.bench_with_input(BenchmarkId::new("heap_disjoint", k), &k, |b, _| {
+            b.iter(|| select_weighted_heap(&dsources, &dtargets))
         });
     }
     group.finish();
@@ -68,5 +158,10 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_weighted_select, bench_policies);
+criterion_group!(
+    benches,
+    bench_weighted_select,
+    bench_skip_vs_heap,
+    bench_policies
+);
 criterion_main!(benches);

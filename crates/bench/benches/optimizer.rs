@@ -15,9 +15,7 @@ fn bench_replay(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simulate", format!("b{b}_h{h}")),
             &(b, h),
-            |bench, &(b, h)| {
-                bench.iter(|| simulate_schedule(b, h, SimOptions::default()))
-            },
+            |bench, &(b, h)| bench.iter(|| simulate_schedule(b, h, SimOptions::default())),
         );
     }
     group.finish();

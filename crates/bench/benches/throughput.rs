@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use mrl_core::{ExtremeValue, OptimizerOptions, Tail, UnknownN};
 use mrl_datagen::{ValueDistribution, WorkloadStream};
+use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, FixedRate};
 use mrl_sampling::{rng_from_seed, Reservoir};
 
 const N: u64 = 1_000_000;
@@ -78,6 +79,117 @@ fn bench_inserts(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched vs scalar ingestion at controlled sampling rates (acceptance
+/// bench for `insert_batch`): rate 1 exercises the bulk-copy path, rate 8
+/// the one-draw-per-block path.
+fn bench_batch_inserts(c: &mut Criterion) {
+    let data = stream();
+    let config =
+        mrl_analysis::optimizer::optimize_unknown_n_with(0.01, 1e-4, OptimizerOptions::default());
+
+    let mut group = c.benchmark_group("insert_batch_1m");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+
+    group.bench_function("unknown_n_eps_0.01_batched", |b| {
+        b.iter_batched(
+            || UnknownN::<u64>::from_config(config.clone(), 1),
+            |mut sketch| {
+                for chunk in data.chunks(1024) {
+                    sketch.insert_batch(chunk);
+                }
+                sketch
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for &rate in &[1u64, 8] {
+        let engine = || {
+            Engine::new(
+                EngineConfig::new(5, 256),
+                AdaptiveLowestLevel,
+                FixedRate::new(rate),
+                1,
+            )
+        };
+        group.bench_function(format!("engine_rate{rate}_scalar"), |b| {
+            b.iter_batched(
+                engine,
+                |mut e| {
+                    for &v in &data {
+                        e.insert(v);
+                    }
+                    e
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("engine_rate{rate}_batched"), |b| {
+            b.iter_batched(
+                engine,
+                |mut e| {
+                    for chunk in data.chunks(1024) {
+                        e.insert_batch(chunk);
+                    }
+                    e
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+/// Pure ingestion cost: a buffer big enough that no fill completes during
+/// the run, so neither sort nor collapse (identical on both paths) masks
+/// the scalar-vs-batched difference in the sampling/fill machinery itself.
+fn bench_ingest_only(c: &mut Criterion) {
+    let data = stream();
+    let mut group = c.benchmark_group("ingest_only_1m");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+
+    for &rate in &[1u64, 8] {
+        let k = (N / rate) as usize + 2;
+        let engine = move || {
+            Engine::new(
+                EngineConfig::new(2, k),
+                AdaptiveLowestLevel,
+                FixedRate::new(rate),
+                1,
+            )
+        };
+        group.bench_function(format!("engine_rate{rate}_scalar"), |b| {
+            b.iter_batched(
+                engine,
+                |mut e| {
+                    for &v in &data {
+                        e.insert(v);
+                    }
+                    e
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("engine_rate{rate}_batched"), |b| {
+            b.iter_batched(
+                engine,
+                |mut e| {
+                    for chunk in data.chunks(1024) {
+                        e.insert_batch(chunk);
+                    }
+                    e
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let data = stream();
     let config =
@@ -93,5 +205,11 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_query);
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_batch_inserts,
+    bench_ingest_only,
+    bench_query
+);
 criterion_main!(benches);

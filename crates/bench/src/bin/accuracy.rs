@@ -27,7 +27,10 @@ fn main() {
 
     let distributions = [
         ValueDistribution::Uniform { range: 1 << 30 },
-        ValueDistribution::Normal { mean: 1e6, sigma: 2e5 },
+        ValueDistribution::Normal {
+            mean: 1e6,
+            sigma: 2e5,
+        },
         ValueDistribution::Zipf { n: 100_000, s: 1.1 },
         ValueDistribution::Exponential { scale: 1e5 },
         ValueDistribution::FewDistinct { distinct: 17 },
@@ -38,7 +41,11 @@ fn main() {
         ArrivalOrder::SortedDescending,
         ArrivalOrder::OrganPipe,
     ];
-    let n = if cfg!(debug_assertions) { 200_000 } else { 1_000_000 };
+    let n = if cfg!(debug_assertions) {
+        200_000
+    } else {
+        1_000_000
+    };
 
     let mut table = TextTable::new(["workload", "trials", "mean err", "max err", "fail rate"]);
     let mut worst: f64 = 0.0;
@@ -64,10 +71,16 @@ fn main() {
         }
     }
     table.print();
-    println!("\nWorst observed error anywhere: {worst:.5} (guarantee: {eps} with prob {})", 1.0 - delta);
+    println!(
+        "\nWorst observed error anywhere: {worst:.5} (guarantee: {eps} with prob {})",
+        1.0 - delta
+    );
 
     // Reservoir baseline at the *same memory budget*.
-    println!("\nReservoir-sampling baseline (section 2.2) at the same memory ({} elements):", config.memory);
+    println!(
+        "\nReservoir-sampling baseline (section 2.2) at the same memory ({} elements):",
+        config.memory
+    );
     let workload = Workload {
         values: ValueDistribution::Uniform { range: 1 << 30 },
         order: ArrivalOrder::Random,
@@ -94,7 +107,10 @@ fn main() {
         mrl_max = mrl_max.max(t.error);
     }
     table.row(["MRL99 unknown-N".to_string(), format!("{mrl_max:.5}")]);
-    table.row(["reservoir (same memory)".to_string(), format!("{res_max:.5}")]);
+    table.row([
+        "reservoir (same memory)".to_string(),
+        format!("{res_max:.5}"),
+    ]);
     table.print();
     println!("\nShape check: at equal memory the reservoir's guarantee is the weaker");
     println!("(its epsilon scales as 1/sqrt(memory); MRL99's roughly as 1/memory).");

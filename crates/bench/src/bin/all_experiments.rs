@@ -39,7 +39,15 @@ fn main() {
             // Fall back to cargo (e.g. when run via `cargo run` from a
             // clean target dir).
             Command::new("cargo")
-                .args(["run", "--quiet", "--release", "-p", "mrl-bench", "--bin", name])
+                .args([
+                    "run",
+                    "--quiet",
+                    "--release",
+                    "-p",
+                    "mrl-bench",
+                    "--bin",
+                    name,
+                ])
                 .status()
         };
         match status {

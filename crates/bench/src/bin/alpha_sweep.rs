@@ -47,11 +47,7 @@ fn main() {
         let k_sample = required_x(alpha, eps, delta) / scalars.x_min;
         let k = k_pre.max(k_post).max(k_sample).ceil() as usize;
         let memory = free.b * k;
-        table.row([
-            format!("{alpha:.2}"),
-            format!("{k}"),
-            format!("{memory}"),
-        ]);
+        table.row([format!("{alpha:.2}"), format!("{k}"), format!("{memory}")]);
         emit_json(&Row { alpha, k, memory });
     }
     table.print();

@@ -27,7 +27,11 @@ fn main() {
     let opts = mrl_bench::eval::experiment_options();
     let (eps, delta) = (0.01, 0.001);
     let config = mrl_analysis::optimizer::optimize_unknown_n_with(eps, delta, opts);
-    let n = if cfg!(debug_assertions) { 300_000u64 } else { 1_000_000 };
+    let n = if cfg!(debug_assertions) {
+        300_000u64
+    } else {
+        1_000_000
+    };
     let phis = [0.1, 0.25, 0.5, 0.75, 0.9];
     let mem = config.memory;
 

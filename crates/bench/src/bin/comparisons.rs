@@ -19,7 +19,11 @@ struct Row {
 
 fn main() {
     let opts = mrl_bench::eval::experiment_options();
-    let n: u64 = if cfg!(debug_assertions) { 200_000 } else { 1_000_000 };
+    let n: u64 = if cfg!(debug_assertions) {
+        200_000
+    } else {
+        1_000_000
+    };
     let data: Vec<u64> = (0..n).map(|i| (i * 2654435761) % 1_000_003).collect();
     let config = mrl_analysis::optimizer::optimize_unknown_n_with(0.01, 1e-4, opts);
 
@@ -46,9 +50,7 @@ fn main() {
     reset_comparisons();
     let _ = sketch.query(0.5);
     let query_cost = comparisons();
-    println!(
-        "(a single median query costs {query_cost} comparisons — independent of N)\n"
-    );
+    println!("(a single median query costs {query_cost} comparisons — independent of N)\n");
 
     // Exact selection baselines.
     reset_comparisons();

@@ -22,9 +22,7 @@ fn main() {
     let opts = mrl_bench::eval::experiment_options();
     let (eps, delta) = (0.01, 0.0001);
     let base = optimize_unknown_n_with(eps, delta, opts);
-    println!(
-        "Figure 5: valid buffer-allocation schedule, epsilon = {eps}, delta = {delta}"
-    );
+    println!("Figure 5: valid buffer-allocation schedule, epsilon = {eps}, delta = {delta}");
     println!("Unconstrained unknown-N memory: {} elements\n", base.memory);
 
     // User ceilings: a fraction of full memory early, full memory plus
@@ -33,9 +31,18 @@ fn main() {
     // for at least three buffers — with fewer, the pre-onset tree
     // degenerates into a deep path and no schedule can certify.
     let limits = [
-        MemoryLimit { n: 20_000, max_memory: (base.memory * 5) / 8 },
-        MemoryLimit { n: 200_000, max_memory: (base.memory * 7) / 8 },
-        MemoryLimit { n: u64::MAX / 2, max_memory: base.memory * 2 },
+        MemoryLimit {
+            n: 20_000,
+            max_memory: (base.memory * 5) / 8,
+        },
+        MemoryLimit {
+            n: 200_000,
+            max_memory: (base.memory * 7) / 8,
+        },
+        MemoryLimit {
+            n: u64::MAX / 2,
+            max_memory: base.memory * 2,
+        },
     ];
     println!("User-specified ceilings:");
     for l in &limits {
@@ -57,7 +64,8 @@ fn main() {
                 plan.alpha,
                 plan.memory()
             );
-            let mut table = TextTable::new(["N (elements)", "allocated memory", "ceiling", "known-N"]);
+            let mut table =
+                TextTable::new(["N (elements)", "allocated memory", "ceiling", "known-N"]);
             for (n_at, mem) in plan.memory_profile() {
                 let ceiling = limits
                     .iter()

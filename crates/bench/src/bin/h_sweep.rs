@@ -40,7 +40,12 @@ fn main() {
                 ..SimOptions::default()
             },
         ) else {
-            table.row([format!("{h}"), "— (over cap)".into(), "—".into(), "—".into()]);
+            table.row([
+                format!("{h}"),
+                "— (over cap)".into(),
+                "—".into(),
+                "—".into(),
+            ]);
             continue;
         };
         // Optimal alpha for this h via the same constraint algebra the
@@ -49,8 +54,7 @@ fn main() {
         let mut a = 0.01;
         while a < 1.0 {
             let k_post = s.g_post / (a * eps);
-            let k_sample =
-                mrl_analysis::bounds::required_x(a, eps, delta) / s.x_min;
+            let k_sample = mrl_analysis::bounds::required_x(a, eps, delta) / s.x_min;
             best_k = best_k.min((s.g_pre / eps).max(k_post).max(k_sample));
             a += 0.01;
         }

@@ -19,10 +19,16 @@ struct Row {
 fn main() {
     let opts = mrl_bench::eval::experiment_options();
     let (eps, delta) = (0.02, 0.001);
-    let n_total = if cfg!(debug_assertions) { 400_000u64 } else { 2_000_000 };
+    let n_total = if cfg!(debug_assertions) {
+        400_000u64
+    } else {
+        2_000_000
+    };
     let phis = [0.1, 0.5, 0.9];
 
-    println!("Parallel evaluation (section 6): epsilon = {eps}, delta = {delta}, total N = {n_total}\n");
+    println!(
+        "Parallel evaluation (section 6): epsilon = {eps}, delta = {delta}, total N = {n_total}\n"
+    );
     let data = Workload {
         values: ValueDistribution::Exponential { scale: 1e5 },
         order: ArrivalOrder::Random,
@@ -32,15 +38,19 @@ fn main() {
     .generate();
 
     let mut table = TextTable::new([
-        "workers", "total N", "max obs. err", "worker mem", "coord mem",
+        "workers",
+        "total N",
+        "max obs. err",
+        "worker mem",
+        "coord mem",
     ]);
     for &p in &[1usize, 2, 4, 8] {
         // Slice the stream across workers (value-range independent split).
         let inputs: Vec<Vec<u64>> = (0..p)
             .map(|w| data.iter().skip(w).step_by(p).copied().collect())
             .collect();
-        let out = parallel_quantiles(inputs, eps, delta, &phis, opts, 123)
-            .expect("nonempty inputs");
+        let out =
+            parallel_quantiles(inputs, eps, delta, &phis, opts, 123).expect("nonempty inputs");
         let mut max_err = 0.0f64;
         for (q, phi) in out.quantiles.iter().zip(phis) {
             max_err = max_err.max(rank_error(&data, q, phi));

@@ -23,13 +23,7 @@ struct Row {
     max_err: f64,
 }
 
-fn run_policy<P: CollapsePolicy>(
-    policy: P,
-    b: usize,
-    k: usize,
-    data: &[u64],
-    phis: &[f64],
-) -> Row {
+fn run_policy<P: CollapsePolicy>(policy: P, b: usize, k: usize, data: &[u64], phis: &[f64]) -> Row {
     let name = policy.name().to_string();
     let mut e = Engine::new(EngineConfig::new(b, k), policy, FixedRate::new(1), 11);
     for &v in data {
@@ -52,7 +46,11 @@ fn run_policy<P: CollapsePolicy>(
 
 fn main() {
     let (b, k) = (5usize, 100usize);
-    let n = if cfg!(debug_assertions) { 200_000 } else { 1_000_000 };
+    let n = if cfg!(debug_assertions) {
+        200_000
+    } else {
+        1_000_000
+    };
     let data = Workload {
         values: ValueDistribution::Uniform { range: 1 << 30 },
         order: ArrivalOrder::Random,
@@ -64,7 +62,12 @@ fn main() {
 
     println!("Collapse-policy ablation: b = {b}, k = {k}, N = {n} (deterministic, rate 1)\n");
     let mut table = TextTable::new([
-        "policy", "collapses", "W", "height", "Lemma-4 bound", "max obs. err",
+        "policy",
+        "collapses",
+        "W",
+        "height",
+        "Lemma-4 bound",
+        "max obs. err",
     ]);
     for row in [
         run_policy(AdaptiveLowestLevel, b, k, &data, &phis),

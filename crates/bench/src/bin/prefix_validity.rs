@@ -27,7 +27,11 @@ fn main() {
     let opts = mrl_bench::eval::experiment_options();
     let (eps, delta) = (0.01, 0.001);
     let config = mrl_analysis::optimizer::optimize_unknown_n_with(eps, delta, opts);
-    let n: u64 = if cfg!(debug_assertions) { 300_000 } else { 2_000_000 };
+    let n: u64 = if cfg!(debug_assertions) {
+        300_000
+    } else {
+        2_000_000
+    };
     let phi = 0.5;
 
     println!(

@@ -30,7 +30,13 @@ fn main() {
     println!("Table 1: unknown-N algorithm parameters and memory vs the known-N algorithm");
     println!("(memory in elements; known-N assumes N large enough to warrant sampling)\n");
     let mut table = TextTable::new([
-        "epsilon", "delta", "b", "k", "bk (unknown-N)", "known-N", "ratio",
+        "epsilon",
+        "delta",
+        "b",
+        "k",
+        "bk (unknown-N)",
+        "known-N",
+        "ratio",
     ]);
     for &eps in &epsilons {
         for &delta in &deltas {

@@ -44,7 +44,13 @@ fn main() {
     println!("Extreme-value estimation (section 7), delta = {delta}");
     println!("(validation: {trials} seeded trials on a uniform stream of N = {n})\n");
     let mut table = TextTable::new([
-        "phi", "epsilon", "sample s", "heap k", "general alg.", "max err", "fails",
+        "phi",
+        "epsilon",
+        "sample s",
+        "heap k",
+        "general alg.",
+        "max err",
+        "fails",
     ]);
 
     let workload = Workload {

@@ -152,8 +152,16 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = Args::parse([
-            "--eps", "0.05", "--delta", "0.001", "--phi", "0.25,0.5,0.99", "--seed", "7",
-            "--every", "1000",
+            "--eps",
+            "0.05",
+            "--delta",
+            "0.001",
+            "--phi",
+            "0.25,0.5,0.99",
+            "--seed",
+            "7",
+            "--every",
+            "1000",
         ])
         .unwrap();
         assert_eq!(a.epsilon, 0.05);

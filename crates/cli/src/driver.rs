@@ -70,20 +70,49 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
         UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
     let mut skipped = 0u64;
 
-    for line in input.lines() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        match T::parse(trimmed) {
-            Some(v) => {
-                sketch.insert(v);
-                if args.report_every > 0 && sketch.n().is_multiple_of(args.report_every) {
-                    report(&sketch, &args.phis, &mut output, true)?;
-                }
+    if args.report_every > 0 {
+        // Online-aggregation mode: per-element inserts so the interim
+        // report cadence lands exactly on every `report_every`-th value.
+        for line in input.lines() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
             }
-            None => skipped += 1,
+            match T::parse(trimmed) {
+                Some(v) => {
+                    sketch.insert(v);
+                    if sketch.n().is_multiple_of(args.report_every) {
+                        report(&sketch, &args.phis, &mut output, true)?;
+                    }
+                }
+                None => skipped += 1,
+            }
+        }
+    } else {
+        // Bulk mode: gather parsed values and feed the sketch's batched
+        // fast path.
+        const CHUNK: usize = 1024;
+        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
+        for line in input.lines() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match T::parse(trimmed) {
+                Some(v) => {
+                    buf.push(v);
+                    if buf.len() == CHUNK {
+                        sketch.insert_batch(&buf);
+                        buf.clear();
+                    }
+                }
+                None => skipped += 1,
+            }
+        }
+        if !buf.is_empty() {
+            sketch.insert_batch(&buf);
         }
     }
 
@@ -222,6 +251,9 @@ mod tests {
             .collect();
         let (summary, _) = run_on(&input, &args_with_phis(&[0.5]));
         let med: f64 = summary.quantiles[0].1.parse().unwrap();
-        assert!((med - 25_000.0).abs() <= 0.05 * 50_000.0 + 1.0, "median {med}");
+        assert!(
+            (med - 25_000.0).abs() <= 0.05 * 50_000.0 + 1.0,
+            "median {med}"
+        );
     }
 }

@@ -59,7 +59,12 @@ impl<T: Ord + Clone> DynamicUnknownN<T> {
         self.engine.insert(item);
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of elements through the engine's batched fast path.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        self.engine.insert_batch(items);
+    }
+
+    /// Insert every element of an iterator (batched internally).
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         self.engine.extend(iter);
     }
@@ -115,8 +120,14 @@ mod tests {
         let opts = OptimizerOptions::fast();
         let base = mrl_analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, opts);
         let limits = [
-            MemoryLimit { n: 2_000, max_memory: (base.memory * 3) / 4 },
-            MemoryLimit { n: u64::MAX / 2, max_memory: base.memory * 2 },
+            MemoryLimit {
+                n: 2_000,
+                max_memory: (base.memory * 3) / 4,
+            },
+            MemoryLimit {
+                n: u64::MAX / 2,
+                max_memory: base.memory * 2,
+            },
         ];
         let Some(mut s) = DynamicUnknownN::<u64>::new(0.05, 0.01, &limits, opts, 3) else {
             // Documented outcome: limits may be infeasible. The fig5
@@ -140,7 +151,10 @@ mod tests {
         assert!(s.memory_elements() <= base.memory * 2);
         // And the answers are still within the guarantee.
         let q = s.query(0.5).unwrap() as f64;
-        assert!((q - 150_000.0).abs() <= 0.05 * 300_000.0 + 1.0, "median {q}");
+        assert!(
+            (q - 150_000.0).abs() <= 0.05 * 300_000.0 + 1.0,
+            "median {q}"
+        );
         assert!(s.sampling_started());
     }
 
@@ -148,7 +162,10 @@ mod tests {
     fn tiny_stream_uses_tiny_memory() {
         let opts = OptimizerOptions::fast();
         let base = mrl_analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, opts);
-        let limits = [MemoryLimit { n: u64::MAX / 2, max_memory: base.memory * 2 }];
+        let limits = [MemoryLimit {
+            n: u64::MAX / 2,
+            max_memory: base.memory * 2,
+        }];
         let Some(mut s) = DynamicUnknownN::<u64>::new(0.05, 0.01, &limits, opts, 4) else {
             panic!("unbounded ceiling must admit a schedule");
         };

@@ -41,12 +41,7 @@ where
     }
 
     /// One-shot quantiles of the iterator: `None` when it is empty.
-    fn approx_quantiles(
-        self,
-        epsilon: f64,
-        delta: f64,
-        phis: &[f64],
-    ) -> Option<Vec<Self::Item>> {
+    fn approx_quantiles(self, epsilon: f64, delta: f64, phis: &[f64]) -> Option<Vec<Self::Item>> {
         self.sketch(epsilon, delta).query_many(phis)
     }
 }
@@ -73,12 +68,8 @@ mod tests {
 
     #[test]
     fn empty_iterator_yields_empty_sketch() {
-        let sketch = std::iter::empty::<u32>().sketch_with_options(
-            0.1,
-            0.01,
-            OptimizerOptions::fast(),
-            1,
-        );
+        let sketch =
+            std::iter::empty::<u32>().sketch_with_options(0.1, 0.01, OptimizerOptions::fast(), 1);
         assert_eq!(sketch.n(), 0);
         assert_eq!(sketch.query(0.5), None);
     }
@@ -88,10 +79,11 @@ mod tests {
         // The framework is generic over Ord + Clone; exercise a non-numeric
         // element type end to end.
         let words: Vec<String> = (0..5_000u32).map(|i| format!("{:05}", i % 977)).collect();
-        let sketch = words
-            .iter()
-            .cloned()
-            .sketch_with_options(0.05, 0.01, OptimizerOptions::fast(), 5);
+        let sketch =
+            words
+                .iter()
+                .cloned()
+                .sketch_with_options(0.05, 0.01, OptimizerOptions::fast(), 5);
         let med = sketch.query(0.5).unwrap();
         let num: u32 = med.parse().unwrap();
         assert!(

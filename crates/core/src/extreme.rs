@@ -40,8 +40,8 @@ enum SampleMode<T> {
     /// ("the sampling rate s/N is dependent on N").
     KnownN {
         sampler: BernoulliSampler,
-        low_heap: BinaryHeap<T>,            // max-heap of the k smallest
-        high_heap: BinaryHeap<Reverse<T>>,  // min-heap of the k largest
+        low_heap: BinaryHeap<T>,           // max-heap of the k smallest
+        high_heap: BinaryHeap<Reverse<T>>, // min-heap of the k largest
     },
     /// Unknown `N`: maintain a size-`s` uniform reservoir instead. Memory
     /// `O(s)` — a convenience fallback, not the paper's low-memory claim.
@@ -164,10 +164,62 @@ impl<T: Ord + Clone> ExtremeValue<T> {
         }
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of elements.
+    ///
+    /// In known-`N` mode the Bernoulli sampler jumps between acceptances
+    /// with geometric skips (one random draw per *sampled* element, not per
+    /// stream element), so a batch at rate `s/N ≪ 1` costs almost nothing
+    /// beyond the accepted heap pushes. The unknown-`N` reservoir offers
+    /// per element as before.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        self.seen += items.len() as u64;
+        let k = self.k as usize;
+        match &mut self.mode {
+            SampleMode::KnownN {
+                sampler,
+                low_heap,
+                high_heap,
+            } => {
+                let tail = self.tail;
+                sampler.accept_many(items.len() as u64, &mut self.rng, &mut |i| {
+                    let item = items[i as usize].clone();
+                    match tail {
+                        Tail::Low => {
+                            low_heap.push(item);
+                            if low_heap.len() > k {
+                                low_heap.pop();
+                            }
+                        }
+                        Tail::High => {
+                            high_heap.push(Reverse(item));
+                            if high_heap.len() > k {
+                                high_heap.pop();
+                            }
+                        }
+                    }
+                });
+            }
+            SampleMode::UnknownN { reservoir } => {
+                for item in items {
+                    reservoir.offer(item.clone(), &mut self.rng);
+                }
+            }
+        }
+    }
+
+    /// Insert every element of an iterator (batched internally).
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        const CHUNK: usize = 1024;
+        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
         for item in iter {
-            self.insert(item);
+            buf.push(item);
+            if buf.len() == CHUNK {
+                self.insert_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.insert_batch(&buf);
         }
     }
 

@@ -47,17 +47,11 @@ impl<T: Ord + Clone> EquiDepthHistogram<T> {
 
     /// As [`EquiDepthHistogram::new`] with an explicit optimizer search
     /// space.
-    pub fn with_options(
-        buckets: usize,
-        epsilon: f64,
-        delta: f64,
-        opts: OptimizerOptions,
-    ) -> Self {
+    pub fn with_options(buckets: usize, epsilon: f64, delta: f64, opts: OptimizerOptions) -> Self {
         assert!(buckets >= 2, "a histogram needs at least two buckets");
         // p-1 simultaneous quantiles: delta -> delta/(p-1).
         let p = (buckets - 1) as f64;
-        let config =
-            mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta / p, opts);
+        let config = mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta / p, opts);
         Self {
             sketch: UnknownN::from_config(config, 0),
             buckets,
@@ -81,7 +75,12 @@ impl<T: Ord + Clone> EquiDepthHistogram<T> {
         self.sketch.insert(item);
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of elements through the sketch's batched fast path.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        self.sketch.insert_batch(items);
+    }
+
+    /// Insert every element of an iterator (batched internally).
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         self.sketch.extend(iter);
     }
@@ -166,7 +165,12 @@ impl<T: Ord + Clone> AnyQuantile<T> {
         self.sketch.insert(item);
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of elements through the sketch's batched fast path.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        self.sketch.insert_batch(items);
+    }
+
+    /// Insert every element of an iterator (batched internally).
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         self.sketch.extend(iter);
     }
@@ -176,7 +180,9 @@ impl<T: Ord + Clone> AnyQuantile<T> {
     pub fn query(&self, phi: f64) -> Option<T> {
         assert!((0.0..=1.0).contains(&phi), "phi must lie in [0, 1]");
         // Grid points phi_i = (2i - 1) / (2 grid), i = 1..=grid.
-        let i = (phi * self.grid as f64 + 0.5).round().clamp(1.0, self.grid as f64);
+        let i = (phi * self.grid as f64 + 0.5)
+            .round()
+            .clamp(1.0, self.grid as f64);
         let snapped = (2.0 * i - 1.0) / (2.0 * self.grid as f64);
         self.sketch.query(snapped)
     }
@@ -247,8 +253,8 @@ mod tests {
 
     #[test]
     fn any_quantile_answers_arbitrary_phis() {
-        let mut a = AnyQuantile::<u64>::with_options(0.05, 1e-2, OptimizerOptions::fast())
-            .with_seed(7);
+        let mut a =
+            AnyQuantile::<u64>::with_options(0.05, 1e-2, OptimizerOptions::fast()).with_seed(7);
         let n = 100_000u64;
         a.extend((0..n).map(|i| (i * 69621) % n));
         for phi in [0.137, 0.5, 0.734, 0.99] {

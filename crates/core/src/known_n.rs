@@ -90,10 +90,32 @@ impl<T: Ord + Clone> KnownN<T> {
         self.engine.insert(item);
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of elements through the engine's batched fast path.
+    ///
+    /// # Panics
+    /// Panics if the batch would exceed the declared `n` elements.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        assert!(
+            self.engine.n() + items.len() as u64 <= self.expected_n,
+            "inserted more than the declared {} elements",
+            self.expected_n
+        );
+        self.engine.insert_batch(items);
+    }
+
+    /// Insert every element of an iterator (batched internally).
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        const CHUNK: usize = 1024;
+        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
         for item in iter {
-            self.insert(item);
+            buf.push(item);
+            if buf.len() == CHUNK {
+                self.insert_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.insert_batch(&buf);
         }
     }
 

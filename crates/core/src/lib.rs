@@ -35,10 +35,10 @@ mod unknown_n;
 
 pub use dynamic::DynamicUnknownN;
 pub use ext::QuantileIteratorExt;
-pub use persist::SketchSnapshot;
 pub use extreme::{ExtremeValue, Tail};
 pub use histogram::{AnyQuantile, EquiDepthHistogram};
 pub use known_n::KnownN;
+pub use persist::SketchSnapshot;
 pub use unknown_n::UnknownN;
 
 pub use mrl_analysis::optimizer::{KnownNPlan, OptimizerOptions, UnknownNConfig};

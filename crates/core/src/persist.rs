@@ -51,8 +51,8 @@ mod tests {
     use mrl_analysis::optimizer::OptimizerOptions;
 
     fn sketch_with_data(n: u64) -> UnknownN<u64> {
-        let mut s = UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast())
-            .with_seed(11);
+        let mut s =
+            UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast()).with_seed(11);
         s.extend((0..n).map(|i| (i * 2654435761) % 1_000_003));
         s
     }

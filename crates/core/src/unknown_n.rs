@@ -80,7 +80,13 @@ impl<T: Ord + Clone> UnknownN<T> {
         self.engine.insert(item);
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of elements through the engine's batched fast path
+    /// (one random draw per sampled block instead of one per element).
+    pub fn insert_batch(&mut self, items: &[T]) {
+        self.engine.insert_batch(items);
+    }
+
+    /// Insert every element of an iterator (batched internally).
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         self.engine.extend(iter);
     }
@@ -289,5 +295,4 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
     }
-
 }

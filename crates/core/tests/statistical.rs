@@ -28,7 +28,9 @@ fn rank_err(data: &[u64], value: u64, phi: f64) -> f64 {
     let at_most = data.iter().filter(|&&v| v <= value).count() as u64;
     let dist = if pos < below + 1 {
         below + 1 - pos
-    } else { pos.saturating_sub(at_most) };
+    } else {
+        pos.saturating_sub(at_most)
+    };
     dist as f64 / n as f64
 }
 
@@ -39,11 +41,8 @@ fn unknown_n_failure_rate_is_far_below_delta_budget() {
     // failure at all across seeds would indicate a real bug, but we assert
     // the rate, not perfection, to keep the test honest.
     let (eps, delta) = (0.04, 0.1);
-    let config = mrl_analysis::optimizer::optimize_unknown_n_with(
-        eps,
-        delta,
-        OptimizerOptions::fast(),
-    );
+    let config =
+        mrl_analysis::optimizer::optimize_unknown_n_with(eps, delta, OptimizerOptions::fast());
     let n = stream_len();
     let data: Vec<u64> = (0..n).map(|i| (i * 2654435761) % n).collect();
     let mut failures = 0u64;
@@ -117,11 +116,8 @@ fn answers_at_many_prefixes_respect_epsilon_with_sorted_input() {
     // the case plain reservoir sampling handles poorly when the sample is
     // frozen early.
     let (eps, delta) = (0.05, 0.05);
-    let config = mrl_analysis::optimizer::optimize_unknown_n_with(
-        eps,
-        delta,
-        OptimizerOptions::fast(),
-    );
+    let config =
+        mrl_analysis::optimizer::optimize_unknown_n_with(eps, delta, OptimizerOptions::fast());
     let n = stream_len();
     let mut failures = 0u64;
     let mut total = 0u64;

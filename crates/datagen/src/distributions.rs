@@ -218,7 +218,11 @@ mod tests {
 
     #[test]
     fn normal_concentrates_around_mean() {
-        let d = ValueDistribution::Normal { mean: 500.0, sigma: 50.0 }.sampler();
+        let d = ValueDistribution::Normal {
+            mean: 500.0,
+            sigma: 50.0,
+        }
+        .sampler();
         let mut r = rng();
         let xs: Vec<u64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
         let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;

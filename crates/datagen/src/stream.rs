@@ -149,8 +149,12 @@ mod tests {
 
     #[test]
     fn drift_is_reproducible() {
-        let a: Vec<u64> = DriftingStream::new(5.0, 10.0, 1.0, 100, 9).take(50).collect();
-        let b: Vec<u64> = DriftingStream::new(5.0, 10.0, 1.0, 100, 9).take(50).collect();
+        let a: Vec<u64> = DriftingStream::new(5.0, 10.0, 1.0, 100, 9)
+            .take(50)
+            .collect();
+        let b: Vec<u64> = DriftingStream::new(5.0, 10.0, 1.0, 100, 9)
+            .take(50)
+            .collect();
         assert_eq!(a, b);
     }
 }

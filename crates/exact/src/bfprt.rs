@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn large_matches_sort() {
-        let data: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(2654435761) % 65_536).collect();
+        let data: Vec<u32> = (0..20_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 65_536)
+            .collect();
         let mut sorted = data.clone();
         sorted.sort_unstable();
         for r in [1, 123, 10_000, 19_999, 20_000] {

@@ -23,7 +23,10 @@ where
     F: Fn() -> I,
     I: Iterator<Item = T>,
 {
-    assert!(passes >= 2, "multi-pass selection needs at least two passes");
+    assert!(
+        passes >= 2,
+        "multi-pass selection needs at least two passes"
+    );
     let n = make_iter().count() as u64;
     assert!(n > 0, "selection over empty data");
     assert!(r >= 1 && r <= n, "rank out of range");
@@ -80,7 +83,11 @@ where
         let margin = margin_mult * s_actual.sqrt();
         let lo_idx = (center - margin).floor().max(0.0) as usize;
         let hi_idx = ((center + margin).ceil() as usize).min(sample.len().saturating_sub(1));
-        let new_lo = if lo_idx == 0 { lo.clone() } else { Some(sample[lo_idx].clone()) };
+        let new_lo = if lo_idx == 0 {
+            lo.clone()
+        } else {
+            Some(sample[lo_idx].clone())
+        };
         let new_hi = if hi_idx + 1 >= sample.len() {
             hi.clone()
         } else {
@@ -167,6 +174,9 @@ mod tests {
     #[test]
     fn sorted_input() {
         let data: Vec<u64> = (0..50_000).collect();
-        assert_eq!(multi_pass_select(|| data.iter().copied(), 25_000, 3, 9), 24_999);
+        assert_eq!(
+            multi_pass_select(|| data.iter().copied(), 25_000, 3, 9),
+            24_999
+        );
     }
 }

@@ -97,7 +97,9 @@ mod tests {
     #[test]
     fn large_random_matches_sort() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let data: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let data: Vec<u64> = (0..10_000u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         let mut sorted = data.clone();
         sorted.sort_unstable();
         for r in [1, 17, 5_000, 9_999, 10_000] {

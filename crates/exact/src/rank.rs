@@ -59,7 +59,9 @@ pub fn rank_error<T: Ord>(data: &[T], value: &T, phi: f64) -> f64 {
         }
     } else if pos < lo {
         lo - pos
-    } else { pos.saturating_sub(hi) };
+    } else {
+        pos.saturating_sub(hi)
+    };
     dist as f64 / n as f64
 }
 

@@ -62,7 +62,11 @@ where
         let center = r as f64 / n as f64 * s_actual;
         let lo_idx = (center - margin).floor().max(0.0) as usize;
         let hi_idx = ((center + margin).ceil() as usize).min(sample.len() - 1);
-        let lo_bracket = if lo_idx == 0 { None } else { Some(sample[lo_idx].clone()) };
+        let lo_bracket = if lo_idx == 0 {
+            None
+        } else {
+            Some(sample[lo_idx].clone())
+        };
         let hi_bracket = if hi_idx + 1 >= sample.len() {
             None
         } else {

@@ -49,8 +49,15 @@ impl<T: Ord> Buffer<T> {
     /// Panics if the buffer is not empty, `data` is empty, `data` exceeds
     /// `k`, or `weight == 0`.
     pub fn populate(&mut self, mut data: Vec<T>, weight: u64, level: u32, k: usize) {
-        assert_eq!(self.state, BufferState::Empty, "populate requires an empty buffer");
-        assert!(!data.is_empty(), "cannot populate a buffer with no elements");
+        assert_eq!(
+            self.state,
+            BufferState::Empty,
+            "populate requires an empty buffer"
+        );
+        assert!(
+            !data.is_empty(),
+            "cannot populate a buffer with no elements"
+        );
         assert!(data.len() <= k, "buffer over capacity");
         assert!(weight > 0, "buffer weight must be positive");
         data.sort_unstable();
@@ -70,6 +77,21 @@ impl<T: Ord> Buffer<T> {
         self.weight = 0;
         self.level = 0;
         self.state = BufferState::Empty;
+    }
+
+    /// Take the (empty) backing storage out of the buffer, for reuse as
+    /// scratch elsewhere. The buffer stays `Empty` and is left with no
+    /// reserved capacity; `populate` hands it a vector again.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty.
+    pub fn take_storage(&mut self) -> Vec<T> {
+        assert_eq!(
+            self.state,
+            BufferState::Empty,
+            "take_storage requires an empty buffer"
+        );
+        std::mem::take(&mut self.data)
     }
 }
 
@@ -181,6 +203,26 @@ mod tests {
         assert!(b.is_empty());
         b.populate(vec![9, 8], 4, 2, 2);
         assert_eq!(b.data(), &[8, 9]);
+    }
+
+    #[test]
+    fn take_storage_recycles_the_allocation() {
+        let mut b = Buffer::empty(4);
+        b.populate(vec![4, 3, 2, 1], 1, 0, 4);
+        b.clear();
+        let storage = b.take_storage();
+        assert!(storage.is_empty());
+        assert!(storage.capacity() >= 4);
+        b.populate(vec![9], 2, 1, 4);
+        assert_eq!(b.data(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn take_storage_of_populated_buffer_panics() {
+        let mut b = Buffer::empty(2);
+        b.populate(vec![1, 2], 1, 0, 2);
+        let _ = b.take_storage();
     }
 
     #[test]

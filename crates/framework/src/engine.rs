@@ -15,7 +15,10 @@
 use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
 
 use crate::buffer::{Buffer, BufferMeta, BufferState};
-use crate::merge::{collapse_targets, output_position, select_weighted, total_mass, WeightedSource};
+use crate::merge::{
+    collapse_targets_into, output_position, select_weighted, select_weighted_into, total_mass,
+    WeightedSource,
+};
 use crate::policy::CollapsePolicy;
 use crate::schedule::RateSchedule;
 use crate::stats::TreeStats;
@@ -69,10 +72,19 @@ pub struct Engine<T, P, R> {
     rate_schedule: R,
     sampler: BlockSampler<T>,
     filler: Vec<T>,
+    /// Whether `filler` happens to be non-decreasing, tracked per push so
+    /// queries on an already-sorted fill skip the snapshot-and-sort.
+    filler_sorted: bool,
     fill_rate: u64,
     fill_level: u32,
     filling: bool,
     collapse_high_phase: bool,
+    /// Scratch reused across collapses (selection positions, selected
+    /// elements, policy metadata) so steady-state collapsing allocates
+    /// nothing.
+    targets_scratch: Vec<u64>,
+    select_scratch: Vec<T>,
+    meta_scratch: Vec<BufferMeta>,
     stats: TreeStats,
     recorder: Option<TreeRecorder>,
     slot_nodes: Vec<Option<usize>>,
@@ -113,7 +125,10 @@ where
             config.num_buffers,
             "allocation schedule must cover every buffer"
         );
-        assert_eq!(allocation[0], 0, "the first buffer must be available immediately");
+        assert_eq!(
+            allocation[0], 0,
+            "the first buffer must be available immediately"
+        );
         assert!(
             allocation.windows(2).all(|w| w[0] <= w[1]),
             "allocation schedule must be non-decreasing"
@@ -127,10 +142,14 @@ where
             rate_schedule,
             sampler: BlockSampler::new(rate),
             filler: Vec::with_capacity(config.buffer_size),
+            filler_sorted: true,
             fill_rate: rate,
             fill_level: 0,
             filling: false,
             collapse_high_phase: false,
+            targets_scratch: Vec::new(),
+            select_scratch: Vec::new(),
+            meta_scratch: Vec::new(),
             stats: TreeStats::default(),
             recorder: None,
             slot_nodes: Vec::new(),
@@ -236,6 +255,9 @@ where
             if let Some(tap) = &mut self.sample_tap {
                 tap.push((repr.clone(), self.fill_rate));
             }
+            if self.filler.last().is_some_and(|last| *last > repr) {
+                self.filler_sorted = false;
+            }
             self.filler.push(repr);
             if self.filler.len() == self.config.buffer_size {
                 self.complete_fill();
@@ -243,10 +265,90 @@ where
         }
     }
 
-    /// Insert every element of an iterator.
+    /// Insert a batch of stream elements.
+    ///
+    /// Equivalent in distribution to inserting the elements one at a time,
+    /// but the filling/finished checks are hoisted out of the per-element
+    /// loop and the block sampler consumes one random draw per **block**
+    /// instead of one per element (at rate 1, none at all) — see
+    /// [`BlockSampler::offer_slice`]. The consumed random stream differs
+    /// from the per-element path, so a seeded run is reproducible only
+    /// against the same chunking of the input.
+    ///
+    /// # Panics
+    /// Panics if called after [`Engine::finish`].
+    pub fn insert_batch(&mut self, items: &[T]) {
+        assert!(!self.finished, "cannot insert after finish()");
+        let mut rest = items;
+        while !rest.is_empty() {
+            if !self.filling {
+                self.begin_fill();
+            }
+            // Raw stream elements this fill can still absorb: each of the
+            // `room` free filler slots stands for `fill_rate` elements,
+            // less whatever the pending block has already consumed.
+            let room = (self.config.buffer_size - self.filler.len()) as u64;
+            let absorb = room * self.fill_rate - self.sampler.pending();
+            let take = absorb.min(rest.len() as u64) as usize;
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            if self.fill_rate == 1 {
+                // Every element is its own block: bypass the sampler and
+                // bulk-copy straight into the filler.
+                if let Some(tap) = self.sample_tap.as_mut() {
+                    for v in chunk {
+                        tap.push((v.clone(), 1));
+                    }
+                }
+                if self.filler_sorted {
+                    self.filler_sorted = chunk.is_sorted()
+                        && match (self.filler.last(), chunk.first()) {
+                            (Some(last), Some(first)) => last <= first,
+                            _ => true,
+                        };
+                }
+                self.filler.extend_from_slice(chunk);
+                self.stats.record_blocks(1, chunk.len() as u64);
+            } else {
+                let emitted = {
+                    let filler = &mut self.filler;
+                    let filler_sorted = &mut self.filler_sorted;
+                    let fill_rate = self.fill_rate;
+                    let mut tap = self.sample_tap.as_mut();
+                    self.sampler.offer_slice(chunk, &mut self.rng, &mut |repr| {
+                        if let Some(tap) = tap.as_mut() {
+                            tap.push((repr.clone(), fill_rate));
+                        }
+                        if filler.last().is_some_and(|last| *last > repr) {
+                            *filler_sorted = false;
+                        }
+                        filler.push(repr);
+                    })
+                };
+                self.stats.record_blocks(self.fill_rate, emitted as u64);
+            }
+            if self.filler.len() == self.config.buffer_size {
+                debug_assert_eq!(self.sampler.pending(), 0);
+                self.complete_fill();
+            }
+        }
+    }
+
+    /// Insert every element of an iterator. Internally gathers elements
+    /// into fixed-size batches and feeds them to [`Engine::insert_batch`],
+    /// so bulk loading through `extend` gets the batched fast path.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        const CHUNK: usize = 1024;
+        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
         for item in iter {
-            self.insert(item);
+            buf.push(item);
+            if buf.len() == CHUNK {
+                self.insert_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.insert_batch(&buf);
         }
     }
 
@@ -267,14 +369,23 @@ where
                 if let Some(tap) = &mut self.sample_tap {
                     tap.push((tail.clone(), self.fill_rate));
                 }
+                if self.filler.last().is_some_and(|last| *last > tail) {
+                    self.filler_sorted = false;
+                }
                 self.filler.push(tail);
             }
             if !self.filler.is_empty() {
                 let data = std::mem::take(&mut self.filler);
+                self.filler_sorted = true;
                 let idx = self
                     .empty_slot()
                     .expect("begin_fill reserved an empty slot");
-                self.buffers[idx].populate(data, self.fill_rate, self.fill_level, self.config.buffer_size);
+                self.buffers[idx].populate(
+                    data,
+                    self.fill_rate,
+                    self.fill_level,
+                    self.config.buffer_size,
+                );
                 if let Some(rec) = &mut self.recorder {
                     self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
                 }
@@ -297,7 +408,17 @@ where
     /// returned in the order of `phis`. Returns `None` before any element
     /// has arrived.
     pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
-        let filler_sorted = self.filler_snapshot();
+        // Only clone-and-sort the in-progress fill when it is actually out
+        // of order; an ascending stream (or a freshly started fill) reads
+        // straight from `filler`.
+        let sorted_holder: Option<Vec<T>> = if self.filler_sorted {
+            None
+        } else {
+            let mut v = self.filler.clone();
+            v.sort_unstable();
+            Some(v)
+        };
+        let filler_view: &[T] = sorted_holder.as_deref().unwrap_or(&self.filler);
         let pending = self.sampler.peek();
         let mut sources: Vec<WeightedSource<'_, T>> = Vec::new();
         for b in &self.buffers {
@@ -305,8 +426,8 @@ where
                 sources.push(WeightedSource::new(b.data(), b.weight()));
             }
         }
-        if !filler_sorted.is_empty() {
-            sources.push(WeightedSource::new(&filler_sorted, self.fill_rate));
+        if !filler_view.is_empty() {
+            sources.push(WeightedSource::new(filler_view, self.fill_rate));
         }
         let tail_holder;
         if let Some((tail, seen)) = pending {
@@ -331,7 +452,11 @@ where
         for ((_, original), value) in order.into_iter().zip(picked) {
             out[original] = Some(value);
         }
-        Some(out.into_iter().map(|v| v.expect("every slot filled")).collect())
+        Some(
+            out.into_iter()
+                .map(|v| v.expect("every slot filled"))
+                .collect(),
+        )
     }
 
     /// Total weighted mass visible to `Output` right now. Equals [`Engine::n`]
@@ -461,6 +586,7 @@ where
         );
         self.slot_nodes = vec![None; self.buffers.len()];
         self.max_allocated = self.buffers.len();
+        self.filler_sorted = filler.is_sorted();
         self.filler = filler;
         self.fill_rate = fill_rate;
         self.fill_level = fill_level;
@@ -473,14 +599,10 @@ where
 
     // ---- internals ------------------------------------------------------
 
-    fn filler_snapshot(&self) -> Vec<T> {
-        let mut v = self.filler.clone();
-        v.sort_unstable();
-        v
-    }
-
     fn empty_slot(&self) -> Option<usize> {
-        self.buffers.iter().position(|b| b.state() == BufferState::Empty)
+        self.buffers
+            .iter()
+            .position(|b| b.state() == BufferState::Empty)
     }
 
     fn full_slots(&self) -> Vec<usize> {
@@ -524,8 +646,16 @@ where
         debug_assert_eq!(self.filler.len(), self.config.buffer_size);
         let data = std::mem::take(&mut self.filler);
         self.filler = Vec::with_capacity(self.config.buffer_size);
-        let idx = self.empty_slot().expect("begin_fill reserved an empty slot");
-        self.buffers[idx].populate(data, self.fill_rate, self.fill_level, self.config.buffer_size);
+        self.filler_sorted = true;
+        let idx = self
+            .empty_slot()
+            .expect("begin_fill reserved an empty slot");
+        self.buffers[idx].populate(
+            data,
+            self.fill_rate,
+            self.fill_level,
+            self.config.buffer_size,
+        );
         if let Some(rec) = &mut self.recorder {
             self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
         }
@@ -539,43 +669,47 @@ where
     }
 
     fn collapse_once(&mut self) {
-        let metas: Vec<BufferMeta> = self
-            .buffers
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.state() == BufferState::Full)
-            .map(|(i, b)| b.meta(i))
-            .collect();
+        let mut metas = std::mem::take(&mut self.meta_scratch);
+        metas.clear();
+        metas.extend(
+            self.buffers
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.state() == BufferState::Full)
+                .map(|(i, b)| b.meta(i)),
+        );
         let decision = self.policy.choose(&metas);
+        self.meta_scratch = metas;
         for &(idx, level) in &decision.promotions {
             self.buffers[idx].promote(level);
         }
-        assert!(decision.collapse.len() >= 2, "policy must collapse >= 2 buffers");
+        assert!(
+            decision.collapse.len() >= 2,
+            "policy must collapse >= 2 buffers"
+        );
         self.perform_collapse(&decision.collapse, decision.output_level);
     }
 
     fn perform_collapse(&mut self, slots: &[usize], output_level: u32) {
         let w: u64 = slots.iter().map(|&i| self.buffers[i].weight()).sum();
-        let new_data = {
+        let high = if w.is_multiple_of(2) {
+            let phase = self.collapse_high_phase;
+            self.collapse_high_phase = !self.collapse_high_phase;
+            phase
+        } else {
+            false
+        };
+        collapse_targets_into(self.config.buffer_size, w, high, &mut self.targets_scratch);
+        let mut new_data = std::mem::take(&mut self.select_scratch);
+        {
             let sources: Vec<WeightedSource<'_, T>> = slots
                 .iter()
                 .map(|&i| WeightedSource::new(self.buffers[i].data(), self.buffers[i].weight()))
                 .collect();
-            let high = if w.is_multiple_of(2) {
-                let phase = self.collapse_high_phase;
-                self.collapse_high_phase = !self.collapse_high_phase;
-                phase
-            } else {
-                false
-            };
-            let targets = collapse_targets(self.config.buffer_size, w, high);
-            select_weighted(&sources, &targets)
-        };
+            select_weighted_into(&sources, &self.targets_scratch, &mut new_data);
+        }
         if let Some(rec) = &mut self.recorder {
-            let children: Vec<usize> = slots
-                .iter()
-                .filter_map(|&i| self.slot_nodes[i])
-                .collect();
+            let children: Vec<usize> = slots.iter().filter_map(|&i| self.slot_nodes[i]).collect();
             let node = rec.add_collapse(w, output_level, children);
             for &i in slots {
                 self.slot_nodes[i] = None;
@@ -585,6 +719,10 @@ where
         for &i in slots {
             self.buffers[i].clear();
         }
+        // Recycle the cleared output slot's old allocation as the next
+        // collapse's selection scratch: steady-state collapsing then swaps
+        // two k-capacity vectors back and forth without allocating.
+        self.select_scratch = self.buffers[slots[0]].take_storage();
         self.buffers[slots[0]].populate(new_data, w, output_level, self.config.buffer_size);
         self.stats.record_collapse(w, output_level);
         self.rate_schedule.observe_level(output_level);

@@ -43,7 +43,9 @@ pub use buffer::{Buffer, BufferMeta, BufferState};
 pub use cdf::CdfPoint;
 pub use engine::{Engine, EngineConfig};
 pub use merge::{collapse_targets, output_position, select_weighted, total_mass, WeightedSource};
-pub use policy::{AdaptiveLowestLevel, AlsabtiRankaSingh, CollapseDecision, CollapsePolicy, MunroPaterson};
+pub use policy::{
+    AdaptiveLowestLevel, AlsabtiRankaSingh, CollapseDecision, CollapsePolicy, MunroPaterson,
+};
 pub use schedule::{FixedRate, LeafCountSchedule, Mrl99Schedule, RateSchedule};
 pub use snapshot::{BufferSnapshot, EngineSnapshot};
 pub use stats::TreeStats;

@@ -4,12 +4,16 @@
 //! thought experiment: make `w(Xᵢ)` copies of each element of buffer `Xᵢ`,
 //! sort everything together, and pick elements at certain positions of the
 //! combined sequence. As the paper notes, the copies never need to be
-//! materialised: a k-way merge that advances a cumulative weight counter
-//! visits exactly the same positions in `O(Σ|Xᵢ| log c)` time and `O(c)`
-//! extra space.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! materialised. Instead of a heap-based k-way merge that visits (and
+//! clones) every element, the selection here advances in **runs**: at each
+//! step it finds the source with the smallest head, uses binary search
+//! against the other heads to determine the maximal run of consecutive
+//! merge output that source contributes, and then indexes any selection
+//! targets falling inside the run directly — cloning only the selected
+//! elements. With `c` sources and `t` targets this is
+//! `O((R + t)·c log k)` where `R ≤ Σ|Xᵢ|` is the number of runs, and in the
+//! common cases (few sources interleaving coarsely, or few targets) runs
+//! are long and the merge skips nearly all of the input.
 
 /// One sorted input to a weighted merge: a slice of non-decreasing elements,
 /// each representing `weight` input elements.
@@ -53,11 +57,28 @@ pub fn select_weighted<T: Ord + Clone>(
     sources: &[WeightedSource<'_, T>],
     targets: &[u64],
 ) -> Vec<T> {
+    let mut out = Vec::with_capacity(targets.len());
+    select_weighted_into(sources, targets, &mut out);
+    out
+}
+
+/// As [`select_weighted`], writing the selected elements into `out`
+/// (cleared first). Lets hot paths — one collapse per filled buffer —
+/// reuse the output allocation instead of allocating per call.
+pub fn select_weighted_into<T: Ord + Clone>(
+    sources: &[WeightedSource<'_, T>],
+    targets: &[u64],
+    out: &mut Vec<T>,
+) {
+    out.clear();
     if targets.is_empty() {
-        return Vec::new();
+        return;
     }
     let mass = total_mass(sources);
-    assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets must be sorted");
+    assert!(
+        targets.windows(2).all(|w| w[0] <= w[1]),
+        "targets must be sorted"
+    );
     assert!(targets[0] >= 1, "weighted positions are 1-indexed");
     assert!(
         *targets.last().expect("targets nonempty") <= mass,
@@ -66,37 +87,74 @@ pub fn select_weighted<T: Ord + Clone>(
         mass
     );
 
-    // Min-heap over the heads of each source. Ties broken by source index so
-    // the merge is deterministic.
-    #[derive(PartialEq, Eq, PartialOrd, Ord)]
-    struct Head<T: Ord>(T, usize, usize); // (value, source, position)
-
-    let mut heap: BinaryHeap<Reverse<Head<T>>> = sources
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !s.data.is_empty())
-        .map(|(i, s)| Reverse(Head(s.data[0].clone(), i, 0)))
-        .collect();
-
-    let mut out = Vec::with_capacity(targets.len());
+    // pos[i]: first unconsumed index of sources[i]. Ties between sources
+    // are broken by source index (the lower index merges first), matching
+    // the ordering a (value, source, position) heap would produce.
+    let mut pos: Vec<usize> = vec![0; sources.len()];
     let mut cum: u64 = 0;
     let mut ti = 0usize;
-    while let Some(Reverse(Head(value, src, pos))) = heap.pop() {
-        cum += sources[src].weight;
-        while ti < targets.len() && targets[ti] <= cum {
-            out.push(value.clone());
+    while ti < targets.len() {
+        // The source whose head merges next.
+        let mut best: Option<usize> = None;
+        for (i, s) in sources.iter().enumerate() {
+            if pos[i] < s.data.len()
+                && best.is_none_or(|b| s.data[pos[i]] < sources[b].data[pos[b]])
+            {
+                best = Some(i);
+            }
+        }
+        let j = best.expect("ran out of mass before all targets");
+        // Maximal run: consecutive elements of source j that all merge
+        // before every other source's head. Galloping search against each
+        // other head (dense interleavings produce length-1 runs, where a
+        // full binary search would waste log k compares); the tie-break
+        // direction depends on which side of j the other source sits.
+        let sub = &sources[j].data[pos[j]..];
+        let mut run = sub.len();
+        for (i, s) in sources.iter().enumerate() {
+            if i == j || pos[i] >= s.data.len() {
+                continue;
+            }
+            let head = &s.data[pos[i]];
+            run = if i < j {
+                gallop_limit(&sub[..run], |v| v < head)
+            } else {
+                gallop_limit(&sub[..run], |v| v <= head)
+            };
+        }
+        debug_assert!(run >= 1, "the minimal head always yields a run");
+        let w = sources[j].weight;
+        let run_mass = run as u64 * w;
+        // Targets inside the run index it directly: position `cum + q`
+        // lands on run element `(q - 1) / w`.
+        while ti < targets.len() && targets[ti] <= cum + run_mass {
+            let offset = ((targets[ti] - cum - 1) / w) as usize;
+            out.push(sub[offset].clone());
             ti += 1;
         }
-        if ti == targets.len() {
-            break;
-        }
-        let next = pos + 1;
-        if next < sources[src].data.len() {
-            heap.push(Reverse(Head(sources[src].data[next].clone(), src, next)));
-        }
+        cum += run_mass;
+        pos[j] += run;
     }
-    assert_eq!(out.len(), targets.len(), "ran out of mass before all targets");
-    out
+}
+
+/// First index of `sub` where `pred` fails (`sub` is partitioned: all
+/// passing elements precede all failing ones), found by exponential search
+/// from the front. Equivalent to `sub.partition_point(pred)` but costs
+/// `O(log r)` for answer `r` instead of `O(log len)` — the merge's runs
+/// are usually short, the suffix long.
+fn gallop_limit<T>(sub: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    if sub.first().is_none_or(|v| !pred(v)) {
+        return 0;
+    }
+    // Invariant: pred holds at `hi / 2`; first failure lies in
+    // `[hi / 2 + 1, min(hi, len)]`.
+    let mut hi = 1usize;
+    while hi < sub.len() && pred(&sub[hi]) {
+        hi <<= 1;
+    }
+    let lo = hi / 2 + 1;
+    let end = hi.min(sub.len());
+    lo + sub[lo..end].partition_point(|v| pred(v))
 }
 
 /// The `k` selection positions of a `Collapse` whose output weight is `w`
@@ -107,6 +165,14 @@ pub fn select_weighted<T: Ord + Clone>(
 ///   phase); the caller alternates `high` between successive even-weight
 ///   collapses so the ±½ rounding bias cancels.
 pub fn collapse_targets(k: usize, w: u64, high: bool) -> Vec<u64> {
+    let mut out = Vec::with_capacity(k);
+    collapse_targets_into(k, w, high, &mut out);
+    out
+}
+
+/// As [`collapse_targets`], writing into `out` (cleared first) so the
+/// engine can reuse one scratch vector across collapses.
+pub fn collapse_targets_into(k: usize, w: u64, high: bool, out: &mut Vec<u64>) {
     assert!(w > 0, "collapse output weight must be positive");
     let offset = if w % 2 == 1 {
         w.div_ceil(2)
@@ -115,7 +181,8 @@ pub fn collapse_targets(k: usize, w: u64, high: bool) -> Vec<u64> {
     } else {
         w / 2
     };
-    (0..k as u64).map(|j| j * w + offset).collect()
+    out.clear();
+    out.extend((0..k as u64).map(|j| j * w + offset));
 }
 
 /// The weighted position selected by `Output` for quantile `φ` over total
@@ -148,7 +215,10 @@ mod tests {
             }
         }
         all.sort();
-        targets.iter().map(|&t| all[(t - 1) as usize].clone()).collect()
+        targets
+            .iter()
+            .map(|&t| all[(t - 1) as usize].clone())
+            .collect()
     }
 
     #[test]
@@ -164,7 +234,10 @@ mod tests {
         let mass = total_mass(&sources);
         assert_eq!(mass, 4 * 3 + 3 + 5);
         let targets: Vec<u64> = (1..=mass).collect();
-        assert_eq!(select_weighted(&sources, &targets), select_brute(&sources, &targets));
+        assert_eq!(
+            select_weighted(&sources, &targets),
+            select_brute(&sources, &targets)
+        );
     }
 
     #[test]
@@ -196,6 +269,72 @@ mod tests {
         let a = vec![1, 2];
         let sources = [WeightedSource::new(&a, 1)];
         let _ = select_weighted(&sources, &[3]);
+    }
+
+    #[test]
+    fn sparse_targets_over_large_sources_match_brute_force() {
+        // Few targets, long interleaved runs: the skip path must agree with
+        // the materialised reference.
+        let a: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..300).map(|i| i * 5 + 1).collect();
+        let c: Vec<u32> = (0..200).map(|i| i * 7 + 2).collect();
+        let sources = [
+            WeightedSource::new(&a, 4),
+            WeightedSource::new(&b, 2),
+            WeightedSource::new(&c, 9),
+        ];
+        let mass = total_mass(&sources);
+        let targets: Vec<u64> = vec![1, 17, mass / 3, mass / 2, mass - 1, mass];
+        assert_eq!(
+            select_weighted(&sources, &targets),
+            select_brute(&sources, &targets)
+        );
+    }
+
+    #[test]
+    fn duplicate_values_across_sources_merge_deterministically() {
+        // Heavily tied inputs: every position must match the reference,
+        // which is insensitive to tie order because tied values are equal.
+        let a = vec![5, 5, 5, 7, 7];
+        let b = vec![5, 6, 7, 7];
+        let c = vec![5, 5, 8];
+        let sources = [
+            WeightedSource::new(&a, 2),
+            WeightedSource::new(&b, 3),
+            WeightedSource::new(&c, 1),
+        ];
+        let mass = total_mass(&sources);
+        let targets: Vec<u64> = (1..=mass).collect();
+        assert_eq!(
+            select_weighted(&sources, &targets),
+            select_brute(&sources, &targets)
+        );
+    }
+
+    #[test]
+    fn select_into_reuses_the_output_vector() {
+        let a = vec![1, 2, 3];
+        let sources = [WeightedSource::new(&a, 2)];
+        let mut out = Vec::with_capacity(8);
+        select_weighted_into(&sources, &[1, 4], &mut out);
+        assert_eq!(out, vec![1, 2]);
+        select_weighted_into(&sources, &[6], &mut out);
+        assert_eq!(out, vec![3]);
+        select_weighted_into(&sources, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn collapse_targets_into_matches_allocating_form() {
+        let mut scratch = Vec::new();
+        for k in [1usize, 3, 7] {
+            for w in [1u64, 2, 5, 8] {
+                for high in [false, true] {
+                    collapse_targets_into(k, w, high, &mut scratch);
+                    assert_eq!(scratch, collapse_targets(k, w, high));
+                }
+            }
+        }
     }
 
     #[test]

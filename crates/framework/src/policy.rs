@@ -53,11 +53,7 @@ fn level_profile(metas: &[BufferMeta]) -> (u32, Vec<usize>, Option<u32>) {
         .filter(|m| m.level == lowest)
         .map(|m| m.index)
         .collect();
-    let next = metas
-        .iter()
-        .map(|m| m.level)
-        .filter(|&l| l > lowest)
-        .min();
+    let next = metas.iter().map(|m| m.level).filter(|&l| l > lowest).min();
     (lowest, at_lowest, next)
 }
 
@@ -225,8 +221,14 @@ mod tests {
     #[test]
     fn decisions_are_deterministic() {
         let metas = [meta(0, 1, 0), meta(1, 1, 0), meta(2, 2, 1)];
-        assert_eq!(AdaptiveLowestLevel.choose(&metas), AdaptiveLowestLevel.choose(&metas));
+        assert_eq!(
+            AdaptiveLowestLevel.choose(&metas),
+            AdaptiveLowestLevel.choose(&metas)
+        );
         assert_eq!(MunroPaterson.choose(&metas), MunroPaterson.choose(&metas));
-        assert_eq!(AlsabtiRankaSingh.choose(&metas), AlsabtiRankaSingh.choose(&metas));
+        assert_eq!(
+            AlsabtiRankaSingh.choose(&metas),
+            AlsabtiRankaSingh.choose(&metas)
+        );
     }
 }

@@ -116,13 +116,8 @@ where
             snapshot.buffers.len() <= snapshot.num_buffers,
             "snapshot holds more buffers than b"
         );
-        let mut engine = Engine::with_allocation(
-            config,
-            policy,
-            snapshot.schedule,
-            snapshot.allocation,
-            seed,
-        );
+        let mut engine =
+            Engine::with_allocation(config, policy, snapshot.schedule, snapshot.allocation, seed);
         let k = snapshot.buffer_size;
         let mut slots: Vec<Buffer<T>> = Vec::with_capacity(snapshot.buffers.len());
         for bs in snapshot.buffers {
@@ -186,8 +181,7 @@ mod tests {
         // engaged; the pending block must survive the round-trip.
         let e = engine_with_data(9_999);
         let snap = e.snapshot();
-        let restored: Engine<u64, _, Mrl99Schedule> =
-            Engine::restore(snap, AdaptiveLowestLevel, 1);
+        let restored: Engine<u64, _, Mrl99Schedule> = Engine::restore(snap, AdaptiveLowestLevel, 1);
         assert_eq!(restored.output_mass(), e.output_mass());
         assert_eq!(restored.n(), e.n());
     }
@@ -222,8 +216,7 @@ mod tests {
         let mut e = engine_with_data(777);
         e.finish();
         let snap = e.snapshot();
-        let restored: Engine<u64, _, Mrl99Schedule> =
-            Engine::restore(snap, AdaptiveLowestLevel, 3);
+        let restored: Engine<u64, _, Mrl99Schedule> = Engine::restore(snap, AdaptiveLowestLevel, 3);
         assert!(restored.is_finished());
         assert_eq!(restored.query(0.5), e.query(0.5));
     }

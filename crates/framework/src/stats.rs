@@ -44,6 +44,15 @@ impl TreeStats {
         self.sum_block_sq += n * n;
     }
 
+    /// Record `count` consecutive blocks of `n` elements, one sample element
+    /// each. Exactly equivalent to `count` calls of [`TreeStats::record_block`];
+    /// the batched ingestion path uses this to keep accounting off the
+    /// per-element hot loop.
+    pub fn record_blocks(&mut self, n: u64, count: u64) {
+        self.elements += n * count;
+        self.sum_block_sq += n * n * count;
+    }
+
     /// Record a completed `New` buffer at `level`.
     pub fn record_leaf(&mut self, level: u32) {
         self.leaves += 1;

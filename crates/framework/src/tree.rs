@@ -71,7 +71,10 @@ impl TreeRecorder {
 
     /// Number of leaves recorded.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Leaf).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Leaf)
+            .count()
     }
 
     /// Render the subtrees rooted at `roots` as indented ASCII, one line per

@@ -42,7 +42,9 @@ impl Eq for OrderedF64 {}
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> Ordering {
         // Safe: NaN is rejected at construction.
-        self.0.partial_cmp(&other.0).expect("OrderedF64 is NaN-free")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("OrderedF64 is NaN-free")
     }
 }
 
@@ -73,10 +75,7 @@ mod tests {
         ];
         v.sort();
         let got: Vec<f64> = v.into_iter().map(f64::from).collect();
-        assert_eq!(
-            got,
-            vec![f64::NEG_INFINITY, -1.0, 0.0, 3.5, f64::INFINITY]
-        );
+        assert_eq!(got, vec![f64::NEG_INFINITY, -1.0, 0.0, 3.5, f64::INFINITY]);
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl ColumnWriter {
     /// Flush, back-patch the row count, and close. Returns the row count.
     pub fn finish(mut self) -> io::Result<u64> {
         self.file.flush()?;
-        let file = self.file.into_inner().map_err(io::IntoInnerError::into_error)?;
+        let file = self
+            .file
+            .into_inner()
+            .map_err(io::IntoInnerError::into_error)?;
         drop(file);
         // Back-patch the header.
         use std::io::{Seek, SeekFrom};
@@ -119,6 +122,22 @@ impl ColumnScan {
     /// or the first short read (a truncated trailing value is dropped).
     pub fn values(self) -> impl Iterator<Item = u64> {
         self.filter_map(Result::ok)
+    }
+
+    /// Read up to `max` values into `out` (cleared first), returning how
+    /// many were produced — `0` only at end of file. Errors end the chunk
+    /// early and are returned; values decoded before the error are kept in
+    /// `out`. Pairs with sketch batch ingestion (`insert_batch`).
+    pub fn read_chunk(&mut self, out: &mut Vec<u64>, max: usize) -> io::Result<usize> {
+        out.clear();
+        while out.len() < max {
+            match self.next() {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(out.len())
     }
 }
 
@@ -224,6 +243,29 @@ mod tests {
         drop(f);
         let back: Vec<u64> = ColumnScan::open(&path).unwrap().values().collect();
         assert_eq!(back, vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_chunk_covers_the_file() {
+        let path = temp_path("chunks");
+        let mut w = ColumnWriter::create(&path).unwrap();
+        w.extend((0..10_000u64).map(|i| i * 3)).unwrap();
+        w.finish().unwrap();
+        let mut scan = ColumnScan::open(&path).unwrap();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            let n = scan.read_chunk(&mut buf, 1024).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 1024);
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got.len(), 10_000);
+        assert_eq!(scan.read_rows(), 10_000);
+        assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -39,6 +39,21 @@ impl CsvColumnScan {
         })
     }
 
+    /// Read up to `max` values into `out` (cleared first), returning how
+    /// many were produced — `0` only at end of input. Feeds sketch batch
+    /// ingestion (`insert_batch`) without per-value iterator dispatch in
+    /// the caller's loop.
+    pub fn read_chunk(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
+        out.clear();
+        while out.len() < max {
+            match self.next() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out.len()
+    }
+
     /// Cells that failed to parse (or rows missing the column) so far.
     pub fn skipped(&self) -> u64 {
         self.skipped
@@ -144,6 +159,26 @@ mod tests {
         }
         assert_eq!(vals, vec![2, 5]);
         assert_eq!(scan.skipped(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn read_chunk_delivers_everything_in_chunks() {
+        let contents: String = (0..100u64).map(|i| format!("{i},{}\n", i * 10)).collect();
+        let p = temp_csv("chunked", &contents);
+        let mut scan = csv_column(&p, 1, false).unwrap();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            let n = scan.read_chunk(&mut buf, 7);
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 7);
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, (0..100u64).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(scan.rows(), 100);
         std::fs::remove_file(&p).unwrap();
     }
 

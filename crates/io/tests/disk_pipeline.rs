@@ -18,13 +18,14 @@ fn single_pass_over_disk_column_meets_guarantee() {
     let n = 300_000u64;
     {
         let mut w = ColumnWriter::create(&path).unwrap();
-        w.extend((0..n).map(|i| (i * 2654435761) % 1_000_003)).unwrap();
+        w.extend((0..n).map(|i| (i * 2654435761) % 1_000_003))
+            .unwrap();
         assert_eq!(w.finish().unwrap(), n);
     }
 
     // One streaming pass: the file never fits in the sketch's memory.
-    let mut sketch = UnknownN::<u64>::with_options(0.02, 0.01, OptimizerOptions::fast())
-        .with_seed(4);
+    let mut sketch =
+        UnknownN::<u64>::with_options(0.02, 0.01, OptimizerOptions::fast()).with_seed(4);
     for v in ColumnScan::open(&path).unwrap().values() {
         sketch.insert(v);
     }
@@ -67,8 +68,8 @@ fn sketch_memory_stays_flat_while_file_grows() {
     w.extend(0..400_000u64).unwrap();
     w.finish().unwrap();
 
-    let mut sketch = UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast())
-        .with_seed(9);
+    let mut sketch =
+        UnknownN::<u64>::with_options(0.05, 0.01, OptimizerOptions::fast()).with_seed(9);
     let bound = sketch.memory_bound_elements();
     for (i, v) in ColumnScan::open(&path).unwrap().values().enumerate() {
         sketch.insert(v);

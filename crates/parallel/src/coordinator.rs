@@ -51,8 +51,15 @@ impl<T: Ord + Clone> Coordinator<T> {
     /// # Panics
     /// Panics if the buffer is empty, oversized, or `Empty`-state.
     pub fn add_buffer(&mut self, buffer: Buffer<T>) {
-        assert_ne!(buffer.state(), BufferState::Empty, "cannot ship empty buffers");
-        assert!(buffer.len() <= self.k, "shipped buffer exceeds coordinator k");
+        assert_ne!(
+            buffer.state(),
+            BufferState::Empty,
+            "cannot ship empty buffers"
+        );
+        assert!(
+            buffer.len() <= self.k,
+            "shipped buffer exceeds coordinator k"
+        );
         self.total_weight_shipped += buffer.mass();
         match buffer.state() {
             BufferState::Full => {
@@ -139,7 +146,12 @@ impl<T: Ord + Clone> Coordinator<T> {
         if self.full.len() < 2 {
             return;
         }
-        let lowest = self.full.iter().map(|&(_, _, l)| l).min().expect("nonempty");
+        let lowest = self
+            .full
+            .iter()
+            .map(|&(_, _, l)| l)
+            .min()
+            .expect("nonempty");
         let mut at: Vec<usize> = self
             .full
             .iter()

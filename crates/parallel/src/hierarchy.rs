@@ -39,10 +39,14 @@ pub fn merge_hierarchical<T: Ord + Clone>(
     seed: u64,
 ) -> Coordinator<T> {
     assert!(group_size >= 1, "groups must hold at least one worker");
-    assert!(!worker_outputs.is_empty(), "need at least one worker output");
+    assert!(
+        !worker_outputs.is_empty(),
+        "need at least one worker output"
+    );
     let mut root = Coordinator::<T>::new(b, k, seed);
     for (g, group) in worker_outputs.chunks(group_size).enumerate() {
-        let mut group_coord = Coordinator::<T>::new(b, k, seed ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9));
+        let mut group_coord =
+            Coordinator::<T>::new(b, k, seed ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9));
         // Full buffers first, then partials heaviest-first, so every
         // shrink ratio stays integral (partial weights are powers of two).
         let mut partials: Vec<Buffer<T>> = Vec::new();
@@ -108,7 +112,9 @@ mod tests {
         let k = 64usize;
         let outputs: Vec<Vec<Buffer<u64>>> = (0..8u64)
             .map(|w| {
-                let data: Vec<u64> = (0..k as u64).map(|i| (w * k as u64 + i) * 7 % 4096).collect();
+                let data: Vec<u64> = (0..k as u64)
+                    .map(|i| (w * k as u64 + i) * 7 % 4096)
+                    .collect();
                 vec![full_buffer(data, 2, k)]
             })
             .collect();

@@ -3,7 +3,7 @@
 //! final buffers to a [`Coordinator`], and answer quantiles over the
 //! aggregate (§6).
 
-use crossbeam::channel;
+use std::sync::mpsc;
 use std::thread;
 
 use mrl_core::{OptimizerOptions, UnknownN, UnknownNConfig};
@@ -53,17 +53,21 @@ where
     assert!(!inputs.is_empty(), "need at least one input sequence");
     let config = mrl_analysis_config(epsilon, delta, opts);
     let workers = inputs.len();
-    let (tx, rx) = channel::unbounded::<(u64, Vec<Buffer<T>>)>();
+    let (tx, rx) = mpsc::channel::<(u64, Vec<Buffer<T>>)>();
 
     thread::scope(|scope| {
         for (i, input) in inputs.into_iter().enumerate() {
             let tx = tx.clone();
             let config = config.clone();
             scope.spawn(move || {
-                let mut sketch = UnknownN::from_config(config, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                for item in input {
-                    sketch.insert(item);
-                }
+                let mut sketch = UnknownN::from_config(
+                    config,
+                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                // `extend` batches internally: the worker ingests in chunks
+                // through the engine's slice fast path rather than paying
+                // the per-insert filling checks and RNG draws.
+                sketch.extend(input);
                 let n = sketch.n();
                 let mut engine = sketch.into_engine();
                 engine.finish();
@@ -144,7 +148,9 @@ mod tests {
         // One giant stream, one tiny, one empty-ish: §6 allows any
         // sequence to terminate at any time.
         let inputs = vec![
-            (0..300_000u64).map(|i| (i * 2654435761) % 1_000_000).collect::<Vec<u64>>(),
+            (0..300_000u64)
+                .map(|i| (i * 2654435761) % 1_000_000)
+                .collect::<Vec<u64>>(),
             (0..137u64).map(|i| i * 7_000).collect::<Vec<u64>>(),
             vec![999_999u64],
         ];

@@ -16,6 +16,9 @@ pub struct BernoulliSampler {
     probability: f64,
     seen: u64,
     taken: u64,
+    /// Batch-path state: offsets (counted in batch-offered elements) still
+    /// to skip before the next acceptance. `None` until the first batch.
+    skip: Option<u64>,
 }
 
 impl BernoulliSampler {
@@ -32,6 +35,7 @@ impl BernoulliSampler {
             probability,
             seen: 0,
             taken: 0,
+            skip: None,
         }
     }
 
@@ -52,6 +56,45 @@ impl BernoulliSampler {
         take
     }
 
+    /// Decide which of the next `count` elements are sampled, invoking
+    /// `emit` with the 0-based offset of each accepted element in ascending
+    /// order.
+    ///
+    /// Distributionally identical to `count` independent
+    /// [`BernoulliSampler::accept`] calls, but draws one random number per
+    /// **accepted** element (geometric skip sampling: the gap to the next
+    /// acceptance is `⌊ln(1−U)/ln(1−p)⌋`), so a low-probability sampler
+    /// scans a large batch in `O(expected hits)` draws instead of
+    /// `O(count)`. The residual gap carries across calls; interleaved
+    /// scalar `accept` calls remain independent coin flips and do not
+    /// consume the gap.
+    pub fn accept_many(&mut self, count: u64, rng: &mut SketchRng, emit: &mut dyn FnMut(u64)) {
+        self.seen += count;
+        if self.probability >= 1.0 {
+            for i in 0..count {
+                emit(i);
+            }
+            self.taken += count;
+            return;
+        }
+        if self.probability <= 0.0 || count == 0 {
+            return;
+        }
+        let ln_q = (1.0 - self.probability).ln(); // < 0 for p in (0, 1)
+        let mut pos = match self.skip.take() {
+            Some(gap) => gap,
+            None => geometric_gap(rng, ln_q),
+        };
+        while pos < count {
+            emit(pos);
+            self.taken += 1;
+            pos = pos
+                .saturating_add(1)
+                .saturating_add(geometric_gap(rng, ln_q));
+        }
+        self.skip = Some(pos - count);
+    }
+
     /// The inclusion probability.
     pub fn probability(&self) -> f64 {
         self.probability
@@ -65,6 +108,18 @@ impl BernoulliSampler {
     /// Elements accepted so far.
     pub fn taken(&self) -> u64 {
         self.taken
+    }
+}
+
+/// Number of failures before the next Bernoulli success: `⌊ln(1−U)/ln q⌋`
+/// with `U` uniform in `[0, 1)` and `q = 1 − p` (`ln_q < 0`).
+fn geometric_gap(rng: &mut SketchRng, ln_q: f64) -> u64 {
+    let u: f64 = rng.gen();
+    let g = (1.0 - u).ln() / ln_q;
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
     }
 }
 
@@ -111,5 +166,68 @@ mod tests {
     #[should_panic(expected = "must lie in [0, 1]")]
     fn rejects_out_of_range_probability() {
         let _ = BernoulliSampler::new(1.5);
+    }
+
+    #[test]
+    fn batch_probability_one_takes_everything_in_order() {
+        let mut rng = rng_from_seed(8);
+        let mut s = BernoulliSampler::new(1.0);
+        let mut hits = Vec::new();
+        s.accept_many(100, &mut rng, &mut |i| hits.push(i));
+        assert_eq!(hits, (0..100).collect::<Vec<u64>>());
+        assert_eq!(s.taken(), 100);
+        assert_eq!(s.seen(), 100);
+    }
+
+    #[test]
+    fn batch_probability_zero_takes_nothing() {
+        let mut rng = rng_from_seed(8);
+        let mut s = BernoulliSampler::new(0.0);
+        s.accept_many(10_000, &mut rng, &mut |_| panic!("nothing accepted"));
+        assert_eq!(s.taken(), 0);
+        assert_eq!(s.seen(), 10_000);
+    }
+
+    #[test]
+    fn batch_sample_size_concentrates_around_expectation() {
+        let mut rng = rng_from_seed(5);
+        let mut s = BernoulliSampler::for_expected_sample(5_000, 100_000);
+        // Ragged chunk sizes exercise the carried-over residual gap.
+        let mut remaining = 100_000u64;
+        let mut chunk = 1u64;
+        while remaining > 0 {
+            let c = chunk.min(remaining);
+            let mut last = None;
+            s.accept_many(c, &mut rng, &mut |i| {
+                assert!(i < c, "offset {i} outside chunk of {c}");
+                assert!(last.is_none_or(|l| l < i), "offsets must ascend");
+                last = Some(i);
+            });
+            remaining -= c;
+            chunk = chunk % 977 + 13;
+        }
+        let taken = s.taken() as f64;
+        assert!(
+            (taken - 5_000.0).abs() < 300.0,
+            "sample size {taken} far from expected 5000"
+        );
+    }
+
+    #[test]
+    fn batch_and_scalar_paths_agree_in_distribution() {
+        // Same probability, independent streams: acceptance rates of the
+        // two paths must agree within statistical noise.
+        let mut rng_a = rng_from_seed(41);
+        let mut rng_b = rng_from_seed(42);
+        let mut scalar = BernoulliSampler::new(0.03);
+        let mut batch = BernoulliSampler::new(0.03);
+        for _ in 0..200_000 {
+            scalar.accept(&mut rng_a);
+        }
+        batch.accept_many(200_000, &mut rng_b, &mut |_| {});
+        let a = scalar.taken() as f64;
+        let b = batch.taken() as f64;
+        assert!((a - 6_000.0).abs() < 400.0, "scalar {a}");
+        assert!((b - 6_000.0).abs() < 400.0, "batch {b}");
     }
 }

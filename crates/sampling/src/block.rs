@@ -73,6 +73,98 @@ impl<T> BlockSampler<T> {
         }
     }
 
+    /// Offer a whole slice of stream elements at once, invoking `emit` for
+    /// each completed block's representative in stream order.
+    ///
+    /// Semantically identical to calling [`BlockSampler::offer`] once per
+    /// element (each completed block's representative is uniform over the
+    /// block, and the pending block's representative stays uniform over the
+    /// arrived prefix), but draws **one** random number per block instead of
+    /// one per element:
+    ///
+    /// * the block straddling the chunk boundary merges the already-seen
+    ///   prefix (a uniform representative of `s` elements) with the chunk's
+    ///   contribution in a single draw over `s + c` positions,
+    /// * each block fully contained in the chunk picks its representative
+    ///   with one `gen_range(0..rate)`,
+    /// * at rate 1 every element is its own block and no randomness is
+    ///   consumed at all.
+    ///
+    /// The consumed random stream differs from the per-element path, so a
+    /// seeded run mixing `offer` and `offer_slice` is distributionally — not
+    /// bitwise — equivalent to a pure per-element run.
+    pub fn offer_slice(
+        &mut self,
+        chunk: &[T],
+        rng: &mut SketchRng,
+        emit: &mut dyn FnMut(T),
+    ) -> usize
+    where
+        T: Clone,
+    {
+        if chunk.is_empty() {
+            return 0;
+        }
+        if self.rate == 1 {
+            // Degenerate blocks: every element is its own representative.
+            for item in chunk {
+                emit(item.clone());
+            }
+            return chunk.len();
+        }
+        let mut emitted = 0usize;
+        let mut rest = chunk;
+        // Finish the straddling block, if one is open: the current
+        // representative stands uniformly for `s` seen elements; merging a
+        // further `c` elements keeps uniformity with a single draw
+        // u ∈ [0, s+c): keep the current representative when u < s, else
+        // take the chunk element at offset u − s.
+        if self.seen_in_block > 0 {
+            let s = self.seen_in_block;
+            let need = (self.rate - s) as usize;
+            let c = rest.len().min(need);
+            let u = rng.gen_range(0..s + c as u64);
+            if u >= s {
+                self.current = Some(rest[(u - s) as usize].clone());
+            }
+            self.seen_in_block += c as u64;
+            if self.seen_in_block == self.rate {
+                self.seen_in_block = 0;
+                emit(self.current.take().expect("straddled block is nonempty"));
+                emitted += 1;
+            }
+            rest = &rest[c..];
+        }
+        // Whole blocks contained in the chunk: one draw each. Rates are
+        // powers of two on the paper's doubling schedule, so a masked raw
+        // draw (exactly uniform, no rejection loop) covers the hot case.
+        let rate = self.rate as usize;
+        if self.rate.is_power_of_two() {
+            let mask = self.rate - 1;
+            while rest.len() >= rate {
+                let offset = (rng.gen::<u64>() & mask) as usize;
+                emit(rest[offset].clone());
+                emitted += 1;
+                rest = &rest[rate..];
+            }
+        } else {
+            while rest.len() >= rate {
+                let offset = rng.gen_range(0..self.rate) as usize;
+                emit(rest[offset].clone());
+                emitted += 1;
+                rest = &rest[rate..];
+            }
+        }
+        // Trailing partial block: a uniform representative of the prefix that
+        // has arrived, exactly what the per-element reservoir would hold.
+        if !rest.is_empty() {
+            let offset = rng.gen_range(0..rest.len() as u64) as usize;
+            self.current = Some(rest[offset].clone());
+            self.seen_in_block = rest.len() as u64;
+        }
+        emitted
+    }
+
     /// The representative of the current incomplete block, together with the
     /// number of elements it represents, without consuming it. Used for
     /// non-destructive mid-stream `Output`.
@@ -98,7 +190,10 @@ impl<T> BlockSampler<T> {
         assert!(rate >= 1, "block sampling rate must be at least 1");
         let (current, seen_in_block) = match pending {
             Some((repr, seen)) => {
-                assert!(seen >= 1 && seen < rate, "pending count must lie in [1, rate)");
+                assert!(
+                    seen >= 1 && seen < rate,
+                    "pending count must lie in [1, rate)"
+                );
                 (Some(repr), seen)
             }
             None => (None, 0),
@@ -204,5 +299,130 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_rate_panics() {
         let _ = BlockSampler::<u32>::new(0);
+    }
+
+    #[test]
+    fn slice_rate_one_is_identity_without_randomness() {
+        let mut rng = rng_from_seed(7);
+        let probe = rng.clone();
+        let mut s = BlockSampler::new(1);
+        let mut out = Vec::new();
+        s.offer_slice(&(0..100u32).collect::<Vec<_>>(), &mut rng, &mut |v| {
+            out.push(v)
+        });
+        assert_eq!(out, (0..100u32).collect::<Vec<_>>());
+        assert_eq!(rng, probe, "rate 1 must not consume randomness");
+        assert!(s.flush().is_none());
+    }
+
+    #[test]
+    fn slice_emits_one_per_block_within_bounds() {
+        let mut rng = rng_from_seed(3);
+        let mut s = BlockSampler::new(4);
+        let mut out = Vec::new();
+        // Deliver 17 elements in ragged chunks: 3 + 9 + 5.
+        let all: Vec<u32> = (0..17).collect();
+        for chunk in [&all[0..3], &all[3..12], &all[12..17]] {
+            s.offer_slice(chunk, &mut rng, &mut |v| out.push(v));
+        }
+        assert_eq!(out.len(), 4);
+        for (j, v) in out.iter().enumerate() {
+            let lo = (j as u32) * 4;
+            assert!((lo..lo + 4).contains(v), "repr {v} outside block {j}");
+        }
+        let (tail, seen) = s.flush().expect("one element pending");
+        assert_eq!(seen, 1);
+        assert_eq!(tail, 16);
+    }
+
+    #[test]
+    fn slice_whole_blocks_are_uniform() {
+        // Same chi-square check as the per-element path, on the batched path.
+        let mut rng = rng_from_seed(12345);
+        let mut s = BlockSampler::new(8);
+        let mut counts = [0u32; 8];
+        let trials = 40_000u32;
+        let data: Vec<u32> = (0..trials * 8).collect();
+        for chunk in data.chunks(1024) {
+            s.offer_slice(chunk, &mut rng, &mut |v| counts[(v % 8) as usize] += 1);
+        }
+        let expected = trials as f64 / 8.0;
+        for (off, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "offset {off} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn slice_straddled_blocks_are_uniform() {
+        // Chunks of 3 against rate 8 force every block to straddle chunk
+        // boundaries, exercising the reservoir-merge path.
+        let mut rng = rng_from_seed(777);
+        let mut counts = [0u32; 8];
+        let trials = 30_000u32;
+        let data: Vec<u32> = (0..trials * 8).collect();
+        let mut s = BlockSampler::new(8);
+        for chunk in data.chunks(3) {
+            s.offer_slice(chunk, &mut rng, &mut |v| counts[(v % 8) as usize] += 1);
+        }
+        let expected = trials as f64 / 8.0;
+        for (off, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "offset {off} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn slice_partial_tail_is_uniform_over_prefix() {
+        let mut rng = rng_from_seed(99);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let mut s = BlockSampler::new(8);
+            s.offer_slice(&[0u32, 1, 2], &mut rng, &mut |_| {
+                panic!("no block completes")
+            });
+            let (v, seen) = s.flush().unwrap();
+            assert_eq!(seen, 3);
+            counts[v as usize] += 1;
+        }
+        let expected = 10_000.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.06, "prefix offset {i} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn slice_and_scalar_paths_interleave_consistently() {
+        // Mixing offer and offer_slice must preserve block accounting: the
+        // emitted count and pending size depend only on how many elements
+        // arrived, never on the chunking.
+        let mut rng = rng_from_seed(21);
+        let mut s = BlockSampler::new(5);
+        let mut emitted = 0usize;
+        for i in 0..7u32 {
+            if s.offer(i, &mut rng).is_some() {
+                emitted += 1;
+            }
+        }
+        emitted += s.offer_slice(&(7..23u32).collect::<Vec<_>>(), &mut rng, &mut |_| {});
+        assert_eq!(emitted, 4); // 23 elements = 4 blocks of 5 + 3 pending
+        assert_eq!(s.pending(), 3);
+        let (v, seen) = s.flush().unwrap();
+        assert_eq!(seen, 3);
+        assert!((20..23).contains(&v), "pending repr {v} outside prefix");
+    }
+
+    #[test]
+    fn slice_empty_chunk_is_a_noop() {
+        let mut rng = rng_from_seed(1);
+        let probe = rng.clone();
+        let mut s = BlockSampler::<u32>::new(4);
+        assert_eq!(
+            s.offer_slice(&[], &mut rng, &mut |_| panic!("no emission")),
+            0
+        );
+        assert_eq!(rng, probe);
+        assert_eq!(s.pending(), 0);
     }
 }

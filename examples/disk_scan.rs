@@ -14,14 +14,27 @@ use mrl::io::{ColumnScan, ColumnWriter};
 use mrl::sketch::{OptimizerOptions, UnknownN};
 
 fn main() -> std::io::Result<()> {
-    let rows: u64 = if cfg!(debug_assertions) { 1_000_000 } else { 10_000_000 };
+    let rows: u64 = if cfg!(debug_assertions) {
+        1_000_000
+    } else {
+        10_000_000
+    };
     let mut path = std::env::temp_dir();
     path.push(format!("mrl-disk-scan-demo-{}.col", std::process::id()));
 
     // Write the synthetic table column.
     println!("writing {rows} rows to {} ...", path.display());
     let mut writer = ColumnWriter::create(&path)?;
-    writer.extend(WorkloadStream::new(ValueDistribution::Zipf { n: 1_000_000, s: 1.07 }, 7).take(rows as usize))?;
+    writer.extend(
+        WorkloadStream::new(
+            ValueDistribution::Zipf {
+                n: 1_000_000,
+                s: 1.07,
+            },
+            7,
+        )
+        .take(rows as usize),
+    )?;
     writer.finish()?;
     let bytes = std::fs::metadata(&path)?.len();
     println!("file size: {:.1} MiB\n", bytes as f64 / (1024.0 * 1024.0));
@@ -60,7 +73,10 @@ fn main() -> std::io::Result<()> {
     // Selectivity query, the optimizer use case: what fraction of rows
     // satisfy `value <= 10`?
     let (_, sel) = sketch.rank_of(&10).unwrap();
-    println!("\nselectivity of `value <= 10`: {:.1}% of rows", sel * 100.0);
+    println!(
+        "\nselectivity of `value <= 10`: {:.1}% of rows",
+        sel * 100.0
+    );
 
     std::fs::remove_file(&path)?;
     Ok(())

@@ -14,7 +14,11 @@ use mrl::datagen::sales_stream;
 use mrl::sketch::{ExtremeValue, OptimizerOptions, Tail};
 
 fn main() {
-    let n: u64 = if cfg!(debug_assertions) { 500_000 } else { 5_000_000 };
+    let n: u64 = if cfg!(debug_assertions) {
+        500_000
+    } else {
+        5_000_000
+    };
     // The 99th percentile of sale amounts, rank within 0.2% of exact,
     // 99.99% of the time.
     let (phi, eps, delta) = (0.99, 0.002, 1e-4);

@@ -22,10 +22,17 @@ fn main() {
     // A long scan of normally distributed values; the true median is the
     // distribution mean, 500_000.
     let stream = WorkloadStream::new(
-        ValueDistribution::Normal { mean: 500_000.0, sigma: 100_000.0 },
+        ValueDistribution::Normal {
+            mean: 500_000.0,
+            sigma: 100_000.0,
+        },
         31,
     );
-    let total: u64 = if cfg!(debug_assertions) { 1_000_000 } else { 8_000_000 };
+    let total: u64 = if cfg!(debug_assertions) {
+        1_000_000
+    } else {
+        8_000_000
+    };
     let report_every = total / 10;
 
     println!("progress    N          p50 estimate    p99 estimate    +/- ranks (eps*N)");

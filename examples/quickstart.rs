@@ -48,11 +48,6 @@ fn main() {
     let answers = sketch.query_many(&phis).expect("stream is nonempty");
     println!("phi      estimate          ideal (uniform)");
     for (phi, est) in phis.iter().zip(answers) {
-        println!(
-            "{:<5}  {:>12}  {:>15.0}",
-            phi,
-            est,
-            phi * 1_000_000_007f64
-        );
+        println!("{:<5}  {:>12}  {:>15.0}", phi, est, phi * 1_000_000_007f64);
     }
 }

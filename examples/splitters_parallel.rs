@@ -19,7 +19,11 @@ use mrl::sketch::OptimizerOptions;
 fn main() {
     let workers = 8usize;
     let target_parts = 16usize; // distribute onto 16 downstream processors
-    let per_worker = if cfg!(debug_assertions) { 100_000u64 } else { 1_000_000 };
+    let per_worker = if cfg!(debug_assertions) {
+        100_000u64
+    } else {
+        1_000_000
+    };
     let opts = if cfg!(debug_assertions) {
         OptimizerOptions::fast()
     } else {
@@ -42,9 +46,10 @@ fn main() {
         .collect();
     let mut all: Vec<u64> = inputs.iter().flatten().copied().collect();
 
-    let phis: Vec<f64> = (1..target_parts).map(|i| i as f64 / target_parts as f64).collect();
-    let out = parallel_quantiles(inputs, 0.005, 1e-4, &phis, opts, 7)
-        .expect("inputs are nonempty");
+    let phis: Vec<f64> = (1..target_parts)
+        .map(|i| i as f64 / target_parts as f64)
+        .collect();
+    let out = parallel_quantiles(inputs, 0.005, 1e-4, &phis, opts, 7).expect("inputs are nonempty");
 
     println!(
         "{} workers x {} rows; splitters for {} partitions (eps = 0.5%, delta = 1e-4):\n",
@@ -69,7 +74,12 @@ fn main() {
         prev = idx;
     }
     let share = (n - prev) as f64 / n as f64;
-    println!("{:>4}  {:>8}   {:>6.3}%", target_parts, "(max)", share * 100.0);
+    println!(
+        "{:>4}  {:>8}   {:>6.3}%",
+        target_parts,
+        "(max)",
+        share * 100.0
+    );
     worst_dev = worst_dev.max((share - 1.0 / target_parts as f64).abs());
     println!(
         "\nworst share deviation from the ideal {:.3}%: {:.3} percentage points",

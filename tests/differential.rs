@@ -122,7 +122,11 @@ fn only_guaranteed_estimators_survive_sorted_order() {
     let known = scores.iter().find(|s| s.name == "known-n").unwrap();
     let cmn = scores.iter().find(|s| s.name == "cmn98").unwrap();
     assert!(mrl.max_err <= 0.05, "mrl99 on sorted: {}", mrl.max_err);
-    assert!(known.max_err <= 0.05, "known-n on sorted: {}", known.max_err);
+    assert!(
+        known.max_err <= 0.05,
+        "known-n on sorted: {}",
+        known.max_err
+    );
     // The clustering pathology: block sampling degrades well past the
     // guaranteed estimators on sorted input.
     assert!(

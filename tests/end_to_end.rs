@@ -5,8 +5,8 @@
 use mrl::datagen::{ArrivalOrder, ValueDistribution, Workload};
 use mrl::exact::{exact_quantile, rank_error};
 use mrl::sketch::{
-    AnyQuantile, DynamicUnknownN, EquiDepthHistogram, ExtremeValue, KnownN, OptimizerOptions,
-    Tail, UnknownN,
+    AnyQuantile, DynamicUnknownN, EquiDepthHistogram, ExtremeValue, KnownN, OptimizerOptions, Tail,
+    UnknownN,
 };
 
 fn fast() -> OptimizerOptions {
@@ -104,7 +104,10 @@ fn extreme_estimator_matches_general_sketch_on_the_tail() {
 #[test]
 fn histogram_boundaries_score_against_exact_quantiles() {
     let data = Workload {
-        values: ValueDistribution::Normal { mean: 1e6, sigma: 1e5 },
+        values: ValueDistribution::Normal {
+            mean: 1e6,
+            sigma: 1e5,
+        },
         order: ArrivalOrder::Random,
         n: 100_000,
         seed: 13,
@@ -152,8 +155,14 @@ fn dynamic_allocation_stays_accurate_while_growing() {
     // tree whose error no k can absorb — see DESIGN.md section 3.5.)
     let base = mrl::analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, fast());
     let limits = [
-        mrl::analysis::MemoryLimit { n: 5_000, max_memory: base.memory },
-        mrl::analysis::MemoryLimit { n: u64::MAX / 2, max_memory: base.memory * 2 },
+        mrl::analysis::MemoryLimit {
+            n: 5_000,
+            max_memory: base.memory,
+        },
+        mrl::analysis::MemoryLimit {
+            n: u64::MAX / 2,
+            max_memory: base.memory * 2,
+        },
     ];
     let Some(mut sketch) = DynamicUnknownN::<u64>::new(0.05, 0.01, &limits, fast(), 6) else {
         panic!("staged limits should be feasible");
@@ -184,8 +193,8 @@ fn parallel_matches_sequential_within_guarantee() {
     let inputs: Vec<Vec<u64>> = (0..4)
         .map(|w| data.iter().skip(w).step_by(4).copied().collect())
         .collect();
-    let out = mrl::parallel::parallel_quantiles(inputs, 0.05, 0.01, &[0.5, 0.95], fast(), 8)
-        .unwrap();
+    let out =
+        mrl::parallel::parallel_quantiles(inputs, 0.05, 0.01, &[0.5, 0.95], fast(), 8).unwrap();
     for (q, phi) in out.quantiles.iter().zip([0.5, 0.95]) {
         assert!(
             rank_error(&data, q, phi) <= 0.06,

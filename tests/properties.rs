@@ -6,7 +6,11 @@
 //! * exact selectors agree on arbitrary inputs,
 //! * sketch answers are always elements of the input (the paper's
 //!   definition requires an approximate quantile to *belong to the input
-//!   sequence*).
+//!   sequence*),
+//! * batched ingestion (`insert_batch` over arbitrary chunkings) produces
+//!   exactly the same deterministic accounting — `n`, output mass, tree
+//!   stats — as per-element insertion, and identical answers when no
+//!   randomness is consumed (rate 1).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -150,6 +154,115 @@ proptest! {
         }
         prop_assert_eq!(e.output_mass(), n);
         prop_assert_eq!(e.n(), n);
+    }
+
+    #[test]
+    fn batched_ingestion_matches_scalar_accounting(
+        data in vec(0u64..1_000_000, 1..1_500),
+        cuts in vec(0.0f64..1.0, 0..6),
+        h in 1u32..3,
+    ) {
+        // Scalar reference.
+        let mut scalar = Engine::new(
+            EngineConfig::new(3, 8),
+            AdaptiveLowestLevel,
+            Mrl99Schedule::new(h),
+            17,
+        );
+        for &v in &data {
+            scalar.insert(v);
+        }
+        // Batched run over an arbitrary chunking of the same stream.
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|c| (c * data.len() as f64) as usize)
+            .collect();
+        bounds.push(0);
+        bounds.push(data.len());
+        bounds.sort_unstable();
+        let mut batched = Engine::new(
+            EngineConfig::new(3, 8),
+            AdaptiveLowestLevel,
+            Mrl99Schedule::new(h),
+            17,
+        );
+        for w in bounds.windows(2) {
+            batched.insert_batch(&data[w[0]..w[1]]);
+        }
+        // The block/leaf/collapse structure is a deterministic function of
+        // the stream length, so every accounting statistic must agree even
+        // though the two paths consume different random streams.
+        prop_assert_eq!(batched.n(), scalar.n());
+        prop_assert_eq!(batched.output_mass(), scalar.output_mass());
+        prop_assert_eq!(batched.stats(), scalar.stats());
+        prop_assert_eq!(batched.w_max(), scalar.w_max());
+        prop_assert_eq!(batched.tree_error_bound(), scalar.tree_error_bound());
+        // Answers come from the same weighted universe.
+        for phi in [0.0, 0.5, 1.0] {
+            let ans = batched.query(phi).unwrap();
+            prop_assert!(data.contains(&ans), "batched answer {} not in input", ans);
+        }
+    }
+
+    #[test]
+    fn batched_ingestion_at_rate_one_is_bitwise_identical(
+        data in vec(0i64..100_000, 1..700),
+        cut in 0.0f64..1.0,
+    ) {
+        // Rate 1 consumes no randomness on either path, so the two engines
+        // must agree exactly — answers included.
+        let mut scalar = Engine::new(
+            EngineConfig::new(4, 16),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            23,
+        );
+        for &v in &data {
+            scalar.insert(v);
+        }
+        let mut batched = Engine::new(
+            EngineConfig::new(4, 16),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            23,
+        );
+        let mid = (cut * data.len() as f64) as usize;
+        batched.insert_batch(&data[..mid]);
+        batched.insert_batch(&data[mid..]);
+        let phis = [0.0, 0.25, 0.5, 0.75, 1.0];
+        prop_assert_eq!(batched.query_many(&phis), scalar.query_many(&phis));
+        prop_assert_eq!(batched.stats(), scalar.stats());
+    }
+
+    #[test]
+    fn skip_ahead_selection_matches_brute_force_under_heavy_ties(
+        raw in vec((vec(0u32..6, 1..15), 1u64..7), 1..6),
+        picks in vec(0.0f64..1.0, 1..8),
+    ) {
+        // Tiny value domain forces long tied runs across sources — the
+        // regime where the run-based skip merge must still agree with the
+        // materialised reference at every position.
+        let sources: Vec<(Vec<u32>, u64)> = raw
+            .into_iter()
+            .map(|(mut d, w)| {
+                d.sort_unstable();
+                (d, w)
+            })
+            .collect();
+        let borrowed: Vec<WeightedSource<'_, u32>> = sources
+            .iter()
+            .map(|(d, w)| WeightedSource::new(d, *w))
+            .collect();
+        let mass = total_mass(&borrowed);
+        let mut targets: Vec<u64> = picks
+            .iter()
+            .map(|p| ((p * mass as f64).ceil() as u64).clamp(1, mass))
+            .collect();
+        targets.sort_unstable();
+        prop_assert_eq!(
+            select_weighted(&borrowed, &targets),
+            select_brute(&sources, &targets)
+        );
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A real (if simpler) wall-clock benchmarking harness exposing the API
+//! this workspace's benches use: groups, `bench_function` /
+//! `bench_with_input`, `iter` / `iter_batched`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated with one timed
+//! invocation, the iteration count per sample is chosen so a sample lasts
+//! roughly [`TARGET_SAMPLE`], `sample_size` samples are collected, and the
+//! median per-iteration time is reported (with element throughput when the
+//! group sets one). Passing `--test` (as `cargo test` does for bench
+//! targets) or setting `CRITERION_SMOKE=1` runs every benchmark exactly
+//! once, as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Target duration of one timed sample during calibrated runs.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Opaque-to-the-optimiser identity function.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in times the routine
+/// per invocation either way, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per timed call).
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark name, optionally parameterised (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as `function/parameter`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        Self {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id with only a parameter component.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { full: s }
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    /// Iterations folded into each sample (already calibrated).
+    iters_per_sample: u64,
+    /// Number of samples to collect.
+    sample_count: usize,
+    /// When true, calibrate `iters_per_sample` from the first invocation.
+    calibrate: bool,
+}
+
+impl Bencher<'_> {
+    /// Benchmark a routine; the reported time is per invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.calibrate {
+            let t0 = Instant::now();
+            black_box(routine());
+            let once = t0.elapsed();
+            self.samples.push(once);
+            self.calibrate_from(once);
+        }
+        for _ in 0..self.sample_count.saturating_sub(self.samples.len()) {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Benchmark a routine whose input is rebuilt (untimed) per invocation.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.calibrate {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let once = t0.elapsed();
+            self.samples.push(once);
+            self.calibrate_from(once);
+        }
+        for _ in 0..self.sample_count.saturating_sub(self.samples.len()) {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                total += t0.elapsed();
+            }
+            self.samples.push(total / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+
+    fn calibrate_from(&mut self, once: Duration) {
+        self.calibrate = false;
+        let per = once.max(Duration::from_nanos(1)).as_nanos();
+        self.iters_per_sample = (TARGET_SAMPLE.as_nanos() / per).clamp(1, 1_000_000) as u64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of samples per benchmark (default 100 in real criterion; the
+    /// stand-in defaults to 20 to keep full runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run(&id.full, |b| f(b));
+        self
+    }
+
+    /// Register and run one benchmark parameterised by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        self.run(&id.full, |b| f(b, input));
+        self
+    }
+
+    /// End the group (reporting already happened per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, bench_name: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, bench_name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let smoke = self.criterion.smoke;
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+            sample_count: if smoke { 1 } else { self.sample_size },
+            calibrate: !smoke,
+        };
+        f(&mut bencher);
+        if samples.is_empty() {
+            println!("{full:<48} (no measurement: closure never called iter)");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = *samples.last().unwrap();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  {:>12} elem/s", per_second(n, median))
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  {:>12} B/s", per_second(n, median))
+            }
+            _ => String::new(),
+        };
+        if smoke {
+            println!(
+                "{full:<48} ok (smoke: 1 iteration, {})",
+                fmt_duration(median)
+            );
+        } else {
+            println!(
+                "{full:<48} [{} {} {}]{rate}",
+                fmt_duration(lo),
+                fmt_duration(median),
+                fmt_duration(hi)
+            );
+        }
+    }
+}
+
+fn per_second(n: u64, d: Duration) -> String {
+    let rate = n as f64 / d.as_secs_f64();
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the CLI args cargo passes to bench binaries: flags are
+    /// ignored except `--test` (smoke mode); the first free-standing
+    /// argument becomes a substring filter.
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke = std::env::var_os("CRITERION_SMOKE").is_some();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                smoke = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self { filter, smoke }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 20,
+            throughput: None,
+        };
+        group.run(&id.full, |b| f(b));
+        self
+    }
+}
+
+/// Bundle benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_batched_record_samples() {
+        let mut c = Criterion {
+            filter: None,
+            smoke: true,
+        };
+        let mut group = c.benchmark_group("t");
+        let mut calls = 0u32;
+        group.bench_function("iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", 3), &3u32, |b, &x| {
+            b.iter_batched(
+                || vec![x; 4],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("workers", 8).full, "workers/8");
+    }
+}

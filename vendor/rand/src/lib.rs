@@ -1,0 +1,328 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of the `rand` 0.8 API it actually uses: `SmallRng`
+//! (xoshiro256++ seeded through SplitMix64, the same construction the real
+//! crate uses on 64-bit targets), the `Rng` extension methods `gen`,
+//! `gen_range` and `gen_bool`, and `SeedableRng::{seed_from_u64,
+//! from_entropy}`. Everything is deterministic given a seed, which the
+//! workspace's test-suite relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from their whole domain (the
+/// `Standard` distribution of the real crate).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! int_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f64 as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Bounded integer draws replicate rand 0.8's `UniformInt::
+// sample_single_inclusive` exactly (widening multiply with zone-based
+// rejection, u32 "large type" for sub-word integers), so that every seeded
+// stream in this workspace produces the same values it would with the real
+// crate.
+
+/// One inclusive draw with a `u64` large type (u64/i64/usize/isize).
+fn sample_inclusive_u64<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(range);
+        if (m as u64) <= zone {
+            return low.wrapping_add((m >> 64) as u64);
+        }
+    }
+}
+
+/// One inclusive draw with a `u32` large type (u8/u16/u32 and signed kin).
+fn sample_inclusive_u32<R: RngCore + ?Sized>(low: u32, high: u32, rng: &mut R) -> u32 {
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        return rng.next_u32();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = u64::from(v) * u64::from(range);
+        if (m as u32) <= zone {
+            return low.wrapping_add((m >> 32) as u32);
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $unsigned:ty, $sampler:ident),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let low = self.start as $unsigned;
+                let high = (self.end as $unsigned).wrapping_sub(1);
+                self.start
+                    .wrapping_add($sampler(low.into(), high.into(), rng).wrapping_sub(low.into()) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let low = lo as $unsigned;
+                let high = hi as $unsigned;
+                lo.wrapping_add($sampler(low.into(), high.into(), rng).wrapping_sub(low.into()) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u8 => u8, sample_inclusive_u32,
+    u16 => u16, sample_inclusive_u32,
+    u32 => u32, sample_inclusive_u32,
+    u64 => u64, sample_inclusive_u64,
+    usize => u64, sample_inclusive_u64,
+    i8 => u8, sample_inclusive_u32,
+    i16 => u16, sample_inclusive_u32,
+    i32 => u32, sample_inclusive_u32,
+    i64 => u64, sample_inclusive_u64,
+    isize => u64, sample_inclusive_u64
+);
+
+impl SampleRange<f64> for Range<f64> {
+    /// rand 0.8's `UniformFloat::sample_single`: a mantissa draw into
+    /// `[1, 2)`, rescaled, rejecting the (rounding-induced) upper endpoint.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// High-level convenience methods over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (rand 0.8's integer
+    /// threshold: compare one `u64` draw against `p·2^64`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator state from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Seed non-reproducibly from ambient entropy (time + ASLR).
+    fn from_entropy() -> Self {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let t = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let aslr = &t as *const _ as u64;
+        Self::seed_from_u64(t ^ aslr.rotate_left(32))
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Fast non-cryptographic generator: xoshiro256++, the algorithm behind
+    /// the real crate's `SmallRng` on 64-bit targets.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce it from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0usize..=5);
+            assert!(w <= 5);
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_half_on_average() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mean: f64 = (0..20_000).map(|_| r.gen::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_ranges_are_unbiased_enough() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            let dev = (c as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(dev < 0.05, "bucket off by {dev}");
+        }
+    }
+}

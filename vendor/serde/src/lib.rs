@@ -1,0 +1,314 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde decouples data structures from data formats through a
+//! visitor API. This workspace only ever serialises plain named-field
+//! structs to JSON (experiment rows, sketch snapshots), so the stand-in
+//! collapses the design to a concrete [`Value`] tree: `Serialize` renders
+//! into a `Value`, `Deserialize` reads back out of one, and `serde_json`
+//! converts values to and from JSON text. The derive macros (re-exported
+//! from `serde_derive`) cover exactly that struct shape.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integral number (covers the full `u64`/`i64` range losslessly).
+    Int(i128),
+    /// Non-integral number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object fields, or `None` if this is not an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Field lookup with a descriptive error, used by derived `Deserialize`.
+pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Render into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {} out of range for {}", i, stringify!($t))),
+                    other => Err(format!("expected integer, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($n)),+].len();
+                        if items.len() != expected {
+                            return Err(format!(
+                                "expected {}-tuple, found array of {}", expected, items.len()
+                            ));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(format!("expected array (tuple), found {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impls!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// Map keys representable as JSON object keys.
+pub trait JsonKey: Sized + Ord {
+    /// Render as an object key.
+    fn to_key(&self) -> String;
+    /// Parse back from an object key.
+    fn from_key(s: &str) -> Result<Self, String>;
+}
+
+macro_rules! int_keys {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, String> {
+                s.parse().map_err(|_| format!("bad {} key {s:?}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+int_keys!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, String> {
+        Ok(s.to_owned())
+    }
+}
+
+impl<K: JsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(format!("expected object (map), found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives_and_containers() {
+        let v = vec![(1u64, 2u32), (3, 4)];
+        let back = Vec::<(u64, u32)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, back);
+
+        let opt: Option<(u64, u64)> = Some((7, 9));
+        assert_eq!(
+            Option::<(u64, u64)>::from_value(&opt.to_value()).unwrap(),
+            opt
+        );
+        assert_eq!(
+            Option::<(u64, u64)>::from_value(&Value::Null).unwrap(),
+            None
+        );
+
+        let mut m = BTreeMap::new();
+        m.insert(3u32, 12u64);
+        m.insert(1, 4);
+        assert_eq!(BTreeMap::<u32, u64>::from_value(&m.to_value()).unwrap(), m);
+    }
+
+    #[test]
+    fn out_of_range_int_is_an_error() {
+        let v = Value::Int(-1);
+        assert!(u64::from_value(&v).is_err());
+    }
+}

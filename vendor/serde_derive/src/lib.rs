@@ -1,0 +1,210 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Supports exactly the shape this workspace uses: named-field structs,
+//! optionally generic over bare type parameters (`struct S<T, R> { .. }`).
+//! The expansion maps every field to/from an entry of a
+//! `serde::Value::Object`, bounding each type parameter by the derived
+//! trait. No `syn`/`quote`: the input `TokenStream` is walked directly and
+//! the impl is rendered as a string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    /// Bare type-parameter idents, in declaration order.
+    type_params: Vec<String>,
+    fields: Vec<String>,
+}
+
+/// Walk a struct definition: skip attributes and visibility, capture the
+/// name, the type-parameter idents, and the named fields.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut iter = input.into_iter().peekable();
+
+    // Outer attributes (`#[...]`, including expanded doc comments).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            _ => break,
+        }
+    }
+    // Visibility: `pub`, optionally `pub(...)`.
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => panic!("derive supports only structs, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+
+    // Generics: collect idents at angle depth 1 that open a parameter
+    // (i.e. directly after `<` or a depth-1 comma). Bounds after `:` and
+    // nested angle brackets are skipped by depth tracking.
+    let mut type_params = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    // Lifetime parameter: swallow its ident, stay "at start"
+                    // so the next real ident is still seen as a parameter.
+                }
+                TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                    let s = id.to_string();
+                    at_param_start = false;
+                    if s != "const" {
+                        type_params.push(s);
+                    }
+                }
+                _ => {
+                    if depth == 1 {
+                        at_param_start = false;
+                    }
+                }
+            }
+        }
+    }
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => continue, // where-clause tokens
+            None => panic!("struct `{name}` has no braced field list (named fields required)"),
+        }
+    };
+
+    // Fields: `attrs? vis? name : type ,` — the type is skipped by reading
+    // to the next comma at angle depth 0 (parens/brackets are single trees).
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(
+                toks.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                toks.next();
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name in `{name}`, found {other:?}"),
+            None => break,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "expected `:` after field `{field}` in `{name}` (tuple structs unsupported), \
+                 found {other:?}"
+            ),
+        }
+        let mut depth = 0usize;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+
+    StructShape {
+        name,
+        type_params,
+        fields,
+    }
+}
+
+/// `impl<`T: Bound`, ...>` header + `Name<T, ...>` type, or plain forms
+/// when the struct is not generic.
+fn impl_header(shape: &StructShape, bound: &str) -> (String, String) {
+    if shape.type_params.is_empty() {
+        (String::new(), shape.name.clone())
+    } else {
+        let params = shape
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let args = shape.type_params.join(", ");
+        (format!("<{params}>"), format!("{}<{args}>", shape.name))
+    }
+}
+
+/// Derive `serde::Serialize` (named-field structs only).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let (generics, ty) = impl_header(&shape, "::serde::Serialize");
+    let entries = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect::<String>();
+    format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (named-field structs only).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let (generics, ty) = impl_header(&shape, "::serde::Deserialize");
+    let fields = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\")?)?,"))
+        .collect::<String>();
+    format!(
+        "impl{generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 ::std::result::Result::Ok(Self {{ {fields} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
