@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use mrl_framework::{
-    collapse_targets, select_weighted, AdaptiveLowestLevel, AlsabtiRankaSingh, CollapsePolicy,
-    Engine, EngineConfig, FixedRate, MunroPaterson, WeightedSource,
+    collapse_targets, merge_sorted_runs, select_weighted, AdaptiveLowestLevel, AlsabtiRankaSingh,
+    CollapsePolicy, Engine, EngineConfig, FixedRate, MunroPaterson, WeightedSource,
 };
 
 fn bench_weighted_select(c: &mut Criterion) {
@@ -158,10 +158,82 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Seal-time cost: bottom-up run merge (`O(k log r)`) against the old
+/// sort-on-seal (`O(k log k)`) for a buffer arriving as `r` sorted runs,
+/// and the sharded pipeline against single-threaded ingestion on the same
+/// 1M-element stream.
+fn bench_seal_and_collapse(c: &mut Criterion) {
+    let k = 4096usize;
+    let mut group = c.benchmark_group("seal_and_collapse");
+    for &r in &[1usize, 4, 16, 64] {
+        // k elements arranged as r equal-length sorted runs.
+        let mut data: Vec<u64> = Vec::with_capacity(k);
+        let mut starts: Vec<usize> = Vec::with_capacity(r);
+        for run in 0..r {
+            starts.push(data.len());
+            let mut seg: Vec<u64> = (0..k / r)
+                .map(|j| ((j * r + run) as u64).wrapping_mul(2654435761) % (1 << 40))
+                .collect();
+            seg.sort_unstable();
+            data.extend(seg);
+        }
+        group.bench_with_input(BenchmarkId::new("run_merge_seal", r), &r, |b, _| {
+            let mut scratch = Vec::new();
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    merge_sorted_runs(&mut d, &starts, &mut scratch);
+                    d
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("sort_seal", r), &r, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    d.sort_unstable();
+                    d
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    let data: Vec<u64> = mrl_datagen::WorkloadStream::new(
+        mrl_datagen::ValueDistribution::Uniform { range: 1 << 40 },
+        7,
+    )
+    .take(1_000_000)
+    .collect();
+    let config = mrl_analysis::optimizer::optimize_unknown_n_with(
+        0.01,
+        1e-4,
+        mrl_analysis::optimizer::OptimizerOptions::fast(),
+    );
+    let mut group = c.benchmark_group("sharded_pipeline_1m");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut sketch =
+                    mrl_parallel::ShardedSketch::<u64>::from_config(config.clone(), shards, 1);
+                for chunk in data.chunks(4096) {
+                    sketch.insert_batch(chunk);
+                }
+                sketch.finish().query(0.5)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_weighted_select,
     bench_skip_vs_heap,
-    bench_policies
+    bench_policies,
+    bench_seal_and_collapse
 );
 criterion_main!(benches);

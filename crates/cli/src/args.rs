@@ -17,6 +17,8 @@ pub struct Args {
     /// Print running estimates every `report_every` lines (0 = only at
     /// end-of-stream).
     pub report_every: u64,
+    /// Shard ingestion across this many worker threads (1 = in-process).
+    pub shards: usize,
     /// Parse input as floating-point numbers instead of integers.
     pub float: bool,
     /// Print the help text and exit.
@@ -31,6 +33,7 @@ impl Default for Args {
             phis: vec![0.5],
             seed: 0,
             report_every: 0,
+            shards: 1,
             float: false,
             help: false,
         }
@@ -62,6 +65,7 @@ OPTIONS:
     --phi <list>      comma-separated quantiles in [0,1]      [default: 0.5]
     --seed <u64>      sampler seed                            [default: 0]
     --every <u64>     also report every N input lines         [default: off]
+    --shards <usize>  parallel ingestion worker threads       [default: 1]
     --float           parse input as floating-point numbers
     --help            show this text
 
@@ -124,6 +128,11 @@ impl Args {
                         .parse()
                         .map_err(|e| ParseError(format!("--every: {e}")))?;
                 }
+                "--shards" => {
+                    args.shards = value_for("--shards")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--shards: {e}")))?;
+                }
                 "--float" => args.float = true,
                 "--help" | "-h" => args.help = true,
                 other => return Err(ParseError(format!("unknown flag: {other}"))),
@@ -134,6 +143,16 @@ impl Args {
         }
         if !(args.delta > 0.0 && args.delta < 1.0) {
             return Err(ParseError(format!("--delta {} outside (0, 1)", args.delta)));
+        }
+        if args.shards == 0 {
+            return Err(ParseError("--shards must be at least 1".into()));
+        }
+        if args.shards > 1 && args.report_every > 0 {
+            return Err(ParseError(
+                "--shards > 1 is incompatible with --every (interim reports \
+                 need a single in-process sketch)"
+                    .into(),
+            ));
         }
         Ok(args)
     }
@@ -188,6 +207,21 @@ mod tests {
     fn rejects_unknown_flag_and_missing_value() {
         assert!(Args::parse(["--frobnicate"]).is_err());
         assert!(Args::parse(["--eps"]).is_err());
+    }
+
+    #[test]
+    fn parses_shards_and_rejects_bad_values() {
+        assert_eq!(Args::parse(["--shards", "4"]).unwrap().shards, 4);
+        assert_eq!(Args::parse(Vec::<String>::new()).unwrap().shards, 1);
+        assert!(Args::parse(["--shards", "0"]).is_err());
+        assert!(Args::parse(["--shards", "x"]).is_err());
+    }
+
+    #[test]
+    fn shards_conflict_with_interim_reports() {
+        assert!(Args::parse(["--shards", "2", "--every", "100"]).is_err());
+        // shards=1 with --every stays fine.
+        assert!(Args::parse(["--shards", "1", "--every", "100"]).is_ok());
     }
 
     #[test]

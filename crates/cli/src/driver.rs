@@ -6,6 +6,7 @@
 use std::io::{BufRead, Write};
 
 use mrl_core::{OptimizerOptions, OrderedF64, UnknownN};
+use mrl_parallel::ShardedSketch;
 
 use crate::args::Args;
 
@@ -22,8 +23,9 @@ pub struct Summary {
     pub memory_elements: usize,
 }
 
-/// A value type the CLI can stream.
-trait CliValue: Ord + Clone {
+/// A value type the CLI can stream (`Send + 'static` so values can cross
+/// into the sharded pipeline's worker threads).
+trait CliValue: Ord + Clone + Send + 'static {
     fn parse(s: &str) -> Option<Self>;
     fn render(&self) -> String;
 }
@@ -66,13 +68,13 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
     } else {
         OptimizerOptions::default()
     };
-    let mut sketch =
-        UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
-    let mut skipped = 0u64;
 
     if args.report_every > 0 {
         // Online-aggregation mode: per-element inserts so the interim
         // report cadence lands exactly on every `report_every`-th value.
+        let mut sketch =
+            UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
+        let mut skipped = 0u64;
         for line in input.lines() {
             let line = line?;
             let trimmed = line.trim();
@@ -83,58 +85,125 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
                 Some(v) => {
                     sketch.insert(v);
                     if sketch.n().is_multiple_of(args.report_every) {
-                        report(&sketch, &args.phis, &mut output, true)?;
+                        report(
+                            sketch.query_many(&args.phis),
+                            sketch.n(),
+                            &args.phis,
+                            &mut output,
+                            true,
+                        )?;
                     }
                 }
                 None => skipped += 1,
             }
         }
+        let quantiles = report(
+            sketch.query_many(&args.phis),
+            sketch.n(),
+            &args.phis,
+            &mut output,
+            false,
+        )?;
+        report_skipped(skipped, &mut output)?;
+        Ok(Summary {
+            n: sketch.n(),
+            skipped,
+            quantiles,
+            memory_elements: sketch.memory_bound_elements(),
+        })
+    } else if args.shards > 1 {
+        // Sharded bulk mode: chunks are dealt round-robin to a worker pool
+        // over bounded channels, and the shards' final buffers merge at a
+        // §6 coordinator.
+        let mut sketch =
+            ShardedSketch::<T>::new(args.shards, args.epsilon, args.delta, opts, args.seed);
+        let skipped = ingest_lines(input, |chunk| sketch.insert_batch(chunk))?;
+        let memory_elements = sketch.memory_bound_elements();
+        let outcome = sketch.finish();
+        let quantiles = report(
+            outcome.query_many(&args.phis),
+            outcome.total_n(),
+            &args.phis,
+            &mut output,
+            false,
+        )?;
+        report_skipped(skipped, &mut output)?;
+        Ok(Summary {
+            n: outcome.total_n(),
+            skipped,
+            quantiles,
+            memory_elements,
+        })
     } else {
         // Bulk mode: gather parsed values and feed the sketch's batched
         // fast path.
-        const CHUNK: usize = 1024;
-        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
-        for line in input.lines() {
-            let line = line?;
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            match T::parse(trimmed) {
-                Some(v) => {
-                    buf.push(v);
-                    if buf.len() == CHUNK {
-                        sketch.insert_batch(&buf);
-                        buf.clear();
-                    }
-                }
-                None => skipped += 1,
-            }
+        let mut sketch =
+            UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
+        let skipped = ingest_lines(input, |chunk| sketch.insert_batch(chunk))?;
+        let quantiles = report(
+            sketch.query_many(&args.phis),
+            sketch.n(),
+            &args.phis,
+            &mut output,
+            false,
+        )?;
+        report_skipped(skipped, &mut output)?;
+        Ok(Summary {
+            n: sketch.n(),
+            skipped,
+            quantiles,
+            memory_elements: sketch.memory_bound_elements(),
+        })
+    }
+}
+
+/// Parse lines into values, feeding `sink` with chunks of up to 1024;
+/// returns how many lines were skipped as unparseable.
+fn ingest_lines<T: CliValue, R: BufRead>(
+    input: R,
+    mut sink: impl FnMut(&[T]),
+) -> std::io::Result<u64> {
+    const CHUNK: usize = 1024;
+    let mut skipped = 0u64;
+    let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
         }
-        if !buf.is_empty() {
-            sketch.insert_batch(&buf);
+        match T::parse(trimmed) {
+            Some(v) => {
+                buf.push(v);
+                if buf.len() == CHUNK {
+                    sink(&buf);
+                    buf.clear();
+                }
+            }
+            None => skipped += 1,
         }
     }
+    if !buf.is_empty() {
+        sink(&buf);
+    }
+    Ok(skipped)
+}
 
-    let quantiles = report(&sketch, &args.phis, &mut output, false)?;
+fn report_skipped<W: Write>(skipped: u64, output: &mut W) -> std::io::Result<()> {
     if skipped > 0 {
         writeln!(output, "# skipped {skipped} unparseable lines")?;
     }
-    Ok(Summary {
-        n: sketch.n(),
-        skipped,
-        quantiles,
-        memory_elements: sketch.memory_bound_elements(),
-    })
+    Ok(())
 }
 
 fn report<T: CliValue, W: Write>(
-    sketch: &UnknownN<T>,
+    answers: Option<Vec<T>>,
+    n: u64,
     phis: &[f64],
     output: &mut W,
     interim: bool,
 ) -> std::io::Result<Vec<(f64, String)>> {
-    let Some(answers) = sketch.query_many(phis) else {
+    let Some(answers) = answers else {
         writeln!(output, "# empty input")?;
         return Ok(Vec::new());
     };
@@ -144,7 +213,7 @@ fn report<T: CliValue, W: Write>(
         .zip(answers.iter().map(CliValue::render))
         .collect();
     let tag = if interim {
-        format!("@{} ", sketch.n())
+        format!("@{n} ")
     } else {
         String::new()
     };
@@ -242,6 +311,33 @@ mod tests {
         assert_eq!(summary.n, 25);
         assert!(out.contains("@10 p0.5"));
         assert!(out.contains("@20 p0.5"));
+    }
+
+    #[test]
+    fn sharded_mode_matches_bulk_accounting_and_accuracy() {
+        let input: String = (0..60_000u64)
+            .map(|i| format!("{}\n", (i * 2654435761) % 60_000))
+            .collect();
+        let mut args = args_with_phis(&[0.5]);
+        args.shards = 3;
+        let (summary, out) = run_on(&input, &args);
+        assert_eq!(summary.n, 60_000);
+        assert_eq!(summary.skipped, 0);
+        let med: f64 = summary.quantiles[0].1.parse().unwrap();
+        assert!(
+            (med - 30_000.0).abs() <= 0.05 * 60_000.0 + 1.0,
+            "median {med}: {out}"
+        );
+    }
+
+    #[test]
+    fn sharded_mode_counts_skipped_lines() {
+        let mut args = args_with_phis(&[0.5]);
+        args.shards = 2;
+        let (summary, out) = run_on("1\nnope\n2\n3\nbad\n", &args);
+        assert_eq!(summary.n, 3);
+        assert_eq!(summary.skipped, 2);
+        assert!(out.contains("# skipped 2"));
     }
 
     #[test]

@@ -195,6 +195,17 @@ impl<T: Ord + Clone> UnknownN<T> {
         self.engine
     }
 
+    /// Consume the sketch into the §6 shipment: the consumed element count
+    /// plus the final buffers — full buffers collapsed down to at most one,
+    /// plus at most one partial — ready for a parallel coordinator.
+    pub fn into_shipment(self) -> (u64, Vec<mrl_framework::Buffer<T>>) {
+        let n = self.n();
+        let mut engine = self.into_engine();
+        engine.finish();
+        engine.collapse_all_full();
+        (n, engine.into_buffers())
+    }
+
     /// Borrow the underlying engine (snapshot support).
     pub(crate) fn engine_ref(&self) -> &Engine<T, AdaptiveLowestLevel, Mrl99Schedule> {
         &self.engine

@@ -43,12 +43,50 @@ impl<T: Ord> Buffer<T> {
 
     /// Populate this buffer with `data` (sorted internally), `weight` and
     /// `level`, marking it `Full` if `data.len() == k` and `Partial`
-    /// otherwise.
+    /// otherwise. Input that is already sorted is detected in `O(k)` and
+    /// adopted without the `O(k log k)` sort.
     ///
     /// # Panics
     /// Panics if the buffer is not empty, `data` is empty, `data` exceeds
     /// `k`, or `weight == 0`.
     pub fn populate(&mut self, mut data: Vec<T>, weight: u64, level: u32, k: usize) {
+        if !data.is_sorted() {
+            data.sort_unstable();
+        }
+        self.populate_sorted(data, weight, level, k);
+    }
+
+    /// As [`Buffer::populate`] for input the caller guarantees is already
+    /// sorted (collapse output, run-merged seals, shipped buffers). Skips
+    /// even the `O(k)` sortedness check in release builds.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty, `data` is empty, `data` exceeds
+    /// `k`, or `weight == 0`. Debug builds also assert sortedness.
+    pub fn populate_sorted(&mut self, data: Vec<T>, weight: u64, level: u32, k: usize) {
+        debug_assert!(data.is_sorted(), "populate_sorted requires sorted data");
+        self.populate_raw(data, weight, level, k);
+    }
+
+    /// Construct a populated buffer directly from sorted `data` (the §6
+    /// shipping path and tests).
+    ///
+    /// # Panics
+    /// As [`Buffer::populate_sorted`].
+    pub fn from_sorted(data: Vec<T>, weight: u64, level: u32, k: usize) -> Self {
+        let mut buf = Self::empty(0);
+        buf.populate_sorted(data, weight, level, k);
+        buf
+    }
+
+    /// As [`Buffer::populate_sorted`] but without the sortedness contract:
+    /// the engine's deferred-seal path parks raw fill data here and tracks
+    /// the obligation to [`Buffer::make_sorted`] it before the data is read.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty, `data` is empty, `data` exceeds
+    /// `k`, or `weight == 0`.
+    pub(crate) fn populate_raw(&mut self, data: Vec<T>, weight: u64, level: u32, k: usize) {
         assert_eq!(
             self.state,
             BufferState::Empty,
@@ -60,7 +98,6 @@ impl<T: Ord> Buffer<T> {
         );
         assert!(data.len() <= k, "buffer over capacity");
         assert!(weight > 0, "buffer weight must be positive");
-        data.sort_unstable();
         self.state = if data.len() == k {
             BufferState::Full
         } else {
@@ -69,6 +106,12 @@ impl<T: Ord> Buffer<T> {
         self.data = data;
         self.weight = weight;
         self.level = level;
+    }
+
+    /// Restore the sorted invariant for data parked by
+    /// [`Buffer::populate_raw`].
+    pub(crate) fn make_sorted(&mut self) {
+        self.data.sort_unstable();
     }
 
     /// Return the buffer to the `Empty` state, retaining its allocation.
@@ -223,6 +266,23 @@ mod tests {
         let mut b = Buffer::empty(2);
         b.populate(vec![1, 2], 1, 0, 2);
         let _ = b.take_storage();
+    }
+
+    #[test]
+    fn from_sorted_adopts_without_sorting() {
+        let b = Buffer::from_sorted(vec![1, 2, 3, 4], 2, 1, 4);
+        assert_eq!(b.state(), BufferState::Full);
+        assert_eq!(b.data(), &[1, 2, 3, 4]);
+        assert_eq!(b.weight(), 2);
+        let p = Buffer::from_sorted(vec![7], 8, 0, 4);
+        assert_eq!(p.state(), BufferState::Partial);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted")]
+    fn from_sorted_rejects_unsorted_in_debug() {
+        let _ = Buffer::from_sorted(vec![3, 1], 1, 0, 4);
     }
 
     #[test]

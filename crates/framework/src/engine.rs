@@ -20,6 +20,7 @@ use crate::merge::{
     WeightedSource,
 };
 use crate::policy::CollapsePolicy;
+use crate::runs::{run_merge_limit, RunTracker};
 use crate::schedule::RateSchedule;
 use crate::stats::TreeStats;
 use crate::tree::TreeRecorder;
@@ -72,9 +73,21 @@ pub struct Engine<T, P, R> {
     rate_schedule: R,
     sampler: BlockSampler<T>,
     filler: Vec<T>,
-    /// Whether `filler` happens to be non-decreasing, tracked per push so
-    /// queries on an already-sorted fill skip the snapshot-and-sort.
-    filler_sorted: bool,
+    /// Sorted-run boundaries of `filler`, tracked per push (one comparison
+    /// per element) so sealing merges the runs in `O(k log r)` instead of
+    /// sorting from scratch, and queries on an already-sorted fill skip
+    /// the snapshot-and-sort entirely.
+    filler_runs: RunTracker,
+    /// Ping-pong buffer for the seal-time run merge, reused across seals.
+    seal_scratch: Vec<T>,
+    /// Slots holding raw (deliberately unsorted) fill data. When a fill
+    /// saturates the run tracker, sealing *defers* the sort: if the slot is
+    /// later collapsed together with other raw equal-weight slots, one sort
+    /// of the concatenation replaces the per-buffer sorts plus the merge
+    /// walk. Read paths (`query_many`, snapshots, `into_buffers`) sort on
+    /// demand, so the invariant "populated buffers are sorted" holds
+    /// everywhere outside this engine.
+    unsorted_slots: Vec<usize>,
     fill_rate: u64,
     fill_level: u32,
     filling: bool,
@@ -142,7 +155,9 @@ where
             rate_schedule,
             sampler: BlockSampler::new(rate),
             filler: Vec::with_capacity(config.buffer_size),
-            filler_sorted: true,
+            filler_runs: RunTracker::new(run_merge_limit(config.buffer_size)),
+            seal_scratch: Vec::new(),
+            unsorted_slots: Vec::new(),
             fill_rate: rate,
             fill_level: 0,
             filling: false,
@@ -256,7 +271,7 @@ where
                 tap.push((repr.clone(), self.fill_rate));
             }
             if self.filler.last().is_some_and(|last| *last > repr) {
-                self.filler_sorted = false;
+                self.filler_runs.note_boundary(self.filler.len());
             }
             self.filler.push(repr);
             if self.filler.len() == self.config.buffer_size {
@@ -300,19 +315,14 @@ where
                         tap.push((v.clone(), 1));
                     }
                 }
-                if self.filler_sorted {
-                    self.filler_sorted = chunk.is_sorted()
-                        && match (self.filler.last(), chunk.first()) {
-                            (Some(last), Some(first)) => last <= first,
-                            _ => true,
-                        };
-                }
+                let base = self.filler.len();
                 self.filler.extend_from_slice(chunk);
+                self.filler_runs.observe_extend(&self.filler, base);
                 self.stats.record_blocks(1, chunk.len() as u64);
             } else {
                 let emitted = {
                     let filler = &mut self.filler;
-                    let filler_sorted = &mut self.filler_sorted;
+                    let filler_runs = &mut self.filler_runs;
                     let fill_rate = self.fill_rate;
                     let mut tap = self.sample_tap.as_mut();
                     self.sampler.offer_slice(chunk, &mut self.rng, &mut |repr| {
@@ -320,7 +330,7 @@ where
                             tap.push((repr.clone(), fill_rate));
                         }
                         if filler.last().is_some_and(|last| *last > repr) {
-                            *filler_sorted = false;
+                            filler_runs.note_boundary(filler.len());
                         }
                         filler.push(repr);
                     })
@@ -370,17 +380,19 @@ where
                     tap.push((tail.clone(), self.fill_rate));
                 }
                 if self.filler.last().is_some_and(|last| *last > tail) {
-                    self.filler_sorted = false;
+                    self.filler_runs.note_boundary(self.filler.len());
                 }
                 self.filler.push(tail);
             }
             if !self.filler.is_empty() {
-                let data = std::mem::take(&mut self.filler);
-                self.filler_sorted = true;
+                let (mut data, sorted) = self.take_filler();
+                if !sorted {
+                    data.sort_unstable();
+                }
                 let idx = self
                     .empty_slot()
                     .expect("begin_fill reserved an empty slot");
-                self.buffers[idx].populate(
+                self.buffers[idx].populate_sorted(
                     data,
                     self.fill_rate,
                     self.fill_level,
@@ -391,6 +403,13 @@ where
                 }
             }
             self.filling = false;
+        }
+        // Restore the sorted invariant on any slot whose seal was deferred:
+        // once finished, every populated buffer is sorted and the engine can
+        // be snapshotted, drained or queried with no special cases.
+        let raw = std::mem::take(&mut self.unsorted_slots);
+        for idx in raw {
+            self.buffers[idx].make_sorted();
         }
         self.finished = true;
     }
@@ -410,20 +429,38 @@ where
     pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
         // Only clone-and-sort the in-progress fill when it is actually out
         // of order; an ascending stream (or a freshly started fill) reads
-        // straight from `filler`.
-        let sorted_holder: Option<Vec<T>> = if self.filler_sorted {
+        // straight from `filler`, and a mildly disordered one merges its
+        // tracked runs instead of sorting from scratch.
+        let sorted_holder: Option<Vec<T>> = if self.filler_runs.is_single_run() {
             None
         } else {
             let mut v = self.filler.clone();
-            v.sort_unstable();
+            let mut scratch = Vec::new();
+            self.filler_runs.sort_data(&mut v, &mut scratch);
             Some(v)
         };
         let filler_view: &[T] = sorted_holder.as_deref().unwrap_or(&self.filler);
+        // Deferred-seal slots hold raw data; queries read a sorted copy
+        // (Output never mutates state, §3.7).
+        let raw_copies: Vec<(usize, Vec<T>)> = self
+            .unsorted_slots
+            .iter()
+            .map(|&i| {
+                let mut v = self.buffers[i].data().to_vec();
+                v.sort_unstable();
+                (i, v)
+            })
+            .collect();
         let pending = self.sampler.peek();
         let mut sources: Vec<WeightedSource<'_, T>> = Vec::new();
-        for b in &self.buffers {
+        for (i, b) in self.buffers.iter().enumerate() {
             if b.state() != BufferState::Empty {
-                sources.push(WeightedSource::new(b.data(), b.weight()));
+                let data = raw_copies
+                    .iter()
+                    .find(|(j, _)| *j == i)
+                    .map(|(_, v)| v.as_slice())
+                    .unwrap_or_else(|| b.data());
+                sources.push(WeightedSource::new(data, b.weight()));
             }
         }
         if !filler_view.is_empty() {
@@ -439,13 +476,17 @@ where
             return None;
         }
         // Map each phi to its weighted position, select in sorted order,
-        // then restore the caller's order.
+        // then restore the caller's order. Callers overwhelmingly pass
+        // ascending phis, whose positions are already sorted — skip the
+        // per-call sort then.
         let mut order: Vec<(u64, usize)> = phis
             .iter()
             .map(|&phi| output_position(phi, s))
             .zip(0..)
             .collect();
-        order.sort_unstable();
+        if !order.is_sorted() {
+            order.sort_unstable();
+        }
         let targets: Vec<u64> = order.iter().map(|&(p, _)| p).collect();
         let picked = select_weighted(&sources, &targets);
         let mut out: Vec<Option<T>> = vec![None; phis.len()];
@@ -533,6 +574,12 @@ where
         &self.buffers
     }
 
+    /// True when slot `idx` holds raw deferred-seal data; the snapshot
+    /// writer sorts its copy of such a slot before serialising.
+    pub(crate) fn slot_is_unsorted(&self, idx: usize) -> bool {
+        self.unsorted_slots.contains(&idx)
+    }
+
     /// Lazy-allocation thresholds.
     pub(crate) fn allocation_thresholds(&self) -> &[u64] {
         &self.allocation
@@ -586,7 +633,10 @@ where
         );
         self.slot_nodes = vec![None; self.buffers.len()];
         self.max_allocated = self.buffers.len();
-        self.filler_sorted = filler.is_sorted();
+        // Snapshots always carry sorted buffer data (the writer sorts raw
+        // slots' copies), so no deferred-seal marks survive a restore.
+        self.unsorted_slots.clear();
+        self.filler_runs.rebuild(&filler);
         self.filler = filler;
         self.fill_rate = fill_rate;
         self.fill_level = fill_level;
@@ -642,20 +692,44 @@ where
         self.filling = true;
     }
 
+    /// Take the completed fill out of the engine: a single-run fill is
+    /// adopted as-is, few runs are k-way merged (`O(k log r)`), and a
+    /// saturated tracker returns the data **unsorted** (`false` flag) so
+    /// the sort can be deferred to collapse time, where raw siblings are
+    /// sorted together in one pass.
+    fn take_filler(&mut self) -> (Vec<T>, bool) {
+        let mut data = std::mem::take(&mut self.filler);
+        let sorted = if self.filler_runs.is_saturated() {
+            false
+        } else {
+            self.filler_runs
+                .sort_data(&mut data, &mut self.seal_scratch);
+            true
+        };
+        self.filler_runs.reset();
+        (data, sorted)
+    }
+
     fn complete_fill(&mut self) {
         debug_assert_eq!(self.filler.len(), self.config.buffer_size);
-        let data = std::mem::take(&mut self.filler);
-        self.filler = Vec::with_capacity(self.config.buffer_size);
-        self.filler_sorted = true;
+        let (data, sorted) = self.take_filler();
         let idx = self
             .empty_slot()
             .expect("begin_fill reserved an empty slot");
-        self.buffers[idx].populate(
+        // Recycle the slot's retired allocation as the next fill's storage
+        // instead of allocating a fresh vector per seal.
+        self.filler = self.buffers[idx].take_storage();
+        self.filler.reserve(self.config.buffer_size);
+        self.buffers[idx].populate_raw(
             data,
             self.fill_rate,
             self.fill_level,
             self.config.buffer_size,
         );
+        if !sorted {
+            debug_assert!(!self.unsorted_slots.contains(&idx));
+            self.unsorted_slots.push(idx);
+        }
         if let Some(rec) = &mut self.recorder {
             self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
         }
@@ -701,7 +775,44 @@ where
         };
         collapse_targets_into(self.config.buffer_size, w, high, &mut self.targets_scratch);
         let mut new_data = std::mem::take(&mut self.select_scratch);
-        {
+        let w0 = self.buffers[slots[0]].weight();
+        let all_raw_equal = slots.len() >= 2
+            && slots
+                .iter()
+                .all(|&i| self.unsorted_slots.contains(&i) && self.buffers[i].weight() == w0)
+            && !self.unsorted_slots.is_empty();
+        if all_raw_equal {
+            // Every input is a raw deferred-seal leaf of equal weight `w0`:
+            // concatenate, sort once, and index the evenly spaced targets
+            // directly. One `O(ck log ck)` sort replaces `c` deferred
+            // `O(k log k)` sorts *plus* the `O(ck)` weighted merge walk.
+            // Position `t` (1-based) of the weighted merged sequence is the
+            // sorted concatenation's element `(t - 1) / w0`, and sorting the
+            // concatenation yields the same value sequence as merging the
+            // individually sorted inputs, so the selected elements are
+            // identical to the general path's.
+            let concat = &mut self.seal_scratch;
+            concat.clear();
+            for &i in slots {
+                concat.extend_from_slice(self.buffers[i].data());
+            }
+            concat.sort_unstable();
+            new_data.clear();
+            new_data.extend(
+                self.targets_scratch
+                    .iter()
+                    .map(|&t| concat[((t - 1) / w0) as usize].clone()),
+            );
+        } else {
+            // Mixed collapse: restore the sorted invariant on any raw input
+            // first (the sort deferred from its seal happens here instead),
+            // then run the weighted merge selection as usual.
+            for &i in slots {
+                if let Some(p) = self.unsorted_slots.iter().position(|&j| j == i) {
+                    self.unsorted_slots.swap_remove(p);
+                    self.buffers[i].make_sorted();
+                }
+            }
             let sources: Vec<WeightedSource<'_, T>> = slots
                 .iter()
                 .map(|&i| WeightedSource::new(self.buffers[i].data(), self.buffers[i].weight()))
@@ -719,11 +830,16 @@ where
         for &i in slots {
             self.buffers[i].clear();
         }
+        // Cleared slots no longer hold raw data (fast-path inputs keep their
+        // marks until here); the output below is sorted, so no new mark.
+        self.unsorted_slots.retain(|i| !slots.contains(i));
         // Recycle the cleared output slot's old allocation as the next
         // collapse's selection scratch: steady-state collapsing then swaps
         // two k-capacity vectors back and forth without allocating.
         self.select_scratch = self.buffers[slots[0]].take_storage();
-        self.buffers[slots[0]].populate(new_data, w, output_level, self.config.buffer_size);
+        // Collapse output comes out of the weighted selection already
+        // sorted — adopt it without a re-sort.
+        self.buffers[slots[0]].populate_sorted(new_data, w, output_level, self.config.buffer_size);
         self.stats.record_collapse(w, output_level);
         self.rate_schedule.observe_level(output_level);
         if self.rate_schedule.sampling_started() {

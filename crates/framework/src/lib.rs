@@ -33,6 +33,7 @@ pub mod cdf;
 mod engine;
 mod merge;
 pub mod policy;
+mod runs;
 pub mod schedule;
 mod snapshot;
 mod stats;
@@ -42,10 +43,14 @@ mod types;
 pub use buffer::{Buffer, BufferMeta, BufferState};
 pub use cdf::CdfPoint;
 pub use engine::{Engine, EngineConfig};
-pub use merge::{collapse_targets, output_position, select_weighted, total_mass, WeightedSource};
+pub use merge::{
+    collapse_targets, output_position, select_weighted, select_weighted_into, total_mass,
+    WeightedSource,
+};
 pub use policy::{
     AdaptiveLowestLevel, AlsabtiRankaSingh, CollapseDecision, CollapsePolicy, MunroPaterson,
 };
+pub use runs::{merge_sorted_runs, run_merge_limit, RunTracker};
 pub use schedule::{FixedRate, LeafCountSchedule, Mrl99Schedule, RateSchedule};
 pub use snapshot::{BufferSnapshot, EngineSnapshot};
 pub use stats::TreeStats;

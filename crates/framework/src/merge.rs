@@ -87,6 +87,78 @@ pub fn select_weighted_into<T: Ord + Clone>(
         mass
     );
 
+    // Dense targets (the Collapse shape: k targets over c·k elements) take
+    // a fused c-way walk that selects during the merge: galloping cannot
+    // skip anything when the sources interleave at ~1-element runs, and
+    // materialising the merge pays allocation plus a second pass. One head
+    // scan and one weight addition per merge step, nothing else.
+    let total_elems: usize = sources.iter().map(|s| s.data.len()).sum();
+    if targets.len() >= total_elems / 8 {
+        if sources.len() == 2 {
+            // Two sources dominate adaptive collapse trees; a dedicated
+            // two-pointer walk keeps both heads hot and lets the compiler
+            // emit conditional moves for the unpredictable comparison.
+            let (a, b) = (&sources[0], &sources[1]);
+            let (wa, wb) = (a.weight, b.weight);
+            let (mut i, mut j) = (0usize, 0usize);
+            let mut cum: u64 = 0;
+            let mut ti = 0usize;
+            while i < a.data.len() && j < b.data.len() {
+                let take_a = a.data[i] <= b.data[j];
+                let (v, w) = if take_a {
+                    (&a.data[i], wa)
+                } else {
+                    (&b.data[j], wb)
+                };
+                cum += w;
+                while ti < targets.len() && targets[ti] <= cum {
+                    out.push(v.clone());
+                    ti += 1;
+                }
+                i += take_a as usize;
+                j += usize::from(!take_a);
+                if ti == targets.len() {
+                    return;
+                }
+            }
+            // One source exhausted: the survivor is a single weighted run,
+            // so remaining targets index it directly.
+            let (rest, w) = if i < a.data.len() {
+                (&a.data[i..], wa)
+            } else {
+                (&b.data[j..], wb)
+            };
+            while ti < targets.len() {
+                let offset = ((targets[ti] - cum - 1) / w) as usize;
+                out.push(rest[offset].clone());
+                ti += 1;
+            }
+            return;
+        }
+        let mut pos: Vec<usize> = vec![0; sources.len()];
+        let mut cum: u64 = 0;
+        let mut ti = 0usize;
+        while ti < targets.len() {
+            let mut j = usize::MAX;
+            for (i, s) in sources.iter().enumerate() {
+                if pos[i] < s.data.len()
+                    && (j == usize::MAX || s.data[pos[i]] < sources[j].data[pos[j]])
+                {
+                    j = i;
+                }
+            }
+            assert!(j != usize::MAX, "ran out of mass before all targets");
+            let s = &sources[j];
+            cum += s.weight;
+            while ti < targets.len() && targets[ti] <= cum {
+                out.push(s.data[pos[j]].clone());
+                ti += 1;
+            }
+            pos[j] += 1;
+        }
+        return;
+    }
+
     // pos[i]: first unconsumed index of sources[i]. Ties between sources
     // are broken by source index (the lower index merges first), matching
     // the ordering a (value, source, position) heap would produce.
@@ -94,34 +166,40 @@ pub fn select_weighted_into<T: Ord + Clone>(
     let mut cum: u64 = 0;
     let mut ti = 0usize;
     while ti < targets.len() {
-        // The source whose head merges next.
-        let mut best: Option<usize> = None;
+        // One scan finds both the source whose head merges next (`j`) and
+        // the runner-up (`runner`): the smallest head among the others,
+        // lowest index on ties. Only the runner-up can end j's run —
+        // every other head is no smaller — so a single galloping search
+        // against it replaces one search per source.
+        let mut j = usize::MAX;
+        let mut runner = usize::MAX;
         for (i, s) in sources.iter().enumerate() {
-            if pos[i] < s.data.len()
-                && best.is_none_or(|b| s.data[pos[i]] < sources[b].data[pos[b]])
-            {
-                best = Some(i);
-            }
-        }
-        let j = best.expect("ran out of mass before all targets");
-        // Maximal run: consecutive elements of source j that all merge
-        // before every other source's head. Galloping search against each
-        // other head (dense interleavings produce length-1 runs, where a
-        // full binary search would waste log k compares); the tie-break
-        // direction depends on which side of j the other source sits.
-        let sub = &sources[j].data[pos[j]..];
-        let mut run = sub.len();
-        for (i, s) in sources.iter().enumerate() {
-            if i == j || pos[i] >= s.data.len() {
+            if pos[i] >= s.data.len() {
                 continue;
             }
-            let head = &s.data[pos[i]];
-            run = if i < j {
-                gallop_limit(&sub[..run], |v| v < head)
-            } else {
-                gallop_limit(&sub[..run], |v| v <= head)
-            };
+            if j == usize::MAX || s.data[pos[i]] < sources[j].data[pos[j]] {
+                runner = j;
+                j = i;
+            } else if runner == usize::MAX || s.data[pos[i]] < sources[runner].data[pos[runner]] {
+                runner = i;
+            }
         }
+        assert!(j != usize::MAX, "ran out of mass before all targets");
+        // Maximal run: consecutive elements of source j that all merge
+        // before the runner-up's head. The tie-break direction depends on
+        // which side of j the runner-up sits: a lower-indexed runner-up
+        // merges equal values first.
+        let sub = &sources[j].data[pos[j]..];
+        let run = if runner == usize::MAX {
+            sub.len()
+        } else {
+            let head = &sources[runner].data[pos[runner]];
+            if runner < j {
+                gallop_limit(sub, |v| v < head)
+            } else {
+                gallop_limit(sub, |v| v <= head)
+            }
+        };
         debug_assert!(run >= 1, "the minimal head always yields a run");
         let w = sources[j].weight;
         let run_mass = run as u64 * w;

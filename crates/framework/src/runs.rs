@@ -1,0 +1,273 @@
+//! Sorted-run tracking and run merging: the sort-free sealing substrate.
+//!
+//! `New` (§3.1) fills a buffer from the stream and sorts it. But the fill
+//! rarely arrives in random order: collapse output is already sorted,
+//! ascending streams are one run, and batched ingestion delivers a small
+//! number of sorted segments. [`RunTracker`] records run boundaries as
+//! elements are appended (one comparison per element — the same
+//! comparison the engine previously spent on its `filler_sorted` flag),
+//! and [`merge_sorted_runs`] seals the buffer with a bottom-up merge of
+//! the `r` runs in `O(k log r)` instead of `sort_unstable`'s
+//! `O(k log k)`. When a fill degenerates into many short runs (uniformly
+//! random input), the tracker *saturates*: boundary recording stops, and
+//! sealing falls back to `sort_unstable`, which is the optimal tool for
+//! that shape — run tracking never costs more than the flag it replaced.
+
+/// Records the start index of each maximal non-decreasing run in an
+/// append-only buffer.
+///
+/// The tracker holds the invariant `starts[0] == 0`; `starts.len()` is the
+/// number of runs once any element has been appended. Tracking stops once
+/// the run count exceeds `limit` (the *saturated* state): past that point a
+/// run merge would be slower than a plain sort, so exact boundaries no
+/// longer matter.
+#[derive(Clone, Debug)]
+pub struct RunTracker {
+    starts: Vec<usize>,
+    limit: usize,
+}
+
+impl RunTracker {
+    /// A tracker that saturates beyond `limit` runs.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            starts: vec![0],
+            limit: limit.max(1),
+        }
+    }
+
+    /// Forget all boundaries (the backing buffer was emptied).
+    pub fn reset(&mut self) {
+        self.starts.truncate(1);
+    }
+
+    /// True while the buffer is a single non-decreasing run (in particular
+    /// for an empty buffer).
+    pub fn is_single_run(&self) -> bool {
+        self.starts.len() == 1
+    }
+
+    /// True once more than `limit` boundaries were seen; sealing should
+    /// sort rather than merge.
+    pub fn is_saturated(&self) -> bool {
+        self.starts.len() > self.limit
+    }
+
+    /// Run start indices (always begins with 0).
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// Record that the element at index `at` starts a new run (its
+    /// predecessor compared greater). No-op when saturated.
+    #[inline]
+    pub fn note_boundary(&mut self, at: usize) {
+        if !self.is_saturated() {
+            self.starts.push(at);
+        }
+    }
+
+    /// Scan `data[base..]` (just appended in bulk) for run boundaries,
+    /// including the boundary between `data[base - 1]` and `data[base]`.
+    /// Stops scanning early once saturated.
+    pub fn observe_extend<T: Ord>(&mut self, data: &[T], base: usize) {
+        let from = base.max(1);
+        for i in from..data.len() {
+            if self.is_saturated() {
+                return;
+            }
+            if data[i - 1] > data[i] {
+                self.starts.push(i);
+            }
+        }
+    }
+
+    /// Rebuild boundaries from scratch for `data` (snapshot restore).
+    pub fn rebuild<T: Ord>(&mut self, data: &[T]) {
+        self.reset();
+        self.observe_extend(data, 0);
+    }
+
+    /// Sort `data` in place using whatever structure was tracked: nothing
+    /// for a single run, a bottom-up run merge below saturation, and
+    /// `sort_unstable` past it. `scratch` is the merge's ping-pong buffer
+    /// and keeps its allocation across calls.
+    pub fn sort_data<T: Ord + Clone>(&self, data: &mut Vec<T>, scratch: &mut Vec<T>) {
+        if self.is_single_run() {
+            return;
+        }
+        if self.is_saturated() {
+            data.sort_unstable();
+        } else {
+            merge_sorted_runs(data, &self.starts, scratch);
+        }
+    }
+}
+
+/// The saturation limit for a buffer of `k` elements: past `k / 8` runs
+/// (at least 4), `log r` merge passes stop beating `sort_unstable`'s
+/// cache-friendly `O(k log k)` on the shapes that produce that many runs.
+pub fn run_merge_limit(k: usize) -> usize {
+    (k / 8).max(4)
+}
+
+/// Merge the sorted runs of `data` (delimited by `run_starts`, which must
+/// begin with 0) into fully sorted order, in place, using `scratch` as the
+/// ping-pong buffer. Bottom-up: each pass merges adjacent run pairs, so
+/// `r` runs cost `⌈log₂ r⌉` passes over the data — `O(n log r)` total.
+///
+/// The merge is stable (ties favour the earlier run), which coincides with
+/// any correct sort for the `Ord`-equal elements the engine stores.
+pub fn merge_sorted_runs<T: Ord + Clone>(
+    data: &mut Vec<T>,
+    run_starts: &[usize],
+    scratch: &mut Vec<T>,
+) {
+    debug_assert_eq!(run_starts.first(), Some(&0), "runs must start at 0");
+    if run_starts.len() <= 1 {
+        return;
+    }
+    let n = data.len();
+    // One up-front reservation; otherwise the first pass's pushes grow
+    // `scratch` through a cascade of reallocations.
+    scratch.clear();
+    scratch.reserve(n);
+    let mut bounds: Vec<usize> = Vec::with_capacity(run_starts.len() + 1);
+    bounds.extend_from_slice(run_starts);
+    bounds.push(n);
+    let mut next_bounds: Vec<usize> = Vec::with_capacity(bounds.len() / 2 + 2);
+    // `data` is always the current source; `scratch` receives the pass.
+    while bounds.len() > 2 {
+        scratch.clear();
+        next_bounds.clear();
+        let mut bi = 0;
+        while bi + 2 < bounds.len() {
+            next_bounds.push(scratch.len());
+            merge_two(
+                &data[bounds[bi]..bounds[bi + 1]],
+                &data[bounds[bi + 1]..bounds[bi + 2]],
+                scratch,
+            );
+            bi += 2;
+        }
+        if bi + 1 < bounds.len() {
+            // Odd run out: carry it to the next pass unchanged.
+            next_bounds.push(scratch.len());
+            scratch.extend_from_slice(&data[bounds[bi]..bounds[bi + 1]]);
+        }
+        next_bounds.push(scratch.len());
+        std::mem::swap(data, scratch);
+        std::mem::swap(&mut bounds, &mut next_bounds);
+    }
+    debug_assert_eq!(data.len(), n);
+}
+
+/// Stable two-pointer merge of sorted `a` and `b`, appended to `out`.
+fn merge_two<T: Ord + Clone>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merged(mut data: Vec<u64>, starts: &[usize]) -> Vec<u64> {
+        let mut scratch = Vec::new();
+        merge_sorted_runs(&mut data, starts, &mut scratch);
+        data
+    }
+
+    #[test]
+    fn merges_two_runs() {
+        assert_eq!(
+            merged(vec![1, 4, 9, 2, 3, 10], &[0, 3]),
+            vec![1, 2, 3, 4, 9, 10]
+        );
+    }
+
+    #[test]
+    fn merges_many_runs_including_odd_counts() {
+        for r in 1..9usize {
+            let mut data = Vec::new();
+            let mut starts = Vec::new();
+            for run in 0..r as u64 {
+                starts.push(data.len());
+                data.extend((0..5u64).map(|i| i * 7 + run));
+            }
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(merged(data, &starts), expect, "r={r}");
+        }
+    }
+
+    #[test]
+    fn single_run_is_untouched() {
+        assert_eq!(merged(vec![1, 2, 3], &[0]), vec![1, 2, 3]);
+        assert_eq!(merged(vec![], &[0]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn tracker_detects_runs_per_push_and_bulk() {
+        let mut t = RunTracker::new(16);
+        let mut data: Vec<u64> = Vec::new();
+        for &v in &[3u64, 5, 5, 2, 9, 1] {
+            if data.last().is_some_and(|last| *last > v) {
+                t.note_boundary(data.len());
+            }
+            data.push(v);
+        }
+        assert_eq!(t.starts(), &[0, 3, 5]);
+        assert!(!t.is_single_run());
+        let base = data.len();
+        data.extend_from_slice(&[4, 6, 0]);
+        t.observe_extend(&data, base);
+        // The trailing run `1` extends through `4, 6`; only `0` breaks it.
+        assert_eq!(t.starts(), &[0, 3, 5, 8]);
+        let mut scratch = Vec::new();
+        let mut sorted = data.clone();
+        t.sort_data(&mut sorted, &mut scratch);
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn tracker_saturates_and_falls_back_to_sort() {
+        let mut t = RunTracker::new(2);
+        let data: Vec<u64> = vec![9, 8, 7, 6, 5, 4];
+        t.observe_extend(&data, 0);
+        assert!(t.is_saturated());
+        let mut sorted = data.clone();
+        let mut scratch = Vec::new();
+        t.sort_data(&mut sorted, &mut scratch);
+        assert_eq!(sorted, vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn tracker_reset_and_rebuild() {
+        let mut t = RunTracker::new(8);
+        t.note_boundary(3);
+        t.reset();
+        assert!(t.is_single_run());
+        t.rebuild(&[1u64, 2, 0, 5]);
+        assert_eq!(t.starts(), &[0, 2]);
+    }
+
+    #[test]
+    fn run_merge_limit_scales_with_k() {
+        assert_eq!(run_merge_limit(8), 4);
+        assert_eq!(run_merge_limit(256), 32);
+        assert_eq!(run_merge_limit(4096), 512);
+    }
+}

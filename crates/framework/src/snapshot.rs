@@ -79,12 +79,21 @@ where
         let buffers = self
             .raw_buffers()
             .iter()
-            .filter(|b| b.state() != BufferState::Empty)
-            .map(|b| BufferSnapshot {
-                data: b.data().to_vec(),
-                weight: b.weight(),
-                level: b.level(),
-                partial: b.state() == BufferState::Partial,
+            .enumerate()
+            .filter(|(_, b)| b.state() != BufferState::Empty)
+            .map(|(i, b)| {
+                let mut data = b.data().to_vec();
+                // A deferred-seal slot holds raw data; the snapshot's copy
+                // is sorted so restore can assert the invariant.
+                if self.slot_is_unsorted(i) {
+                    data.sort_unstable();
+                }
+                BufferSnapshot {
+                    data,
+                    weight: b.weight(),
+                    level: b.level(),
+                    partial: b.state() == BufferState::Partial,
+                }
             })
             .collect();
         let (filler, fill_rate, fill_level, filling) = self.fill_state();
@@ -126,9 +135,13 @@ where
                 bs.partial == (bs.data.len() < k),
                 "snapshot partial flag disagrees with length"
             );
-            let mut buf = Buffer::empty(k);
-            buf.populate(bs.data, bs.weight, bs.level, k);
-            slots.push(buf);
+            assert!(
+                bs.data.is_sorted(),
+                "snapshot buffer contents must be sorted"
+            );
+            // Validated sorted above, so restore skips the re-sort the old
+            // `populate` path paid on every checkpointed buffer.
+            slots.push(Buffer::from_sorted(bs.data, bs.weight, bs.level, k));
         }
         engine.restore_internals(
             slots,

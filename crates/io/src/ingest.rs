@@ -1,0 +1,146 @@
+//! Column-scan → sketch ingestion: the disk-resident single pass.
+//!
+//! These helpers close the loop between the scan layer and the quantile
+//! algorithms: a column file is read in fixed-size chunks
+//! ([`ColumnScan::read_chunk`]) and fed to a sketch's batched ingestion
+//! path, so the working set stays one chunk plus the sketch's `O(b·k)`
+//! state regardless of file size. The sharded variant deals the same
+//! chunks round-robin to a [`ShardedSketch`] worker pool, overlapping
+//! decode with sketch maintenance across cores.
+
+use std::io;
+use std::path::Path;
+
+use mrl_core::{OptimizerOptions, UnknownN};
+use mrl_parallel::ShardedSketch;
+
+use crate::column::ColumnScan;
+
+/// Values handed to the sketch per `read_chunk` call — one channel batch
+/// in the sharded pipeline, and large enough to amortise per-call costs.
+pub const INGEST_CHUNK: usize = 4096;
+
+/// Quantile estimates computed from one pass over a column file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnQuantiles {
+    /// Rows consumed from the file.
+    pub n: u64,
+    /// The estimates, in the order of the requested `phis` (empty when the
+    /// file held no rows).
+    pub quantiles: Vec<u64>,
+}
+
+/// Single pass over the column file at `path`: approximate `phis`-quantiles
+/// with the certified `(ε, δ)` guarantee, unknown-`N` (truncated files
+/// simply end early).
+pub fn column_quantiles<P: AsRef<Path>>(
+    path: P,
+    epsilon: f64,
+    delta: f64,
+    phis: &[f64],
+    opts: OptimizerOptions,
+    seed: u64,
+) -> io::Result<ColumnQuantiles> {
+    let mut scan = ColumnScan::open(path)?;
+    let mut sketch = UnknownN::<u64>::with_options(epsilon, delta, opts).with_seed(seed);
+    let mut chunk = Vec::with_capacity(INGEST_CHUNK);
+    while scan.read_chunk(&mut chunk, INGEST_CHUNK)? > 0 {
+        sketch.insert_batch(&chunk);
+    }
+    Ok(ColumnQuantiles {
+        n: sketch.n(),
+        quantiles: sketch.query_many(phis).unwrap_or_default(),
+    })
+}
+
+/// As [`column_quantiles`], with decode and sketch maintenance overlapped:
+/// chunks are dealt round-robin to a pool of `shards` sketch workers and
+/// the shards' shipments merged by the §6 coordinator protocol.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn column_quantiles_sharded<P: AsRef<Path>>(
+    path: P,
+    shards: usize,
+    epsilon: f64,
+    delta: f64,
+    phis: &[f64],
+    opts: OptimizerOptions,
+    seed: u64,
+) -> io::Result<ColumnQuantiles> {
+    let mut scan = ColumnScan::open(path)?;
+    let mut sketch =
+        ShardedSketch::<u64>::new(shards, epsilon, delta, opts, seed).with_batch_size(INGEST_CHUNK);
+    let mut chunk = Vec::with_capacity(INGEST_CHUNK);
+    while scan.read_chunk(&mut chunk, INGEST_CHUNK)? > 0 {
+        sketch.insert_batch(&chunk);
+    }
+    let outcome = sketch.finish();
+    Ok(ColumnQuantiles {
+        n: outcome.total_n(),
+        quantiles: outcome.query_many(phis).unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnWriter;
+    use std::path::PathBuf;
+
+    fn fast() -> OptimizerOptions {
+        OptimizerOptions::fast()
+    }
+
+    fn write_column(tag: &str, values: impl Iterator<Item = u64>) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mrl-ingest-test-{tag}-{}", std::process::id()));
+        let mut w = ColumnWriter::create(&p).unwrap();
+        w.extend(values).unwrap();
+        w.finish().unwrap();
+        p
+    }
+
+    #[test]
+    fn single_pass_matches_the_file() {
+        let n = 120_000u64;
+        let path = write_column("single", (0..n).map(|i| (i * 2654435761) % n));
+        let out = column_quantiles(&path, 0.05, 0.01, &[0.25, 0.5, 0.75], fast(), 7).unwrap();
+        assert_eq!(out.n, n);
+        for (q, phi) in out.quantiles.iter().zip([0.25, 0.5, 0.75]) {
+            assert!(
+                (*q as f64 - phi * n as f64).abs() <= 0.05 * n as f64 + 1.0,
+                "phi={phi}: {q}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_pass_agrees_with_single_within_epsilon() {
+        let n = 120_000u64;
+        let path = write_column("sharded", (0..n).map(|i| (i * 48271) % n));
+        let eps = 0.05;
+        let single = column_quantiles(&path, eps, 0.01, &[0.5], fast(), 7).unwrap();
+        let sharded = column_quantiles_sharded(&path, 4, eps, 0.01, &[0.5], fast(), 7).unwrap();
+        assert_eq!(single.n, n);
+        assert_eq!(sharded.n, n);
+        // Both carry an ε rank guarantee, so they differ by at most 2ε·n in
+        // value on this near-uniform column.
+        let (a, b) = (single.quantiles[0] as f64, sharded.quantiles[0] as f64);
+        assert!((a - b).abs() <= 2.0 * eps * n as f64 + 2.0, "{a} vs {b}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_yields_no_quantiles() {
+        let path = write_column("empty", std::iter::empty());
+        let out = column_quantiles(&path, 0.1, 0.01, &[0.5], fast(), 1).unwrap();
+        assert_eq!(out.n, 0);
+        assert!(out.quantiles.is_empty());
+        let out = column_quantiles_sharded(&path, 2, 0.1, 0.01, &[0.5], fast(), 1).unwrap();
+        assert_eq!(out.n, 0);
+        assert!(out.quantiles.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

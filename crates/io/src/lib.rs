@@ -10,17 +10,21 @@
 //! * [`csv_column`] — a single numeric column out of a CSV file, scanned
 //!   without materialising rows;
 //! * [`Reiterable`] — re-openable scans for the multi-pass algorithms
-//!   (`mrl-exact`'s two-pass selection needs to read the data twice).
+//!   (`mrl-exact`'s two-pass selection needs to read the data twice);
+//! * [`column_quantiles`] / [`column_quantiles_sharded`] — the closed
+//!   loop: chunked scans feeding a sketch (optionally a sharded worker
+//!   pool) in one pass.
 //!
-//! Everything is plain `std::io` (no new dependencies) and streams through
-//! fixed-size buffers — the working set stays `O(1)` regardless of file
-//! size, matching the algorithms it feeds.
+//! Everything streams through fixed-size buffers — the working set stays
+//! `O(1)` regardless of file size, matching the algorithms it feeds.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 mod column;
 mod csv;
+mod ingest;
 
 pub use column::{ColumnScan, ColumnWriter, Reiterable, COLUMN_MAGIC};
 pub use csv::{csv_column, CsvColumnScan};
+pub use ingest::{column_quantiles, column_quantiles_sharded, ColumnQuantiles, INGEST_CHUNK};

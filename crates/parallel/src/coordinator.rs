@@ -46,6 +46,36 @@ impl<T: Ord + Clone> Coordinator<T> {
         }
     }
 
+    /// Assemble a coordinator from worker shipments (`(n, buffers)` pairs,
+    /// as produced by `UnknownN::into_shipment`), returning it together
+    /// with the summed element count. Full buffers are staged first and
+    /// partials heaviest-first, so every §6 shrink ratio is integral even
+    /// in mixed-rate runs (weights are powers of two) regardless of the
+    /// order the shipments arrived in.
+    pub fn from_shipments<I>(b: usize, k: usize, seed: u64, shipments: I) -> (Self, u64)
+    where
+        I: IntoIterator<Item = (u64, Vec<Buffer<T>>)>,
+    {
+        let mut coordinator = Self::new(b, k, seed);
+        let mut total_n = 0u64;
+        let mut partials: Vec<Buffer<T>> = Vec::new();
+        for (n, buffers) in shipments {
+            total_n += n;
+            for buf in buffers {
+                if buf.state() == BufferState::Full {
+                    coordinator.add_buffer(buf);
+                } else {
+                    partials.push(buf);
+                }
+            }
+        }
+        partials.sort_by_key(|b| std::cmp::Reverse(b.weight()));
+        for buf in partials {
+            coordinator.add_buffer(buf);
+        }
+        (coordinator, total_n)
+    }
+
     /// Accept one shipped buffer (full or partial) from a worker.
     ///
     /// # Panics
@@ -74,9 +104,13 @@ impl<T: Ord + Clone> Coordinator<T> {
         }
     }
 
-    /// Accept a full buffer's raw content (sorted internally).
+    /// Accept a full buffer's raw content (sorted internally). Shipped
+    /// buffers and spilled staging runs are usually sorted already; the
+    /// `O(k)` check skips the `O(k log k)` sort then.
     fn push_full(&mut self, mut data: Vec<T>, weight: u64) {
-        data.sort_unstable();
+        if !data.is_sorted() {
+            data.sort_unstable();
+        }
         if self.full.len() >= self.b.saturating_sub(1) {
             // Keep one slot's worth of headroom for B₀ conversions; collapse
             // the lowest level like the single-stream policy.
@@ -232,7 +266,11 @@ impl<T: Ord + Clone> Coordinator<T> {
             .map(|&phi| output_position(phi, mass))
             .zip(0..)
             .collect();
-        order.sort_unstable();
+        // Callers overwhelmingly pass ascending phis, whose positions are
+        // already sorted — skip the per-call sort then.
+        if !order.is_sorted() {
+            order.sort_unstable();
+        }
         let targets: Vec<u64> = order.iter().map(|&(p, _)| p).collect();
         let picked = select_weighted(&sources, &targets);
         let mut out: Vec<Option<T>> = vec![None; phis.len()];
@@ -299,15 +337,14 @@ impl<T: Ord + Clone> Coordinator<T> {
         let k = self.k;
         let mut out = Vec::with_capacity(self.full.len() + 1);
         for (data, weight, level) in self.full {
-            let mut buf = Buffer::empty(k);
-            buf.populate(data, weight, level, k);
-            out.push(buf);
+            // Full slots hold sorted data by construction (push_full sorts
+            // on entry; collapse output comes out of the selection sorted).
+            out.push(Buffer::from_sorted(data, weight, level, k));
         }
-        if let Some((staged, weight)) = self.staging {
+        if let Some((mut staged, weight)) = self.staging {
             if !staged.is_empty() {
-                let mut buf = Buffer::empty(k);
-                buf.populate(staged, weight, 0, k);
-                out.push(buf);
+                staged.sort_unstable();
+                out.push(Buffer::from_sorted(staged, weight, 0, k));
             }
         }
         out

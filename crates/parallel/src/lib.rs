@@ -17,6 +17,14 @@
 //!
 //! Interprocessor communication is one buffer shipment per worker — the
 //! minimal traffic the paper calls for.
+//!
+//! Two front ends drive the protocol:
+//!
+//! * [`parallel_quantiles`] — §6's literal setting: one worker per
+//!   pre-existing input sequence;
+//! * [`ShardedSketch`] — one logical stream sharded round-robin over a
+//!   fixed worker pool behind bounded channels (multi-core ingestion of a
+//!   single source with backpressure).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -24,9 +32,11 @@
 mod coordinator;
 mod hierarchy;
 mod merge;
+mod pipeline;
 mod runner;
 
 pub use coordinator::Coordinator;
 pub use hierarchy::{merge_hierarchical, ship_upward};
 pub use merge::merge_sketches;
+pub use pipeline::{ShardedOutcome, ShardedSketch, DEFAULT_SHARD_BATCH};
 pub use runner::{parallel_quantiles, ParallelOutcome};

@@ -1,0 +1,357 @@
+//! Sharded multi-core ingestion: a fixed worker pool fed round-robin
+//! batches over bounded channels.
+//!
+//! [`crate::parallel_quantiles`] implements §6's literal setting — one
+//! worker per pre-existing input sequence. [`ShardedSketch`] covers the
+//! complementary case: **one** logical stream whose ingestion should use
+//! several cores. The stream is cut into fixed-size batches and dealt
+//! round-robin to `P` shard workers; each shard runs the single-stream
+//! unknown-`N` algorithm on the subsequence it receives, and the final
+//! shipments are merged by the same [`Coordinator`] protocol. Because §6
+//! allows *any* partition of the input into per-processor sequences, the
+//! round-robin partition inherits the full `(ε, δ)` guarantee.
+//!
+//! The channels are bounded ([`sync_channel`] with a small depth), so a
+//! producer that outruns the workers blocks instead of buffering the
+//! stream in memory — ingestion stays `O(shards · b · k)` no matter how
+//! fast the input arrives.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::{self, JoinHandle};
+
+use mrl_core::{OptimizerOptions, UnknownN, UnknownNConfig};
+use mrl_framework::Buffer;
+
+use crate::Coordinator;
+
+/// Default elements per dispatched batch. Large enough that the channel
+/// and wakeup overhead amortises to well under a nanosecond per element;
+/// small enough that shards stay busy on modest streams.
+pub const DEFAULT_SHARD_BATCH: usize = 4096;
+
+/// Bounded batches in flight per shard: enough to hide scheduling jitter,
+/// small enough that backpressure engages before memory does.
+const QUEUE_DEPTH: usize = 4;
+
+/// A quantile sketch whose ingestion is sharded across a fixed pool of
+/// worker threads.
+///
+/// Feed it with [`ShardedSketch::insert`] / [`ShardedSketch::insert_batch`]
+/// from one producer thread; call [`ShardedSketch::finish`] to drain the
+/// pipeline and obtain a queryable [`ShardedOutcome`].
+///
+/// ```
+/// use mrl_core::OptimizerOptions;
+/// use mrl_parallel::ShardedSketch;
+///
+/// let mut sketch =
+///     ShardedSketch::<u64>::new(2, 0.05, 0.01, OptimizerOptions::fast(), 1);
+/// sketch.insert_batch(&(0..100_000u64).collect::<Vec<_>>());
+/// let outcome = sketch.finish();
+/// let median = outcome.query(0.5).unwrap();
+/// assert!((median as f64 - 50_000.0).abs() <= 0.05 * 100_000.0 + 1.0);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSketch<T> {
+    senders: Vec<SyncSender<Vec<T>>>,
+    handles: Vec<JoinHandle<(u64, Vec<Buffer<T>>)>>,
+    pending: Vec<T>,
+    next_shard: usize,
+    batch: usize,
+    dispatched: u64,
+    config: UnknownNConfig,
+    seed: u64,
+}
+
+impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
+    /// Create a pool of `shards` workers, each running the certified
+    /// `(ε, δ)` single-stream configuration.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, `ε ∉ (0, 1)` or `δ ∉ (0, 1)`.
+    pub fn new(shards: usize, epsilon: f64, delta: f64, opts: OptimizerOptions, seed: u64) -> Self {
+        let config = mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta, opts);
+        Self::from_config(config, shards, seed)
+    }
+
+    /// As [`ShardedSketch::new`] with an explicit certified configuration.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn from_config(config: UnknownNConfig, shards: usize, seed: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = sync_channel::<Vec<T>>(QUEUE_DEPTH);
+            let config = config.clone();
+            let shard_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            handles.push(thread::spawn(move || {
+                let mut sketch = UnknownN::from_config(config, shard_seed);
+                while let Ok(batch) = rx.recv() {
+                    sketch.insert_batch(&batch);
+                }
+                sketch.into_shipment()
+            }));
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles,
+            pending: Vec::with_capacity(DEFAULT_SHARD_BATCH),
+            next_shard: 0,
+            batch: DEFAULT_SHARD_BATCH,
+            dispatched: 0,
+            config,
+            seed,
+        }
+    }
+
+    /// Override the dispatch batch size (before inserting data).
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be positive");
+        assert_eq!(self.n(), 0, "with_batch_size on a non-empty sketch");
+        self.batch = batch;
+        self
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Elements accepted so far (dispatched plus pending).
+    pub fn n(&self) -> u64 {
+        self.dispatched + self.pending.len() as u64
+    }
+
+    /// The certified per-shard configuration in use.
+    pub fn config(&self) -> &UnknownNConfig {
+        &self.config
+    }
+
+    /// Worst-case memory across the worker pool: `shards · b · k` elements
+    /// (the coordinator's own bound comes on top at [`ShardedSketch::finish`]).
+    pub fn memory_bound_elements(&self) -> usize {
+        self.shards() * self.config.memory
+    }
+
+    /// Insert one element.
+    pub fn insert(&mut self, item: T) {
+        self.pending.push(item);
+        if self.pending.len() >= self.batch {
+            self.dispatch();
+        }
+    }
+
+    /// Insert a slice of elements, dispatching every completed batch.
+    pub fn insert_batch(&mut self, items: &[T]) {
+        let mut rest = items;
+        loop {
+            let room = self.batch - self.pending.len();
+            if rest.len() < room {
+                self.pending.extend_from_slice(rest);
+                return;
+            }
+            let (now, later) = rest.split_at(room);
+            self.pending.extend_from_slice(now);
+            self.dispatch();
+            rest = later;
+        }
+    }
+
+    /// Insert every element of an iterator.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+
+    /// Hand the pending batch to the next shard, blocking while that
+    /// shard's queue is full (the pipeline's backpressure).
+    fn dispatch(&mut self) {
+        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
+        self.dispatched += batch.len() as u64;
+        self.senders[self.next_shard]
+            .send(batch)
+            .expect("shard worker panicked");
+        self.next_shard = (self.next_shard + 1) % self.senders.len();
+    }
+
+    /// Drain the pipeline: flush the trailing partial batch, close every
+    /// channel, join the workers, and merge their shipments at a
+    /// [`Coordinator`].
+    ///
+    /// # Panics
+    /// Panics if a shard worker panicked.
+    pub fn finish(mut self) -> ShardedOutcome<T> {
+        if !self.pending.is_empty() {
+            self.dispatch();
+        }
+        // Closing the channels ends each worker's receive loop.
+        self.senders.clear();
+        let shipments: Vec<(u64, Vec<Buffer<T>>)> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        let workers = shipments.len();
+        let (coordinator, total_n) = Coordinator::from_shipments(
+            self.config.b,
+            self.config.k,
+            self.seed ^ 0x00C0_FFEE,
+            shipments,
+        );
+        debug_assert_eq!(total_n, self.dispatched);
+        ShardedOutcome {
+            coordinator,
+            total_n,
+            workers,
+        }
+    }
+}
+
+/// The queryable result of a sharded ingestion run.
+#[derive(Debug)]
+pub struct ShardedOutcome<T> {
+    coordinator: Coordinator<T>,
+    total_n: u64,
+    workers: usize,
+}
+
+impl<T: Ord + Clone> ShardedOutcome<T> {
+    /// The φ-quantile of the whole stream. `None` for an empty stream.
+    pub fn query(&self, phi: f64) -> Option<T> {
+        self.coordinator.query(phi)
+    }
+
+    /// Several quantiles in one merge pass, in caller order.
+    pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
+        self.coordinator.query_many(phis)
+    }
+
+    /// Approximate selectivities of `x < v` / `x <= v` over the stream.
+    pub fn rank_of(&self, value: &T) -> Option<(f64, f64)> {
+        self.coordinator.rank_of(value)
+    }
+
+    /// Total elements ingested across all shards.
+    pub fn total_n(&self) -> u64 {
+        self.total_n
+    }
+
+    /// Number of shard workers that contributed.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The merged coordinator (mass accounting, memory bound, further
+    /// hierarchical shipping).
+    pub fn coordinator(&self) -> &Coordinator<T> {
+        &self.coordinator
+    }
+
+    /// Tear down into the coordinator, e.g. to forward the merged state
+    /// upward via [`Coordinator::into_buffers`].
+    pub fn into_coordinator(self) -> Coordinator<T> {
+        self.coordinator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> OptimizerOptions {
+        OptimizerOptions::fast()
+    }
+
+    fn uniform(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i.wrapping_mul(2654435761)) % n).collect()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_mass_accounting() {
+        let data = uniform(200_000);
+        let mut sharded = ShardedSketch::<u64>::new(4, 0.05, 0.01, fast(), 11);
+        for chunk in data.chunks(1000) {
+            sharded.insert_batch(chunk);
+        }
+        assert_eq!(sharded.n(), data.len() as u64);
+        let out = sharded.finish();
+        assert_eq!(out.total_n(), data.len() as u64);
+        assert_eq!(out.workers(), 4);
+        // The coordinator's represented mass equals the shipped mass, which
+        // can differ from n only by sampling-tail rounding per shard.
+        let mass = out.coordinator().mass();
+        let slack = 4 * 1024; // one partial block per shard at the max rate
+        assert!(
+            (mass as i64 - data.len() as i64).unsigned_abs() <= slack,
+            "mass {mass} vs n {}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn sharded_queries_match_single_worker_within_epsilon() {
+        let data = uniform(150_000);
+        let eps = 0.05;
+        let phis = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+        let mut single = ShardedSketch::<u64>::new(1, eps, 0.01, fast(), 3);
+        single.insert_batch(&data);
+        let single_q = single.finish().query_many(&phis).unwrap();
+
+        let mut sharded = ShardedSketch::<u64>::new(4, eps, 0.01, fast(), 3);
+        sharded.insert_batch(&data);
+        let sharded_q = sharded.finish().query_many(&phis).unwrap();
+
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        for (qs, label) in [(&single_q, "single"), (&sharded_q, "sharded")] {
+            for (q, phi) in qs.iter().zip(phis) {
+                let rank = sorted.partition_point(|v| v <= q) as f64;
+                let err = (rank - phi * n).abs() / n;
+                assert!(err <= eps + 1.0 / n, "{label} phi={phi}: rank error {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_inserts_and_small_batches_agree_on_n() {
+        let mut s = ShardedSketch::<u64>::new(2, 0.1, 0.01, fast(), 5).with_batch_size(100);
+        for i in 0..1_234u64 {
+            s.insert(i);
+        }
+        s.insert_batch(&[9, 9, 9]);
+        assert_eq!(s.n(), 1_237);
+        let out = s.finish();
+        assert_eq!(out.total_n(), 1_237);
+        assert!(out.query(0.5).is_some());
+    }
+
+    #[test]
+    fn empty_stream_returns_none() {
+        let s = ShardedSketch::<u64>::new(3, 0.1, 0.01, fast(), 1);
+        let out = s.finish();
+        assert_eq!(out.total_n(), 0);
+        assert_eq!(out.query(0.5), None);
+        assert_eq!(out.rank_of(&7), None);
+    }
+
+    #[test]
+    fn extend_round_robins_across_shards() {
+        let mut s = ShardedSketch::<u64>::new(3, 0.1, 0.01, fast(), 2).with_batch_size(10);
+        s.extend(0..95u64);
+        let out = s.finish();
+        assert_eq!(out.total_n(), 95);
+        assert_eq!(out.workers(), 3);
+        let q = out.query(1.0).unwrap();
+        assert_eq!(q, 94);
+    }
+}

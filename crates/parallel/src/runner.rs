@@ -68,38 +68,15 @@ where
                 // through the engine's slice fast path rather than paying
                 // the per-insert filling checks and RNG draws.
                 sketch.extend(input);
-                let n = sketch.n();
-                let mut engine = sketch.into_engine();
-                engine.finish();
                 // At most one full + one partial buffer leave the worker.
-                engine.collapse_all_full();
-                tx.send((n, engine.into_buffers()))
+                tx.send(sketch.into_shipment())
                     .expect("coordinator outlives workers");
             });
         }
         drop(tx);
 
-        let mut coordinator = Coordinator::<T>::new(config.b, config.k, seed ^ 0x00C0_FFEE);
-        let mut total_n = 0u64;
-        // Collect full buffers first so the coordinator's staging logic sees
-        // partials in one batch — arrival order is otherwise arbitrary.
-        let mut partials: Vec<Buffer<T>> = Vec::new();
-        for (n, buffers) in rx {
-            total_n += n;
-            for b in buffers {
-                if b.state() == mrl_framework::BufferState::Full {
-                    coordinator.add_buffer(b);
-                } else {
-                    partials.push(b);
-                }
-            }
-        }
-        // Ship partials heaviest-first so every shrink ratio is integral
-        // even in mixed-rate runs (weights are powers of two).
-        partials.sort_by_key(|b| std::cmp::Reverse(b.weight()));
-        for b in partials {
-            coordinator.add_buffer(b);
-        }
+        let (coordinator, total_n) =
+            Coordinator::<T>::from_shipments(config.b, config.k, seed ^ 0x00C0_FFEE, rx);
 
         let quantiles = coordinator.query_many(phis)?;
         Some(ParallelOutcome {

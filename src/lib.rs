@@ -18,10 +18,13 @@
 //!   simulation and the memory optimizer.
 //! * [`sampling`] (from `mrl-sampling`) — block/reservoir/Bernoulli
 //!   samplers.
-//! * [`parallel`] (from `mrl-parallel`) — multi-worker computation (§6).
+//! * [`parallel`] (from `mrl-parallel`) — multi-worker computation (§6):
+//!   offline `run_parallel` and the streaming `ShardedSketch` pipeline.
 //! * [`exact`] (from `mrl-exact`) — exact selection baselines and rank
 //!   utilities.
 //! * [`datagen`] (from `mrl-datagen`) — synthetic workloads.
+//! * [`io`] (from `mrl-io`) — disk-resident column scans and the
+//!   `column_quantiles[_sharded]` one-pass ingest helpers.
 //!
 //! ## Quick start
 //!

@@ -21,6 +21,20 @@ use mrl::framework::{
     FixedRate, Mrl99Schedule, WeightedSource,
 };
 
+/// One certified unknown-`N` configuration shared by the sharded-pipeline
+/// property (the reduced-grid optimizer run happens once per process).
+fn fast_unknown_n_config() -> &'static mrl::analysis::optimizer::UnknownNConfig {
+    static CONFIG: std::sync::OnceLock<mrl::analysis::optimizer::UnknownNConfig> =
+        std::sync::OnceLock::new();
+    CONFIG.get_or_init(|| {
+        mrl::analysis::optimizer::optimize_unknown_n_with(
+            0.05,
+            0.01,
+            mrl::analysis::optimizer::OptimizerOptions::fast(),
+        )
+    })
+}
+
 /// Brute-force weighted selection: materialise every copy.
 fn select_brute(sources: &[(Vec<u32>, u64)], targets: &[u64]) -> Vec<u32> {
     let mut all = Vec::new();
@@ -263,6 +277,119 @@ proptest! {
             select_weighted(&borrowed, &targets),
             select_brute(&sources, &targets)
         );
+    }
+
+    #[test]
+    fn run_merge_equals_sort_unstable_bitwise(
+        runs in vec(vec(0u64..50, 1..30), 1..12),
+    ) {
+        // Arbitrary run partitions over a small value domain (long tied
+        // runs): the bottom-up run merge must reproduce `sort_unstable`'s
+        // output exactly, ties included.
+        let mut data = Vec::new();
+        let mut starts = Vec::new();
+        for mut r in runs {
+            r.sort_unstable();
+            starts.push(data.len());
+            data.extend(r);
+        }
+        let mut merged = data.clone();
+        let mut scratch = Vec::new();
+        mrl::framework::merge_sorted_runs(&mut merged, &starts, &mut scratch);
+        let mut sorted = data;
+        sorted.sort_unstable();
+        prop_assert_eq!(merged, sorted);
+    }
+
+    #[test]
+    fn run_tracked_sealing_is_chunking_invariant_on_adversarial_inputs(
+        pattern in 0usize..3,
+        n in 1usize..900,
+        chunk_sizes in vec(1usize..64, 1..24),
+        tie_domain in 1u64..6,
+    ) {
+        // Descending, sawtooth and tie-heavy streams drive the run tracker
+        // through its whole regime (single run, few runs, saturated →
+        // deferred seal). At rate 1 no randomness is consumed, so chunked
+        // ingestion must stay bitwise identical to scalar insertion no
+        // matter where the seals and collapses land.
+        let data: Vec<u64> = (0..n)
+            .map(|i| match pattern {
+                0 => (n - i) as u64,
+                1 => {
+                    let s = i % 16;
+                    if s < 8 { s as u64 } else { (16 - s) as u64 }
+                }
+                _ => (i as u64).wrapping_mul(2654435761) % tie_domain,
+            })
+            .collect();
+        let mut scalar = Engine::new(
+            EngineConfig::new(4, 16),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            29,
+        );
+        for &v in &data {
+            scalar.insert(v);
+        }
+        let mut batched = Engine::new(
+            EngineConfig::new(4, 16),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            29,
+        );
+        let mut at = 0usize;
+        for &c in chunk_sizes.iter().cycle() {
+            if at >= data.len() {
+                break;
+            }
+            let end = (at + c).min(data.len());
+            batched.insert_batch(&data[at..end]);
+            at = end;
+        }
+        let phis = [0.0, 0.25, 0.5, 0.75, 1.0];
+        prop_assert_eq!(batched.query_many(&phis), scalar.query_many(&phis));
+        prop_assert_eq!(batched.stats(), scalar.stats());
+        prop_assert_eq!(batched.n(), scalar.n());
+    }
+
+    #[test]
+    fn sharded_pipeline_accounts_mass_and_stays_within_epsilon(
+        n in 1u64..20_000,
+        shards in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let data: Vec<u64> = (0..n).map(|i| i.wrapping_mul(2654435761) % n.max(1)).collect();
+        let config = fast_unknown_n_config();
+        let mut sharded =
+            mrl::parallel::ShardedSketch::<u64>::from_config(config.clone(), shards, seed)
+                .with_batch_size(512);
+        sharded.insert_batch(&data);
+        let outcome = sharded.finish();
+        // Exact element accounting survives the round-robin partition.
+        prop_assert_eq!(outcome.total_n(), n);
+        prop_assert_eq!(outcome.workers(), shards);
+        // Shipped mass matches n up to one incomplete sampling block per
+        // shard (the partial buffer's tail rounding).
+        let slack = shards as u64 * 4096;
+        let shipped = outcome.coordinator().shipped_mass();
+        prop_assert!(
+            shipped.abs_diff(n) <= slack,
+            "shipped {} vs n {}", shipped, n
+        );
+        // Queries carry the per-shard epsilon guarantee through the merge;
+        // allow the coordinator's own additive error on top.
+        let mut sorted = data;
+        sorted.sort_unstable();
+        for phi in [0.1f64, 0.5, 0.9] {
+            let q = outcome.query(phi).unwrap();
+            let rank = sorted.partition_point(|v| *v <= q) as f64;
+            let err = (rank - phi * n as f64).abs() / n as f64;
+            prop_assert!(
+                err <= 2.0 * config.epsilon + 2.0 / n as f64,
+                "phi={}: rank error {}", phi, err
+            );
+        }
     }
 
     #[test]
