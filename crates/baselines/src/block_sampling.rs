@@ -1,4 +1,4 @@
-//! [CMN98]-style block-level sampling.
+//! \[CMN98\]-style block-level sampling.
 //!
 //! Chaudhuri, Motwani and Narasayya estimate quantiles from a sample of
 //! whole **disk blocks** rather than individual tuples: one random block
@@ -16,7 +16,7 @@
 
 use mrl_sampling::{rng_from_seed, Reservoir, SketchRng};
 
-/// Streaming block-level sampler and quantile estimator ([CMN98]).
+/// Streaming block-level sampler and quantile estimator (\[CMN98\]).
 #[derive(Debug)]
 pub struct BlockSampling {
     block_size: usize,

@@ -1,4 +1,4 @@
-//! [GMP97]-style incremental equi-depth histogram.
+//! \[GMP97\]-style incremental equi-depth histogram.
 //!
 //! Gibbons, Matias and Poosala maintain `B` buckets over a growing
 //! relation with two ingredients:
@@ -31,7 +31,7 @@ struct Bucket {
     count: u64,
 }
 
-/// Incrementally maintained approximate equi-depth histogram ([GMP97]).
+/// Incrementally maintained approximate equi-depth histogram (\[GMP97\]).
 #[derive(Debug)]
 pub struct GmpHistogram {
     buckets: Vec<Bucket>,

@@ -3,14 +3,14 @@
 //! The paper positions itself against two contemporary lines of work,
 //! both implemented here so the comparison experiments can run:
 //!
-//! * **[GMP97]** Gibbons, Matias, Poosala, *Fast Incremental Maintenance
+//! * **\[GMP97\]** Gibbons, Matias, Poosala, *Fast Incremental Maintenance
 //!   of Approximate Histograms*: an equi-depth histogram maintained by
 //!   split/merge of bucket boundaries backed by a reservoir sample. MRL99:
 //!   "The algorithm dynamically adjusts a set of bucket boundaries on the
 //!   fly, possibly requiring more than one pass over the data set" — and
 //!   satisfies a *different error metric* (per-bucket count balance, not
 //!   rank error). [`GmpHistogram`].
-//! * **[CMN98]** Chaudhuri, Motwani, Narasayya, block-level sampling:
+//! * **\[CMN98\]** Chaudhuri, Motwani, Narasayya, block-level sampling:
 //!   sample whole disk blocks instead of individual tuples. Cheap in IOs,
 //!   but the effective sample is *clustered* — when on-disk order
 //!   correlates with value order the error blows up, which is why their

@@ -1,0 +1,86 @@
+//! Observability overhead: the 1M-element rate-1 batched engine ingest
+//! (the `engine_rate1_batched` configuration from the throughput bench,
+//! the worst case for instrumentation since every element is sealed and
+//! collapsed) run A/B with the recorder disabled, attached to a no-op
+//! recorder, and attached to the lock-free in-memory recorder. The
+//! acceptance bar is disabled-vs-baseline overhead within noise and
+//! in-memory overhead within a few percent (BENCH_obs.json).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mrl_datagen::{ValueDistribution, WorkloadStream};
+use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, FixedRate};
+use mrl_obs::{InMemoryRecorder, MetricsHandle};
+
+const N: u64 = 1_000_000;
+
+fn stream() -> Vec<u64> {
+    WorkloadStream::new(ValueDistribution::Uniform { range: 1 << 40 }, 7)
+        .take(N as usize)
+        .collect()
+}
+
+fn engine_with(metrics: MetricsHandle) -> Engine<u64, AdaptiveLowestLevel, FixedRate> {
+    let mut engine = Engine::new(
+        EngineConfig::new(5, 256),
+        AdaptiveLowestLevel,
+        FixedRate::new(1),
+        1,
+    );
+    engine.set_metrics(metrics);
+    engine
+}
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let data = stream();
+
+    let mut group = c.benchmark_group("obs_overhead_1m");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+
+    let run = |e: &mut Engine<u64, AdaptiveLowestLevel, FixedRate>, data: &[u64]| {
+        for chunk in data.chunks(1024) {
+            e.insert_batch(chunk);
+        }
+    };
+
+    group.bench_function("engine_rate1_batched_disabled", |b| {
+        b.iter_batched(
+            || engine_with(MetricsHandle::disabled()),
+            |mut e| {
+                run(&mut e, &data);
+                e
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("engine_rate1_batched_noop_recorder", |b| {
+        b.iter_batched(
+            || engine_with(MetricsHandle::noop()),
+            |mut e| {
+                run(&mut e, &data);
+                e
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("engine_rate1_batched_in_memory_recorder", |b| {
+        b.iter_batched(
+            || engine_with(MetricsHandle::new(Arc::new(InMemoryRecorder::new()))),
+            |mut e| {
+                run(&mut e, &data);
+                e
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

@@ -1,35 +1,63 @@
 //! Comparison counting: the paper's §2 frames selection in *number of
 //! comparisons* ([BFP+73]'s 5.43N, Pohl's lower bounds, Paterson's
 //! survey). [`Counting`] wraps an element type and counts every `Ord`
-//! comparison through a thread-local counter, letting experiments report
-//! comparisons-per-element for the streaming sketch against sort-based
-//! selection.
+//! comparison, letting experiments report comparisons-per-element for the
+//! streaming sketch against sort-based selection.
+//!
+//! The counts flow through the workspace observability layer rather than
+//! a bespoke cell: each thread owns an [`InMemoryRecorder`] and the
+//! wrapper publishes to it via a [`MetricsHandle`], so the experiment
+//! binaries read comparisons from the same `Recorder` abstraction the
+//! engine and pipeline publish their metrics to. [`reset_comparisons`] /
+//! [`comparisons`] keep the original API, and [`comparison_recorder`]
+//! exposes the underlying recorder for richer reporting (snapshots,
+//! merging into an experiment-wide export).
 
-use std::cell::Cell;
 use std::cmp::Ordering;
+use std::sync::Arc;
+
+use mrl_obs::{InMemoryRecorder, Key, MetricsHandle};
+
+/// Counter key the wrapper publishes under.
+pub const COMPARISONS: Key = Key::new("bench.comparisons");
 
 thread_local! {
-    static COMPARISONS: Cell<u64> = const { Cell::new(0) };
+    static SINK: (Arc<InMemoryRecorder>, MetricsHandle) = {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let handle = MetricsHandle::new(recorder.clone());
+        (recorder, handle)
+    };
 }
 
 /// Reset this thread's comparison counter.
 pub fn reset_comparisons() {
-    COMPARISONS.with(|c| c.set(0));
+    SINK.with(|(recorder, _)| recorder.reset());
 }
 
 /// Comparisons performed on this thread since the last reset.
 pub fn comparisons() -> u64 {
-    COMPARISONS.with(Cell::get)
+    SINK.with(|(recorder, _)| recorder.counter_value(COMPARISONS))
 }
 
-/// An element wrapper whose `Ord` increments the thread-local comparison
-/// counter.
+/// This thread's comparison recorder — the full `Recorder` view of the
+/// same counter (`bench.comparisons`), for snapshot/export-style reports.
+pub fn comparison_recorder() -> Arc<InMemoryRecorder> {
+    SINK.with(|(recorder, _)| recorder.clone())
+}
+
+#[inline]
+fn bump() {
+    SINK.with(|(_, handle)| handle.counter_add(COMPARISONS, 1));
+}
+
+/// An element wrapper whose `Ord` publishes every comparison to this
+/// thread's recorder.
 #[derive(Clone, Copy, Debug)]
 pub struct Counting<T>(pub T);
 
 impl<T: PartialEq> PartialEq for Counting<T> {
     fn eq(&self, other: &Self) -> bool {
-        COMPARISONS.with(|c| c.set(c.get() + 1));
+        bump();
         self.0 == other.0
     }
 }
@@ -44,7 +72,7 @@ impl<T: Ord> PartialOrd for Counting<T> {
 
 impl<T: Ord> Ord for Counting<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        COMPARISONS.with(|c| c.set(c.get() + 1));
+        bump();
         self.0.cmp(&other.0)
     }
 }
@@ -74,5 +102,20 @@ mod tests {
         assert!(comparisons() >= 1);
         reset_comparisons();
         assert_eq!(comparisons(), 0);
+    }
+
+    #[test]
+    fn counts_are_visible_through_the_recorder() {
+        reset_comparisons();
+        let mut v: Vec<Counting<u32>> = (0..64u32).map(|i| Counting((i * 37) % 64)).collect();
+        v.sort();
+        let recorder = comparison_recorder();
+        assert_eq!(recorder.counter_value(COMPARISONS), comparisons());
+        let snapshot = recorder.snapshot();
+        assert_eq!(
+            snapshot.counters.get("bench.comparisons").copied(),
+            Some(comparisons())
+        );
+        assert_eq!(snapshot.dropped, 0);
     }
 }

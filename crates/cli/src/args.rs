@@ -3,6 +3,15 @@
 
 use std::fmt;
 
+/// Rendering for the `--stats` telemetry report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable aligned text.
+    Text,
+    /// One JSON object per report line (machine-readable).
+    Json,
+}
+
 /// Parsed command-line options.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Args {
@@ -21,6 +30,12 @@ pub struct Args {
     pub shards: usize,
     /// Parse input as floating-point numbers instead of integers.
     pub float: bool,
+    /// Emit a telemetry report (metrics snapshot + live ε-audit) to the
+    /// stats stream at end-of-run, in the given format.
+    pub stats: Option<StatsFormat>,
+    /// Also emit interim telemetry every `stats_interval` parsed values
+    /// (0 = final report only). Requires `--stats`.
+    pub stats_interval: u64,
     /// Print the help text and exit.
     pub help: bool,
 }
@@ -35,6 +50,8 @@ impl Default for Args {
             report_every: 0,
             shards: 1,
             float: false,
+            stats: None,
+            stats_interval: 0,
             help: false,
         }
     }
@@ -67,6 +84,11 @@ OPTIONS:
     --every <u64>     also report every N input lines         [default: off]
     --shards <usize>  parallel ingestion worker threads       [default: 1]
     --float           parse input as floating-point numbers
+    --stats[=FORMAT]  emit a telemetry report (metrics + live eps-audit)
+                      to stderr; FORMAT is text (default) or json
+    --stats-interval <u64>
+                      also emit interim telemetry every N parsed values
+                      (requires --stats)                    [default: off]
     --help            show this text
 
 Input lines that do not parse are counted and skipped. Values are read as
@@ -134,7 +156,21 @@ impl Args {
                         .map_err(|e| ParseError(format!("--shards: {e}")))?;
                 }
                 "--float" => args.float = true,
+                "--stats" => args.stats = Some(StatsFormat::Text),
+                "--stats=text" => args.stats = Some(StatsFormat::Text),
+                "--stats=json" => args.stats = Some(StatsFormat::Json),
+                "--stats-interval" => {
+                    args.stats_interval = value_for("--stats-interval")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--stats-interval: {e}")))?;
+                }
                 "--help" | "-h" => args.help = true,
+                other if other.starts_with("--stats=") => {
+                    return Err(ParseError(format!(
+                        "--stats format must be text or json, got '{}'",
+                        &other["--stats=".len()..]
+                    )));
+                }
                 other => return Err(ParseError(format!("unknown flag: {other}"))),
             }
         }
@@ -152,6 +188,11 @@ impl Args {
                 "--shards > 1 is incompatible with --every (interim reports \
                  need a single in-process sketch)"
                     .into(),
+            ));
+        }
+        if args.stats_interval > 0 && args.stats.is_none() {
+            return Err(ParseError(
+                "--stats-interval requires --stats (nothing to emit otherwise)".into(),
             ));
         }
         Ok(args)
@@ -228,6 +269,32 @@ mod tests {
     fn float_flag() {
         assert!(Args::parse(["--float"]).unwrap().float);
         assert!(!Args::parse(Vec::<String>::new()).unwrap().float);
+    }
+
+    #[test]
+    fn stats_flag_forms() {
+        assert_eq!(Args::parse(Vec::<String>::new()).unwrap().stats, None);
+        assert_eq!(
+            Args::parse(["--stats"]).unwrap().stats,
+            Some(StatsFormat::Text)
+        );
+        assert_eq!(
+            Args::parse(["--stats=text"]).unwrap().stats,
+            Some(StatsFormat::Text)
+        );
+        assert_eq!(
+            Args::parse(["--stats=json"]).unwrap().stats,
+            Some(StatsFormat::Json)
+        );
+        assert!(Args::parse(["--stats=yaml"]).is_err());
+    }
+
+    #[test]
+    fn stats_interval_requires_stats() {
+        let a = Args::parse(["--stats=json", "--stats-interval", "5000"]).unwrap();
+        assert_eq!(a.stats_interval, 5000);
+        assert!(Args::parse(["--stats-interval", "5000"]).is_err());
+        assert!(Args::parse(["--stats", "--stats-interval", "x"]).is_err());
     }
 
     #[test]

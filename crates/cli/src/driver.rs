@@ -4,11 +4,14 @@
 //! inputs.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
-use mrl_core::{OptimizerOptions, OrderedF64, UnknownN};
-use mrl_parallel::ShardedSketch;
+use mrl_core::{EpsilonAudit, OptimizerOptions, OrderedF64, UnknownN};
+use mrl_obs::{InMemoryRecorder, MetricsHandle, MetricsSnapshot};
+use mrl_parallel::{PipelineTelemetry, ShardedSketch};
+use serde::{Deserialize, Serialize};
 
-use crate::args::Args;
+use crate::args::{Args, StatsFormat};
 
 /// What a run saw and concluded.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,21 +51,134 @@ impl CliValue for OrderedF64 {
     }
 }
 
-/// Run the tool: read numbers line by line from `input`, write reports to
-/// `output`. Separated from `main` for testing.
-pub fn run<R: BufRead, W: Write>(args: &Args, input: R, output: W) -> std::io::Result<Summary> {
-    if args.float {
-        run_typed::<OrderedF64, R, W>(args, input, output)
-    } else {
-        run_typed::<i64, R, W>(args, input, output)
+/// One telemetry report as emitted by `--stats` (the JSON form is one of
+/// these per line). `audit` is present in the single-sketch modes,
+/// `pipeline` in the sharded mode; interim reports carry whatever is live
+/// at that point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// `true` for cadence reports, `false` for the end-of-run report.
+    pub interim: bool,
+    /// Parsed values consumed when the report was taken.
+    pub n: u64,
+    /// Live ε-audit (single-sketch modes only).
+    pub audit: Option<EpsilonAudit>,
+    /// Merged pipeline telemetry (sharded mode, final report only).
+    pub pipeline: Option<PipelineTelemetry>,
+    /// The recorder's counter/gauge/histogram snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Telemetry plumbing for one run: owns the recorder (when `--stats` is
+/// on) and the stream reports are written to.
+struct StatsSink<S: Write> {
+    format: Option<StatsFormat>,
+    recorder: Option<Arc<InMemoryRecorder>>,
+    out: S,
+}
+
+impl<S: Write> StatsSink<S> {
+    fn new(args: &Args, out: S) -> Self {
+        Self {
+            format: args.stats,
+            recorder: args.stats.map(|_| Arc::new(InMemoryRecorder::new())),
+            out,
+        }
+    }
+
+    /// The handle instrumented code should publish through: a real one
+    /// when `--stats` is on, otherwise the zero-overhead disabled handle.
+    fn handle(&self) -> MetricsHandle {
+        match &self.recorder {
+            Some(r) => MetricsHandle::new(r.clone()),
+            None => MetricsHandle::disabled(),
+        }
+    }
+
+    fn emit(
+        &mut self,
+        n: u64,
+        audit: Option<EpsilonAudit>,
+        pipeline: Option<PipelineTelemetry>,
+        interim: bool,
+    ) -> std::io::Result<()> {
+        let Some(format) = self.format else {
+            return Ok(());
+        };
+        let recorder = self.recorder.as_ref().expect("format implies recorder");
+        let report = StatsReport {
+            interim,
+            n,
+            audit,
+            pipeline,
+            metrics: recorder.snapshot(),
+        };
+        match format {
+            StatsFormat::Json => {
+                let line = serde_json::to_string(&report)
+                    .map_err(|e| std::io::Error::other(format!("stats serialization: {e}")))?;
+                writeln!(self.out, "{line}")
+            }
+            StatsFormat::Text => {
+                let tag = if interim { " (interim)" } else { "" };
+                writeln!(self.out, "# stats{tag} n={n}")?;
+                if let Some(a) = &report.audit {
+                    writeln!(
+                        self.out,
+                        "  audit.headroom     {:.4}  (tree_bound {} / allowed {:.1}, alpha {})",
+                        a.headroom, a.tree_bound, a.allowed_error, a.alpha
+                    )?;
+                    writeln!(self.out, "  audit.hoeffding_x  {:.1}", a.hoeffding_x)?;
+                    writeln!(
+                        self.out,
+                        "  audit.rate         {} (sampling_started: {})",
+                        a.current_rate, a.sampling_started
+                    )?;
+                }
+                if let Some(p) = &report.pipeline {
+                    writeln!(
+                        self.out,
+                        "  pipeline           {} shards, merged elements {}, collapses {}",
+                        p.per_shard.len(),
+                        p.merged.elements,
+                        p.merged.collapses
+                    )?;
+                }
+                self.out.write_all(report.metrics.render_text().as_bytes())
+            }
+        }
     }
 }
 
-fn run_typed<T: CliValue, R: BufRead, W: Write>(
+/// Run the tool: read numbers line by line from `input`, write reports to
+/// `output`. Separated from `main` for testing. Telemetry (if requested
+/// via `--stats`) is discarded; use [`run_with_stats`] to capture it.
+pub fn run<R: BufRead, W: Write>(args: &Args, input: R, output: W) -> std::io::Result<Summary> {
+    run_with_stats(args, input, output, std::io::sink())
+}
+
+/// As [`run`], with an explicit stream for `--stats` telemetry reports
+/// (`main` passes stderr so stdout stays pure quantile output).
+pub fn run_with_stats<R: BufRead, W: Write, S: Write>(
+    args: &Args,
+    input: R,
+    output: W,
+    stats: S,
+) -> std::io::Result<Summary> {
+    if args.float {
+        run_typed::<OrderedF64, R, W, S>(args, input, output, stats)
+    } else {
+        run_typed::<i64, R, W, S>(args, input, output, stats)
+    }
+}
+
+fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
     args: &Args,
     input: R,
     mut output: W,
+    stats: S,
 ) -> std::io::Result<Summary> {
+    let mut stats = StatsSink::new(args, stats);
     let opts = if cfg!(debug_assertions) {
         OptimizerOptions::fast()
     } else {
@@ -74,6 +190,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
         // report cadence lands exactly on every `report_every`-th value.
         let mut sketch =
             UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
+        sketch.set_metrics(stats.handle());
         let mut skipped = 0u64;
         for line in input.lines() {
             let line = line?;
@@ -93,6 +210,9 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
                             true,
                         )?;
                     }
+                    if args.stats_interval > 0 && sketch.n().is_multiple_of(args.stats_interval) {
+                        stats.emit(sketch.n(), Some(sketch.audit()), None, true)?;
+                    }
                 }
                 None => skipped += 1,
             }
@@ -105,6 +225,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
             false,
         )?;
         report_skipped(skipped, &mut output)?;
+        stats.emit(sketch.n(), Some(sketch.publish_audit()), None, false)?;
         Ok(Summary {
             n: sketch.n(),
             skipped,
@@ -115,9 +236,27 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
         // Sharded bulk mode: chunks are dealt round-robin to a worker pool
         // over bounded channels, and the shards' final buffers merge at a
         // §6 coordinator.
-        let mut sketch =
-            ShardedSketch::<T>::new(args.shards, args.epsilon, args.delta, opts, args.seed);
-        let skipped = ingest_lines(input, |chunk| sketch.insert_batch(chunk))?;
+        let mut sketch = ShardedSketch::<T>::new_with_metrics(
+            args.shards,
+            args.epsilon,
+            args.delta,
+            opts,
+            args.seed,
+            stats.handle(),
+        );
+        let mut dispatched = 0u64;
+        let mut next_emit = interval_start(args.stats_interval);
+        let skipped = ingest_lines(input, |chunk: &[T]| {
+            sketch.insert_batch(chunk);
+            dispatched += chunk.len() as u64;
+            if dispatched >= next_emit {
+                next_emit = next_threshold(dispatched, args.stats_interval);
+                // Per-shard audits only exist once workers finish, so the
+                // interim report is the live metrics snapshot alone.
+                stats.emit(dispatched, None, None, true)?;
+            }
+            Ok(())
+        })?;
         let memory_elements = sketch.memory_bound_elements();
         let outcome = sketch.finish();
         let quantiles = report(
@@ -128,6 +267,12 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
             false,
         )?;
         report_skipped(skipped, &mut output)?;
+        stats.emit(
+            outcome.total_n(),
+            None,
+            Some(outcome.telemetry().clone()),
+            false,
+        )?;
         Ok(Summary {
             n: outcome.total_n(),
             skipped,
@@ -139,7 +284,16 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
         // fast path.
         let mut sketch =
             UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
-        let skipped = ingest_lines(input, |chunk| sketch.insert_batch(chunk))?;
+        sketch.set_metrics(stats.handle());
+        let mut next_emit = interval_start(args.stats_interval);
+        let skipped = ingest_lines(input, |chunk: &[T]| {
+            sketch.insert_batch(chunk);
+            if sketch.n() >= next_emit {
+                next_emit = next_threshold(sketch.n(), args.stats_interval);
+                stats.emit(sketch.n(), Some(sketch.audit()), None, true)?;
+            }
+            Ok(())
+        })?;
         let quantiles = report(
             sketch.query_many(&args.phis),
             sketch.n(),
@@ -148,6 +302,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
             false,
         )?;
         report_skipped(skipped, &mut output)?;
+        stats.emit(sketch.n(), Some(sketch.publish_audit()), None, false)?;
         Ok(Summary {
             n: sketch.n(),
             skipped,
@@ -157,11 +312,28 @@ fn run_typed<T: CliValue, R: BufRead, W: Write>(
     }
 }
 
+/// First ingest count at which an interim stats report is due
+/// (`u64::MAX` disables the cadence entirely).
+fn interval_start(interval: u64) -> u64 {
+    if interval > 0 {
+        interval
+    } else {
+        u64::MAX
+    }
+}
+
+/// Next report threshold after one fired at ingest count `n` (chunked
+/// ingestion can jump several multiples of `interval` at once; exactly
+/// one report is emitted per crossing).
+fn next_threshold(n: u64, interval: u64) -> u64 {
+    (n / interval + 1).saturating_mul(interval)
+}
+
 /// Parse lines into values, feeding `sink` with chunks of up to 1024;
 /// returns how many lines were skipped as unparseable.
 fn ingest_lines<T: CliValue, R: BufRead>(
     input: R,
-    mut sink: impl FnMut(&[T]),
+    mut sink: impl FnMut(&[T]) -> std::io::Result<()>,
 ) -> std::io::Result<u64> {
     const CHUNK: usize = 1024;
     let mut skipped = 0u64;
@@ -176,7 +348,7 @@ fn ingest_lines<T: CliValue, R: BufRead>(
             Some(v) => {
                 buf.push(v);
                 if buf.len() == CHUNK {
-                    sink(&buf);
+                    sink(&buf)?;
                     buf.clear();
                 }
             }
@@ -184,7 +356,7 @@ fn ingest_lines<T: CliValue, R: BufRead>(
         }
     }
     if !buf.is_empty() {
-        sink(&buf);
+        sink(&buf)?;
     }
     Ok(skipped)
 }
@@ -338,6 +510,119 @@ mod tests {
         assert_eq!(summary.n, 3);
         assert_eq!(summary.skipped, 2);
         assert!(out.contains("# skipped 2"));
+    }
+
+    fn run_with_stats_on(input: &str, args: &Args) -> (Summary, String, String) {
+        let mut out = Vec::new();
+        let mut stats = Vec::new();
+        let summary =
+            run_with_stats(args, input.as_bytes(), &mut out, &mut stats).expect("io on buffers");
+        (
+            summary,
+            String::from_utf8(out).expect("utf8 output"),
+            String::from_utf8(stats).expect("utf8 stats"),
+        )
+    }
+
+    #[test]
+    fn stats_json_reports_audit_headroom_and_metrics() {
+        let mut args = args_with_phis(&[0.5]);
+        args.stats = Some(StatsFormat::Json);
+        let input: String = (0..20_000u64)
+            .map(|i| format!("{}\n", (i * 2654435761) % 20_000))
+            .collect();
+        let (summary, _, stats) = run_with_stats_on(&input, &args);
+        assert_eq!(summary.n, 20_000);
+        let lines: Vec<&str> = stats.lines().collect();
+        assert_eq!(lines.len(), 1, "final report only: {stats}");
+        let report: StatsReport = serde_json::from_str(lines[0]).expect("valid JSON stats line");
+        assert!(!report.interim);
+        assert_eq!(report.n, 20_000);
+        let audit = report
+            .audit
+            .expect("single-sketch mode publishes the audit");
+        assert_eq!(audit.n, 20_000);
+        assert!(audit.headroom >= 0.0, "headroom gauge: {}", audit.headroom);
+        assert!(report.pipeline.is_none());
+        assert!(report.metrics.counters.contains_key("engine.collapses"));
+        assert_eq!(
+            report.metrics.gauges.get("audit.headroom").copied(),
+            Some(audit.headroom),
+            "publish_audit must mirror the audit into the recorder"
+        );
+    }
+
+    #[test]
+    fn stats_interval_emits_interim_reports_in_bulk_mode() {
+        let mut args = args_with_phis(&[0.5]);
+        args.stats = Some(StatsFormat::Json);
+        args.stats_interval = 5_000;
+        let input: String = (0..12_000u64).map(|i| format!("{i}\n")).collect();
+        let (_, _, stats) = run_with_stats_on(&input, &args);
+        let reports: Vec<StatsReport> = stats
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSONL"))
+            .collect();
+        // Crossings at 5k and 10k (chunk granularity) plus the final report.
+        assert_eq!(reports.len(), 3, "{stats}");
+        assert!(reports[0].interim && reports[1].interim && !reports[2].interim);
+        assert!(reports[0].n >= 5_000 && reports[0].n < 5_000 + 1024);
+        assert!(reports[1].n >= 10_000 && reports[1].n < 10_000 + 1024);
+        assert_eq!(reports[2].n, 12_000);
+        for r in &reports {
+            assert!(r.audit.is_some());
+        }
+    }
+
+    #[test]
+    fn stats_text_mode_renders_audit_and_snapshot() {
+        let mut args = args_with_phis(&[0.5]);
+        args.stats = Some(StatsFormat::Text);
+        let input: String = (0..5_000u64).map(|i| format!("{i}\n")).collect();
+        let (_, out, stats) = run_with_stats_on(&input, &args);
+        assert!(!out.contains("# stats"), "stats stay off stdout: {out}");
+        assert!(stats.contains("# stats n=5000"), "{stats}");
+        assert!(stats.contains("audit.headroom"), "{stats}");
+        assert!(stats.contains("engine.collapses"), "{stats}");
+    }
+
+    #[test]
+    fn stats_in_sharded_mode_carries_pipeline_telemetry() {
+        let mut args = args_with_phis(&[0.5]);
+        args.stats = Some(StatsFormat::Json);
+        args.shards = 2;
+        let input: String = (0..30_000u64).map(|i| format!("{i}\n")).collect();
+        let (summary, _, stats) = run_with_stats_on(&input, &args);
+        assert_eq!(summary.n, 30_000);
+        let report: StatsReport =
+            serde_json::from_str(stats.lines().last().unwrap()).expect("valid JSON");
+        let pipeline = report.pipeline.expect("sharded mode reports telemetry");
+        assert_eq!(pipeline.merged.elements, 30_000);
+        assert_eq!(pipeline.per_shard.len(), 2);
+        assert!(report
+            .metrics
+            .counters
+            .contains_key("pipeline.shard.batches[0]"));
+    }
+
+    #[test]
+    fn stats_in_every_mode_follows_its_own_cadence() {
+        let mut args = args_with_phis(&[0.5]);
+        args.stats = Some(StatsFormat::Json);
+        args.stats_interval = 40;
+        args.report_every = 25;
+        let input: String = (1..=100u64).map(|i| format!("{i}\n")).collect();
+        let (_, out, stats) = run_with_stats_on(&input, &args);
+        assert!(out.contains("@25 p0.5"), "{out}");
+        let reports: Vec<StatsReport> = stats
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSONL"))
+            .collect();
+        // Interim at exactly n = 40 and 80 (per-element mode), then final.
+        assert_eq!(reports.len(), 3, "{stats}");
+        assert_eq!(reports[0].n, 40);
+        assert_eq!(reports[1].n, 80);
+        assert_eq!(reports[2].n, 100);
     }
 
     #[test]

@@ -8,5 +8,5 @@
 pub mod args;
 pub mod driver;
 
-pub use args::{Args, ParseError};
-pub use driver::{run, Summary};
+pub use args::{Args, ParseError, StatsFormat};
+pub use driver::{run, run_with_stats, StatsReport, Summary};

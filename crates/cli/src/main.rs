@@ -9,7 +9,7 @@
 use std::io::{self, BufWriter};
 use std::process::ExitCode;
 
-use mrl_cli::{args::USAGE, run, Args};
+use mrl_cli::{args::USAGE, run_with_stats, Args};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -25,7 +25,10 @@ fn main() -> ExitCode {
     }
     let stdin = io::stdin().lock();
     let stdout = BufWriter::new(io::stdout().lock());
-    match run(&args, stdin, stdout) {
+    // Telemetry shares stderr with the run summary so stdout stays pure
+    // quantile output (pipe-friendly); `--stats json` lines start with
+    // `{` and are trivially separable from `#`-prefixed notes.
+    match run_with_stats(&args, stdin, stdout, io::stderr()) {
         Ok(summary) => {
             eprintln!(
                 "# n={} memory_bound={} elements (eps={}, delta={})",

@@ -87,3 +87,31 @@ fn empty_stdin_is_graceful() {
     assert_eq!(code, 0, "stderr: {stderr}");
     assert!(stdout.contains("# empty input"));
 }
+
+#[test]
+fn stats_json_goes_to_stderr_as_valid_json() {
+    let input: String = (0..20_000u64)
+        .map(|i| format!("{}\n", (i * 2654435761) % 20_000))
+        .collect();
+    let (stdout, stderr, code) = run_with_input(&["--eps", "0.05", "--stats=json"], &input);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("p0.5\t"), "stdout stays pure: {stdout}");
+    assert!(!stdout.contains('{'), "no JSON on stdout: {stdout}");
+    let json_lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(json_lines.len(), 1, "one final report: {stderr}");
+    let report: mrl_cli::StatsReport =
+        serde_json::from_str(json_lines[0]).expect("stderr stats line is valid JSON");
+    assert_eq!(report.n, 20_000);
+    let audit = report.audit.expect("audit present in single-sketch mode");
+    assert!(audit.headroom >= 0.0);
+    assert!(report.metrics.gauges.contains_key("audit.headroom"));
+}
+
+#[test]
+fn stats_text_renders_on_stderr() {
+    let input: String = (0..5_000u64).map(|i| format!("{i}\n")).collect();
+    let (_, stderr, code) = run_with_input(&["--eps", "0.05", "--stats"], &input);
+    assert_eq!(code, 0);
+    assert!(stderr.contains("# stats n=5000"), "stderr: {stderr}");
+    assert!(stderr.contains("audit.headroom"), "stderr: {stderr}");
+}

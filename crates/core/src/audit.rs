@@ -1,0 +1,154 @@
+//! Live ε-audit: how much of the promised `ε·N` rank-error budget the
+//! collapse tree has actually consumed at this instant.
+//!
+//! The unknown-`N` guarantee (§4.5) splits the budget: the deterministic
+//! tree contributes at most `α·ε·N` (Lemma 4/5: `(W + w_max)/2`), the
+//! non-uniform sampling at most `(1−α)·ε·N` with probability `1 − δ`
+//! (Lemma 2, via the Hoeffding quantity `X = N²/Σnᵢ²`). The audit exposes
+//! both terms as derived gauges so a live stream can be watched for budget
+//! pressure long before the certified worst case is reached.
+
+use mrl_obs::MetricsHandle;
+use serde::{Deserialize, Serialize};
+
+/// Metric keys published by [`EpsilonAudit::publish`].
+pub mod metrics {
+    use mrl_obs::Key;
+
+    /// Gauge: stream length `N` at audit time.
+    pub const N: Key = Key::new("audit.n");
+    /// Gauge: the deterministic tree bound `(W + w_max)/2`, in ranks.
+    pub const TREE_BOUND: Key = Key::new("audit.tree_bound");
+    /// Gauge: the allowed rank error `ε·N`.
+    pub const ALLOWED_ERROR: Key = Key::new("audit.allowed_error");
+    /// Gauge: budget consumption `tree_bound / (ε·N)` — the fraction of
+    /// the *total* error budget eaten by the deterministic tree. Values at
+    /// or below `α` mean the certified split is being respected.
+    pub const HEADROOM: Key = Key::new("audit.headroom");
+    /// Gauge: the Hoeffding quantity `X = N²/Σnᵢ²` of Lemma 2 (larger is
+    /// better; equals `N` before sampling starts).
+    pub const HOEFFDING_X: Key = Key::new("audit.hoeffding_x");
+}
+
+/// A point-in-time reading of the error-budget consumption.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonAudit {
+    /// Stream length `N` at audit time.
+    pub n: u64,
+    /// The target accuracy `ε`.
+    pub epsilon: f64,
+    /// The certified deterministic share `α` of the budget (0 when the
+    /// sketch carries no such split, e.g. a fixed-rate engine).
+    pub alpha: f64,
+    /// The deterministic tree bound `(W + w_max)/2`, in ranks.
+    pub tree_bound: u64,
+    /// The allowed rank error `ε·N`.
+    pub allowed_error: f64,
+    /// `tree_bound / (ε·N)`: fraction of the total budget consumed by the
+    /// tree. `0.0` while the stream is empty.
+    pub headroom: f64,
+    /// The Hoeffding quantity `X = N²/Σnᵢ²` (Lemma 2). Equals `N` before
+    /// sampling onset; larger means tighter sampling-error concentration.
+    pub hoeffding_x: f64,
+    /// Whether the non-uniform sampler has engaged (rate > 1).
+    pub sampling_started: bool,
+    /// Current sampling rate `r`.
+    pub current_rate: u64,
+}
+
+impl EpsilonAudit {
+    /// Derive an audit reading from the raw ingredients. `tree_bound` is
+    /// `TreeStats::tree_error_bound(w_max)`, `hoeffding_x` is
+    /// `TreeStats::hoeffding_x()`.
+    pub fn from_parts(
+        n: u64,
+        epsilon: f64,
+        alpha: f64,
+        tree_bound: u64,
+        hoeffding_x: f64,
+        sampling_started: bool,
+        current_rate: u64,
+    ) -> Self {
+        let allowed_error = epsilon * n as f64;
+        let headroom = if allowed_error > 0.0 {
+            tree_bound as f64 / allowed_error
+        } else {
+            0.0
+        };
+        Self {
+            n,
+            epsilon,
+            alpha,
+            tree_bound,
+            allowed_error,
+            headroom,
+            hoeffding_x,
+            sampling_started,
+            current_rate,
+        }
+    }
+
+    /// True while the deterministic tree stays within its certified share
+    /// `α` of the budget (trivially true on an empty stream).
+    pub fn within_deterministic_share(&self) -> bool {
+        self.n == 0 || self.headroom <= self.alpha + 1e-12
+    }
+
+    /// Publish the audit as gauges (see [`metrics`]). No-op on a disabled
+    /// handle.
+    pub fn publish(&self, sink: &MetricsHandle) {
+        sink.gauge_set(metrics::N, self.n as f64);
+        sink.gauge_set(metrics::TREE_BOUND, self.tree_bound as f64);
+        sink.gauge_set(metrics::ALLOWED_ERROR, self.allowed_error);
+        sink.gauge_set(metrics::HEADROOM, self.headroom);
+        sink.gauge_set(metrics::HOEFFDING_X, self.hoeffding_x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use mrl_obs::InMemoryRecorder;
+
+    use super::*;
+
+    #[test]
+    fn headroom_is_budget_fraction() {
+        let a = EpsilonAudit::from_parts(1_000_000, 0.01, 0.5, 2_500, 1_000_000.0, false, 1);
+        assert!((a.allowed_error - 10_000.0).abs() < 1e-9);
+        assert!((a.headroom - 0.25).abs() < 1e-12);
+        assert!(a.within_deterministic_share());
+
+        let over = EpsilonAudit::from_parts(1_000_000, 0.01, 0.5, 6_000, 1_000_000.0, false, 1);
+        assert!(!over.within_deterministic_share());
+    }
+
+    #[test]
+    fn empty_stream_has_zero_headroom() {
+        let a = EpsilonAudit::from_parts(0, 0.01, 0.5, 0, 0.0, false, 1);
+        assert_eq!(a.headroom, 0.0);
+        assert!(a.within_deterministic_share());
+    }
+
+    #[test]
+    fn publish_exports_all_gauges() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let handle = MetricsHandle::new(rec.clone());
+        let a = EpsilonAudit::from_parts(500, 0.1, 0.5, 10, 500.0, false, 1);
+        a.publish(&handle);
+        assert_eq!(rec.gauge_value(metrics::N), Some(500.0));
+        assert_eq!(rec.gauge_value(metrics::TREE_BOUND), Some(10.0));
+        assert_eq!(rec.gauge_value(metrics::ALLOWED_ERROR), Some(50.0));
+        assert_eq!(rec.gauge_value(metrics::HEADROOM), Some(0.2));
+        assert_eq!(rec.gauge_value(metrics::HOEFFDING_X), Some(500.0));
+    }
+
+    #[test]
+    fn audit_serializes_to_json() {
+        let a = EpsilonAudit::from_parts(500, 0.1, 0.5, 10, 500.0, true, 4);
+        let json = serde_json::to_string(&a).expect("serializable");
+        assert!(json.contains("\"headroom\""));
+        assert!(json.contains("\"hoeffding_x\""));
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod audit;
 mod dynamic;
 mod ext;
 mod extreme;
@@ -33,6 +34,7 @@ mod known_n;
 mod persist;
 mod unknown_n;
 
+pub use audit::EpsilonAudit;
 pub use dynamic::DynamicUnknownN;
 pub use ext::QuantileIteratorExt;
 pub use extreme::{ExtremeValue, Tail};

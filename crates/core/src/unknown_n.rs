@@ -2,6 +2,9 @@
 
 use mrl_analysis::optimizer::{optimize_unknown_n_with, OptimizerOptions, UnknownNConfig};
 use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, Mrl99Schedule, TreeStats};
+use mrl_obs::MetricsHandle;
+
+use crate::audit::EpsilonAudit;
 
 /// Single-pass ε-approximate quantiles of a stream of unknown length.
 ///
@@ -157,6 +160,42 @@ impl<T: Ord + Clone> UnknownN<T> {
         self.engine.tree_error_bound()
     }
 
+    /// Attach a metrics sink: the engine publishes its seal/collapse
+    /// counters through it (see [`mrl_framework::engine::metrics`]), and
+    /// [`UnknownN::publish_audit`] its ε-audit gauges.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.engine.set_metrics(metrics);
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        self.engine.metrics()
+    }
+
+    /// A point-in-time reading of the ε-budget consumption: the Lemma 4
+    /// tree bound against the allowed `ε·N`, plus the Hoeffding `X` term
+    /// governing the sampling error (see [`EpsilonAudit`]).
+    pub fn audit(&self) -> EpsilonAudit {
+        let stats = self.engine.stats();
+        EpsilonAudit::from_parts(
+            self.n(),
+            self.config.epsilon,
+            self.config.alpha,
+            self.engine.tree_error_bound(),
+            stats.hoeffding_x(),
+            self.sampling_started(),
+            self.current_rate(),
+        )
+    }
+
+    /// Compute the current [`EpsilonAudit`] and publish it through the
+    /// attached metrics handle (no-op when disabled). Returns the reading.
+    pub fn publish_audit(&self) -> EpsilonAudit {
+        let audit = self.audit();
+        audit.publish(self.engine.metrics());
+        audit
+    }
+
     /// Approximate selectivity of the predicates `x < v` / `x <= v`
     /// (§1.1's query-optimizer use case): `(frac_below, frac_at_most)`.
     /// `None` before the first insert.
@@ -199,11 +238,20 @@ impl<T: Ord + Clone> UnknownN<T> {
     /// plus the final buffers — full buffers collapsed down to at most one,
     /// plus at most one partial — ready for a parallel coordinator.
     pub fn into_shipment(self) -> (u64, Vec<mrl_framework::Buffer<T>>) {
+        let (n, _, buffers) = self.into_shipment_with_stats();
+        (n, buffers)
+    }
+
+    /// As [`UnknownN::into_shipment`], additionally returning the final
+    /// exact tree accounting so a coordinator can aggregate per-worker
+    /// telemetry (elements, leaves, collapses, `W`) alongside the buffers.
+    pub fn into_shipment_with_stats(self) -> (u64, TreeStats, Vec<mrl_framework::Buffer<T>>) {
         let n = self.n();
         let mut engine = self.into_engine();
         engine.finish();
         engine.collapse_all_full();
-        (n, engine.into_buffers())
+        let stats = engine.stats().clone();
+        (n, stats, engine.into_buffers())
     }
 
     /// Borrow the underlying engine (snapshot support).

@@ -3,7 +3,7 @@
 //! The paper's antecedents (§2) are exact selection algorithms: the
 //! Blum–Floyd–Pratt–Rivest–Tarjan median-of-medians algorithm ([BFP+73],
 //! ≤ 5.43·N comparisons), randomized quickselect, and the multi-pass
-//! selection of Munro and Paterson ([MP80], `Θ(N^{1/p})` memory for `p`
+//! selection of Munro and Paterson (\[MP80\], `Θ(N^{1/p})` memory for `p`
 //! passes). This crate implements them as evaluation ground truth and as
 //! baselines for the benchmark harness, plus the rank utilities the
 //! accuracy experiments use to score approximate answers.

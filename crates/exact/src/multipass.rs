@@ -1,4 +1,4 @@
-//! Multi-pass exact selection ([MP80]).
+//! Multi-pass exact selection (\[MP80\]).
 //!
 //! Munro and Paterson: `Θ(N^{1/p})` memory is necessary and sufficient to
 //! select exactly in `p` passes. The randomized realisation here

@@ -1,6 +1,6 @@
 //! Two-pass exact selection in sublinear memory (Munro–Paterson style).
 //!
-//! [MP80] shows `Θ(N^{1/p})` memory is necessary and sufficient for exact
+//! \[MP80\] shows `Θ(N^{1/p})` memory is necessary and sufficient for exact
 //! selection in `p` passes. This module implements the classic randomized
 //! two-pass scheme over re-iterable (e.g. disk-resident) data:
 //!

@@ -4,14 +4,15 @@
 //! [`Engine`] is the common machinery behind every algorithm in the paper:
 //!
 //! * unknown-`N` (§3): [`crate::AdaptiveLowestLevel`] + [`crate::Mrl99Schedule`],
-//! * known-`N` deterministic (MRL98/[MP80]/[ARS97]): any policy +
+//! * known-`N` deterministic (MRL98/\[MP80\]/\[ARS97\]): any policy +
 //!   [`crate::FixedRate`]`::new(1)`,
 //! * known-`N` sampled: any policy + [`crate::FixedRate`]`::new(r)`.
 //!
 //! `Output` is non-destructive and may be invoked at any prefix of the
 //! stream, which is what makes the algorithm suitable for online
-//! aggregation (§3.7, [Hel97]).
+//! aggregation (§3.7, \[Hel97\]).
 
+use mrl_obs::{Key, MetricsHandle};
 use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
 
 use crate::buffer::{Buffer, BufferMeta, BufferState};
@@ -24,6 +25,47 @@ use crate::runs::{run_merge_limit, RunTracker};
 use crate::schedule::RateSchedule;
 use crate::stats::TreeStats;
 use crate::tree::TreeRecorder;
+
+/// Metric keys the engine emits (all on buffer-seal or collapse
+/// granularity — once per `k` raw elements at most — so an attached
+/// recorder costs a few atomic ops per buffer and a disabled
+/// [`MetricsHandle`] costs one predicted branch per seal).
+pub mod metrics {
+    use mrl_obs::Key;
+
+    /// Counter: seals adopted as-is because the fill arrived sorted.
+    pub const SEAL_PRESORTED: Key = Key::new("engine.seal.presorted");
+    /// Counter: seals that bottom-up merged the tracked runs.
+    pub const SEAL_RUN_MERGE: Key = Key::new("engine.seal.run_merge");
+    /// Counter: seals parked raw (sort deferred to collapse/query time).
+    pub const SEAL_PARKED_RAW: Key = Key::new("engine.seal.parked_raw");
+    /// Histogram: nanoseconds per seal (`take_filler`).
+    pub const SEAL_NS: Key = Key::new("engine.seal.ns");
+    /// Counter, labelled by level: completed leaves per buffer level.
+    pub const LEAVES_BY_LEVEL: &str = "engine.leaves";
+    /// Counter: collapse operations (`C`).
+    pub const COLLAPSES: Key = Key::new("engine.collapses");
+    /// Histogram: nanoseconds per collapse.
+    pub const COLLAPSE_NS: Key = Key::new("engine.collapse.ns");
+    /// Counter: collapses through the all-raw equal-weight fast path.
+    pub const COLLAPSE_RAW_FAST_PATH: Key = Key::new("engine.collapse.raw_fast_path");
+    /// Gauge: the Lemma 4/5 weight sum `W` after the latest collapse.
+    pub const COLLAPSE_WEIGHT_SUM: Key = Key::new("engine.collapse.weight_sum");
+    /// Gauge, labelled by level: occupied (full/partial) buffers per level.
+    pub const OCCUPANCY_BY_LEVEL: &str = "engine.buffers.occupied";
+    /// Gauge: allocated buffer slots.
+    pub const BUFFERS_ALLOCATED: Key = Key::new("engine.buffers.allocated");
+    /// Counter: sampling-rate doublings.
+    pub const RATE_TRANSITIONS: Key = Key::new("engine.rate.transitions");
+    /// Gauge: the current sampling rate `r`.
+    pub const RATE_CURRENT: Key = Key::new("engine.rate.current");
+    /// Gauge: stream position `N` at sampling onset (set once).
+    pub const SAMPLING_ONSET_N: Key = Key::new("engine.sampling.onset_n");
+    /// Gauge: cumulative random draws consumed by the block sampler.
+    pub const SAMPLER_DRAWS: Key = Key::new("engine.sampler.draws");
+    /// Gauge: stream elements consumed (`N`), refreshed at each seal.
+    pub const ELEMENTS: Key = Key::new("engine.elements");
+}
 
 /// Sizing of an engine: `b` buffers of `k` elements each.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,7 +140,11 @@ pub struct Engine<T, P, R> {
     targets_scratch: Vec<u64>,
     select_scratch: Vec<T>,
     meta_scratch: Vec<BufferMeta>,
+    /// Occupancy-by-level counts reused across gauge publications so the
+    /// metrics path allocates nothing per sealed buffer.
+    occupancy_scratch: Vec<u64>,
     stats: TreeStats,
+    metrics: MetricsHandle,
     recorder: Option<TreeRecorder>,
     slot_nodes: Vec<Option<usize>>,
     sample_tap: Option<Vec<(T, u64)>>,
@@ -165,7 +211,9 @@ where
             targets_scratch: Vec::new(),
             select_scratch: Vec::new(),
             meta_scratch: Vec::new(),
+            occupancy_scratch: Vec::new(),
             stats: TreeStats::default(),
+            metrics: MetricsHandle::disabled(),
             recorder: None,
             slot_nodes: Vec::new(),
             sample_tap: None,
@@ -208,6 +256,18 @@ where
     /// Tree statistics (exact accounting of `W`, `C`, leaves, `Σnᵢ²`).
     pub fn stats(&self) -> &TreeStats {
         &self.stats
+    }
+
+    /// Attach a metrics sink (see [`metrics`] for the emitted keys). The
+    /// default handle is disabled and costs one predicted branch per
+    /// seal/collapse; may be attached or swapped at any point.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// The recorded collapse tree, if recording was enabled.
@@ -417,7 +477,7 @@ where
     /// Estimate the φ-quantile of everything inserted so far.
     ///
     /// Non-destructive: this is the paper's `Output` operation, which "does
-    /// not destroy or modify the state [and] can be invoked as many times as
+    /// not destroy or modify the state \[and\] can be invoked as many times as
     /// required" (§3.7). Returns `None` before any element has arrived.
     pub fn query(&self, phi: f64) -> Option<T> {
         self.query_many(&[phi]).map(|mut v| v.remove(0))
@@ -686,7 +746,12 @@ where
                 self.collapse_once();
             }
         }
-        self.fill_rate = self.rate_schedule.rate();
+        let rate = self.rate_schedule.rate();
+        if rate != self.fill_rate {
+            self.metrics.counter_add(metrics::RATE_TRANSITIONS, 1);
+        }
+        self.metrics.gauge_set(metrics::RATE_CURRENT, rate as f64);
+        self.fill_rate = rate;
         self.fill_level = self.rate_schedule.new_buffer_level();
         self.sampler.reset_with_rate(self.fill_rate);
         self.filling = true;
@@ -698,14 +763,23 @@ where
     /// the sort can be deferred to collapse time, where raw siblings are
     /// sorted together in one pass.
     fn take_filler(&mut self) -> (Vec<T>, bool) {
+        let timer = self.metrics.timer(metrics::SEAL_NS);
         let mut data = std::mem::take(&mut self.filler);
         let sorted = if self.filler_runs.is_saturated() {
+            self.metrics.counter_add(metrics::SEAL_PARKED_RAW, 1);
             false
         } else {
+            let seal_key = if self.filler_runs.is_single_run() {
+                metrics::SEAL_PRESORTED
+            } else {
+                metrics::SEAL_RUN_MERGE
+            };
             self.filler_runs
                 .sort_data(&mut data, &mut self.seal_scratch);
+            self.metrics.counter_add(seal_key, 1);
             true
         };
+        timer.stop();
         self.filler_runs.reset();
         (data, sorted)
     }
@@ -734,12 +808,49 @@ where
             self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
         }
         self.stats.record_leaf(self.fill_level);
+        self.metrics
+            .counter_add(Key::labeled(metrics::LEAVES_BY_LEVEL, self.fill_level), 1);
+        if self.metrics.is_enabled() {
+            self.publish_state_gauges();
+        }
         self.rate_schedule.observe_level(self.fill_level);
         self.rate_schedule.observe_leaves(self.stats.leaves);
-        if self.rate_schedule.sampling_started() {
-            self.stats.record_onset();
+        if self.rate_schedule.sampling_started() && self.stats.record_onset() {
+            self.metrics
+                .gauge_set(metrics::SAMPLING_ONSET_N, self.stats.elements as f64);
         }
         self.filling = false;
+    }
+
+    /// Refresh the point-in-time gauges (buffer occupancy by level,
+    /// allocation, stream position, sampler draws). Called once per sealed
+    /// buffer, and only when a recorder is attached.
+    fn publish_state_gauges(&mut self) {
+        let occupied = &mut self.occupancy_scratch;
+        occupied.clear();
+        for b in &self.buffers {
+            if b.state() != BufferState::Empty {
+                let level = b.level() as usize;
+                if occupied.len() <= level {
+                    occupied.resize(level + 1, 0);
+                }
+                occupied[level] += 1;
+            }
+        }
+        for (level, &count) in occupied.iter().enumerate() {
+            if count > 0 {
+                self.metrics.gauge_set(
+                    Key::labeled(metrics::OCCUPANCY_BY_LEVEL, level as u32),
+                    count as f64,
+                );
+            }
+        }
+        self.metrics
+            .gauge_set(metrics::BUFFERS_ALLOCATED, self.buffers.len() as f64);
+        self.metrics
+            .gauge_set(metrics::ELEMENTS, self.stats.elements as f64);
+        self.metrics
+            .gauge_set(metrics::SAMPLER_DRAWS, self.sampler.draws() as f64);
     }
 
     fn collapse_once(&mut self) {
@@ -765,6 +876,7 @@ where
     }
 
     fn perform_collapse(&mut self, slots: &[usize], output_level: u32) {
+        let collapse_timer = self.metrics.timer(metrics::COLLAPSE_NS);
         let w: u64 = slots.iter().map(|&i| self.buffers[i].weight()).sum();
         let high = if w.is_multiple_of(2) {
             let phase = self.collapse_high_phase;
@@ -797,6 +909,7 @@ where
                 concat.extend_from_slice(self.buffers[i].data());
             }
             concat.sort_unstable();
+            self.metrics.counter_add(metrics::COLLAPSE_RAW_FAST_PATH, 1);
             new_data.clear();
             new_data.extend(
                 self.targets_scratch
@@ -841,9 +954,16 @@ where
         // sorted — adopt it without a re-sort.
         self.buffers[slots[0]].populate_sorted(new_data, w, output_level, self.config.buffer_size);
         self.stats.record_collapse(w, output_level);
+        self.metrics.counter_add(metrics::COLLAPSES, 1);
+        self.metrics.gauge_set(
+            metrics::COLLAPSE_WEIGHT_SUM,
+            self.stats.collapse_weight_sum as f64,
+        );
+        collapse_timer.stop();
         self.rate_schedule.observe_level(output_level);
-        if self.rate_schedule.sampling_started() {
-            self.stats.record_onset();
+        if self.rate_schedule.sampling_started() && self.stats.record_onset() {
+            self.metrics
+                .gauge_set(metrics::SAMPLING_ONSET_N, self.stats.elements as f64);
         }
     }
 }

@@ -30,7 +30,7 @@
 
 mod buffer;
 pub mod cdf;
-mod engine;
+pub mod engine;
 mod merge;
 pub mod policy;
 mod runs;

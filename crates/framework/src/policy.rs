@@ -8,8 +8,8 @@
 //!   lowest occupied level, promoting a lone lowest buffer first. This is the
 //!   policy the paper's analysis (leaf counts `L_d`, `L_s`) assumes.
 //! * [`MunroPaterson`] — binary collapses of two equal-level buffers
-//!   (`β = 2` in §4.4), the classic [MP80] scheme.
-//! * [`AlsabtiRankaSingh`] — collapse everything at once ([ARS97]), a flat
+//!   (`β = 2` in §4.4), the classic \[MP80\] scheme.
+//! * [`AlsabtiRankaSingh`] — collapse everything at once (\[ARS97\]), a flat
 //!   tree that trades accuracy for minimal bookkeeping.
 //!
 //! Policies see only [`BufferMeta`], never data, so the `mrl-analysis` crate
@@ -98,7 +98,7 @@ impl CollapsePolicy for AdaptiveLowestLevel {
     }
 }
 
-/// Munro–Paterson [MP80]: binary collapses. Pick the lowest level holding at
+/// Munro–Paterson \[MP80\]: binary collapses. Pick the lowest level holding at
 /// least two buffers and collapse exactly two of them; if every level is a
 /// singleton, promote the lowest buffer to the next occupied level first.
 #[derive(Clone, Copy, Debug, Default)]
@@ -138,7 +138,7 @@ impl CollapsePolicy for MunroPaterson {
     }
 }
 
-/// Alsabti–Ranka–Singh [ARS97]: collapse **all** full buffers into one,
+/// Alsabti–Ranka–Singh \[ARS97\]: collapse **all** full buffers into one,
 /// regardless of level. Produces a flat, high-degree tree.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AlsabtiRankaSingh;

@@ -108,7 +108,7 @@ impl RateSchedule for Mrl99Schedule {
 /// A constant-rate schedule: rate `r` forever, new buffers at level 0.
 ///
 /// `FixedRate::new(1)` gives the deterministic known-`N` algorithms of
-/// MRL98/[MP80]/[ARS97]; `r > 1` gives the uniformly sampled known-`N`
+/// MRL98/\[MP80\]/\[ARS97\]; `r > 1` gives the uniformly sampled known-`N`
 /// variant (the sampling rate can be fixed up front precisely because `N` is
 /// known).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]

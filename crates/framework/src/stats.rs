@@ -39,18 +39,27 @@ pub struct TreeStats {
 
 impl TreeStats {
     /// Record that a block of `n` elements emitted one sample element.
+    ///
+    /// Accumulation saturates instead of wrapping: `n²` alone overflows
+    /// `u64` once the block size passes `2³²` (the doubling schedule gets
+    /// there after enough rate transitions on a very long stream), and a
+    /// wrapped `Σnᵢ²` would silently corrupt the Hoeffding `X` statistic.
+    /// Saturated accounting keeps `X` a conservative (under-) estimate.
     pub fn record_block(&mut self, n: u64) {
-        self.elements += n;
-        self.sum_block_sq += n * n;
+        self.record_blocks(n, 1);
     }
 
     /// Record `count` consecutive blocks of `n` elements, one sample element
     /// each. Exactly equivalent to `count` calls of [`TreeStats::record_block`];
     /// the batched ingestion path uses this to keep accounting off the
-    /// per-element hot loop.
+    /// per-element hot loop. Saturates rather than wraps at `u64::MAX`.
     pub fn record_blocks(&mut self, n: u64, count: u64) {
-        self.elements += n * count;
-        self.sum_block_sq += n * n * count;
+        self.elements = self.elements.saturating_add(n.saturating_mul(count));
+        let sq = (n as u128)
+            .saturating_mul(n as u128)
+            .saturating_mul(count as u128)
+            .min(u64::MAX as u128) as u64;
+        self.sum_block_sq = self.sum_block_sq.saturating_add(sq);
     }
 
     /// Record a completed `New` buffer at `level`.
@@ -67,11 +76,38 @@ impl TreeStats {
         self.max_level = self.max_level.max(level);
     }
 
-    /// Record the onset of sampling.
-    pub fn record_onset(&mut self) {
+    /// Record the onset of sampling. Returns `true` the first time (when
+    /// the onset was actually recorded), so callers can publish the event.
+    pub fn record_onset(&mut self) -> bool {
         if self.sampling_onset_n.is_none() {
             self.sampling_onset_n = Some(self.elements);
+            true
+        } else {
+            false
         }
+    }
+
+    /// Fold another tree's accounting into this one (per-shard telemetry
+    /// aggregation): additive quantities sum (saturating), `max_level`
+    /// takes the maximum, and the merged sampling onset is the earliest of
+    /// the two. The merged `X` is a conservative summary — Lemma 2 applies
+    /// per worker, not to the concatenation.
+    pub fn absorb(&mut self, other: &TreeStats) {
+        self.elements = self.elements.saturating_add(other.elements);
+        self.leaves = self.leaves.saturating_add(other.leaves);
+        for (&level, &count) in &other.leaves_by_level {
+            *self.leaves_by_level.entry(level).or_insert(0) += count;
+        }
+        self.collapses = self.collapses.saturating_add(other.collapses);
+        self.collapse_weight_sum = self
+            .collapse_weight_sum
+            .saturating_add(other.collapse_weight_sum);
+        self.sum_block_sq = self.sum_block_sq.saturating_add(other.sum_block_sq);
+        self.max_level = self.max_level.max(other.max_level);
+        self.sampling_onset_n = match (self.sampling_onset_n, other.sampling_onset_n) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// The Hoeffding quantity `X = (Σnᵢ)² / Σnᵢ²` of Lemma 2 for the sample
@@ -132,10 +168,83 @@ mod tests {
     fn onset_recorded_once() {
         let mut s = TreeStats::default();
         s.record_block(1);
-        s.record_onset();
+        assert!(s.record_onset());
         s.record_block(1);
-        s.record_onset();
+        assert!(!s.record_onset());
         assert_eq!(s.sampling_onset_n, Some(1));
+    }
+
+    #[test]
+    fn huge_blocks_saturate_instead_of_wrapping() {
+        // n = 2^33: n² = 2^66 overflows u64 on its own. The old
+        // `n * n * count` accumulation wrapped (2^66 mod 2^64 = 0 — the
+        // statistic silently stopped growing); saturation pins it at
+        // u64::MAX, which keeps X conservative.
+        let mut s = TreeStats::default();
+        let n = 1u64 << 33;
+        s.record_blocks(n, 4);
+        assert_eq!(s.elements, n * 4);
+        assert_eq!(s.sum_block_sq, u64::MAX);
+        // X stays finite and positive under saturation.
+        assert!(s.hoeffding_x() > 0.0);
+        assert!(s.hoeffding_x().is_finite());
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_agree_at_large_sizes() {
+        // Below the saturation point the two paths must agree exactly,
+        // including at block sizes where n²·count approaches u64::MAX.
+        let n = (1u64 << 31) + 12_345;
+        let count = 3u64;
+        let mut batched = TreeStats::default();
+        batched.record_blocks(n, count);
+        let mut scalar = TreeStats::default();
+        for _ in 0..count {
+            scalar.record_block(n);
+        }
+        assert_eq!(batched, scalar);
+        assert_eq!(batched.sum_block_sq, n * n * count);
+    }
+
+    #[test]
+    fn element_count_saturates_at_u64_max() {
+        let mut s = TreeStats::default();
+        s.record_blocks(u64::MAX, 2);
+        assert_eq!(s.elements, u64::MAX);
+        assert_eq!(s.sum_block_sq, u64::MAX);
+    }
+
+    #[test]
+    fn absorb_sums_additive_fields_and_minimizes_onset() {
+        let mut a = TreeStats::default();
+        a.record_blocks(2, 10);
+        a.record_leaf(1);
+        a.record_collapse(3, 2);
+        a.sampling_onset_n = Some(40);
+
+        let mut b = TreeStats::default();
+        b.record_blocks(4, 5);
+        b.record_leaf(1);
+        b.record_leaf(3);
+        b.record_collapse(5, 3);
+        b.sampling_onset_n = Some(25);
+
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        assert_eq!(merged.elements, a.elements + b.elements);
+        assert_eq!(merged.leaves, 3);
+        assert_eq!(merged.leaves_by_level.get(&1), Some(&2));
+        assert_eq!(merged.leaves_by_level.get(&3), Some(&1));
+        assert_eq!(merged.collapses, 2);
+        assert_eq!(merged.collapse_weight_sum, 8);
+        assert_eq!(merged.sum_block_sq, a.sum_block_sq + b.sum_block_sq);
+        assert_eq!(merged.max_level, 3);
+        assert_eq!(merged.sampling_onset_n, Some(25));
+
+        // Absorbing an empty accounting is the identity.
+        let mut id = b.clone();
+        id.absorb(&TreeStats::default());
+        assert_eq!(id, b);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 use std::io;
 use std::path::Path;
 
-use mrl_core::{OptimizerOptions, UnknownN};
-use mrl_parallel::ShardedSketch;
+use mrl_core::{EpsilonAudit, OptimizerOptions, UnknownN};
+use mrl_obs::MetricsHandle;
+use mrl_parallel::{PipelineTelemetry, ShardedSketch};
 
 use crate::column::ColumnScan;
 
@@ -41,16 +42,46 @@ pub fn column_quantiles<P: AsRef<Path>>(
     opts: OptimizerOptions,
     seed: u64,
 ) -> io::Result<ColumnQuantiles> {
+    column_quantiles_with_metrics(
+        path,
+        epsilon,
+        delta,
+        phis,
+        opts,
+        seed,
+        MetricsHandle::disabled(),
+    )
+    .map(|(q, _)| q)
+}
+
+/// As [`column_quantiles`], publishing engine metrics through `metrics`
+/// during the scan and the final ε-audit at its end. Also returns the
+/// audit reading directly.
+#[allow(clippy::too_many_arguments)]
+pub fn column_quantiles_with_metrics<P: AsRef<Path>>(
+    path: P,
+    epsilon: f64,
+    delta: f64,
+    phis: &[f64],
+    opts: OptimizerOptions,
+    seed: u64,
+    metrics: MetricsHandle,
+) -> io::Result<(ColumnQuantiles, EpsilonAudit)> {
     let mut scan = ColumnScan::open(path)?;
     let mut sketch = UnknownN::<u64>::with_options(epsilon, delta, opts).with_seed(seed);
+    sketch.set_metrics(metrics);
     let mut chunk = Vec::with_capacity(INGEST_CHUNK);
     while scan.read_chunk(&mut chunk, INGEST_CHUNK)? > 0 {
         sketch.insert_batch(&chunk);
     }
-    Ok(ColumnQuantiles {
-        n: sketch.n(),
-        quantiles: sketch.query_many(phis).unwrap_or_default(),
-    })
+    let audit = sketch.publish_audit();
+    Ok((
+        ColumnQuantiles {
+            n: sketch.n(),
+            quantiles: sketch.query_many(phis).unwrap_or_default(),
+        },
+        audit,
+    ))
 }
 
 /// As [`column_quantiles`], with decode and sketch maintenance overlapped:
@@ -68,18 +99,59 @@ pub fn column_quantiles_sharded<P: AsRef<Path>>(
     opts: OptimizerOptions,
     seed: u64,
 ) -> io::Result<ColumnQuantiles> {
+    column_quantiles_sharded_with_metrics(
+        path,
+        shards,
+        epsilon,
+        delta,
+        phis,
+        opts,
+        seed,
+        MetricsHandle::disabled(),
+    )
+    .map(|(q, _)| q)
+}
+
+/// As [`column_quantiles_sharded`], publishing pipeline metrics (per-shard
+/// batch latency, queue depths, backpressure stalls) through `metrics`.
+/// Also returns the merged pipeline telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn column_quantiles_sharded_with_metrics<P: AsRef<Path>>(
+    path: P,
+    shards: usize,
+    epsilon: f64,
+    delta: f64,
+    phis: &[f64],
+    opts: OptimizerOptions,
+    seed: u64,
+    metrics: MetricsHandle,
+) -> io::Result<(ColumnQuantiles, PipelineTelemetry)> {
     let mut scan = ColumnScan::open(path)?;
-    let mut sketch =
-        ShardedSketch::<u64>::new(shards, epsilon, delta, opts, seed).with_batch_size(INGEST_CHUNK);
+    let config = mrl_analysis_config(epsilon, delta, opts);
+    let mut sketch = ShardedSketch::<u64>::from_config_with_metrics(config, shards, seed, metrics)
+        .with_batch_size(INGEST_CHUNK);
     let mut chunk = Vec::with_capacity(INGEST_CHUNK);
     while scan.read_chunk(&mut chunk, INGEST_CHUNK)? > 0 {
         sketch.insert_batch(&chunk);
     }
     let outcome = sketch.finish();
-    Ok(ColumnQuantiles {
+    let quantiles = ColumnQuantiles {
         n: outcome.total_n(),
         quantiles: outcome.query_many(phis).unwrap_or_default(),
-    })
+    };
+    Ok((quantiles, outcome.telemetry().clone()))
+}
+
+/// Resolve the certified `(ε, δ)` configuration (thin wrapper so the two
+/// sharded entry points share one optimizer call site).
+fn mrl_analysis_config(
+    epsilon: f64,
+    delta: f64,
+    opts: OptimizerOptions,
+) -> mrl_core::UnknownNConfig {
+    mrl_core::UnknownN::<u64>::with_options(epsilon, delta, opts)
+        .config()
+        .clone()
 }
 
 #[cfg(test)]
@@ -129,6 +201,51 @@ mod tests {
         // value on this near-uniform column.
         let (a, b) = (single.quantiles[0] as f64, sharded.quantiles[0] as f64);
         assert!((a - b).abs() <= 2.0 * eps * n as f64 + 2.0, "{a} vs {b}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metrics_variants_report_audit_and_telemetry() {
+        use std::sync::Arc;
+
+        use mrl_obs::InMemoryRecorder;
+
+        let n = 60_000u64;
+        let path = write_column("metrics", (0..n).map(|i| (i * 2654435761) % n));
+
+        let rec = Arc::new(InMemoryRecorder::new());
+        let (out, audit) = column_quantiles_with_metrics(
+            &path,
+            0.05,
+            0.01,
+            &[0.5],
+            fast(),
+            7,
+            MetricsHandle::new(rec.clone()),
+        )
+        .unwrap();
+        assert_eq!(out.n, n);
+        assert_eq!(audit.n, n);
+        assert!(audit.headroom >= 0.0);
+        assert_eq!(
+            rec.gauge_value(mrl_core::audit::metrics::HEADROOM),
+            Some(audit.headroom)
+        );
+
+        let (out, telemetry) = column_quantiles_sharded_with_metrics(
+            &path,
+            2,
+            0.05,
+            0.01,
+            &[0.5],
+            fast(),
+            7,
+            MetricsHandle::new(Arc::new(InMemoryRecorder::new())),
+        )
+        .unwrap();
+        assert_eq!(out.n, n);
+        assert_eq!(telemetry.merged.elements, n);
+        assert_eq!(telemetry.per_shard.len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -27,4 +27,7 @@ mod ingest;
 
 pub use column::{ColumnScan, ColumnWriter, Reiterable, COLUMN_MAGIC};
 pub use csv::{csv_column, CsvColumnScan};
-pub use ingest::{column_quantiles, column_quantiles_sharded, ColumnQuantiles, INGEST_CHUNK};
+pub use ingest::{
+    column_quantiles, column_quantiles_sharded, column_quantiles_sharded_with_metrics,
+    column_quantiles_with_metrics, ColumnQuantiles, INGEST_CHUNK,
+};

@@ -1,0 +1,90 @@
+//! Metric identity: a static name plus an optional small integer label.
+
+use std::fmt;
+
+/// Identifies one metric series.
+///
+/// The name is a `&'static str` so keys are `Copy` and hashing never
+/// allocates; the optional label carries a small dimension such as a shard
+/// index or a buffer level (`engine.leaves[3]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    /// Dotted metric name, e.g. `"engine.collapse.ns"`.
+    pub name: &'static str,
+    /// Optional series label (shard index, buffer level, …).
+    pub label: Option<u32>,
+}
+
+impl Key {
+    /// An unlabelled key.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, label: None }
+    }
+
+    /// A labelled key (`name[label]` in rendered output).
+    pub const fn labeled(name: &'static str, label: u32) -> Self {
+        Self {
+            name,
+            label: Some(label),
+        }
+    }
+
+    /// FNV-1a fingerprint over name bytes and label, never zero (zero is
+    /// the in-memory table's "empty slot" sentinel).
+    pub(crate) fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &b in self.name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        match self.label {
+            Some(l) => {
+                h ^= 0x80_0000_0000 | l as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            None => {
+                h ^= 0x40_0000_0000;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.label {
+            Some(l) => write!(f, "{}[{l}]", self.name),
+            None => f.write_str(self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_and_without_label() {
+        assert_eq!(Key::new("a.b").to_string(), "a.b");
+        assert_eq!(Key::labeled("a.b", 3).to_string(), "a.b[3]");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_names_and_labels() {
+        let a = Key::new("x").fingerprint();
+        let b = Key::new("y").fingerprint();
+        let c = Key::labeled("x", 0).fingerprint();
+        let d = Key::labeled("x", 1).fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+        assert_ne!(a, 0);
+    }
+}

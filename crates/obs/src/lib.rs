@@ -1,0 +1,44 @@
+//! Observability for the MRL quantile stack: counters, gauges, histograms
+//! and scoped timers behind a pluggable [`Recorder`] trait.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero overhead when disabled.** Every instrumented crate holds a
+//!    [`MetricsHandle`]; the default (disabled) handle is a `None` and each
+//!    metric call is a single predictable branch that the optimiser folds
+//!    away. Instrumentation sits on buffer-seal/collapse granularity (once
+//!    per `k` elements), never on per-element hot loops.
+//! 2. **Lock-free when enabled.** [`InMemoryRecorder`] is a fixed-capacity
+//!    open-addressing table of atomic slots: metric updates are a hash, a
+//!    CAS-claimed slot lookup, and a `fetch_add`/`store` — no mutex on any
+//!    path, safe to share across the sharded pipeline's worker threads.
+//! 3. **Exportable.** [`InMemoryRecorder::snapshot`] produces a
+//!    [`MetricsSnapshot`] that serialises to one-line JSON (for machine
+//!    consumption, e.g. the CLI's `--stats json`) or renders as aligned
+//!    text.
+//!
+//! The paper connection: the engine already maintains the §4 quantities
+//! (`W`, `C`, `Σnᵢ²`, sampling onset) exactly; this crate is the transport
+//! that surfaces them — and the derived live ε-audit — while the stream is
+//! still running. With the optional `tracing` feature, every metric update
+//! is mirrored as a `tracing` event for users who already run a
+//! subscriber.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod key;
+mod memory;
+mod recorder;
+mod snapshot;
+mod timer;
+#[cfg(feature = "tracing")]
+mod tracing_support;
+
+pub use key::Key;
+pub use memory::InMemoryRecorder;
+pub use recorder::{MetricsHandle, NoopRecorder, Recorder};
+pub use snapshot::{HistogramSummary, MetricsSnapshot};
+pub use timer::ScopedTimer;
+#[cfg(feature = "tracing")]
+pub use tracing_support::TracingRecorder;

@@ -1,0 +1,405 @@
+//! A lock-free in-memory recorder: fixed-capacity open-addressing table
+//! of atomic metric slots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::key::Key;
+use crate::recorder::Recorder;
+use crate::snapshot::{HistogramSummary, MetricsSnapshot};
+
+/// Power-of-two slot count. 512 series is far above what the stack emits
+/// (a few dozen plus per-shard/per-level labels); updates past capacity
+/// are counted in [`InMemoryRecorder::dropped`] rather than blocking.
+const SLOTS: usize = 512;
+
+/// Log₂ histogram buckets: bucket `i ≥ 1` holds samples in
+/// `[2^(i−1), 2^i)`, bucket 0 holds zeros, the last bucket saturates.
+const BUCKETS: usize = 64;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum Kind {
+    Counter = 1,
+    Gauge = 2,
+    Histogram = 3,
+}
+
+struct Slot {
+    /// 0 = empty; claimed by CAS with the key's (kind-mixed) fingerprint.
+    fingerprint: AtomicU64,
+    /// Written once by the claiming thread; readers that race the claim
+    /// spin until it is published (a one-time, bounded wait per slot —
+    /// every steady-state operation is a plain atomic load/rmw).
+    identity: OnceLock<(Key, Kind)>,
+    /// Counter total, or gauge value as `f64::to_bits`.
+    value: AtomicU64,
+    /// Histogram sample count.
+    count: AtomicU64,
+    /// Histogram sample sum (wrapping add; practical totals fit easily).
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            fingerprint: AtomicU64::new(0),
+            identity: OnceLock::new(),
+            value: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn zero_values(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A thread-safe, lock-free metrics store.
+///
+/// Each `(key, kind)` series occupies one slot of a fixed open-addressing
+/// table; an update is a fingerprint hash, a linear probe (almost always
+/// length 1), and one atomic read-modify-write. The table never grows:
+/// updates that find no slot are tallied in
+/// [`InMemoryRecorder::dropped`] instead of blocking or allocating —
+/// bounded memory is the point of the whole stack.
+pub struct InMemoryRecorder {
+    slots: Box<[Slot]>,
+    dropped: AtomicU64,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for InMemoryRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InMemoryRecorder")
+            .field("series", &self.snapshot().series_count())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl InMemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self {
+            slots: (0..SLOTS).map(|_| Slot::empty()).collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Updates discarded because the slot table was full (or a pathological
+    /// probe chain was exhausted). Zero in any sane deployment.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Current value of a counter series (0 if it has never been touched).
+    pub fn counter_value(&self, key: Key) -> u64 {
+        self.find(key, Kind::Counter)
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge series, if it has been set.
+    pub fn gauge_value(&self, key: Key) -> Option<f64> {
+        self.find(key, Kind::Gauge)
+            .map(|s| f64::from_bits(s.value.load(Ordering::Relaxed)))
+    }
+
+    /// Zero every series' values in place (identities are kept, so
+    /// steady-state callers never re-claim slots). Intended for
+    /// single-writer uses such as the bench harness's comparison counter;
+    /// concurrent writers may land updates on either side of the reset.
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            if slot.fingerprint.load(Ordering::Acquire) != 0 {
+                slot.zero_values();
+            }
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every series. Individual
+    /// atomics are read without a global lock, so a snapshot taken during
+    /// concurrent updates may mix values from slightly different instants
+    /// — fine for monitoring, which is its job.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for slot in self.slots.iter() {
+            if slot.fingerprint.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let Some(&(key, kind)) = slot.identity.get() else {
+                continue; // claim in flight; series has no data yet
+            };
+            let name = key.to_string();
+            match kind {
+                Kind::Counter => {
+                    snap.counters
+                        .insert(name, slot.value.load(Ordering::Relaxed));
+                }
+                Kind::Gauge => {
+                    snap.gauges
+                        .insert(name, f64::from_bits(slot.value.load(Ordering::Relaxed)));
+                }
+                Kind::Histogram => {
+                    let count = slot.count.load(Ordering::Relaxed);
+                    if count == 0 {
+                        continue;
+                    }
+                    let buckets: Vec<u64> = slot
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    snap.histograms.insert(
+                        name,
+                        HistogramSummary::from_parts(
+                            count,
+                            slot.sum.load(Ordering::Relaxed),
+                            slot.min.load(Ordering::Relaxed),
+                            slot.max.load(Ordering::Relaxed),
+                            &buckets,
+                        ),
+                    );
+                }
+            }
+        }
+        snap.dropped = self.dropped();
+        snap
+    }
+
+    /// Mix the kind into the key fingerprint so the same name used as a
+    /// counter and as a gauge lands in different slots instead of
+    /// corrupting each other.
+    fn slot_fingerprint(key: Key, kind: Kind) -> u64 {
+        let fp = key.fingerprint().rotate_left(kind as u32 * 8) ^ (kind as u64);
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    fn find(&self, key: Key, kind: Kind) -> Option<&Slot> {
+        let fp = Self::slot_fingerprint(key, kind);
+        let mut idx = fp as usize & (SLOTS - 1);
+        for _ in 0..SLOTS {
+            let slot = &self.slots[idx];
+            let cur = slot.fingerprint.load(Ordering::Acquire);
+            if cur == 0 {
+                return None;
+            }
+            if cur == fp {
+                let id = Self::wait_identity(slot);
+                if id == &(key, kind) {
+                    return Some(slot);
+                }
+            }
+            idx = (idx + 1) & (SLOTS - 1);
+        }
+        None
+    }
+
+    fn find_or_claim(&self, key: Key, kind: Kind) -> Option<&Slot> {
+        let fp = Self::slot_fingerprint(key, kind);
+        let mut idx = fp as usize & (SLOTS - 1);
+        for _ in 0..SLOTS {
+            let slot = &self.slots[idx];
+            match slot
+                .fingerprint
+                .compare_exchange(0, fp, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // Claimed: publish the identity (failure means another
+                    // thread won a race we just lost by definition of CAS —
+                    // cannot happen, the claimant is unique).
+                    let _ = slot.identity.set((key, kind));
+                    return Some(slot);
+                }
+                Err(existing) if existing == fp => {
+                    let id = Self::wait_identity(slot);
+                    if id == &(key, kind) {
+                        return Some(slot);
+                    }
+                    // Fingerprint collision between distinct keys: probe on.
+                }
+                Err(_) => {}
+            }
+            idx = (idx + 1) & (SLOTS - 1);
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Spin until the claiming thread has published the slot's identity
+    /// (the claim→publish window is a handful of instructions).
+    fn wait_identity(slot: &Slot) -> &(Key, Kind) {
+        loop {
+            if let Some(id) = slot.identity.get() {
+                return id;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter_add(&self, key: Key, delta: u64) {
+        if let Some(slot) = self.find_or_claim(key, Kind::Counter) {
+            slot.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    fn gauge_set(&self, key: Key, value: f64) {
+        if let Some(slot) = self.find_or_claim(key, Kind::Gauge) {
+            slot.value.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn histogram_record(&self, key: Key, value: u64) {
+        if let Some(slot) = self.find_or_claim(key, Kind::Histogram) {
+            slot.count.fetch_add(1, Ordering::Relaxed);
+            slot.sum.fetch_add(value, Ordering::Relaxed);
+            slot.min.fetch_min(value, Ordering::Relaxed);
+            slot.max.fetch_max(value, Ordering::Relaxed);
+            let bucket = if value == 0 {
+                0
+            } else {
+                (BUCKETS - value.leading_zeros() as usize).min(BUCKETS - 1)
+            };
+            slot.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let r = InMemoryRecorder::new();
+        let k = Key::new("c");
+        r.counter_add(k, 3);
+        r.counter_add(k, 4);
+        assert_eq!(r.counter_value(k), 7);
+        assert_eq!(r.snapshot().counters["c"], 7);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = InMemoryRecorder::new();
+        let k = Key::labeled("g", 2);
+        r.gauge_set(k, 1.5);
+        r.gauge_set(k, -2.25);
+        assert_eq!(r.gauge_value(k), Some(-2.25));
+        assert_eq!(r.snapshot().gauges["g[2]"], -2.25);
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        let r = InMemoryRecorder::new();
+        let k = Key::new("h");
+        for v in [1u64, 10, 100, 1000, 0] {
+            r.histogram_record(k, v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1111);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!(h.p50 >= 1.0 && h.p50 <= 128.0, "p50 {}", h.p50);
+    }
+
+    #[test]
+    fn same_name_different_kind_do_not_collide() {
+        let r = InMemoryRecorder::new();
+        let k = Key::new("dual");
+        r.counter_add(k, 5);
+        r.gauge_set(k, 9.0);
+        assert_eq!(r.counter_value(k), 5);
+        assert_eq!(r.gauge_value(k), Some(9.0));
+    }
+
+    #[test]
+    fn labels_are_distinct_series() {
+        let r = InMemoryRecorder::new();
+        for shard in 0..8u32 {
+            r.counter_add(Key::labeled("shard.n", shard), (shard + 1) as u64);
+        }
+        let snap = r.snapshot();
+        for shard in 0..8u32 {
+            assert_eq!(
+                snap.counters[&format!("shard.n[{shard}]")],
+                (shard + 1) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_series() {
+        let r = InMemoryRecorder::new();
+        let k = Key::new("c");
+        r.counter_add(k, 10);
+        r.reset();
+        assert_eq!(r.counter_value(k), 0);
+        r.counter_add(k, 2);
+        assert_eq!(r.counter_value(k), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads_are_exact() {
+        let r = Arc::new(InMemoryRecorder::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        r.counter_add(Key::new("contended"), 1);
+                        r.counter_add(Key::labeled("sharded", t as u32), 1);
+                        r.histogram_record(Key::new("lat"), i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter_value(Key::new("contended")), threads * per_thread);
+        for t in 0..threads {
+            assert_eq!(
+                r.counter_value(Key::labeled("sharded", t as u32)),
+                per_thread
+            );
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["lat"].count, threads * per_thread);
+        assert_eq!(r.dropped(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Point-in-time exports of a recorder's contents: serialisable to
+//! one-line JSON or rendered as aligned text.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one histogram series.
+///
+/// Quantiles are estimated from log₂ buckets, so they carry at most a
+/// factor-of-two relative error — plenty for latency monitoring, and the
+/// price of a recorder with no allocation and no locks on the update path.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample (`sum / count`).
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 90th percentile.
+    pub p90: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Build a summary from raw atomics-read parts. `buckets[0]` counts
+    /// zero samples; `buckets[i]` (`i ≥ 1`) counts samples in
+    /// `[2^(i−1), 2^i)`.
+    pub(crate) fn from_parts(count: u64, sum: u64, min: u64, max: u64, buckets: &[u64]) -> Self {
+        let quantile = |q: f64| -> f64 {
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    if i == 0 {
+                        return 0.0;
+                    }
+                    // Geometric midpoint of [2^(i-1), 2^i), clamped into
+                    // the observed range.
+                    let mid = 1.5 * f64::powi(2.0, i as i32 - 1);
+                    return mid.clamp(min as f64, max as f64);
+                }
+            }
+            max as f64
+        };
+        Self {
+            count,
+            sum,
+            min,
+            max,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.5),
+            p90: quantile(0.9),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Everything a recorder held at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by rendered key (`name` or `name[label]`).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by rendered key.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by rendered key.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Updates the recorder discarded for capacity (0 in sane deployments).
+    pub dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Number of distinct series captured.
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// One-line JSON (machine consumption; the CLI's `--stats json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialises")
+    }
+
+    /// Multi-line aligned text (human consumption; `--stats text`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k:<width$}  {v:.6}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<width$}  n={} mean={:.0} min={} p50={:.0} p90={:.0} p99={:.0} max={}\n",
+                h.count, h.mean, h.min, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("(dropped {} updates: table full)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_from_log_buckets() {
+        // 100 samples of 8 (bucket 4) and 1 sample of 1024 (bucket 11).
+        let mut buckets = vec![0u64; 64];
+        buckets[4] = 100;
+        buckets[11] = 1;
+        let h = HistogramSummary::from_parts(101, 100 * 8 + 1024, 8, 1024, &buckets);
+        assert!(h.p50 >= 8.0 && h.p50 < 16.0, "p50 {}", h.p50);
+        assert!(h.p99 < 1024.0 + 1.0);
+        assert!((h.mean - (824.0 + 1000.0) / 101.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a".into(), 1);
+        snap.gauges.insert("b".into(), 2.5);
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn text_render_mentions_every_series() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("events".into(), 42);
+        snap.gauges.insert("rate".into(), 8.0);
+        let text = snap.render_text();
+        assert!(text.contains("events"));
+        assert!(text.contains("42"));
+        assert!(text.contains("rate"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Scoped wall-clock timers that feed histograms.
+
+use std::time::Instant;
+
+use crate::key::Key;
+use crate::recorder::MetricsHandle;
+
+/// Records the elapsed nanoseconds between construction and drop into a
+/// histogram. Constructed through [`MetricsHandle::timer`]; when the
+/// handle is disabled, no `Instant::now()` is taken and drop is free.
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    handle: &'a MetricsHandle,
+    key: Key,
+    start: Option<Instant>,
+}
+
+impl<'a> ScopedTimer<'a> {
+    pub(crate) fn start(handle: &'a MetricsHandle, key: Key) -> Self {
+        let start = handle.is_enabled().then(Instant::now);
+        Self { handle, key, start }
+    }
+
+    /// Stop early and record; equivalent to dropping the timer.
+    pub fn stop(self) {}
+
+    /// Abandon the measurement without recording anything.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.handle.histogram_record(self.key, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::InMemoryRecorder;
+
+    #[test]
+    fn records_one_sample_per_scope() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let h = MetricsHandle::new(rec.clone());
+        {
+            let _t = h.timer(Key::new("scope.ns"));
+        }
+        h.timer(Key::new("scope.ns")).stop();
+        h.timer(Key::new("scope.ns")).discard();
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms["scope.ns"].count, 2);
+    }
+}

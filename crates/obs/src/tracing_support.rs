@@ -1,0 +1,69 @@
+//! `tracing` mirror (behind the `tracing` cargo feature): every metric
+//! update is re-emitted as a `tracing` event, so deployments that already
+//! run a subscriber see the stack's telemetry in their existing pipeline.
+
+use crate::key::Key;
+use crate::recorder::{NoopRecorder, Recorder};
+
+/// A [`Recorder`] that mirrors every update into `tracing` events (at
+/// `DEBUG` level) and then delegates to an inner recorder.
+///
+/// Wrap an [`crate::InMemoryRecorder`] to get both a queryable store and a
+/// live event feed, or use [`TracingRecorder::new`] for events only.
+#[derive(Debug, Default)]
+pub struct TracingRecorder<R = NoopRecorder> {
+    inner: R,
+}
+
+impl TracingRecorder<NoopRecorder> {
+    /// Events only: mirror into `tracing`, store nothing.
+    pub fn new() -> Self {
+        Self {
+            inner: NoopRecorder,
+        }
+    }
+}
+
+impl<R: Recorder> TracingRecorder<R> {
+    /// Mirror into `tracing` and also deliver to `inner`.
+    pub fn with_inner(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped recorder.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: Recorder> Recorder for TracingRecorder<R> {
+    fn counter_add(&self, key: Key, delta: u64) {
+        tracing::event!(tracing::Level::DEBUG, "counter {key} += {delta}");
+        self.inner.counter_add(key, delta);
+    }
+
+    fn gauge_set(&self, key: Key, value: f64) {
+        tracing::event!(tracing::Level::DEBUG, "gauge {key} = {value}");
+        self.inner.gauge_set(key, value);
+    }
+
+    fn histogram_record(&self, key: Key, value: u64) {
+        tracing::event!(tracing::Level::DEBUG, "histogram {key} <- {value}");
+        self.inner.histogram_record(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryRecorder;
+
+    #[test]
+    fn mirrors_and_delegates() {
+        let rec = TracingRecorder::with_inner(InMemoryRecorder::new());
+        rec.counter_add(Key::new("c"), 2);
+        rec.gauge_set(Key::new("g"), 1.0);
+        rec.histogram_record(Key::new("h"), 7);
+        assert_eq!(rec.inner().counter_value(Key::new("c")), 2);
+    }
+}

@@ -32,11 +32,11 @@
 mod coordinator;
 mod hierarchy;
 mod merge;
-mod pipeline;
+pub mod pipeline;
 mod runner;
 
 pub use coordinator::Coordinator;
 pub use hierarchy::{merge_hierarchical, ship_upward};
 pub use merge::merge_sketches;
-pub use pipeline::{ShardedOutcome, ShardedSketch, DEFAULT_SHARD_BATCH};
+pub use pipeline::{PipelineTelemetry, ShardedOutcome, ShardedSketch, DEFAULT_SHARD_BATCH};
 pub use runner::{parallel_quantiles, ParallelOutcome};

@@ -16,13 +16,41 @@
 //! stream in memory — ingestion stays `O(shards · b · k)` no matter how
 //! fast the input arrives.
 
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use mrl_core::{OptimizerOptions, UnknownN, UnknownNConfig};
-use mrl_framework::Buffer;
+use mrl_framework::{Buffer, TreeStats};
+use mrl_obs::{Key, MetricsHandle};
+use serde::{Deserialize, Serialize};
 
 use crate::Coordinator;
+
+/// Metric keys the sharded pipeline emits (all on batch granularity —
+/// once per [`DEFAULT_SHARD_BATCH`] elements — so an attached recorder
+/// costs a few atomic ops per batch).
+pub mod metrics {
+    use mrl_obs::Key;
+
+    /// Gauge, labelled by shard: batches currently in flight on that
+    /// shard's bounded channel.
+    pub const QUEUE_DEPTH: &str = "pipeline.queue.depth";
+    /// Counter: dispatches that found the target queue full and had to
+    /// block (backpressure engagements).
+    pub const DISPATCH_STALLS: Key = Key::new("pipeline.dispatch.stalls");
+    /// Histogram: nanoseconds spent blocked per backpressure stall.
+    pub const STALL_NS: Key = Key::new("pipeline.dispatch.stall_ns");
+    /// Counter, labelled by shard: batches ingested by that worker.
+    pub const BATCHES: &str = "pipeline.shard.batches";
+    /// Histogram, labelled by shard: nanoseconds per ingested batch.
+    pub const BATCH_NS: &str = "pipeline.shard.batch_ns";
+    /// Gauge, labelled by shard: elements that worker has consumed.
+    pub const SHARD_ELEMENTS: &str = "pipeline.shard.elements";
+    /// Gauge: total elements dispatched by the producer.
+    pub const DISPATCHED: Key = Key::new("pipeline.dispatched");
+}
 
 /// Default elements per dispatched batch. Large enough that the channel
 /// and wakeup overhead amortises to well under a nanosecond per element;
@@ -32,6 +60,10 @@ pub const DEFAULT_SHARD_BATCH: usize = 4096;
 /// Bounded batches in flight per shard: enough to hide scheduling jitter,
 /// small enough that backpressure engages before memory does.
 const QUEUE_DEPTH: usize = 4;
+
+/// What a worker thread returns when joined: elements ingested, the
+/// shard's exact tree accounting, and its surviving buffers.
+type ShardShipment<T> = (u64, TreeStats, Vec<Buffer<T>>);
 
 /// A quantile sketch whose ingestion is sharded across a fixed pool of
 /// worker threads.
@@ -54,13 +86,17 @@ const QUEUE_DEPTH: usize = 4;
 #[derive(Debug)]
 pub struct ShardedSketch<T> {
     senders: Vec<SyncSender<Vec<T>>>,
-    handles: Vec<JoinHandle<(u64, Vec<Buffer<T>>)>>,
+    handles: Vec<JoinHandle<ShardShipment<T>>>,
+    /// Batches in flight per shard channel (producer increments on send,
+    /// worker decrements on receive); feeds the queue-depth gauges.
+    queue_depths: Vec<Arc<AtomicU64>>,
     pending: Vec<T>,
     next_shard: usize,
     batch: usize,
     dispatched: u64,
     config: UnknownNConfig,
     seed: u64,
+    metrics: MetricsHandle,
 }
 
 impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
@@ -70,8 +106,30 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     /// # Panics
     /// Panics if `shards == 0`, `ε ∉ (0, 1)` or `δ ∉ (0, 1)`.
     pub fn new(shards: usize, epsilon: f64, delta: f64, opts: OptimizerOptions, seed: u64) -> Self {
+        Self::new_with_metrics(
+            shards,
+            epsilon,
+            delta,
+            opts,
+            seed,
+            MetricsHandle::disabled(),
+        )
+    }
+
+    /// As [`ShardedSketch::new`] with a metrics sink (see [`metrics`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, `ε ∉ (0, 1)` or `δ ∉ (0, 1)`.
+    pub fn new_with_metrics(
+        shards: usize,
+        epsilon: f64,
+        delta: f64,
+        opts: OptimizerOptions,
+        seed: u64,
+        metrics: MetricsHandle,
+    ) -> Self {
         let config = mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta, opts);
-        Self::from_config(config, shards, seed)
+        Self::from_config_with_metrics(config, shards, seed, metrics)
     }
 
     /// As [`ShardedSketch::new`] with an explicit certified configuration.
@@ -79,31 +137,63 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn from_config(config: UnknownNConfig, shards: usize, seed: u64) -> Self {
+        Self::from_config_with_metrics(config, shards, seed, MetricsHandle::disabled())
+    }
+
+    /// As [`ShardedSketch::from_config`] with a metrics sink (see
+    /// [`metrics`] for the emitted keys). The handle must be supplied at
+    /// construction because the worker threads — which publish per-shard
+    /// batch latency and ingest counters — spawn here.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn from_config_with_metrics(
+        config: UnknownNConfig,
+        shards: usize,
+        seed: u64,
+        metrics: MetricsHandle,
+    ) -> Self {
         assert!(shards >= 1, "need at least one shard");
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut queue_depths = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = sync_channel::<Vec<T>>(QUEUE_DEPTH);
             let config = config.clone();
             let shard_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let depth = Arc::new(AtomicU64::new(0));
+            let worker_depth = Arc::clone(&depth);
+            let worker_metrics = metrics.clone();
             handles.push(thread::spawn(move || {
+                let shard = i as u32;
                 let mut sketch = UnknownN::from_config(config, shard_seed);
                 while let Ok(batch) = rx.recv() {
+                    worker_depth.fetch_sub(1, Ordering::Relaxed);
+                    let timer = worker_metrics.timer(Key::labeled(metrics::BATCH_NS, shard));
                     sketch.insert_batch(&batch);
+                    timer.stop();
+                    worker_metrics.counter_add(Key::labeled(metrics::BATCHES, shard), 1);
                 }
-                sketch.into_shipment()
+                worker_metrics.gauge_set(
+                    Key::labeled(metrics::SHARD_ELEMENTS, shard),
+                    sketch.n() as f64,
+                );
+                sketch.into_shipment_with_stats()
             }));
             senders.push(tx);
+            queue_depths.push(depth);
         }
         Self {
             senders,
             handles,
+            queue_depths,
             pending: Vec::with_capacity(DEFAULT_SHARD_BATCH),
             next_shard: 0,
             batch: DEFAULT_SHARD_BATCH,
             dispatched: 0,
             config,
             seed,
+            metrics,
         }
     }
 
@@ -176,10 +266,39 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     fn dispatch(&mut self) {
         let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
         self.dispatched += batch.len() as u64;
-        self.senders[self.next_shard]
-            .send(batch)
-            .expect("shard worker panicked");
-        self.next_shard = (self.next_shard + 1) % self.senders.len();
+        let shard = self.next_shard;
+        // Count the batch as in flight *before* the send: the worker's
+        // decrement is ordered after its receive, which is ordered after
+        // this send, so the counter never goes below zero.
+        let depth = self.queue_depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        if self.metrics.is_enabled() {
+            // Distinguish a clean hand-off from a backpressure stall: only
+            // the blocking fallback is timed, so the stall histogram
+            // measures time actually spent waiting on the slow consumer.
+            match self.senders[shard].try_send(batch) {
+                Ok(()) => {}
+                Err(TrySendError::Full(batch)) => {
+                    self.metrics.counter_add(metrics::DISPATCH_STALLS, 1);
+                    let timer = self.metrics.timer(metrics::STALL_NS);
+                    self.senders[shard]
+                        .send(batch)
+                        .expect("shard worker panicked");
+                    timer.stop();
+                }
+                Err(TrySendError::Disconnected(_)) => panic!("shard worker panicked"),
+            }
+            self.metrics.gauge_set(
+                Key::labeled(metrics::QUEUE_DEPTH, shard as u32),
+                depth as f64,
+            );
+            self.metrics
+                .gauge_set(metrics::DISPATCHED, self.dispatched as f64);
+        } else {
+            self.senders[shard]
+                .send(batch)
+                .expect("shard worker panicked");
+        }
+        self.next_shard = (shard + 1) % self.senders.len();
     }
 
     /// Drain the pipeline: flush the trailing partial batch, close every
@@ -194,10 +313,15 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         }
         // Closing the channels ends each worker's receive loop.
         self.senders.clear();
+        let mut per_shard = Vec::with_capacity(self.handles.len());
         let shipments: Vec<(u64, Vec<Buffer<T>>)> = self
             .handles
             .drain(..)
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| {
+                let (n, stats, buffers) = h.join().expect("shard worker panicked");
+                per_shard.push(stats);
+                (n, buffers)
+            })
             .collect();
         let workers = shipments.len();
         let (coordinator, total_n) = Coordinator::from_shipments(
@@ -207,10 +331,41 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
             shipments,
         );
         debug_assert_eq!(total_n, self.dispatched);
+        let telemetry = PipelineTelemetry::from_shards(total_n, per_shard);
         ShardedOutcome {
             coordinator,
             total_n,
             workers,
+            telemetry,
+        }
+    }
+}
+
+/// Aggregated pipeline accounting: the exact [`TreeStats`] of every shard
+/// worker plus their element-conserving merge. Serializable, so the CLI can
+/// embed it in `--stats json` reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelineTelemetry {
+    /// Total elements ingested across all shards.
+    pub total_n: u64,
+    /// Each worker's final exact tree accounting, in shard order.
+    pub per_shard: Vec<TreeStats>,
+    /// The shard accountings folded together ([`TreeStats::absorb`]):
+    /// elements, leaves, collapses and `W` are sums, `max_level` the
+    /// maximum, the sampling onset the earliest across shards.
+    pub merged: TreeStats,
+}
+
+impl PipelineTelemetry {
+    fn from_shards(total_n: u64, per_shard: Vec<TreeStats>) -> Self {
+        let mut merged = TreeStats::default();
+        for stats in &per_shard {
+            merged.absorb(stats);
+        }
+        Self {
+            total_n,
+            per_shard,
+            merged,
         }
     }
 }
@@ -221,6 +376,7 @@ pub struct ShardedOutcome<T> {
     coordinator: Coordinator<T>,
     total_n: u64,
     workers: usize,
+    telemetry: PipelineTelemetry,
 }
 
 impl<T: Ord + Clone> ShardedOutcome<T> {
@@ -247,6 +403,12 @@ impl<T: Ord + Clone> ShardedOutcome<T> {
     /// Number of shard workers that contributed.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Per-shard and merged exact tree accounting gathered at
+    /// [`ShardedSketch::finish`].
+    pub fn telemetry(&self) -> &PipelineTelemetry {
+        &self.telemetry
     }
 
     /// The merged coordinator (mass accounting, memory bound, further
@@ -333,6 +495,46 @@ mod tests {
         let out = s.finish();
         assert_eq!(out.total_n(), 1_237);
         assert!(out.query(0.5).is_some());
+    }
+
+    #[test]
+    fn telemetry_conserves_elements_and_reports_pipeline_metrics() {
+        use mrl_obs::InMemoryRecorder;
+
+        let rec = Arc::new(InMemoryRecorder::new());
+        let config =
+            mrl_analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, OptimizerOptions::fast());
+        let mut s = ShardedSketch::<u64>::from_config_with_metrics(
+            config,
+            3,
+            9,
+            MetricsHandle::new(rec.clone()),
+        );
+        let data = uniform(120_000);
+        s.insert_batch(&data);
+        let out = s.finish();
+
+        let t = out.telemetry();
+        assert_eq!(t.total_n, 120_000);
+        assert_eq!(t.per_shard.len(), 3);
+        let sum: u64 = t.per_shard.iter().map(|st| st.elements).sum();
+        assert_eq!(sum, t.merged.elements);
+        assert_eq!(t.merged.elements, 120_000);
+
+        // Batch counters: every dispatched batch is accounted to a shard.
+        let batches: u64 = (0..3)
+            .map(|i| rec.counter_value(Key::labeled(metrics::BATCHES, i)))
+            .sum();
+        assert_eq!(batches, 120_000_u64.div_ceil(DEFAULT_SHARD_BATCH as u64));
+        // Per-shard element gauges match the shipped accounting.
+        for (i, st) in t.per_shard.iter().enumerate() {
+            assert_eq!(
+                rec.gauge_value(Key::labeled(metrics::SHARD_ELEMENTS, i as u32)),
+                Some(st.elements as f64)
+            );
+        }
+        assert_eq!(rec.gauge_value(metrics::DISPATCHED), Some(120_000.0));
+        assert_eq!(rec.dropped(), 0);
     }
 
     #[test]

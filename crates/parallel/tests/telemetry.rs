@@ -1,0 +1,90 @@
+//! Telemetry conservation: whatever the dispatcher's chunking and shard
+//! count, the per-shard `TreeStats` the workers ship home must sum to the
+//! merged coordinator totals — no element, leaf, collapse, or weight is
+//! lost or double-counted on the way through the pipeline.
+
+use proptest::prelude::*;
+
+use mrl_parallel::ShardedSketch;
+use mrl_parallel::DEFAULT_SHARD_BATCH;
+
+/// Feed `total` scrambled values through a `shards`-worker pipeline in
+/// chunks of `chunk`, returning the finished outcome's telemetry.
+fn run_pipeline(
+    total: u64,
+    shards: usize,
+    chunk: usize,
+    seed: u64,
+) -> mrl_parallel::ShardedOutcome<u64> {
+    let mut sketch =
+        ShardedSketch::<u64>::new(shards, 0.05, 0.01, mrl_core::OptimizerOptions::fast(), seed);
+    let values: Vec<u64> = (0..total)
+        .map(|i| i.wrapping_mul(6364136223846793005).wrapping_add(seed))
+        .collect();
+    for batch in values.chunks(chunk) {
+        sketch.insert_batch(batch);
+    }
+    sketch.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn per_shard_stats_sum_to_merged_totals(
+        total in 1_000u64..40_000,
+        shards in 1usize..5,
+        chunk in 1usize..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let outcome = run_pipeline(total, shards, chunk, seed);
+        let telemetry = outcome.telemetry();
+
+        prop_assert_eq!(telemetry.per_shard.len(), shards);
+        prop_assert_eq!(telemetry.total_n, total);
+        prop_assert_eq!(outcome.total_n(), total);
+
+        // Additive fields conserve exactly: sums over shards equal the
+        // absorbed merged totals.
+        let sum_elements: u64 = telemetry.per_shard.iter().map(|s| s.elements).sum();
+        let sum_leaves: u64 = telemetry.per_shard.iter().map(|s| s.leaves).sum();
+        let sum_collapses: u64 = telemetry.per_shard.iter().map(|s| s.collapses).sum();
+        let sum_weight: u64 = telemetry.per_shard.iter().map(|s| s.collapse_weight_sum).sum();
+        let sum_block_sq: u64 = telemetry.per_shard.iter().map(|s| s.sum_block_sq).sum();
+        prop_assert_eq!(sum_elements, telemetry.merged.elements);
+        prop_assert_eq!(sum_elements, total, "every dispatched element reaches a shard sketch");
+        prop_assert_eq!(sum_leaves, telemetry.merged.leaves);
+        prop_assert_eq!(sum_collapses, telemetry.merged.collapses);
+        prop_assert_eq!(sum_weight, telemetry.merged.collapse_weight_sum);
+        prop_assert_eq!(sum_block_sq, telemetry.merged.sum_block_sq);
+
+        // Leaves-by-level merges entrywise and re-sums to the leaf total.
+        let mut by_level: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for shard in &telemetry.per_shard {
+            for (&level, &count) in &shard.leaves_by_level {
+                *by_level.entry(level).or_insert(0) += count;
+            }
+        }
+        prop_assert_eq!(&by_level, &telemetry.merged.leaves_by_level);
+        let level_sum: u64 = telemetry.merged.leaves_by_level.values().sum();
+        prop_assert_eq!(level_sum, telemetry.merged.leaves);
+
+        // Max level is the max, onset the earliest shard onset.
+        let max_level = telemetry.per_shard.iter().map(|s| s.max_level).max().unwrap_or(0);
+        prop_assert_eq!(max_level, telemetry.merged.max_level);
+        let min_onset = telemetry.per_shard.iter().filter_map(|s| s.sampling_onset_n).min();
+        prop_assert_eq!(min_onset, telemetry.merged.sampling_onset_n);
+    }
+
+    #[test]
+    fn conservation_holds_at_the_default_batch_size(
+        total in 10_000u64..60_000,
+        shards in 2usize..4,
+    ) {
+        let outcome = run_pipeline(total, shards, DEFAULT_SHARD_BATCH, 7);
+        let telemetry = outcome.telemetry();
+        let sum_elements: u64 = telemetry.per_shard.iter().map(|s| s.elements).sum();
+        prop_assert_eq!(sum_elements, total);
+        prop_assert_eq!(telemetry.merged.elements, total);
+    }
+}

@@ -6,6 +6,7 @@
 //! realisation is to flip an independent coin with success probability
 //! `s / N` for each element, giving a sample of expected size `s`.
 
+use mrl_obs::MetricsHandle;
 use rand::Rng;
 
 use crate::SketchRng;
@@ -16,6 +17,9 @@ pub struct BernoulliSampler {
     probability: f64,
     seen: u64,
     taken: u64,
+    /// Cumulative random draws (one per element on the scalar path, one per
+    /// acceptance on the geometric skip path).
+    draws: u64,
     /// Batch-path state: offsets (counted in batch-offered elements) still
     /// to skip before the next acceptance. `None` until the first batch.
     skip: Option<u64>,
@@ -35,6 +39,7 @@ impl BernoulliSampler {
             probability,
             seen: 0,
             taken: 0,
+            draws: 0,
             skip: None,
         }
     }
@@ -49,7 +54,10 @@ impl BernoulliSampler {
     /// Decide whether the next element is sampled.
     pub fn accept(&mut self, rng: &mut SketchRng) -> bool {
         self.seen += 1;
-        let take = self.probability >= 1.0 || rng.gen::<f64>() < self.probability;
+        let take = self.probability >= 1.0 || {
+            self.draws += 1;
+            rng.gen::<f64>() < self.probability
+        };
         if take {
             self.taken += 1;
         }
@@ -83,11 +91,15 @@ impl BernoulliSampler {
         let ln_q = (1.0 - self.probability).ln(); // < 0 for p in (0, 1)
         let mut pos = match self.skip.take() {
             Some(gap) => gap,
-            None => geometric_gap(rng, ln_q),
+            None => {
+                self.draws += 1;
+                geometric_gap(rng, ln_q)
+            }
         };
         while pos < count {
             emit(pos);
             self.taken += 1;
+            self.draws += 1;
             pos = pos
                 .saturating_add(1)
                 .saturating_add(geometric_gap(rng, ln_q));
@@ -108,6 +120,30 @@ impl BernoulliSampler {
     /// Elements accepted so far.
     pub fn taken(&self) -> u64 {
         self.taken
+    }
+
+    /// Cumulative random draws consumed so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Observed acceptance rate `taken / seen`; 0.0 before any element.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.seen as f64
+        }
+    }
+
+    /// Publish the sampler's counters to a metrics sink (see
+    /// [`crate::metrics`]). Pull-style: call at reporting points, not per
+    /// element.
+    pub fn publish_metrics(&self, metrics: &MetricsHandle) {
+        metrics.gauge_set(crate::metrics::BERNOULLI_SEEN, self.seen as f64);
+        metrics.gauge_set(crate::metrics::BERNOULLI_TAKEN, self.taken as f64);
+        metrics.gauge_set(crate::metrics::BERNOULLI_DRAWS, self.draws as f64);
+        metrics.gauge_set(crate::metrics::BERNOULLI_ACCEPTANCE, self.acceptance_rate());
     }
 }
 
@@ -210,6 +246,46 @@ mod tests {
         assert!(
             (taken - 5_000.0).abs() < 300.0,
             "sample size {taken} far from expected 5000"
+        );
+    }
+
+    #[test]
+    fn acceptance_rate_and_draws_track_activity() {
+        let mut rng = rng_from_seed(31);
+        let mut s = BernoulliSampler::new(0.25);
+        assert_eq!(s.acceptance_rate(), 0.0);
+        for _ in 0..4_000 {
+            s.accept(&mut rng);
+        }
+        // Scalar path: one draw per element.
+        assert_eq!(s.draws(), 4_000);
+        let rate = s.acceptance_rate();
+        assert!((rate - 0.25).abs() < 0.05, "acceptance {rate}");
+
+        // Skip path: roughly one draw per acceptance, far fewer than seen.
+        let mut s = BernoulliSampler::new(0.01);
+        s.accept_many(100_000, &mut rng, &mut |_| {});
+        assert!(s.draws() <= s.taken() + 1);
+        assert!(s.draws() < 5_000, "skip path drew {} times", s.draws());
+    }
+
+    #[test]
+    fn publish_metrics_exports_counters() {
+        use mrl_obs::{InMemoryRecorder, MetricsHandle};
+        use std::sync::Arc;
+
+        let mut rng = rng_from_seed(6);
+        let mut s = BernoulliSampler::new(1.0);
+        for _ in 0..10 {
+            s.accept(&mut rng);
+        }
+        let rec = Arc::new(InMemoryRecorder::new());
+        s.publish_metrics(&MetricsHandle::new(rec.clone()));
+        assert_eq!(rec.gauge_value(crate::metrics::BERNOULLI_SEEN), Some(10.0));
+        assert_eq!(rec.gauge_value(crate::metrics::BERNOULLI_TAKEN), Some(10.0));
+        assert_eq!(
+            rec.gauge_value(crate::metrics::BERNOULLI_ACCEPTANCE),
+            Some(1.0)
         );
     }
 

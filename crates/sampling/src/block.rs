@@ -13,6 +13,7 @@
 //! whatever *prefix* of the final block has arrived when the stream runs dry,
 //! which the partial-buffer logic relies on.
 
+use mrl_obs::MetricsHandle;
 use rand::Rng;
 
 use crate::SketchRng;
@@ -29,6 +30,11 @@ pub struct BlockSampler<T> {
     rate: u64,
     seen_in_block: u64,
     current: Option<T>,
+    /// Cumulative random draws consumed (one per reservoir decision on the
+    /// scalar path, one per block on the batched path). Plain counter, not
+    /// a recorder call: the sampler sits on the per-element hot loop, so
+    /// totals are published in bulk via [`BlockSampler::publish_metrics`].
+    draws: u64,
 }
 
 impl<T> BlockSampler<T> {
@@ -42,6 +48,7 @@ impl<T> BlockSampler<T> {
             rate,
             seen_in_block: 0,
             current: None,
+            draws: 0,
         }
     }
 
@@ -49,6 +56,20 @@ impl<T> BlockSampler<T> {
     /// consecutive input elements.
     pub fn rate(&self) -> u64 {
         self.rate
+    }
+
+    /// Cumulative random draws consumed since construction. Survives
+    /// [`BlockSampler::reset_with_rate`] (it tracks the sampler's lifetime,
+    /// not the current block).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Publish the sampler's counters to a metrics sink (see
+    /// [`crate::metrics`]). Intended to be called at buffer-seal
+    /// granularity, never per element.
+    pub fn publish_metrics(&self, metrics: &MetricsHandle) {
+        metrics.gauge_set(crate::metrics::BLOCK_DRAWS, self.draws as f64);
     }
 
     /// Number of elements consumed from the current (incomplete) block.
@@ -62,7 +83,11 @@ impl<T> BlockSampler<T> {
         self.seen_in_block += 1;
         // Size-one reservoir: the i-th element of the block replaces the
         // current representative with probability 1/i.
-        if self.seen_in_block == 1 || rng.gen_range(0..self.seen_in_block) == 0 {
+        let replace = self.seen_in_block == 1 || {
+            self.draws += 1;
+            rng.gen_range(0..self.seen_in_block) == 0
+        };
+        if replace {
             self.current = Some(item);
         }
         if self.seen_in_block == self.rate {
@@ -123,6 +148,7 @@ impl<T> BlockSampler<T> {
             let s = self.seen_in_block;
             let need = (self.rate - s) as usize;
             let c = rest.len().min(need);
+            self.draws += 1;
             let u = rng.gen_range(0..s + c as u64);
             if u >= s {
                 self.current = Some(rest[(u - s) as usize].clone());
@@ -142,6 +168,7 @@ impl<T> BlockSampler<T> {
         if self.rate.is_power_of_two() {
             let mask = self.rate - 1;
             while rest.len() >= rate {
+                self.draws += 1;
                 let offset = (rng.gen::<u64>() & mask) as usize;
                 emit(rest[offset].clone());
                 emitted += 1;
@@ -149,6 +176,7 @@ impl<T> BlockSampler<T> {
             }
         } else {
             while rest.len() >= rate {
+                self.draws += 1;
                 let offset = rng.gen_range(0..self.rate) as usize;
                 emit(rest[offset].clone());
                 emitted += 1;
@@ -158,6 +186,7 @@ impl<T> BlockSampler<T> {
         // Trailing partial block: a uniform representative of the prefix that
         // has arrived, exactly what the per-element reservoir would hold.
         if !rest.is_empty() {
+            self.draws += 1;
             let offset = rng.gen_range(0..rest.len() as u64) as usize;
             self.current = Some(rest[offset].clone());
             self.seen_in_block = rest.len() as u64;
@@ -198,10 +227,13 @@ impl<T> BlockSampler<T> {
             }
             None => (None, 0),
         };
+        // Draw accounting restarts at zero after a snapshot restore; the
+        // counter describes this sampler instance, not the whole stream.
         Self {
             rate,
             seen_in_block,
             current,
+            draws: 0,
         }
     }
 
@@ -411,6 +443,46 @@ mod tests {
         let (v, seen) = s.flush().unwrap();
         assert_eq!(seen, 3);
         assert!((20..23).contains(&v), "pending repr {v} outside prefix");
+    }
+
+    #[test]
+    fn draw_accounting_matches_randomness_consumption() {
+        // Rate 1 consumes no randomness on either path.
+        let mut rng = rng_from_seed(11);
+        let mut s = BlockSampler::new(1);
+        for i in 0..50u32 {
+            s.offer(i, &mut rng);
+        }
+        s.offer_slice(&(0..50u32).collect::<Vec<_>>(), &mut rng, &mut |_| {});
+        assert_eq!(s.draws(), 0);
+
+        // Scalar path: one draw per element except each block's first.
+        let mut s = BlockSampler::new(4);
+        for i in 0..8u32 {
+            s.offer(i, &mut rng);
+        }
+        assert_eq!(s.draws(), 6);
+
+        // Batched path: one draw per whole block plus one for the partial
+        // tail.
+        let mut s = BlockSampler::new(4);
+        s.offer_slice(&(0..10u32).collect::<Vec<_>>(), &mut rng, &mut |_| {});
+        assert_eq!(s.draws(), 3);
+    }
+
+    #[test]
+    fn publish_metrics_exports_draws() {
+        use mrl_obs::{InMemoryRecorder, MetricsHandle};
+        use std::sync::Arc;
+
+        let mut rng = rng_from_seed(2);
+        let mut s = BlockSampler::new(4);
+        for i in 0..8u32 {
+            s.offer(i, &mut rng);
+        }
+        let rec = Arc::new(InMemoryRecorder::new());
+        s.publish_metrics(&MetricsHandle::new(rec.clone()));
+        assert_eq!(rec.gauge_value(crate::metrics::BLOCK_DRAWS), Some(6.0));
     }
 
     #[test]

@@ -23,6 +23,27 @@ mod block;
 mod reservoir;
 mod rng;
 
+/// Metric keys published by the samplers via
+/// [`BlockSampler::publish_metrics`] / [`BernoulliSampler::publish_metrics`].
+/// Publication is explicit (pull, at seal points) rather than per offer, so
+/// the per-element hot loops stay free of recorder traffic.
+pub mod metrics {
+    use mrl_obs::Key;
+
+    /// Gauge: cumulative random draws consumed by a block sampler.
+    pub const BLOCK_DRAWS: Key = Key::new("sampler.block.draws");
+    /// Gauge: elements offered to a Bernoulli sampler.
+    pub const BERNOULLI_SEEN: Key = Key::new("sampler.bernoulli.seen");
+    /// Gauge: elements accepted by a Bernoulli sampler.
+    pub const BERNOULLI_TAKEN: Key = Key::new("sampler.bernoulli.taken");
+    /// Gauge: cumulative random draws consumed by a Bernoulli sampler
+    /// (one per *acceptance* on the geometric skip path, one per element
+    /// on the scalar path).
+    pub const BERNOULLI_DRAWS: Key = Key::new("sampler.bernoulli.draws");
+    /// Gauge: observed acceptance rate `taken / seen` of a Bernoulli sampler.
+    pub const BERNOULLI_ACCEPTANCE: Key = Key::new("sampler.bernoulli.acceptance_rate");
+}
+
 pub use bernoulli::BernoulliSampler;
 pub use block::BlockSampler;
 pub use reservoir::{reservoir_sample_size, Reservoir};

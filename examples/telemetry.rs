@@ -1,0 +1,102 @@
+//! The observability layer end to end: attach an [`InMemoryRecorder`] to
+//! a sketch and a sharded pipeline, watch the live ε-audit while the
+//! stream runs, and print the final metrics snapshot in both renderings.
+//!
+//! ```sh
+//! cargo run --release --example telemetry
+//! ```
+
+use std::sync::Arc;
+
+use mrl::datagen::{ValueDistribution, WorkloadStream};
+use mrl::obs::{InMemoryRecorder, MetricsHandle};
+use mrl::parallel::ShardedSketch;
+use mrl::sketch::{OptimizerOptions, UnknownN};
+
+fn main() {
+    let opts = if cfg!(debug_assertions) {
+        OptimizerOptions::fast()
+    } else {
+        OptimizerOptions::default()
+    };
+    let (epsilon, delta) = (0.01, 1e-3);
+    let total: usize = if cfg!(debug_assertions) {
+        500_000
+    } else {
+        4_000_000
+    };
+
+    // --- Single sketch with a recorder attached -------------------------
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let mut sketch = UnknownN::<u64>::with_options(epsilon, delta, opts).with_seed(5);
+    sketch.set_metrics(MetricsHandle::new(recorder.clone()));
+
+    let stream = WorkloadStream::new(
+        ValueDistribution::Normal {
+            mean: 500_000.0,
+            sigma: 100_000.0,
+        },
+        31,
+    );
+
+    println!("live eps-audit (headroom = tree_bound / (eps*N), certified while <= alpha):");
+    println!(
+        "{:>10}  {:>10}  {:>9}  {:>13}  rate",
+        "N", "tree_bound", "headroom", "hoeffding_X"
+    );
+    let report_every = total / 5;
+    for (i, v) in stream.take(total).enumerate() {
+        sketch.insert(v);
+        if (i + 1) % report_every == 0 {
+            let audit = sketch.publish_audit();
+            println!(
+                "{:>10}  {:>10}  {:>9.4}  {:>13.1}  {}",
+                audit.n, audit.tree_bound, audit.headroom, audit.hoeffding_x, audit.current_rate
+            );
+            assert!(
+                audit.within_deterministic_share(),
+                "tree error must stay inside its alpha share of the eps budget"
+            );
+        }
+    }
+
+    let snapshot = recorder.snapshot();
+    println!(
+        "\nfinal metrics snapshot ({} series, text rendering):",
+        snapshot.series_count()
+    );
+    print!("{}", snapshot.render_text());
+    println!("\nsame snapshot as one JSON line:\n{}", snapshot.to_json());
+
+    // --- Sharded pipeline telemetry -------------------------------------
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let mut pipeline = ShardedSketch::<u64>::new_with_metrics(
+        4,
+        epsilon,
+        delta,
+        opts,
+        5,
+        MetricsHandle::new(recorder.clone()),
+    );
+    let stream = WorkloadStream::new(ValueDistribution::Uniform { range: 1_000_000 }, 7);
+    let values: Vec<u64> = stream.take(total).collect();
+    for chunk in values.chunks(4096) {
+        pipeline.insert_batch(chunk);
+    }
+    let outcome = pipeline.finish();
+    let telemetry = outcome.telemetry();
+    println!(
+        "\nsharded run: {} elements over {} shards, merged collapses {}",
+        telemetry.total_n,
+        telemetry.per_shard.len(),
+        telemetry.merged.collapses
+    );
+    for (shard, stats) in telemetry.per_shard.iter().enumerate() {
+        println!(
+            "  shard {shard}: {} elements, {} leaves, {} collapses",
+            stats.elements, stats.leaves, stats.collapses
+        );
+    }
+    println!("pipeline metrics snapshot (per-shard batch latency, queue depth):");
+    print!("{}", recorder.snapshot().render_text());
+}

@@ -25,6 +25,9 @@
 //! * [`datagen`] (from `mrl-datagen`) — synthetic workloads.
 //! * [`io`] (from `mrl-io`) — disk-resident column scans and the
 //!   `column_quantiles[_sharded]` one-pass ingest helpers.
+//! * [`obs`] (from `mrl-obs`) — the observability layer: `Recorder`,
+//!   `InMemoryRecorder`, `MetricsHandle`, snapshots/exporters, and the
+//!   live ε-audit published by the instrumented engine and pipeline.
 //!
 //! ## Quick start
 //!
@@ -50,5 +53,6 @@ pub use mrl_datagen as datagen;
 pub use mrl_exact as exact;
 pub use mrl_framework as framework;
 pub use mrl_io as io;
+pub use mrl_obs as obs;
 pub use mrl_parallel as parallel;
 pub use mrl_sampling as sampling;

@@ -7,7 +7,7 @@
 //!
 //! Measurement model: each benchmark is calibrated with one timed
 //! invocation, the iteration count per sample is chosen so a sample lasts
-//! roughly [`TARGET_SAMPLE`], `sample_size` samples are collected, and the
+//! roughly `TARGET_SAMPLE`, `sample_size` samples are collected, and the
 //! median per-iteration time is reported (with element throughput when the
 //! group sets one). Passing `--test` (as `cargo test` does for bench
 //! targets) or setting `CRITERION_SMOKE=1` runs every benchmark exactly

@@ -170,7 +170,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// Sizes accepted by [`vec`]: a `usize` or a `usize` range.
+    /// Sizes accepted by [`vec()`]: a `usize` or a `usize` range.
     pub trait SizeRange {
         /// Draw a length.
         fn pick(&self, rng: &mut SmallRng) -> usize;

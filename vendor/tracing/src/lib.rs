@@ -1,0 +1,123 @@
+//! In-tree stand-in for the `tracing` facade crate.
+//!
+//! Vendors exactly the subset this workspace uses: a severity [`Level`],
+//! the [`event!`] macro, and a process-global [`Subscriber`] installed via
+//! [`set_global_default`]. Events fired with no subscriber installed are
+//! discarded after one atomic load — the same "cheap when unobserved"
+//! contract as the real facade.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Event severity, lowest to highest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(u8);
+
+impl Level {
+    /// Finest-grained events.
+    pub const TRACE: Level = Level(0);
+    /// Diagnostic events.
+    pub const DEBUG: Level = Level(1);
+    /// Informational events.
+    pub const INFO: Level = Level(2);
+    /// Warnings.
+    pub const WARN: Level = Level(3);
+    /// Errors.
+    pub const ERROR: Level = Level(4);
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.0 {
+            0 => "TRACE",
+            1 => "DEBUG",
+            2 => "INFO",
+            3 => "WARN",
+            _ => "ERROR",
+        })
+    }
+}
+
+/// Receives every event fired after installation.
+pub trait Subscriber: Send + Sync {
+    /// Handle one event. `target` is the firing module path; `message` is
+    /// the formatted event text.
+    fn event(&self, level: Level, target: &str, message: fmt::Arguments<'_>);
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Error returned when a global subscriber was already installed.
+#[derive(Debug)]
+pub struct SetGlobalDefaultError;
+
+impl fmt::Display for SetGlobalDefaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a global default subscriber has already been set")
+    }
+}
+
+impl std::error::Error for SetGlobalDefaultError {}
+
+/// Install the process-global subscriber. Fails if one is already set.
+pub fn set_global_default(subscriber: Box<dyn Subscriber>) -> Result<(), SetGlobalDefaultError> {
+    SUBSCRIBER
+        .set(subscriber)
+        .map_err(|_| SetGlobalDefaultError)?;
+    INSTALLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// True once a subscriber is installed (one atomic load).
+pub fn subscriber_installed() -> bool {
+    INSTALLED.load(Ordering::Acquire)
+}
+
+#[doc(hidden)]
+pub fn __macro_support_event(level: Level, target: &str, message: fmt::Arguments<'_>) {
+    if INSTALLED.load(Ordering::Acquire) {
+        if let Some(sub) = SUBSCRIBER.get() {
+            sub.event(level, target, message);
+        }
+    }
+}
+
+/// Fire one event: `event!(Level::DEBUG, "collapsed {} buffers", n)`.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $($arg:tt)+) => {
+        $crate::__macro_support_event($lvl, module_path!(), format_args!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct CountingSub(AtomicU64);
+    impl Subscriber for CountingSub {
+        fn event(&self, _level: Level, _target: &str, _message: fmt::Arguments<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn events_without_subscriber_are_discarded_then_delivered_after_install() {
+        event!(Level::DEBUG, "dropped {}", 1);
+        assert!(set_global_default(Box::new(CountingSub(AtomicU64::new(0)))).is_ok());
+        assert!(subscriber_installed());
+        event!(Level::INFO, "delivered {}", 2);
+        event!(Level::ERROR, "delivered {}", 3);
+        // Second install attempt fails.
+        assert!(set_global_default(Box::new(CountingSub(AtomicU64::new(0)))).is_err());
+    }
+
+    #[test]
+    fn levels_order_and_render() {
+        assert!(Level::TRACE < Level::ERROR);
+        assert_eq!(Level::WARN.to_string(), "WARN");
+    }
+}
