@@ -222,7 +222,7 @@ fn bench_seal_and_collapse(c: &mut Criterion) {
                 for chunk in data.chunks(4096) {
                     sketch.insert_batch(chunk);
                 }
-                sketch.finish().query(0.5)
+                sketch.finish().expect("no worker panics").query(0.5)
             })
         });
     }

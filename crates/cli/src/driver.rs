@@ -258,7 +258,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
             Ok(())
         })?;
         let memory_elements = sketch.memory_bound_elements();
-        let outcome = sketch.finish();
+        let outcome = sketch.finish()?;
         let quantiles = report(
             outcome.query_many(&args.phis),
             outcome.total_n(),

@@ -54,12 +54,32 @@ impl<T: Ord + Clone> UnknownN<T> {
 
     /// Build from an explicit certified configuration.
     pub fn from_config(config: UnknownNConfig, seed: u64) -> Self {
-        let engine = Engine::new(
+        #[cfg_attr(not(feature = "invariant-audit"), allow(unused_mut))]
+        let mut engine = Engine::new(
             EngineConfig::new(config.b, config.k),
             AdaptiveLowestLevel,
             Mrl99Schedule::new(config.h),
             seed,
         );
+        // With the audit feature on, replay the schedule's certificate and
+        // attach it: the engine then re-checks the certified bound on the
+        // live tree at every seal/collapse. The replay is memoised per
+        // (b, h), so repeated construction (proptests, shard pools) pays
+        // for it once.
+        #[cfg(feature = "invariant-audit")]
+        {
+            use mrl_analysis::simulate::{simulate_schedule_cached, SimOptions};
+            if let Some(scalars) =
+                simulate_schedule_cached(config.b, config.h, SimOptions::default())
+            {
+                engine.set_certified_schedule(mrl_framework::CertifiedSchedule {
+                    g_pre: scalars.g_pre,
+                    g_post: scalars.g_post,
+                    alpha: config.alpha,
+                    epsilon: config.epsilon,
+                });
+            }
+        }
         Self {
             engine,
             config,

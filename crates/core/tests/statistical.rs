@@ -5,7 +5,9 @@
 use mrl_core::{ExtremeValue, OptimizerOptions, Tail, UnknownN};
 
 fn trials() -> u64 {
-    if cfg!(debug_assertions) {
+    if cfg!(miri) {
+        2
+    } else if cfg!(debug_assertions) {
         8
     } else {
         60
@@ -13,7 +15,9 @@ fn trials() -> u64 {
 }
 
 fn stream_len() -> u64 {
-    if cfg!(debug_assertions) {
+    if cfg!(miri) {
+        4_000
+    } else if cfg!(debug_assertions) {
         60_000
     } else {
         400_000

@@ -151,6 +151,10 @@ pub struct Engine<T, P, R> {
     max_allocated: usize,
     finished: bool,
     rng: SketchRng,
+    /// The offline-certified error coefficients this engine is audited
+    /// against after every seal/collapse (feature `invariant-audit`).
+    #[cfg(feature = "invariant-audit")]
+    certified: Option<crate::invariant::CertifiedSchedule>,
 }
 
 impl<T, P, R> Engine<T, P, R>
@@ -220,6 +224,8 @@ where
             max_allocated: 0,
             finished: false,
             rng: rng_from_seed(seed),
+            #[cfg(feature = "invariant-audit")]
+            certified: None,
         }
     }
 
@@ -472,6 +478,8 @@ where
             self.buffers[idx].make_sorted();
         }
         self.finished = true;
+        #[cfg(feature = "invariant-audit")]
+        self.audit_invariants("finish");
     }
 
     /// Estimate the φ-quantile of everything inserted so far.
@@ -707,6 +715,119 @@ where
         self.finished = finished;
     }
 
+    // ---- invariant auditor (feature "invariant-audit") -------------------
+
+    /// Attach the offline-certified error coefficients: every subsequent
+    /// seal/collapse/finish re-checks the live tree against them (see
+    /// [`crate::invariant`]).
+    #[cfg(feature = "invariant-audit")]
+    pub fn set_certified_schedule(&mut self, certified: crate::invariant::CertifiedSchedule) {
+        self.certified = Some(certified);
+    }
+
+    /// The attached certificate, if any.
+    #[cfg(feature = "invariant-audit")]
+    pub fn certified_schedule(&self) -> Option<&crate::invariant::CertifiedSchedule> {
+        self.certified.as_ref()
+    }
+
+    /// Assert every MRL structural invariant plus the analysis-certified
+    /// error bound on the live tree. Called after each seal, collapse and
+    /// finish; also callable from tests at arbitrary quiescent points.
+    ///
+    /// # Panics
+    /// Panics (with `context` in the message) on any violated invariant.
+    #[cfg(feature = "invariant-audit")]
+    pub fn audit_invariants(&self, context: &str) {
+        let k = self.config.buffer_size;
+        // Weight conservation: the mass `Output` sees is exactly the
+        // elements consumed — except after finish, where the partial
+        // buffer's tail block rounds its weight up by < one block.
+        let mass = self.output_mass();
+        let n = self.stats.elements + self.sampler.pending();
+        if self.finished {
+            assert!(
+                mass >= n && mass - n < self.fill_rate.max(1),
+                "[{context}] finished mass {mass} must round n {n} up by < one block \
+                 (rate {})",
+                self.fill_rate
+            );
+        } else {
+            assert_eq!(
+                mass, n,
+                "[{context}] weight conservation: output mass {mass} != elements {n}"
+            );
+        }
+        // Occupancy legality and sortedness, per slot.
+        assert!(
+            self.buffers.len() <= self.config.num_buffers,
+            "[{context}] {} slots allocated, budget is {}",
+            self.buffers.len(),
+            self.config.num_buffers
+        );
+        for (idx, b) in self.buffers.iter().enumerate() {
+            match b.state() {
+                BufferState::Empty => continue,
+                BufferState::Full => assert_eq!(
+                    b.data().len(),
+                    k,
+                    "[{context}] full buffer {idx} holds {} of {k} elements",
+                    b.data().len()
+                ),
+                BufferState::Partial => assert!(
+                    !b.data().is_empty() && b.data().len() <= k,
+                    "[{context}] partial buffer {idx} holds {} of {k} elements",
+                    b.data().len()
+                ),
+            }
+            assert!(
+                b.weight() >= 1,
+                "[{context}] buffer {idx} has weight {}",
+                b.weight()
+            );
+            // The partial buffer sealed by finish() carries the in-progress
+            // fill's level, which may not have a completed leaf yet — allow
+            // `fill_level` alongside the deepest recorded level.
+            let level_cap = self.stats.max_level.max(self.fill_level);
+            assert!(
+                b.level() <= level_cap,
+                "[{context}] buffer {idx} at level {} above the tree's max {level_cap}",
+                b.level()
+            );
+            if !self.unsorted_slots.contains(&idx) {
+                assert!(
+                    b.data().is_sorted(),
+                    "[{context}] buffer {idx} (weight {}, level {}) is not sorted",
+                    b.weight(),
+                    b.level()
+                );
+            }
+        }
+        // The certified bound: the live Lemma-4 tree error must stay within
+        // what the data-free replay proved for this (b, k, h) schedule. The
+        // replay covers the *streaming* schedule only — once finished, the
+        // §6 shipping collapse (`collapse_all_full`) merges across levels
+        // in a way the certificate never modelled, and its error is
+        // accounted by the coordinator's merge analysis instead.
+        if let Some(cert) = &self.certified {
+            if mass > 0 && !self.finished {
+                let sampling = self.rate_schedule.sampling_started();
+                let bound = self.tree_error_bound() as f64;
+                let budget = cert.tree_budget(sampling, mass, k);
+                assert!(
+                    bound <= budget,
+                    "[{context}] tree error {bound} exceeds certified g·mass/k = {budget} \
+                     (sampling {sampling}, mass {mass}, k {k})"
+                );
+                let eps_budget = cert.epsilon_budget(mass);
+                assert!(
+                    bound <= eps_budget,
+                    "[{context}] tree error {bound} exceeds ε·mass = {eps_budget} (mass {mass})"
+                );
+            }
+        }
+    }
+
     // ---- internals ------------------------------------------------------
 
     fn empty_slot(&self) -> Option<usize> {
@@ -820,6 +941,8 @@ where
                 .gauge_set(metrics::SAMPLING_ONSET_N, self.stats.elements as f64);
         }
         self.filling = false;
+        #[cfg(feature = "invariant-audit")]
+        self.audit_invariants("seal");
     }
 
     /// Refresh the point-in-time gauges (buffer occupancy by level,
@@ -965,5 +1088,7 @@ where
             self.metrics
                 .gauge_set(metrics::SAMPLING_ONSET_N, self.stats.elements as f64);
         }
+        #[cfg(feature = "invariant-audit")]
+        self.audit_invariants("collapse");
     }
 }

@@ -1,0 +1,67 @@
+//! Runtime invariant auditor (feature `invariant-audit`).
+//!
+//! The analysis crate certifies a `(b, k, h)` schedule *offline*: a
+//! data-free replay computes the per-k tree-error coefficients `g_pre` /
+//! `g_post` and proves `(W + w_max)/2 ≤ g·N/k ≤ ε·N` at every prefix
+//! (PAPER.md §4, Lemmas 4–5). With this feature enabled, the engine
+//! re-checks that certificate — plus the structural MRL invariants — on the
+//! *live* tree after every seal, collapse and finish, turning the offline
+//! proof into an always-on oracle for tests and proptests:
+//!
+//! * **Weight conservation** — the mass visible to `Output` equals the
+//!   number of stream elements consumed (finish may round the partial
+//!   buffer's tail block up by less than one block).
+//! * **Sortedness** — every populated buffer is sorted, except slots whose
+//!   seal was deliberately deferred (tracked raw until collapse/query).
+//! * **Occupancy legality** — at most `b` allocated slots, full buffers
+//!   hold exactly `k` elements, weights are positive, and no buffer sits
+//!   above the deepest level the tree has reached.
+//! * **Certified error bound** — the live `(W + w_max)/2` never exceeds
+//!   the phase's certified coefficient `g · mass/k`, nor `ε · mass`.
+//!
+//! The auditor is compiled out entirely without the feature; with it, each
+//! audit is `O(b·k)` (dominated by the sortedness scan) per seal/collapse —
+//! fine for tests, not for production ingestion.
+
+/// The offline-certified error coefficients for one `(b, k, h)` schedule,
+/// attached to an engine via
+/// [`Engine::set_certified_schedule`](crate::Engine::set_certified_schedule).
+///
+/// `g_pre` and `g_post` come from
+/// `mrl_analysis::simulate::ScheduleScalars` (the data-free replay's
+/// per-prefix extrema of `(W + w_max)/(2·mass/k)`); `alpha` and `epsilon`
+/// from the certified configuration. The auditor asserts the live tree
+/// never exceeds them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CertifiedSchedule {
+    /// Max of `(W + w_max)/(2m)` over pre-onset prefixes, in per-k units.
+    pub g_pre: f64,
+    /// Max of `(W + w_max)/(2m)` over post-onset prefixes, in per-k units.
+    pub g_post: f64,
+    /// Certified error split: the deterministic tree gets `α·ε` after
+    /// sampling onset, the sampling error `(1−α)·ε`.
+    pub alpha: f64,
+    /// The target rank-error fraction `ε` the schedule was certified for.
+    pub epsilon: f64,
+}
+
+impl CertifiedSchedule {
+    /// The certified ceiling on the live tree error `(W + w_max)/2` at a
+    /// prefix of `mass` weighted units, for the given phase. One extra
+    /// rank absorbs the engine's `div_ceil` integer rounding.
+    pub fn tree_budget(&self, sampling_started: bool, mass: u64, k: usize) -> f64 {
+        let g = if sampling_started {
+            self.g_post
+        } else {
+            self.g_pre
+        };
+        g * mass as f64 / k as f64 + 1.0
+    }
+
+    /// The paper-level ceiling `ε·mass` (plus the same rounding slack):
+    /// pre-onset the whole budget is the tree's, post-onset `α·ε ≤ ε`
+    /// still bounds it.
+    pub fn epsilon_budget(&self, mass: u64) -> f64 {
+        self.epsilon * mass as f64 + 1.0
+    }
+}

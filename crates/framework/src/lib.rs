@@ -31,6 +31,8 @@
 mod buffer;
 pub mod cdf;
 pub mod engine;
+#[cfg(feature = "invariant-audit")]
+pub mod invariant;
 mod merge;
 pub mod policy;
 mod runs;
@@ -43,6 +45,8 @@ mod types;
 pub use buffer::{Buffer, BufferMeta, BufferState};
 pub use cdf::CdfPoint;
 pub use engine::{Engine, EngineConfig};
+#[cfg(feature = "invariant-audit")]
+pub use invariant::CertifiedSchedule;
 pub use merge::{
     collapse_targets, output_position, select_weighted, select_weighted_into, total_mass,
     WeightedSource,

@@ -41,6 +41,7 @@ fn minimal_engine_b2_k1() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy interpreted loop; native jobs cover it")]
 fn all_identical_elements() {
     let mut e: Engine<u64, _, _> = Engine::new(
         EngineConfig::new(4, 8),
@@ -57,6 +58,7 @@ fn all_identical_elements() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy interpreted loop; native jobs cover it")]
 fn two_distinct_values_preserve_proportion() {
     // 30% zeros, 70% ones: the 0.29-quantile must be 0 and the
     // 0.31-quantile 1 (within epsilon of the boundary).
@@ -78,6 +80,7 @@ fn two_distinct_values_preserve_proportion() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy interpreted loop; native jobs cover it")]
 fn float_elements_via_ordered_wrapper() {
     let mut e: Engine<OrderedF64, _, _> = Engine::new(
         EngineConfig::new(4, 32),

@@ -132,6 +132,7 @@ fn finish_overcounts_less_than_one_block() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy interpreted loop; native jobs cover it")]
 fn output_is_nondestructive_and_repeatable() {
     let mut e = mrl99_engine(5, 16, 2, 6);
     for i in 0..3000u64 {
@@ -266,6 +267,7 @@ fn sampling_rate_doubles_as_tree_grows() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy interpreted loop; native jobs cover it")]
 fn memory_is_bounded_by_bk() {
     let (b, k) = (5, 32);
     let mut e = mrl99_engine(b, k, 3, 10);

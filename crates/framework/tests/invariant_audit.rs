@@ -1,0 +1,98 @@
+//! The runtime invariant auditor (feature `invariant-audit`): the engine
+//! re-checks the MRL structural invariants and an attached certificate
+//! after every seal/collapse. These tests drive it through honest runs
+//! (the auditor must stay silent) and prove it actually bites by
+//! attaching an impossibly tight certificate.
+#![cfg(feature = "invariant-audit")]
+
+use mrl_framework::{
+    AdaptiveLowestLevel, CertifiedSchedule, Engine, EngineConfig, FixedRate, Mrl99Schedule,
+};
+
+#[test]
+fn honest_runs_pass_every_audit() {
+    // Deterministic and sampled schedules, scrambled input, queries and a
+    // finish: every seal/collapse audits itself, and explicit audits at
+    // quiescent points must also hold.
+    let mut e = Engine::new(
+        EngineConfig::new(4, 16),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        9,
+    );
+    for i in 0..20_000u64 {
+        e.insert((i * 2654435761) % 20_000);
+        if i % 4_999 == 0 {
+            e.audit_invariants("explicit");
+        }
+    }
+    assert!(e.query(0.5).is_some());
+    e.finish();
+    e.audit_invariants("after-finish");
+}
+
+#[test]
+fn deterministic_engine_audits_under_fixed_rate() {
+    let mut e = Engine::new(
+        EngineConfig::new(3, 8),
+        AdaptiveLowestLevel,
+        FixedRate::new(1),
+        3,
+    );
+    e.extend((0..5_000u64).rev());
+    e.audit_invariants("deterministic");
+    e.finish();
+}
+
+#[test]
+fn generous_certificate_is_accepted() {
+    let mut e = Engine::new(
+        EngineConfig::new(4, 32),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        7,
+    );
+    // The Lemma-4 bound can never exceed mass/2 + w_max/2 <= mass, so a
+    // per-k coefficient of k rank units is always satisfiable.
+    e.set_certified_schedule(CertifiedSchedule {
+        g_pre: 32.0,
+        g_post: 32.0,
+        alpha: 0.5,
+        epsilon: 1.0,
+    });
+    e.extend((0..50_000u64).map(|i| (i * 48271) % 49_999));
+    e.finish();
+}
+
+#[test]
+#[should_panic(expected = "exceeds certified")]
+fn impossible_certificate_trips_the_auditor() {
+    let mut e = Engine::new(
+        EngineConfig::new(3, 8),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(1),
+        5,
+    );
+    // No schedule satisfies a zero tree-error budget once a collapse has
+    // happened; the first collapse's audit must fire.
+    e.set_certified_schedule(CertifiedSchedule {
+        g_pre: 0.0,
+        g_post: 0.0,
+        alpha: 0.5,
+        epsilon: 0.0,
+    });
+    e.extend(0..5_000u64);
+}
+
+#[test]
+fn certificate_budgets_scale_with_mass() {
+    let cert = CertifiedSchedule {
+        g_pre: 1.5,
+        g_post: 2.5,
+        alpha: 0.5,
+        epsilon: 0.05,
+    };
+    assert!(cert.tree_budget(false, 1_000, 10) < cert.tree_budget(false, 2_000, 10));
+    assert!(cert.tree_budget(true, 1_000, 10) > cert.tree_budget(false, 1_000, 10));
+    assert_eq!(cert.epsilon_budget(1_000), 51.0);
+}

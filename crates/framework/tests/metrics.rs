@@ -73,6 +73,7 @@ fn counters_match_tree_stats_at_rate_one() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy interpreted loop; native jobs cover it")]
 fn rate_transitions_and_onset_are_published() {
     let rec = Arc::new(InMemoryRecorder::new());
     let mut e = Engine::new(

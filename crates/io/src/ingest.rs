@@ -134,7 +134,7 @@ pub fn column_quantiles_sharded_with_metrics<P: AsRef<Path>>(
     while scan.read_chunk(&mut chunk, INGEST_CHUNK)? > 0 {
         sketch.insert_batch(&chunk);
     }
-    let outcome = sketch.finish();
+    let outcome = sketch.finish()?;
     let quantiles = ColumnQuantiles {
         n: outcome.total_n(),
         quantiles: outcome.query_many(phis).unwrap_or_default(),

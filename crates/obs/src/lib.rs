@@ -31,6 +31,7 @@ mod key;
 mod memory;
 mod recorder;
 mod snapshot;
+pub(crate) mod sync;
 mod timer;
 #[cfg(feature = "tracing")]
 mod tracing_support;

@@ -1,17 +1,25 @@
 //! A lock-free in-memory recorder: fixed-capacity open-addressing table
 //! of atomic metric slots.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+//!
+//! All concurrency primitives come from [`crate::sync`], so building with
+//! `RUSTFLAGS="--cfg loom"` swaps them for the model checker's and
+//! `tests/loom.rs` can exhaustively explore the claim/publish/snapshot
+//! interleavings below.
 
 use crate::key::Key;
 use crate::recorder::Recorder;
 use crate::snapshot::{HistogramSummary, MetricsSnapshot};
+use crate::sync::{AtomicU64, OnceLock, Ordering};
 
 /// Power-of-two slot count. 512 series is far above what the stack emits
 /// (a few dozen plus per-shard/per-level labels); updates past capacity
 /// are counted in [`InMemoryRecorder::dropped`] rather than blocking.
+#[cfg(not(loom))]
 const SLOTS: usize = 512;
+/// Under the model checker the table shrinks to 4 slots so probe chains
+/// and table exhaustion are reachable within a few scheduling decisions.
+#[cfg(loom)]
+const SLOTS: usize = 4;
 
 /// Log₂ histogram buckets: bucket `i ≥ 1` holds samples in
 /// `[2^(i−1), 2^i)`, bucket 0 holds zeros, the last bucket saturates.
@@ -58,13 +66,13 @@ impl Slot {
     }
 
     fn zero_values(&self) {
-        self.value.store(0, Ordering::Relaxed);
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.value.store(0, Ordering::Relaxed); // ordering: relaxed — reset is documented single-writer
+        self.count.store(0, Ordering::Relaxed); // ordering: relaxed — reset is documented single-writer
+        self.sum.store(0, Ordering::Relaxed); // ordering: relaxed — reset is documented single-writer
+        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: relaxed — reset is documented single-writer
+        self.max.store(0, Ordering::Relaxed); // ordering: relaxed — reset is documented single-writer
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: relaxed — reset is documented single-writer
         }
     }
 }
@@ -106,23 +114,38 @@ impl InMemoryRecorder {
         }
     }
 
+    /// Slot-table capacity: the number of distinct `(key, kind)` series
+    /// the recorder can hold before updates land in [`Self::dropped`].
+    /// Shrunk under `cfg(loom)` so model tests can exhaust it cheaply.
+    pub const fn capacity() -> usize {
+        SLOTS
+    }
+
+    /// The home slot index a counter series hashes to. Model tests use
+    /// this to construct keys with guaranteed index collisions, forcing
+    /// the linear-probe path.
+    #[cfg(loom)]
+    pub fn counter_home_slot(key: Key) -> usize {
+        Self::slot_fingerprint(key, Kind::Counter) as usize & (SLOTS - 1)
+    }
+
     /// Updates discarded because the slot table was full (or a pathological
     /// probe chain was exhausted). Zero in any sane deployment.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.load(Ordering::Relaxed) // ordering: relaxed — independent counter, no payload to acquire
     }
 
     /// Current value of a counter series (0 if it has never been touched).
     pub fn counter_value(&self, key: Key) -> u64 {
         self.find(key, Kind::Counter)
-            .map(|s| s.value.load(Ordering::Relaxed))
+            .map(|s| s.value.load(Ordering::Relaxed)) // ordering: relaxed — monotone counter read, staleness is fine
             .unwrap_or(0)
     }
 
     /// Current value of a gauge series, if it has been set.
     pub fn gauge_value(&self, key: Key) -> Option<f64> {
         self.find(key, Kind::Gauge)
-            .map(|s| f64::from_bits(s.value.load(Ordering::Relaxed)))
+            .map(|s| f64::from_bits(s.value.load(Ordering::Relaxed))) // ordering: relaxed — last-write-wins gauge, staleness is fine
     }
 
     /// Zero every series' values in place (identities are kept, so
@@ -131,11 +154,12 @@ impl InMemoryRecorder {
     /// concurrent writers may land updates on either side of the reset.
     pub fn reset(&self) {
         for slot in self.slots.iter() {
+            // ordering: acquire — pairs with the claim CAS release so the slot's atomics exist before zeroing
             if slot.fingerprint.load(Ordering::Acquire) != 0 {
                 slot.zero_values();
             }
         }
-        self.dropped.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed); // ordering: relaxed — independent counter
     }
 
     /// A consistent-enough point-in-time copy of every series. Individual
@@ -145,6 +169,7 @@ impl InMemoryRecorder {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         for slot in self.slots.iter() {
+            // ordering: acquire — pairs with the claim CAS release; a claimed slot's identity write is visible
             if slot.fingerprint.load(Ordering::Acquire) == 0 {
                 continue;
             }
@@ -155,29 +180,31 @@ impl InMemoryRecorder {
             match kind {
                 Kind::Counter => {
                     snap.counters
-                        .insert(name, slot.value.load(Ordering::Relaxed));
+                        .insert(name, slot.value.load(Ordering::Relaxed)); // ordering: relaxed — monitoring read
                 }
                 Kind::Gauge => {
-                    snap.gauges
-                        .insert(name, f64::from_bits(slot.value.load(Ordering::Relaxed)));
+                    // ordering: relaxed — monitoring read
+                    let bits = slot.value.load(Ordering::Relaxed);
+                    snap.gauges.insert(name, f64::from_bits(bits));
                 }
                 Kind::Histogram => {
-                    let count = slot.count.load(Ordering::Relaxed);
-                    if count == 0 {
-                        continue;
-                    }
+                    // A registered series is reported even at count == 0
+                    // (e.g. after `reset`): `from_parts` maps the empty
+                    // slot's `min = u64::MAX` sentinel to an all-zero
+                    // summary and the text exporter skips it.
+                    let count = slot.count.load(Ordering::Relaxed); // ordering: relaxed — monitoring read
                     let buckets: Vec<u64> = slot
                         .buckets
                         .iter()
-                        .map(|b| b.load(Ordering::Relaxed))
+                        .map(|b| b.load(Ordering::Relaxed)) // ordering: relaxed — monitoring read
                         .collect();
                     snap.histograms.insert(
                         name,
                         HistogramSummary::from_parts(
                             count,
-                            slot.sum.load(Ordering::Relaxed),
-                            slot.min.load(Ordering::Relaxed),
-                            slot.max.load(Ordering::Relaxed),
+                            slot.sum.load(Ordering::Relaxed), // ordering: relaxed — monitoring read
+                            slot.min.load(Ordering::Relaxed), // ordering: relaxed — monitoring read
+                            slot.max.load(Ordering::Relaxed), // ordering: relaxed — monitoring read
                             &buckets,
                         ),
                     );
@@ -205,7 +232,7 @@ impl InMemoryRecorder {
         let mut idx = fp as usize & (SLOTS - 1);
         for _ in 0..SLOTS {
             let slot = &self.slots[idx];
-            let cur = slot.fingerprint.load(Ordering::Acquire);
+            let cur = slot.fingerprint.load(Ordering::Acquire); // ordering: acquire — pairs with the claim CAS release before trusting the slot
             if cur == 0 {
                 return None;
             }
@@ -227,6 +254,7 @@ impl InMemoryRecorder {
             let slot = &self.slots[idx];
             match slot
                 .fingerprint
+                // ordering: acqrel — release publishes the claim to probers, acquire on failure observes a winner's claim
                 .compare_exchange(0, fp, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => {
@@ -247,7 +275,7 @@ impl InMemoryRecorder {
             }
             idx = (idx + 1) & (SLOTS - 1);
         }
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — independent counter, read after joins only
         None
     }
 
@@ -258,7 +286,7 @@ impl InMemoryRecorder {
             if let Some(id) = slot.identity.get() {
                 return id;
             }
-            std::hint::spin_loop();
+            crate::sync::spin_loop();
         }
     }
 }
@@ -266,28 +294,28 @@ impl InMemoryRecorder {
 impl Recorder for InMemoryRecorder {
     fn counter_add(&self, key: Key, delta: u64) {
         if let Some(slot) = self.find_or_claim(key, Kind::Counter) {
-            slot.value.fetch_add(delta, Ordering::Relaxed);
+            slot.value.fetch_add(delta, Ordering::Relaxed); // ordering: relaxed — rmw atomicity is all the counter needs
         }
     }
 
     fn gauge_set(&self, key: Key, value: f64) {
         if let Some(slot) = self.find_or_claim(key, Kind::Gauge) {
-            slot.value.store(value.to_bits(), Ordering::Relaxed);
+            slot.value.store(value.to_bits(), Ordering::Relaxed); // ordering: relaxed — last-write-wins gauge
         }
     }
 
     fn histogram_record(&self, key: Key, value: u64) {
         if let Some(slot) = self.find_or_claim(key, Kind::Histogram) {
-            slot.count.fetch_add(1, Ordering::Relaxed);
-            slot.sum.fetch_add(value, Ordering::Relaxed);
-            slot.min.fetch_min(value, Ordering::Relaxed);
-            slot.max.fetch_max(value, Ordering::Relaxed);
+            slot.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — per-field rmw; snapshot tolerates skew
+            slot.sum.fetch_add(value, Ordering::Relaxed); // ordering: relaxed — per-field rmw; snapshot tolerates skew
+            slot.min.fetch_min(value, Ordering::Relaxed); // ordering: relaxed — per-field rmw; snapshot tolerates skew
+            slot.max.fetch_max(value, Ordering::Relaxed); // ordering: relaxed — per-field rmw; snapshot tolerates skew
             let bucket = if value == 0 {
                 0
             } else {
                 (BUCKETS - value.leading_zeros() as usize).min(BUCKETS - 1)
             };
-            slot.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            slot.buckets[bucket].fetch_add(1, Ordering::Relaxed); // ordering: relaxed — per-field rmw; snapshot tolerates skew
         }
     }
 }
@@ -369,6 +397,26 @@ mod tests {
         assert_eq!(r.counter_value(k), 0);
         r.counter_add(k, 2);
         assert_eq!(r.counter_value(k), 2);
+    }
+
+    #[test]
+    fn registered_but_never_sampled_histogram_has_zero_min() {
+        // Regression: the reset path leaves a claimed histogram slot with
+        // count == 0 and the `min = u64::MAX` running-minimum sentinel; the
+        // snapshot must report the series with min = 0, and the text
+        // exporter must skip it.
+        let r = InMemoryRecorder::new();
+        let k = Key::new("idle.ns");
+        r.histogram_record(k, 42);
+        r.reset();
+        let snap = r.snapshot();
+        let h = &snap.histograms["idle.ns"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, 0, "sentinel leaked into the export");
+        assert_eq!(h.max, 0);
+        assert!(!snap.render_text().contains("idle.ns"));
+        // JSON still carries the registered series for machine consumers.
+        assert!(snap.to_json().contains("idle.ns"));
     }
 
     #[test]

@@ -35,6 +35,12 @@ impl HistogramSummary {
     /// zero samples; `buckets[i]` (`i ≥ 1`) counts samples in
     /// `[2^(i−1), 2^i)`.
     pub(crate) fn from_parts(count: u64, sum: u64, min: u64, max: u64, buckets: &[u64]) -> Self {
+        if count == 0 {
+            // A registered-but-never-sampled series: the slot's running
+            // minimum still holds its u64::MAX sentinel, which must not
+            // leak into exports as a real observation.
+            return Self::default();
+        }
         let quantile = |q: f64| -> f64 {
             let target = (q * count as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
@@ -57,11 +63,7 @@ impl HistogramSummary {
             sum,
             min,
             max,
-            mean: if count == 0 {
-                0.0
-            } else {
-                sum as f64 / count as f64
-            },
+            mean: sum as f64 / count as f64,
             p50: quantile(0.5),
             p90: quantile(0.9),
             p99: quantile(0.99),
@@ -111,6 +113,10 @@ impl MetricsSnapshot {
             out.push_str(&format!("{k:<width$}  {v:.6}\n"));
         }
         for (k, h) in &self.histograms {
+            if h.count == 0 {
+                // Registered but never sampled: nothing meaningful to print.
+                continue;
+            }
             out.push_str(&format!(
                 "{k:<width$}  n={} mean={:.0} min={} p50={:.0} p90={:.0} p99={:.0} max={}\n",
                 h.count, h.mean, h.min, h.p50, h.p90, h.p99, h.max
@@ -137,6 +143,37 @@ mod tests {
         assert!(h.p50 >= 8.0 && h.p50 < 16.0, "p50 {}", h.p50);
         assert!(h.p99 < 1024.0 + 1.0);
         assert!((h.mean - (824.0 + 1000.0) / 101.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min_not_sentinel() {
+        // Regression: a registered-but-never-sampled histogram used to
+        // surface the slot's running-minimum sentinel as `min = u64::MAX`.
+        let h = HistogramSummary::from_parts(0, 0, u64::MAX, 0, &[0u64; 64]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.mean, 0.0);
+        assert_eq!(h.p50, 0.0);
+        assert_eq!(h, HistogramSummary::default());
+    }
+
+    #[test]
+    fn text_exporter_skips_empty_histogram_series() {
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms
+            .insert("silent".into(), HistogramSummary::default());
+        snap.histograms.insert(
+            "busy".into(),
+            HistogramSummary::from_parts(1, 7, 7, 7, &{
+                let mut b = vec![0u64; 64];
+                b[3] = 1;
+                b
+            }),
+        );
+        let text = snap.render_text();
+        assert!(!text.contains("silent"), "empty series rendered: {text}");
+        assert!(text.contains("busy"));
     }
 
     #[test]

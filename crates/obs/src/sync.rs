@@ -1,0 +1,23 @@
+//! Swappable concurrency primitives for the lock-free recorder.
+//!
+//! Compiled normally these are plain re-exports of `std`; under
+//! `RUSTFLAGS="--cfg loom"` they swap to the `loom` model checker's
+//! instrumented equivalents so `tests/loom.rs` can exhaustively explore
+//! the slot-claim CAS, identity-publication and snapshot interleavings.
+//! All atomic code in this crate must import from here, never from
+//! `std::sync` directly — `cargo xtask lint` does not enforce this one
+//! mechanically, but the loom tests only cover what goes through it.
+
+#[cfg(loom)]
+pub(crate) use loom::hint::spin_loop;
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::OnceLock;
+
+#[cfg(not(loom))]
+pub(crate) use std::hint::spin_loop;
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::OnceLock;

@@ -1,0 +1,78 @@
+//! Contention hammer for the lock-free recorder's conservation law.
+//!
+//! Whatever the interleaving, every `counter_add` must end up in exactly
+//! one place: some slot's total, or the `dropped` tally. N threads cycle
+//! through more distinct labels than the slot table holds, so claims,
+//! probe chains and table exhaustion all race concurrently — and the
+//! books must still balance to the update exactly.
+
+use std::sync::Arc;
+
+use mrl_obs::{InMemoryRecorder, Key, Recorder};
+use proptest::prelude::*;
+
+/// Hammer a fresh recorder and return `(sum of counters, dropped, total)`.
+fn hammer(threads: usize, updates_per_thread: usize, labels: u32, seed: u64) -> (u64, u64, u64) {
+    let r = Arc::new(InMemoryRecorder::new());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                // Per-thread LCG so threads hit the shared label space in
+                // different, colliding orders.
+                let mut state = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for _ in 0..updates_per_thread {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let label = ((state >> 33) % u64::from(labels)) as u32;
+                    r.counter_add(Key::labeled("hammer", label), 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = r.snapshot();
+    let sum: u64 = snap.counters.values().sum();
+    (sum, snap.dropped, (threads * updates_per_thread) as u64)
+}
+
+#[test]
+fn oversubscribed_table_still_balances_exactly() {
+    // 700 distinct series against 512 slots: drops are guaranteed, yet
+    // sum(slot counts) + dropped must equal the updates issued.
+    let (sum, dropped, total) = hammer(8, 20_000, 700, 0x5EED);
+    assert!(
+        dropped > 0,
+        "700 series cannot fit {} slots",
+        InMemoryRecorder::capacity()
+    );
+    assert_eq!(sum + dropped, total);
+}
+
+#[test]
+fn undersubscribed_table_drops_nothing() {
+    let (sum, dropped, total) = hammer(8, 20_000, 64, 0x5EED);
+    assert_eq!(dropped, 0);
+    assert_eq!(sum, total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_holds_under_arbitrary_contention(
+        threads in 2usize..6,
+        updates_per_thread in 100usize..2_000,
+        labels in 1u32..700,
+        seed in any::<u64>(),
+    ) {
+        let (sum, dropped, total) = hammer(threads, updates_per_thread, labels, seed);
+        prop_assert_eq!(sum + dropped, total);
+        if labels as usize <= InMemoryRecorder::capacity() {
+            prop_assert_eq!(dropped, 0);
+        }
+    }
+}

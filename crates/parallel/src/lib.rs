@@ -38,5 +38,7 @@ mod runner;
 pub use coordinator::Coordinator;
 pub use hierarchy::{merge_hierarchical, ship_upward};
 pub use merge::merge_sketches;
-pub use pipeline::{PipelineTelemetry, ShardedOutcome, ShardedSketch, DEFAULT_SHARD_BATCH};
+pub use pipeline::{
+    PipelineTelemetry, ShardedError, ShardedOutcome, ShardedSketch, DEFAULT_SHARD_BATCH,
+};
 pub use runner::{parallel_quantiles, ParallelOutcome};

@@ -16,6 +16,7 @@
 //! stream in memory — ingestion stays `O(shards · b · k)` no matter how
 //! fast the input arrives.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -52,6 +53,40 @@ pub mod metrics {
     pub const DISPATCHED: Key = Key::new("pipeline.dispatched");
 }
 
+/// Why a sharded ingestion run failed.
+///
+/// A worker that panics poisons only its own shard: the producer notices
+/// (its channel disconnects), stops dispatching, and the failure surfaces
+/// as a clean error from [`ShardedSketch::finish`] instead of aborting the
+/// coordinator with a propagated panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardedError {
+    /// The worker thread of `shard` panicked; the elements routed to it are
+    /// lost, so no `(ε, δ)`-certified answer exists for this run.
+    WorkerPanicked {
+        /// Index of the poisoned shard, in `0..shards`.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked; sharded query aborted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {}
+
+impl From<ShardedError> for std::io::Error {
+    fn from(err: ShardedError) -> Self {
+        std::io::Error::other(err)
+    }
+}
+
 /// Default elements per dispatched batch. Large enough that the channel
 /// and wakeup overhead amortises to well under a nanosecond per element;
 /// small enough that shards stay busy on modest streams.
@@ -79,7 +114,7 @@ type ShardShipment<T> = (u64, TreeStats, Vec<Buffer<T>>);
 /// let mut sketch =
 ///     ShardedSketch::<u64>::new(2, 0.05, 0.01, OptimizerOptions::fast(), 1);
 /// sketch.insert_batch(&(0..100_000u64).collect::<Vec<_>>());
-/// let outcome = sketch.finish();
+/// let outcome = sketch.finish().expect("no shard panicked");
 /// let median = outcome.query(0.5).unwrap();
 /// assert!((median as f64 - 50_000.0).abs() <= 0.05 * 100_000.0 + 1.0);
 /// ```
@@ -94,6 +129,9 @@ pub struct ShardedSketch<T> {
     next_shard: usize,
     batch: usize,
     dispatched: u64,
+    /// First shard observed dead (its channel disconnected, i.e. its worker
+    /// panicked). Once set, dispatch stops and `finish` reports the error.
+    dead_shard: Option<usize>,
     config: UnknownNConfig,
     seed: u64,
     metrics: MetricsHandle,
@@ -168,6 +206,8 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
                 let shard = i as u32;
                 let mut sketch = UnknownN::from_config(config, shard_seed);
                 while let Ok(batch) = rx.recv() {
+                    // ordering: relaxed — monitoring gauge; the channel recv
+                    // already ordered this after the producer's increment.
                     worker_depth.fetch_sub(1, Ordering::Relaxed);
                     let timer = worker_metrics.timer(Key::labeled(metrics::BATCH_NS, shard));
                     sketch.insert_batch(&batch);
@@ -191,6 +231,7 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
             next_shard: 0,
             batch: DEFAULT_SHARD_BATCH,
             dispatched: 0,
+            dead_shard: None,
             config,
             seed,
             metrics,
@@ -262,41 +303,51 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     }
 
     /// Hand the pending batch to the next shard, blocking while that
-    /// shard's queue is full (the pipeline's backpressure).
+    /// shard's queue is full (the pipeline's backpressure). A disconnected
+    /// channel means the worker panicked: the shard is marked dead, further
+    /// dispatch stops, and [`ShardedSketch::finish`] reports the failure.
     fn dispatch(&mut self) {
         let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
+        if self.dead_shard.is_some() {
+            // The run is already doomed; dropping the batch keeps the
+            // producer non-blocking until the error surfaces at finish().
+            return;
+        }
         self.dispatched += batch.len() as u64;
         let shard = self.next_shard;
         // Count the batch as in flight *before* the send: the worker's
         // decrement is ordered after its receive, which is ordered after
         // this send, so the counter never goes below zero.
+        // ordering: Relaxed suffices — the gauge is monitoring-only and the
+        // channel send/receive provides the producer→worker happens-before.
         let depth = self.queue_depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
-        if self.metrics.is_enabled() {
+        let delivered = if self.metrics.is_enabled() {
             // Distinguish a clean hand-off from a backpressure stall: only
             // the blocking fallback is timed, so the stall histogram
             // measures time actually spent waiting on the slow consumer.
-            match self.senders[shard].try_send(batch) {
-                Ok(()) => {}
+            let delivered = match self.senders[shard].try_send(batch) {
+                Ok(()) => true,
                 Err(TrySendError::Full(batch)) => {
                     self.metrics.counter_add(metrics::DISPATCH_STALLS, 1);
                     let timer = self.metrics.timer(metrics::STALL_NS);
-                    self.senders[shard]
-                        .send(batch)
-                        .expect("shard worker panicked");
+                    let sent = self.senders[shard].send(batch).is_ok();
                     timer.stop();
+                    sent
                 }
-                Err(TrySendError::Disconnected(_)) => panic!("shard worker panicked"),
-            }
+                Err(TrySendError::Disconnected(_)) => false,
+            };
             self.metrics.gauge_set(
                 Key::labeled(metrics::QUEUE_DEPTH, shard as u32),
                 depth as f64,
             );
             self.metrics
                 .gauge_set(metrics::DISPATCHED, self.dispatched as f64);
+            delivered
         } else {
-            self.senders[shard]
-                .send(batch)
-                .expect("shard worker panicked");
+            self.senders[shard].send(batch).is_ok()
+        };
+        if !delivered {
+            self.dead_shard = Some(shard);
         }
         self.next_shard = (shard + 1) % self.senders.len();
     }
@@ -305,24 +356,36 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     /// channel, join the workers, and merge their shipments at a
     /// [`Coordinator`].
     ///
-    /// # Panics
-    /// Panics if a shard worker panicked.
-    pub fn finish(mut self) -> ShardedOutcome<T> {
+    /// # Errors
+    /// Returns [`ShardedError::WorkerPanicked`] if any shard's worker
+    /// thread panicked: its elements are lost, so no certified answer
+    /// exists. Every surviving worker is still joined first, so the pool
+    /// is fully torn down either way.
+    pub fn finish(mut self) -> Result<ShardedOutcome<T>, ShardedError> {
         if !self.pending.is_empty() {
             self.dispatch();
         }
         // Closing the channels ends each worker's receive loop.
         self.senders.clear();
+        let mut dead_shard = self.dead_shard;
         let mut per_shard = Vec::with_capacity(self.handles.len());
-        let shipments: Vec<(u64, Vec<Buffer<T>>)> = self
-            .handles
-            .drain(..)
-            .map(|h| {
-                let (n, stats, buffers) = h.join().expect("shard worker panicked");
-                per_shard.push(stats);
-                (n, buffers)
-            })
-            .collect();
+        let mut shipments: Vec<(u64, Vec<Buffer<T>>)> = Vec::with_capacity(self.handles.len());
+        for (shard, h) in self.handles.drain(..).enumerate() {
+            match h.join() {
+                Ok((n, stats, buffers)) => {
+                    per_shard.push(stats);
+                    shipments.push((n, buffers));
+                }
+                // Keep joining the rest: the pool must be fully reaped even
+                // when the run is already doomed.
+                Err(_) => {
+                    dead_shard.get_or_insert(shard);
+                }
+            }
+        }
+        if let Some(shard) = dead_shard {
+            return Err(ShardedError::WorkerPanicked { shard });
+        }
         let workers = shipments.len();
         let (coordinator, total_n) = Coordinator::from_shipments(
             self.config.b,
@@ -332,12 +395,12 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         );
         debug_assert_eq!(total_n, self.dispatched);
         let telemetry = PipelineTelemetry::from_shards(total_n, per_shard);
-        ShardedOutcome {
+        Ok(ShardedOutcome {
             coordinator,
             total_n,
             workers,
             telemetry,
-        }
+        })
     }
 }
 
@@ -444,7 +507,7 @@ mod tests {
             sharded.insert_batch(chunk);
         }
         assert_eq!(sharded.n(), data.len() as u64);
-        let out = sharded.finish();
+        let out = sharded.finish().expect("no shard panicked");
         assert_eq!(out.total_n(), data.len() as u64);
         assert_eq!(out.workers(), 4);
         // The coordinator's represented mass equals the shipped mass, which
@@ -466,11 +529,19 @@ mod tests {
 
         let mut single = ShardedSketch::<u64>::new(1, eps, 0.01, fast(), 3);
         single.insert_batch(&data);
-        let single_q = single.finish().query_many(&phis).unwrap();
+        let single_q = single
+            .finish()
+            .expect("no shard panicked")
+            .query_many(&phis)
+            .unwrap();
 
         let mut sharded = ShardedSketch::<u64>::new(4, eps, 0.01, fast(), 3);
         sharded.insert_batch(&data);
-        let sharded_q = sharded.finish().query_many(&phis).unwrap();
+        let sharded_q = sharded
+            .finish()
+            .expect("no shard panicked")
+            .query_many(&phis)
+            .unwrap();
 
         let mut sorted = data.clone();
         sorted.sort_unstable();
@@ -492,7 +563,7 @@ mod tests {
         }
         s.insert_batch(&[9, 9, 9]);
         assert_eq!(s.n(), 1_237);
-        let out = s.finish();
+        let out = s.finish().expect("no shard panicked");
         assert_eq!(out.total_n(), 1_237);
         assert!(out.query(0.5).is_some());
     }
@@ -512,7 +583,7 @@ mod tests {
         );
         let data = uniform(120_000);
         s.insert_batch(&data);
-        let out = s.finish();
+        let out = s.finish().expect("no shard panicked");
 
         let t = out.telemetry();
         assert_eq!(t.total_n, 120_000);
@@ -540,17 +611,89 @@ mod tests {
     #[test]
     fn empty_stream_returns_none() {
         let s = ShardedSketch::<u64>::new(3, 0.1, 0.01, fast(), 1);
-        let out = s.finish();
+        let out = s.finish().expect("no shard panicked");
         assert_eq!(out.total_n(), 0);
         assert_eq!(out.query(0.5), None);
         assert_eq!(out.rank_of(&7), None);
+    }
+
+    /// A configuration whose engine construction asserts (`b = 1` violates
+    /// `EngineConfig::new`'s `b ≥ 2` requirement), so every worker panics
+    /// the moment it starts. The panic must surface as a clean
+    /// [`ShardedError::WorkerPanicked`], not abort the producer.
+    fn poisoned_config() -> UnknownNConfig {
+        let mut config =
+            mrl_analysis::optimizer::optimize_unknown_n_with(0.1, 0.01, OptimizerOptions::fast());
+        config.b = 1;
+        config
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_sharded_error() {
+        let mut s = ShardedSketch::<u64>::from_config(poisoned_config(), 2, 7).with_batch_size(8);
+        // Keep feeding past the panic: sends to the dead shard's
+        // disconnected channel must degrade into `dead_shard`, never panic
+        // or block the producer.
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        match s.finish() {
+            Err(ShardedError::WorkerPanicked { shard }) => assert!(shard < 2),
+            Ok(_) => panic!("poisoned run produced an outcome"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_detected_even_without_dispatch() {
+        // No data ever dispatched: the dead workers are only discovered at
+        // join time, which must still report the lowest poisoned shard.
+        let s = ShardedSketch::<u64>::from_config(poisoned_config(), 3, 1);
+        assert_eq!(
+            s.finish().map(|out| out.total_n()),
+            Err(ShardedError::WorkerPanicked { shard: 0 })
+        );
+    }
+
+    #[test]
+    fn worker_panic_error_formats_and_converts() {
+        let err = ShardedError::WorkerPanicked { shard: 5 };
+        assert!(err.to_string().contains("shard 5"));
+        let io: std::io::Error = err.clone().into();
+        assert!(io.to_string().contains("shard 5"));
+    }
+
+    /// Shutdown/backpressure interleaving: a single-shard pipeline with a
+    /// deliberately slow consumer is driven through every queue state
+    /// (empty → full → blocked producer → drain → close). Exercises the
+    /// bounded-channel protocol end to end: the producer must block (not
+    /// drop) on a full queue, and `finish` must drain every in-flight batch
+    /// before the worker's channel closes.
+    #[test]
+    fn backpressure_blocks_then_shutdown_drains_every_batch() {
+        for round in 0..16u64 {
+            let config = mrl_analysis::optimizer::optimize_unknown_n_with(
+                0.1,
+                0.01,
+                OptimizerOptions::fast(),
+            );
+            let mut s = ShardedSketch::<u64>::from_config(config, 1, round).with_batch_size(1);
+            // QUEUE_DEPTH + 1 batches saturate the queue and park the
+            // producer at least once per round; varying the total count
+            // shifts which send observes the full queue.
+            let total = (QUEUE_DEPTH as u64 + 1) * 64 + round;
+            for i in 0..total {
+                s.insert(i);
+            }
+            let out = s.finish().expect("no shard panicked");
+            assert_eq!(out.total_n(), total, "round {round} lost a batch");
+        }
     }
 
     #[test]
     fn extend_round_robins_across_shards() {
         let mut s = ShardedSketch::<u64>::new(3, 0.1, 0.01, fast(), 2).with_batch_size(10);
         s.extend(0..95u64);
-        let out = s.finish();
+        let out = s.finish().expect("no shard panicked");
         assert_eq!(out.total_n(), 95);
         assert_eq!(out.workers(), 3);
         let q = out.query(1.0).unwrap();

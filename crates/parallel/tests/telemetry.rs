@@ -24,7 +24,7 @@ fn run_pipeline(
     for batch in values.chunks(chunk) {
         sketch.insert_batch(batch);
     }
-    sketch.finish()
+    sketch.finish().expect("no shard panicked")
 }
 
 proptest! {

@@ -1,0 +1,87 @@
+//! Workspace automation entry point. `cargo xtask lint` runs the
+//! concurrency-hygiene pass from `xtask::lint_workspace`; see the library
+//! docs for the rule table and fingerprint semantics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_REL: &str = "crates/xtask/lint-baseline.txt";
+
+fn workspace_root() -> PathBuf {
+    // When run via `cargo xtask …`, the manifest dir is crates/xtask.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        if let Some(root) = PathBuf::from(dir).ancestors().nth(2).map(PathBuf::from) {
+            if root.join("Cargo.toml").exists() {
+                return root;
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--update-baseline")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(update_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let violations = match xtask::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: failed to read sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = root.join(BASELINE_REL);
+    if update_baseline {
+        let rendered = xtask::render_baseline(&violations);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: baseline updated with {} finding(s) at {}",
+            violations.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline: Vec<String> = std::fs::read_to_string(&baseline_path)
+        .map(|c| xtask::parse_baseline(&c))
+        .unwrap_or_default();
+    let (known, new): (Vec<_>, Vec<_>) = violations
+        .into_iter()
+        .partition(|v| baseline.contains(&v.fingerprint));
+    let stale = baseline.len() - known.len();
+    if new.is_empty() {
+        println!(
+            "xtask lint: clean — {} grandfathered finding(s), 0 new{}",
+            known.len(),
+            if stale > 0 {
+                format!(
+                    " ({stale} baseline entr(y/ies) no longer fire — consider --update-baseline)"
+                )
+            } else {
+                String::new()
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("xtask lint: {} new finding(s):", new.len());
+    for v in &new {
+        eprintln!("  {v}");
+    }
+    eprintln!(
+        "\nFix the finding, move the logic to the crate the rule names, or — for a\n\
+         deliberate exception — justify it (`// ordering: …` tag / allowlist entry in\n\
+         crates/xtask/src/lib.rs) or re-pin with `cargo xtask lint --update-baseline`."
+    );
+    ExitCode::FAILURE
+}

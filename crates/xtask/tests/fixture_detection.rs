@@ -1,0 +1,122 @@
+//! The linter must (a) catch every seeded violation in the fixture, (b)
+//! stay silent on the decoys, (c) produce fingerprints that are stable
+//! across runs and line movement but distinct across duplicates, and (d)
+//! pass the real workspace modulo the committed baseline.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+fn fixture() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded.rs");
+    std::fs::read_to_string(path).expect("fixture exists")
+}
+
+/// Lint the fixture as if it lived in a streaming library crate, so every
+/// rule's scope applies.
+fn lint_fixture() -> Vec<xtask::Violation> {
+    xtask::lint_file("crates/framework/src/seeded.rs", &fixture())
+}
+
+#[test]
+fn every_seeded_violation_is_caught() {
+    let violations = lint_fixture();
+    let count = |rule: &str| violations.iter().filter(|v| v.rule == rule).count();
+    assert_eq!(count("MRL-L001"), 1, "untagged Ordering:: use");
+    assert_eq!(count("MRL-L002"), 1, "Instant::now outside mrl-obs");
+    assert_eq!(count("MRL-L003"), 2, "thread::spawn and join().unwrap()");
+    assert_eq!(count("MRL-L004"), 1, "sort_unstable on the streaming path");
+    assert_eq!(count("MRL-L005"), 3, "two expects and a panic!");
+}
+
+#[test]
+fn decoys_do_not_fire() {
+    let violations = lint_fixture();
+    for v in &violations {
+        assert!(
+            v.line < 27,
+            "decoy or test code fired {} at line {}: {}",
+            v.rule,
+            v.line,
+            v.snippet
+        );
+    }
+}
+
+#[test]
+fn fingerprints_are_stable_and_distinct() {
+    let a = lint_fixture();
+    let b = lint_fixture();
+    assert_eq!(a, b, "linting is deterministic");
+    let unique: HashSet<_> = a.iter().map(|v| &v.fingerprint).collect();
+    assert_eq!(
+        unique.len(),
+        a.len(),
+        "every finding has a distinct fingerprint"
+    );
+
+    // Prepending an unrelated line must not churn any fingerprint…
+    let shifted = format!("pub const PAD: u64 = 0;\n{}", fixture());
+    let c = xtask::lint_file("crates/framework/src/seeded.rs", &shifted);
+    let fps = |vs: &[xtask::Violation]| -> Vec<String> {
+        vs.iter().map(|v| v.fingerprint.clone()).collect()
+    };
+    assert_eq!(fps(&a), fps(&c), "fingerprints survive line movement");
+    // …while the line numbers do move.
+    assert!(a.iter().zip(&c).all(|(x, y)| x.line + 1 == y.line));
+
+    // A different path yields different fingerprints for the same code.
+    let d = xtask::lint_file("crates/io/src/seeded.rs", &fixture());
+    assert!(fps(&a).iter().all(|f| !fps(&d).contains(f)));
+}
+
+#[test]
+fn duplicated_violation_gets_a_new_fingerprint() {
+    let src = "fn f() {\n    let _ = Some(1u64).expect(\"x\");\n}\n";
+    let twice = "fn f() {\n    let _ = Some(1u64).expect(\"x\");\n    let _ = Some(1u64).expect(\"x\");\n}\n";
+    let one = xtask::lint_file("crates/framework/src/dup.rs", src);
+    let two = xtask::lint_file("crates/framework/src/dup.rs", twice);
+    assert_eq!(one.len(), 1);
+    assert_eq!(two.len(), 2);
+    assert_eq!(
+        one[0].fingerprint, two[0].fingerprint,
+        "first occurrence is stable"
+    );
+    assert_ne!(
+        two[0].fingerprint, two[1].fingerprint,
+        "the ratchet sees the copy"
+    );
+}
+
+#[test]
+fn baseline_roundtrip_parses_every_fingerprint() {
+    let violations = lint_fixture();
+    let rendered = xtask::render_baseline(&violations);
+    let parsed = xtask::parse_baseline(&rendered);
+    assert_eq!(
+        parsed,
+        violations
+            .iter()
+            .map(|v| v.fingerprint.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn workspace_is_clean_modulo_committed_baseline() {
+    // Mirrors what `cargo xtask lint` does in CI: the tree must produce no
+    // finding whose fingerprint is missing from the committed baseline.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let violations = xtask::lint_workspace(&root).expect("sources readable");
+    let baseline = std::fs::read_to_string(root.join("crates/xtask/lint-baseline.txt"))
+        .map(|c| xtask::parse_baseline(&c))
+        .unwrap_or_default();
+    let new: Vec<_> = violations
+        .iter()
+        .filter(|v| !baseline.contains(&v.fingerprint))
+        .collect();
+    assert!(new.is_empty(), "new lint findings: {new:#?}");
+}

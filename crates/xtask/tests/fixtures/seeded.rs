@@ -1,0 +1,53 @@
+//! Lint fixture: one deliberate violation of every rule, plus decoys that
+//! must NOT fire (tags, test code, strings, comments). Never compiled —
+//! only fed to the linter by `tests/fixture_detection.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+pub fn violations(flag: &AtomicU64) {
+    // L001: untagged ordering.
+    flag.store(1, Ordering::Relaxed);
+    // L002: wall-clock read outside mrl-obs::timer.
+    let _t = Instant::now();
+    // L003: spawning outside mrl-parallel…
+    let h = std::thread::spawn(|| 1u64);
+    // …and unwrapping the join result.
+    let _ = h.join().unwrap();
+    // L004: sorting on the streaming path outside a seal/collapse module.
+    let mut v = vec![3u64, 1, 2];
+    v.sort_unstable();
+    // L005 (twice, to prove occurrence indices disambiguate):
+    let _a = Some(1u64).expect("present");
+    let _b = Some(2u64).expect("present");
+    if v.is_empty() {
+        panic!("unreachable");
+    }
+}
+
+pub fn decoys(flag: &AtomicU64) {
+    // ordering: relaxed — justified, must not fire.
+    flag.store(2, Ordering::Relaxed);
+    // A tag atop the comment block also counts.
+    // ordering: acquire — spans a
+    // two-line explanation.
+    flag.store(3, Ordering::Acquire);
+    // Patterns inside strings are not code:
+    let _s = "Instant::now() and panic!(boom) and v.sort_unstable()";
+    let _r = r#"thread::spawn in a raw string"#;
+    /* Block comments are not code either: Instant::now() */
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from every rule.
+    #[test]
+    fn test_code_is_exempt() {
+        let h = std::thread::spawn(|| 1u64);
+        assert_eq!(h.join().unwrap(), 1);
+        let mut v = vec![2u64, 1];
+        v.sort_unstable();
+        let _ = std::time::Instant::now();
+        let _ = Some(1u64).expect("fine in tests");
+    }
+}

@@ -83,7 +83,7 @@ fn main() {
     for chunk in values.chunks(4096) {
         pipeline.insert_batch(chunk);
     }
-    let outcome = pipeline.finish();
+    let outcome = pipeline.finish().expect("no shard panicked");
     let telemetry = outcome.telemetry();
     println!(
         "\nsharded run: {} elements over {} shards, merged collapses {}",

@@ -365,7 +365,7 @@ proptest! {
             mrl::parallel::ShardedSketch::<u64>::from_config(config.clone(), shards, seed)
                 .with_batch_size(512);
         sharded.insert_batch(&data);
-        let outcome = sharded.finish();
+        let outcome = sharded.finish().expect("no shard panicked");
         // Exact element accounting survives the round-robin partition.
         prop_assert_eq!(outcome.total_n(), n);
         prop_assert_eq!(outcome.workers(), shards);
@@ -406,6 +406,51 @@ proptest! {
         let qs = e.query_many(&[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]).unwrap();
         for w in qs.windows(2) {
             prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
+
+/// Feature `invariant-audit`: the engine itself asserts weight
+/// conservation, sortedness, occupancy legality and the analysis-certified
+/// error bound after every seal/collapse — these properties just need to
+/// drive data through and let the built-in oracle fire.
+#[cfg(feature = "invariant-audit")]
+mod invariant_audit {
+    use super::*;
+
+    #[test]
+    fn certificate_is_attached_to_certified_configs() {
+        let config = fast_unknown_n_config().clone();
+        let s = mrl::sketch::UnknownN::<u64>::from_config(config.clone(), 1);
+        let engine = s.into_engine();
+        let cert = engine
+            .certified_schedule()
+            .expect("optimizer output must carry a certificate");
+        assert!(cert.g_pre > 0.0 && cert.g_post >= cert.g_pre);
+        assert_eq!(cert.epsilon, config.epsilon);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Stream arbitrary data through the audited sketch, querying and
+        /// finishing along the way; any invariant violation panics inside
+        /// the engine's own auditor.
+        #[test]
+        fn audited_sketch_survives_arbitrary_streams(
+            data in vec(0u64..1_000_000, 1..6_000),
+            seed in 0u64..1_000,
+            chunk in 1usize..700,
+        ) {
+            let config = fast_unknown_n_config().clone();
+            let mut s = mrl::sketch::UnknownN::<u64>::from_config(config, seed);
+            for part in data.chunks(chunk) {
+                s.insert_batch(part);
+            }
+            prop_assert_eq!(s.n(), data.len() as u64);
+            prop_assert!(s.query(0.5).is_some());
+            s.finish();
+            prop_assert!(s.query(0.5).is_some());
         }
     }
 }

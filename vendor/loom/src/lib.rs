@@ -1,0 +1,613 @@
+//! In-tree stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! Exposes the loom API subset this workspace uses (`model`,
+//! `thread::{spawn, yield_now}`, `sync::atomic::*`, `sync::OnceLock`,
+//! `hint::spin_loop`) backed by a bounded exhaustive-interleaving
+//! scheduler:
+//!
+//! * Real OS threads run the test body, but a cooperative scheduler
+//!   serialises them so exactly one is ever executing. Every atomic
+//!   access, spawn, join and yield is a *scheduling point* where the
+//!   scheduler may hand control to a different runnable thread.
+//! * [`model`] re-executes the closure under depth-first search over the
+//!   scheduling decisions: each execution records which thread was chosen
+//!   whenever more than one was runnable, and the next execution replays
+//!   that prefix with the last undecided branch advanced. When the
+//!   decision tree is exhausted, every interleaving (at scheduling-point
+//!   granularity) has been explored.
+//! * Atomics are modelled as **sequentially consistent** regardless of the
+//!   `Ordering` argument: because execution is serialised, each schedule
+//!   is one global total order of operations. This explores all
+//!   interleaving bugs (lost updates, claim races, torn snapshots,
+//!   deadlocks) but not relaxed-memory reorderings — the real loom and
+//!   TSan cover those in CI; this stand-in gives the same tests offline.
+//! * Exploration is bounded by `LOOM_MAX_ITERATIONS` schedules (default
+//!   50 000) and a per-schedule step budget, so a test that would explode
+//!   combinatorially degrades to a deep biased sample instead of hanging.
+//!
+//! Outside [`model`] every primitive transparently delegates to `std`, so
+//! the types are safe to reach from non-model code paths.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+const DEFAULT_MAX_SCHEDULES: u64 = 50_000;
+const MAX_STEPS_PER_SCHEDULE: u64 = 1_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    /// Waiting for the thread with this id to finish.
+    Blocked(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: at a point where `alts` threads were
+/// runnable, the `taken`-th (in thread-id order) was chosen.
+#[derive(Clone, Copy)]
+struct Choice {
+    taken: usize,
+    alts: usize,
+}
+
+struct State {
+    threads: Vec<Run>,
+    active: usize,
+    /// Decisions made this execution (replayed prefix included).
+    path: Vec<Choice>,
+    /// Prefix of decision indices to replay this execution.
+    replay: Vec<usize>,
+    cursor: usize,
+    steps: u64,
+    failure: Option<String>,
+}
+
+struct Explorer {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl Explorer {
+    fn new(replay: Vec<usize>) -> Self {
+        Explorer {
+            state: Mutex::new(State {
+                threads: vec![Run::Runnable],
+                active: 0,
+                path: Vec::new(),
+                replay,
+                cursor: 0,
+                steps: 0,
+                failure: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn register(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Choose the next active thread. Caller holds the lock. `exclude`
+    /// drops the (still runnable) current thread from the candidates when
+    /// it yields, so spin loops are guaranteed to let the other side make
+    /// progress instead of branching forever.
+    fn pick_next(&self, st: &mut State, exclude: Option<usize>) {
+        if st.failure.is_some() {
+            self.cond.notify_all();
+            return;
+        }
+        let mut candidates: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Run::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(id) = exclude {
+            if candidates.len() > 1 {
+                candidates.retain(|&c| c != id);
+            }
+        }
+        if candidates.is_empty() {
+            if st.threads.iter().any(|r| matches!(r, Run::Blocked(_))) {
+                st.failure = Some("deadlock: every live thread is blocked".into());
+            }
+            self.cond.notify_all();
+            return;
+        }
+        let pick = if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            let idx = if st.cursor < st.replay.len() {
+                let i = st.replay[st.cursor];
+                if i >= candidates.len() {
+                    st.failure =
+                        Some("schedule replay diverged: execution is not deterministic".into());
+                    self.cond.notify_all();
+                    return;
+                }
+                i
+            } else {
+                0
+            };
+            st.cursor += 1;
+            st.path.push(Choice {
+                taken: idx,
+                alts: candidates.len(),
+            });
+            candidates[idx]
+        };
+        st.active = pick;
+        self.cond.notify_all();
+    }
+
+    /// A scheduling point: possibly hand control to another thread, then
+    /// block until this thread is active again. Panics (unwinding the
+    /// model thread) once a failure is recorded anywhere.
+    fn switch(&self, id: usize, yielding: bool) {
+        let mut st = self.state.lock().unwrap();
+        if st.failure.is_none() {
+            st.steps += 1;
+            if st.steps > MAX_STEPS_PER_SCHEDULE {
+                st.failure = Some("livelock: per-schedule step budget exhausted".into());
+                self.cond.notify_all();
+            } else {
+                self.pick_next(&mut st, if yielding { Some(id) } else { None });
+            }
+        }
+        while st.failure.is_none() && st.active != id {
+            st = self.cond.wait(st).unwrap();
+        }
+        let abort = st.failure.is_some();
+        drop(st);
+        if abort {
+            panic!("loom model aborted");
+        }
+    }
+
+    fn wait_active(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.failure.is_none() && st.active != id {
+            st = self.cond.wait(st).unwrap();
+        }
+        let abort = st.failure.is_some();
+        drop(st);
+        if abort {
+            panic!("loom model aborted");
+        }
+    }
+
+    fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.failure.is_none() && st.threads[target] != Run::Finished {
+            st.threads[me] = Run::Blocked(target);
+            self.pick_next(&mut st, None);
+            while st.failure.is_none() && st.active != me {
+                st = self.cond.wait(st).unwrap();
+            }
+        }
+        let abort = st.failure.is_some();
+        drop(st);
+        if abort {
+            panic!("loom model aborted");
+        }
+    }
+
+    fn finish(&self, id: usize, panic_msg: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[id] = Run::Finished;
+        for r in st.threads.iter_mut() {
+            if *r == Run::Blocked(id) {
+                *r = Run::Runnable;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            st.failure.get_or_insert(msg);
+        }
+        self.pick_next(&mut st, None);
+    }
+
+    fn wait_all(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.failure.is_none() && st.threads.iter().any(|r| *r != Run::Finished) {
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    fn outcome(&self) -> (Vec<Choice>, Option<String>) {
+        let st = self.state.lock().unwrap();
+        (st.path.clone(), st.failure.clone())
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Explorer>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<(Arc<Explorer>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Scheduling point for the current model thread; no-op outside a model.
+fn sched_point(yielding: bool) {
+    if let Some((exp, id)) = current_ctx() {
+        exp.switch(id, yielding);
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Run `f` as logical thread `id` of `exp`: wait to be scheduled, execute,
+/// then hand the schedule on — recording a failure if `f` panicked.
+fn run_logical<T>(exp: Arc<Explorer>, id: usize, f: impl FnOnce() -> T) -> T {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exp), id)));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exp.wait_active(id);
+        f()
+    }));
+    let msg = res.as_ref().err().map(|e| panic_message(&**e));
+    exp.finish(id, msg);
+    match res {
+        Ok(v) => v,
+        Err(e) => std::panic::resume_unwind(e),
+    }
+}
+
+/// Advance the DFS: increment the deepest decision that still has an
+/// untried alternative, dropping everything below it.
+fn next_replay(mut path: Vec<Choice>) -> Option<Vec<usize>> {
+    while let Some(last) = path.last_mut() {
+        if last.taken + 1 < last.alts {
+            last.taken += 1;
+            return Some(path.iter().map(|c| c.taken).collect());
+        }
+        path.pop();
+    }
+    None
+}
+
+/// Exhaustively (within bounds) explore every interleaving of `f`.
+///
+/// Panics on the first schedule in which `f` (or a thread it spawned)
+/// panics, deadlocks, or livelocks past the step budget.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_schedules = std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_MAX_SCHEDULES);
+    let f = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    loop {
+        schedules += 1;
+        let exp = Arc::new(Explorer::new(replay.clone()));
+        let root = {
+            let exp = Arc::clone(&exp);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || run_logical(exp, 0, move || f()))
+        };
+        exp.wait_all();
+        let _ = root.join();
+        let (path, failure) = exp.outcome();
+        if let Some(msg) = failure {
+            panic!("loom: schedule {schedules} failed: {msg}");
+        }
+        match next_replay(path) {
+            Some(next) if schedules < max_schedules => replay = next,
+            Some(_) => {
+                eprintln!(
+                    "loom: stopping after {schedules} schedules (LOOM_MAX_ITERATIONS reached); \
+                     exploration was bounded, not exhaustive"
+                );
+                break;
+            }
+            None => break,
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware threads (std passthrough outside [`crate::model`]).
+
+    use super::{current_ctx, run_logical, Explorer};
+    use std::sync::Arc;
+
+    /// Handle to a spawned model thread; `join` is a scheduling point.
+    pub struct JoinHandle<T> {
+        id: usize,
+        exp: Option<Arc<Explorer>>,
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    /// Spawn a thread participating in the current model's schedule.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current_ctx() {
+            Some((exp, me)) => {
+                let id = exp.register();
+                let child_exp = Arc::clone(&exp);
+                let inner = std::thread::spawn(move || run_logical(child_exp, id, f));
+                // The child becoming runnable is a visible event: let the
+                // scheduler decide who runs first.
+                exp.switch(me, false);
+                JoinHandle {
+                    id,
+                    exp: Some(exp),
+                    inner,
+                }
+            }
+            None => JoinHandle {
+                id: usize::MAX,
+                exp: None,
+                inner: std::thread::spawn(f),
+            },
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, yielding the schedule meanwhile.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(exp) = &self.exp {
+                let (_, me) = current_ctx().expect("join of a model thread outside the model");
+                exp.join_wait(me, self.id);
+            }
+            self.inner.join()
+        }
+    }
+
+    /// Scheduling point that insists on running someone else if possible.
+    pub fn yield_now() {
+        match current_ctx() {
+            Some((exp, id)) => exp.switch(id, true),
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+pub mod hint {
+    //! Spin-loop hint that yields the model schedule.
+
+    /// In a cooperative model a true spin would starve the thread it is
+    /// waiting on; one spin iteration is exactly one yield.
+    pub fn spin_loop() {
+        match super::current_ctx() {
+            Some((exp, id)) => exp.switch(id, true),
+            None => std::hint::spin_loop(),
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware synchronisation primitives.
+
+    pub use std::sync::Arc;
+
+    /// Write-once cell; `get`/`set` are scheduling points.
+    pub struct OnceLock<T> {
+        inner: std::sync::OnceLock<T>,
+    }
+
+    impl<T> OnceLock<T> {
+        /// An empty cell.
+        #[allow(clippy::new_without_default)]
+        pub const fn new() -> Self {
+            Self {
+                inner: std::sync::OnceLock::new(),
+            }
+        }
+
+        /// The stored value, if one has been published.
+        pub fn get(&self) -> Option<&T> {
+            super::sched_point(false);
+            self.inner.get()
+        }
+
+        /// Publish `value`; fails if a value is already stored.
+        pub fn set(&self, value: T) -> Result<(), T> {
+            super::sched_point(false);
+            self.inner.set(value)
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every access is a scheduling point. Orderings are
+        //! accepted for API compatibility and modelled as `SeqCst`.
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $raw:ty) => {
+                /// Model-checked atomic; see module docs.
+                pub struct $name {
+                    inner: std::sync::atomic::$name,
+                }
+
+                impl $name {
+                    /// A new atomic holding `v`.
+                    pub fn new(v: $raw) -> Self {
+                        Self {
+                            inner: std::sync::atomic::$name::new(v),
+                        }
+                    }
+
+                    /// Atomic load (scheduling point).
+                    pub fn load(&self, _o: Ordering) -> $raw {
+                        crate::sched_point(false);
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Atomic store (scheduling point).
+                    pub fn store(&self, v: $raw, _o: Ordering) {
+                        crate::sched_point(false);
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic swap (scheduling point).
+                    pub fn swap(&self, v: $raw, _o: Ordering) -> $raw {
+                        crate::sched_point(false);
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $raw, _o: Ordering) -> $raw {
+                        crate::sched_point(false);
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic min, returning the previous value.
+                    pub fn fetch_min(&self, v: $raw, _o: Ordering) -> $raw {
+                        crate::sched_point(false);
+                        self.inner.fetch_min(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic max, returning the previous value.
+                    pub fn fetch_max(&self, v: $raw, _o: Ordering) -> $raw {
+                        crate::sched_point(false);
+                        self.inner.fetch_max(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic compare-and-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $raw,
+                        new: $raw,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$raw, $raw> {
+                        crate::sched_point(false);
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicU64, u64);
+        model_atomic!(AtomicUsize, usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // A store race: the final value must always be one of the two
+        // stores, and across the exploration both must win at least once.
+        use std::sync::atomic::AtomicU64 as StdAtomic;
+        let saw_one = std::sync::Arc::new(StdAtomic::new(0));
+        let saw_two = std::sync::Arc::new(StdAtomic::new(0));
+        let (s1, s2) = (
+            std::sync::Arc::clone(&saw_one),
+            std::sync::Arc::clone(&saw_two),
+        );
+        super::model(move || {
+            let a = Arc::new(AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let t = super::thread::spawn(move || b.store(1, Ordering::SeqCst));
+            a.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+            match a.load(Ordering::SeqCst) {
+                1 => s1.store(1, std::sync::atomic::Ordering::Relaxed),
+                2 => s2.store(1, std::sync::atomic::Ordering::Relaxed),
+                v => panic!("impossible final value {v}"),
+            }
+        });
+        assert_eq!(saw_one.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(saw_two.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cas_race_has_exactly_one_winner() {
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let t = super::thread::spawn(move || {
+                b.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            });
+            let mine = a
+                .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+            let theirs = t.join().unwrap();
+            assert!(mine ^ theirs, "CAS from 0 must have exactly one winner");
+        });
+    }
+
+    #[test]
+    fn fetch_add_never_loses_updates() {
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    super::thread::spawn(move || {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "loom: schedule")]
+    fn a_racy_read_modify_write_is_caught() {
+        // Non-atomic increment built from load + store: the model must
+        // find the interleaving that loses an update.
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let b = Arc::clone(&a);
+            let t = super::thread::spawn(move || {
+                let v = b.load(Ordering::SeqCst);
+                b.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }
+
+    #[test]
+    fn spin_wait_on_once_lock_terminates() {
+        use super::sync::OnceLock;
+        super::model(|| {
+            let cell = Arc::new(OnceLock::new());
+            let c = Arc::clone(&cell);
+            let t = super::thread::spawn(move || {
+                c.set(7u64).unwrap();
+            });
+            while cell.get().is_none() {
+                super::hint::spin_loop();
+            }
+            assert_eq!(cell.get(), Some(&7));
+            t.join().unwrap();
+        });
+    }
+}

@@ -39,7 +39,13 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            Self { cases: 256 }
+            // Like the real crate, `PROPTEST_CASES` overrides the default
+            // (Miri/TSan CI jobs use it to keep interpreted runs short).
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Self { cases }
         }
     }
 }
