@@ -1,0 +1,595 @@
+//! Expression-level fact extraction from a function body's token range.
+//!
+//! The parser hands each function its body as a token slice; this module
+//! walks that slice with postfix-context tracking — the lightweight
+//! expression analysis the rules consume:
+//!
+//! * **calls** — `name(…)`, `.method(…)`, `Path::name(…)`, `name!(…)`
+//!   macro invocations, and bare `Type::name` function references (so
+//!   `iter().map(Buffer::mass)` still contributes a call edge);
+//! * **sinks** — panicking constructs: `panic!`-family macros, `.unwrap()`
+//!   / `.expect(…)`, and unchecked postfix indexing `expr[…]`;
+//! * **arith** — binary `+ - * << += -= *= <<=` sites with the identifier
+//!   chains of both operands (for the accounting-value arithmetic rule);
+//! * **allocs** — allocation calls (`Vec::new`, `Vec::with_capacity`,
+//!   `vec!`, `.push`, `.collect`, `.to_vec`) for the hot-path rule.
+//!
+//! A token is in *postfix position* when the previous significant token
+//! could end an expression (identifier, literal, `)`, `]`, `?`, `self`);
+//! that single bit distinguishes indexing from array literals, binary `-`
+//! from unary negation, and binary `*` from dereference.
+
+use crate::lexer::{TokKind, Token};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `.name(…)` — resolved against workspace methods of any type.
+    Method,
+    /// `name(…)` with no path — resolved against free functions.
+    Plain,
+    /// `A::B::name(…)` or a bare `A::name` fn reference; the segment
+    /// before the name (if any) scopes resolution.
+    Path(Option<String>),
+    /// `name!(…)` — macros resolve to no edge, but panic-family macros
+    /// are sinks.
+    Macro,
+}
+
+/// One call site inside a body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub name: String,
+    pub kind: CallKind,
+    pub line: u32,
+}
+
+/// What kind of panic source a sink is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// Postfix `expr[…]` indexing or slicing.
+    Index,
+}
+
+impl SinkKind {
+    pub fn describe(self) -> &'static str {
+        match self {
+            SinkKind::PanicMacro => "panic-family macro",
+            SinkKind::Unwrap => ".unwrap()",
+            SinkKind::Expect => ".expect(…)",
+            SinkKind::Index => "unchecked indexing",
+        }
+    }
+}
+
+/// A potential panic site.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    pub kind: SinkKind,
+    pub line: u32,
+}
+
+/// A binary arithmetic site with its operand identifier chains.
+#[derive(Debug, Clone)]
+pub struct Arith {
+    /// The operator text (`+`, `<<=`, …).
+    pub op: String,
+    pub line: u32,
+    /// Identifiers appearing in the left and right operand chains.
+    pub idents: Vec<String>,
+    /// True when either operand chain involves floats (`f64`/`f32`
+    /// idents or float literals) — float arithmetic is out of scope for
+    /// the overflow rule.
+    pub float: bool,
+}
+
+/// An allocation call site.
+#[derive(Debug, Clone)]
+pub struct Alloc {
+    /// What allocated (`Vec::new`, `vec!`, `.push`, …).
+    pub what: String,
+    pub line: u32,
+}
+
+/// Everything extracted from one body.
+#[derive(Debug, Default)]
+pub struct BodyFacts {
+    pub calls: Vec<Call>,
+    pub sinks: Vec<Sink>,
+    pub arith: Vec<Arith>,
+    pub allocs: Vec<Alloc>,
+}
+
+/// Rust keywords that can directly precede `(` or `[` without forming a
+/// call/index (`if (…)`, `match (…)`, `return […]`, …) and that end an
+/// expression context for the postfix test only when they are `self`.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ALLOC_METHODS: &[&str] = &["push", "collect", "to_vec"];
+const ALLOC_PATH_CALLS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+];
+
+fn is_keyword(t: &Token) -> bool {
+    t.kind == TokKind::Ident && KEYWORDS.contains(&t.text.as_str())
+}
+
+/// Could `t` be the last token of a completed expression?
+fn ends_expr(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Ident => t.text == "self" || !is_keyword(t),
+        TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Lifetime => {
+            t.kind != TokKind::Lifetime
+        }
+        TokKind::Punct => matches!(t.text.as_str(), ")" | "]" | "?"),
+    }
+}
+
+/// Walk left from `i` (exclusive) collecting the postfix chain of the
+/// expression ending there: identifiers, `.`/`::` links, balanced `(…)` /
+/// `[…]` groups, `?`, and literals. Returns collected identifiers and
+/// whether floats were seen.
+fn left_chain(toks: &[Token], mut i: usize, idents: &mut Vec<String>, float: &mut bool) {
+    let mut expect_operand = true;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Float => {
+                *float = true;
+                if !expect_operand {
+                    return;
+                }
+                expect_operand = false;
+            }
+            TokKind::Int | TokKind::Str => {
+                if !expect_operand {
+                    return;
+                }
+                expect_operand = false;
+            }
+            TokKind::Ident => {
+                if is_keyword(t) && t.text != "self" && t.text != "Self" {
+                    return;
+                }
+                if !expect_operand {
+                    return;
+                }
+                if t.text == "f64" || t.text == "f32" {
+                    *float = true;
+                }
+                idents.push(t.text.clone());
+                expect_operand = false;
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "." | "::" => expect_operand = true,
+                ")" | "]" => {
+                    // Balance backwards over the group; its contents are
+                    // arguments, not the receiver chain.
+                    let (open, close) = if t.text == ")" {
+                        ("(", ")")
+                    } else {
+                        ("[", "]")
+                    };
+                    let mut depth = 1;
+                    while i > 0 && depth > 0 {
+                        i -= 1;
+                        if toks[i].kind == TokKind::Punct {
+                            if toks[i].text == close {
+                                depth += 1;
+                            } else if toks[i].text == open {
+                                depth -= 1;
+                            }
+                        }
+                    }
+                    expect_operand = false;
+                }
+                "?" => {}
+                _ => return,
+            },
+            TokKind::Lifetime => return,
+        }
+    }
+}
+
+/// Walk right from `i` (inclusive) over the operand expression that
+/// starts there: optional prefix operators, then a postfix chain.
+fn right_chain(toks: &[Token], mut i: usize, idents: &mut Vec<String>, float: &mut bool) {
+    // Prefix operators.
+    while i < toks.len()
+        && toks[i].kind == TokKind::Punct
+        && matches!(toks[i].text.as_str(), "&" | "*" | "-" | "!" | "&&")
+    {
+        i += 1;
+    }
+    let mut have_operand = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Float => {
+                *float = true;
+                if have_operand {
+                    return;
+                }
+                have_operand = true;
+                i += 1;
+            }
+            TokKind::Int | TokKind::Str => {
+                if have_operand {
+                    return;
+                }
+                have_operand = true;
+                i += 1;
+            }
+            TokKind::Ident => {
+                if t.text == "as" {
+                    // `x as f64` — the cast type is part of the operand.
+                    if toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.text == "f64" || n.text == "f32")
+                    {
+                        *float = true;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if is_keyword(t) && t.text != "self" && t.text != "Self" {
+                    return;
+                }
+                if have_operand {
+                    return;
+                }
+                if t.text == "f64" || t.text == "f32" {
+                    *float = true;
+                }
+                idents.push(t.text.clone());
+                have_operand = true;
+                i += 1;
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "." | "::" => {
+                    have_operand = false;
+                    i += 1;
+                }
+                "(" | "[" if have_operand => {
+                    // Call arguments / index — skip the balanced group.
+                    let (open, close) = if t.text == "(" {
+                        ("(", ")")
+                    } else {
+                        ("[", "]")
+                    };
+                    let mut depth = 1;
+                    i += 1;
+                    while i < toks.len() && depth > 0 {
+                        if toks[i].kind == TokKind::Punct {
+                            if toks[i].text == open {
+                                depth += 1;
+                            } else if toks[i].text == close {
+                                depth -= 1;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                "(" => {
+                    // Parenthesised operand: collect idents inside.
+                    let mut depth = 1;
+                    i += 1;
+                    while i < toks.len() && depth > 0 {
+                        let u = &toks[i];
+                        if u.kind == TokKind::Punct {
+                            if u.text == "(" {
+                                depth += 1;
+                            } else if u.text == ")" {
+                                depth -= 1;
+                            }
+                        } else if u.kind == TokKind::Ident && !is_keyword(u) {
+                            idents.push(u.text.clone());
+                        } else if u.kind == TokKind::Float {
+                            *float = true;
+                        }
+                        i += 1;
+                    }
+                    have_operand = true;
+                }
+                "?" => i += 1,
+                _ => return,
+            },
+            TokKind::Lifetime => return,
+        }
+    }
+}
+
+/// Extract all facts from one body token slice.
+pub fn scan(toks: &[Token]) -> BodyFacts {
+    let mut facts = BodyFacts::default();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        // Skip inner attributes (`#[cfg(…)]` on statements/items inside
+        // the body); their contents are not expressions.
+        if t.kind == TokKind::Punct && t.text == "#" {
+            i += 1;
+            if toks.get(i).is_some_and(|n| n.text == "!") {
+                i += 1;
+            }
+            if toks.get(i).is_some_and(|n| n.text == "[") {
+                let mut depth = 1;
+                i += 1;
+                while i < toks.len() && depth > 0 {
+                    if toks[i].kind == TokKind::Punct {
+                        if toks[i].text == "[" {
+                            depth += 1;
+                        } else if toks[i].text == "]" {
+                            depth -= 1;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        let prev_ends_expr = i > 0 && ends_expr(&toks[i - 1]);
+        match t.kind {
+            TokKind::Ident if !is_keyword(t) => {
+                let next = toks.get(i + 1).map(|n| n.text.as_str());
+                if next == Some("!")
+                    && toks.get(i + 2).is_some_and(|d| {
+                        d.kind == TokKind::Punct && matches!(d.text.as_str(), "(" | "[" | "{")
+                    })
+                {
+                    // Macro invocation.
+                    let name = t.text.clone();
+                    if PANIC_MACROS.contains(&name.as_str()) {
+                        facts.sinks.push(Sink {
+                            kind: SinkKind::PanicMacro,
+                            line: t.line,
+                        });
+                    }
+                    if name == "vec" {
+                        facts.allocs.push(Alloc {
+                            what: "vec!".to_string(),
+                            line: t.line,
+                        });
+                    }
+                    facts.calls.push(Call {
+                        name,
+                        kind: CallKind::Macro,
+                        line: t.line,
+                    });
+                    i += 2; // land on the delimiter; its contents still scan
+                    continue;
+                }
+                if next == Some("(") {
+                    let prev = i.checked_sub(1).map(|p| &toks[p]);
+                    let kind = match prev.map(|p| p.text.as_str()) {
+                        Some(".") => Some(CallKind::Method),
+                        Some("::") => {
+                            // Qualifying segment two tokens back.
+                            let seg = i
+                                .checked_sub(2)
+                                .map(|p| &toks[p])
+                                .filter(|p| p.kind == TokKind::Ident)
+                                .map(|p| p.text.clone());
+                            Some(CallKind::Path(seg))
+                        }
+                        Some("fn") => None, // nested fn declaration
+                        _ => Some(CallKind::Plain),
+                    };
+                    if let Some(kind) = kind {
+                        let name = t.text.clone();
+                        match (&kind, name.as_str()) {
+                            (CallKind::Method, "unwrap") => facts.sinks.push(Sink {
+                                kind: SinkKind::Unwrap,
+                                line: t.line,
+                            }),
+                            (CallKind::Method, "expect") => facts.sinks.push(Sink {
+                                kind: SinkKind::Expect,
+                                line: t.line,
+                            }),
+                            (CallKind::Method, m) if ALLOC_METHODS.contains(&m) => {
+                                facts.allocs.push(Alloc {
+                                    what: format!(".{m}"),
+                                    line: t.line,
+                                })
+                            }
+                            (CallKind::Path(Some(ty)), m)
+                                if ALLOC_PATH_CALLS.iter().any(|(t2, m2)| t2 == ty && *m2 == m) =>
+                            {
+                                facts.allocs.push(Alloc {
+                                    what: format!("{ty}::{m}"),
+                                    line: t.line,
+                                });
+                            }
+                            _ => {}
+                        }
+                        facts.calls.push(Call {
+                            name,
+                            kind,
+                            line: t.line,
+                        });
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Bare `Type::name` function reference (not followed by a
+                // call or further path): count as a call edge so closures
+                // like `.map(Buffer::mass)` stay on the graph.
+                if i >= 2
+                    && toks[i - 1].text == "::"
+                    && toks[i - 2].kind == TokKind::Ident
+                    && next != Some("::")
+                    && next != Some("!")
+                    && t.text.chars().next().is_some_and(char::is_lowercase)
+                {
+                    facts.calls.push(Call {
+                        name: t.text.clone(),
+                        kind: CallKind::Path(Some(toks[i - 2].text.clone())),
+                        line: t.line,
+                    });
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Punct => {
+                match t.text.as_str() {
+                    "[" if prev_ends_expr => {
+                        facts.sinks.push(Sink {
+                            kind: SinkKind::Index,
+                            line: t.line,
+                        });
+                    }
+                    "+" | "-" | "*" | "<<" | "+=" | "-=" | "*=" | "<<=" if prev_ends_expr => {
+                        let mut idents = Vec::new();
+                        let mut float = false;
+                        left_chain(toks, i, &mut idents, &mut float);
+                        right_chain(toks, i + 1, &mut idents, &mut float);
+                        // `*` before `mut`/`const` is a raw-pointer type.
+                        let ptr_type = t.text == "*"
+                            && toks
+                                .get(i + 1)
+                                .is_some_and(|n| n.text == "mut" || n.text == "const");
+                        if !ptr_type {
+                            facts.arith.push(Arith {
+                                op: t.text.clone(),
+                                line: t.line,
+                                idents,
+                                float,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn facts(src: &str) -> BodyFacts {
+        scan(&lex(src).unwrap().tokens)
+    }
+
+    #[test]
+    fn calls_methods_paths_and_macros() {
+        let f =
+            facts("self.engine.insert_batch(items); merge::helper(); Engine::new(1); go(); m!(x);");
+        let named: Vec<(String, CallKind)> =
+            f.calls.into_iter().map(|c| (c.name, c.kind)).collect();
+        assert!(named.contains(&("insert_batch".into(), CallKind::Method)));
+        assert!(named.contains(&("helper".into(), CallKind::Path(Some("merge".into())))));
+        assert!(named.contains(&("new".into(), CallKind::Path(Some("Engine".into())))));
+        assert!(named.contains(&("go".into(), CallKind::Plain)));
+        assert!(named.contains(&("m".into(), CallKind::Macro)));
+    }
+
+    #[test]
+    fn fn_reference_counts_as_call() {
+        let f = facts("sources.iter().map(WeightedSource::mass).sum()");
+        assert!(f
+            .calls
+            .iter()
+            .any(|c| c.name == "mass" && c.kind == CallKind::Path(Some("WeightedSource".into()))));
+    }
+
+    #[test]
+    fn sinks_detected_and_scoped() {
+        let f = facts(
+            "let a = x.unwrap(); let b = y.expect(\"msg\"); panic!(\"no\"); \
+             let c = data[i]; let d = &buf[1..n]; let e = v.unwrap_or(0);",
+        );
+        let kinds: Vec<SinkKind> = f.sinks.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SinkKind::Unwrap,
+                SinkKind::Expect,
+                SinkKind::PanicMacro,
+                SinkKind::Index,
+                SinkKind::Index,
+            ]
+        );
+    }
+
+    #[test]
+    fn array_literals_and_attrs_are_not_indexing() {
+        let f = facts(
+            "let a = [0u8; 4]; let b: [u64; 2] = [1, 2]; #[cfg(feature = \"x\")] let c = vec![1];",
+        );
+        assert!(f.sinks.is_empty(), "{:?}", f.sinks);
+    }
+
+    #[test]
+    fn arith_operand_chains() {
+        let f = facts("let t = self.stats.elements + self.sampler.pending();");
+        assert_eq!(f.arith.len(), 1);
+        let a = &f.arith[0];
+        assert_eq!(a.op, "+");
+        assert!(!a.float);
+        assert!(a.idents.contains(&"elements".to_string()));
+        assert!(a.idents.contains(&"pending".to_string()));
+    }
+
+    #[test]
+    fn float_arith_is_marked() {
+        let f = facts("let x = phi * n as f64; let y = 0.5 + eps;");
+        assert!(f.arith.iter().all(|a| a.float), "{:?}", f.arith);
+    }
+
+    #[test]
+    fn unary_minus_and_deref_are_not_binary() {
+        let f = facts("let a = -1; let b = *ptr; let c = &mut *handle; fn g(p: *const u8) {}");
+        assert!(f.arith.is_empty(), "{:?}", f.arith);
+    }
+
+    #[test]
+    fn compound_assign_detected() {
+        let f = facts("self.seen += items.len(); w <<= 1; total -= used;");
+        let ops: Vec<&str> = f.arith.iter().map(|a| a.op.as_str()).collect();
+        assert_eq!(ops, vec!["+=", "<<=", "-="]);
+        assert!(f.arith[0].idents.contains(&"seen".to_string()));
+    }
+
+    #[test]
+    fn allocs_detected() {
+        let f = facts(
+            "let mut v = Vec::new(); let w = Vec::with_capacity(8); v.push(1); \
+             let s: Vec<u64> = it.collect(); let t = data.to_vec(); let u = vec![0; 8];",
+        );
+        let whats: Vec<&str> = f.allocs.iter().map(|a| a.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec![
+                "Vec::new",
+                "Vec::with_capacity",
+                ".push",
+                ".collect",
+                ".to_vec",
+                "vec!"
+            ]
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Workspace-wide function index and call graph.
+//!
+//! Resolution is a deliberate over-approximation (see DESIGN.md §3.11):
+//! a method call `x.f(…)` may dispatch to any workspace method named `f`,
+//! because the analyzer does not type-check receivers. A plain call
+//! `f(…)` resolves only to free functions named `f`, and a qualified call
+//! `T::f(…)` resolves by the qualifying segment: `Self` maps to the
+//! enclosing impl's type, a capitalised segment matches workspace types
+//! by name, and an unknown type (e.g. `Vec`, `BinaryHeap`) resolves to no
+//! edge — std never re-enters the workspace.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::facts::{BodyFacts, CallKind};
+use crate::parser::{FnInfo, ParsedFile};
+
+/// A function in the workspace index.
+#[derive(Debug)]
+pub struct FnNode {
+    pub info: FnInfo,
+    /// Crate directory name under `crates/` (e.g. `core`, `framework`).
+    pub krate: String,
+    /// Repo-relative source path.
+    pub path: String,
+    pub facts: BodyFacts,
+}
+
+impl FnNode {
+    /// `crate::Type::name`-style display label.
+    pub fn label(&self) -> String {
+        format!("{}::{}", self.krate, self.info.qualified())
+    }
+}
+
+/// The workspace call graph: an index of every function plus resolved
+/// call edges between them.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    /// Adjacency: caller index → callee indices (deduplicated, ordered).
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from parsed files. `krate_of` maps a file path to
+    /// its crate directory name.
+    pub fn build<'a>(
+        files: impl IntoIterator<Item = &'a ParsedFile>,
+        krate_of: impl Fn(&str) -> String,
+    ) -> Self {
+        let mut fns = Vec::new();
+        for file in files {
+            for info in &file.fns {
+                let body = &file.lexed.tokens[info.body.0..info.body.1];
+                fns.push(FnNode {
+                    info: info.clone(),
+                    krate: krate_of(&file.path),
+                    path: file.path.clone(),
+                    facts: crate::facts::scan(body),
+                });
+            }
+        }
+
+        // Name indices over non-test functions (test helpers never sit on
+        // a production path; keeping them out avoids phantom edges from
+        // production code into test modules).
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut types: BTreeSet<&str> = BTreeSet::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.info.is_test {
+                continue;
+            }
+            match &f.info.self_ty {
+                Some(ty) => {
+                    methods.entry(&f.info.name).or_default().push(i);
+                    typed.entry((ty, &f.info.name)).or_default().push(i);
+                    types.insert(ty);
+                }
+                None => free.entry(&f.info.name).or_default().push(i),
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (i, f) in fns.iter().enumerate() {
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &f.facts.calls {
+                let name = call.name.as_str();
+                match &call.kind {
+                    CallKind::Method => {
+                        if let Some(v) = methods.get(name) {
+                            out.extend(v.iter().copied());
+                        }
+                    }
+                    CallKind::Plain => {
+                        if let Some(v) = free.get(name) {
+                            out.extend(v.iter().copied());
+                        }
+                    }
+                    CallKind::Path(seg) => {
+                        let seg = seg.as_deref();
+                        let ty = match seg {
+                            Some("Self") => f.info.self_ty.as_deref(),
+                            other => other,
+                        };
+                        match ty {
+                            Some(ty) if types.contains(ty) => {
+                                if let Some(v) = typed.get(&(ty, name)) {
+                                    out.extend(v.iter().copied());
+                                }
+                            }
+                            Some(ty) if ty.chars().next().is_some_and(char::is_uppercase) => {
+                                // Known-looking type that isn't in the
+                                // workspace (Vec, Option, …): no edge.
+                            }
+                            _ => {
+                                // Module-qualified (`merge::helper`) or
+                                // unresolvable: match free functions.
+                                if let Some(v) = free.get(name) {
+                                    out.extend(v.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                    CallKind::Macro => {}
+                }
+            }
+            out.remove(&i); // self-loops add nothing to reachability
+            edges[i] = out.into_iter().collect();
+        }
+
+        CallGraph { fns, edges }
+    }
+
+    /// Indices of functions matching `pred`.
+    pub fn find(&self, pred: impl Fn(&FnNode) -> bool) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&i| pred(&self.fns[i]))
+            .collect()
+    }
+
+    /// BFS from `roots`; returns for every reachable function index the
+    /// shortest call trace `root → … → fn` as a list of indices.
+    pub fn reach(&self, roots: &[usize]) -> BTreeMap<usize, Vec<usize>> {
+        let mut trace: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = trace.entry(r) {
+                e.insert(vec![r]);
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let base = trace[&i].clone();
+            for &j in &self.edges[i] {
+                if let std::collections::btree_map::Entry::Vacant(e) = trace.entry(j) {
+                    let mut t = base.clone();
+                    t.push(j);
+                    e.insert(t);
+                    queue.push_back(j);
+                }
+            }
+        }
+        trace
+    }
+
+    /// Render a trace as `crate::A::f → crate::B::g`.
+    pub fn render_trace(&self, trace: &[usize]) -> String {
+        trace
+            .iter()
+            .map(|&i| self.fns[i].label())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(src: &str) -> CallGraph {
+        let parsed = parse_file("crates/demo/src/lib.rs", src).unwrap();
+        CallGraph::build(&[parsed], |_| "demo".to_string())
+    }
+
+    fn idx(g: &CallGraph, q: &str) -> usize {
+        g.find(|f| f.info.qualified() == q)[0]
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let g = graph(
+            "struct A; struct B;\n\
+             impl A { fn go(&self) { self.x.step(); } }\n\
+             impl B { fn step(&self) {} }\n",
+        );
+        let go = idx(&g, "A::go");
+        let step = idx(&g, "B::step");
+        assert!(g.edges[go].contains(&step));
+    }
+
+    #[test]
+    fn plain_calls_resolve_to_free_fns_only() {
+        let g = graph(
+            "fn helper() {}\n\
+             struct A;\n\
+             impl A { fn helper(&self) {} fn go(&self) { helper(); } }\n",
+        );
+        let go = idx(&g, "A::go");
+        let free = g.find(|f| f.info.self_ty.is_none() && f.info.name == "helper")[0];
+        let method = idx(&g, "A::helper");
+        assert!(g.edges[go].contains(&free));
+        assert!(!g.edges[go].contains(&method));
+    }
+
+    #[test]
+    fn self_paths_resolve_to_impl_type() {
+        let g = graph(
+            "struct A;\n\
+             impl A { fn new() -> A { A } fn go(&self) { let _ = Self::new(); } }\n",
+        );
+        let go = idx(&g, "A::go");
+        let new = idx(&g, "A::new");
+        assert!(g.edges[go].contains(&new));
+    }
+
+    #[test]
+    fn unknown_types_resolve_to_nothing() {
+        let g = graph(
+            "fn new() {}\n\
+             fn go() { let _v: Vec<u8> = Vec::new(); }\n",
+        );
+        let go = g.find(|f| f.info.name == "go")[0];
+        assert!(
+            g.edges[go].is_empty(),
+            "Vec::new must not hit the free fn `new`"
+        );
+    }
+
+    #[test]
+    fn test_fns_are_not_call_targets() {
+        let g = graph(
+            "fn helper() {}\n\
+             #[cfg(test)] mod tests { pub fn helper() {} }\n\
+             fn go() { helper(); }\n",
+        );
+        let go = g.find(|f| f.info.name == "go")[0];
+        let targets = &g.edges[go];
+        assert_eq!(targets.len(), 1);
+        assert!(!g.fns[targets[0]].info.is_test);
+    }
+
+    #[test]
+    fn reachability_traces_are_shortest() {
+        let g = graph("fn a() { b(); } fn b() { c(); } fn c() {} fn d() { c(); }\n");
+        let a = g.find(|f| f.info.name == "a")[0];
+        let c = g.find(|f| f.info.name == "c")[0];
+        let reach = g.reach(&[a]);
+        assert_eq!(reach[&c].len(), 3);
+        assert!(g
+            .render_trace(&reach[&c])
+            .contains("demo::a → demo::b → demo::c"));
+    }
+}

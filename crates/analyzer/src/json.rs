@@ -1,0 +1,74 @@
+//! Hand-rolled JSON export for findings (the analyzer carries no
+//! dependencies, so no serde). Output is deterministic: findings are
+//! emitted in the order the rules sorted them.
+
+use crate::rules::Finding;
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render findings as a JSON document:
+/// `{"total": N, "findings": [{rule, path, line, fingerprint, snippet, message}, …]}`.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": \"");
+        escape(f.rule, &mut out);
+        out.push_str("\", \"path\": \"");
+        escape(&f.path, &mut out);
+        out.push_str(&format!(
+            "\", \"line\": {}, \"fingerprint\": \"{:016x}\", \"snippet\": \"",
+            f.line, f.fingerprint
+        ));
+        escape(&f.snippet, &mut out);
+        out.push_str("\", \"message\": \"");
+        escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_shapes() {
+        let f = Finding {
+            rule: "MRL-A001",
+            path: "crates/core/src/lib.rs".into(),
+            line: 7,
+            snippet: "let s = \"a\\b\" ;".into(),
+            fingerprint: 0xdead_beef,
+            message: "line1\nline2".into(),
+        };
+        let doc = render(&[f]);
+        assert!(doc.contains("\"total\": 1"));
+        assert!(doc.contains("\\\"a\\\\b\\\""));
+        assert!(doc.contains("line1\\nline2"));
+        assert!(doc.contains("00000000deadbeef"));
+        assert!(render(&[]).contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,507 @@
+//! A full-fidelity Rust lexer: the token stream the recursive-descent
+//! parser consumes.
+//!
+//! Unlike the pattern linter's line lexer (`xtask::lex`), this one keeps
+//! every token — identifiers, lifetimes, all literal forms, maximal-munch
+//! punctuation — so the parser can rebuild item structure, and it records
+//! comment text per line so the analyses can honour justification tags
+//! (`// panic-free:`, `// arith:`, `// alloc:`).
+//!
+//! The round-trip guarantee the workspace test relies on: `lex` either
+//! consumes the entire input into tokens (plus comment/whitespace trivia)
+//! or returns an error naming the offending line — it never silently skips
+//! bytes. Re-rendering the tokens space-separated and lexing again yields
+//! the identical token sequence (lex∘render fixpoint).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Token classification. Punctuation keeps its exact text; literals keep
+/// their delimiters and contents (feature-gate analysis reads string
+/// contents back out).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the parser distinguishes keywords by text).
+    Ident,
+    /// `'a`, `'static` — a lifetime (no closing quote).
+    Lifetime,
+    /// Integer literal, including suffixed (`5_000u64`, `0xff`).
+    Int,
+    /// Float literal (`0.01`, `1e-4`, `2.5f64`).
+    Float,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`, `b'c'`.
+    Str,
+    /// Operator or delimiter, maximal munch (`<<=`, `->`, `::`, `{`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A fully lexed source file: tokens plus the comment trivia the
+/// justification-tag lookup needs.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// 1-based line → concatenated comment text on that line.
+    pub comments: BTreeMap<u32, String>,
+    /// Lines that carry at least one token (used to find the contiguous
+    /// comment block immediately above a statement).
+    pub code_lines: BTreeSet<u32>,
+}
+
+/// Lexing failure: unterminated literal or an unrecognisable byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+const PUNCT3: &[&str] = &["<<=", ">>=", "..=", "..."];
+const PUNCT2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "..",
+];
+const PUNCT1: &str = "+-*/%^&|!<>=.,;:#?@(){}[]~$";
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.code_lines.insert(line);
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    /// Consume `n` chars into `buf`, counting newlines.
+    fn take(&mut self, n: usize, buf: &mut String) {
+        for _ in 0..n {
+            if let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                buf.push(c);
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn comment_text(&mut self, line: u32, text: &str) {
+        let entry = self.out.comments.entry(line).or_default();
+        if !entry.is_empty() {
+            entry.push(' ');
+        }
+        entry.push_str(text);
+    }
+
+    fn run(mut self) -> Result<Lexed, LexError> {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if c.is_whitespace() {
+                self.pos += 1;
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('/') {
+                let start = self.pos;
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                let line = self.line;
+                self.comment_text(line, &text);
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment()?;
+                continue;
+            }
+            if c.is_ascii_digit() {
+                self.number();
+                continue;
+            }
+            if is_ident_start(c) {
+                self.ident_or_prefixed_literal()?;
+                continue;
+            }
+            if c == '"' {
+                self.string_literal(0)?;
+                continue;
+            }
+            if c == '\'' {
+                self.char_or_lifetime()?;
+                continue;
+            }
+            self.punct(c)?;
+        }
+        Ok(self.out)
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let mut depth = 0u32;
+        let mut text = String::new();
+        loop {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.take(2, &mut text);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.take(2, &mut text);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (Some(_), _) => self.take(1, &mut text),
+                (None, _) => return Err(self.err("unterminated block comment")),
+            }
+        }
+        // Attribute every line the block spans so a tag inside a block
+        // comment above a statement is found by the upward walk.
+        for (offset, part) in text.split('\n').enumerate() {
+            self.comment_text(line + offset as u32, part);
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.take(2, &mut text);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.take(1, &mut text);
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.take(1, &mut text);
+            }
+            // `1.5` is a float; `1..n` and `1.max(…)` keep the int.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                self.take(1, &mut text);
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.take(1, &mut text);
+                }
+            }
+            // Exponent: `1e9`, `1e-4`, `2.5E+3`.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+                if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                    float = true;
+                    self.take(1 + sign, &mut text);
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.take(1, &mut text);
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, `usize`) glued to the literal.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            if matches!(self.peek(0), Some('f')) && matches!(self.peek(1), Some('3' | '6')) {
+                float = true;
+            }
+            self.take(1, &mut text);
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'c'` — the ident was
+        // actually a literal prefix.
+        if matches!(ident.as_str(), "r" | "b" | "br" | "rb") {
+            match self.peek(0) {
+                Some('"') => {
+                    self.pos = start;
+                    return self.prefixed_string(ident.len());
+                }
+                Some('#') if ident != "b" => {
+                    self.pos = start;
+                    return self.prefixed_string(ident.len());
+                }
+                Some('\'') if ident == "b" => {
+                    self.pos = start;
+                    return self.byte_char();
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Ident, ident, line);
+        Ok(())
+    }
+
+    /// A string literal with `prefix_len` prefix chars (`r`, `b`, `br`)
+    /// already positioned at `self.pos`.
+    fn prefixed_string(&mut self, prefix_len: usize) -> Result<(), LexError> {
+        let line = self.line;
+        let mut text = String::new();
+        self.take(prefix_len, &mut text);
+        let raw = text.contains('r');
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.take(1, &mut text);
+            }
+            if self.peek(0) != Some('"') {
+                return Err(self.err("malformed raw string"));
+            }
+            self.take(1, &mut text);
+            loop {
+                match self.peek(0) {
+                    Some('"') => {
+                        let closed = (0..hashes).all(|h| self.peek(1 + h) == Some('#'));
+                        self.take(1, &mut text);
+                        if closed {
+                            self.take(hashes, &mut text);
+                            break;
+                        }
+                    }
+                    Some(_) => self.take(1, &mut text),
+                    None => return Err(self.err("unterminated raw string")),
+                }
+            }
+            self.push(TokKind::Str, text, line);
+            Ok(())
+        } else {
+            self.string_body(text, line)
+        }
+    }
+
+    fn string_literal(&mut self, _prefix: usize) -> Result<(), LexError> {
+        let line = self.line;
+        self.string_body(String::new(), line)
+    }
+
+    /// Consume from the opening `"` of a non-raw string.
+    fn string_body(&mut self, mut text: String, line: u32) -> Result<(), LexError> {
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.take(1, &mut text);
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.take(2, &mut text),
+                Some('"') => {
+                    self.take(1, &mut text);
+                    break;
+                }
+                Some(_) => self.take(1, &mut text),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+        Ok(())
+    }
+
+    fn byte_char(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let mut text = String::new();
+        self.take(1, &mut text); // b
+        self.char_body(text, line)
+    }
+
+    fn char_or_lifetime(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        // `'a'` / `'\n'` are chars; `'a` / `'static` are lifetimes.
+        let is_char = self.peek(1) == Some('\\')
+            || (self.peek(1).is_some_and(|c| c != '\'') && self.peek(2) == Some('\''));
+        if is_char {
+            return self.char_body(String::new(), line);
+        }
+        let mut text = String::new();
+        self.take(1, &mut text);
+        if !self.peek(0).is_some_and(is_ident_start) {
+            return Err(self.err("stray single quote"));
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.take(1, &mut text);
+        }
+        self.push(TokKind::Lifetime, text, line);
+        Ok(())
+    }
+
+    /// Consume from the opening `'` of a char literal.
+    fn char_body(&mut self, mut text: String, line: u32) -> Result<(), LexError> {
+        self.take(1, &mut text); // '
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.take(2, &mut text),
+                Some('\'') => {
+                    self.take(1, &mut text);
+                    break;
+                }
+                Some(_) => self.take(1, &mut text),
+                None => return Err(self.err("unterminated char literal")),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+        Ok(())
+    }
+
+    fn punct(&mut self, c: char) -> Result<(), LexError> {
+        let line = self.line;
+        let three: String = (0..3).filter_map(|i| self.peek(i)).collect();
+        if three.len() == 3 && PUNCT3.contains(&three.as_str()) {
+            self.pos += 3;
+            self.push(TokKind::Punct, three, line);
+            return Ok(());
+        }
+        let two: String = (0..2).filter_map(|i| self.peek(i)).collect();
+        if two.len() == 2 && PUNCT2.contains(&two.as_str()) {
+            self.pos += 2;
+            self.push(TokKind::Punct, two, line);
+            return Ok(());
+        }
+        if PUNCT1.contains(c) {
+            self.pos += 1;
+            self.push(TokKind::Punct, c.to_string(), line);
+            return Ok(());
+        }
+        Err(self.err(format!("unrecognised character {c:?}")))
+    }
+}
+
+/// Lex a whole source file. Errors name the offending line; success means
+/// every byte was consumed into a token or trivia.
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("0..n");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Int, "0".into()),
+                (TokKind::Punct, "..".into()),
+                (TokKind::Ident, "n".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_and_suffixed_literals() {
+        assert_eq!(kinds("1e-4")[0], (TokKind::Float, "1e-4".into()));
+        assert_eq!(kinds("5_000u64")[0], (TokKind::Int, "5_000u64".into()));
+        assert_eq!(kinds("0.5f64")[0], (TokKind::Float, "0.5f64".into()));
+        assert_eq!(kinds("0xcbf2")[0], (TokKind::Int, "0xcbf2".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(kinds("'a'")[0], (TokKind::Str, "'a'".into()));
+        assert_eq!(kinds("'\\n'")[0], (TokKind::Str, "'\\n'".into()));
+        assert_eq!(
+            kinds("&'static str")[1],
+            (TokKind::Lifetime, "'static".into())
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(
+            kinds("r#\"a \" b\"#")[0],
+            (TokKind::Str, "r#\"a \" b\"#".into())
+        );
+        assert_eq!(kinds("b\"xy\"")[0], (TokKind::Str, "b\"xy\"".into()));
+        assert_eq!(kinds("b'z'")[0], (TokKind::Str, "b'z'".into()));
+    }
+
+    #[test]
+    fn maximal_munch_punct() {
+        let toks = kinds("a <<= b >> c -> d ..= e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, vec!["<<=", ">>", "->", "..="]);
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let lexed = lex("// panic-free: a\nlet x = 1; // inline\n/* multi\nline */\n").unwrap();
+        assert!(lexed.comments[&1].contains("panic-free:"));
+        assert!(lexed.comments[&2].contains("inline"));
+        assert!(lexed.comments[&3].contains("multi"));
+        assert!(lexed.comments[&4].contains("line"));
+        assert!(lexed.code_lines.contains(&2));
+        assert!(!lexed.code_lines.contains(&1));
+    }
+
+    #[test]
+    fn doc_comment_with_code_fence() {
+        let lexed = lex("/// let x = vec![1.];\nfn f() {}\n").unwrap();
+        assert_eq!(lexed.tokens[0].text, "fn");
+    }
+}

@@ -1,0 +1,36 @@
+//! Parser-based static analysis for the MRL workspace.
+//!
+//! This crate grows the lexer-only hygiene linter in `xtask` into a real
+//! analysis engine. It carries **zero dependencies** — the Rust parser
+//! is hand-rolled recursive descent over the token stream produced by
+//! [`lexer`], enough of the item grammar to recover every function body,
+//! its enclosing impl type, module path, and test-ness. On top of that
+//! sit a workspace module map, a function-level call graph, and four
+//! analyses:
+//!
+//! | rule | analysis |
+//! |------|----------|
+//! | MRL-A001 | panic-reachability: no `panic!`/`unwrap`/`expect`/unchecked indexing transitively reachable from hot-path entry points |
+//! | MRL-A002 | arithmetic-safety: `+ - * <<` on exact-accounting values must be checked/saturating/widening or justified |
+//! | MRL-A003 | allocation-in-hot-path: no `Vec::new`/`push`/`collect`/… reachable from the per-element ingest path |
+//! | MRL-A004 | feature-gate consistency: `cfg(feature = "…")` strings ↔ the crate's `[features]` table, both directions |
+//!
+//! Findings carry the same FNV-1a, line-number-independent fingerprints
+//! as the lexer linter and ratchet against a committed baseline
+//! (`crates/xtask/analyze-baseline.txt`). Suppression is by
+//! justification tag: `// panic-free:`, `// arith:`, `// alloc:`.
+//!
+//! The entry point is [`workspace::Workspace::load`] followed by
+//! [`rules::analyze`]; `cargo xtask analyze` drives both.
+
+pub mod facts;
+pub mod graph;
+pub mod json;
+pub mod lexer;
+pub mod manifest;
+pub mod parser;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{analyze, Finding};
+pub use workspace::Workspace;

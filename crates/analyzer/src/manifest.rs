@@ -1,0 +1,138 @@
+//! Minimal Cargo.toml reader for the feature-gate consistency rule.
+//!
+//! This is not a TOML parser; it understands exactly the subset the
+//! workspace manifests use: `[section]` headers, `key = value` lines,
+//! single-line arrays, and comments. That is enough to answer the two
+//! questions MRL-A004 asks: which features does a crate declare, and is
+//! a declared feature a pure forwarder (its array is empty) or does it
+//! enable something (optional deps / downstream features)?
+
+use std::collections::BTreeMap;
+
+/// One declared feature.
+#[derive(Debug, Clone)]
+pub struct FeatureDecl {
+    /// 1-based line in Cargo.toml.
+    pub line: u32,
+    /// True when the feature's value array lists at least one element
+    /// (a forwarded feature or `dep:` activation) — such features are
+    /// meaningful even when no `cfg(feature)` in the crate references
+    /// them, so the unused-feature check skips them.
+    pub forwards: bool,
+}
+
+/// Parsed manifest facts.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Package name from `[package] name = "…"`.
+    pub name: String,
+    /// Declared features from the `[features]` table, plus implicit
+    /// features created by `optional = true` dependencies.
+    pub features: BTreeMap<String, FeatureDecl>,
+}
+
+fn unquote(v: &str) -> Option<&str> {
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Strip a trailing `# comment` that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse the subset of `Cargo.toml` we need.
+pub fn parse(src: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            section = h.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                if let Some(v) = unquote(value) {
+                    m.name = v.to_string();
+                }
+            }
+            "features" => {
+                let inner = value.trim_start_matches('[').trim_end_matches(']').trim();
+                m.features.insert(
+                    key.to_string(),
+                    FeatureDecl {
+                        line: (idx + 1) as u32,
+                        forwards: !inner.is_empty(),
+                    },
+                );
+            }
+            // Inline tables: `foo = { path = "…", optional = true }`
+            // create an implicit feature `foo` that activates the dep.
+            s if (s == "dependencies"
+                || s == "dev-dependencies"
+                || s.starts_with("target.") && s.ends_with("dependencies"))
+                && value.contains("optional")
+                && value.contains("true") =>
+            {
+                m.features.entry(key.to_string()).or_insert(FeatureDecl {
+                    line: (idx + 1) as u32,
+                    forwards: true,
+                });
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_features_and_forwarding() {
+        let m = parse(
+            "[package]\n\
+             name = \"mrl-obs\"\n\
+             version = \"0.1.0\"\n\
+             \n\
+             [features]\n\
+             tracing = [\"dep:tracing\"]\n\
+             invariant-audit = []\n\
+             \n\
+             [dependencies]\n\
+             tracing = { path = \"../../vendor/tracing\", optional = true }\n",
+        );
+        assert_eq!(m.name, "mrl-obs");
+        assert!(m.features["tracing"].forwards);
+        assert!(!m.features["invariant-audit"].forwards);
+    }
+
+    #[test]
+    fn comments_and_missing_tables_are_fine() {
+        let m = parse(
+            "[package]\n\
+             name = \"mrl-core\" # the core crate\n\
+             [dependencies]\n\
+             mrl-framework = { path = \"../framework\" }\n",
+        );
+        assert_eq!(m.name, "mrl-core");
+        assert!(m.features.is_empty());
+    }
+}

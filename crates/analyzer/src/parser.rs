@@ -1,0 +1,703 @@
+//! Hand-rolled recursive-descent parser over the [`crate::lexer`] token
+//! stream: enough Rust item grammar to recover the module tree, every
+//! function (free, inherent, trait-default) with its body token range, and
+//! the `cfg` attribute structure — with **no** external parser dependency,
+//! matching the workspace's vendoring discipline.
+//!
+//! The parser is committed to *total coverage*: every token of a file must
+//! be attributed to some parsed item. A construct it cannot classify is
+//! recorded in [`ParsedFile::recovered`] (and skipped to the next item),
+//! and the workspace round-trip test asserts that list stays empty — the
+//! analyzer never silently degrades to pattern matching.
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// One function (or method) the parser recovered.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The bare function name.
+    pub name: String,
+    /// The `impl`/`trait` self type, when the fn is an associated item.
+    pub self_ty: Option<String>,
+    /// In-file module path (e.g. `["metrics"]` for `mod metrics { fn f }`).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line where the item starts (first attribute or visibility
+    /// token) — the anchor for function-level justification tags.
+    pub item_line: u32,
+    /// True when the fn is test-only: under `#[cfg(test)]`, `#[test]`, or
+    /// an enclosing test module.
+    pub is_test: bool,
+    /// Token index range `[start, end)` of the body **contents** (the
+    /// tokens between the outer braces), empty for bodyless trait methods.
+    pub body: (usize, usize),
+}
+
+impl FnInfo {
+    /// `Type::name` or `module::name` display form.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A fully parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub lexed: Lexed,
+    pub fns: Vec<FnInfo>,
+    /// Every `feature = "…"` string referenced anywhere in the file
+    /// (cfg / cfg_attr attributes and `cfg!` macro calls), with its line.
+    pub features: Vec<(String, u32)>,
+    /// Top-level + nested items successfully classified.
+    pub items: usize,
+    /// Error-recovery events: `(line, description)`. Non-empty means the
+    /// parser fell back to skipping — the round-trip test fails on this.
+    pub recovered: Vec<(u32, String)>,
+}
+
+/// Lex-or-parse failure for a whole file.
+#[derive(Debug)]
+pub struct ParseError {
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.path, self.line, self.message)
+    }
+}
+
+/// Words that introduce another item when they FOLLOW `const`/`unsafe`
+/// (distinguishing `const fn f()` from `const F: u64`).
+const PREFIXABLE: &[&str] = &["fn", "unsafe", "async", "extern", "trait", "impl"];
+
+/// Attribute summary for one item.
+#[derive(Default, Clone)]
+struct Attrs {
+    /// `#[cfg(test)]` / `#[test]` / `#[cfg(all(test, …))]`.
+    test: bool,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    fns: Vec<FnInfo>,
+    features: Vec<(String, u32)>,
+    items: usize,
+    recovered: Vec<(u32, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&Token> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn at_punct(&self, text: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek(0).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip one balanced delimiter group whose opener is the current
+    /// token. Returns the token range of the group contents.
+    fn skip_group(&mut self) -> (usize, usize) {
+        let (open, close) = match self.peek(0).map(|t| t.text.as_str()) {
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            Some("{") => ("{", "}"),
+            _ => return (self.pos, self.pos),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        let mut depth = 1u32;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                if t.text == open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        let end = self.pos;
+                        self.pos += 1;
+                        return (start, end);
+                    }
+                }
+            }
+            self.pos += 1;
+        }
+        (start, self.pos)
+    }
+
+    /// Skip a generic parameter/argument list starting at `<`. Handles
+    /// `>>` closing two levels, `->` inside `Fn() -> T` bounds, and
+    /// balanced `()`/`[]`/`{}` nested in const-generic positions.
+    fn skip_generics(&mut self) {
+        if !self.at_punct("<") {
+            return;
+        }
+        let mut angle = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" | "<<" => angle += if t.text == "<<" { 2 } else { 1 },
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "(" | "[" | "{" => {
+                        self.skip_group();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+            if angle <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skip tokens up to and including the next `;` at delimiter depth 0
+    /// (braced groups along the way are skipped whole, so `const X: T =
+    /// […];` and `static`s with block initialisers work).
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    ";" => {
+                        self.pos += 1;
+                        return;
+                    }
+                    "(" | "[" | "{" => {
+                        self.skip_group();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Harvest `feature = "…"` pairs from a token range (attribute or
+    /// macro-argument contents).
+    fn collect_features(&mut self, range: (usize, usize)) {
+        let mut i = range.0;
+        while i + 2 < range.1 {
+            if self.toks[i].kind == TokKind::Ident
+                && self.toks[i].text == "feature"
+                && self.toks[i + 1].text == "="
+                && self.toks[i + 2].kind == TokKind::Str
+            {
+                let lit = &self.toks[i + 2];
+                let name = lit.text.trim_matches(|c| c == '"').to_string();
+                self.features.push((name, lit.line));
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Parse one `#[…]` or `#![…]` attribute; the opener `#` is current.
+    fn attribute(&mut self, attrs: &mut Attrs) {
+        debug_assert!(self.at_punct("#"));
+        self.pos += 1;
+        if self.at_punct("!") {
+            self.pos += 1;
+        }
+        let range = self.skip_group();
+        let toks = &self.toks[range.0..range.1];
+        let mentions = |word: &str| {
+            toks.iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == word)
+        };
+        // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` — any cfg or
+        // bare attribute naming `test` marks the item test-only. (A
+        // hypothetical `#[cfg(not(test))]` would be misclassified; the
+        // workspace convention is that `test` in a cfg means test code.)
+        if mentions("test") {
+            attrs.test = true;
+        }
+        self.collect_features(range);
+    }
+
+    /// Parse the items of one module body (or the whole file when
+    /// `closing` is false). `module` is the in-file module path.
+    fn items(&mut self, module: &[String], in_test: bool, closing: bool) {
+        loop {
+            if self.peek(0).is_none() {
+                return;
+            }
+            if closing && self.at_punct("}") {
+                self.pos += 1;
+                return;
+            }
+            self.item(module, in_test);
+        }
+    }
+
+    /// Consume `pub`/`const`/`unsafe`/`async`/`default`/`extern` prefixes
+    /// and return the item-defining keyword, which is also consumed.
+    /// `const` and `unsafe` are treated as prefixes only when another
+    /// prefixable keyword follows — otherwise they ARE the item keyword
+    /// (`const F: u64 = …;`).
+    fn modifiers_then_keyword(&mut self) -> Option<String> {
+        loop {
+            let t = self.peek(0)?;
+            if t.kind != TokKind::Ident {
+                return None;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    self.pos += 1;
+                    if self.at_punct("(") {
+                        self.skip_group();
+                    }
+                }
+                "async" | "default" => self.pos += 1,
+                "const" | "unsafe"
+                    if self
+                        .peek(1)
+                        .is_some_and(|n| PREFIXABLE.contains(&n.text.as_str())) =>
+                {
+                    self.pos += 1;
+                }
+                "extern" => {
+                    // `extern "C" fn`, `extern "C" { … }`, `extern crate x;`.
+                    self.pos += 1;
+                    if self.peek(0).is_some_and(|t| t.kind == TokKind::Str) {
+                        self.pos += 1;
+                    }
+                    if self.at_punct("{") {
+                        return Some("extern-block".to_string());
+                    }
+                    if self.at_ident("crate") {
+                        return Some("extern-crate".to_string());
+                    }
+                }
+                other => {
+                    let kw = other.to_string();
+                    self.pos += 1;
+                    return Some(kw);
+                }
+            }
+        }
+    }
+
+    fn item(&mut self, module: &[String], in_test: bool) {
+        // Stray semicolons are legal at item level.
+        if self.at_punct(";") {
+            self.pos += 1;
+            return;
+        }
+        let item_line = self.line();
+        let mut attrs = Attrs::default();
+        while self.at_punct("#") {
+            self.attribute(&mut attrs);
+        }
+        if self.peek(0).is_none() {
+            return; // trailing inner attributes
+        }
+        let kw = self.modifiers_then_keyword();
+        let Some(kw) = kw else {
+            let line = self.line();
+            let text = self.peek(0).map(|t| t.text.clone()).unwrap_or_default();
+            self.recovered
+                .push((line, format!("expected item, found `{text}`")));
+            self.bump();
+            return;
+        };
+        self.items += 1;
+        match kw.as_str() {
+            "use" => self.skip_to_semi(),
+            "extern-crate" => self.skip_to_semi(),
+            "extern-block" => {
+                self.skip_group();
+            }
+            "mod" => {
+                let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                if self.at_punct(";") {
+                    self.pos += 1;
+                } else if self.at_punct("{") {
+                    self.pos += 1;
+                    let mut path = module.to_vec();
+                    path.push(name);
+                    self.items(&path, in_test || attrs.test, true);
+                }
+            }
+            "fn" => self.function(module, None, in_test || attrs.test, item_line),
+            "struct" | "union" => {
+                self.bump(); // name
+                self.skip_generics();
+                // Unit `;`, tuple `(…) [where …];`, or `[where …] { … }`.
+                loop {
+                    match self.peek(0).map(|t| t.text.as_str()) {
+                        Some(";") => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some("(") => {
+                            self.skip_group();
+                            self.skip_to_semi();
+                            break;
+                        }
+                        Some("{") => {
+                            self.skip_group();
+                            break;
+                        }
+                        Some("<") => self.skip_generics(),
+                        Some(_) => {
+                            self.pos += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            "enum" => {
+                self.bump();
+                self.skip_generics();
+                while !(self.at_punct("{") || self.peek(0).is_none()) {
+                    self.pos += 1;
+                }
+                self.skip_group();
+            }
+            "trait" => {
+                let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                self.skip_generics();
+                while !(self.at_punct("{") || self.at_punct(";") || self.peek(0).is_none()) {
+                    if self.at_punct("<") {
+                        self.skip_generics();
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                if self.at_punct(";") {
+                    self.pos += 1; // trait alias
+                } else {
+                    self.assoc_items(module, &name, in_test || attrs.test);
+                }
+            }
+            "impl" => {
+                self.skip_generics();
+                // Header up to `{`: `Type`, `Trait for Type`, `!Trait for
+                // Type`. Self type = last path segment before the body,
+                // after the top-level `for` if present (skipping HRTB
+                // `for<…>`).
+                let mut last_ident: Option<String> = None;
+                let mut in_where = false;
+                loop {
+                    match self.peek(0) {
+                        None => return,
+                        Some(t) if t.kind == TokKind::Punct && t.text == "{" => break,
+                        Some(t) if t.kind == TokKind::Punct && t.text == "<" => {
+                            self.skip_generics();
+                        }
+                        Some(t) if t.kind == TokKind::Punct && t.text == "(" => {
+                            self.skip_group();
+                        }
+                        Some(t) => {
+                            if t.kind == TokKind::Ident && t.text == "for" && !in_where {
+                                if self.peek(1).is_some_and(|n| n.text == "<") {
+                                    self.pos += 1;
+                                    self.skip_generics();
+                                    continue;
+                                }
+                                last_ident = None;
+                            } else if t.kind == TokKind::Ident && t.text == "where" {
+                                in_where = true;
+                            } else if t.kind == TokKind::Ident && t.text != "dyn" && !in_where {
+                                last_ident = Some(t.text.clone());
+                            }
+                            self.pos += 1;
+                        }
+                    }
+                }
+                let ty = last_ident.unwrap_or_else(|| "?".to_string());
+                self.assoc_items(module, &ty, in_test || attrs.test);
+            }
+            "type" => self.skip_to_semi(),
+            "const" | "static" => self.skip_to_semi(),
+            "macro_rules" => {
+                if self.at_punct("!") {
+                    self.pos += 1;
+                }
+                self.bump(); // macro name
+                self.skip_group();
+            }
+            other => {
+                // Item-position macro invocation: `ident!{…}` / `ident!(…);`.
+                if self.at_punct("!") {
+                    self.pos += 1;
+                    let braced = self.at_punct("{");
+                    let range = self.skip_group();
+                    self.collect_features(range);
+                    if !braced && self.at_punct(";") {
+                        self.pos += 1;
+                    }
+                } else {
+                    self.recovered
+                        .push((item_line, format!("unrecognised item keyword `{other}`")));
+                    self.skip_to_semi();
+                }
+            }
+        }
+    }
+
+    /// Items inside an `impl` or `trait` body; the `{` is current.
+    fn assoc_items(&mut self, module: &[String], self_ty: &str, in_test: bool) {
+        debug_assert!(self.at_punct("{"));
+        self.pos += 1;
+        loop {
+            if self.at_punct("}") {
+                self.pos += 1;
+                return;
+            }
+            if self.peek(0).is_none() {
+                return;
+            }
+            if self.at_punct(";") {
+                self.pos += 1;
+                continue;
+            }
+            let item_line = self.line();
+            let mut attrs = Attrs::default();
+            while self.at_punct("#") {
+                self.attribute(&mut attrs);
+            }
+            match self.modifiers_then_keyword().as_deref() {
+                Some("fn") => {
+                    self.items += 1;
+                    self.function(module, Some(self_ty), in_test || attrs.test, item_line);
+                }
+                Some("type") | Some("const") => {
+                    self.items += 1;
+                    self.skip_to_semi();
+                }
+                Some(other) => {
+                    self.recovered
+                        .push((item_line, format!("unrecognised impl item `{other}`")));
+                    self.skip_to_semi();
+                }
+                None => {
+                    let text = self.peek(0).map(|t| t.text.clone()).unwrap_or_default();
+                    if text.is_empty() {
+                        return;
+                    }
+                    self.recovered
+                        .push((item_line, format!("unrecognised impl item `{text}`")));
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// The `fn` keyword has just been consumed.
+    fn function(
+        &mut self,
+        module: &[String],
+        self_ty: Option<&str>,
+        is_test: bool,
+        item_line: u32,
+    ) {
+        let line = self.line();
+        let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+        self.skip_generics();
+        if self.at_punct("(") {
+            self.skip_group();
+        }
+        // Return type / where clause: scan to the body `{` or a `;`
+        // (bodyless trait method) at angle/paren depth 0.
+        let mut body = (self.pos, self.pos);
+        loop {
+            match self.peek(0).map(|t| t.text.as_str()) {
+                None => break,
+                Some(";") => {
+                    self.pos += 1;
+                    break;
+                }
+                Some("{") => {
+                    body = self.skip_group();
+                    // Bodies can gate code with `cfg!(feature = "…")` or
+                    // carry cfg attributes on statements; harvest those
+                    // for the feature-consistency rule.
+                    self.collect_features(body);
+                    break;
+                }
+                Some("<") => self.skip_generics(),
+                Some("(") | Some("[") => {
+                    self.skip_group();
+                }
+                Some(_) => {
+                    self.pos += 1;
+                }
+            }
+        }
+        self.fns.push(FnInfo {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            module: module.to_vec(),
+            line,
+            item_line,
+            is_test,
+            body,
+        });
+    }
+}
+
+/// Lex and parse one file.
+pub fn parse_file(path: &str, src: &str) -> Result<ParsedFile, ParseError> {
+    let lexed = lex(src).map_err(|e| ParseError {
+        path: path.to_string(),
+        line: e.line,
+        message: e.message,
+    })?;
+    let mut parser = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+        fns: Vec::new(),
+        features: Vec::new(),
+        items: 0,
+        recovered: Vec::new(),
+    };
+    parser.items(&[], false, false);
+    let Parser {
+        fns,
+        features,
+        items,
+        recovered,
+        ..
+    } = parser;
+    Ok(ParsedFile {
+        path: path.to_string(),
+        lexed,
+        fns,
+        features,
+        items,
+        recovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> ParsedFile {
+        let f = parse_file("crates/test/src/lib.rs", src).expect("parse");
+        assert!(f.recovered.is_empty(), "recovered: {:?}", f.recovered);
+        f
+    }
+
+    #[test]
+    fn free_and_associated_fns() {
+        let f = parsed(
+            "pub fn alpha(x: u64) -> u64 { x }\n\
+             struct S { a: u64 }\n\
+             impl S { pub(crate) fn beta(&self) -> u64 { self.a } }\n\
+             trait T { fn gamma(&self) -> bool { true } fn delta(&self); }\n\
+             impl T for S { fn delta(&self) {} }\n",
+        );
+        let names: Vec<String> = f.fns.iter().map(FnInfo::qualified).collect();
+        assert_eq!(
+            names,
+            vec!["alpha", "S::beta", "T::gamma", "T::delta", "S::delta"]
+        );
+    }
+
+    #[test]
+    fn impl_for_with_generics_resolves_self_type() {
+        let f = parsed(
+            "impl<T: Ord + Clone, P, R> Engine<T, P, R> where R: Copy {\n\
+                 fn run(&mut self) {}\n\
+             }\n\
+             impl<'a, T> Iterator for Chunks<'a, T> { fn next(&mut self) -> Option<u8> { None } }\n",
+        );
+        assert_eq!(f.fns[0].qualified(), "Engine::run");
+        assert_eq!(f.fns[1].qualified(), "Chunks::next");
+    }
+
+    #[test]
+    fn cfg_test_marks_fns() {
+        let f = parsed(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests { fn helper() {} #[test] fn case() {} }\n\
+             #[cfg(all(test, feature = \"x\"))] fn gated() {}\n",
+        );
+        let test_flags: Vec<(String, bool)> =
+            f.fns.iter().map(|f| (f.name.clone(), f.is_test)).collect();
+        assert_eq!(
+            test_flags,
+            vec![
+                ("live".to_string(), false),
+                ("helper".to_string(), true),
+                ("case".to_string(), true),
+                ("gated".to_string(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn features_collected_from_attrs_and_macros() {
+        let f = parsed(
+            "#[cfg(feature = \"audit\")] fn a() {}\n\
+             #[cfg_attr(not(feature = \"fast\"), allow(dead_code))] fn b() {\n\
+                 if cfg!(feature = \"slow\") { }\n\
+             }\n",
+        );
+        let mut names: Vec<String> = f.features.into_iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names, vec!["audit", "fast", "slow"]);
+    }
+
+    #[test]
+    fn fn_return_types_with_generics() {
+        let f = parsed(
+            "fn a() -> Vec<Vec<u64>> { Vec::new() }\n\
+             fn b() -> impl Iterator<Item = (u64, u64)> + 'static { std::iter::empty() }\n\
+             fn c<F: FnMut(u64) -> bool>(f: F) -> Option<Box<dyn Fn() -> u8>> { None }\n",
+        );
+        assert_eq!(f.fns.len(), 3);
+        assert!(f.fns.iter().all(|f| f.body.0 <= f.body.1));
+    }
+
+    #[test]
+    fn items_are_skipped_cleanly() {
+        let f = parsed(
+            "use std::fmt;\n\
+             const TABLE: &[(&str, u64)] = &[(\"a\", 1)];\n\
+             static mut COUNTER: u64 = 0;\n\
+             type Alias<T> = Vec<T>;\n\
+             macro_rules! m { ($x:expr) => { $x }; }\n\
+             thread_local! { static TL: u8 = 0; }\n\
+             extern \"C\" { fn c_side(); }\n\
+             enum E<T> { A(T), B { x: u64 } }\n\
+             union U { a: u32, b: f32 }\n\
+             pub struct Tuple(pub u64, u8);\n",
+        );
+        assert!(f.recovered.is_empty());
+        assert!(f.items >= 10);
+    }
+}

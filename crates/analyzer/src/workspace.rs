@@ -1,0 +1,162 @@
+//! Workspace loading: discover crates, parse every source file, and
+//! expose the call graph the rules run over.
+//!
+//! The analyzer itself and `xtask` are excluded — they are development
+//! tooling, not product code, and their sources are full of pattern
+//! strings that would read as findings.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::graph::CallGraph;
+use crate::manifest::{self, Manifest};
+use crate::parser::{parse_file, ParsedFile};
+
+/// Crate directories never analysed.
+const EXCLUDED_DIRS: &[&str] = &["xtask", "analyzer"];
+
+/// One workspace crate with its parsed sources.
+#[derive(Debug)]
+pub struct Crate {
+    /// Directory name under `crates/` (or `mrl` for the root package).
+    pub dir: String,
+    /// Repo-relative path to the crate's Cargo.toml.
+    pub manifest_path: String,
+    pub manifest: Manifest,
+    pub files: Vec<ParsedFile>,
+}
+
+/// The loaded workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    pub crates: Vec<Crate>,
+    index: BTreeMap<String, (usize, usize)>,
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn load_crate(root: &Path, dir_name: &str, crate_dir: &Path) -> Result<Option<Crate>, String> {
+    let manifest_file = crate_dir.join("Cargo.toml");
+    let src_dir = crate_dir.join("src");
+    if !manifest_file.is_file() || !src_dir.is_dir() {
+        return Ok(None);
+    }
+    let manifest_src = fs::read_to_string(&manifest_file)
+        .map_err(|e| format!("read {}: {e}", manifest_file.display()))?;
+    let manifest = manifest::parse(&manifest_src);
+    let mut paths = Vec::new();
+    rs_files(&src_dir, &mut paths)?;
+    let mut files = Vec::new();
+    for path in paths {
+        let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel_path = rel(root, &path);
+        let parsed = parse_file(&rel_path, &src)
+            .map_err(|e| format!("{}:{}: {}", e.path, e.line, e.message))?;
+        files.push(parsed);
+    }
+    Ok(Some(Crate {
+        dir: dir_name.to_string(),
+        manifest_path: rel(root, &manifest_file),
+        manifest,
+        files,
+    }))
+}
+
+impl Workspace {
+    /// Load every analysable crate under `root` (the repo root): the root
+    /// package plus `crates/*`, minus the excluded tooling crates.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut crates = Vec::new();
+        if let Some(c) = load_crate(root, "mrl", root)? {
+            crates.push(c);
+        }
+        let crates_dir = root.join("crates");
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            if EXCLUDED_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            if let Some(c) = load_crate(root, &name, &dir)? {
+                crates.push(c);
+            }
+        }
+        let mut index = BTreeMap::new();
+        for (ci, krate) in crates.iter().enumerate() {
+            for (fi, file) in krate.files.iter().enumerate() {
+                index.insert(file.path.clone(), (ci, fi));
+            }
+        }
+        Ok(Workspace { crates, index })
+    }
+
+    /// Look up a parsed file by repo-relative path.
+    pub fn file(&self, path: &str) -> Option<&ParsedFile> {
+        let &(ci, fi) = self.index.get(path)?;
+        Some(&self.crates[ci].files[fi])
+    }
+
+    /// Crate directory name owning a repo-relative path.
+    pub fn krate_of(path: &str) -> String {
+        match path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+        {
+            Some(dir) => dir.to_string(),
+            None => "mrl".to_string(),
+        }
+    }
+
+    /// Build the call graph over every loaded file.
+    pub fn graph(&self) -> CallGraph {
+        CallGraph::build(
+            self.crates.iter().flat_map(|c| c.files.iter()),
+            Self::krate_of,
+        )
+    }
+
+    /// Parser recovery events across all files: `(path, line, reason)`.
+    /// Non-empty output means the item parser fell back somewhere and
+    /// analysis coverage has a hole.
+    pub fn recovered(&self) -> Vec<(String, u32, String)> {
+        let mut out = Vec::new();
+        for krate in &self.crates {
+            for file in &krate.files {
+                for (line, why) in &file.recovered {
+                    out.push((file.path.clone(), *line, why.clone()));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,147 @@
+//! Detection tests over the seeded-violation fixture in
+//! `tests/fixture/`: every rule must fire on its true positives and stay
+//! silent on the decoys and tag-suppressed twins.
+
+use std::path::PathBuf;
+
+use analyzer::{analyze, Finding, Workspace};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixture")
+}
+
+fn findings() -> Vec<Finding> {
+    let ws = Workspace::load(&fixture_root()).expect("fixture loads");
+    assert!(
+        ws.recovered().is_empty(),
+        "fixture must parse without recovery: {:?}",
+        ws.recovered()
+    );
+    analyze(&ws)
+}
+
+fn by_rule<'a>(all: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    all.iter().filter(|f| f.rule == rule).collect()
+}
+
+fn has(all: &[Finding], rule: &str, path_end: &str, snippet_part: &str) -> bool {
+    all.iter()
+        .any(|f| f.rule == rule && f.path.ends_with(path_end) && f.snippet.contains(snippet_part))
+}
+
+#[test]
+fn panic_reachability_fires_and_traces() {
+    let all = findings();
+    let a001 = by_rule(&all, "MRL-A001");
+    // True positives: two sinks in `unguarded` (expect + index), the
+    // unwrap at the end of the offer → Helper::make path-call hop, and
+    // the unwrap under the `finish` root.
+    assert!(has(&all, "MRL-A001", "core/src/sink.rs", "expect"));
+    assert!(has(&all, "MRL-A001", "core/src/sink.rs", "values [ 0 ]"));
+    assert!(has(
+        &all,
+        "MRL-A001",
+        "framework/src/lib.rs",
+        "v . unwrap ( )"
+    ));
+    assert!(has(
+        &all,
+        "MRL-A001",
+        "framework/src/lib.rs",
+        "out . last ( )"
+    ));
+    assert_eq!(a001.len(), 4, "unexpected A001 set: {a001:#?}");
+    // The cross-file trace names both ends.
+    let traced = a001
+        .iter()
+        .find(|f| f.path.ends_with("core/src/sink.rs") && f.snippet.contains("expect"))
+        .expect("trace finding");
+    assert!(
+        traced.message.contains("core::Sketch::insert"),
+        "trace must start at the hot root: {}",
+        traced.message
+    );
+    // Decoys: unreachable helper, test-only sinks, and the tagged twin.
+    assert!(!a001.iter().any(|f| f.message.contains("orphan_helper")));
+    assert!(!a001.iter().any(|f| f.snippet.contains("unwrap_or")));
+    assert!(
+        !a001
+            .iter()
+            .any(|f| f.line >= 13 && f.line <= 17 && f.path.ends_with("sink.rs")),
+        "tag-suppressed guarded() must stay silent"
+    );
+}
+
+#[test]
+fn arithmetic_safety_fires_on_accounting_operators_only() {
+    let all = findings();
+    let a002 = by_rule(&all, "MRL-A002");
+    assert!(has(&all, "MRL-A002", "core/src/lib.rs", "count += 1"));
+    assert!(has(&all, "MRL-A002", "core/src/sink.rs", "weight * 2"));
+    assert!(has(
+        &all,
+        "MRL-A002",
+        "framework/src/lib.rs",
+        "total_n << 1"
+    ));
+    assert_eq!(a002.len(), 3, "unexpected A002 set: {a002:#?}");
+    // Decoys: the `// arith:`-tagged twin, float arithmetic, and
+    // non-accounting identifiers.
+    assert!(!a002.iter().any(|f| f.snippet.contains("seen += 1")));
+    assert!(!a002.iter().any(|f| f.snippet.contains("2.0")));
+    assert!(!a002.iter().any(|f| f.snippet.contains("x + y")));
+}
+
+#[test]
+fn allocation_rule_is_scoped_to_ingest_roots() {
+    let all = findings();
+    let a003 = by_rule(&all, "MRL-A003");
+    assert!(has(&all, "MRL-A003", "core/src/lib.rs", "items . push"));
+    assert!(has(&all, "MRL-A003", "framework/src/lib.rs", "vec !"));
+    assert_eq!(a003.len(), 2, "unexpected A003 set: {a003:#?}");
+    // Decoys: allocations under query/finish (panic roots but not ingest
+    // roots) and in test code stay silent.
+    assert!(!a003.iter().any(|f| f.snippet.contains("collect")));
+    assert!(!a003.iter().any(|f| f.snippet.contains("Vec :: new")));
+}
+
+#[test]
+fn feature_consistency_checks_both_directions() {
+    let all = findings();
+    let a004 = by_rule(&all, "MRL-A004");
+    // Referenced but undeclared.
+    assert!(a004
+        .iter()
+        .any(|f| { f.path.ends_with("core/src/lib.rs") && f.message.contains("\"ghost\"") }));
+    // Declared, empty, never referenced.
+    assert!(a004
+        .iter()
+        .any(|f| { f.path.ends_with("core/Cargo.toml") && f.message.contains("\"dead\"") }));
+    assert_eq!(a004.len(), 2, "unexpected A004 set: {a004:#?}");
+    // Decoys: a referenced feature and a forwarding feature are fine.
+    assert!(!a004.iter().any(|f| f.message.contains("\"used\"")));
+    assert!(!a004.iter().any(|f| f.message.contains("\"fwd\"")));
+}
+
+#[test]
+fn fingerprints_are_stable_and_unique() {
+    let a = findings();
+    let b = findings();
+    let fps_a: Vec<u64> = a.iter().map(|f| f.fingerprint).collect();
+    let fps_b: Vec<u64> = b.iter().map(|f| f.fingerprint).collect();
+    assert_eq!(fps_a, fps_b, "fingerprints must be deterministic");
+    let unique: std::collections::BTreeSet<u64> = fps_a.iter().copied().collect();
+    assert_eq!(unique.len(), fps_a.len(), "fingerprints must be unique");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn json_rendering_covers_every_finding() {
+    let all = findings();
+    let json = analyzer::json::render(&all);
+    assert!(json.contains(&format!("\"total\": {}", all.len())));
+    for f in &all {
+        assert!(json.contains(&format!("{:016x}", f.fingerprint)));
+        assert!(json.contains(f.rule));
+    }
+}

@@ -1,0 +1,82 @@
+//! Seeded-violation fixture: every rule's true positives, decoys, and
+//! tag-suppressed twins live here. The detection test pins which lines
+//! fire and — just as importantly — which stay silent.
+//!
+//! This file is never compiled; it only has to parse.
+
+mod sink;
+
+pub struct Sketch {
+    pub count: u64,
+    pub seen: u64,
+    pub mass: u64,
+    pub items: Vec<u64>,
+}
+
+impl Sketch {
+    /// Hot root: everything reachable from here is audited.
+    pub fn insert(&mut self, item: u64) {
+        // MRL-A002 true positive: unchecked `+=` on an accounting value.
+        self.count += 1;
+        // Suppressed twin: statement-level arith tag.
+        // arith: fixture — justified site must stay silent
+        self.seen += 1;
+        // Silent: the checked fix the rule asks for is not an operator.
+        self.mass = self.mass.saturating_add(1);
+        // MRL-A003 true positive: allocation on the ingest path.
+        self.items.push(item);
+        sink::unguarded(&self.items);
+        sink::guarded(&self.items);
+        sink::scaled(item);
+    }
+
+    /// Query root (a panic root, but NOT an ingest root): allocation here
+    /// is a decoy for MRL-A003 and must stay silent.
+    pub fn query(&self, phi: f64) -> Vec<u64> {
+        let scaled = phi * 2.0;
+        let keep = scaled as usize;
+        self.items.iter().take(keep).copied().collect()
+    }
+}
+
+/// Decoy: panics, but nothing reachable from a hot root calls it.
+pub fn orphan_helper(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+
+/// Decoy: float arithmetic touching an accounting name stays out of
+/// MRL-A002 scope (the rule is about exact integer accounting).
+pub fn float_decoy(weight: f64) -> f64 {
+    weight * 2.0
+}
+
+/// Decoy: arithmetic on non-accounting identifiers is out of scope.
+pub fn plain_math(x: u64, y: u64) -> u64 {
+    x + y
+}
+
+#[cfg(feature = "used")]
+pub fn gated() -> u64 {
+    1
+}
+
+pub fn ghost_gated() -> u64 {
+    // MRL-A004 true positive: feature "ghost" is not declared.
+    if cfg!(feature = "ghost") {
+        2
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Decoy: sinks in test code are never reported.
+    #[test]
+    fn test_decoy() {
+        let v: Vec<u64> = Vec::new();
+        assert!(v.first().copied().unwrap_or(0) == 0);
+        let w: Option<u64> = None;
+        let _ = w.unwrap();
+    }
+}

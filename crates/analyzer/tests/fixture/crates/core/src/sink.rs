@@ -1,0 +1,23 @@
+//! Cross-file callees of the hot root: MRL-A001 must trace
+//! `core::Sketch::insert → core::unguarded` across the module boundary.
+
+/// MRL-A001 true positives: an `.expect(…)` and an unchecked index,
+/// reachable from `Sketch::insert`.
+pub fn unguarded(values: &[u64]) -> u64 {
+    let first = values.first().expect("fixture nonempty");
+    first + values[0]
+}
+
+/// Suppressed twin: same sinks, function-level justification tag.
+// panic-free: fixture — the caller guarantees a non-empty slice
+pub fn guarded(values: &[u64]) -> u64 {
+    let first = values.first().expect("fixture nonempty");
+    first + values[0]
+}
+
+/// MRL-A002 decoy territory: this is unchecked multiplication on an
+/// accounting name (`weight`), so it IS a true positive — it pins the
+/// rule firing on a plain binary operator, not just `+=`.
+pub fn scaled(weight: u64) -> u64 {
+    weight * 2
+}

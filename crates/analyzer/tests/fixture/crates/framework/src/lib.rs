@@ -1,0 +1,36 @@
+//! Second fixture crate: pins cross-crate tracing and `Type::method`
+//! path-call resolution.
+
+pub struct Helper;
+
+impl Helper {
+    /// Reached from `offer` below via a `Helper::make` path call.
+    pub fn make() -> Vec<u64> {
+        // MRL-A001 true positive at the end of a two-hop trace.
+        let v: Option<u64> = None;
+        vec![v.unwrap()]
+    }
+}
+
+pub struct Gate {
+    pub total_n: u64,
+}
+
+impl Gate {
+    /// Hot root in the framework crate.
+    pub fn offer(&mut self, n: u64) {
+        // MRL-A002 true positive: `<<` on an accounting value.
+        let _doubled = self.total_n << 1;
+        self.total_n = self.total_n.saturating_add(n);
+        let _scratch = Helper::make();
+    }
+
+    /// Decoy: `finish` is a panic root but not an ingest root, so this
+    /// allocation is silent for MRL-A003 — and the unwrap still fires
+    /// for MRL-A001.
+    pub fn finish(&self) -> Vec<u64> {
+        let out: Vec<u64> = (0..self.total_n).collect();
+        let _last = out.last().copied().unwrap();
+        out
+    }
+}

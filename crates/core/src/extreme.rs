@@ -99,8 +99,11 @@ impl<T: Ord + Clone> ExtremeValue<T> {
             seen: 0,
             mode: SampleMode::KnownN {
                 sampler,
-                low_heap: BinaryHeap::new(),
-                high_heap: BinaryHeap::new(),
+                // Pre-size to k + 1: the heaps momentarily hold one extra
+                // element before the trimming pop, and pre-sizing keeps
+                // the per-element push allocation-free after warm-up.
+                low_heap: BinaryHeap::with_capacity(k as usize + 1),
+                high_heap: BinaryHeap::with_capacity(k as usize + 1),
             },
             rng: rng_from_seed(seed),
         }
@@ -131,8 +134,10 @@ impl<T: Ord + Clone> ExtremeValue<T> {
     }
 
     /// Insert one stream element.
+    // alloc: the heaps are pre-sized to k + 1 and trimmed back to k after
+    // every push, so pushes reuse capacity after warm-up.
     pub fn insert(&mut self, item: T) {
-        self.seen += 1;
+        self.seen = self.seen.saturating_add(1);
         let k = self.k as usize;
         match &mut self.mode {
             SampleMode::KnownN {
@@ -171,8 +176,10 @@ impl<T: Ord + Clone> ExtremeValue<T> {
     /// stream element), so a batch at rate `s/N ≪ 1` costs almost nothing
     /// beyond the accepted heap pushes. The unknown-`N` reservoir offers
     /// per element as before.
+    // alloc: the heaps are pre-sized to k + 1 and trimmed back to k after
+    // every push, so pushes reuse capacity after warm-up.
     pub fn insert_batch(&mut self, items: &[T]) {
-        self.seen += items.len() as u64;
+        self.seen = self.seen.saturating_add(items.len() as u64);
         let k = self.k as usize;
         match &mut self.mode {
             SampleMode::KnownN {
@@ -182,7 +189,12 @@ impl<T: Ord + Clone> ExtremeValue<T> {
             } => {
                 let tail = self.tail;
                 sampler.accept_many(items.len() as u64, &mut self.rng, &mut |i| {
-                    let item = items[i as usize].clone();
+                    // accept_many only yields indices below the count it
+                    // was given, but stay total anyway: an out-of-range
+                    // skip would silently drop a sample, not panic.
+                    let Some(item) = items.get(i as usize).cloned() else {
+                        return;
+                    };
                     match tail {
                         Tail::Low => {
                             low_heap.push(item);
@@ -208,6 +220,8 @@ impl<T: Ord + Clone> ExtremeValue<T> {
     }
 
     /// Insert every element of an iterator (batched internally).
+    // alloc: one CHUNK-sized staging buffer per extend() call, reused
+    // across batches — amortised to nothing per element.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         const CHUNK: usize = 1024;
         let mut buf: Vec<T> = Vec::with_capacity(CHUNK);

@@ -96,7 +96,9 @@ impl<T: Ord + Clone> KnownN<T> {
     /// Panics if the batch would exceed the declared `n` elements.
     pub fn insert_batch(&mut self, items: &[T]) {
         assert!(
-            self.engine.n() + items.len() as u64 <= self.expected_n,
+            // Saturating: a near-u64::MAX declared n must trip the assert,
+            // not wrap the sum past it.
+            self.engine.n().saturating_add(items.len() as u64) <= self.expected_n,
             "inserted more than the declared {} elements",
             self.expected_n
         );
@@ -104,6 +106,8 @@ impl<T: Ord + Clone> KnownN<T> {
     }
 
     /// Insert every element of an iterator (batched internally).
+    // alloc: one CHUNK-sized staging buffer per extend() call, reused
+    // across batches — amortised to nothing per element.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         const CHUNK: usize = 1024;
         let mut buf: Vec<T> = Vec::with_capacity(CHUNK);

@@ -32,6 +32,8 @@ pub struct Buffer<T> {
 
 impl<T: Ord> Buffer<T> {
     /// A fresh empty buffer with storage reserved for `k` elements.
+    // alloc: one reservation per buffer slot, at engine construction or
+    // slot recycling (once per fill), never per element.
     pub fn empty(k: usize) -> Self {
         Self {
             data: Vec::with_capacity(k),
@@ -180,9 +182,11 @@ impl<T> Buffer<T> {
         self.state
     }
 
-    /// The weighted mass of the buffer: `len · weight`.
+    /// The weighted mass of the buffer: `len · weight`. Saturating —
+    /// weight conservation keeps every mass ≤ the stream length, so
+    /// saturation only defends against corrupted state.
     pub fn mass(&self) -> u64 {
-        self.data.len() as u64 * self.weight
+        (self.data.len() as u64).saturating_mul(self.weight)
     }
 
     /// Snapshot of the scheduling-relevant metadata.

@@ -117,13 +117,16 @@ where
 pub fn rank_of_sources<T: Ord>(sources: &[WeightedSource<'_, T>], value: &T) -> (u64, u64) {
     let mut below = 0u64;
     let mut at_most = 0u64;
+    // Saturating: Σ weights over all elements is the total mass, which
+    // weight conservation keeps ≤ the stream length, but a corrupted input
+    // should clamp the rank rather than wrap it past the true value.
     for s in sources {
         for v in s.data {
             if v < value {
-                below += s.weight;
+                below = below.saturating_add(s.weight);
             }
             if v <= value {
-                at_most += s.weight;
+                at_most = at_most.saturating_add(s.weight);
             }
         }
     }

@@ -251,7 +251,10 @@ where
 
     /// Stream elements consumed so far.
     pub fn n(&self) -> u64 {
-        self.stats.elements + self.sampler.pending()
+        // Saturating: both counters track disjoint parts of one stream, so
+        // their sum is the stream length and cannot wrap unless the stream
+        // itself exceeds u64 — degrade to a pinned count, never wrap.
+        self.stats.elements.saturating_add(self.sampler.pending())
     }
 
     /// True once [`Engine::finish`] has been called.
@@ -326,6 +329,9 @@ where
     ///
     /// # Panics
     /// Panics if called after [`Engine::finish`].
+    // alloc: filler.push lands in capacity reserved by the recycled slot
+    // storage (complete_fill) and note_boundary's run starts are bounded by
+    // the saturation cap; the sample tap is opt-in test support.
     pub fn insert(&mut self, item: T) {
         assert!(!self.finished, "cannot insert after finish()");
         if !self.filling {
@@ -358,6 +364,8 @@ where
     ///
     /// # Panics
     /// Panics if called after [`Engine::finish`].
+    // alloc: as in `insert` — pushes go into recycled k-capacity filler
+    // storage; the sample tap is opt-in test support.
     pub fn insert_batch(&mut self, items: &[T]) {
         assert!(!self.finished, "cannot insert after finish()");
         let mut rest = items;
@@ -369,7 +377,13 @@ where
             // `room` free filler slots stands for `fill_rate` elements,
             // less whatever the pending block has already consumed.
             let room = (self.config.buffer_size - self.filler.len()) as u64;
-            let absorb = room * self.fill_rate - self.sampler.pending();
+            // Saturating: begin_fill guarantees room ≥ 1 and the pending
+            // block never exceeds one fill's worth (pending < fill_rate),
+            // so absorb ≥ 1 in practice; saturation only defends corrupted
+            // state from looping on a wrapped subtraction.
+            let absorb = room
+                .saturating_mul(self.fill_rate)
+                .saturating_sub(self.sampler.pending());
             let take = absorb.min(rest.len() as u64) as usize;
             let (chunk, tail) = rest.split_at(take);
             rest = tail;
@@ -413,6 +427,8 @@ where
     /// Insert every element of an iterator. Internally gathers elements
     /// into fixed-size batches and feeds them to [`Engine::insert_batch`],
     /// so bulk loading through `extend` gets the batched fast path.
+    // alloc: one CHUNK-sized staging buffer per extend() call, reused for
+    // every batch of the iterator — amortised to nothing per element.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         const CHUNK: usize = 1024;
         let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
@@ -431,6 +447,10 @@ where
     /// Declare end-of-stream: the partially filled buffer (if any) becomes a
     /// `Partial` buffer (§3.1). Queries remain available; further inserts
     /// panic.
+    // panic-free: empty_slot() is Some because begin_fill reserved a slot
+    // for the fill in progress (filling == true on this branch), and the
+    // deferred-seal indices in unsorted_slots are valid by construction.
+    // alloc: tap is opt-in test support; filler.push has reserved capacity.
     pub fn finish(&mut self) {
         if self.finished {
             return;
@@ -494,6 +514,9 @@ where
     /// Estimate several quantiles at once from one merge pass. Results are
     /// returned in the order of `phis`. Returns `None` before any element
     /// has arrived.
+    // panic-free: buffer indices come from enumerate(); out[original] and
+    // the closing expect hold because `order` carries every index 0..len
+    // exactly once, so every slot is filled before unwrapping.
     pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
         // Only clone-and-sort the in-progress fill when it is actually out
         // of order; an ascending stream (or a freshly started fill) reads
@@ -579,9 +602,12 @@ where
             .filter(|b| b.state() != BufferState::Empty)
             .map(Buffer::mass)
             .sum();
-        s += self.filler.len() as u64 * self.fill_rate;
+        // Saturating like Buffer::mass: the total is the stream length by
+        // weight conservation, so wrapping is impossible in a consistent
+        // engine — pin rather than wrap if state is ever corrupted.
+        s = s.saturating_add((self.filler.len() as u64).saturating_mul(self.fill_rate));
         if let Some((_, seen)) = self.sampler.peek() {
-            s += seen;
+            s = s.saturating_add(seen);
         }
         s
     }
@@ -612,16 +638,15 @@ where
     /// Collapse **all** full buffers into one (used by the parallel
     /// protocol, §6, before shipping buffers to the coordinator). No-op if
     /// fewer than two buffers are full.
+    // panic-free: full_slots() yields valid buffer indices by construction.
     pub fn collapse_all_full(&mut self) {
         let full: Vec<usize> = self.full_slots();
         if full.len() < 2 {
             return;
         }
-        let max_level = full
-            .iter()
-            .map(|&i| self.buffers[i].level())
-            .max()
-            .expect("nonempty");
+        let Some(max_level) = full.iter().map(|&i| self.buffers[i].level()).max() else {
+            return;
+        };
         self.perform_collapse(&full, max_level + 1);
     }
 
@@ -737,6 +762,9 @@ where
     ///
     /// # Panics
     /// Panics (with `context` in the message) on any violated invariant.
+    // arith: the auditor recomputes accounting identities to *check* them;
+    // `mass - n` is guarded by `mass >= n` in the same condition and the
+    // sums mirror n()/output_mass(), whose bounds are established there.
     #[cfg(feature = "invariant-audit")]
     pub fn audit_invariants(&self, context: &str) {
         let k = self.config.buffer_size;
@@ -744,7 +772,7 @@ where
         // elements consumed — except after finish, where the partial
         // buffer's tail block rounds its weight up by < one block.
         let mass = self.output_mass();
-        let n = self.stats.elements + self.sampler.pending();
+        let n = self.n();
         if self.finished {
             assert!(
                 mass >= n && mass - n < self.fill_rate.max(1),
@@ -836,6 +864,8 @@ where
             .position(|b| b.state() == BufferState::Empty)
     }
 
+    // alloc: a handful of slot indices, once per seal/collapse decision,
+    // never per element.
     fn full_slots(&self) -> Vec<usize> {
         self.buffers
             .iter()
@@ -845,6 +875,12 @@ where
             .collect()
     }
 
+    // panic-free: allocation[allocated] is indexed only while allocated <
+    // num_buffers, and the allocation schedule is built with num_buffers
+    // entries at construction.
+    // alloc: buffer-slot growth happens at most num_buffers times over the
+    // engine's whole lifetime — the paper's b·k memory budget, not a
+    // per-element cost.
     fn begin_fill(&mut self) {
         debug_assert!(!self.filling);
         debug_assert_eq!(self.sampler.pending(), 0);
@@ -905,6 +941,10 @@ where
         (data, sorted)
     }
 
+    // panic-free: empty_slot() is Some — begin_fill reserved the slot this
+    // fill is completing into, and nothing between could occupy it.
+    // alloc: one deferred-seal index per sealed buffer (bounded by
+    // num_buffers live entries); buffer storage itself is recycled.
     fn complete_fill(&mut self) {
         debug_assert_eq!(self.filler.len(), self.config.buffer_size);
         let (data, sorted) = self.take_filler();
@@ -948,6 +988,8 @@ where
     /// Refresh the point-in-time gauges (buffer occupancy by level,
     /// allocation, stream position, sampler draws). Called once per sealed
     /// buffer, and only when a recorder is attached.
+    // panic-free: occupied[level] is preceded by resize(level + 1, …) on
+    // the same branch whenever it is out of range.
     fn publish_state_gauges(&mut self) {
         let occupied = &mut self.occupancy_scratch;
         occupied.clear();
@@ -976,6 +1018,8 @@ where
             .gauge_set(metrics::SAMPLER_DRAWS, self.sampler.draws() as f64);
     }
 
+    // panic-free: promotion/collapse indices come from the policy, which
+    // only sees metas built from real slot indices via enumerate().
     fn collapse_once(&mut self) {
         let mut metas = std::mem::take(&mut self.meta_scratch);
         metas.clear();
@@ -998,6 +1042,12 @@ where
         self.perform_collapse(&decision.collapse, decision.output_level);
     }
 
+    // panic-free: `slots` holds ≥ 2 valid, distinct buffer indices (asserted
+    // by collapse_once, constructed by full_slots for collapse_all_full);
+    // concat[(t-1)/w0] is in bounds because targets ≤ c·k·w0 = |concat|·w0.
+    // alloc: recorder bookkeeping and the per-collapse source list run once
+    // per collapse (every k·2^level elements), amortised O(1) per element;
+    // selection output reuses select_scratch.
     fn perform_collapse(&mut self, slots: &[usize], output_level: u32) {
         let collapse_timer = self.metrics.timer(metrics::COLLAPSE_NS);
         let w: u64 = slots.iter().map(|&i| self.buffers[i].weight()).sum();

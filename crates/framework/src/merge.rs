@@ -33,8 +33,12 @@ impl<'a, T> WeightedSource<'a, T> {
     }
 
     /// Weighted mass contributed by this source.
+    ///
+    /// Saturating: by construction Σ masses equals the stream length `n`,
+    /// which fits u64, but a hostile caller constructing sources directly
+    /// must not be able to wrap the accounting.
     pub fn mass(&self) -> u64 {
-        self.data.len() as u64 * self.weight
+        (self.data.len() as u64).saturating_mul(self.weight)
     }
 }
 
@@ -65,27 +69,31 @@ pub fn select_weighted<T: Ord + Clone>(
 /// As [`select_weighted`], writing the selected elements into `out`
 /// (cleared first). Lets hot paths — one collapse per filled buffer —
 /// reuse the output allocation instead of allocating per call.
+// panic-free: the entry asserts are the documented precondition contract
+// (see # Panics on select_weighted); past them every index is invariant-
+// protected — pos[i] < data.len() loop guards, run offsets bounded by
+// run_mass, windows(2) slices are exactly length 2.
+// arith: cum accumulates source masses and never exceeds `mass`, itself a
+// u64 computed saturating; run_mass ≤ mass for the same reason.
+// alloc: out is the caller's reused scratch (capacity persists across
+// collapses); the pos vectors are one small allocation per collapse, not
+// per element.
 pub fn select_weighted_into<T: Ord + Clone>(
     sources: &[WeightedSource<'_, T>],
     targets: &[u64],
     out: &mut Vec<T>,
 ) {
     out.clear();
-    if targets.is_empty() {
+    let (Some(&first), Some(&last)) = (targets.first(), targets.last()) else {
         return;
-    }
+    };
     let mass = total_mass(sources);
     assert!(
         targets.windows(2).all(|w| w[0] <= w[1]),
         "targets must be sorted"
     );
-    assert!(targets[0] >= 1, "weighted positions are 1-indexed");
-    assert!(
-        *targets.last().expect("targets nonempty") <= mass,
-        "target {} exceeds total mass {}",
-        targets.last().unwrap(),
-        mass
-    );
+    assert!(first >= 1, "weighted positions are 1-indexed");
+    assert!(last <= mass, "target {last} exceeds total mass {mass}");
 
     // Dense targets (the Collapse shape: k targets over c·k elements) take
     // a fused c-way walk that selects during the merge: galloping cannot
@@ -220,6 +228,8 @@ pub fn select_weighted_into<T: Ord + Clone>(
 /// from the front. Equivalent to `sub.partition_point(pred)` but costs
 /// `O(log r)` for answer `r` instead of `O(log len)` — the merge's runs
 /// are usually short, the suffix long.
+// panic-free: sub[hi] is guarded by hi < sub.len() on the same condition;
+// lo ≤ hi/2 + 1 ≤ end ≤ sub.len() keeps the range slice in bounds.
 fn gallop_limit<T>(sub: &[T], pred: impl Fn(&T) -> bool) -> usize {
     if sub.first().is_none_or(|v| !pred(v)) {
         return 0;

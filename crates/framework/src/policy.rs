@@ -44,6 +44,10 @@ pub trait CollapsePolicy {
 
 /// Shared helper: the lowest level among full buffers, the slots at that
 /// level, and the next-lowest occupied level (if any).
+// panic-free: callers pass a non-empty `metas` (CollapsePolicy::choose
+// contract, debug_asserted below), so min() is Some.
+// alloc: runs once per collapse decision (amortised over a whole buffer
+// fill), and the vector is O(#buffers), a small constant.
 fn level_profile(metas: &[BufferMeta]) -> (u32, Vec<usize>, Option<u32>) {
     debug_assert!(!metas.is_empty());
     debug_assert!(metas.iter().all(|m| m.state == BufferState::Full));
@@ -69,6 +73,11 @@ impl CollapsePolicy for AdaptiveLowestLevel {
         "adaptive-lowest-level"
     }
 
+    // panic-free: the len >= 2 entry assert is the documented contract;
+    // with at_lowest.len() == 1 a second level must exist (`next` is Some)
+    // and at_lowest[0] exists because `lowest` came from the same metas.
+    // alloc: once per collapse decision, O(#buffers) — amortised over the
+    // k-element fill that triggered the collapse.
     fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
         assert!(metas.len() >= 2, "collapse needs at least two full buffers");
         let (lowest, at_lowest, next) = level_profile(metas);
@@ -109,6 +118,11 @@ impl CollapsePolicy for MunroPaterson {
         "munro-paterson"
     }
 
+    // panic-free: the len >= 2 entry assert is the documented contract;
+    // windows(2) yields exactly-two-element slices, and by_level[0]/[1]
+    // exist because by_level.len() == metas.len() >= 2.
+    // alloc: once per collapse decision, O(#buffers) — amortised over the
+    // k-element fill that triggered the collapse.
     fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
         assert!(metas.len() >= 2, "collapse needs at least two full buffers");
         // Lowest level with >= 2 buffers, if any.
@@ -148,6 +162,10 @@ impl CollapsePolicy for AlsabtiRankaSingh {
         "alsabti-ranka-singh"
     }
 
+    // panic-free: the len >= 2 entry assert is the documented contract, so
+    // max() over metas is Some.
+    // alloc: once per collapse decision, O(#buffers) — amortised over the
+    // k-element fill that triggered the collapse.
     fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
         assert!(metas.len() >= 2, "collapse needs at least two full buffers");
         let max_level = metas.iter().map(|m| m.level).max().expect("nonempty");

@@ -60,6 +60,8 @@ impl RunTracker {
 
     /// Record that the element at index `at` starts a new run (its
     /// predecessor compared greater). No-op when saturated.
+    // alloc: starts grows to at most limit + 1 entries (saturation stops
+    // recording), a one-off cost per fill, not per element.
     #[inline]
     pub fn note_boundary(&mut self, at: usize) {
         if !self.is_saturated() {
@@ -70,6 +72,9 @@ impl RunTracker {
     /// Scan `data[base..]` (just appended in bulk) for run boundaries,
     /// including the boundary between `data[base - 1]` and `data[base]`.
     /// Stops scanning early once saturated.
+    // panic-free: the scan starts at max(base, 1), so data[i - 1] is valid
+    // for every visited i.
+    // alloc: as note_boundary — bounded by the saturation limit.
     pub fn observe_extend<T: Ord>(&mut self, data: &[T], base: usize) {
         let from = base.max(1);
         for i in from..data.len() {
@@ -118,6 +123,11 @@ pub fn run_merge_limit(k: usize) -> usize {
 ///
 /// The merge is stable (ties favour the earlier run), which coincides with
 /// any correct sort for the `Ord`-equal elements the engine stores.
+// panic-free: bounds is run_starts (ascending indices into data, headed by
+// 0) plus data.len(); every range slice below is delimited by adjacent
+// bounds entries guarded by the `bi + 2 < bounds.len()` loop conditions.
+// alloc: the bounds vectors are O(r) once per seal (r ≤ saturation limit);
+// scratch and its reservation persist across seals via the caller.
 pub fn merge_sorted_runs<T: Ord + Clone>(
     data: &mut Vec<T>,
     run_starts: &[usize],
@@ -163,6 +173,9 @@ pub fn merge_sorted_runs<T: Ord + Clone>(
 }
 
 /// Stable two-pointer merge of sorted `a` and `b`, appended to `out`.
+// panic-free: i < a.len() and j < b.len() guard every index; the tail
+// slices use the loop-exit values, which are ≤ the lengths.
+// alloc: out is the caller's reserved scratch; pushes stay in capacity.
 fn merge_two<T: Ord + Clone>(a: &[T], b: &[T], out: &mut Vec<T>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

@@ -62,17 +62,22 @@ impl TreeStats {
         self.sum_block_sq = self.sum_block_sq.saturating_add(sq);
     }
 
-    /// Record a completed `New` buffer at `level`.
+    /// Record a completed `New` buffer at `level`. Saturates like the
+    /// block accounting.
     pub fn record_leaf(&mut self, level: u32) {
-        self.leaves += 1;
-        *self.leaves_by_level.entry(level).or_insert(0) += 1;
+        self.leaves = self.leaves.saturating_add(1);
+        let per_level = self.leaves_by_level.entry(level).or_insert(0);
+        *per_level = per_level.saturating_add(1);
         self.max_level = self.max_level.max(level);
     }
 
     /// Record a `Collapse` whose output has weight `w` at `level`.
+    /// Saturates like the block accounting: `W` bounds a rank error and a
+    /// saturated bound is still a valid (if pessimistic) error report,
+    /// where a wrapped one would understate the error.
     pub fn record_collapse(&mut self, w: u64, level: u32) {
-        self.collapses += 1;
-        self.collapse_weight_sum += w;
+        self.collapses = self.collapses.saturating_add(1);
+        self.collapse_weight_sum = self.collapse_weight_sum.saturating_add(w);
         self.max_level = self.max_level.max(level);
     }
 
@@ -96,7 +101,8 @@ impl TreeStats {
         self.elements = self.elements.saturating_add(other.elements);
         self.leaves = self.leaves.saturating_add(other.leaves);
         for (&level, &count) in &other.leaves_by_level {
-            *self.leaves_by_level.entry(level).or_insert(0) += count;
+            let per_level = self.leaves_by_level.entry(level).or_insert(0);
+            *per_level = per_level.saturating_add(count);
         }
         self.collapses = self.collapses.saturating_add(other.collapses);
         self.collapse_weight_sum = self
@@ -126,7 +132,7 @@ impl TreeStats {
     /// current `w_max` (greatest weight among buffers that would participate
     /// in `Output`).
     pub fn tree_error_bound(&self, w_max: u64) -> u64 {
-        (self.collapse_weight_sum + w_max).div_ceil(2)
+        self.collapse_weight_sum.saturating_add(w_max).div_ceil(2)
     }
 }
 

@@ -42,6 +42,8 @@ impl TreeRecorder {
     }
 
     /// Record a leaf; returns its node id.
+    // alloc: one node per completed buffer — once per k-element fill, not
+    // per element.
     pub fn add_leaf(&mut self, weight: u64, level: u32) -> usize {
         self.nodes.push(TreeNode {
             weight,
@@ -53,6 +55,8 @@ impl TreeRecorder {
     }
 
     /// Record a collapse output over `children`; returns its node id.
+    // alloc: one node per collapse — amortised over the fills that filled
+    // the collapsed buffers.
     pub fn add_collapse(&mut self, weight: u64, level: u32, children: Vec<usize>) -> usize {
         debug_assert!(children.iter().all(|&c| c < self.nodes.len()));
         self.nodes.push(TreeNode {

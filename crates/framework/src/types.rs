@@ -40,8 +40,9 @@ impl Eq for OrderedF64 {}
 
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for OrderedF64 {
+    // panic-free: NaN is rejected at construction, so partial_cmp on the
+    // wrapped values is always Some.
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: NaN is rejected at construction.
         self.0
             .partial_cmp(&other.0)
             .expect("OrderedF64 is NaN-free")

@@ -45,6 +45,9 @@ impl ColumnWriter {
     }
 
     /// Append every value of an iterator.
+    // alloc: `push` here is ColumnWriter::push — a buffered file write,
+    // not Vec::push; the analyzer's name-based matcher cannot see the
+    // receiver type (DESIGN.md §3.11).
     pub fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) -> io::Result<()> {
         for v in iter {
             self.push(v)?;

@@ -227,6 +227,8 @@ impl InMemoryRecorder {
         }
     }
 
+    // panic-free: idx is always masked by SLOTS - 1 and slots holds
+    // exactly SLOTS entries (SLOTS is a power of two).
     fn find(&self, key: Key, kind: Kind) -> Option<&Slot> {
         let fp = Self::slot_fingerprint(key, kind);
         let mut idx = fp as usize & (SLOTS - 1);
@@ -247,6 +249,8 @@ impl InMemoryRecorder {
         None
     }
 
+    // panic-free: idx is always masked by SLOTS - 1 and slots holds
+    // exactly SLOTS entries (SLOTS is a power of two).
     fn find_or_claim(&self, key: Key, kind: Kind) -> Option<&Slot> {
         let fp = Self::slot_fingerprint(key, kind);
         let mut idx = fp as usize & (SLOTS - 1);

@@ -80,6 +80,8 @@ impl<T: Ord + Clone> Coordinator<T> {
     ///
     /// # Panics
     /// Panics if the buffer is empty, oversized, or `Empty`-state.
+    // panic-free: the Empty arm is dead — the entry assert_ne rejects
+    // Empty-state buffers, which is the documented contract above.
     pub fn add_buffer(&mut self, buffer: Buffer<T>) {
         assert_ne!(
             buffer.state(),
@@ -176,6 +178,9 @@ impl<T: Ord + Clone> Coordinator<T> {
 
     /// Collapse all full buffers at the lowest occupied level (promoting a
     /// lone lowest buffer, exactly like the single-stream policy).
+    // panic-free: the len < 2 early return guarantees both min() calls see
+    // a candidate (a lone lowest buffer implies a second, higher level),
+    // and every index in `at` came from enumerate() over self.full.
     fn collapse_lowest(&mut self) {
         if self.full.len() < 2 {
             return;
@@ -244,6 +249,9 @@ impl<T: Ord + Clone> Coordinator<T> {
     }
 
     /// Several quantiles in one merge pass, in caller order.
+    // panic-free: `original` indices come from zip(0..) over phis, and
+    // select_weighted returns one value per target, so every out slot is
+    // written exactly once before the expect.
     pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
         let staged_sorted;
         let mut sources: Vec<WeightedSource<'_, T>> = self

@@ -272,6 +272,8 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     }
 
     /// Insert one element.
+    // alloc: pending always carries `batch` capacity (dispatch swaps in a
+    // pre-sized replacement), so the push reuses capacity.
     pub fn insert(&mut self, item: T) {
         self.pending.push(item);
         if self.pending.len() >= self.batch {
@@ -306,6 +308,10 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     /// shard's queue is full (the pipeline's backpressure). A disconnected
     /// channel means the worker panicked: the shard is marked dead, further
     /// dispatch stops, and [`ShardedSketch::finish`] reports the failure.
+    // panic-free: `shard` is next_shard, which is always reduced modulo
+    // senders.len(), and queue_depths has one slot per sender.
+    // alloc: one replacement batch buffer per dispatched batch — amortised
+    // to a pointer swap per `batch` elements.
     fn dispatch(&mut self) {
         let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
         if self.dead_shard.is_some() {

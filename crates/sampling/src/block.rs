@@ -118,6 +118,12 @@ impl<T> BlockSampler<T> {
     /// The consumed random stream differs from the per-element path, so a
     /// seeded run mixing `offer` and `offer_slice` is distributionally — not
     /// bitwise — equivalent to a pure per-element run.
+    // panic-free: every index and range is bounded by construction —
+    // u − s < c ≤ rest.len() in the straddle step (and u ≥ s there means a
+    // chunk element was drawn, so `current` is Some when the block
+    // completes); offset < rate ≤ rest.len() in the whole-block loops
+    // (masked draws are < rate because rate is a power of two); and the
+    // trailing draw is < rest.len().
     pub fn offer_slice(
         &mut self,
         chunk: &[T],

@@ -38,8 +38,12 @@ impl<T> Reservoir<T> {
     }
 
     /// Offer one stream element.
+    // panic-free: the replacement index j is checked against capacity, and
+    // the else-branch implies sample.len() == capacity.
+    // alloc: pushes only during warm-up (until the sample reaches
+    // capacity); steady state overwrites in place.
     pub fn offer(&mut self, item: T, rng: &mut SketchRng) {
-        self.seen += 1;
+        self.seen = self.seen.saturating_add(1);
         if self.sample.len() < self.capacity {
             self.sample.push(item);
         } else {
@@ -82,6 +86,8 @@ impl<T: Clone + Ord> Reservoir<T> {
     /// `⌈φ·len⌉` in the sorted sample. Returns `None` on an empty reservoir.
     ///
     /// This is the folklore baseline estimator the paper compares against.
+    // panic-free: pos is clamped to [1, len] after the is_empty check, so
+    // pos - 1 is a valid index.
     pub fn quantile(&self, phi: f64) -> Option<T> {
         if self.sample.is_empty() {
             return None;

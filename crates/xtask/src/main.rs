@@ -1,11 +1,23 @@
-//! Workspace automation entry point. `cargo xtask lint` runs the
-//! concurrency-hygiene pass from `xtask::lint_workspace`; see the library
-//! docs for the rule table and fingerprint semantics.
+//! Workspace automation entry point.
+//!
+//! * `cargo xtask lint` — the lexer-based concurrency-hygiene pass from
+//!   `xtask::lint_workspace` (rules MRL-L001..L005).
+//! * `cargo xtask analyze` — the parser-based analyses from the
+//!   `analyzer` crate (rules MRL-A001..A004: panic-reachability,
+//!   arithmetic safety, hot-path allocation, feature-gate consistency).
+//!
+//! Both commands ratchet against a committed baseline of grandfathered
+//! fingerprints. A baseline entry that no longer fires is an error (the
+//! ratchet must only tighten): re-pin with `--prune`, which drops dead
+//! entries without admitting new findings. `--update-baseline` re-pins
+//! everything, new findings included, and is for deliberate re-baselining
+//! only.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const BASELINE_REL: &str = "crates/xtask/lint-baseline.txt";
+const LINT_BASELINE_REL: &str = "crates/xtask/lint-baseline.txt";
+const ANALYZE_BASELINE_REL: &str = "crates/xtask/analyze-baseline.txt";
 
 fn workspace_root() -> PathBuf {
     // When run via `cargo xtask …`, the manifest dir is crates/xtask.
@@ -19,18 +31,74 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(".")
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Check,
+    Update,
+    Prune,
+}
+
+fn mode_of(args: &[String]) -> Mode {
+    if args.iter().any(|a| a == "--update-baseline") {
+        Mode::Update
+    } else if args.iter().any(|a| a == "--prune") {
+        Mode::Prune
+    } else {
+        Mode::Check
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.iter().any(|a| a == "--update-baseline")),
+        Some("lint") => lint(mode_of(&args)),
+        Some("analyze") => {
+            let json = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            analyze(mode_of(&args), json.as_deref())
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            eprintln!(
+                "usage: cargo xtask lint [--update-baseline|--prune]\n       \
+                 cargo xtask analyze [--update-baseline|--prune] [--json <path>]"
+            );
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint(update_baseline: bool) -> ExitCode {
+/// Outcome of ratcheting current findings against a committed baseline.
+struct Ratchet {
+    /// Findings whose fingerprints are grandfathered.
+    known: usize,
+    /// Baseline entries that no longer fire.
+    stale: usize,
+    /// Indices (into the findings slice) of non-grandfathered findings.
+    new: Vec<usize>,
+}
+
+fn ratchet(fingerprints: &[String], baseline_path: &Path) -> Ratchet {
+    let baseline: Vec<String> = std::fs::read_to_string(baseline_path)
+        .map(|c| xtask::parse_baseline(&c))
+        .unwrap_or_default();
+    let mut new = Vec::new();
+    let mut known = 0usize;
+    for (i, fp) in fingerprints.iter().enumerate() {
+        if baseline.contains(fp) {
+            known += 1;
+        } else {
+            new.push(i);
+        }
+    }
+    let firing: std::collections::BTreeSet<&String> = fingerprints.iter().collect();
+    let stale = baseline.iter().filter(|b| !firing.contains(b)).count();
+    Ratchet { known, stale, new }
+}
+
+fn lint(mode: Mode) -> ExitCode {
     let root = workspace_root();
     let violations = match xtask::lint_workspace(&root) {
         Ok(v) => v,
@@ -39,8 +107,8 @@ fn lint(update_baseline: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline_path = root.join(BASELINE_REL);
-    if update_baseline {
+    let baseline_path = root.join(LINT_BASELINE_REL);
+    if mode == Mode::Update {
         let rendered = xtask::render_baseline(&violations);
         if let Err(e) = std::fs::write(&baseline_path, rendered) {
             eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
@@ -53,35 +121,182 @@ fn lint(update_baseline: bool) -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    let baseline: Vec<String> = std::fs::read_to_string(&baseline_path)
-        .map(|c| xtask::parse_baseline(&c))
-        .unwrap_or_default();
-    let (known, new): (Vec<_>, Vec<_>) = violations
-        .into_iter()
-        .partition(|v| baseline.contains(&v.fingerprint));
-    let stale = baseline.len() - known.len();
-    if new.is_empty() {
+    let fingerprints: Vec<String> = violations.iter().map(|v| v.fingerprint.clone()).collect();
+    let r = ratchet(&fingerprints, &baseline_path);
+    if mode == Mode::Prune {
+        // Re-pin only the still-firing grandfathered findings; new
+        // findings are NOT admitted and still fail below.
+        let keep: Vec<_> = violations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.new.contains(i))
+            .map(|(_, v)| v.clone())
+            .collect();
+        if let Err(e) = std::fs::write(&baseline_path, xtask::render_baseline(&keep)) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
         println!(
-            "xtask lint: clean — {} grandfathered finding(s), 0 new{}",
-            known.len(),
-            if stale > 0 {
-                format!(
-                    " ({stale} baseline entr(y/ies) no longer fire — consider --update-baseline)"
-                )
-            } else {
-                String::new()
-            }
+            "xtask lint: pruned {} stale entr(y/ies); baseline now {} finding(s)",
+            r.stale,
+            keep.len()
+        );
+    }
+    let mut failed = false;
+    if !r.new.is_empty() {
+        eprintln!("xtask lint: {} new finding(s):", r.new.len());
+        for &i in &r.new {
+            eprintln!("  {}", violations[i]);
+        }
+        eprintln!(
+            "\nFix the finding, move the logic to the crate the rule names, or — for a\n\
+             deliberate exception — justify it (`// ordering: …` tag / allowlist entry in\n\
+             crates/xtask/src/lib.rs) or re-pin with `cargo xtask lint --update-baseline`."
+        );
+        failed = true;
+    }
+    if mode == Mode::Check && r.stale > 0 {
+        eprintln!(
+            "xtask lint: {} baseline entr(y/ies) no longer fire — the ratchet must\n\
+             tighten: run `cargo xtask lint --prune` and commit the shrunken baseline.",
+            r.stale
+        );
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask lint: clean — {} grandfathered finding(s), 0 new, 0 stale",
+        r.known
+    );
+    ExitCode::SUCCESS
+}
+
+fn render_analyze_baseline(findings: &[analyzer::Finding]) -> String {
+    let mut out = String::from(
+        "# cargo xtask analyze baseline: grandfathered findings by fingerprint.\n\
+         # Regenerate with `cargo xtask analyze --update-baseline`, shrink with\n\
+         # `--prune`; the goal is for this file to stay empty.\n",
+    );
+    for f in findings {
+        out.push_str(&format!(
+            "{:016x} {} {} {}\n",
+            f.fingerprint, f.rule, f.path, f.snippet
+        ));
+    }
+    out
+}
+
+fn display(f: &analyzer::Finding) -> String {
+    format!(
+        "{:016x} {} {}:{} {} [{}]",
+        f.fingerprint, f.rule, f.path, f.line, f.snippet, f.message
+    )
+}
+
+fn analyze(mode: Mode, json: Option<&Path>) -> ExitCode {
+    let root = workspace_root();
+    let ws = match analyzer::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask analyze: failed to load workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parser recovery means an item the grammar didn't understand: the
+    // analyses silently skip whatever it contained, so coverage holes are
+    // hard errors, not warnings.
+    let recovered = ws.recovered();
+    if !recovered.is_empty() {
+        eprintln!(
+            "xtask analyze: parser fell back on {} item(s) — teach crates/analyzer/src/parser.rs the construct:",
+            recovered.len()
+        );
+        for (path, line, why) in &recovered {
+            eprintln!("  {path}:{line}: {why}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let findings = analyzer::analyze(&ws);
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(path, analyzer::json::render(&findings)) {
+            eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: wrote {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+    }
+    let baseline_path = root.join(ANALYZE_BASELINE_REL);
+    if mode == Mode::Update {
+        if let Err(e) = std::fs::write(&baseline_path, render_analyze_baseline(&findings)) {
+            eprintln!(
+                "xtask analyze: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: baseline updated with {} finding(s) at {}",
+            findings.len(),
+            baseline_path.display()
         );
         return ExitCode::SUCCESS;
     }
-    eprintln!("xtask lint: {} new finding(s):", new.len());
-    for v in &new {
-        eprintln!("  {v}");
+    let fingerprints: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{:016x}", f.fingerprint))
+        .collect();
+    let r = ratchet(&fingerprints, &baseline_path);
+    if mode == Mode::Prune {
+        let keep: Vec<_> = findings
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.new.contains(i))
+            .map(|(_, f)| f.clone())
+            .collect();
+        if let Err(e) = std::fs::write(&baseline_path, render_analyze_baseline(&keep)) {
+            eprintln!(
+                "xtask analyze: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: pruned {} stale entr(y/ies); baseline now {} finding(s)",
+            r.stale,
+            keep.len()
+        );
     }
-    eprintln!(
-        "\nFix the finding, move the logic to the crate the rule names, or — for a\n\
-         deliberate exception — justify it (`// ordering: …` tag / allowlist entry in\n\
-         crates/xtask/src/lib.rs) or re-pin with `cargo xtask lint --update-baseline`."
+    let mut failed = false;
+    if !r.new.is_empty() {
+        eprintln!("xtask analyze: {} new finding(s):", r.new.len());
+        for &i in &r.new {
+            eprintln!("  {}", display(&findings[i]));
+        }
+        eprintln!(
+            "\nFix the finding or justify it at the site with the rule's tag\n\
+             (`// panic-free: …`, `// arith: …`, `// alloc: …`) — see DESIGN.md §3.11."
+        );
+        failed = true;
+    }
+    if mode == Mode::Check && r.stale > 0 {
+        eprintln!(
+            "xtask analyze: {} baseline entr(y/ies) no longer fire — run\n\
+             `cargo xtask analyze --prune` and commit the shrunken baseline.",
+            r.stale
+        );
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask analyze: clean — {} grandfathered finding(s), 0 new, 0 stale",
+        r.known
     );
-    ExitCode::FAILURE
+    ExitCode::SUCCESS
 }
