@@ -1,0 +1,206 @@
+//! Headline throughput harness: elements/sec for the batched engine
+//! ingest→seal→collapse path across sampling rates 1–64, emitted as a
+//! single self-describing `BENCH_throughput.json`.
+//!
+//! Every PR that touches the hot path reruns this and compares medians;
+//! the JSON records the toolchain, core count and commit alongside the
+//! numbers so cross-session comparisons are explicit about what changed
+//! (the comparability gap called out by BENCH_collapse.json).
+//!
+//! ```text
+//! cargo run --release -p mrl-bench --bin throughput -- [--smoke] \
+//!     [--label NAME] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the stream and run count for CI signal-of-life runs;
+//! `--label` tags the report (e.g. `baseline` / `this_pr`) so two runs can
+//! be merged into one A/B file; `--out` writes JSON to a file instead of
+//! stdout only.
+
+use std::time::Instant;
+
+use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, FixedRate};
+
+use mrl_datagen::{ValueDistribution, WorkloadStream};
+
+/// The rates the harness sweeps; rate 1 is the headline number.
+const RATES: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+/// Matches `insert_batch_1m/engine_rate1_batched` in benches/throughput.rs.
+const NUM_BUFFERS: usize = 5;
+const BUFFER_SIZE: usize = 256;
+const CHUNK: usize = 1024;
+
+struct Args {
+    smoke: bool,
+    label: String,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        label: "current".to_string(),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--label" => args.label = it.next().expect("--label needs a value"),
+            "--out" => args.out = Some(it.next().expect("--out needs a value")),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: throughput [--smoke] [--label NAME] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn stream(n: usize) -> Vec<u64> {
+    WorkloadStream::new(ValueDistribution::Uniform { range: 1 << 40 }, 7)
+        .take(n)
+        .collect()
+}
+
+/// One timed end-to-end run: build the engine, feed the stream in 1024-
+/// element batches, return elapsed milliseconds. The engine construction
+/// sits inside the timer deliberately — it is O(b·k) and identical across
+/// builds — so the measurement matches a cold start-to-drained pipeline.
+fn run_once(data: &[u64], rate: u64) -> f64 {
+    let started = Instant::now();
+    let mut engine = Engine::new(
+        EngineConfig::new(NUM_BUFFERS, BUFFER_SIZE),
+        AdaptiveLowestLevel,
+        FixedRate::new(rate),
+        1,
+    );
+    for chunk in data.chunks(CHUNK) {
+        engine.insert_batch(chunk);
+    }
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    // Keep the engine observable so the loop cannot be optimised away.
+    std::hint::black_box(engine.n());
+    ms
+}
+
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+#[derive(serde::Serialize)]
+struct RateResult {
+    rate: u64,
+    runs_ms: Vec<f64>,
+    min_ms: f64,
+    median_ms: f64,
+    max_ms: f64,
+    elements_per_sec_median: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Meta {
+    label: String,
+    toolchain: String,
+    nproc: usize,
+    commit: String,
+    unix_time: u64,
+    n: usize,
+    chunk: usize,
+    num_buffers: usize,
+    buffer_size: usize,
+    runs_per_rate: usize,
+    smoke: bool,
+    profile: &'static str,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    description: String,
+    meta: Meta,
+    results: Vec<RateResult>,
+}
+
+fn main() {
+    let args = parse_args();
+    let (n, runs, warmup) = if args.smoke {
+        (100_000usize, 2usize, 0usize)
+    } else {
+        (1_000_000usize, 7usize, 1usize)
+    };
+    let data = stream(n);
+
+    let mut results = Vec::new();
+    for &rate in RATES {
+        for _ in 0..warmup {
+            run_once(&data, rate);
+        }
+        let mut runs_ms: Vec<f64> = (0..runs).map(|_| run_once(&data, rate)).collect();
+        let mut sorted = runs_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median_ms = sorted[sorted.len() / 2];
+        let min_ms = sorted[0];
+        let max_ms = sorted[sorted.len() - 1];
+        // Round for the report after computing the summary.
+        for v in &mut runs_ms {
+            *v = (*v * 1000.0).round() / 1000.0;
+        }
+        eprintln!(
+            "rate {rate:>3}: median {median_ms:8.3} ms  [{min_ms:.3}, {max_ms:.3}]  \
+             {:>12.0} elems/s",
+            n as f64 / (median_ms / 1e3)
+        );
+        results.push(RateResult {
+            rate,
+            runs_ms,
+            min_ms,
+            median_ms,
+            max_ms,
+            elements_per_sec_median: n as f64 / (median_ms / 1e3),
+        });
+    }
+
+    let meta = Meta {
+        label: args.label,
+        toolchain: command_line("rustc", &["--version"]).unwrap_or_else(|| "unknown".into()),
+        nproc: std::thread::available_parallelism().map_or(0, |p| p.get()),
+        commit: command_line("git", &["rev-parse", "--short", "HEAD"])
+            .unwrap_or_else(|| "unknown".into()),
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        n,
+        chunk: CHUNK,
+        num_buffers: NUM_BUFFERS,
+        buffer_size: BUFFER_SIZE,
+        runs_per_rate: runs,
+        smoke: args.smoke,
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    };
+    let report = Report {
+        description: format!(
+            "End-to-end batched ingest (Engine b={NUM_BUFFERS} k={BUFFER_SIZE}, \
+             AdaptiveLowestLevel, FixedRate r, {CHUNK}-element insert_batch chunks) over a \
+             {n}-element uniform u64 stream; rate 1 is the headline number tracked across \
+             PRs. Reproduce: cargo run --release -p mrl-bench --bin throughput"
+        ),
+        meta,
+        results,
+    };
+    let json = serde_json::to_string(&report).expect("report serialises");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).expect("write report");
+        eprintln!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+}

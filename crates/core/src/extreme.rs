@@ -72,6 +72,8 @@ pub struct ExtremeValue<T> {
     seen: u64,
     mode: SampleMode<T>,
     rng: SketchRng,
+    /// Staging buffer for [`ExtremeValue::extend`], reused across calls.
+    stage: Vec<T>,
 }
 
 impl<T: Ord + Clone> ExtremeValue<T> {
@@ -106,6 +108,7 @@ impl<T: Ord + Clone> ExtremeValue<T> {
                 high_heap: BinaryHeap::with_capacity(k as usize + 1),
             },
             rng: rng_from_seed(seed),
+            stage: Vec::new(),
         }
     }
 
@@ -130,6 +133,7 @@ impl<T: Ord + Clone> ExtremeValue<T> {
                 reservoir: Reservoir::new(s as usize),
             },
             rng: rng_from_seed(seed),
+            stage: Vec::new(),
         }
     }
 
@@ -219,22 +223,28 @@ impl<T: Ord + Clone> ExtremeValue<T> {
         }
     }
 
-    /// Insert every element of an iterator (batched internally).
-    // alloc: one CHUNK-sized staging buffer per extend() call, reused
-    // across batches — amortised to nothing per element.
+    /// Insert every element of an iterator (batched internally). The
+    /// staging buffer is a struct field reused across calls, so repeated
+    /// `extend`s allocate nothing once it has warmed up to chunk capacity.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         const CHUNK: usize = 1024;
-        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
-        for item in iter {
-            buf.push(item);
-            if buf.len() == CHUNK {
-                self.insert_batch(&buf);
-                buf.clear();
+        let mut iter = iter.into_iter();
+        // Staging leaves the struct for the duration so insert_batch can
+        // borrow `&mut self` while the batch is alive.
+        let mut buf = std::mem::take(&mut self.stage);
+        loop {
+            buf.clear();
+            buf.extend(iter.by_ref().take(CHUNK));
+            if buf.is_empty() {
+                break;
+            }
+            self.insert_batch(&buf);
+            if buf.len() < CHUNK {
+                break;
             }
         }
-        if !buf.is_empty() {
-            self.insert_batch(&buf);
-        }
+        buf.clear();
+        self.stage = buf;
     }
 
     /// The current estimate: the k-th most extreme element of the sample

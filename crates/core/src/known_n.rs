@@ -28,6 +28,8 @@ pub struct KnownN<T> {
     delta: f64,
     expected_n: u64,
     seed: u64,
+    /// Staging buffer for [`KnownN::extend`], reused across calls.
+    stage: Vec<T>,
 }
 
 impl<T: Ord + Clone> KnownN<T> {
@@ -62,6 +64,7 @@ impl<T: Ord + Clone> KnownN<T> {
             delta,
             expected_n: n,
             seed,
+            stage: Vec::new(),
         }
     }
 
@@ -105,22 +108,28 @@ impl<T: Ord + Clone> KnownN<T> {
         self.engine.insert_batch(items);
     }
 
-    /// Insert every element of an iterator (batched internally).
-    // alloc: one CHUNK-sized staging buffer per extend() call, reused
-    // across batches — amortised to nothing per element.
+    /// Insert every element of an iterator (batched internally). The
+    /// staging buffer is a struct field reused across calls, so repeated
+    /// `extend`s allocate nothing once it has warmed up to chunk capacity.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         const CHUNK: usize = 1024;
-        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
-        for item in iter {
-            buf.push(item);
-            if buf.len() == CHUNK {
-                self.insert_batch(&buf);
-                buf.clear();
+        let mut iter = iter.into_iter();
+        // Staging leaves the struct for the duration so insert_batch can
+        // borrow `&mut self` while the batch is alive.
+        let mut buf = std::mem::take(&mut self.stage);
+        loop {
+            buf.clear();
+            buf.extend(iter.by_ref().take(CHUNK));
+            if buf.is_empty() {
+                break;
+            }
+            self.insert_batch(&buf);
+            if buf.len() < CHUNK {
+                break;
             }
         }
-        if !buf.is_empty() {
-            self.insert_batch(&buf);
-        }
+        buf.clear();
+        self.stage = buf;
     }
 
     /// Estimate the φ-quantile of everything inserted so far. The (ε, δ)

@@ -1,0 +1,77 @@
+//! The per-engine scratch arena: one owner for every buffer the
+//! ingest→seal→collapse path reuses across operations.
+//!
+//! Steady-state streaming must not allocate (MRL-A003): each seal and each
+//! collapse works entirely inside storage retained from earlier
+//! operations. Historically that storage was a loose set of `*_scratch`
+//! fields on [`crate::Engine`]; the arena gathers them into one struct so
+//! the ownership story is visible in a single place, the borrow-splitting
+//! idiom (`std::mem::take` a sub-buffer, use it, put it back) is applied
+//! uniformly, and new hot-path code has an obvious home for its scratch
+//! instead of a new ad-hoc field.
+//!
+//! All buffers hold their *capacity* across uses while logically empty
+//! between operations; none of them carries engine state. Dropping the
+//! arena (or replacing it with `Default::default()`) only costs future
+//! re-reservations, never correctness.
+
+use crate::buffer::BufferMeta;
+use crate::merge::SelectScratch;
+use crate::policy::CollapseDecision;
+use crate::runs::MergeScratch;
+
+/// Scratch storage reused by the engine's seal and collapse paths.
+///
+/// See the field docs for which operation owns which buffer; the engine
+/// threads these through the call graph by `&mut` (or `std::mem::take`
+/// where a buffer must outlive a second `&mut self` borrow).
+#[derive(Clone, Debug)]
+pub struct ScratchArena<T> {
+    /// Seal-time run merge: ping-pong buffer plus run-bounds scratch
+    /// (`RunTracker::sort_data_with`).
+    pub(crate) merge: MergeScratch<T>,
+    /// Raw-collapse concatenation: the deferred-seal inputs are gathered
+    /// here and sorted in one pass.
+    pub(crate) concat: Vec<T>,
+    /// Collapse output staging: the selection writes here, then the vector
+    /// is swapped into the output buffer slot (whose retired storage
+    /// becomes the next collapse's staging via `take_storage`).
+    pub(crate) select_out: Vec<T>,
+    /// Internals of the weighted-selection kernels: walk positions, the
+    /// `(element, weight)` pair buffers of the multi-source merge path and
+    /// their run bounds.
+    pub(crate) select: SelectScratch<T>,
+    /// Collapse target positions (`collapse_targets_into`).
+    pub(crate) targets: Vec<u64>,
+    /// Full-buffer metadata snapshot handed to the collapse policy.
+    pub(crate) meta: Vec<BufferMeta>,
+    /// Occupancy-by-level counts for the metrics gauges.
+    pub(crate) occupancy: Vec<u64>,
+    /// Slot-index list for whole-set collapses (`collapse_all_full`).
+    pub(crate) slots: Vec<usize>,
+    /// Staging buffer that batches `Engine::extend`'s iterator into
+    /// `insert_batch` calls.
+    pub(crate) stage: Vec<T>,
+    /// Collapse-policy decision scratch (`CollapsePolicy::choose_into`):
+    /// the promotion and collapse-slot vectors are refilled each collapse.
+    pub(crate) decision: CollapseDecision,
+}
+
+// Manual impl: the derive would demand `T: Default`, which empty vectors
+// do not need.
+impl<T> Default for ScratchArena<T> {
+    fn default() -> Self {
+        Self {
+            merge: MergeScratch::default(),
+            concat: Vec::new(),
+            select_out: Vec::new(),
+            select: SelectScratch::default(),
+            targets: Vec::new(),
+            meta: Vec::new(),
+            occupancy: Vec::new(),
+            slots: Vec::new(),
+            stage: Vec::new(),
+            decision: CollapseDecision::default(),
+        }
+    }
+}

@@ -15,13 +15,17 @@
 use mrl_obs::{Key, MetricsHandle};
 use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
 
-use crate::buffer::{Buffer, BufferMeta, BufferState};
+use crate::arena::ScratchArena;
+use crate::buffer::{Buffer, BufferState};
+use crate::kernels::{
+    chunked_kernels_enabled, select_merged_weighted_spaced, select_two_weighted_spaced,
+};
 use crate::merge::{
-    collapse_targets_into, output_position, select_weighted, select_weighted_into, total_mass,
-    WeightedSource,
+    collapse_first_target, collapse_targets_into, output_position, select_weighted,
+    select_weighted_with, total_mass, WeightedSource,
 };
 use crate::policy::CollapsePolicy;
-use crate::runs::{run_merge_limit, RunTracker};
+use crate::runs::{merge_sorted_runs_with, run_merge_limit, RunTracker};
 use crate::schedule::RateSchedule;
 use crate::stats::TreeStats;
 use crate::tree::TreeRecorder;
@@ -120,8 +124,6 @@ pub struct Engine<T, P, R> {
     /// sorting from scratch, and queries on an already-sorted fill skip
     /// the snapshot-and-sort entirely.
     filler_runs: RunTracker,
-    /// Ping-pong buffer for the seal-time run merge, reused across seals.
-    seal_scratch: Vec<T>,
     /// Slots holding raw (deliberately unsorted) fill data. When a fill
     /// saturates the run tracker, sealing *defers* the sort: if the slot is
     /// later collapsed together with other raw equal-weight slots, one sort
@@ -134,15 +136,10 @@ pub struct Engine<T, P, R> {
     fill_level: u32,
     filling: bool,
     collapse_high_phase: bool,
-    /// Scratch reused across collapses (selection positions, selected
-    /// elements, policy metadata) so steady-state collapsing allocates
-    /// nothing.
-    targets_scratch: Vec<u64>,
-    select_scratch: Vec<T>,
-    meta_scratch: Vec<BufferMeta>,
-    /// Occupancy-by-level counts reused across gauge publications so the
-    /// metrics path allocates nothing per sealed buffer.
-    occupancy_scratch: Vec<u64>,
+    /// All scratch storage reused across seals, collapses, gauge
+    /// publications and `extend` staging, so steady-state streaming
+    /// allocates nothing (see [`ScratchArena`]).
+    scratch: ScratchArena<T>,
     stats: TreeStats,
     metrics: MetricsHandle,
     recorder: Option<TreeRecorder>,
@@ -206,16 +203,12 @@ where
             sampler: BlockSampler::new(rate),
             filler: Vec::with_capacity(config.buffer_size),
             filler_runs: RunTracker::new(run_merge_limit(config.buffer_size)),
-            seal_scratch: Vec::new(),
             unsorted_slots: Vec::new(),
             fill_rate: rate,
             fill_level: 0,
             filling: false,
             collapse_high_phase: false,
-            targets_scratch: Vec::new(),
-            select_scratch: Vec::new(),
-            meta_scratch: Vec::new(),
-            occupancy_scratch: Vec::new(),
+            scratch: ScratchArena::default(),
             stats: TreeStats::default(),
             metrics: MetricsHandle::disabled(),
             recorder: None,
@@ -426,22 +419,28 @@ where
 
     /// Insert every element of an iterator. Internally gathers elements
     /// into fixed-size batches and feeds them to [`Engine::insert_batch`],
-    /// so bulk loading through `extend` gets the batched fast path.
-    // alloc: one CHUNK-sized staging buffer per extend() call, reused for
-    // every batch of the iterator — amortised to nothing per element.
+    /// so bulk loading through `extend` gets the batched fast path. The
+    /// staging buffer lives in the scratch arena: repeated `extend` calls
+    /// reuse one CHUNK-capacity vector and allocate nothing.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         const CHUNK: usize = 1024;
-        let mut buf: Vec<T> = Vec::with_capacity(CHUNK);
-        for item in iter {
-            buf.push(item);
-            if buf.len() == CHUNK {
-                self.insert_batch(&buf);
-                buf.clear();
+        let mut iter = iter.into_iter();
+        // Staging leaves the arena for the duration so insert_batch can
+        // borrow `&mut self` while the batch is alive.
+        let mut buf = std::mem::take(&mut self.scratch.stage);
+        loop {
+            buf.clear();
+            buf.extend(iter.by_ref().take(CHUNK));
+            if buf.is_empty() {
+                break;
+            }
+            self.insert_batch(&buf);
+            if buf.len() < CHUNK {
+                break;
             }
         }
-        if !buf.is_empty() {
-            self.insert_batch(&buf);
-        }
+        buf.clear();
+        self.scratch.stage = buf;
     }
 
     /// Declare end-of-stream: the partially filled buffer (if any) becomes a
@@ -638,16 +637,27 @@ where
     /// Collapse **all** full buffers into one (used by the parallel
     /// protocol, §6, before shipping buffers to the coordinator). No-op if
     /// fewer than two buffers are full.
-    // panic-free: full_slots() yields valid buffer indices by construction.
+    // panic-free: the collected slot list holds valid buffer indices by
+    // construction (enumerate over the live buffers).
     pub fn collapse_all_full(&mut self) {
-        let full: Vec<usize> = self.full_slots();
-        if full.len() < 2 {
-            return;
+        // The slot list leaves the arena for the duration so
+        // perform_collapse can borrow `&mut self` while it is alive.
+        let mut full = std::mem::take(&mut self.scratch.slots);
+        full.clear();
+        full.extend(
+            self.buffers
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.state() == BufferState::Full)
+                .map(|(i, _)| i),
+        );
+        if full.len() >= 2 {
+            if let Some(max_level) = full.iter().map(|&i| self.buffers[i].level()).max() {
+                self.perform_collapse(&full, max_level + 1);
+            }
         }
-        let Some(max_level) = full.iter().map(|&i| self.buffers[i].level()).max() else {
-            return;
-        };
-        self.perform_collapse(&full, max_level + 1);
+        full.clear();
+        self.scratch.slots = full;
     }
 
     /// Tear down the engine and return its non-empty buffers
@@ -864,17 +874,6 @@ where
             .position(|b| b.state() == BufferState::Empty)
     }
 
-    // alloc: a handful of slot indices, once per seal/collapse decision,
-    // never per element.
-    fn full_slots(&self) -> Vec<usize> {
-        self.buffers
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.state() == BufferState::Full)
-            .map(|(i, _)| i)
-            .collect()
-    }
-
     // panic-free: allocation[allocated] is indexed only while allocated <
     // num_buffers, and the allocation schedule is built with num_buffers
     // entries at construction.
@@ -890,8 +889,12 @@ where
             let allocated = self.buffers.len();
             let may_allocate = allocated < self.config.num_buffers
                 && self.stats.leaves >= self.allocation[allocated];
-            let full = self.full_slots();
-            if may_allocate || full.len() < 2 {
+            let full_count = self
+                .buffers
+                .iter()
+                .filter(|b| b.state() == BufferState::Full)
+                .count();
+            if may_allocate || full_count < 2 {
                 assert!(
                     allocated < self.config.num_buffers,
                     "no empty buffer, none allocatable, and fewer than two full buffers"
@@ -932,7 +935,7 @@ where
                 metrics::SEAL_RUN_MERGE
             };
             self.filler_runs
-                .sort_data(&mut data, &mut self.seal_scratch);
+                .sort_data_with(&mut data, &mut self.scratch.merge);
             self.metrics.counter_add(seal_key, 1);
             true
         };
@@ -991,7 +994,7 @@ where
     // panic-free: occupied[level] is preceded by resize(level + 1, …) on
     // the same branch whenever it is out of range.
     fn publish_state_gauges(&mut self) {
-        let occupied = &mut self.occupancy_scratch;
+        let occupied = &mut self.scratch.occupancy;
         occupied.clear();
         for b in &self.buffers {
             if b.state() != BufferState::Empty {
@@ -1021,7 +1024,7 @@ where
     // panic-free: promotion/collapse indices come from the policy, which
     // only sees metas built from real slot indices via enumerate().
     fn collapse_once(&mut self) {
-        let mut metas = std::mem::take(&mut self.meta_scratch);
+        let mut metas = std::mem::take(&mut self.scratch.meta);
         metas.clear();
         metas.extend(
             self.buffers
@@ -1030,8 +1033,9 @@ where
                 .filter(|(_, b)| b.state() == BufferState::Full)
                 .map(|(i, b)| b.meta(i)),
         );
-        let decision = self.policy.choose(&metas);
-        self.meta_scratch = metas;
+        let mut decision = std::mem::take(&mut self.scratch.decision);
+        self.policy.choose_into(&metas, &mut decision);
+        self.scratch.meta = metas;
         for &(idx, level) in &decision.promotions {
             self.buffers[idx].promote(level);
         }
@@ -1040,14 +1044,18 @@ where
             "policy must collapse >= 2 buffers"
         );
         self.perform_collapse(&decision.collapse, decision.output_level);
+        decision.clear();
+        self.scratch.decision = decision;
     }
 
     // panic-free: `slots` holds ≥ 2 valid, distinct buffer indices (asserted
-    // by collapse_once, constructed by full_slots for collapse_all_full);
-    // concat[(t-1)/w0] is in bounds because targets ≤ c·k·w0 = |concat|·w0.
-    // alloc: recorder bookkeeping and the per-collapse source list run once
-    // per collapse (every k·2^level elements), amortised O(1) per element;
-    // selection output reuses select_scratch.
+    // by collapse_once, constructed by collapse_all_full's enumerate); the
+    // raw fast path's strided gather stays in bounds because its last index
+    // (first - 1)/w0 + (k - 1)·c < c·k = |concat| (and iterator adapters
+    // cannot overrun regardless).
+    // alloc: recorder bookkeeping and the scalar-reference mode's source
+    // list run once per collapse (every k·2^level elements), amortised O(1)
+    // per element; everything else works inside the scratch arena.
     fn perform_collapse(&mut self, slots: &[usize], output_level: u32) {
         let collapse_timer = self.metrics.timer(metrics::COLLAPSE_NS);
         let w: u64 = slots.iter().map(|&i| self.buffers[i].weight()).sum();
@@ -1058,8 +1066,13 @@ where
         } else {
             false
         };
-        collapse_targets_into(self.config.buffer_size, w, high, &mut self.targets_scratch);
-        let mut new_data = std::mem::take(&mut self.select_scratch);
+        // Collapse targets always form the arithmetic progression
+        // `first + j·w` (§3.2); the chunked paths below consume the
+        // progression parameters directly and never materialise a target
+        // vector.
+        let first = collapse_first_target(w, high);
+        let k = self.config.buffer_size;
+        let mut new_data = std::mem::take(&mut self.scratch.select_out);
         let w0 = self.buffers[slots[0]].weight();
         let all_raw_equal = slots.len() >= 2
             && slots
@@ -1076,34 +1089,79 @@ where
             // concatenation yields the same value sequence as merging the
             // individually sorted inputs, so the selected elements are
             // identical to the general path's.
-            let concat = &mut self.seal_scratch;
+            let concat = &mut self.scratch.concat;
             concat.clear();
             for &i in slots {
                 concat.extend_from_slice(self.buffers[i].data());
             }
             concat.sort_unstable();
             self.metrics.counter_add(metrics::COLLAPSE_RAW_FAST_PATH, 1);
+            // Target positions step by `w = c·w0`, so the indices step by
+            // exactly `c` from `(first - 1) / w0` — a strided gather, no
+            // per-target division.
+            let start = ((first - 1) / w0) as usize;
             new_data.clear();
             new_data.extend(
-                self.targets_scratch
+                concat
                     .iter()
-                    .map(|&t| concat[((t - 1) / w0) as usize].clone()),
+                    .skip(start)
+                    .step_by(slots.len())
+                    .take(k)
+                    .cloned(),
             );
         } else {
             // Mixed collapse: restore the sorted invariant on any raw input
             // first (the sort deferred from its seal happens here instead),
-            // then run the weighted merge selection as usual.
+            // then run the weighted merge selection.
             for &i in slots {
                 if let Some(p) = self.unsorted_slots.iter().position(|&j| j == i) {
                     self.unsorted_slots.swap_remove(p);
                     self.buffers[i].make_sorted();
                 }
             }
-            let sources: Vec<WeightedSource<'_, T>> = slots
-                .iter()
-                .map(|&i| WeightedSource::new(self.buffers[i].data(), self.buffers[i].weight()))
-                .collect();
-            select_weighted_into(&sources, &self.targets_scratch, &mut new_data);
+            // Collapse targets are spaced `w` apart while each merge step
+            // adds some wᵢ ≤ w − 1, so the single-crossing contract of the
+            // branchless kernels always holds here and they can run
+            // directly over the buffers — no per-collapse source list.
+            if chunked_kernels_enabled() && slots.len() == 2 {
+                let (a, b) = (&self.buffers[slots[0]], &self.buffers[slots[1]]);
+                select_two_weighted_spaced(
+                    a.data(),
+                    a.weight(),
+                    b.data(),
+                    b.weight(),
+                    first,
+                    w,
+                    k,
+                    &mut new_data,
+                );
+            } else if chunked_kernels_enabled() {
+                // ≥ 3 sources: pair-merge the buffers into one weighted
+                // run inside the arena, then one branchless sweep.
+                let (pairs, starts, pair_merge) = self.scratch.select.pair_parts_mut();
+                pairs.clear();
+                starts.clear();
+                for &i in slots {
+                    starts.push(pairs.len());
+                    let b = &self.buffers[i];
+                    let w_i = b.weight();
+                    pairs.extend(b.data().iter().map(|v| (v.clone(), w_i)));
+                }
+                merge_sorted_runs_with(pairs, starts, pair_merge);
+                select_merged_weighted_spaced(pairs, first, w, k, &mut new_data);
+            } else {
+                // Scalar-reference mode (`scalar-kernels`): the classic
+                // walk over a per-collapse source list and a materialised
+                // target vector.
+                let mut targets = std::mem::take(&mut self.scratch.targets);
+                collapse_targets_into(k, w, high, &mut targets);
+                let sources: Vec<WeightedSource<'_, T>> = slots
+                    .iter()
+                    .map(|&i| WeightedSource::new(self.buffers[i].data(), self.buffers[i].weight()))
+                    .collect();
+                select_weighted_with(&sources, &targets, &mut new_data, &mut self.scratch.select);
+                self.scratch.targets = targets;
+            }
         }
         if let Some(rec) = &mut self.recorder {
             let children: Vec<usize> = slots.iter().filter_map(|&i| self.slot_nodes[i]).collect();
@@ -1122,7 +1180,7 @@ where
         // Recycle the cleared output slot's old allocation as the next
         // collapse's selection scratch: steady-state collapsing then swaps
         // two k-capacity vectors back and forth without allocating.
-        self.select_scratch = self.buffers[slots[0]].take_storage();
+        self.scratch.select_out = self.buffers[slots[0]].take_storage();
         // Collapse output comes out of the weighted selection already
         // sorted — adopt it without a re-sort.
         self.buffers[slots[0]].populate_sorted(new_data, w, output_level, self.config.buffer_size);

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod arena;
 mod buffer;
 pub mod cdf;
 pub mod engine;
 #[cfg(feature = "invariant-audit")]
 pub mod invariant;
+pub mod kernels;
 mod merge;
 pub mod policy;
 mod runs;
@@ -42,19 +44,22 @@ mod stats;
 mod tree;
 mod types;
 
+pub use arena::ScratchArena;
 pub use buffer::{Buffer, BufferMeta, BufferState};
 pub use cdf::CdfPoint;
 pub use engine::{Engine, EngineConfig};
 #[cfg(feature = "invariant-audit")]
 pub use invariant::CertifiedSchedule;
 pub use merge::{
-    collapse_targets, output_position, select_weighted, select_weighted_into, total_mass,
-    WeightedSource,
+    collapse_targets, output_position, select_weighted, select_weighted_into, select_weighted_with,
+    total_mass, SelectScratch, WeightedSource,
 };
 pub use policy::{
     AdaptiveLowestLevel, AlsabtiRankaSingh, CollapseDecision, CollapsePolicy, MunroPaterson,
 };
-pub use runs::{merge_sorted_runs, run_merge_limit, RunTracker};
+pub use runs::{
+    merge_sorted_runs, merge_sorted_runs_with, run_merge_limit, MergeScratch, RunTracker,
+};
 pub use schedule::{FixedRate, LeafCountSchedule, Mrl99Schedule, RateSchedule};
 pub use snapshot::{BufferSnapshot, EngineSnapshot};
 pub use stats::TreeStats;

@@ -15,6 +15,11 @@
 //! common cases (few sources interleaving coarsely, or few targets) runs
 //! are long and the merge skips nearly all of the input.
 
+use crate::kernels::{
+    chunked_kernels_enabled, select_merged_weighted, select_two_weighted, targets_single_crossing,
+};
+use crate::runs::{merge_sorted_runs_with, MergeScratch};
+
 /// One sorted input to a weighted merge: a slice of non-decreasing elements,
 /// each representing `weight` input elements.
 #[derive(Clone, Copy, Debug)]
@@ -66,22 +71,86 @@ pub fn select_weighted<T: Ord + Clone>(
     out
 }
 
+/// Reusable storage for [`select_weighted_with`]: the multi-source walk
+/// positions plus the `(element, weight)` pair buffers of the chunked
+/// ≥ 3-source dense path. Capacity persists across calls, so a warm
+/// scratch makes selection allocation-free.
+#[derive(Clone, Debug)]
+pub struct SelectScratch<T> {
+    pos: Vec<usize>,
+    pairs: Vec<(T, u64)>,
+    starts: Vec<usize>,
+    pair_merge: MergeScratch<(T, u64)>,
+}
+
+// Manual impl: the derive would demand `T: Default`, which empty vectors
+// do not need.
+impl<T> Default for SelectScratch<T> {
+    fn default() -> Self {
+        Self {
+            pos: Vec::new(),
+            pairs: Vec::new(),
+            starts: Vec::new(),
+            pair_merge: MergeScratch::default(),
+        }
+    }
+}
+
+/// The split borrows of [`SelectScratch::pair_parts_mut`]: pair buffer,
+/// run starts, and the pair-merge scratch.
+pub(crate) type PairParts<'a, T> = (
+    &'a mut Vec<(T, u64)>,
+    &'a mut Vec<usize>,
+    &'a mut MergeScratch<(T, u64)>,
+);
+
+impl<T> SelectScratch<T> {
+    /// Split into the pair buffer, its run starts, and the pair-merge
+    /// scratch — the pieces of the ≥ 3-source chunked dense path. Exposed
+    /// so the engine can build the pair runs straight from its buffers
+    /// without materialising a per-collapse source list.
+    pub(crate) fn pair_parts_mut(&mut self) -> PairParts<'_, T> {
+        (&mut self.pairs, &mut self.starts, &mut self.pair_merge)
+    }
+}
+
 /// As [`select_weighted`], writing the selected elements into `out`
-/// (cleared first). Lets hot paths — one collapse per filled buffer —
-/// reuse the output allocation instead of allocating per call.
+/// (cleared first). Convenience wrapper over [`select_weighted_with`]
+/// with throwaway scratch — hot paths thread a persistent
+/// [`SelectScratch`] instead.
+pub fn select_weighted_into<T: Ord + Clone>(
+    sources: &[WeightedSource<'_, T>],
+    targets: &[u64],
+    out: &mut Vec<T>,
+) {
+    let mut scratch = SelectScratch::default();
+    select_weighted_with(sources, targets, out, &mut scratch);
+}
+
+/// As [`select_weighted`], writing the selected elements into `out`
+/// (cleared first) and working entirely inside `scratch`. Lets hot paths
+/// — one collapse per filled buffer — reuse every allocation across
+/// calls.
+///
+/// Dense target sets whose spacing satisfies the single-crossing contract
+/// dispatch to the branchless kernels ([`select_two_weighted`] /
+/// [`select_merged_weighted`]); the scalar walks below remain both the
+/// fallback and the bitwise reference (forced by the `scalar-kernels`
+/// feature).
 // panic-free: the entry asserts are the documented precondition contract
 // (see # Panics on select_weighted); past them every index is invariant-
 // protected — pos[i] < data.len() loop guards, run offsets bounded by
 // run_mass, windows(2) slices are exactly length 2.
 // arith: cum accumulates source masses and never exceeds `mass`, itself a
 // u64 computed saturating; run_mass ≤ mass for the same reason.
-// alloc: out is the caller's reused scratch (capacity persists across
-// collapses); the pos vectors are one small allocation per collapse, not
-// per element.
-pub fn select_weighted_into<T: Ord + Clone>(
+// alloc: out and the scratch vectors are the caller's reused storage
+// (capacity persists across collapses); pushes stay within it after the
+// first call.
+pub fn select_weighted_with<T: Ord + Clone>(
     sources: &[WeightedSource<'_, T>],
     targets: &[u64],
     out: &mut Vec<T>,
+    scratch: &mut SelectScratch<T>,
 ) {
     out.clear();
     let (Some(&first), Some(&last)) = (targets.first(), targets.last()) else {
@@ -95,6 +164,16 @@ pub fn select_weighted_into<T: Ord + Clone>(
     assert!(first >= 1, "weighted positions are 1-indexed");
     assert!(last <= mass, "target {last} exceeds total mass {mass}");
 
+    if let [s] = sources {
+        // A single source is one weighted run: pure index arithmetic.
+        out.extend(
+            targets
+                .iter()
+                .map(|&t| s.data[((t - 1) / s.weight) as usize].clone()),
+        );
+        return;
+    }
+
     // Dense targets (the Collapse shape: k targets over c·k elements) take
     // a fused c-way walk that selects during the merge: galloping cannot
     // skip anything when the sources interleave at ~1-element runs, and
@@ -102,6 +181,26 @@ pub fn select_weighted_into<T: Ord + Clone>(
     // scan and one weight addition per merge step, nothing else.
     let total_elems: usize = sources.iter().map(|s| s.data.len()).sum();
     if targets.len() >= total_elems / 8 {
+        let max_w = sources.iter().map(|s| s.weight).max().unwrap_or(1);
+        if chunked_kernels_enabled() && targets_single_crossing(targets, max_w) {
+            if let [a, b] = sources {
+                select_two_weighted(a.data, a.weight, b.data, b.weight, targets, out);
+                return;
+            }
+            // ≥ 3 sources: pair-merge into one weighted run, then one
+            // branchless selection sweep. Visits each element twice but
+            // with no per-step head scan and no unpredictable emission.
+            let (pairs, starts, pair_merge) = scratch.pair_parts_mut();
+            pairs.clear();
+            starts.clear();
+            for s in sources {
+                starts.push(pairs.len());
+                pairs.extend(s.data.iter().map(|v| (v.clone(), s.weight)));
+            }
+            merge_sorted_runs_with(pairs, starts, pair_merge);
+            select_merged_weighted(pairs, targets, out);
+            return;
+        }
         if sources.len() == 2 {
             // Two sources dominate adaptive collapse trees; a dedicated
             // two-pointer walk keeps both heads hot and lets the compiler
@@ -143,7 +242,9 @@ pub fn select_weighted_into<T: Ord + Clone>(
             }
             return;
         }
-        let mut pos: Vec<usize> = vec![0; sources.len()];
+        let pos = &mut scratch.pos;
+        pos.clear();
+        pos.resize(sources.len(), 0);
         let mut cum: u64 = 0;
         let mut ti = 0usize;
         while ti < targets.len() {
@@ -170,7 +271,9 @@ pub fn select_weighted_into<T: Ord + Clone>(
     // pos[i]: first unconsumed index of sources[i]. Ties between sources
     // are broken by source index (the lower index merges first), matching
     // the ordering a (value, source, position) heap would produce.
-    let mut pos: Vec<usize> = vec![0; sources.len()];
+    let pos = &mut scratch.pos;
+    pos.clear();
+    pos.resize(sources.len(), 0);
     let mut cum: u64 = 0;
     let mut ti = 0usize;
     while ti < targets.len() {
@@ -261,16 +364,24 @@ pub fn collapse_targets(k: usize, w: u64, high: bool) -> Vec<u64> {
 /// As [`collapse_targets`], writing into `out` (cleared first) so the
 /// engine can reuse one scratch vector across collapses.
 pub fn collapse_targets_into(k: usize, w: u64, high: bool, out: &mut Vec<u64>) {
+    let offset = collapse_first_target(w, high);
+    out.clear();
+    out.extend((0..k as u64).map(|j| j * w + offset));
+}
+
+/// The first selection position of a `Collapse` with output weight `w`
+/// (§3.2): the phase offset of the arithmetic progression the targets
+/// form. The spaced kernels consume `(first, spacing = w, count = k)`
+/// directly instead of a materialised target vector.
+pub fn collapse_first_target(w: u64, high: bool) -> u64 {
     assert!(w > 0, "collapse output weight must be positive");
-    let offset = if w % 2 == 1 {
+    if w % 2 == 1 {
         w.div_ceil(2)
     } else if high {
         (w + 2) / 2
     } else {
         w / 2
-    };
-    out.clear();
-    out.extend((0..k as u64).map(|j| j * w + offset));
+    }
 }
 
 /// The weighted position selected by `Output` for quantile `φ` over total

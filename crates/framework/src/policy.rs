@@ -18,7 +18,7 @@
 use crate::buffer::{BufferMeta, BufferState};
 
 /// What the engine should do when it must reclaim a buffer.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CollapseDecision {
     /// `(slot index, new level)` promotions to apply before collapsing.
     pub promotions: Vec<(usize, u32)>,
@@ -27,6 +27,15 @@ pub struct CollapseDecision {
     pub collapse: Vec<usize>,
     /// Level assigned to the collapse output.
     pub output_level: u32,
+}
+
+impl CollapseDecision {
+    /// Reset to an empty decision, keeping both vectors' capacity.
+    pub fn clear(&mut self) {
+        self.promotions.clear();
+        self.collapse.clear();
+        self.output_level = 0;
+    }
 }
 
 /// A rule choosing which full buffers to collapse.
@@ -38,27 +47,36 @@ pub trait CollapsePolicy {
     fn name(&self) -> &'static str;
 
     /// Decide a collapse given the metadata of **all full buffers**
-    /// (`metas` is non-empty and contains only `Full` entries).
-    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision;
+    /// (`metas` is non-empty and contains only `Full` entries), writing
+    /// the result into `out` (cleared first). The engine threads one
+    /// reused [`CollapseDecision`] through every collapse so the steady
+    /// state decides without allocating; `out`'s vectors may also be used
+    /// as working space before the final content is in place.
+    fn choose_into(&self, metas: &[BufferMeta], out: &mut CollapseDecision);
+
+    /// As [`choose_into`](Self::choose_into), returning a fresh decision.
+    /// Convenience for tests and one-shot analysis; steady-state callers
+    /// should reuse a decision via `choose_into`.
+    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+        let mut out = CollapseDecision::default();
+        self.choose_into(metas, &mut out);
+        out
+    }
 }
 
-/// Shared helper: the lowest level among full buffers, the slots at that
-/// level, and the next-lowest occupied level (if any).
+/// Shared helper: the lowest level among full buffers and the next-lowest
+/// occupied level (if any), with the slots at the lowest level written
+/// into `at_lowest` (cleared first).
 // panic-free: callers pass a non-empty `metas` (CollapsePolicy::choose
 // contract, debug_asserted below), so min() is Some.
-// alloc: runs once per collapse decision (amortised over a whole buffer
-// fill), and the vector is O(#buffers), a small constant.
-fn level_profile(metas: &[BufferMeta]) -> (u32, Vec<usize>, Option<u32>) {
+fn level_profile(metas: &[BufferMeta], at_lowest: &mut Vec<usize>) -> (u32, Option<u32>) {
     debug_assert!(!metas.is_empty());
     debug_assert!(metas.iter().all(|m| m.state == BufferState::Full));
     let lowest = metas.iter().map(|m| m.level).min().expect("nonempty");
-    let at_lowest: Vec<usize> = metas
-        .iter()
-        .filter(|m| m.level == lowest)
-        .map(|m| m.index)
-        .collect();
+    at_lowest.clear();
+    at_lowest.extend(metas.iter().filter(|m| m.level == lowest).map(|m| m.index));
     let next = metas.iter().map(|m| m.level).filter(|&l| l > lowest).min();
-    (lowest, at_lowest, next)
+    (lowest, next)
 }
 
 /// MRL99 §3.6: collapse the entire set of buffers at the lowest occupied
@@ -74,36 +92,31 @@ impl CollapsePolicy for AdaptiveLowestLevel {
     }
 
     // panic-free: the len >= 2 entry assert is the documented contract;
-    // with at_lowest.len() == 1 a second level must exist (`next` is Some)
-    // and at_lowest[0] exists because `lowest` came from the same metas.
-    // alloc: once per collapse decision, O(#buffers) — amortised over the
-    // k-element fill that triggered the collapse.
-    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+    // with out.collapse.len() == 1 a second level must exist (`next` is
+    // Some) and out.collapse[0] exists because `lowest` came from the same
+    // metas.
+    // alloc: `out` is the engine's reused decision scratch; its vectors are
+    // bounded by the buffer count, so every push reuses capacity after the
+    // first few collapses.
+    fn choose_into(&self, metas: &[BufferMeta], out: &mut CollapseDecision) {
         assert!(metas.len() >= 2, "collapse needs at least two full buffers");
-        let (lowest, at_lowest, next) = level_profile(metas);
-        if at_lowest.len() >= 2 {
-            return CollapseDecision {
-                promotions: Vec::new(),
-                collapse: at_lowest,
-                output_level: lowest + 1,
-            };
+        out.clear();
+        let (lowest, next) = level_profile(metas, &mut out.collapse);
+        if out.collapse.len() >= 2 {
+            out.output_level = lowest + 1;
+            return;
         }
         // Lone buffer at the lowest level: promote it to the next occupied
         // level, where it joins at least one other buffer.
         let target = next.expect("metas.len() >= 2 so another level exists");
-        let lone = at_lowest[0];
-        let mut collapse: Vec<usize> = metas
-            .iter()
-            .filter(|m| m.level == target)
-            .map(|m| m.index)
-            .collect();
-        collapse.push(lone);
-        collapse.sort_unstable();
-        CollapseDecision {
-            promotions: vec![(lone, target)],
-            collapse,
-            output_level: target + 1,
-        }
+        let lone = out.collapse[0];
+        out.collapse.clear();
+        out.collapse
+            .extend(metas.iter().filter(|m| m.level == target).map(|m| m.index));
+        out.collapse.push(lone);
+        out.collapse.sort_unstable();
+        out.promotions.push((lone, target));
+        out.output_level = target + 1;
     }
 }
 
@@ -121,34 +134,38 @@ impl CollapsePolicy for MunroPaterson {
     // panic-free: the len >= 2 entry assert is the documented contract;
     // windows(2) yields exactly-two-element slices, and by_level[0]/[1]
     // exist because by_level.len() == metas.len() >= 2.
-    // alloc: once per collapse decision, O(#buffers) — amortised over the
-    // k-element fill that triggered the collapse.
-    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+    // alloc: `out` is the engine's reused decision scratch; its vectors are
+    // bounded by the buffer count, so every push reuses capacity after the
+    // first few collapses.
+    fn choose_into(&self, metas: &[BufferMeta], out: &mut CollapseDecision) {
         assert!(metas.len() >= 2, "collapse needs at least two full buffers");
-        // Lowest level with >= 2 buffers, if any.
-        let mut by_level: Vec<(u32, usize)> = metas.iter().map(|m| (m.level, m.index)).collect();
-        by_level.sort_unstable();
+        out.clear();
+        // Lowest level with >= 2 buffers, if any. out.promotions doubles
+        // as the (index, level) sort scratch — it is cleared again before
+        // the real promotion (if any) is recorded.
+        let by_level = &mut out.promotions;
+        by_level.extend(metas.iter().map(|m| (m.index, m.level)));
+        by_level.sort_unstable_by_key(|&(i, l)| (l, i));
         for w in by_level.windows(2) {
-            if w[0].0 == w[1].0 {
-                return CollapseDecision {
-                    promotions: Vec::new(),
-                    collapse: vec![w[0].1, w[1].1],
-                    output_level: w[0].0 + 1,
-                };
+            if w[0].1 == w[1].1 {
+                let (pair_a, pair_b, level) = (w[0].0, w[1].0, w[0].1);
+                out.collapse.push(pair_a);
+                out.collapse.push(pair_b);
+                out.output_level = level + 1;
+                out.promotions.clear();
+                return;
             }
         }
         // All distinct: promote the lowest to the second-lowest and collapse
         // that pair.
-        let (lowest_level, lowest_idx) = by_level[0];
-        let (target_level, partner_idx) = by_level[1];
+        let (lowest_idx, lowest_level) = by_level[0];
+        let (partner_idx, target_level) = by_level[1];
         debug_assert!(target_level > lowest_level);
-        let mut collapse = vec![lowest_idx, partner_idx];
-        collapse.sort_unstable();
-        CollapseDecision {
-            promotions: vec![(lowest_idx, target_level)],
-            collapse,
-            output_level: target_level + 1,
-        }
+        out.collapse.push(lowest_idx.min(partner_idx));
+        out.collapse.push(lowest_idx.max(partner_idx));
+        out.promotions.clear();
+        out.promotions.push((lowest_idx, target_level));
+        out.output_level = target_level + 1;
     }
 }
 
@@ -164,18 +181,13 @@ impl CollapsePolicy for AlsabtiRankaSingh {
 
     // panic-free: the len >= 2 entry assert is the documented contract, so
     // max() over metas is Some.
-    // alloc: once per collapse decision, O(#buffers) — amortised over the
-    // k-element fill that triggered the collapse.
-    fn choose(&self, metas: &[BufferMeta]) -> CollapseDecision {
+    fn choose_into(&self, metas: &[BufferMeta], out: &mut CollapseDecision) {
         assert!(metas.len() >= 2, "collapse needs at least two full buffers");
+        out.clear();
         let max_level = metas.iter().map(|m| m.level).max().expect("nonempty");
-        let mut collapse: Vec<usize> = metas.iter().map(|m| m.index).collect();
-        collapse.sort_unstable();
-        CollapseDecision {
-            promotions: Vec::new(),
-            collapse,
-            output_level: max_level + 1,
-        }
+        out.collapse.extend(metas.iter().map(|m| m.index));
+        out.collapse.sort_unstable();
+        out.output_level = max_level + 1;
     }
 }
 

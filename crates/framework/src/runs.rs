@@ -95,8 +95,23 @@ impl RunTracker {
 
     /// Sort `data` in place using whatever structure was tracked: nothing
     /// for a single run, a bottom-up run merge below saturation, and
-    /// `sort_unstable` past it. `scratch` is the merge's ping-pong buffer
-    /// and keeps its allocation across calls.
+    /// `sort_unstable` past it. `scratch` holds the merge's ping-pong
+    /// buffer and bounds vectors, all of which keep their allocations
+    /// across calls — a seal allocates nothing once the scratch is warm.
+    pub fn sort_data_with<T: Ord + Clone>(&self, data: &mut Vec<T>, scratch: &mut MergeScratch<T>) {
+        if self.is_single_run() {
+            return;
+        }
+        if self.is_saturated() {
+            data.sort_unstable();
+        } else {
+            merge_sorted_runs_with(data, &self.starts, scratch);
+        }
+    }
+
+    /// As [`sort_data_with`](Self::sort_data_with) with only the ping-pong
+    /// buffer retained by the caller. Convenience for cold paths (queries,
+    /// tests); the engine's seal path threads a full [`MergeScratch`].
     pub fn sort_data<T: Ord + Clone>(&self, data: &mut Vec<T>, scratch: &mut Vec<T>) {
         if self.is_single_run() {
             return;
@@ -109,11 +124,40 @@ impl RunTracker {
     }
 }
 
-/// The saturation limit for a buffer of `k` elements: past `k / 8` runs
-/// (at least 4), `log r` merge passes stop beating `sort_unstable`'s
-/// cache-friendly `O(k log k)` on the shapes that produce that many runs.
-pub fn run_merge_limit(k: usize) -> usize {
-    (k / 8).max(4)
+/// Reusable storage for [`merge_sorted_runs_with`]: the ping-pong element
+/// buffer plus the two run-bounds vectors of the bottom-up merge. All
+/// three retain capacity across calls, so a warm scratch makes the merge
+/// allocation-free.
+#[derive(Clone, Debug)]
+pub struct MergeScratch<T> {
+    buf: Vec<T>,
+    bounds: Vec<usize>,
+    next_bounds: Vec<usize>,
+}
+
+// Manual impl: the derive would demand `T: Default`, which empty vectors
+// do not need.
+impl<T> Default for MergeScratch<T> {
+    fn default() -> Self {
+        Self {
+            buf: Vec::new(),
+            bounds: Vec::new(),
+            next_bounds: Vec::new(),
+        }
+    }
+}
+
+/// The saturation limit for a buffer of `k` elements: past this many
+/// runs, the bottom-up merge stops beating one `sort_unstable` over the
+/// whole buffer. The `seal_crossover` bench group
+/// (`crates/bench/benches/collapse.rs`) puts the crossover at r ≈ 4–8
+/// for every k from 256 to 4096 — pdqsort's cost is nearly flat in the
+/// run count while the merge pays a full pass over the buffer per
+/// doubling of r — so the limit is a small constant, not a fraction of
+/// k. At r ≤ 4 the merge wins (or ties within noise) in every measured
+/// cell; by r = 8 it loses at every k.
+pub fn run_merge_limit(_k: usize) -> usize {
+    4
 }
 
 /// Merge the sorted runs of `data` (delimited by `run_starts`, which must
@@ -126,12 +170,12 @@ pub fn run_merge_limit(k: usize) -> usize {
 // panic-free: bounds is run_starts (ascending indices into data, headed by
 // 0) plus data.len(); every range slice below is delimited by adjacent
 // bounds entries guarded by the `bi + 2 < bounds.len()` loop conditions.
-// alloc: the bounds vectors are O(r) once per seal (r ≤ saturation limit);
-// scratch and its reservation persist across seals via the caller.
-pub fn merge_sorted_runs<T: Ord + Clone>(
+// alloc: the bounds entries are O(r) per seal (r ≤ saturation limit) and
+// stay within the capacity the scratch retains across seals.
+pub fn merge_sorted_runs_with<T: Ord + Clone>(
     data: &mut Vec<T>,
     run_starts: &[usize],
-    scratch: &mut Vec<T>,
+    scratch: &mut MergeScratch<T>,
 ) {
     debug_assert_eq!(run_starts.first(), Some(&0), "runs must start at 0");
     if run_starts.len() <= 1 {
@@ -139,56 +183,57 @@ pub fn merge_sorted_runs<T: Ord + Clone>(
     }
     let n = data.len();
     // One up-front reservation; otherwise the first pass's pushes grow
-    // `scratch` through a cascade of reallocations.
-    scratch.clear();
-    scratch.reserve(n);
-    let mut bounds: Vec<usize> = Vec::with_capacity(run_starts.len() + 1);
+    // the ping-pong buffer through a cascade of reallocations.
+    let buf = &mut scratch.buf;
+    buf.clear();
+    buf.reserve(n);
+    let bounds = &mut scratch.bounds;
+    bounds.clear();
     bounds.extend_from_slice(run_starts);
     bounds.push(n);
-    let mut next_bounds: Vec<usize> = Vec::with_capacity(bounds.len() / 2 + 2);
-    // `data` is always the current source; `scratch` receives the pass.
+    let next_bounds = &mut scratch.next_bounds;
+    next_bounds.clear();
+    // `data` is always the current source; `buf` receives the pass.
     while bounds.len() > 2 {
-        scratch.clear();
+        buf.clear();
         next_bounds.clear();
         let mut bi = 0;
         while bi + 2 < bounds.len() {
-            next_bounds.push(scratch.len());
-            merge_two(
+            next_bounds.push(buf.len());
+            crate::kernels::merge_two(
                 &data[bounds[bi]..bounds[bi + 1]],
                 &data[bounds[bi + 1]..bounds[bi + 2]],
-                scratch,
+                buf,
             );
             bi += 2;
         }
         if bi + 1 < bounds.len() {
             // Odd run out: carry it to the next pass unchanged.
-            next_bounds.push(scratch.len());
-            scratch.extend_from_slice(&data[bounds[bi]..bounds[bi + 1]]);
+            next_bounds.push(buf.len());
+            buf.extend_from_slice(&data[bounds[bi]..bounds[bi + 1]]);
         }
-        next_bounds.push(scratch.len());
-        std::mem::swap(data, scratch);
-        std::mem::swap(&mut bounds, &mut next_bounds);
+        next_bounds.push(buf.len());
+        std::mem::swap(data, buf);
+        std::mem::swap(bounds, next_bounds);
     }
     debug_assert_eq!(data.len(), n);
 }
 
-/// Stable two-pointer merge of sorted `a` and `b`, appended to `out`.
-// panic-free: i < a.len() and j < b.len() guard every index; the tail
-// slices use the loop-exit values, which are ≤ the lengths.
-// alloc: out is the caller's reserved scratch; pushes stay in capacity.
-fn merge_two<T: Ord + Clone>(a: &[T], b: &[T], out: &mut Vec<T>) {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            out.push(a[i].clone());
-            i += 1;
-        } else {
-            out.push(b[j].clone());
-            j += 1;
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+/// As [`merge_sorted_runs_with`] with only the ping-pong buffer retained
+/// by the caller; the bounds vectors are rebuilt per call. Convenience
+/// for cold paths — the seal path threads a full [`MergeScratch`].
+pub fn merge_sorted_runs<T: Ord + Clone>(
+    data: &mut Vec<T>,
+    run_starts: &[usize],
+    scratch: &mut Vec<T>,
+) {
+    let mut full = MergeScratch {
+        buf: std::mem::take(scratch),
+        bounds: Vec::new(),
+        next_bounds: Vec::new(),
+    };
+    merge_sorted_runs_with(data, run_starts, &mut full);
+    *scratch = full.buf;
 }
 
 #[cfg(test)]
@@ -278,9 +323,11 @@ mod tests {
     }
 
     #[test]
-    fn run_merge_limit_scales_with_k() {
-        assert_eq!(run_merge_limit(8), 4);
-        assert_eq!(run_merge_limit(256), 32);
-        assert_eq!(run_merge_limit(4096), 512);
+    fn run_merge_limit_is_the_measured_crossover() {
+        // Pinned by the seal_crossover bench group: the run merge stops
+        // beating sort_unstable past ~4 runs at every measured k.
+        for k in [8, 256, 1024, 4096] {
+            assert_eq!(run_merge_limit(k), 4);
+        }
     }
 }

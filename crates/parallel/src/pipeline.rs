@@ -18,7 +18,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
@@ -122,6 +122,10 @@ type ShardShipment<T> = (u64, TreeStats, Vec<Buffer<T>>);
 pub struct ShardedSketch<T> {
     senders: Vec<SyncSender<Vec<T>>>,
     handles: Vec<JoinHandle<ShardShipment<T>>>,
+    /// Spent batch buffers returned by the workers; `dispatch` drains this
+    /// for its replacement vector so the steady state recycles a fixed pool
+    /// of batch allocations instead of allocating one per dispatch.
+    recycle: Receiver<Vec<T>>,
     /// Batches in flight per shard channel (producer increments on send,
     /// worker decrements on receive); feeds the queue-depth gauges.
     queue_depths: Vec<Arc<AtomicU64>>,
@@ -195,6 +199,10 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut queue_depths = Vec::with_capacity(shards);
+        // Unbounded return channel for spent batch buffers: workers send
+        // their emptied vectors back and `dispatch` reuses them, so at most
+        // `shards · (QUEUE_DEPTH + 1) + 1` batch allocations ever exist.
+        let (recycle_tx, recycle) = channel::<Vec<T>>();
         for i in 0..shards {
             let (tx, rx) = sync_channel::<Vec<T>>(QUEUE_DEPTH);
             let config = config.clone();
@@ -202,10 +210,11 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
             let depth = Arc::new(AtomicU64::new(0));
             let worker_depth = Arc::clone(&depth);
             let worker_metrics = metrics.clone();
+            let worker_recycle = recycle_tx.clone();
             handles.push(thread::spawn(move || {
                 let shard = i as u32;
                 let mut sketch = UnknownN::from_config(config, shard_seed);
-                while let Ok(batch) = rx.recv() {
+                while let Ok(mut batch) = rx.recv() {
                     // ordering: relaxed — monitoring gauge; the channel recv
                     // already ordered this after the producer's increment.
                     worker_depth.fetch_sub(1, Ordering::Relaxed);
@@ -213,6 +222,11 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
                     sketch.insert_batch(&batch);
                     timer.stop();
                     worker_metrics.counter_add(Key::labeled(metrics::BATCHES, shard), 1);
+                    // Clearing here keeps the element drops on the worker;
+                    // a closed return channel (producer gone) just drops
+                    // the buffer.
+                    batch.clear();
+                    let _ = worker_recycle.send(batch);
                 }
                 worker_metrics.gauge_set(
                     Key::labeled(metrics::SHARD_ELEMENTS, shard),
@@ -226,6 +240,7 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         Self {
             senders,
             handles,
+            recycle,
             queue_depths,
             pending: Vec::with_capacity(DEFAULT_SHARD_BATCH),
             next_shard: 0,
@@ -272,8 +287,9 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     }
 
     /// Insert one element.
-    // alloc: pending always carries `batch` capacity (dispatch swaps in a
-    // pre-sized replacement), so the push reuses capacity.
+    // alloc: pending carries `batch` capacity once the recycle pool has
+    // warmed up (dispatch swaps in a returned buffer), so the push reuses
+    // capacity.
     pub fn insert(&mut self, item: T) {
         self.pending.push(item);
         if self.pending.len() >= self.batch {
@@ -310,10 +326,12 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     /// dispatch stops, and [`ShardedSketch::finish`] reports the failure.
     // panic-free: `shard` is next_shard, which is always reduced modulo
     // senders.len(), and queue_depths has one slot per sender.
-    // alloc: one replacement batch buffer per dispatched batch — amortised
-    // to a pointer swap per `batch` elements.
     fn dispatch(&mut self) {
-        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
+        // Prefer a spent buffer a worker sent back; until the pool warms up
+        // (or if the workers are all gone) fall back to an empty vector that
+        // grows to `batch` capacity through the producer's pushes.
+        let replacement = self.recycle.try_recv().unwrap_or_default();
+        let batch = std::mem::replace(&mut self.pending, replacement);
         if self.dead_shard.is_some() {
             // The run is already doomed; dropping the batch keeps the
             // producer non-blocking until the error surfaces at finish().

@@ -288,6 +288,11 @@ const ALLOWLIST: &[(&str, &str, &str)] = &[
         "the one sanctioned wall-clock read; everything else uses ScopedTimer",
     ),
     (
+        "MRL-L002",
+        "crates/bench/src/bin/throughput.rs",
+        "the throughput harness exists to measure wall-clock end to end",
+    ),
+    (
         "MRL-L004",
         "crates/framework/src/buffer.rs",
         "buffer sealing: the §3 sorted-buffer invariant is established here",
@@ -497,6 +502,58 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
             out.push(path);
         }
     }
+}
+
+/// Count `// alloc:` justification tags across `crates/*/src` (tooling
+/// crates excluded — the same file set the lint pass covers). Each tag
+/// admits one allocation site on the per-element ingest path (MRL-A003),
+/// so the total is the workspace's hot-path allocation budget; `cargo
+/// xtask analyze` ratchets it against `crates/xtask/alloc-budget.txt`.
+/// Returns the total plus per-file counts for reporting.
+pub fn count_alloc_tags(root: &Path) -> std::io::Result<(usize, Vec<(String, usize)>)> {
+    let mut per_file = Vec::new();
+    let mut total = 0usize;
+    for file in collect_sources(root) {
+        let src = std::fs::read_to_string(&file)?;
+        let count = src
+            .lines()
+            .filter(|l| l.trim_start().starts_with("// alloc:"))
+            .count();
+        if count > 0 {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            per_file.push((rel, count));
+            total += count;
+        }
+    }
+    per_file.sort();
+    Ok((total, per_file))
+}
+
+/// Parse an alloc-budget file: the first non-comment line is the pinned
+/// tag count.
+pub fn parse_alloc_budget(contents: &str) -> Option<usize> {
+    contents
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse().ok())
+}
+
+/// Render the alloc-budget file for a pinned tag count.
+pub fn render_alloc_budget(count: usize) -> String {
+    format!(
+        "# MRL-A003 alloc-tag budget: the number of `// alloc:` justification\n\
+         # tags across crates/*/src (tooling crates excluded). `cargo xtask\n\
+         # analyze` fails when the live count exceeds this (the hot path gained\n\
+         # an allocation site) and when it drops below (re-pin the tighter count\n\
+         # with `cargo xtask analyze --prune`). The goal is for this number to\n\
+         # shrink, never grow.\n\
+         {count}\n"
+    )
 }
 
 /// Lint every `crates/*/src` file under `root` (the workspace root).

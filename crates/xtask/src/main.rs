@@ -12,12 +12,19 @@
 //! entries without admitting new findings. `--update-baseline` re-pins
 //! everything, new findings included, and is for deliberate re-baselining
 //! only.
+//!
+//! `analyze` additionally ratchets the **count of `// alloc:` tags** —
+//! each tag admits one allocation site on the per-element ingest path, so
+//! the count is the workspace's hot-path allocation budget
+//! (`crates/xtask/alloc-budget.txt`). More tags than the budget fail the
+//! check; fewer fail too until the tighter count is re-pinned.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const LINT_BASELINE_REL: &str = "crates/xtask/lint-baseline.txt";
 const ANALYZE_BASELINE_REL: &str = "crates/xtask/analyze-baseline.txt";
+const ALLOC_BUDGET_REL: &str = "crates/xtask/alloc-budget.txt";
 
 fn workspace_root() -> PathBuf {
     // When run via `cargo xtask …`, the manifest dir is crates/xtask.
@@ -173,6 +180,68 @@ fn lint(mode: Mode) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Ratchet the live `// alloc:` tag count against the committed budget.
+/// In `Update`/`Prune` mode the budget is re-pinned to the live count;
+/// in `Check` mode any difference from the pin is an error (above: the
+/// hot path gained an allocation site; below: the tighter count must be
+/// committed). Returns `true` when the check failed.
+fn alloc_tag_ratchet(root: &Path, mode: Mode) -> bool {
+    let budget_path = root.join(ALLOC_BUDGET_REL);
+    let (count, per_file) = match xtask::count_alloc_tags(root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask analyze: failed to count alloc tags: {e}");
+            return true;
+        }
+    };
+    if mode != Mode::Check {
+        if let Err(e) = std::fs::write(&budget_path, xtask::render_alloc_budget(count)) {
+            eprintln!("xtask analyze: cannot write {}: {e}", budget_path.display());
+            return true;
+        }
+        println!("xtask analyze: alloc-tag budget pinned at {count}");
+        return false;
+    }
+    let budget = std::fs::read_to_string(&budget_path)
+        .ok()
+        .as_deref()
+        .and_then(xtask::parse_alloc_budget);
+    match budget {
+        None => {
+            eprintln!(
+                "xtask analyze: missing or unreadable {} — pin the current `// alloc:`\n\
+                 tag count ({count}) with `cargo xtask analyze --update-baseline`.",
+                budget_path.display()
+            );
+            true
+        }
+        Some(b) if count > b => {
+            eprintln!(
+                "xtask analyze: {count} `// alloc:` tag(s) but the budget is {b} — the\n\
+                 per-element path gained an allocation site. Rework it onto the scratch\n\
+                 arena (DESIGN.md §3.12); growing the budget is a deliberate decision,\n\
+                 re-pinned with `cargo xtask analyze --update-baseline`. Tagged files:"
+            );
+            for (path, n) in &per_file {
+                eprintln!("  {n:3}  {path}");
+            }
+            true
+        }
+        Some(b) if count < b => {
+            eprintln!(
+                "xtask analyze: {count} `// alloc:` tag(s), under the budget of {b} — the\n\
+                 ratchet must only tighten: re-pin with `cargo xtask analyze --prune`\n\
+                 and commit the shrunken budget."
+            );
+            true
+        }
+        Some(_) => {
+            println!("xtask analyze: {count} `// alloc:` tag(s), within budget");
+            false
+        }
+    }
+}
+
 fn render_analyze_baseline(findings: &[analyzer::Finding]) -> String {
     let mut out = String::from(
         "# cargo xtask analyze baseline: grandfathered findings by fingerprint.\n\
@@ -244,6 +313,9 @@ fn analyze(mode: Mode, json: Option<&Path>) -> ExitCode {
             findings.len(),
             baseline_path.display()
         );
+        if alloc_tag_ratchet(&root, mode) {
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
     let fingerprints: Vec<String> = findings
@@ -289,6 +361,9 @@ fn analyze(mode: Mode, json: Option<&Path>) -> ExitCode {
              `cargo xtask analyze --prune` and commit the shrunken baseline.",
             r.stale
         );
+        failed = true;
+    }
+    if alloc_tag_ratchet(&root, mode) {
         failed = true;
     }
     if failed {

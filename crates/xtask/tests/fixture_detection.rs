@@ -102,6 +102,39 @@ fn baseline_roundtrip_parses_every_fingerprint() {
 }
 
 #[test]
+fn alloc_budget_roundtrip_and_parse_edge_cases() {
+    let rendered = xtask::render_alloc_budget(22);
+    assert_eq!(xtask::parse_alloc_budget(&rendered), Some(22));
+    // Comments and blank lines are skipped; the first data line wins.
+    assert_eq!(xtask::parse_alloc_budget("# c\n\n7\n9\n"), Some(7));
+    assert_eq!(xtask::parse_alloc_budget("# only comments\n"), None);
+    assert_eq!(xtask::parse_alloc_budget("not a number\n"), None);
+}
+
+#[test]
+fn workspace_alloc_tag_count_matches_committed_budget() {
+    // Mirrors the `cargo xtask analyze` tag ratchet: the live count of
+    // `// alloc:` tags must equal the pinned budget exactly — above means
+    // the hot path gained an allocation site, below means the tighter
+    // count was never committed.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let (count, per_file) = xtask::count_alloc_tags(&root).expect("sources readable");
+    let budget = std::fs::read_to_string(root.join("crates/xtask/alloc-budget.txt"))
+        .ok()
+        .as_deref()
+        .and_then(xtask::parse_alloc_budget)
+        .expect("committed alloc budget");
+    assert_eq!(
+        count, budget,
+        "live `// alloc:` tag count diverged from the pinned budget; per-file: {per_file:#?}"
+    );
+}
+
+#[test]
 fn workspace_is_clean_modulo_committed_baseline() {
     // Mirrors what `cargo xtask lint` does in CI: the tree must produce no
     // finding whose fingerprint is missing from the committed baseline.
