@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use mrl_framework::{
-    collapse_targets, merge_sorted_runs, merge_sorted_runs_with, select_weighted,
+    collapse_targets, merge_sorted_runs, merge_sorted_runs_with, select_weighted, sort_fixed,
     AdaptiveLowestLevel, AlsabtiRankaSingh, CollapsePolicy, Engine, EngineConfig, FixedRate,
-    MergeScratch, MunroPaterson, WeightedSource,
+    MergeScratch, MunroPaterson, RadixScratch, WeightedSource,
 };
 
 fn bench_weighted_select(c: &mut Criterion) {
@@ -285,12 +285,55 @@ fn bench_seal_crossover(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pins the `[RADIX_MIN_LEN, RADIX_MAX_LEN]` dispatch window: radix vs
+/// comparison sort across the seal sizes the engine actually hands to
+/// `try_sort_fixed` (k, the c·k raw collapse concatenation) plus the
+/// boundary lengths. Radix wins only inside a window — below it pdqsort's
+/// small-array paths and the kernel's fixed per-pass overhead dominate,
+/// above it the byte-wise scatter's random writes fall out of cache —
+/// so both bounds are pinned here; re-run this group when touching the
+/// kernel and update the `radix` constants if either crossover moved.
+fn bench_radix_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_crossover");
+    for &len in &[32usize, 64, 128, 256, 1024, 5 * 256, 4096, 8192, 16384] {
+        // The harness's stream shape: uniform below 2^40 (five live digit
+        // columns, three skipped).
+        let data: Vec<u64> = (0..len as u64)
+            .map(|j| (j * 2654435761).wrapping_mul(j ^ 0x9E37_79B9) % (1 << 40))
+            .collect();
+        let label = format!("n{len}");
+        group.bench_with_input(BenchmarkId::new("radix", &label), &len, |b, _| {
+            let mut scratch = RadixScratch::default();
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    sort_fixed(&mut d, &mut scratch);
+                    d
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("sort", &label), &len, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    d.sort_unstable();
+                    d
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_weighted_select,
     bench_skip_vs_heap,
     bench_policies,
     bench_seal_and_collapse,
-    bench_seal_crossover
+    bench_seal_crossover,
+    bench_radix_crossover
 );
 criterion_main!(benches);

@@ -9,12 +9,15 @@
 //!
 //! ```text
 //! cargo run --release -p mrl-bench --bin throughput -- [--smoke] \
-//!     [--label NAME] [--out PATH]
+//!     [--queries] [--label NAME] [--out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the stream and run count for CI signal-of-life runs;
-//! `--label` tags the report (e.g. `baseline` / `this_pr`) so two runs can
-//! be merged into one A/B file; `--out` writes JSON to a file instead of
+//! `--queries` additionally benchmarks the read path (repeated
+//! `query_many` + `cdf` against a built sketch, epoch-cached spine vs the
+//! cache force-disabled) and records queries/sec in the JSON; `--label`
+//! tags the report (e.g. `baseline` / `this_pr`) so two runs can be
+//! merged into one A/B file; `--out` writes JSON to a file instead of
 //! stdout only.
 
 use std::time::Instant;
@@ -32,6 +35,7 @@ const CHUNK: usize = 1024;
 
 struct Args {
     smoke: bool,
+    queries: bool,
     label: String,
     out: Option<String>,
 }
@@ -39,6 +43,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
+        queries: false,
         label: "current".to_string(),
         out: None,
     };
@@ -46,11 +51,12 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--queries" => args.queries = true,
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = Some(it.next().expect("--out needs a value")),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: throughput [--smoke] [--label NAME] [--out PATH]");
+                eprintln!("usage: throughput [--smoke] [--queries] [--label NAME] [--out PATH]");
                 std::process::exit(2);
             }
         }
@@ -83,6 +89,24 @@ fn run_once(data: &[u64], rate: u64) -> f64 {
     // Keep the engine observable so the loop cannot be optimised away.
     std::hint::black_box(engine.n());
     ms
+}
+
+/// The φ grid of one query round: ten spread quantiles plus a repeated
+/// median, matching a dashboard's refresh pattern.
+const QUERY_PHIS: &[f64] = &[
+    0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 0.5,
+];
+
+/// One timed read-path run: `rounds` rounds of `query_many` over the φ
+/// grid plus one `cdf` export each, against an already-built sketch.
+/// Returns elapsed milliseconds.
+fn run_queries(engine: &Engine<u64, AdaptiveLowestLevel, FixedRate>, rounds: usize) -> f64 {
+    let started = Instant::now();
+    for _ in 0..rounds {
+        std::hint::black_box(engine.query_many(QUERY_PHIS));
+        std::hint::black_box(engine.cdf().len());
+    }
+    started.elapsed().as_secs_f64() * 1e3
 }
 
 fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
@@ -120,10 +144,36 @@ struct Meta {
 }
 
 #[derive(serde::Serialize)]
+struct QueryModeResult {
+    /// `cached` (epoch-cached spine, the default read path) or
+    /// `uncached` (cache force-disabled: every read re-merges).
+    mode: &'static str,
+    runs_ms: Vec<f64>,
+    median_ms: f64,
+    /// Quantile lookups + CDF exports per second: each round is
+    /// `QUERY_PHIS.len()` quantile queries plus one `cdf`.
+    queries_per_sec_median: f64,
+}
+
+#[derive(serde::Serialize)]
+struct QuerySection {
+    description: String,
+    sketch_n: usize,
+    phis_per_round: usize,
+    rounds_per_run: usize,
+    runs: usize,
+    results: Vec<QueryModeResult>,
+    /// Cached-spine speedup over the uncached path (median over median).
+    cached_speedup_median: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     description: String,
     meta: Meta,
     results: Vec<RateResult>,
+    /// `null` unless the run passed `--queries`.
+    query_throughput: Option<QuerySection>,
 }
 
 fn main() {
@@ -186,6 +236,70 @@ fn main() {
             "release"
         },
     };
+    let query_throughput = if args.queries {
+        let (rounds, q_runs, q_warmup) = if args.smoke {
+            (50usize, 2usize, 0usize)
+        } else {
+            (2_000usize, 7usize, 1usize)
+        };
+        let mut engine = Engine::new(
+            EngineConfig::new(NUM_BUFFERS, BUFFER_SIZE),
+            AdaptiveLowestLevel,
+            FixedRate::new(1),
+            1,
+        );
+        for chunk in data.chunks(CHUNK) {
+            engine.insert_batch(chunk);
+        }
+        let queries_per_run = (rounds * (QUERY_PHIS.len() + 1)) as f64;
+        let mut medians = [0.0f64; 2];
+        let mut mode_results = Vec::new();
+        for (slot, (mode, cached)) in [("uncached", false), ("cached", true)]
+            .into_iter()
+            .enumerate()
+        {
+            engine.set_query_cache_enabled(cached);
+            for _ in 0..q_warmup {
+                run_queries(&engine, rounds);
+            }
+            let mut runs_ms: Vec<f64> = (0..q_runs).map(|_| run_queries(&engine, rounds)).collect();
+            let mut sorted = runs_ms.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let median_ms = sorted[sorted.len() / 2];
+            medians[slot] = median_ms;
+            for v in &mut runs_ms {
+                *v = (*v * 1000.0).round() / 1000.0;
+            }
+            let qps = queries_per_run / (median_ms / 1e3);
+            eprintln!("queries {mode:>8}: median {median_ms:8.3} ms  {qps:>12.0} queries/s");
+            mode_results.push(QueryModeResult {
+                mode,
+                runs_ms,
+                median_ms,
+                queries_per_sec_median: qps,
+            });
+        }
+        let speedup = medians[0] / medians[1];
+        eprintln!("queries: cached spine speedup {speedup:.1}x over uncached");
+        Some(QuerySection {
+            description: format!(
+                "Read path against a built {n}-element rate-1 sketch: each round is one \
+                 query_many over {} phis plus one cdf export; `cached` serves from the \
+                 epoch-cached spine, `uncached` has the cache force-disabled so every \
+                 read re-runs the direct weighted merge.",
+                QUERY_PHIS.len()
+            ),
+            sketch_n: n,
+            phis_per_round: QUERY_PHIS.len(),
+            rounds_per_run: rounds,
+            runs: q_runs,
+            results: mode_results,
+            cached_speedup_median: speedup,
+        })
+    } else {
+        None
+    };
+
     let report = Report {
         description: format!(
             "End-to-end batched ingest (Engine b={NUM_BUFFERS} k={BUFFER_SIZE}, \
@@ -195,6 +309,7 @@ fn main() {
         ),
         meta,
         results,
+        query_throughput,
     };
     let json = serde_json::to_string(&report).expect("report serialises");
     if let Some(path) = &args.out {

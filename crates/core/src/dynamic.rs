@@ -21,7 +21,7 @@ pub struct DynamicUnknownN<T> {
     delta: f64,
 }
 
-impl<T: Ord + Clone> DynamicUnknownN<T> {
+impl<T: Ord + Clone + 'static> DynamicUnknownN<T> {
     /// Search for a valid allocation schedule meeting `limits` and build
     /// the sketch. Returns `None` when no valid schedule exists (the
     /// paper: "There may or may not be a valid buffer schedule that meets

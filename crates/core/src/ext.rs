@@ -17,7 +17,7 @@ use crate::unknown_n::UnknownN;
 /// ```
 pub trait QuantileIteratorExt: Iterator + Sized
 where
-    Self::Item: Ord + Clone,
+    Self::Item: Ord + Clone + 'static,
 {
     /// Consume the iterator into an [`UnknownN`] sketch with guarantee
     /// `(ε, δ)` (full optimizer search; see
@@ -49,7 +49,7 @@ where
 impl<I> QuantileIteratorExt for I
 where
     I: Iterator,
-    I::Item: Ord + Clone,
+    I::Item: Ord + Clone + 'static,
 {
 }
 

@@ -22,6 +22,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use mrl_analysis::kl::stein_sample_size;
+use mrl_framework::slice_min_max;
 use mrl_sampling::{rng_from_seed, BernoulliSampler, Reservoir, SketchRng};
 
 /// Which tail the target quantile sits in.
@@ -192,7 +193,34 @@ impl<T: Ord + Clone> ExtremeValue<T> {
                 high_heap,
             } => {
                 let tail = self.tail;
+                // Batch screen via the chunked (autovectorizing) min/max
+                // kernel: once the heap is full, a batch whose most extreme
+                // element cannot displace the heap boundary would see every
+                // accepted push popped straight back out. The sampler still
+                // runs — acceptance draws depend only on the batch length,
+                // so the RNG stream (and every later acceptance) is
+                // identical to the unscreened path — but the closure skips
+                // the dead heap traffic.
+                let screened = match tail {
+                    Tail::Low => {
+                        low_heap.len() >= k
+                            && match (low_heap.peek(), slice_min_max(items)) {
+                                (Some(top), Some((lo, _))) => lo >= *top,
+                                _ => false,
+                            }
+                    }
+                    Tail::High => {
+                        high_heap.len() >= k
+                            && match (high_heap.peek(), slice_min_max(items)) {
+                                (Some(top), Some((_, hi))) => hi <= top.0,
+                                _ => false,
+                            }
+                    }
+                };
                 sampler.accept_many(items.len() as u64, &mut self.rng, &mut |i| {
+                    if screened {
+                        return;
+                    }
                     // accept_many only yields indices below the count it
                     // was given, but stay total anyway: an out-of-range
                     // skip would silently drop a sample, not panic.
@@ -367,6 +395,52 @@ mod tests {
             (q - 5_000.0).abs() <= 0.02 * 100_000.0 + 100.0,
             "estimate {q}"
         );
+    }
+
+    #[test]
+    fn batch_screen_preserves_the_exact_heap() {
+        // s ≥ n makes the Bernoulli sampler accept every element
+        // deterministically, so the estimator must track the *exact* k-th
+        // order statistic; ascending batches keep the low heap full of the
+        // smallest prefix (every later batch is screened), descending
+        // batches do the same for the high heap, and a hashed permutation
+        // mixes screened and unscreened batches. A wrong screen shows up
+        // as a wrong order statistic.
+        let n = 4096u64;
+        let data: Vec<u64> = (0..n).map(|i| (i * 2654435761) % n).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let feeds: [Box<dyn Fn() -> Vec<u64>>; 3] = [
+            Box::new(|| {
+                let mut v = data.clone();
+                v.sort_unstable();
+                v
+            }),
+            Box::new(|| {
+                let mut v = data.clone();
+                v.sort_unstable();
+                v.reverse();
+                v
+            }),
+            Box::new(|| data.clone()),
+        ];
+        for feed in &feeds {
+            let mut lo = ExtremeValue::<u64>::known_n(0.05, 0.01, 1e-6, n, Tail::Low, 9);
+            let mut hi = ExtremeValue::<u64>::known_n(0.95, 0.01, 1e-6, n, Tail::High, 9);
+            assert!(
+                lo.sample_size() >= n && hi.sample_size() >= n,
+                "test needs deterministic acceptance (s = {})",
+                lo.sample_size()
+            );
+            for chunk in feed().chunks(256) {
+                lo.insert_batch(chunk);
+                hi.insert_batch(chunk);
+            }
+            let k_lo = lo.k() as usize;
+            let k_hi = hi.k() as usize;
+            assert_eq!(lo.query(), Some(sorted[k_lo - 1]));
+            assert_eq!(hi.query(), Some(sorted[sorted.len() - k_hi]));
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub struct EquiDepthHistogram<T> {
     buckets: usize,
 }
 
-impl<T: Ord + Clone> EquiDepthHistogram<T> {
+impl<T: Ord + Clone + 'static> EquiDepthHistogram<T> {
     /// A histogram with `buckets ≥ 2` buckets whose boundary ranks are each
     /// within `ε·N` of exact with probability `1 − δ` (jointly over all
     /// boundaries, via the union bound of §4.7).
@@ -128,7 +128,7 @@ pub struct AnyQuantile<T> {
     grid: usize,
 }
 
-impl<T: Ord + Clone> AnyQuantile<T> {
+impl<T: Ord + Clone + 'static> AnyQuantile<T> {
     /// Build for guarantee (ε, δ).
     pub fn new(epsilon: f64, delta: f64) -> Self {
         Self::with_options(epsilon, delta, OptimizerOptions::default())

@@ -32,7 +32,7 @@ pub struct KnownN<T> {
     stage: Vec<T>,
 }
 
-impl<T: Ord + Clone> KnownN<T> {
+impl<T: Ord + Clone + 'static> KnownN<T> {
     /// Create a sketch for exactly `n` elements with guarantee
     /// (ε, δ). Chooses the cheaper of the deterministic and sampled MRL98
     /// plans.

@@ -25,7 +25,7 @@ pub struct SketchSnapshot<T> {
     pub engine: EngineSnapshot<T, Mrl99Schedule>,
 }
 
-impl<T: Ord + Clone> UnknownN<T> {
+impl<T: Ord + Clone + 'static> UnknownN<T> {
     /// Capture the sketch's state for checkpointing.
     pub fn to_snapshot(&self) -> SketchSnapshot<T> {
         SketchSnapshot {

@@ -34,7 +34,7 @@ pub struct UnknownN<T> {
     seed: u64,
 }
 
-impl<T: Ord + Clone> UnknownN<T> {
+impl<T: Ord + Clone + 'static> UnknownN<T> {
     /// Create a sketch guaranteeing ε-approximate quantiles with
     /// probability `1 − δ`. Parameters `(b, k, h, α)` come from the
     /// certified optimizer (§4.5).

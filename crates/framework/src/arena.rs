@@ -15,10 +15,14 @@
 //! arena (or replacing it with `Default::default()`) only costs future
 //! re-reservations, never correctness.
 
+use std::cell::RefCell;
+
 use crate::buffer::BufferMeta;
 use crate::merge::SelectScratch;
 use crate::policy::CollapseDecision;
+use crate::radix::RadixScratch;
 use crate::runs::MergeScratch;
+use crate::spine::QuerySpine;
 
 /// Scratch storage reused by the engine's seal and collapse paths.
 ///
@@ -55,6 +59,15 @@ pub struct ScratchArena<T> {
     /// Collapse-policy decision scratch (`CollapsePolicy::choose_into`):
     /// the promotion and collapse-slot vectors are refilled each collapse.
     pub(crate) decision: CollapseDecision,
+    /// Radix-seal ping-pong buffer (`radix::sort_fixed`), used by every
+    /// seal and raw-collapse sort when the element type is fixed-width.
+    pub(crate) radix: RadixScratch<T>,
+    /// The epoch-cached query spine. `RefCell` because queries take
+    /// `&self` (Output never mutates sketch state, §3.7) but the first
+    /// query after an ingest epoch bump materialises the merged view
+    /// here; a stale spine is never *wrong*, only rebuilt — dropping the
+    /// arena still costs only re-reservations plus one rebuild.
+    pub(crate) spine: RefCell<QuerySpine<T>>,
 }
 
 // Manual impl: the derive would demand `T: Default`, which empty vectors
@@ -72,6 +85,8 @@ impl<T> Default for ScratchArena<T> {
             slots: Vec::new(),
             stage: Vec::new(),
             decision: CollapseDecision::default(),
+            radix: RadixScratch::default(),
+            spine: RefCell::new(QuerySpine::default()),
         }
     }
 }

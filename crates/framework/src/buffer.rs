@@ -5,6 +5,8 @@
 //! positive integer weight, and — once populated — an integer *level*
 //! recording their position in the collapse tree (§3.5–3.6).
 
+use crate::radix::{try_sort_fixed, RadixScratch};
+
 /// Lifecycle label of a buffer (§3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BufferState {
@@ -111,9 +113,16 @@ impl<T: Ord> Buffer<T> {
     }
 
     /// Restore the sorted invariant for data parked by
-    /// [`Buffer::populate_raw`].
-    pub(crate) fn make_sorted(&mut self) {
-        self.data.sort_unstable();
+    /// [`Buffer::populate_raw`], routing through the radix kernel when
+    /// the element type is fixed-width (the engine threads its arena's
+    /// radix scratch here from every deferred-seal sort site).
+    pub(crate) fn make_sorted_with(&mut self, radix: &mut RadixScratch<T>)
+    where
+        T: 'static,
+    {
+        if !try_sort_fixed(&mut self.data, radix) {
+            self.data.sort_unstable();
+        }
     }
 
     /// Return the buffer to the `Empty` state, retaining its allocation.

@@ -31,7 +31,7 @@ pub struct CdfPoint<T> {
 
 impl<T, P, R> Engine<T, P, R>
 where
-    T: Ord + Clone,
+    T: Ord + Clone + 'static,
     P: CollapsePolicy,
     R: RateSchedule,
 {
@@ -44,6 +44,18 @@ where
     /// [`Engine::tree_error_bound`]` / N` and sampling the usual
     /// `(1−α)·ε` share.
     pub fn rank_of(&self, value: &T) -> Option<(f64, f64)> {
+        // Cached read path: two binary searches over the spine instead of
+        // a full weighted scan per call.
+        if let Some(cached) = self.with_current_spine(|spine| {
+            let s = spine.total();
+            if s == 0 {
+                return None;
+            }
+            let (below, at_most) = spine.rank(value);
+            Some((below as f64 / s as f64, at_most as f64 / s as f64))
+        }) {
+            return cached;
+        }
         let mass = self.output_mass();
         if mass == 0 {
             return None;
@@ -69,6 +81,21 @@ where
     /// At most `b·k + k` points — a bounded-size approximate description
     /// of the whole distribution (the "synopsis" of §1.5).
     pub fn cdf(&self) -> Vec<CdfPoint<T>> {
+        // Cached read path: the spine *is* the stepwise CDF in weighted
+        // form — emit it directly (only the returned Vec is allocated; the
+        // sort-and-coalesce work is amortised across the epoch).
+        if let Some(cached) = self.with_current_spine(|spine| {
+            let s = spine.total();
+            spine
+                .points()
+                .map(|(value, cum)| CdfPoint {
+                    value: value.clone(),
+                    cumulative: cum as f64 / s as f64,
+                })
+                .collect()
+        }) {
+            return cached;
+        }
         let mass = self.output_mass();
         if mass == 0 {
             return Vec::new();
@@ -93,8 +120,9 @@ where
         out
     }
 
-    /// Visit every (element, weight) pair `Output` would consult.
-    fn for_each_weighted<F: FnMut(&T, u64)>(&self, mut f: F) {
+    /// Visit every (element, weight) pair `Output` would consult (also
+    /// the feed for the query spine's rebuild in `engine.rs`).
+    pub(crate) fn for_each_weighted<F: FnMut(&T, u64)>(&self, mut f: F) {
         for b in self.raw_buffers() {
             if b.state() != BufferState::Empty {
                 for v in b.data() {

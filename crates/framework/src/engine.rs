@@ -18,15 +18,18 @@ use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
 use crate::arena::ScratchArena;
 use crate::buffer::{Buffer, BufferState};
 use crate::kernels::{
-    chunked_kernels_enabled, select_merged_weighted_spaced, select_two_weighted_spaced,
+    chunked_kernels_enabled, select_merged_weighted_spaced, select_three_weighted_spaced,
+    select_two_weighted_spaced,
 };
 use crate::merge::{
     collapse_first_target, collapse_targets_into, output_position, select_weighted,
     select_weighted_with, total_mass, WeightedSource,
 };
 use crate::policy::CollapsePolicy;
+use crate::radix::try_sort_fixed;
 use crate::runs::{merge_sorted_runs_with, run_merge_limit, RunTracker};
 use crate::schedule::RateSchedule;
+use crate::spine::QuerySpine;
 use crate::stats::TreeStats;
 use crate::tree::TreeRecorder;
 
@@ -130,8 +133,10 @@ pub struct Engine<T, P, R> {
     /// of the concatenation replaces the per-buffer sorts plus the merge
     /// walk. Read paths (`query_many`, snapshots, `into_buffers`) sort on
     /// demand, so the invariant "populated buffers are sorted" holds
-    /// everywhere outside this engine.
-    unsorted_slots: Vec<usize>,
+    /// everywhere outside this engine. Stored as a per-slot mask (grown
+    /// alongside the lazily allocated slot table) so marking a seal is a
+    /// flag store, not a push.
+    unsorted_mask: Vec<bool>,
     fill_rate: u64,
     fill_level: u32,
     filling: bool,
@@ -147,6 +152,15 @@ pub struct Engine<T, P, R> {
     sample_tap: Option<Vec<(T, u64)>>,
     max_allocated: usize,
     finished: bool,
+    /// Ingest epoch: incremented by every mutation that can change what a
+    /// query observes (insert, batch insert, collapse, finish, snapshot
+    /// restore). The cached query spine records the epoch it was built
+    /// at; a mismatch marks it stale.
+    epoch: u64,
+    /// Serve `query`/`query_many`/`rank_of`/`cdf` from the epoch-cached
+    /// spine (the default). Disabled, every query re-runs the direct
+    /// weighted merge — kept for differential testing of the cache.
+    query_cache: bool,
     rng: SketchRng,
     /// The offline-certified error coefficients this engine is audited
     /// against after every seal/collapse (feature `invariant-audit`).
@@ -156,7 +170,7 @@ pub struct Engine<T, P, R> {
 
 impl<T, P, R> Engine<T, P, R>
 where
-    T: Ord + Clone,
+    T: Ord + Clone + 'static,
     P: CollapsePolicy,
     R: RateSchedule,
 {
@@ -203,7 +217,7 @@ where
             sampler: BlockSampler::new(rate),
             filler: Vec::with_capacity(config.buffer_size),
             filler_runs: RunTracker::new(run_merge_limit(config.buffer_size)),
-            unsorted_slots: Vec::new(),
+            unsorted_mask: Vec::new(),
             fill_rate: rate,
             fill_level: 0,
             filling: false,
@@ -216,6 +230,8 @@ where
             sample_tap: None,
             max_allocated: 0,
             finished: false,
+            epoch: 0,
+            query_cache: true,
             rng: rng_from_seed(seed),
             #[cfg(feature = "invariant-audit")]
             certified: None,
@@ -270,6 +286,45 @@ where
     /// The attached metrics handle (disabled by default).
     pub fn metrics(&self) -> &MetricsHandle {
         &self.metrics
+    }
+
+    /// The current ingest epoch (see the `epoch` field): changes exactly
+    /// when a query could start observing different state.
+    pub fn ingest_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Enable or disable the epoch-cached query spine (enabled by
+    /// default). With the cache off, every query re-runs the direct
+    /// weighted-merge path — useful for differential testing.
+    pub fn set_query_cache_enabled(&mut self, enabled: bool) {
+        self.query_cache = enabled;
+        if !enabled {
+            self.scratch.spine.borrow_mut().invalidate();
+        }
+    }
+
+    /// Mark queryable state as changed. Wrapping: only equality with the
+    /// spine's build epoch matters, and 2⁶⁴ mutations cannot revisit a
+    /// stale spine's epoch without 2⁶⁴ − 1 intervening queries missing.
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Run `f` over the current query spine, rebuilding it first if the
+    /// ingest epoch moved since it was last materialised. `None` when the
+    /// cache is disabled (callers then take the direct merge path).
+    pub(crate) fn with_current_spine<U>(&self, f: impl FnOnce(&QuerySpine<T>) -> U) -> Option<U> {
+        if !self.query_cache {
+            return None;
+        }
+        let mut spine = self.scratch.spine.borrow_mut();
+        if !spine.is_current(self.epoch) {
+            spine.rebuild(self.epoch, |pairs| {
+                self.for_each_weighted(|v, w| pairs.push((v.clone(), w)));
+            });
+        }
+        Some(f(&spine))
     }
 
     /// The recorded collapse tree, if recording was enabled.
@@ -327,6 +382,7 @@ where
     // the saturation cap; the sample tap is opt-in test support.
     pub fn insert(&mut self, item: T) {
         assert!(!self.finished, "cannot insert after finish()");
+        self.bump_epoch();
         if !self.filling {
             self.begin_fill();
         }
@@ -361,6 +417,9 @@ where
     // storage; the sample tap is opt-in test support.
     pub fn insert_batch(&mut self, items: &[T]) {
         assert!(!self.finished, "cannot insert after finish()");
+        if !items.is_empty() {
+            self.bump_epoch();
+        }
         let mut rest = items;
         while !rest.is_empty() {
             if !self.filling {
@@ -448,12 +507,13 @@ where
     /// panic.
     // panic-free: empty_slot() is Some because begin_fill reserved a slot
     // for the fill in progress (filling == true on this branch), and the
-    // deferred-seal indices in unsorted_slots are valid by construction.
+    // deferred-seal sweep indexes buffers by 0..len.
     // alloc: tap is opt-in test support; filler.push has reserved capacity.
     pub fn finish(&mut self) {
         if self.finished {
             return;
         }
+        self.bump_epoch();
         if self.filling {
             if let Some((tail, pending)) = self.sampler.flush() {
                 // The trailing incomplete block still contributes its
@@ -471,7 +531,7 @@ where
             }
             if !self.filler.is_empty() {
                 let (mut data, sorted) = self.take_filler();
-                if !sorted {
+                if !sorted && !try_sort_fixed(&mut data, &mut self.scratch.radix) {
                     data.sort_unstable();
                 }
                 let idx = self
@@ -492,10 +552,12 @@ where
         // Restore the sorted invariant on any slot whose seal was deferred:
         // once finished, every populated buffer is sorted and the engine can
         // be snapshotted, drained or queried with no special cases.
-        let raw = std::mem::take(&mut self.unsorted_slots);
-        for idx in raw {
-            self.buffers[idx].make_sorted();
+        for idx in 0..self.buffers.len() {
+            if self.slot_is_unsorted(idx) {
+                self.buffers[idx].make_sorted_with(&mut self.scratch.radix);
+            }
         }
+        self.unsorted_mask.fill(false);
         self.finished = true;
         #[cfg(feature = "invariant-audit")]
         self.audit_invariants("finish");
@@ -517,6 +579,23 @@ where
     // the closing expect hold because `order` carries every index 0..len
     // exactly once, so every slot is filled before unwrapping.
     pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
+        // Cached read path: every phi is a binary search over the spine
+        // (rebuilt at most once per ingest epoch). The spine's positional
+        // lookup returns exactly the element the weighted-merge selection
+        // below would pick, so the two paths answer identically.
+        if let Some(cached) = self.with_current_spine(|spine| {
+            let s = spine.total();
+            if s == 0 {
+                return None;
+            }
+            let mut out = Vec::with_capacity(phis.len());
+            for &phi in phis {
+                out.push(spine.lookup(output_position(phi, s))?.clone());
+            }
+            Some(out)
+        }) {
+            return cached;
+        }
         // Only clone-and-sort the in-progress fill when it is actually out
         // of order; an ascending stream (or a freshly started fill) reads
         // straight from `filler`, and a mildly disordered one merges its
@@ -532,10 +611,9 @@ where
         let filler_view: &[T] = sorted_holder.as_deref().unwrap_or(&self.filler);
         // Deferred-seal slots hold raw data; queries read a sorted copy
         // (Output never mutates state, §3.7).
-        let raw_copies: Vec<(usize, Vec<T>)> = self
-            .unsorted_slots
-            .iter()
-            .map(|&i| {
+        let raw_copies: Vec<(usize, Vec<T>)> = (0..self.buffers.len())
+            .filter(|&i| self.slot_is_unsorted(i))
+            .map(|i| {
                 let mut v = self.buffers[i].data().to_vec();
                 v.sort_unstable();
                 (i, v)
@@ -640,6 +718,7 @@ where
     // panic-free: the collected slot list holds valid buffer indices by
     // construction (enumerate over the live buffers).
     pub fn collapse_all_full(&mut self) {
+        self.bump_epoch();
         // The slot list leaves the arena for the duration so
         // perform_collapse can borrow `&mut self` while it is alive.
         let mut full = std::mem::take(&mut self.scratch.slots);
@@ -680,7 +759,17 @@ where
     /// True when slot `idx` holds raw deferred-seal data; the snapshot
     /// writer sorts its copy of such a slot before serialising.
     pub(crate) fn slot_is_unsorted(&self, idx: usize) -> bool {
-        self.unsorted_slots.contains(&idx)
+        self.unsorted_mask.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Flag slot `idx` as holding raw deferred-seal data, growing the mask
+    /// to cover lazily allocated slots.
+    // panic-free: the resize directly above guarantees idx is in bounds.
+    fn mark_unsorted(&mut self, idx: usize) {
+        if self.unsorted_mask.len() <= idx {
+            self.unsorted_mask.resize(idx + 1, false);
+        }
+        self.unsorted_mask[idx] = true;
     }
 
     /// Lazy-allocation thresholds.
@@ -738,7 +827,7 @@ where
         self.max_allocated = self.buffers.len();
         // Snapshots always carry sorted buffer data (the writer sorts raw
         // slots' copies), so no deferred-seal marks survive a restore.
-        self.unsorted_slots.clear();
+        self.unsorted_mask.fill(false);
         self.filler_runs.rebuild(&filler);
         self.filler = filler;
         self.fill_rate = fill_rate;
@@ -748,6 +837,7 @@ where
         self.collapse_high_phase = collapse_high_phase;
         self.stats = stats;
         self.finished = finished;
+        self.bump_epoch();
     }
 
     // ---- invariant auditor (feature "invariant-audit") -------------------
@@ -832,7 +922,7 @@ where
                 "[{context}] buffer {idx} at level {} above the tree's max {level_cap}",
                 b.level()
             );
-            if !self.unsorted_slots.contains(&idx) {
+            if !self.slot_is_unsorted(idx) {
                 assert!(
                     b.data().is_sorted(),
                     "[{context}] buffer {idx} (weight {}, level {}) is not sorted",
@@ -934,8 +1024,11 @@ where
             } else {
                 metrics::SEAL_RUN_MERGE
             };
-            self.filler_runs
-                .sort_data_with(&mut data, &mut self.scratch.merge);
+            self.filler_runs.sort_data_with_radix(
+                &mut data,
+                &mut self.scratch.merge,
+                &mut self.scratch.radix,
+            );
             self.metrics.counter_add(seal_key, 1);
             true
         };
@@ -946,8 +1039,6 @@ where
 
     // panic-free: empty_slot() is Some — begin_fill reserved the slot this
     // fill is completing into, and nothing between could occupy it.
-    // alloc: one deferred-seal index per sealed buffer (bounded by
-    // num_buffers live entries); buffer storage itself is recycled.
     fn complete_fill(&mut self) {
         debug_assert_eq!(self.filler.len(), self.config.buffer_size);
         let (data, sorted) = self.take_filler();
@@ -965,8 +1056,8 @@ where
             self.config.buffer_size,
         );
         if !sorted {
-            debug_assert!(!self.unsorted_slots.contains(&idx));
-            self.unsorted_slots.push(idx);
+            debug_assert!(!self.slot_is_unsorted(idx));
+            self.mark_unsorted(idx);
         }
         if let Some(rec) = &mut self.recorder {
             self.slot_nodes[idx] = Some(rec.add_leaf(self.fill_rate, self.fill_level));
@@ -1074,18 +1165,24 @@ where
         let k = self.config.buffer_size;
         let mut new_data = std::mem::take(&mut self.scratch.select_out);
         let w0 = self.buffers[slots[0]].weight();
-        let all_raw_equal = slots.len() >= 2
-            && slots
-                .iter()
-                .all(|&i| self.unsorted_slots.contains(&i) && self.buffers[i].weight() == w0)
-            && !self.unsorted_slots.is_empty();
-        if all_raw_equal {
-            // Every input is a raw deferred-seal leaf of equal weight `w0`:
-            // concatenate, sort once, and index the evenly spaced targets
-            // directly. One `O(ck log ck)` sort replaces `c` deferred
-            // `O(k log k)` sorts *plus* the `O(ck)` weighted merge walk.
-            // Position `t` (1-based) of the weighted merged sequence is the
-            // sorted concatenation's element `(t - 1) / w0`, and sorting the
+        let equal_weights =
+            slots.len() >= 2 && slots.iter().all(|&i| self.buffers[i].weight() == w0);
+        let all_raw = slots.iter().all(|&i| self.slot_is_unsorted(i));
+        // The concat path serves two shapes: every input raw (one sort of
+        // the concatenation replaces the deferred per-buffer sorts plus
+        // the merge walk, in either kernel mode), and — with the chunked
+        // kernels on — any ≥ 3-way equal-weight collapse, where one
+        // concat sort beats the pair-merge materialisation even though
+        // the inputs are already sorted. Scalar mode keeps ≥ 3-way sorted
+        // collapses on the classic walk so the reference path stays
+        // exercised.
+        let concat_path =
+            equal_weights && (all_raw || (chunked_kernels_enabled() && slots.len() >= 3));
+        if concat_path {
+            // Equal weight `w0` everywhere: concatenate, sort once, and
+            // index the evenly spaced targets directly. Position `t`
+            // (1-based) of the weighted merged sequence is the sorted
+            // concatenation's element `(t - 1) / w0`, and sorting the
             // concatenation yields the same value sequence as merging the
             // individually sorted inputs, so the selected elements are
             // identical to the general path's.
@@ -1094,8 +1191,12 @@ where
             for &i in slots {
                 concat.extend_from_slice(self.buffers[i].data());
             }
-            concat.sort_unstable();
-            self.metrics.counter_add(metrics::COLLAPSE_RAW_FAST_PATH, 1);
+            if !try_sort_fixed(concat, &mut self.scratch.radix) {
+                concat.sort_unstable();
+            }
+            if all_raw {
+                self.metrics.counter_add(metrics::COLLAPSE_RAW_FAST_PATH, 1);
+            }
             // Target positions step by `w = c·w0`, so the indices step by
             // exactly `c` from `(first - 1) / w0` — a strided gather, no
             // per-target division.
@@ -1110,19 +1211,28 @@ where
                     .cloned(),
             );
         } else {
-            // Mixed collapse: restore the sorted invariant on any raw input
+            // Mixed weights: restore the sorted invariant on any raw input
             // first (the sort deferred from its seal happens here instead),
             // then run the weighted merge selection.
             for &i in slots {
-                if let Some(p) = self.unsorted_slots.iter().position(|&j| j == i) {
-                    self.unsorted_slots.swap_remove(p);
-                    self.buffers[i].make_sorted();
+                // Field access (not clear_unsorted) keeps the borrow
+                // disjoint from the live metrics timer.
+                let raw = self
+                    .unsorted_mask
+                    .get_mut(i)
+                    .map(|m| std::mem::replace(m, false))
+                    .unwrap_or(false);
+                if raw {
+                    self.buffers[i].make_sorted_with(&mut self.scratch.radix);
                 }
             }
             // Collapse targets are spaced `w` apart while each merge step
             // adds some wᵢ ≤ w − 1, so the single-crossing contract of the
             // branchless kernels always holds here and they can run
-            // directly over the buffers — no per-collapse source list.
+            // directly over the buffers — no per-collapse source list. Two
+            // and three sources — together all but a sliver of the mixed
+            // collapses the adaptive policy emits — walk the buffers in
+            // place; only ≥ 4 sources pay the pair-merge materialisation.
             if chunked_kernels_enabled() && slots.len() == 2 {
                 let (a, b) = (&self.buffers[slots[0]], &self.buffers[slots[1]]);
                 select_two_weighted_spaced(
@@ -1135,8 +1245,26 @@ where
                     k,
                     &mut new_data,
                 );
+            } else if chunked_kernels_enabled() && slots.len() == 3 {
+                let (a, b, c) = (
+                    &self.buffers[slots[0]],
+                    &self.buffers[slots[1]],
+                    &self.buffers[slots[2]],
+                );
+                select_three_weighted_spaced(
+                    a.data(),
+                    a.weight(),
+                    b.data(),
+                    b.weight(),
+                    c.data(),
+                    c.weight(),
+                    first,
+                    w,
+                    k,
+                    &mut new_data,
+                );
             } else if chunked_kernels_enabled() {
-                // ≥ 3 sources: pair-merge the buffers into one weighted
+                // ≥ 4 sources: pair-merge the buffers into one weighted
                 // run inside the arena, then one branchless sweep.
                 let (pairs, starts, pair_merge) = self.scratch.select.pair_parts_mut();
                 pairs.clear();
@@ -1176,7 +1304,11 @@ where
         }
         // Cleared slots no longer hold raw data (fast-path inputs keep their
         // marks until here); the output below is sorted, so no new mark.
-        self.unsorted_slots.retain(|i| !slots.contains(i));
+        for &i in slots {
+            if let Some(m) = self.unsorted_mask.get_mut(i) {
+                *m = false;
+            }
+        }
         // Recycle the cleared output slot's old allocation as the next
         // collapse's selection scratch: steady-state collapsing then swaps
         // two k-capacity vectors back and forth without allocating.

@@ -224,7 +224,6 @@ pub fn select_two_weighted_spaced<T: Ord + Clone>(
     count: usize,
     out: &mut Vec<T>,
 ) {
-    use std::hint::select_unpredictable as sel;
     debug_assert!(first >= 1 && spacing >= wa.max(wb));
     out.clear();
     if count == 0 {
@@ -235,10 +234,35 @@ pub fn select_two_weighted_spaced<T: Ord + Clone>(
         (None, None) => unreachable!("targets are ≤ total mass, so a source is non-empty"),
     };
     out.resize(count.saturating_add(1), seed);
+    select_two_spaced_core(a, wa, b, wb, 0, first, spacing, count, 0, out);
+    out.truncate(count);
+}
+
+/// Shared engine of the spaced two-source walks: runs the speculative
+/// merge over `a`/`b` starting from accumulated mass `cum`, next target
+/// `next_t` and output slot `ti`, into a pre-resized `out` (one slot of
+/// slack past `count`). [`select_two_weighted_spaced`] enters it at the
+/// origin; [`select_three_weighted_spaced`] enters it mid-walk once its
+/// first source is exhausted.
+// panic-free: as select_two_weighted_spaced — callers size out to
+// count + 1 and pass ti ≤ count; both loops advance ti at most once per
+// store under the `ti < count` bound, and the exhausted-source tail's
+// running index stays within rest by the mass contract.
+#[allow(clippy::too_many_arguments)]
+fn select_two_spaced_core<T: Ord + Clone>(
+    a: &[T],
+    wa: u64,
+    b: &[T],
+    wb: u64,
+    mut cum: u64,
+    mut next_t: u64,
+    spacing: u64,
+    count: usize,
+    mut ti: usize,
+    out: &mut [T],
+) {
+    use std::hint::select_unpredictable as sel;
     let (mut i, mut j) = (0usize, 0usize);
-    let mut cum: u64 = 0;
-    let mut ti = 0usize;
-    let mut next_t = first;
     while ti + 2 <= count && i + 2 <= a.len() && j + 2 <= b.len() {
         let a0 = &a[i];
         let a1 = &a[i + 1];
@@ -299,6 +323,123 @@ pub fn select_two_weighted_spaced<T: Ord + Clone>(
             off += dq + carry as usize;
             rem -= w & (carry as u64).wrapping_neg();
         }
+    }
+}
+
+/// As [`select_two_weighted_spaced`] for **three** sorted weighted
+/// sources: the direct form of the 3-source collapse, which the adaptive
+/// policy emits constantly at rate 1 (a parked level-0 pair plus one
+/// higher-weight survivor, three distinct weights). The previous route —
+/// materialise `(element, weight)` pairs, pair-merge them, then sweep —
+/// moved every element through memory twice before selecting; this walk
+/// reads each source in place.
+///
+/// Each step resolves the 3-way minimum with two comparisons through
+/// [`std::hint::select_unpredictable`] (a 3-wide tournament mispredicts
+/// on random merges just like the 2-way case), then advances exactly one
+/// source. Once any source is exhausted the survivors continue on
+/// [`select_two_spaced_core`] from the walk's accumulated state.
+/// Requires `first ≥ 1` and `spacing ≥ wa.max(wb).max(wc)` (collapse
+/// targets qualify: spacing `w = Σwᵢ` > each `wᵢ`).
+// panic-free: out is resized to count + 1 up front and ti advances at
+// most once per store under the `ti < count` bound; the handoff passes
+// the same slack buffer and a ti ≤ count to the two-source core, whose
+// own bounds argument then applies. At most one survivor slice can be
+// empty, and the core reads an empty slice only through its exhausted-
+// source tail guard.
+// out is the caller's reused scratch (resize only, within capacity after
+// the first collapse).
+#[allow(clippy::too_many_arguments)]
+pub fn select_three_weighted_spaced<T: Ord + Clone>(
+    a: &[T],
+    wa: u64,
+    b: &[T],
+    wb: u64,
+    c: &[T],
+    wc: u64,
+    first: u64,
+    spacing: u64,
+    count: usize,
+    out: &mut Vec<T>,
+) {
+    use std::hint::select_unpredictable as sel;
+    debug_assert!(first >= 1 && spacing >= wa.max(wb).max(wc));
+    out.clear();
+    if count == 0 {
+        return;
+    }
+    let seed = match (a.first(), b.first(), c.first()) {
+        (Some(v), _, _) | (None, Some(v), _) | (None, None, Some(v)) => v.clone(),
+        (None, None, None) => unreachable!("targets are ≤ total mass, so a source is non-empty"),
+    };
+    out.resize(count.saturating_add(1), seed);
+    let (mut i, mut j, mut l) = (0usize, 0usize, 0usize);
+    let mut cum: u64 = 0;
+    let mut ti = 0usize;
+    let mut next_t = first;
+    while ti < count && i < a.len() && j < b.len() && l < c.len() {
+        // All three pairwise comparisons issue independently (no compare
+        // feeding another compare's operand), then two select levels pick
+        // the minimum — the 3-way analogue of the speculative trick in
+        // the two-source walk.
+        let ab = a[i] <= b[j];
+        let ac = a[i] <= c[l];
+        let bc = b[j] <= c[l];
+        let take_a = ab & ac;
+        let take_b = !ab & bc;
+        let v = sel(take_a, &a[i], sel(take_b, &b[j], &c[l]));
+        cum += sel(take_a, wa, sel(take_b, wb, wc));
+        out[ti] = v.clone();
+        let hit = next_t <= cum;
+        ti += hit as usize;
+        next_t += spacing & (hit as u64).wrapping_neg();
+        i += take_a as usize;
+        j += take_b as usize;
+        l += (!take_a & !take_b) as usize;
+    }
+    // First exhaustion: hand the two survivors (either may itself be
+    // empty only if the mass contract already places every remaining
+    // target in the other) to the two-source core, resuming at the
+    // current mass and target.
+    if i >= a.len() {
+        select_two_spaced_core(
+            &b[j..],
+            wb,
+            &c[l..],
+            wc,
+            cum,
+            next_t,
+            spacing,
+            count,
+            ti,
+            out,
+        );
+    } else if j >= b.len() {
+        select_two_spaced_core(
+            &a[i..],
+            wa,
+            &c[l..],
+            wc,
+            cum,
+            next_t,
+            spacing,
+            count,
+            ti,
+            out,
+        );
+    } else {
+        select_two_spaced_core(
+            &a[i..],
+            wa,
+            &b[j..],
+            wb,
+            cum,
+            next_t,
+            spacing,
+            count,
+            ti,
+            out,
+        );
     }
     out.truncate(count);
 }
@@ -423,6 +564,78 @@ pub fn select_merged_weighted_spaced<T: Ord + Clone>(
         "ran out of mass before all targets were selected"
     );
     out.truncate(count);
+}
+
+/// Minimum and maximum of `data` in one pass: the scalar reference for
+/// [`slice_min_max`].
+pub fn slice_min_max_scalar<T: Ord + Clone>(data: &[T]) -> Option<(T, T)> {
+    let (first, rest) = data.split_first()?;
+    let mut lo = first.clone();
+    let mut hi = first.clone();
+    for x in rest {
+        if *x < lo {
+            lo = x.clone();
+        }
+        if *x > hi {
+            hi = x.clone();
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Minimum and maximum of `data` in one chunked pass: eight independent
+/// accumulator lanes over `chunks_exact(UNROLL)` blocks, reduced at the
+/// end. Splitting the running min/max across lanes breaks the
+/// loop-carried dependency on a single accumulator, and for primitive
+/// element types the lane updates compile to vector min/max (the
+/// `min_max_u64`/`min_max_u32` instantiations are asm-checked in CI).
+/// Identical result to [`slice_min_max_scalar`]; `ExtremeValue` uses it
+/// to screen whole batches against the heap thresholds before touching
+/// the heaps.
+// panic-free: chunks_exact(UNROLL) yields slices of exactly UNROLL
+// elements, so c[l] with l < UNROLL is in bounds, and the lane arrays
+// are indexed by the same literal-bounded l.
+pub fn slice_min_max<T: Ord + Clone>(data: &[T]) -> Option<(T, T)> {
+    if !chunked_kernels_enabled() || data.len() < UNROLL * 2 {
+        return slice_min_max_scalar(data);
+    }
+    let (first, rest) = data.split_first()?;
+    let mut lo: [T; UNROLL] = std::array::from_fn(|_| first.clone());
+    let mut hi: [T; UNROLL] = std::array::from_fn(|_| first.clone());
+    let mut chunks = rest.chunks_exact(UNROLL);
+    for c in chunks.by_ref() {
+        for (slot, x) in lo.iter_mut().zip(c) {
+            *slot = x.clone().min(slot.clone());
+        }
+        for (slot, x) in hi.iter_mut().zip(c) {
+            *slot = x.clone().max(slot.clone());
+        }
+    }
+    let mut best_lo = first.clone();
+    let mut best_hi = first.clone();
+    for x in chunks.remainder().iter().chain(lo.iter()).chain(hi.iter()) {
+        if *x < best_lo {
+            best_lo = x.clone();
+        }
+        if *x > best_hi {
+            best_hi = x.clone();
+        }
+    }
+    Some((best_lo, best_hi))
+}
+
+/// Concrete `u64` instantiation of [`slice_min_max`], exported so the CI
+/// asm smoke check has a symbol whose codegen it can inspect for vector
+/// min/max patterns.
+pub fn min_max_u64(data: &[u64]) -> Option<(u64, u64)> {
+    slice_min_max(data)
+}
+
+/// Concrete `u32` instantiation of [`slice_min_max`] for the CI asm
+/// smoke check (`vpminud`/`vpmaxud` exist from SSE4.1/AVX2, making the
+/// 32-bit lane pattern the easiest vectorisation witness).
+pub fn min_max_u32(data: &[u32]) -> Option<(u32, u32)> {
+    slice_min_max(data)
 }
 
 #[cfg(test)]
@@ -552,6 +765,32 @@ mod tests {
         assert_eq!(out, vec![5]);
         select_merged_weighted_spaced(&[(7u64, 4u64)], 4, 4, 1, &mut out);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn min_max_matches_scalar_on_all_lengths() {
+        for n in 0..64usize {
+            let v: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 97).collect();
+            assert_eq!(slice_min_max(&v), slice_min_max_scalar(&v), "n={n}");
+            if n > 0 {
+                let expect = (*v.iter().min().unwrap_or(&0), *v.iter().max().unwrap_or(&0));
+                assert_eq!(slice_min_max(&v), Some(expect));
+            }
+        }
+        assert_eq!(slice_min_max::<u64>(&[]), None);
+        assert_eq!(min_max_u64(&[9, 2, 7]), Some((2, 9)));
+        assert_eq!(min_max_u32(&[5]), Some((5, 5)));
+        // Non-Copy element type exercises the clone-based lanes.
+        let words: Vec<String> = ["pear", "apple", "quince", "fig", "kiwi"]
+            .iter()
+            .cycle()
+            .take(40)
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            slice_min_max(&words),
+            Some(("apple".to_string(), "quince".to_string()))
+        );
     }
 
     #[test]

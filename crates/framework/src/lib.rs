@@ -37,9 +37,11 @@ pub mod invariant;
 pub mod kernels;
 mod merge;
 pub mod policy;
+pub mod radix;
 mod runs;
 pub mod schedule;
 mod snapshot;
+pub mod spine;
 mod stats;
 mod tree;
 mod types;
@@ -50,6 +52,7 @@ pub use cdf::CdfPoint;
 pub use engine::{Engine, EngineConfig};
 #[cfg(feature = "invariant-audit")]
 pub use invariant::CertifiedSchedule;
+pub use kernels::{slice_min_max, slice_min_max_scalar};
 pub use merge::{
     collapse_targets, output_position, select_weighted, select_weighted_into, select_weighted_with,
     total_mass, SelectScratch, WeightedSource,
@@ -57,11 +60,15 @@ pub use merge::{
 pub use policy::{
     AdaptiveLowestLevel, AlsabtiRankaSingh, CollapseDecision, CollapsePolicy, MunroPaterson,
 };
+pub use radix::{
+    sort_fixed, try_sort_fixed, FixedWidthKey, RadixScratch, RADIX_MAX_LEN, RADIX_MIN_LEN,
+};
 pub use runs::{
     merge_sorted_runs, merge_sorted_runs_with, run_merge_limit, MergeScratch, RunTracker,
 };
 pub use schedule::{FixedRate, LeafCountSchedule, Mrl99Schedule, RateSchedule};
 pub use snapshot::{BufferSnapshot, EngineSnapshot};
+pub use spine::QuerySpine;
 pub use stats::TreeStats;
 pub use tree::{TreeNode, TreeRecorder};
 pub use types::OrderedF64;

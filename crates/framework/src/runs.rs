@@ -12,6 +12,10 @@
 //! random input), the tracker *saturates*: boundary recording stops, and
 //! sealing falls back to `sort_unstable`, which is the optimal tool for
 //! that shape — run tracking never costs more than the flag it replaced.
+//! For fixed-width key types the saturated fallback now routes through
+//! the radix kernel instead (see [`crate::radix`]).
+
+use crate::radix::{try_sort_fixed, RadixScratch};
 
 /// Records the start index of each maximal non-decreasing run in an
 /// append-only buffer.
@@ -104,6 +108,28 @@ impl RunTracker {
         }
         if self.is_saturated() {
             data.sort_unstable();
+        } else {
+            merge_sorted_runs_with(data, &self.starts, scratch);
+        }
+    }
+
+    /// As [`sort_data_with`](Self::sort_data_with), additionally routing
+    /// the saturated-tracker sort through the radix kernel when the
+    /// element type is fixed-width. The engine's seal path threads both
+    /// scratches from its arena.
+    pub fn sort_data_with_radix<T: Ord + Clone + 'static>(
+        &self,
+        data: &mut Vec<T>,
+        scratch: &mut MergeScratch<T>,
+        radix: &mut RadixScratch<T>,
+    ) {
+        if self.is_single_run() {
+            return;
+        }
+        if self.is_saturated() {
+            if !try_sort_fixed(data, radix) {
+                data.sort_unstable();
+            }
         } else {
             merge_sorted_runs_with(data, &self.starts, scratch);
         }

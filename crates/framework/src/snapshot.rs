@@ -70,7 +70,7 @@ pub struct EngineSnapshot<T, R> {
 
 impl<T, P, R> Engine<T, P, R>
 where
-    T: Ord + Clone,
+    T: Ord + Clone + 'static,
     P: CollapsePolicy,
     R: RateSchedule + Clone,
 {

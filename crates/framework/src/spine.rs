@@ -1,0 +1,217 @@
+//! The epoch-cached query spine: one merged weighted view serving many
+//! queries.
+//!
+//! `Output` "does not destroy or modify the state \[and\] can be invoked
+//! as many times as required" (§3.7) — but every prior revision of the
+//! engine paid the full cost of that invocation each time: clone and
+//! sort the in-progress fill, re-sort every deferred-seal slot, walk the
+//! weighted merge. A sketch that serves selectivity estimates to a query
+//! optimizer answers orders of magnitude more queries than it absorbs
+//! collapses, so the read path deserves the same treatment the write
+//! path got: do the expensive merge **once per state change**, not once
+//! per question.
+//!
+//! [`QuerySpine`] is that materialisation: every `(value, weight)` pair
+//! the engine's `Output` would consult, sorted ascending, with the
+//! weights folded into a cumulative array. Once built, each quantile
+//! query is a binary search over the cumulative weights
+//! ([`QuerySpine::lookup`]) and each rank/CDF query a binary search over
+//! the values ([`QuerySpine::rank`]) — `O(log(bk))` against the previous
+//! `O(bk log bk)`.
+//!
+//! Invalidation is by **epoch**: the engine increments a counter on
+//! every mutation (insert, batch insert, collapse, finish, snapshot
+//! restore), and the spine records the epoch it was built at. A spine
+//! whose epoch does not match the engine's is stale and is rebuilt on
+//! the next query; nothing is eagerly recomputed during ingest, so
+//! write-heavy workloads pay one untaken branch per insert and
+//! query-heavy workloads amortise one rebuild across an unbounded run of
+//! reads. The spine lives in the engine's scratch arena and retains its
+//! buffers across rebuilds, so steady-state operation allocates nothing.
+
+/// A merged, weight-cumulated snapshot of a sketch's queryable contents,
+/// tagged with the ingest epoch it was built from.
+///
+/// `values` is strictly ascending under `Ord` (ties are coalesced during
+/// the rebuild, their weights summed) and `cum[i]` is the total weight
+/// of `values[..=i]` — so the element at 1-indexed weighted position `t`
+/// is `values[partition_point(cum < t)]`, exactly the element the
+/// engine's weighted-merge selection would return.
+#[derive(Clone, Debug)]
+pub struct QuerySpine<T> {
+    values: Vec<T>,
+    cum: Vec<u64>,
+    /// Rebuild staging: the raw `(value, weight)` pairs before sorting
+    /// and coalescing. Retained for its capacity.
+    pairs: Vec<(T, u64)>,
+    built_epoch: u64,
+    valid: bool,
+}
+
+// Manual impl: the derive would demand `T: Default`, which empty vectors
+// do not need.
+impl<T> Default for QuerySpine<T> {
+    fn default() -> Self {
+        Self {
+            values: Vec::new(),
+            cum: Vec::new(),
+            pairs: Vec::new(),
+            built_epoch: 0,
+            valid: false,
+        }
+    }
+}
+
+impl<T: Ord + Clone> QuerySpine<T> {
+    /// True when the spine was built at `epoch` and can serve queries
+    /// without a rebuild.
+    pub fn is_current(&self, epoch: u64) -> bool {
+        self.valid && self.built_epoch == epoch
+    }
+
+    /// Drop the cached state (the next query rebuilds). Buffers keep
+    /// their capacity.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Rebuild the spine at `epoch` from the `(value, weight)` pairs
+    /// `fill` appends to the staging buffer. Sorts the pairs, coalesces
+    /// `Ord`-equal values (summing their weights, saturating) and
+    /// rewrites the value/cumulative arrays in place.
+    pub fn rebuild(&mut self, epoch: u64, fill: impl FnOnce(&mut Vec<(T, u64)>)) {
+        self.pairs.clear();
+        fill(&mut self.pairs);
+        self.pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        self.values.clear();
+        self.cum.clear();
+        let mut running: u64 = 0;
+        for (v, w) in self.pairs.drain(..) {
+            // Saturating: Σ weights is the stream mass, which weight
+            // conservation keeps ≤ the stream length; clamp rather than
+            // wrap if state is ever corrupted.
+            running = running.saturating_add(w);
+            if self.values.last() == Some(&v) {
+                if let Some(c) = self.cum.last_mut() {
+                    *c = running;
+                }
+            } else {
+                self.values.push(v);
+                self.cum.push(running);
+            }
+        }
+        self.built_epoch = epoch;
+        self.valid = true;
+    }
+
+    /// Total weighted mass of the spine (0 when empty).
+    pub fn total(&self) -> u64 {
+        self.cum.last().copied().unwrap_or(0)
+    }
+
+    /// Number of distinct stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the spine holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at 1-indexed weighted position `target` of the logical
+    /// sorted-with-multiplicity stream: the first value whose cumulative
+    /// weight reaches `target`. Targets beyond the total mass clamp to
+    /// the maximum; `None` only when the spine is empty.
+    pub fn lookup(&self, target: u64) -> Option<&T> {
+        let i = self.cum.partition_point(|&c| c < target);
+        self.values.get(i.min(self.values.len().saturating_sub(1)))
+    }
+
+    /// Weighted mass strictly below `value` and at-or-below `value` —
+    /// the numerators of the `x < v` / `x <= v` selectivities.
+    pub fn rank(&self, value: &T) -> (u64, u64) {
+        let below_end = self.values.partition_point(|v| v < value);
+        let at_most_end = self.values.partition_point(|v| v <= value);
+        let mass_through = |end: usize| {
+            end.checked_sub(1)
+                .and_then(|i| self.cum.get(i))
+                .copied()
+                .unwrap_or(0)
+        };
+        (mass_through(below_end), mass_through(at_most_end))
+    }
+
+    /// Ascending `(value, cumulative weight)` pairs — the stepwise CDF
+    /// in weighted-count form.
+    pub fn points(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.values.iter().zip(self.cum.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn built(pairs: &[(u64, u64)]) -> QuerySpine<u64> {
+        let mut s = QuerySpine::default();
+        s.rebuild(1, |out| out.extend_from_slice(pairs));
+        s
+    }
+
+    #[test]
+    fn coalesces_ties_and_accumulates() {
+        let s = built(&[(5, 2), (3, 1), (5, 4), (9, 1)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total(), 8);
+        assert_eq!(
+            s.points().collect::<Vec<_>>(),
+            vec![(&3, 1), (&5, 7), (&9, 8)]
+        );
+    }
+
+    #[test]
+    fn lookup_matches_expanded_stream() {
+        let s = built(&[(10, 3), (20, 2), (30, 1)]);
+        // Expanded: 10,10,10,20,20,30 at positions 1..=6.
+        let expanded = [10u64, 10, 10, 20, 20, 30];
+        for (i, want) in expanded.iter().enumerate() {
+            assert_eq!(s.lookup(i as u64 + 1), Some(want), "position {}", i + 1);
+        }
+        // Clamped beyond the mass; position 0 resolves to the minimum.
+        assert_eq!(s.lookup(100), Some(&30));
+        assert_eq!(s.lookup(0), Some(&10));
+    }
+
+    #[test]
+    fn rank_splits_below_and_at_most() {
+        let s = built(&[(10, 3), (20, 2), (30, 1)]);
+        assert_eq!(s.rank(&5), (0, 0));
+        assert_eq!(s.rank(&10), (0, 3));
+        assert_eq!(s.rank(&15), (3, 3));
+        assert_eq!(s.rank(&20), (3, 5));
+        assert_eq!(s.rank(&30), (5, 6));
+        assert_eq!(s.rank(&99), (6, 6));
+    }
+
+    #[test]
+    fn epochs_gate_currency() {
+        let mut s = built(&[(1, 1)]);
+        assert!(s.is_current(1));
+        assert!(!s.is_current(2));
+        s.invalidate();
+        assert!(!s.is_current(1));
+        s.rebuild(2, |out| out.push((7, 7)));
+        assert!(s.is_current(2));
+        assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn empty_spine_answers_safely() {
+        let s = built(&[]);
+        assert_eq!(s.total(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.lookup(1), None);
+        assert_eq!(s.rank(&5), (0, 0));
+    }
+}

@@ -11,7 +11,8 @@
 
 use mrl_framework::kernels::{
     merge_two, merge_two_scalar, select_merged_weighted, select_merged_weighted_spaced,
-    select_two_weighted, select_two_weighted_spaced, targets_single_crossing,
+    select_three_weighted_spaced, select_two_weighted, select_two_weighted_spaced,
+    targets_single_crossing,
 };
 use mrl_framework::{select_weighted, WeightedSource};
 use proptest::prelude::*;
@@ -142,6 +143,41 @@ proptest! {
     }
 
     #[test]
+    fn three_source_collapse_selection_matches_oracle(
+        raw_a in prop_vec(0u64..1_000, 0..40usize),
+        raw_b in prop_vec(0u64..1_000, 0..40usize),
+        raw_c in prop_vec(0u64..1_000, 0..40usize),
+        pat_a in any::<u8>(),
+        pat_b in any::<u8>(),
+        pat_c in any::<u8>(),
+        wa in 1u64..=4,
+        wb in 1u64..=4,
+        wc in 1u64..=4,
+        extra_spacing in 0u64..4,
+        first_frac in 0u64..8,
+    ) {
+        // The 3-source collapse shape served by the direct walk: three
+        // distinct (or colliding) weights, collapse-style spacing, and
+        // any mix of empty/non-empty sources — including lengths that
+        // force the walk's first exhaustion onto each source in turn and
+        // hand the remainder to the two-source core mid-run.
+        let a = shape(&raw_a, pat_a);
+        let b = shape(&raw_b, pat_b);
+        let c = shape(&raw_c, pat_c);
+        let total = a.len() as u64 * wa + b.len() as u64 * wb + c.len() as u64 * wc;
+        let spacing = wa + wb + wc + extra_spacing;
+        let first = 1 + first_frac % spacing;
+        let targets = spaced_targets(first, spacing, total);
+        let oracle = naive_select(&[(&a, wa), (&b, wb), (&c, wc)], &targets);
+
+        let mut out = Vec::new();
+        select_three_weighted_spaced(
+            &a, wa, &b, wb, &c, wc, first, spacing, targets.len(), &mut out,
+        );
+        prop_assert_eq!(out, oracle);
+    }
+
+    #[test]
     fn irregular_single_crossing_targets_match_oracle(
         raw_a in prop_vec(0u64..1_000, 1..40usize),
         raw_b in prop_vec(0u64..1_000, 1..40usize),
@@ -221,6 +257,29 @@ fn chunking_boundaries_are_invisible() {
                     &mut out,
                 );
                 assert_eq!(out, oracle, "merged spaced at ({la}, {lb}, {first})");
+
+                // Three-source walk with a third source whose length
+                // cycles the exhaustion order relative to (la, lb).
+                let wc = 1u64;
+                let mut c: Vec<u64> = (0..((la + lb) % 13) as u64).map(|i| i % 3).collect();
+                c.sort_unstable();
+                let total3 = total + c.len() as u64 * wc;
+                let spacing3 = wa + wb + wc;
+                let targets3 = spaced_targets(first, spacing3, total3);
+                let oracle3 = naive_select(&[(&a, wa), (&b, wb), (&c, wc)], &targets3);
+                select_three_weighted_spaced(
+                    &a,
+                    wa,
+                    &b,
+                    wb,
+                    &c,
+                    wc,
+                    first,
+                    spacing3,
+                    targets3.len(),
+                    &mut out,
+                );
+                assert_eq!(out, oracle3, "three-way spaced at ({la}, {lb}, {first})");
             }
         }
     }

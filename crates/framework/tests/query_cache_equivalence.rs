@@ -1,0 +1,95 @@
+//! Differential property tests for the epoch-cached query spine
+//! (DESIGN.md §3.13): two engines fed the identical interleaved
+//! insert/query sequence — one serving reads from the cached spine, one
+//! with the cache force-disabled so every read re-runs the direct
+//! weighted merge — must answer every `query_many`, `rank_of`, and `cdf`
+//! call identically, at every prefix of the stream and after `finish`.
+
+use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, Mrl99Schedule};
+use proptest::prelude::*;
+
+type E = Engine<u64, AdaptiveLowestLevel, Mrl99Schedule>;
+
+fn engines(b: usize, k: usize, seed: u64) -> (E, E) {
+    let cached = Engine::new(
+        EngineConfig::new(b, k),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        seed,
+    );
+    let mut direct = Engine::new(
+        EngineConfig::new(b, k),
+        AdaptiveLowestLevel,
+        Mrl99Schedule::new(2),
+        seed,
+    );
+    direct.set_query_cache_enabled(false);
+    (cached, direct)
+}
+
+fn assert_reads_agree(cached: &E, direct: &E, phis: &[f64], probe: u64) {
+    assert_eq!(cached.query_many(phis), direct.query_many(phis));
+    assert_eq!(cached.rank_of(&probe), direct.rank_of(&probe));
+    assert_eq!(cached.cdf(), direct.cdf());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interleaved_inserts_and_reads_answer_identically(
+        ops in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..500),
+        b in 2usize..6,
+        k_exp in 2u32..7,
+        seed in any::<u64>(),
+    ) {
+        let k = 1usize << k_exp;
+        let (mut cached, mut direct) = engines(b, k, seed);
+        let phis = [0.01, 0.25, 0.5, 0.75, 0.99];
+        for (value, op) in ops {
+            // Mostly inserts, with reads sprinkled at arbitrary prefixes
+            // (including mid-fill, right after seals, and after
+            // collapses) and occasional batch inserts.
+            match op % 8 {
+                0 => assert_reads_agree(&cached, &direct, &phis, value),
+                1 => {
+                    let batch = [value, value ^ 0xFF, value % 97];
+                    cached.insert_batch(&batch);
+                    direct.insert_batch(&batch);
+                }
+                _ => {
+                    cached.insert(value);
+                    direct.insert(value);
+                }
+            }
+        }
+        assert_reads_agree(&cached, &direct, &phis, 42);
+        // Repeated reads with no interleaved ingest hit the warm spine.
+        assert_reads_agree(&cached, &direct, &phis, 7);
+        cached.finish();
+        direct.finish();
+        assert_reads_agree(&cached, &direct, &phis, 42);
+        prop_assert_eq!(cached.ingest_epoch(), direct.ingest_epoch());
+    }
+
+    #[test]
+    fn reenabling_the_cache_rebuilds_a_fresh_spine(
+        items in proptest::collection::vec(any::<u64>(), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let (mut cached, mut direct) = engines(3, 32, seed);
+        for chunk in items.chunks(3) {
+            cached.insert_batch(chunk);
+            direct.insert_batch(chunk);
+        }
+        // Warm the spine, disable (dropping it), re-enable, and read
+        // again: the rebuilt spine must match the direct path.
+        let phis = [0.1, 0.5, 0.9];
+        prop_assert_eq!(cached.query_many(&phis), direct.query_many(&phis));
+        cached.set_query_cache_enabled(false);
+        prop_assert_eq!(cached.query_many(&phis), direct.query_many(&phis));
+        cached.set_query_cache_enabled(true);
+        prop_assert_eq!(cached.query_many(&phis), direct.query_many(&phis));
+        prop_assert_eq!(cached.cdf(), direct.cdf());
+    }
+}

@@ -1,7 +1,9 @@
 //! The coordinator ("Processor P₀") of §6.
 
+use std::cell::RefCell;
+
 use mrl_framework::{
-    collapse_targets, output_position, select_weighted, total_mass, Buffer, BufferState,
+    collapse_targets, output_position, select_weighted, Buffer, BufferState, QuerySpine,
     WeightedSource,
 };
 use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
@@ -24,9 +26,16 @@ pub struct Coordinator<T> {
     collapses: u64,
     total_weight_shipped: u64,
     rng: SketchRng,
+    /// Ingest epoch: bumped on every shipment so queries know when the
+    /// cached spine below is stale (same scheme as the engine's).
+    epoch: u64,
+    /// Epoch-cached merged view of `full` + `staging`: the first query
+    /// after a shipment materialises it once; repeated `query_many` /
+    /// `rank_of` calls are then binary searches until the next shipment.
+    spine: RefCell<QuerySpine<T>>,
 }
 
-impl<T: Ord + Clone> Coordinator<T> {
+impl<T: Ord + Clone + 'static> Coordinator<T> {
     /// Create a coordinator with `b ≥ 2` slots of `k` elements.
     ///
     /// # Panics
@@ -43,6 +52,8 @@ impl<T: Ord + Clone> Coordinator<T> {
             collapses: 0,
             total_weight_shipped: 0,
             rng: rng_from_seed(seed),
+            epoch: 0,
+            spine: RefCell::new(QuerySpine::default()),
         }
     }
 
@@ -92,6 +103,7 @@ impl<T: Ord + Clone> Coordinator<T> {
             buffer.len() <= self.k,
             "shipped buffer exceeds coordinator k"
         );
+        self.epoch = self.epoch.wrapping_add(1);
         self.total_weight_shipped += buffer.mass();
         match buffer.state() {
             BufferState::Full => {
@@ -248,67 +260,59 @@ impl<T: Ord + Clone> Coordinator<T> {
         self.query_many(&[phi]).map(|mut v| v.remove(0))
     }
 
-    /// Several quantiles in one merge pass, in caller order.
-    // panic-free: `original` indices come from zip(0..) over phis, and
-    // select_weighted returns one value per target, so every out slot is
-    // written exactly once before the expect.
+    /// Several quantiles over the epoch-cached spine, in caller order.
+    ///
+    /// The first query after a shipment merges `full` + `staging` into the
+    /// spine once (replacing the old per-call multi-source merge, which
+    /// also re-sorted a clone of the staging buffer every call); every
+    /// later query until the next shipment is one binary search per φ.
     pub fn query_many(&self, phis: &[f64]) -> Option<Vec<T>> {
-        let staged_sorted;
-        let mut sources: Vec<WeightedSource<'_, T>> = self
-            .full
-            .iter()
-            .map(|(data, w, _)| WeightedSource::new(data, *w))
-            .collect();
-        if let Some((staged, w)) = &self.staging {
-            let mut s = staged.clone();
-            s.sort_unstable();
-            staged_sorted = s;
-            sources.push(WeightedSource::new(&staged_sorted, *w));
-        }
-        let mass = total_mass(&sources);
-        if mass == 0 {
-            return None;
-        }
-        let mut order: Vec<(u64, usize)> = phis
-            .iter()
-            .map(|&phi| output_position(phi, mass))
-            .zip(0..)
-            .collect();
-        // Callers overwhelmingly pass ascending phis, whose positions are
-        // already sorted — skip the per-call sort then.
-        if !order.is_sorted() {
-            order.sort_unstable();
-        }
-        let targets: Vec<u64> = order.iter().map(|&(p, _)| p).collect();
-        let picked = select_weighted(&sources, &targets);
-        let mut out: Vec<Option<T>> = vec![None; phis.len()];
-        for ((_, original), value) in order.into_iter().zip(picked) {
-            out[original] = Some(value);
-        }
-        Some(out.into_iter().map(|v| v.expect("filled")).collect())
+        self.with_current_spine(|spine| {
+            let s = spine.total();
+            if s == 0 {
+                return None;
+            }
+            let mut out = Vec::with_capacity(phis.len());
+            for &phi in phis {
+                out.push(spine.lookup(output_position(phi, s))?.clone());
+            }
+            Some(out)
+        })
     }
 
     /// Approximate selectivities of `x < v` / `x <= v` over the aggregate
     /// (fractions of the total mass). `None` before any buffer arrives.
+    /// Served from the same epoch-cached spine as [`Coordinator::query_many`].
     pub fn rank_of(&self, value: &T) -> Option<(f64, f64)> {
-        let mass = self.mass();
-        if mass == 0 {
-            return None;
+        self.with_current_spine(|spine| {
+            let s = spine.total();
+            if s == 0 {
+                return None;
+            }
+            let (below, at_most) = spine.rank(value);
+            Some((below as f64 / s as f64, at_most as f64 / s as f64))
+        })
+    }
+
+    /// Run `f` against the spine, rebuilding it first if a shipment has
+    /// arrived since it was last materialised.
+    fn with_current_spine<U>(&self, f: impl FnOnce(&QuerySpine<T>) -> U) -> U {
+        let mut spine = self.spine.borrow_mut();
+        if !spine.is_current(self.epoch) {
+            spine.rebuild(self.epoch, |pairs| {
+                for (data, w, _) in &self.full {
+                    for v in data {
+                        pairs.push((v.clone(), *w));
+                    }
+                }
+                if let Some((staged, w)) = &self.staging {
+                    for v in staged {
+                        pairs.push((v.clone(), *w));
+                    }
+                }
+            });
         }
-        let staged_sorted;
-        let mut sources: Vec<WeightedSource<'_, T>> = self
-            .full
-            .iter()
-            .map(|(data, w, _)| WeightedSource::new(data, *w))
-            .collect();
-        if let Some((staged, w)) = &self.staging {
-            let mut s = staged.clone();
-            s.sort_unstable();
-            staged_sorted = s;
-            sources.push(WeightedSource::new(&staged_sorted, *w));
-        }
-        let (below, at_most) = mrl_framework::cdf::rank_of_sources(&sources, value);
-        Some((below as f64 / mass as f64, at_most as f64 / mass as f64))
+        f(&spine)
     }
 
     /// Total weighted mass currently represented.

@@ -20,7 +20,7 @@ use crate::Coordinator;
 /// Extract a coordinator's state as shippable buffers (full buffers plus
 /// at most one partial from the staging area), for forwarding to a
 /// higher-level coordinator.
-pub fn ship_upward<T: Ord + Clone>(coordinator: Coordinator<T>) -> Vec<Buffer<T>> {
+pub fn ship_upward<T: Ord + Clone + 'static>(coordinator: Coordinator<T>) -> Vec<Buffer<T>> {
     coordinator.into_buffers()
 }
 
@@ -31,7 +31,7 @@ pub fn ship_upward<T: Ord + Clone>(coordinator: Coordinator<T>) -> Vec<Buffer<T>
 ///
 /// # Panics
 /// Panics if `group_size == 0` or `worker_outputs` is empty.
-pub fn merge_hierarchical<T: Ord + Clone>(
+pub fn merge_hierarchical<T: Ord + Clone + 'static>(
     worker_outputs: Vec<Vec<Buffer<T>>>,
     group_size: usize,
     b: usize,

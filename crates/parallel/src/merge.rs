@@ -19,7 +19,7 @@ use crate::Coordinator;
 ///
 /// # Panics
 /// Panics if `sketches` is empty or configurations disagree.
-pub fn merge_sketches<T: Ord + Clone>(
+pub fn merge_sketches<T: Ord + Clone + 'static>(
     sketches: Vec<UnknownN<T>>,
     seed: u64,
 ) -> Option<Coordinator<T>> {

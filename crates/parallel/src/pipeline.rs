@@ -466,7 +466,7 @@ pub struct ShardedOutcome<T> {
     telemetry: PipelineTelemetry,
 }
 
-impl<T: Ord + Clone> ShardedOutcome<T> {
+impl<T: Ord + Clone + 'static> ShardedOutcome<T> {
     /// The φ-quantile of the whole stream. `None` for an empty stream.
     pub fn query(&self, phi: f64) -> Option<T> {
         self.coordinator.query(phi)

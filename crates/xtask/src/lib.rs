@@ -324,6 +324,11 @@ const ALLOWLIST: &[(&str, &str, &str)] = &[
     ),
     (
         "MRL-L004",
+        "crates/framework/src/spine.rs",
+        "query-spine rebuild sorts the weighted view once per ingest epoch",
+    ),
+    (
+        "MRL-L004",
         "crates/parallel/src/coordinator.rs",
         "cross-shard shipment merge is a collapse",
     ),
