@@ -2,9 +2,11 @@
 //! (the `engine_rate1_batched` configuration from the throughput bench,
 //! the worst case for instrumentation since every element is sealed and
 //! collapsed) run A/B with the recorder disabled, attached to a no-op
-//! recorder, and attached to the lock-free in-memory recorder. The
+//! recorder, attached to the lock-free in-memory recorder, and with the
+//! flight-recorder journal attached (every seal and collapse pushed into
+//! the per-thread event ring, with provenance and clock reads). The
 //! acceptance bar is disabled-vs-baseline overhead within noise and
-//! in-memory overhead within a few percent (BENCH_obs.json).
+//! journal-attached overhead under 5% (BENCH_obs.json).
 
 use std::sync::Arc;
 
@@ -12,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use mrl_datagen::{ValueDistribution, WorkloadStream};
 use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, FixedRate};
-use mrl_obs::{InMemoryRecorder, MetricsHandle};
+use mrl_obs::{EventJournal, InMemoryRecorder, JournalHandle, MetricsHandle};
 
 const N: u64 = 1_000_000;
 
@@ -71,6 +73,27 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.bench_function("engine_rate1_batched_in_memory_recorder", |b| {
         b.iter_batched(
             || engine_with(MetricsHandle::new(Arc::new(InMemoryRecorder::new()))),
+            |mut e| {
+                run(&mut e, &data);
+                e
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Flight recorder attached (metrics disabled): every seal and collapse
+    // pushes a structured event — with collapse provenance, so several
+    // slots per collapse — into the per-thread ring, each stamped with a
+    // clock read. The journal outlives the engine so the ring keeps its
+    // claimed slot across iterations (the steady-state shape).
+    let journal = Arc::new(EventJournal::new());
+    group.bench_function("engine_rate1_batched_journal_attached", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine_with(MetricsHandle::disabled());
+                e.set_journal(JournalHandle::new(Arc::clone(&journal)));
+                e
+            },
             |mut e| {
                 run(&mut e, &data);
                 e

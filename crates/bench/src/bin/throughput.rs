@@ -18,11 +18,19 @@
 //! cache force-disabled) and records queries/sec in the JSON; `--label`
 //! tags the report (e.g. `baseline` / `this_pr`) so two runs can be
 //! merged into one A/B file; `--out` writes JSON to a file instead of
-//! stdout only.
+//! stdout only; `--trace PATH` writes a chrome-trace (Perfetto-loadable)
+//! JSON of the journal-attached rate-1 run's flight-recorder events.
+//!
+//! Every report also carries a `journal` section: interleaved rate-1
+//! pairs with the flight recorder detached vs attached, so the recorder's
+//! ingest overhead is re-measured in the same session as the headline
+//! numbers.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mrl_framework::{AdaptiveLowestLevel, Engine, EngineConfig, FixedRate};
+use mrl_obs::{EventJournal, JournalHandle};
 
 use mrl_datagen::{ValueDistribution, WorkloadStream};
 
@@ -38,6 +46,7 @@ struct Args {
     queries: bool,
     label: String,
     out: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +55,7 @@ fn parse_args() -> Args {
         queries: false,
         label: "current".to_string(),
         out: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,9 +64,13 @@ fn parse_args() -> Args {
             "--queries" => args.queries = true,
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = Some(it.next().expect("--out needs a value")),
+            "--trace" => args.trace = Some(it.next().expect("--trace needs a value")),
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: throughput [--smoke] [--queries] [--label NAME] [--out PATH]");
+                eprintln!(
+                    "usage: throughput [--smoke] [--queries] [--label NAME] [--out PATH] \
+                     [--trace PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -87,6 +101,30 @@ fn run_once(data: &[u64], rate: u64) -> f64 {
     }
     let ms = started.elapsed().as_secs_f64() * 1e3;
     // Keep the engine observable so the loop cannot be optimised away.
+    std::hint::black_box(engine.n());
+    ms
+}
+
+/// As [`run_once`] with the flight recorder attached: every seal and
+/// collapse (with provenance) lands in the journal's per-thread ring, and
+/// the whole ingest is wrapped in an `ingest` span so the exported trace
+/// has a top-level track entry.
+fn run_once_journaled(data: &[u64], rate: u64, journal: &JournalHandle) -> f64 {
+    let started = Instant::now();
+    let mut engine = Engine::new(
+        EngineConfig::new(NUM_BUFFERS, BUFFER_SIZE),
+        AdaptiveLowestLevel,
+        FixedRate::new(rate),
+        1,
+    );
+    engine.set_journal(journal.clone());
+    {
+        let _span = journal.span("ingest");
+        for chunk in data.chunks(CHUNK) {
+            engine.insert_batch(chunk);
+        }
+    }
+    let ms = started.elapsed().as_secs_f64() * 1e3;
     std::hint::black_box(engine.n());
     ms
 }
@@ -168,10 +206,47 @@ struct QuerySection {
 }
 
 #[derive(serde::Serialize)]
+struct JournalSection {
+    description: String,
+    rate: u64,
+    interleaved_pairs: usize,
+    detached_runs_ms: Vec<f64>,
+    attached_runs_ms: Vec<f64>,
+    detached_median_ms: f64,
+    attached_median_ms: f64,
+    detached_min_ms: f64,
+    attached_min_ms: f64,
+    /// `(attached_min / detached_min − 1) · 100` — supplementary: the
+    /// ratio of each variant's fastest run. Jumpier than the paired
+    /// median at this pair count (one lucky run moves it), but useful as
+    /// a floor-vs-floor cross-check.
+    min_overhead_pct: f64,
+    /// Per-pair `(attached / detached − 1) · 100`, one entry per
+    /// back-to-back pair (execution order alternates to cancel drift).
+    pair_overheads_pct: Vec<f64>,
+    /// Median of `pair_overheads_pct`: the flight recorder's ingest
+    /// overhead at rate 1 (acceptance bar: < 5%). The paired statistic —
+    /// not a ratio of the two medians — because a 20 ms ingest spans
+    /// scheduler ticks and individual runs carry large preemption noise;
+    /// pairing runs back-to-back and taking the median ratio over ~20
+    /// pairs outvotes the hiccups on both sides.
+    overhead_pct: f64,
+    /// Events still resident in the ring after the last attached run.
+    events_captured: usize,
+    /// Events overwritten across the section: the journal deliberately
+    /// outlives all attached runs (its final drain feeds `--trace`), so
+    /// with ~14k events per run cycling through one fixed ring, all but
+    /// the newest ring-full are overwritten by design.
+    events_lost: u64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     description: String,
     meta: Meta,
     results: Vec<RateResult>,
+    /// Same-session interleaved A/B of the flight recorder at rate 1.
+    journal: JournalSection,
     /// `null` unless the run passed `--queries`.
     query_throughput: Option<QuerySection>,
 }
@@ -213,6 +288,95 @@ fn main() {
             max_ms,
             elements_per_sec_median: n as f64 / (median_ms / 1e3),
         });
+    }
+
+    // Flight-recorder A/B: interleaved detached/attached rate-1 pairs, so
+    // both variants see the same thermal and cache conditions. The journal
+    // outlives the loop; the final drain feeds `--trace`.
+    let journal_store = Arc::new(EventJournal::new());
+    let journal_handle = JournalHandle::new(Arc::clone(&journal_store));
+    journal_handle.name_thread("harness", None);
+    let journal = {
+        // Several times the per-rate run count (made odd for a clean
+        // median): the min estimator below needs enough runs per variant
+        // for at least one of each to dodge preemption entirely.
+        let pairs = runs * 3 + 1;
+        for _ in 0..warmup {
+            run_once(&data, 1);
+            run_once_journaled(&data, 1, &journal_handle);
+        }
+        let mut detached_runs_ms = Vec::with_capacity(pairs);
+        let mut attached_runs_ms = Vec::with_capacity(pairs);
+        for i in 0..pairs {
+            // Alternate execution order within the pair so any systematic
+            // first-vs-second bias (turbo ramp, cache residue) cancels
+            // across pairs instead of loading onto one variant.
+            if i % 2 == 0 {
+                detached_runs_ms.push(run_once(&data, 1));
+                attached_runs_ms.push(run_once_journaled(&data, 1, &journal_handle));
+            } else {
+                attached_runs_ms.push(run_once_journaled(&data, 1, &journal_handle));
+                detached_runs_ms.push(run_once(&data, 1));
+            }
+        }
+        let median = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.total_cmp(b));
+            s[s.len() / 2]
+        };
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let detached_median_ms = median(&detached_runs_ms);
+        let attached_median_ms = median(&attached_runs_ms);
+        let detached_min_ms = min(&detached_runs_ms);
+        let attached_min_ms = min(&attached_runs_ms);
+        let mut pair_overheads_pct: Vec<f64> = detached_runs_ms
+            .iter()
+            .zip(&attached_runs_ms)
+            .map(|(d, a)| (a / d - 1.0) * 100.0)
+            .collect();
+        let overhead_pct = median(&pair_overheads_pct);
+        let min_overhead_pct = (attached_min_ms / detached_min_ms - 1.0) * 100.0;
+        for v in detached_runs_ms
+            .iter_mut()
+            .chain(&mut attached_runs_ms)
+            .chain(&mut pair_overheads_pct)
+        {
+            *v = (*v * 1000.0).round() / 1000.0;
+        }
+        let dump = journal_store.drain();
+        eprintln!(
+            "journal rate 1: detached median {detached_median_ms:.3} ms, attached median \
+             {attached_median_ms:.3} ms ({overhead_pct:+.1}% paired-median overhead, \
+             {min_overhead_pct:+.1}% by min, {} events resident)",
+            dump.event_count()
+        );
+        JournalSection {
+            description: format!(
+                "Flight-recorder ingest overhead at rate 1 over the same {n}-element \
+                 stream: {pairs} back-to-back pairs of run_once (journal detached) vs \
+                 run_once_journaled (journal attached: every seal/collapse journalled \
+                 with provenance and timestamps, ingest wrapped in a span), execution \
+                 order alternating; overhead_pct is the median per-pair ratio."
+            ),
+            rate: 1,
+            interleaved_pairs: pairs,
+            detached_runs_ms,
+            attached_runs_ms,
+            detached_median_ms,
+            attached_median_ms,
+            detached_min_ms,
+            attached_min_ms,
+            min_overhead_pct,
+            pair_overheads_pct,
+            overhead_pct,
+            events_captured: dump.event_count(),
+            events_lost: dump.lost(),
+        }
+    };
+    if let Some(path) = &args.trace {
+        let trace = mrl_obs::export::perfetto::to_chrome_trace(&journal_store);
+        std::fs::write(path, trace).expect("write trace");
+        eprintln!("wrote chrome trace to {path} (open in https://ui.perfetto.dev)");
     }
 
     let meta = Meta {
@@ -309,6 +473,7 @@ fn main() {
         ),
         meta,
         results,
+        journal,
         query_throughput,
     };
     let json = serde_json::to_string(&report).expect("report serialises");

@@ -36,6 +36,12 @@ pub struct Args {
     /// Also emit interim telemetry every `stats_interval` parsed values
     /// (0 = final report only). Requires `--stats`.
     pub stats_interval: u64,
+    /// Attach the flight recorder and write a chrome-trace
+    /// (Perfetto-loadable) JSON file here at end-of-run.
+    pub trace: Option<String>,
+    /// Write the final metrics snapshot here in Prometheus text
+    /// exposition format at end-of-run.
+    pub prom: Option<String>,
     /// Print the help text and exit.
     pub help: bool,
 }
@@ -52,6 +58,8 @@ impl Default for Args {
             float: false,
             stats: None,
             stats_interval: 0,
+            trace: None,
+            prom: None,
             help: false,
         }
     }
@@ -89,6 +97,10 @@ OPTIONS:
     --stats-interval <u64>
                       also emit interim telemetry every N parsed values
                       (requires --stats)                    [default: off]
+    --trace <path>    attach the flight recorder and write a chrome-trace
+                      JSON file (open in https://ui.perfetto.dev)
+    --prom <path>     write the final metrics snapshot in Prometheus text
+                      exposition format
     --help            show this text
 
 Input lines that do not parse are counted and skipped. Values are read as
@@ -164,6 +176,8 @@ impl Args {
                         .parse()
                         .map_err(|e| ParseError(format!("--stats-interval: {e}")))?;
                 }
+                "--trace" => args.trace = Some(value_for("--trace")?),
+                "--prom" => args.prom = Some(value_for("--prom")?),
                 "--help" | "-h" => args.help = true,
                 other if other.starts_with("--stats=") => {
                     return Err(ParseError(format!(
@@ -194,6 +208,12 @@ impl Args {
             return Err(ParseError(
                 "--stats-interval requires --stats (nothing to emit otherwise)".into(),
             ));
+        }
+        if args.trace.as_deref() == Some("") {
+            return Err(ParseError("--trace requires a non-empty path".into()));
+        }
+        if args.prom.as_deref() == Some("") {
+            return Err(ParseError("--prom requires a non-empty path".into()));
         }
         Ok(args)
     }
@@ -295,6 +315,20 @@ mod tests {
         assert_eq!(a.stats_interval, 5000);
         assert!(Args::parse(["--stats-interval", "5000"]).is_err());
         assert!(Args::parse(["--stats", "--stats-interval", "x"]).is_err());
+    }
+
+    #[test]
+    fn trace_and_prom_take_paths() {
+        let a = Args::parse(["--trace", "/tmp/t.json", "--prom", "/tmp/m.prom"]).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(a.prom.as_deref(), Some("/tmp/m.prom"));
+        let d = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(d.trace, None);
+        assert_eq!(d.prom, None);
+        assert!(Args::parse(["--trace"]).is_err());
+        assert!(Args::parse(["--prom"]).is_err());
+        assert!(Args::parse(["--trace", ""]).is_err());
+        assert!(Args::parse(["--prom", ""]).is_err());
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use mrl_core::{EpsilonAudit, OptimizerOptions, OrderedF64, UnknownN};
-use mrl_obs::{InMemoryRecorder, MetricsHandle, MetricsSnapshot};
+use mrl_obs::{
+    install_panic_hook, EventJournal, InMemoryRecorder, JournalHandle, MetricsHandle,
+    MetricsSnapshot,
+};
 use mrl_parallel::{PipelineTelemetry, ShardedSketch};
 use serde::{Deserialize, Serialize};
 
@@ -69,30 +72,67 @@ pub struct StatsReport {
     pub metrics: MetricsSnapshot,
 }
 
-/// Telemetry plumbing for one run: owns the recorder (when `--stats` is
-/// on) and the stream reports are written to.
+/// Telemetry plumbing for one run: owns the recorder (when `--stats` or
+/// `--prom` is on), the flight-recorder journal (when `--trace` is on),
+/// and the stream reports are written to.
 struct StatsSink<S: Write> {
     format: Option<StatsFormat>,
     recorder: Option<Arc<InMemoryRecorder>>,
+    journal: Option<Arc<EventJournal>>,
+    trace_path: Option<String>,
+    prom_path: Option<String>,
     out: S,
 }
 
 impl<S: Write> StatsSink<S> {
     fn new(args: &Args, out: S) -> Self {
+        let journal = args.trace.as_ref().map(|_| {
+            let journal = Arc::new(EventJournal::new());
+            // A panicking run still yields diagnostics: the hook drains the
+            // journal's tail to stderr before the default backtrace.
+            install_panic_hook(&journal);
+            journal
+        });
         Self {
             format: args.stats,
-            recorder: args.stats.map(|_| Arc::new(InMemoryRecorder::new())),
+            recorder: (args.stats.is_some() || args.prom.is_some())
+                .then(|| Arc::new(InMemoryRecorder::new())),
+            journal,
+            trace_path: args.trace.clone(),
+            prom_path: args.prom.clone(),
             out,
         }
     }
 
     /// The handle instrumented code should publish through: a real one
-    /// when `--stats` is on, otherwise the zero-overhead disabled handle.
+    /// when `--stats` or `--prom` is on, otherwise the zero-overhead
+    /// disabled handle.
     fn handle(&self) -> MetricsHandle {
         match &self.recorder {
             Some(r) => MetricsHandle::new(r.clone()),
             None => MetricsHandle::disabled(),
         }
+    }
+
+    /// The flight-recorder handle: recording when `--trace` is on,
+    /// otherwise the one-branch disabled handle.
+    fn journal_handle(&self) -> JournalHandle {
+        match &self.journal {
+            Some(j) => JournalHandle::new(Arc::clone(j)),
+            None => JournalHandle::disabled(),
+        }
+    }
+
+    /// End-of-run artefact export: the chrome-trace JSON (`--trace`) and
+    /// the Prometheus text-exposition snapshot (`--prom`).
+    fn export(&self) -> std::io::Result<()> {
+        if let (Some(path), Some(journal)) = (&self.trace_path, &self.journal) {
+            std::fs::write(path, mrl_obs::export::perfetto::to_chrome_trace(journal))?;
+        }
+        if let (Some(path), Some(recorder)) = (&self.prom_path, &self.recorder) {
+            std::fs::write(path, recorder.snapshot().to_prometheus())?;
+        }
+        Ok(())
     }
 
     fn emit(
@@ -144,7 +184,17 @@ impl<S: Write> StatsSink<S> {
                         p.merged.collapses
                     )?;
                 }
-                self.out.write_all(report.metrics.render_text().as_bytes())
+                self.out
+                    .write_all(report.metrics.render_text().as_bytes())?;
+                if report.metrics.dropped > 0 {
+                    writeln!(
+                        self.out,
+                        "  warning: recorder dropped {} metric updates (key table \
+                         full); the series above undercount",
+                        report.metrics.dropped
+                    )?;
+                }
+                Ok(())
             }
         }
     }
@@ -179,6 +229,8 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
     stats: S,
 ) -> std::io::Result<Summary> {
     let mut stats = StatsSink::new(args, stats);
+    let journal = stats.journal_handle();
+    journal.name_thread("driver", None);
     let opts = if cfg!(debug_assertions) {
         OptimizerOptions::fast()
     } else {
@@ -191,6 +243,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
         let mut sketch =
             UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
         sketch.set_metrics(stats.handle());
+        sketch.set_journal(journal.clone());
         let mut skipped = 0u64;
         for line in input.lines() {
             let line = line?;
@@ -226,6 +279,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
         )?;
         report_skipped(skipped, &mut output)?;
         stats.emit(sketch.n(), Some(sketch.publish_audit()), None, false)?;
+        stats.export()?;
         Ok(Summary {
             n: sketch.n(),
             skipped,
@@ -236,13 +290,14 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
         // Sharded bulk mode: chunks are dealt round-robin to a worker pool
         // over bounded channels, and the shards' final buffers merge at a
         // §6 coordinator.
-        let mut sketch = ShardedSketch::<T>::new_with_metrics(
+        let mut sketch = ShardedSketch::<T>::new_with_obs(
             args.shards,
             args.epsilon,
             args.delta,
             opts,
             args.seed,
             stats.handle(),
+            journal.clone(),
         );
         let mut dispatched = 0u64;
         let mut next_emit = interval_start(args.stats_interval);
@@ -273,6 +328,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
             Some(outcome.telemetry().clone()),
             false,
         )?;
+        stats.export()?;
         Ok(Summary {
             n: outcome.total_n(),
             skipped,
@@ -285,6 +341,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
         let mut sketch =
             UnknownN::<T>::with_options(args.epsilon, args.delta, opts).with_seed(args.seed);
         sketch.set_metrics(stats.handle());
+        sketch.set_journal(journal.clone());
         let mut next_emit = interval_start(args.stats_interval);
         let skipped = ingest_lines(input, |chunk: &[T]| {
             sketch.insert_batch(chunk);
@@ -303,6 +360,7 @@ fn run_typed<T: CliValue, R: BufRead, W: Write, S: Write>(
         )?;
         report_skipped(skipped, &mut output)?;
         stats.emit(sketch.n(), Some(sketch.publish_audit()), None, false)?;
+        stats.export()?;
         Ok(Summary {
             n: sketch.n(),
             skipped,
@@ -623,6 +681,44 @@ mod tests {
         assert_eq!(reports[0].n, 40);
         assert_eq!(reports[1].n, 80);
         assert_eq!(reports[2].n, 100);
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_trace_json_with_shard_tracks() {
+        let path = std::env::temp_dir().join(format!("mrl_cli_trace_{}.json", std::process::id()));
+        let mut args = args_with_phis(&[0.5]);
+        args.shards = 2;
+        args.trace = Some(path.to_string_lossy().into_owned());
+        let input: String = (0..20_000u64).map(|i| format!("{i}\n")).collect();
+        let (summary, _) = run_on(&input, &args);
+        assert_eq!(summary.n, 20_000);
+        let text = std::fs::read_to_string(&path).expect("--trace wrote the file");
+        std::fs::remove_file(&path).ok();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.contains("\"name\":\"driver\""), "producer ring named");
+        assert!(text.contains("\"name\":\"shard[0]\""), "worker rings named");
+        assert!(text.contains("\"name\":\"shard.dispatch\""), "{summary:?}");
+        assert!(
+            text.contains("\"name\":\"seal\""),
+            "engine events flow through"
+        );
+        let parsed: serde::Value = serde_json::from_str(&text).expect("valid JSON trace");
+        assert!(matches!(parsed, serde::Value::Object(_)));
+    }
+
+    #[test]
+    fn prom_flag_writes_exposition_text_without_stats() {
+        let path = std::env::temp_dir().join(format!("mrl_cli_prom_{}.prom", std::process::id()));
+        let mut args = args_with_phis(&[0.5]);
+        args.prom = Some(path.to_string_lossy().into_owned());
+        assert!(args.stats.is_none(), "--prom alone must create a recorder");
+        let input: String = (0..20_000u64).map(|i| format!("{i}\n")).collect();
+        run_on(&input, &args);
+        let text = std::fs::read_to_string(&path).expect("--prom wrote the file");
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("# TYPE"), "{text}");
+        assert!(text.contains("engine_collapses"), "{text}");
+        assert!(text.contains("mrl_obs_dropped_updates"), "{text}");
     }
 
     #[test]

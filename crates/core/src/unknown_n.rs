@@ -192,6 +192,18 @@ impl<T: Ord + Clone + 'static> UnknownN<T> {
         self.engine.metrics()
     }
 
+    /// Attach a flight-recorder journal: the engine emits structured
+    /// seal/collapse/rate/spine lifecycle events through it (see
+    /// [`mrl_obs::EventKind`]). Disabled by default.
+    pub fn set_journal(&mut self, journal: mrl_obs::JournalHandle) {
+        self.engine.set_journal(journal);
+    }
+
+    /// The attached journal handle (disabled by default).
+    pub fn journal(&self) -> &mrl_obs::JournalHandle {
+        self.engine.journal()
+    }
+
     /// A point-in-time reading of the ε-budget consumption: the Lemma 4
     /// tree bound against the allowed `ε·N`, plus the Hoeffding `X` term
     /// governing the sampling error (see [`EpsilonAudit`]).

@@ -12,7 +12,7 @@
 //! stream, which is what makes the algorithm suitable for online
 //! aggregation (§3.7, \[Hel97\]).
 
-use mrl_obs::{Key, MetricsHandle};
+use mrl_obs::{CollapsePath, EventKind, JournalHandle, Key, MetricsHandle, SealKernel};
 use mrl_sampling::{rng_from_seed, BlockSampler, SketchRng};
 
 use crate::arena::ScratchArena;
@@ -147,6 +147,11 @@ pub struct Engine<T, P, R> {
     scratch: ScratchArena<T>,
     stats: TreeStats,
     metrics: MetricsHandle,
+    /// Flight-recorder handle: structured lifecycle events (seals,
+    /// collapses with provenance, rate transitions, spine rebuilds) at
+    /// the same once-per-`k`-elements granularity as the metrics.
+    /// Disabled by default — one predicted branch per site.
+    journal: JournalHandle,
     recorder: Option<TreeRecorder>,
     slot_nodes: Vec<Option<usize>>,
     sample_tap: Option<Vec<(T, u64)>>,
@@ -225,6 +230,7 @@ where
             scratch: ScratchArena::default(),
             stats: TreeStats::default(),
             metrics: MetricsHandle::disabled(),
+            journal: JournalHandle::disabled(),
             recorder: None,
             slot_nodes: Vec::new(),
             sample_tap: None,
@@ -288,6 +294,19 @@ where
         &self.metrics
     }
 
+    /// Attach a flight-recorder journal (see [`mrl_obs::EventKind`] for
+    /// the emitted events). The default handle is disabled and costs one
+    /// predicted branch per seal/collapse; may be attached or swapped at
+    /// any point.
+    pub fn set_journal(&mut self, journal: JournalHandle) {
+        self.journal = journal;
+    }
+
+    /// The attached journal handle (disabled by default).
+    pub fn journal(&self) -> &JournalHandle {
+        &self.journal
+    }
+
     /// The current ingest epoch (see the `epoch` field): changes exactly
     /// when a query could start observing different state.
     pub fn ingest_epoch(&self) -> u64 {
@@ -301,6 +320,8 @@ where
         self.query_cache = enabled;
         if !enabled {
             self.scratch.spine.borrow_mut().invalidate();
+            self.journal
+                .record(EventKind::SpineInvalidate { epoch: self.epoch });
         }
     }
 
@@ -320,9 +341,21 @@ where
         }
         let mut spine = self.scratch.spine.borrow_mut();
         if !spine.is_current(self.epoch) {
+            let rebuild_begin = self.journal.now_ns();
             spine.rebuild(self.epoch, |pairs| {
                 self.for_each_weighted(|v, w| pairs.push((v.clone(), w)));
             });
+            if let Some(begin) = rebuild_begin {
+                let end = self.journal.now_ns().unwrap_or(begin);
+                self.journal.record_at(
+                    end,
+                    EventKind::SpineRebuild {
+                        epoch: self.epoch,
+                        pairs: spine.len() as u64,
+                        dur_ns: end.saturating_sub(begin),
+                    },
+                );
+            }
         }
         Some(f(&spine))
     }
@@ -999,6 +1032,10 @@ where
         let rate = self.rate_schedule.rate();
         if rate != self.fill_rate {
             self.metrics.counter_add(metrics::RATE_TRANSITIONS, 1);
+            self.journal.record(EventKind::RateTransition {
+                from: self.fill_rate,
+                to: rate,
+            });
         }
         self.metrics.gauge_set(metrics::RATE_CURRENT, rate as f64);
         self.fill_rate = rate;
@@ -1014,15 +1051,19 @@ where
     /// sorted together in one pass.
     fn take_filler(&mut self) -> (Vec<T>, bool) {
         let timer = self.metrics.timer(metrics::SEAL_NS);
+        let seal_begin = self.journal.now_ns();
+        // Run count before saturation truncates it (saturated fills report
+        // the tracker's limit + 1, the point at which counting stopped).
+        let runs = self.filler_runs.starts().len() as u64;
         let mut data = std::mem::take(&mut self.filler);
-        let sorted = if self.filler_runs.is_saturated() {
+        let (sorted, kernel) = if self.filler_runs.is_saturated() {
             self.metrics.counter_add(metrics::SEAL_PARKED_RAW, 1);
-            false
+            (false, SealKernel::ParkedRaw)
         } else {
-            let seal_key = if self.filler_runs.is_single_run() {
-                metrics::SEAL_PRESORTED
+            let (seal_key, kernel) = if self.filler_runs.is_single_run() {
+                (metrics::SEAL_PRESORTED, SealKernel::Presorted)
             } else {
-                metrics::SEAL_RUN_MERGE
+                (metrics::SEAL_RUN_MERGE, SealKernel::RunMerge)
             };
             self.filler_runs.sort_data_with_radix(
                 &mut data,
@@ -1030,9 +1071,22 @@ where
                 &mut self.scratch.radix,
             );
             self.metrics.counter_add(seal_key, 1);
-            true
+            (true, kernel)
         };
         timer.stop();
+        if let Some(begin) = seal_begin {
+            let end = self.journal.now_ns().unwrap_or(begin);
+            self.journal.record_at(
+                end,
+                EventKind::BufferSeal {
+                    level: self.fill_level,
+                    kernel,
+                    k: data.len() as u64,
+                    runs,
+                    dur_ns: end.saturating_sub(begin),
+                },
+            );
+        }
         self.filler_runs.reset();
         (data, sorted)
     }
@@ -1149,6 +1203,27 @@ where
     // per element; everything else works inside the scratch arena.
     fn perform_collapse(&mut self, slots: &[usize], output_level: u32) {
         let collapse_timer = self.metrics.timer(metrics::COLLAPSE_NS);
+        let collapse_begin = self.journal.now_ns();
+        if let Some(begin) = collapse_begin {
+            // Full provenance, recorded while the sources are intact: one
+            // event per source buffer, contiguously ahead of the collapse
+            // event on the same thread's ring. All sources share the
+            // already-taken begin timestamp — provenance is identity, not
+            // timing, and skipping the per-source clock read keeps the
+            // attached overhead inside the BENCH_obs.json bar.
+            for &i in slots {
+                let b = &self.buffers[i];
+                self.journal.record_at(
+                    begin,
+                    EventKind::CollapseSource {
+                        slot: i as u32,
+                        level: b.level(),
+                        weight: b.weight(),
+                        len: b.data().len() as u64,
+                    },
+                );
+            }
+        }
         let w: u64 = slots.iter().map(|&i| self.buffers[i].weight()).sum();
         let high = if w.is_multiple_of(2) {
             let phase = self.collapse_high_phase;
@@ -1323,6 +1398,30 @@ where
             self.stats.collapse_weight_sum as f64,
         );
         collapse_timer.stop();
+        if let Some(begin) = collapse_begin {
+            let path = if concat_path {
+                CollapsePath::Concat
+            } else if chunked_kernels_enabled() && slots.len() == 2 {
+                CollapsePath::TwoSource
+            } else if chunked_kernels_enabled() && slots.len() == 3 {
+                CollapsePath::ThreeSource
+            } else if chunked_kernels_enabled() {
+                CollapsePath::PairMerge
+            } else {
+                CollapsePath::Scalar
+            };
+            let end = self.journal.now_ns().unwrap_or(begin);
+            self.journal.record_at(
+                end,
+                EventKind::Collapse {
+                    output_level,
+                    sources: slots.len() as u32,
+                    path,
+                    weight_sum: w,
+                    dur_ns: end.saturating_sub(begin),
+                },
+            );
+        }
         self.rate_schedule.observe_level(output_level);
         if self.rate_schedule.sampling_started() && self.stats.record_onset() {
             self.metrics

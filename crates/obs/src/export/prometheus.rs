@@ -1,0 +1,196 @@
+//! Prometheus text exposition (version 0.0.4) export of a
+//! [`MetricsSnapshot`] — the pull-based surface a metrics server mounts
+//! at `/metrics`.
+//!
+//! Mapping:
+//!
+//! * rendered keys sanitise to metric names (`engine.collapse.ns` →
+//!   `engine_collapse_ns`); a key's `[label]` suffix becomes a
+//!   `{label="N"}` dimension so `shard.elements[3]` stays one metric
+//!   with several series;
+//! * counters and gauges export directly with `# TYPE` headers;
+//! * histograms export as Prometheus *summaries*: `quantile`-labelled
+//!   series for p50/p90/p99 plus `_sum` and `_count` — matching the
+//!   log₂-bucket recorder, which stores quantile estimates rather than
+//!   cumulative `le` buckets;
+//! * the recorder's dropped-update tally always exports as
+//!   `mrl_obs_dropped_updates` so collectors can alert on series loss.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// Sanitise a rendered key's base name into the Prometheus name
+/// alphabet `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn metric_name(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 1);
+    for (i, c) in base.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Split a rendered key (`name` or `name[label]`) into its sanitised
+/// metric name and optional label value.
+fn split_key(key: &str) -> (String, Option<&str>) {
+    match key.split_once('[') {
+        Some((base, rest)) => (metric_name(base), Some(rest.trim_end_matches(']'))),
+        None => (metric_name(key), None),
+    }
+}
+
+/// Format an `f64` the exposition format accepts (`NaN`, `+Inf`,
+/// `-Inf` spelled out).
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn labels(label: Option<&str>, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(l) = label {
+        parts.push(format!("label=\"{l}\""));
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Emit a `# TYPE` header the first time `name` appears.
+fn type_header(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+/// Render `snapshot` as Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (key, value) in &snapshot.counters {
+        let (name, label) = split_key(key);
+        type_header(&mut out, &mut last, &name, "counter");
+        let _ = writeln!(out, "{name}{} {value}", labels(label, None));
+    }
+    for (key, value) in &snapshot.gauges {
+        let (name, label) = split_key(key);
+        type_header(&mut out, &mut last, &name, "gauge");
+        let _ = writeln!(out, "{name}{} {}", labels(label, None), number(*value));
+    }
+    for (key, h) in &snapshot.histograms {
+        if h.count == 0 {
+            // Registered but never sampled: quantiles would be
+            // meaningless zeros.
+            continue;
+        }
+        let (name, label) = split_key(key);
+        type_header(&mut out, &mut last, &name, "summary");
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                labels(label, Some(("quantile", q))),
+                number(v)
+            );
+        }
+        let _ = writeln!(out, "{name}_sum{} {}", labels(label, None), h.sum);
+        let _ = writeln!(out, "{name}_count{} {}", labels(label, None), h.count);
+    }
+    let _ = writeln!(out, "# TYPE mrl_obs_dropped_updates counter");
+    let _ = writeln!(out, "mrl_obs_dropped_updates {}", snapshot.dropped);
+    out
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramSummary;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("engine.collapses".into(), 42);
+        snap.counters.insert("shard.batches[0]".into(), 10);
+        snap.counters.insert("shard.batches[1]".into(), 12);
+        snap.gauges.insert("engine.rate".into(), 8.0);
+        snap.histograms.insert(
+            "engine.seal.ns".into(),
+            HistogramSummary {
+                count: 5,
+                sum: 500,
+                min: 10,
+                max: 300,
+                mean: 100.0,
+                p50: 90.0,
+                p90: 250.0,
+                p99: 300.0,
+            },
+        );
+        snap.histograms
+            .insert("idle.ns".into(), HistogramSummary::default());
+        snap.dropped = 3;
+        snap
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let text = render(&sample());
+        assert!(text.contains("# TYPE engine_collapses counter"));
+        assert!(text.contains("engine_collapses 42"));
+        assert!(text.contains("shard_batches{label=\"0\"} 10"));
+        assert!(text.contains("shard_batches{label=\"1\"} 12"));
+        // One TYPE header for the two labelled series.
+        assert_eq!(text.matches("# TYPE shard_batches counter").count(), 1);
+        assert!(text.contains("# TYPE engine_rate gauge"));
+        assert!(text.contains("engine_rate 8"));
+        assert!(text.contains("# TYPE engine_seal_ns summary"));
+        assert!(text.contains("engine_seal_ns{quantile=\"0.5\"} 90"));
+        assert!(text.contains("engine_seal_ns_sum 500"));
+        assert!(text.contains("engine_seal_ns_count 5"));
+        assert!(text.contains("mrl_obs_dropped_updates 3"));
+        // Empty histograms are skipped.
+        assert!(!text.contains("idle_ns"));
+    }
+
+    #[test]
+    fn every_line_is_a_comment_or_name_value_sample() {
+        let text = render(&sample());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in: {line}");
+        }
+    }
+
+    #[test]
+    fn special_floats_are_spelled_for_the_exposition_parser() {
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.insert("weird".into(), f64::NAN);
+        snap.gauges.insert("big".into(), f64::INFINITY);
+        let text = render(&snap);
+        assert!(text.contains("weird NaN"));
+        assert!(text.contains("big +Inf"));
+    }
+}

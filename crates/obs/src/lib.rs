@@ -17,6 +17,15 @@
 //!    consumption, e.g. the CLI's `--stats json`) or renders as aligned
 //!    text.
 //!
+//! Alongside the aggregate metrics sits the **flight recorder**
+//! ([`EventJournal`] / [`JournalHandle`]): a fixed-capacity, lock-free,
+//! per-thread ring of structured lifecycle events (seals, collapses,
+//! rate transitions, spine rebuilds, shard dispatch/stalls, spans) with
+//! the same disabled-path contract, exportable as chrome-trace JSON
+//! ([`export::perfetto`]), rendered on panic ([`install_panic_hook`]),
+//! and — for the metrics side — as Prometheus exposition text
+//! ([`MetricsSnapshot::to_prometheus`]).
+//!
 //! The paper connection: the engine already maintains the §4 quantities
 //! (`W`, `C`, `Σnᵢ²`, sampling onset) exactly; this crate is the transport
 //! that surfaces them — and the derived live ε-audit — while the stream is
@@ -27,19 +36,27 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod export;
+mod journal;
 mod key;
 mod memory;
 mod recorder;
 mod snapshot;
+mod span;
 pub(crate) mod sync;
 mod timer;
 #[cfg(feature = "tracing")]
 mod tracing_support;
 
+pub use export::install_panic_hook;
+pub use journal::{
+    CollapsePath, Event, EventJournal, EventKind, JournalDump, JournalHandle, RingDump, SealKernel,
+};
 pub use key::Key;
 pub use memory::InMemoryRecorder;
 pub use recorder::{MetricsHandle, NoopRecorder, Recorder};
 pub use snapshot::{HistogramSummary, MetricsSnapshot};
+pub use span::ScopedSpan;
 pub use timer::ScopedTimer;
 #[cfg(feature = "tracing")]
 pub use tracing_support::TracingRecorder;

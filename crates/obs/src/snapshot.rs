@@ -95,6 +95,13 @@ impl MetricsSnapshot {
         serde_json::to_string(self).expect("snapshot serialises")
     }
 
+    /// Prometheus text exposition format (the CLI's `--prom`, and the
+    /// surface a metrics server mounts at `/metrics`). See
+    /// [`crate::export::prometheus`] for the mapping.
+    pub fn to_prometheus(&self) -> String {
+        crate::export::prometheus::render(self)
+    }
+
     /// Multi-line aligned text (human consumption; `--stats text`).
     pub fn render_text(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,123 @@
+//! Scoped spans: begin/end event pairs in the flight recorder, built on
+//! the same clock the [`crate::ScopedTimer`] machinery uses.
+
+use crate::journal::{EventKind, JournalHandle};
+
+/// Emits [`EventKind::SpanBegin`] at construction and
+/// [`EventKind::SpanEnd`] (with the elapsed nanoseconds) on drop.
+///
+/// Constructed through [`JournalHandle::span`]; when the handle is
+/// disabled no clock is read and drop is free — one predicted branch,
+/// the same contract as the disabled metrics path. Spans on one thread
+/// nest naturally (drop order is reverse construction order), which is
+/// exactly the stack discipline the chrome-trace `B`/`E` exporter
+/// needs.
+#[derive(Debug)]
+pub struct ScopedSpan<'a> {
+    handle: &'a JournalHandle,
+    name: u32,
+    /// Begin timestamp; `None` when the handle is disabled.
+    start: Option<u64>,
+}
+
+impl<'a> ScopedSpan<'a> {
+    pub(crate) fn begin(handle: &'a JournalHandle, name: &'static str) -> Self {
+        let Some(journal) = handle.journal() else {
+            return Self {
+                handle,
+                name: 0,
+                start: None,
+            };
+        };
+        let name = journal.intern(name);
+        let start = crate::timer::now_ns();
+        journal.record_at(start, EventKind::SpanBegin { name });
+        Self {
+            handle,
+            name,
+            start: Some(start),
+        }
+    }
+
+    /// Close the span now; equivalent to dropping it.
+    pub fn end(self) {}
+
+    /// Abandon the span without emitting the end event (the begin event
+    /// has already been recorded; exporters treat an unmatched begin as
+    /// an open span).
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for ScopedSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let end = crate::timer::now_ns();
+            self.handle.record_at(
+                end,
+                EventKind::SpanEnd {
+                    name: self.name,
+                    dur_ns: end.saturating_sub(start),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::journal::EventJournal;
+
+    #[test]
+    fn span_emits_matched_begin_end_pair() {
+        let j = Arc::new(EventJournal::with_capacity(16));
+        let h = JournalHandle::new(Arc::clone(&j));
+        {
+            let _outer = h.span("ingest");
+            let _inner = h.span("seal");
+        }
+        let dump = j.drain();
+        let kinds: Vec<_> = dump.rings[0].events.iter().map(|e| e.kind).collect();
+        let ingest = j.intern("ingest");
+        let seal = j.intern("seal");
+        assert_eq!(kinds.len(), 4);
+        assert_eq!(kinds[0], EventKind::SpanBegin { name: ingest });
+        assert_eq!(kinds[1], EventKind::SpanBegin { name: seal });
+        match (kinds[2], kinds[3]) {
+            (EventKind::SpanEnd { name: n2, .. }, EventKind::SpanEnd { name: n3, .. }) => {
+                // Inner closes before outer.
+                assert_eq!(n2, seal);
+                assert_eq!(n3, ingest);
+            }
+            other => panic!("unexpected tail {other:?}"),
+        }
+        // Timestamps are monotone within the ring.
+        let ts: Vec<_> = dump.rings[0].events.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {ts:?}");
+    }
+
+    #[test]
+    fn discard_suppresses_the_end_event() {
+        let j = Arc::new(EventJournal::with_capacity(16));
+        let h = JournalHandle::new(Arc::clone(&j));
+        h.span("aborted").discard();
+        let dump = j.drain();
+        assert_eq!(dump.event_count(), 1);
+        match dump.rings[0].events[0].kind {
+            EventKind::SpanBegin { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_is_equivalent_to_drop() {
+        let j = Arc::new(EventJournal::with_capacity(16));
+        let h = JournalHandle::new(Arc::clone(&j));
+        h.span("explicit").end();
+        assert_eq!(j.drain().event_count(), 2);
+    }
+}

@@ -7,11 +7,16 @@
 //! interleaving of its threads. Three races are exercised exhaustively:
 //! the slot-claim CAS, probing past a fingerprint-index collision, and a
 //! snapshot racing a claim/update.
+//!
+//! The flight-recorder journal is modelled below the recorder tests:
+//! its ring capacity shrinks to 2 under loom, so a handful of pushes
+//! exercises wraparound, and the writer/drain race probes the torn-read
+//! detection protocol exhaustively.
 #![cfg(loom)]
 
 use std::sync::Arc;
 
-use mrl_obs::{InMemoryRecorder, Key, Recorder};
+use mrl_obs::{EventJournal, EventKind, InMemoryRecorder, Key, Recorder};
 
 #[test]
 fn racing_claims_of_one_key_lose_no_updates() {
@@ -104,5 +109,87 @@ fn exhausted_table_counts_every_dropped_update() {
         for name in ["k0", "k1", "k2", "k3"] {
             assert_eq!(r.counter_value(Key::new(name)), 1);
         }
+    });
+}
+
+#[test]
+fn journal_drain_racing_wrapping_writer_never_decodes_torn_events() {
+    // The loom-sized ring holds 2 events; three pushes force a wraparound
+    // while the drain races the writer's overwrite. Every event the drain
+    // *does* decode must be internally consistent (payloads written
+    // together stay together) and in per-thread FIFO order — a half-old
+    // half-new slot must land in `torn`, never in `events`.
+    loom::model(|| {
+        let j = Arc::new(EventJournal::new());
+        let j2 = Arc::clone(&j);
+        let t = loom::thread::spawn(move || {
+            for i in 1..=3u64 {
+                j2.record_at(
+                    i,
+                    EventKind::RateTransition {
+                        from: i,
+                        to: i * 10,
+                    },
+                );
+            }
+        });
+        let dump = j.drain();
+        for ring in &dump.rings {
+            let mut last_ts = 0;
+            for ev in &ring.events {
+                match ev.kind {
+                    EventKind::RateTransition { from, to } => {
+                        assert_eq!(to, from * 10, "torn payload decoded");
+                        assert_eq!(ev.ts_ns, from, "timestamp from a different event");
+                    }
+                    ref other => panic!("impossible event {other:?}"),
+                }
+                assert!(ev.ts_ns > last_ts, "drain order is not FIFO");
+                last_ts = ev.ts_ns;
+            }
+        }
+        t.join().unwrap();
+        // Quiescent re-drain: exactly the newest `capacity` events remain,
+        // the overwritten prefix is accounted, nothing reads as torn.
+        let settled = j.drain();
+        let ring = settled
+            .rings
+            .iter()
+            .find(|r| !r.events.is_empty())
+            .expect("writer ring present");
+        assert_eq!(ring.torn, 0);
+        assert_eq!(ring.overwritten, 1);
+        let ts: Vec<u64> = ring.events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3]);
+    });
+}
+
+#[test]
+fn journal_racing_threads_claim_distinct_rings() {
+    // Two threads race the owner CAS over the ring table; each must end
+    // up sole writer of its own ring, with neither event lost or mixed
+    // into the other's track.
+    loom::model(|| {
+        let j = Arc::new(EventJournal::new());
+        let j2 = Arc::clone(&j);
+        let t = loom::thread::spawn(move || {
+            j2.record_at(1, EventKind::SpineInvalidate { epoch: 7 });
+        });
+        j.record_at(2, EventKind::SpineInvalidate { epoch: 9 });
+        t.join().unwrap();
+        let dump = j.drain();
+        assert_eq!(dump.lost(), 0);
+        let mut epochs = Vec::new();
+        for ring in &dump.rings {
+            assert!(ring.events.len() <= 1, "rings were shared");
+            for ev in &ring.events {
+                match ev.kind {
+                    EventKind::SpineInvalidate { epoch } => epochs.push(epoch),
+                    ref other => panic!("impossible event {other:?}"),
+                }
+            }
+        }
+        epochs.sort_unstable();
+        assert_eq!(epochs, vec![7, 9]);
     });
 }

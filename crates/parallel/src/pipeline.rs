@@ -24,7 +24,7 @@ use std::thread::{self, JoinHandle};
 
 use mrl_core::{OptimizerOptions, UnknownN, UnknownNConfig};
 use mrl_framework::{Buffer, TreeStats};
-use mrl_obs::{Key, MetricsHandle};
+use mrl_obs::{EventKind, JournalHandle, Key, MetricsHandle};
 use serde::{Deserialize, Serialize};
 
 use crate::Coordinator;
@@ -139,6 +139,7 @@ pub struct ShardedSketch<T> {
     config: UnknownNConfig,
     seed: u64,
     metrics: MetricsHandle,
+    journal: JournalHandle,
 }
 
 impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
@@ -174,6 +175,25 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         Self::from_config_with_metrics(config, shards, seed, metrics)
     }
 
+    /// As [`ShardedSketch::new_with_metrics`] with a flight recorder
+    /// attached as well (see [`ShardedSketch::from_config_with_obs`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, `ε ∉ (0, 1)` or `δ ∉ (0, 1)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_obs(
+        shards: usize,
+        epsilon: f64,
+        delta: f64,
+        opts: OptimizerOptions,
+        seed: u64,
+        metrics: MetricsHandle,
+        journal: JournalHandle,
+    ) -> Self {
+        let config = mrl_analysis::optimizer::optimize_unknown_n_with(epsilon, delta, opts);
+        Self::from_config_with_obs(config, shards, seed, metrics, journal)
+    }
+
     /// As [`ShardedSketch::new`] with an explicit certified configuration.
     ///
     /// # Panics
@@ -195,6 +215,26 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         seed: u64,
         metrics: MetricsHandle,
     ) -> Self {
+        Self::from_config_with_obs(config, shards, seed, metrics, JournalHandle::disabled())
+    }
+
+    /// As [`ShardedSketch::from_config_with_metrics`] with a flight
+    /// recorder attached as well. Each worker names its journal ring
+    /// `shard[i]`, wraps every ingested batch in a `shard.batch` span, and
+    /// forwards the handle to its per-shard engine so seals and collapses
+    /// carry the shard's track. The producer side records
+    /// [`EventKind::ShardDispatch`] per hand-off and
+    /// [`EventKind::ShardStall`] when backpressure blocks it.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn from_config_with_obs(
+        config: UnknownNConfig,
+        shards: usize,
+        seed: u64,
+        metrics: MetricsHandle,
+        journal: JournalHandle,
+    ) -> Self {
         assert!(shards >= 1, "need at least one shard");
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
@@ -210,17 +250,22 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
             let depth = Arc::new(AtomicU64::new(0));
             let worker_depth = Arc::clone(&depth);
             let worker_metrics = metrics.clone();
+            let worker_journal = journal.clone();
             let worker_recycle = recycle_tx.clone();
             handles.push(thread::spawn(move || {
                 let shard = i as u32;
+                worker_journal.name_thread("shard", Some(shard));
                 let mut sketch = UnknownN::from_config(config, shard_seed);
+                sketch.set_journal(worker_journal.clone());
                 while let Ok(mut batch) = rx.recv() {
                     // ordering: relaxed — monitoring gauge; the channel recv
                     // already ordered this after the producer's increment.
                     worker_depth.fetch_sub(1, Ordering::Relaxed);
+                    let span = worker_journal.span("shard.batch");
                     let timer = worker_metrics.timer(Key::labeled(metrics::BATCH_NS, shard));
                     sketch.insert_batch(&batch);
                     timer.stop();
+                    span.end();
                     worker_metrics.counter_add(Key::labeled(metrics::BATCHES, shard), 1);
                     // Clearing here keeps the element drops on the worker;
                     // a closed return channel (producer gone) just drops
@@ -250,6 +295,7 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
             config,
             seed,
             metrics,
+            journal,
         }
     }
 
@@ -278,6 +324,13 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
     /// The certified per-shard configuration in use.
     pub fn config(&self) -> &UnknownNConfig {
         &self.config
+    }
+
+    /// The flight-recorder handle the pipeline (and every shard engine)
+    /// records into; disabled unless constructed via
+    /// [`ShardedSketch::from_config_with_obs`].
+    pub fn journal(&self) -> &JournalHandle {
+        &self.journal
     }
 
     /// Worst-case memory across the worker pool: `shards · b · k` elements
@@ -345,7 +398,8 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         // ordering: Relaxed suffices — the gauge is monitoring-only and the
         // channel send/receive provides the producer→worker happens-before.
         let depth = self.queue_depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
-        let delivered = if self.metrics.is_enabled() {
+        let delivered = if self.metrics.is_enabled() || self.journal.is_enabled() {
+            let len = batch.len() as u64;
             // Distinguish a clean hand-off from a backpressure stall: only
             // the blocking fallback is timed, so the stall histogram
             // measures time actually spent waiting on the slow consumer.
@@ -353,13 +407,29 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
                 Ok(()) => true,
                 Err(TrySendError::Full(batch)) => {
                     self.metrics.counter_add(metrics::DISPATCH_STALLS, 1);
+                    let stall_begin = self.journal.now_ns();
                     let timer = self.metrics.timer(metrics::STALL_NS);
                     let sent = self.senders[shard].send(batch).is_ok();
                     timer.stop();
+                    if let Some(begin) = stall_begin {
+                        let end = self.journal.now_ns().unwrap_or(begin);
+                        self.journal.record_at(
+                            end,
+                            EventKind::ShardStall {
+                                shard: shard as u32,
+                                dur_ns: end.saturating_sub(begin),
+                            },
+                        );
+                    }
                     sent
                 }
                 Err(TrySendError::Disconnected(_)) => false,
             };
+            self.journal.record(EventKind::ShardDispatch {
+                shard: shard as u32,
+                len,
+                depth,
+            });
             self.metrics.gauge_set(
                 Key::labeled(metrics::QUEUE_DEPTH, shard as u32),
                 depth as f64,
@@ -630,6 +700,59 @@ mod tests {
         }
         assert_eq!(rec.gauge_value(metrics::DISPATCHED), Some(120_000.0));
         assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn journal_records_dispatches_shard_tracks_and_batch_spans() {
+        use mrl_obs::EventJournal;
+
+        let journal = Arc::new(EventJournal::with_capacity(8192));
+        let handle = JournalHandle::new(Arc::clone(&journal));
+        let config =
+            mrl_analysis::optimizer::optimize_unknown_n_with(0.05, 0.01, OptimizerOptions::fast());
+        let mut s = ShardedSketch::<u64>::from_config_with_obs(
+            config,
+            2,
+            9,
+            MetricsHandle::disabled(),
+            handle,
+        )
+        .with_batch_size(64);
+        let data = uniform(10_000);
+        s.insert_batch(&data);
+        let out = s.finish().expect("no shard panicked");
+        assert_eq!(out.total_n(), 10_000);
+
+        let dump = journal.drain();
+        assert_eq!(dump.lost(), 0);
+        let events = || dump.rings.iter().flat_map(|r| r.events.iter());
+        // Every completed batch hand-off is journalled by the producer.
+        let dispatches = events()
+            .filter(|e| matches!(e.kind, EventKind::ShardDispatch { .. }))
+            .count();
+        assert_eq!(dispatches, 10_000_usize.div_ceil(64));
+        // Both workers named their rings `shard[i]`.
+        let mut shard_labels: Vec<u32> = dump
+            .rings
+            .iter()
+            .filter_map(|r| r.thread_name)
+            .filter(|(name, _)| *name == "shard")
+            .filter_map(|(_, label)| label)
+            .collect();
+        shard_labels.sort_unstable();
+        assert_eq!(shard_labels, vec![0, 1]);
+        // Each received batch is wrapped in a balanced `shard.batch` span,
+        // and the per-shard engines journalled their seals through the
+        // forwarded handle.
+        let begins = events()
+            .filter(|e| matches!(e.kind, EventKind::SpanBegin { .. }))
+            .count();
+        let ends = events()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd { .. }))
+            .count();
+        assert_eq!(begins, ends);
+        assert_eq!(begins, 10_000_usize.div_ceil(64));
+        assert!(events().any(|e| matches!(e.kind, EventKind::BufferSeal { .. })));
     }
 
     #[test]

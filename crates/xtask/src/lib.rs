@@ -4,7 +4,7 @@
 //! | Rule | Enforces |
 //! |------|----------|
 //! | `MRL-L001` | every atomic `Ordering::` use carries an `// ordering:` justification (same or preceding line) |
-//! | `MRL-L002` | `Instant::now` only inside `mrl-obs`'s timer module — everything else must go through `ScopedTimer` so disabled metrics stay zero-cost |
+//! | `MRL-L002` | `Instant::now` and `SystemTime::now` only inside `mrl-obs`'s timer module — everything else must go through `ScopedTimer` (or the journal clock) so disabled metrics stay zero-cost |
 //! | `MRL-L003` | `thread::spawn` and `.unwrap()` on channel/join results only inside `mrl-parallel` — thread lifecycle errors must propagate as `ShardedError`, not panics |
 //! | `MRL-L004` | `sort_unstable` only in seal/collapse/output modules of the streaming crates — ingestion is sort-free by design |
 //! | `MRL-L005` | no `panic!`/`.expect(` in library crates' non-test code (pre-existing sites are pinned in the baseline ratchet) |
@@ -23,6 +23,8 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod validate;
 
 /// One source line split into its code and comment parts, with string
 /// literal contents blanked out of the code.
@@ -408,12 +410,14 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
                 "atomic ordering needs an `// ordering:` justification on this or the preceding line",
             ));
         }
-        if code.contains("Instant::now") && !allowlisted("MRL-L002", path) {
+        if (code.contains("Instant::now") || code.contains("SystemTime::now"))
+            && !allowlisted("MRL-L002", path)
+        {
             raw.push((
                 "MRL-L002",
                 idx,
                 code.clone(),
-                "wall-clock reads are confined to mrl-obs::timer; use ScopedTimer",
+                "wall-clock reads are confined to mrl-obs::timer; use ScopedTimer or the journal clock",
             ));
         }
         if !path.starts_with("crates/parallel/") && !allowlisted("MRL-L003", path) {

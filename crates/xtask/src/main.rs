@@ -67,11 +67,62 @@ fn main() -> ExitCode {
                 .map(PathBuf::from);
             analyze(mode_of(&args), json.as_deref())
         }
+        Some("validate-trace") => validate_artifact(args.get(1), "validate-trace", |text| {
+            xtask::validate::validate_trace(text).map(|s| {
+                format!(
+                    "{} events ({} tracks, {} span pairs, {} complete, {} instant, \
+                     {} unclosed, {} orphan ends)",
+                    s.events,
+                    s.tracks,
+                    s.span_pairs,
+                    s.complete,
+                    s.instants,
+                    s.unclosed,
+                    s.orphan_ends
+                )
+            })
+        }),
+        Some("validate-prom") => validate_artifact(args.get(1), "validate-prom", |text| {
+            xtask::validate::validate_prom(text)
+                .map(|s| format!("{} samples under {} `# TYPE` headers", s.samples, s.types))
+        }),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--update-baseline|--prune]\n       \
-                 cargo xtask analyze [--update-baseline|--prune] [--json <path>]"
+                 cargo xtask analyze [--update-baseline|--prune] [--json <path>]\n       \
+                 cargo xtask validate-trace <trace.json>\n       \
+                 cargo xtask validate-prom <metrics.prom>"
             );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shared driver for the exporter-artifact validators: read the file,
+/// run the checker, report one line either way.
+fn validate_artifact(
+    path: Option<&String>,
+    cmd: &str,
+    check: impl Fn(&str) -> Result<String, String>,
+) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: cargo xtask {cmd} <path>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask {cmd}: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(summary) => {
+            println!("xtask {cmd}: {path} OK — {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask {cmd}: {path} INVALID — {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,742 @@
+//! Artifact validators for the flight-recorder exporters, run in CI as
+//! `cargo xtask validate-trace <path>` and `cargo xtask validate-prom
+//! <path>`.
+//!
+//! Both validators are deliberately dependency-free: the trace checker
+//! carries its own minimal JSON reader rather than pulling the vendored
+//! serde stand-in into the tooling crate, so a bug in the exporter's
+//! hand-built JSON cannot be masked by a shared parser quirk.
+//!
+//! * [`validate_trace`] checks the `trace_event` JSON the Perfetto
+//!   exporter writes: well-formed JSON, a `traceEvents` array whose
+//!   entries carry the phase-appropriate fields (`ph`/`pid`/`tid`/`ts`,
+//!   `dur` for complete events, `args.name` for metadata), and span
+//!   begin/end nesting discipline per track.
+//! * [`validate_prom`] checks Prometheus text exposition format 0.0.4
+//!   line by line: `# TYPE`/`# HELP` headers, metric and label name
+//!   grammar, escaped label values, and numeric sample values
+//!   (including `NaN`/`+Inf`/`-Inf`).
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Object keys keep file order (duplicates kept).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, widened to `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up `key` in an object (first occurrence); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl fmt::Display) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format_args!(
+                "expected `{}`, found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(self.err(format_args!("unexpected {:?}", other.map(|c| c as char)))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format_args!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format_args!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err(format_args!("bad \\u escape `{hex}`")))?;
+                            // Surrogate pairs are not needed for our
+                            // exporter's ASCII identifiers; map lone
+                            // surrogates to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(
+                                self.err(format_args!("bad escape {:?}", other.map(|c| c as char)))
+                            )
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences intact).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(self.err(format_args!(
+                        "expected `,` or `]`, found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(self.err(format_args!(
+                        "expected `,` or `}}`, found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Parse one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut r = Reader::new(text);
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(r.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace validator
+// ---------------------------------------------------------------------
+
+/// What a successful trace validation found, for the CLI summary line.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// `B`/`E` span pairs that matched up.
+    pub span_pairs: usize,
+    /// `X` complete events.
+    pub complete: usize,
+    /// `i` instant events.
+    pub instants: usize,
+    /// Named tracks (`thread_name` metadata events).
+    pub tracks: usize,
+    /// `B` events left open at end of trace (tolerated: a ring overwrite
+    /// can drop an end, and a panic dump can cut a span short).
+    pub unclosed: usize,
+    /// `E` events whose begin was overwritten out of the ring (tolerated
+    /// for the same reason; still counted so a regression is visible).
+    pub orphan_ends: usize,
+}
+
+fn field<'a>(ev: &'a Json, key: &str, idx: usize) -> Result<&'a Json, String> {
+    ev.get(key)
+        .ok_or_else(|| format!("event {idx}: missing `{key}`"))
+}
+
+fn num_field(ev: &Json, key: &str, idx: usize) -> Result<f64, String> {
+    match field(ev, key, idx)? {
+        Json::Num(n) => Ok(*n),
+        other => Err(format!(
+            "event {idx}: `{key}` must be a number, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn str_field<'a>(ev: &'a Json, key: &str, idx: usize) -> Result<&'a str, String> {
+    match field(ev, key, idx)? {
+        Json::Str(s) => Ok(s),
+        other => Err(format!(
+            "event {idx}: `{key}` must be a string, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+/// Structurally validate a chrome-trace (`trace_event`) JSON document as
+/// produced by `mrl_obs::export::perfetto::to_chrome_trace`.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse_json(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        Some(other) => {
+            return Err(format!(
+                "`traceEvents` must be an array, got {}",
+                other.type_name()
+            ))
+        }
+        None => return Err("top-level object has no `traceEvents`".into()),
+    };
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    // Per-tid stacks of open span names for B/E nesting discipline.
+    let mut open: Vec<(u64, Vec<String>)> = Vec::new();
+    for (idx, ev) in events.iter().enumerate() {
+        if !matches!(ev, Json::Obj(_)) {
+            return Err(format!("event {idx}: not an object"));
+        }
+        let ph = str_field(ev, "ph", idx)?;
+        num_field(ev, "pid", idx)?;
+        match ph {
+            "M" => {
+                let name = str_field(ev, "name", idx)?;
+                if name != "process_name" && name != "thread_name" {
+                    return Err(format!("event {idx}: unknown metadata `{name}`"));
+                }
+                let args = field(ev, "args", idx)?;
+                match args.get("name") {
+                    Some(Json::Str(s)) if !s.is_empty() => {}
+                    _ => return Err(format!("event {idx}: metadata needs args.name string")),
+                }
+                if name == "thread_name" {
+                    num_field(ev, "tid", idx)?;
+                    summary.tracks += 1;
+                }
+            }
+            "B" | "E" | "X" | "i" => {
+                let tid = num_field(ev, "tid", idx)? as u64;
+                let ts = num_field(ev, "ts", idx)?;
+                if ts.is_nan() || ts < 0.0 {
+                    return Err(format!("event {idx}: negative or NaN ts {ts}"));
+                }
+                let name = str_field(ev, "name", idx)?;
+                if name.is_empty() {
+                    return Err(format!("event {idx}: empty name"));
+                }
+                str_field(ev, "cat", idx)?;
+                match ph {
+                    "B" => {
+                        let pos = match open.iter().position(|(t, _)| *t == tid) {
+                            Some(p) => p,
+                            None => {
+                                open.push((tid, Vec::new()));
+                                open.len() - 1
+                            }
+                        };
+                        open[pos].1.push(name.to_string());
+                    }
+                    "E" => {
+                        let stack = open.iter_mut().find(|(t, _)| *t == tid).map(|(_, s)| s);
+                        match stack.and_then(Vec::pop) {
+                            Some(top) if top == name => summary.span_pairs += 1,
+                            Some(top) => {
+                                return Err(format!(
+                                    "event {idx}: span end `{name}` crosses open span `{top}` \
+                                     on tid {tid}"
+                                ))
+                            }
+                            None => summary.orphan_ends += 1,
+                        }
+                    }
+                    "X" => {
+                        let dur = num_field(ev, "dur", idx)?;
+                        if dur.is_nan() || dur < 0.0 {
+                            return Err(format!("event {idx}: negative or NaN dur {dur}"));
+                        }
+                        summary.complete += 1;
+                    }
+                    _ => {
+                        // "i": the scope field is required by the format.
+                        match field(ev, "s", idx)? {
+                            Json::Str(s) if matches!(s.as_str(), "t" | "p" | "g") => {}
+                            _ => {
+                                return Err(format!("event {idx}: instant scope must be t|p|g"));
+                            }
+                        }
+                        summary.instants += 1;
+                    }
+                }
+            }
+            other => return Err(format!("event {idx}: unknown phase `{other}`")),
+        }
+    }
+    summary.unclosed = open.iter().map(|(_, s)| s.len()).sum();
+    Ok(summary)
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition validator
+// ---------------------------------------------------------------------
+
+/// What a successful exposition validation found.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Sample lines.
+    pub samples: usize,
+    /// `# TYPE` headers.
+    pub types: usize,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_sample_value(s: &str) -> bool {
+    matches!(s, "NaN" | "+Inf" | "-Inf" | "Inf") || s.parse::<f64>().is_ok()
+}
+
+/// Parse the labels + value tail of a sample line, starting after the
+/// metric name. Returns the number of labels on success.
+fn check_sample_tail(tail: &str, lineno: usize) -> Result<(), String> {
+    let rest = if let Some(after_brace) = tail.strip_prefix('{') {
+        // Walk `name="value",…}` respecting escapes inside values.
+        let mut chars = after_brace.char_indices().peekable();
+        let mut label_start = 0usize;
+        loop {
+            // Label name up to `=`.
+            let eq = loop {
+                match chars.next() {
+                    Some((i, '=')) => break i,
+                    Some((i, '}')) if i == label_start => {
+                        // `{}` — empty label set is legal.
+                        break usize::MAX;
+                    }
+                    Some(_) => {}
+                    None => return Err(format!("line {lineno}: unterminated label set")),
+                }
+            };
+            if eq == usize::MAX {
+                break &after_brace[label_start..];
+            }
+            let name = &after_brace[label_start..eq];
+            if !valid_label_name(name) {
+                return Err(format!("line {lineno}: bad label name `{name}`"));
+            }
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err(format!("line {lineno}: label value must be quoted")),
+            }
+            // Consume the quoted value, honouring \\ \" \n escapes.
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '\\' | '"' | 'n')) => {}
+                        _ => return Err(format!("line {lineno}: bad escape in label value")),
+                    },
+                    Some((_, '"')) => break,
+                    Some(_) => {}
+                    None => return Err(format!("line {lineno}: unterminated label value")),
+                }
+            }
+            match chars.next() {
+                Some((i, ',')) => {
+                    label_start = i + 1;
+                }
+                Some((i, '}')) => break &after_brace[i + 1..],
+                _ => return Err(format!("line {lineno}: expected `,` or `}}` after label")),
+            }
+        }
+    } else {
+        tail
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| format!("line {lineno}: sample has no value"))?;
+    if !valid_sample_value(value) {
+        return Err(format!("line {lineno}: bad sample value `{value}`"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("line {lineno}: bad timestamp `{ts}`"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("line {lineno}: trailing tokens after sample"));
+    }
+    Ok(())
+}
+
+/// Validate Prometheus text exposition format 0.0.4, as produced by
+/// `MetricsSnapshot::to_prometheus`.
+pub fn validate_prom(text: &str) -> Result<PromSummary, String> {
+    let mut summary = PromSummary::default();
+    let mut typed: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: `# TYPE` without a metric name"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: bad metric name `{name}`"));
+            }
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: `# TYPE {name}` without a type"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+            }
+            if typed.iter().any(|t| t == name) {
+                return Err(format!("line {lineno}: duplicate `# TYPE` for `{name}`"));
+            }
+            typed.push(name.to_string());
+            summary.types += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            // `# HELP` and free comments are both legal and unchecked
+            // beyond being comments.
+            continue;
+        }
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| format!("line {lineno}: sample has no value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name `{name}`"));
+        }
+        check_sample_tail(line[name_end..].trim_start(), lineno)?;
+        summary.samples += 1;
+    }
+    if summary.samples == 0 {
+        return Err("no sample lines found (empty exposition)".into());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reader_round_trips_the_shapes_the_exporter_emits() {
+        let doc = r#"{"traceEvents":[{"ph":"M","name":"thread_name","pid":1,"tid":0,
+            "args":{"name":"shard[0]"}}],"displayTimeUnit":"ns",
+            "otherData":{"events":3,"lost":0}}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("displayTimeUnit"), Some(&Json::Str("ns".to_string())));
+        let Some(Json::Arr(events)) = v.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        assert_eq!(events[0].get("ph"), Some(&Json::Str("M".to_string())));
+    }
+
+    #[test]
+    fn json_reader_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} extra",
+            "\"unterminated",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_validator_accepts_a_well_formed_trace() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"M","name":"process_name","pid":1,"args":{"name":"mrl"}},
+            {"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"driver"}},
+            {"ph":"B","name":"ingest","cat":"span","pid":1,"tid":0,"ts":1.000},
+            {"ph":"X","name":"seal","cat":"engine","pid":1,"tid":0,"ts":2.000,"dur":0.500,
+             "args":{"level":0}},
+            {"ph":"i","name":"rate.transition","cat":"engine","pid":1,"tid":0,"ts":3.000,
+             "s":"t","args":{"from":1,"to":2}},
+            {"ph":"E","name":"ingest","cat":"span","pid":1,"tid":0,"ts":4.000}
+        ]}"#;
+        let summary = validate_trace(doc).unwrap();
+        assert_eq!(summary.events, 6);
+        assert_eq!(summary.span_pairs, 1);
+        assert_eq!(summary.complete, 1);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.tracks, 1);
+        assert_eq!(summary.unclosed, 0);
+        assert_eq!(summary.orphan_ends, 0);
+    }
+
+    #[test]
+    fn trace_validator_rejects_structural_defects() {
+        let cases = [
+            ("{}", "no `traceEvents`"),
+            (r#"{"traceEvents":{}}"#, "must be an array"),
+            (r#"{"traceEvents":[{"pid":1}]}"#, "missing `ph`"),
+            (r#"{"traceEvents":[{"ph":"Z","pid":1}]}"#, "unknown phase"),
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"seal","cat":"c","pid":1,"tid":0,"ts":1}]}"#,
+                "missing `dur`",
+            ),
+            (
+                r#"{"traceEvents":[{"ph":"i","name":"d","cat":"c","pid":1,"tid":0,"ts":1}]}"#,
+                "missing `s`",
+            ),
+            (
+                r#"{"traceEvents":[{"ph":"M","name":"bogus","pid":1,"args":{"name":"x"}}]}"#,
+                "unknown metadata",
+            ),
+            (
+                r#"{"traceEvents":[
+                    {"ph":"B","name":"a","cat":"s","pid":1,"tid":0,"ts":1},
+                    {"ph":"B","name":"b","cat":"s","pid":1,"tid":0,"ts":2},
+                    {"ph":"E","name":"a","cat":"s","pid":1,"tid":0,"ts":3}
+                ]}"#,
+                "crosses open span",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = validate_trace(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc} -> {err}");
+        }
+    }
+
+    #[test]
+    fn trace_validator_tolerates_ring_overwrite_artifacts() {
+        // A begin whose end was never recorded, and an end whose begin
+        // was overwritten out of the ring, are counted but not fatal.
+        let doc = r#"{"traceEvents":[
+            {"ph":"E","name":"lost","cat":"s","pid":1,"tid":0,"ts":1},
+            {"ph":"B","name":"open","cat":"s","pid":1,"tid":0,"ts":2}
+        ]}"#;
+        let summary = validate_trace(doc).unwrap();
+        assert_eq!(summary.orphan_ends, 1);
+        assert_eq!(summary.unclosed, 1);
+        assert_eq!(summary.span_pairs, 0);
+    }
+
+    #[test]
+    fn prom_validator_accepts_the_exporter_shapes() {
+        let doc = "\
+# TYPE engine_collapses counter\n\
+engine_collapses 42\n\
+# TYPE engine_seal_level gauge\n\
+engine_seal_level{level=\"0\"} 3\n\
+engine_seal_level{level=\"1\",kernel=\"run_merge\"} 1\n\
+# TYPE batch_latency summary\n\
+batch_latency{quantile=\"0.5\"} 0.0125\n\
+batch_latency_sum 1.5\n\
+batch_latency_count 120\n\
+weird_values{a=\"esc\\\"aped\\n\"} NaN\n\
+mrl_obs_dropped_updates 0 1700000000000\n";
+        let summary = validate_prom(doc).unwrap();
+        assert_eq!(summary.samples, 8);
+        assert_eq!(summary.types, 3);
+    }
+
+    #[test]
+    fn prom_validator_rejects_format_violations() {
+        let cases = [
+            ("# TYPE 9bad counter\nx 1\n", "bad metric name"),
+            ("# TYPE x wibble\nx 1\n", "unknown metric type"),
+            ("# TYPE x counter\n# TYPE x counter\nx 1\n", "duplicate"),
+            ("2fast 1\n", "bad metric name"),
+            ("x{9l=\"v\"} 1\n", "bad label name"),
+            ("x{l=unquoted} 1\n", "label value must be quoted"),
+            ("x{l=\"v\"\n", "expected `,` or `}`"),
+            ("x not_a_number\n", "bad sample value"),
+            ("x 1 notatimestamp\n", "bad timestamp"),
+            ("x 1 2 3\n", "trailing tokens"),
+            ("# TYPE x counter\n", "no sample lines"),
+        ];
+        for (doc, needle) in cases {
+            let err = validate_prom(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc:?} -> {err}");
+        }
+    }
+}

@@ -56,6 +56,20 @@ pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
     v.get(key).ok_or_else(|| format!("missing field `{key}`"))
 }
 
+// Identity impls so callers can round-trip raw value trees (e.g. parse
+// arbitrary JSON with `serde_json::from_str::<Value>` and inspect it).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 /// Types that can render themselves into a [`Value`].
 pub trait Serialize {
     /// Render into a value tree.
