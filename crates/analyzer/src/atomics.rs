@@ -1,0 +1,425 @@
+//! MRL-A005 — atomics-protocol checker.
+//!
+//! Collects every atomic operation (receiver field, op kind, `Ordering`
+//! arguments) per function, keys them on the workspace-wide table of
+//! `Atomic*`-typed struct fields from the parser, and runs three checks
+//! over the per-function CFG:
+//!
+//! 1. **Relaxed publish without a Release on every path** — a `Relaxed`
+//!    store to a field that is Acquire-loaded elsewhere must be
+//!    followed, on *all* CFG paths to exit, by a Release-class write
+//!    (the publish that makes the relaxed write visible in order).
+//! 2. **CAS failure ordering stronger than success** — `compare_exchange`
+//!    whose failure ordering out-ranks its success ordering is a
+//!    protocol smell: the failed path promises more than the taken one.
+//! 3. **Seqlock readers without re-read validation** — when a writer
+//!    pairs a `Relaxed` bump of field A with a later Release store to
+//!    field B (journal.rs's reserve/publish shape), a reader that
+//!    Acquire-loads B and then loads other atomics must re-read A
+//!    afterwards, or torn data can escape the validation window.
+//!
+//! Fields are keyed by *name* across the workspace — same
+//! over-approximation as call-graph resolution (DESIGN.md §3.11/§3.15).
+//! Suppression: `// protocol:` on the op line or the enclosing fn.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::parser::FnInfo;
+use crate::rules::{justified, snippet_of, Finding};
+use crate::workspace::Workspace;
+
+/// The atomic method families we model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Load,
+    Store,
+    Rmw,
+    Cas,
+}
+
+/// Memory orderings, in source-name form.
+pub(crate) const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const RMW_OPS: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// Strength rank for the CAS check: Acquire and Release are
+/// incomparable one-sided halves, both rank 1.
+fn rank(order: &str) -> u8 {
+    match order {
+        "Relaxed" => 0,
+        "Acquire" | "Release" => 1,
+        "AcqRel" => 2,
+        _ => 3, // SeqCst
+    }
+}
+
+fn is_release_class(order: &str) -> bool {
+    matches!(order, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn is_acquire_class(order: &str) -> bool {
+    matches!(order, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// One atomic operation site inside a function body.
+#[derive(Debug)]
+pub(crate) struct AtomOp {
+    /// Receiver ident (nearest ident left of the `.op(` chain) — a
+    /// field name when the receiver is a field access, otherwise
+    /// whatever local it resolved to (which then simply misses the
+    /// field table).
+    pub field: String,
+    pub kind: OpKind,
+    /// Ordering arguments in call order (`[success, failure]` for CAS).
+    pub orders: Vec<String>,
+    /// CFG statement the op sits in.
+    pub stmt: usize,
+    /// Token index of the op ident, body-slice relative (intra-statement
+    /// order).
+    pub tok: usize,
+    pub line: u32,
+}
+
+fn op_kind(name: &str) -> Option<OpKind> {
+    if name == "load" {
+        return Some(OpKind::Load);
+    }
+    if name == "store" {
+        return Some(OpKind::Store);
+    }
+    if RMW_OPS.contains(&name) {
+        return Some(OpKind::Rmw);
+    }
+    if matches!(name, "compare_exchange" | "compare_exchange_weak") {
+        return Some(OpKind::Cas);
+    }
+    None
+}
+
+/// Nearest ident left of `toks[dot]` (a `.`), hopping back over one
+/// balanced `(…)`/`[…]` group: `self.inner.reserve.load` → `reserve`,
+/// `storage[i].load` → `storage`.
+pub(crate) fn receiver_of(toks: &[Token], dot: usize) -> String {
+    if dot == 0 {
+        return String::new();
+    }
+    let mut j = dot - 1;
+    let close = toks[j].text.as_str();
+    if matches!(close, ")" | "]") {
+        let open = if close == ")" { "(" } else { "[" };
+        let mut depth = 0usize;
+        loop {
+            if toks[j].text == close {
+                depth += 1;
+            } else if toks[j].text == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return String::new();
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return String::new();
+        }
+        j -= 1;
+    }
+    if toks[j].kind == TokKind::Ident {
+        toks[j].text.clone()
+    } else {
+        String::new()
+    }
+}
+
+/// Extract every atomic op in a body slice, attributed to CFG
+/// statements. `ops` come back sorted by token index.
+pub(crate) fn extract_ops(toks: &[Token], cfg: &Cfg) -> Vec<AtomOp> {
+    let mut ops = Vec::new();
+    for (sid, stmt) in cfg.stmts.iter().enumerate() {
+        let (lo, hi) = stmt.range;
+        let mut j = lo;
+        while j < hi {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident {
+                j += 1;
+                continue;
+            }
+            let Some(kind) = op_kind(&t.text) else {
+                j += 1;
+                continue;
+            };
+            if j == 0 || toks[j - 1].text != "." || j + 1 >= hi || toks[j + 1].text != "(" {
+                j += 1;
+                continue;
+            }
+            // Walk the argument group, collecting Ordering idents in
+            // call order (`Ordering::Relaxed` or bare `Relaxed`).
+            let mut depth = 0usize;
+            let mut orders = Vec::new();
+            let mut k = j + 1;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if toks[k].kind == TokKind::Ident
+                            && ORDERINGS.contains(&toks[k].text.as_str())
+                        {
+                            orders.push(toks[k].text.clone());
+                        }
+                    }
+                }
+                k += 1;
+            }
+            if !orders.is_empty() {
+                ops.push(AtomOp {
+                    field: receiver_of(toks, j - 1),
+                    kind,
+                    orders,
+                    stmt: sid,
+                    tok: j,
+                    line: t.line,
+                });
+            }
+            j = k.max(j + 1);
+        }
+    }
+    ops.sort_by_key(|o| o.tok);
+    ops
+}
+
+/// True when `op` makes a Release-class write (store, RMW, or the
+/// success side of a CAS).
+fn releases(op: &AtomOp) -> bool {
+    match op.kind {
+        OpKind::Store | OpKind::Rmw | OpKind::Cas => {
+            op.orders.first().is_some_and(|o| is_release_class(o))
+        }
+        OpKind::Load => false,
+    }
+}
+
+/// One analysed function: its CFG and atomic ops.
+struct FnAtomics<'a> {
+    path: &'a str,
+    lexed: &'a Lexed,
+    info: &'a FnInfo,
+    cfg: Cfg,
+    ops: Vec<AtomOp>,
+}
+
+pub(crate) fn check(ws: &Workspace, findings: &mut Vec<Finding>) {
+    // Workspace-wide tables: Atomic*-typed field names, and which of
+    // them are Acquire-loaded anywhere.
+    let mut atomic_fields: BTreeSet<String> = BTreeSet::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for f in &file.fields {
+                if !f.is_test && f.ty.starts_with("Atomic") {
+                    atomic_fields.insert(f.name.clone());
+                }
+            }
+        }
+    }
+    if atomic_fields.is_empty() {
+        return;
+    }
+
+    let mut fns: Vec<FnAtomics> = Vec::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for info in &file.fns {
+                if info.is_test || info.body.0 == info.body.1 {
+                    continue;
+                }
+                let body = &file.lexed.tokens[info.body.0..info.body.1];
+                // Cheap prescan before building a CFG.
+                if !body
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && ORDERINGS.contains(&t.text.as_str()))
+                {
+                    continue;
+                }
+                let cfg = Cfg::build(body);
+                let ops = extract_ops(body, &cfg);
+                if ops.is_empty() {
+                    continue;
+                }
+                fns.push(FnAtomics {
+                    path: &file.path,
+                    lexed: &file.lexed,
+                    info,
+                    cfg,
+                    ops,
+                });
+            }
+        }
+    }
+
+    let mut acquire_loaded: BTreeSet<&str> = BTreeSet::new();
+    for f in &fns {
+        for op in &f.ops {
+            if op.kind == OpKind::Load && op.orders.first().is_some_and(|o| is_acquire_class(o)) {
+                acquire_loaded.insert(op.field.as_str());
+            }
+        }
+    }
+
+    // Seqlock pairs (A = relaxed-bumped counter, B = release-published
+    // flag): writer does `A.store(.., Relaxed)` then, later on some
+    // path, `B.store/rmw(.., Release)` with A ≠ B, both atomic fields,
+    // A Acquire-loaded somewhere.
+    let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    for f in &fns {
+        for a in &f.ops {
+            let relaxed_store = a.kind == OpKind::Store
+                && a.orders.first().is_some_and(|o| o == "Relaxed")
+                && atomic_fields.contains(&a.field)
+                && acquire_loaded.contains(a.field.as_str());
+            if !relaxed_store {
+                continue;
+            }
+            let reach = f.cfg.reachable_from(a.stmt);
+            for b in &f.ops {
+                if b.field != a.field
+                    && atomic_fields.contains(&b.field)
+                    && releases(b)
+                    && ((b.stmt == a.stmt && b.tok > a.tok) || (b.stmt != a.stmt && reach[b.stmt]))
+                {
+                    pairs.insert((a.field.clone(), b.field.clone()));
+                }
+            }
+        }
+    }
+
+    for f in &fns {
+        let has_release: Vec<bool> = (0..f.cfg.stmts.len())
+            .map(|s| f.ops.iter().any(|o| o.stmt == s && releases(o)))
+            .collect();
+        let must_release = f.cfg.must_reach(|s| has_release[s]);
+
+        for op in &f.ops {
+            // Check 1: relaxed publish must be sealed by a release.
+            if op.kind == OpKind::Store
+                && op.orders.first().is_some_and(|o| o == "Relaxed")
+                && atomic_fields.contains(&op.field)
+                && acquire_loaded.contains(op.field.as_str())
+            {
+                let same_stmt_later = f
+                    .ops
+                    .iter()
+                    .any(|o| o.stmt == op.stmt && o.tok > op.tok && releases(o));
+                let all_paths = f.cfg.stmts[op.stmt]
+                    .succs
+                    .iter()
+                    .all(|&t| t < f.cfg.stmts.len() && must_release[t]);
+                if !same_stmt_later
+                    && !all_paths
+                    && !justified(f.lexed, op.line, f.info.item_line, "MRL-A005")
+                {
+                    findings.push(Finding {
+                        rule: "MRL-A005",
+                        path: f.path.to_string(),
+                        line: op.line,
+                        snippet: snippet_of(f.lexed, op.line),
+                        fingerprint: 0,
+                        message: format!(
+                            "`{}` is Acquire-loaded elsewhere, but this Relaxed store can \
+                             reach the end of `{}` without a Release-class write on some \
+                             path — readers may observe it unordered (`// protocol:` to \
+                             justify)",
+                            op.field,
+                            f.info.qualified(),
+                        ),
+                    });
+                }
+            }
+
+            // Check 2: CAS failure ordering stronger than success.
+            if op.kind == OpKind::Cas && op.orders.len() >= 2 {
+                let (succ, fail) = (&op.orders[0], &op.orders[1]);
+                if rank(fail) > rank(succ)
+                    && !justified(f.lexed, op.line, f.info.item_line, "MRL-A005")
+                {
+                    findings.push(Finding {
+                        rule: "MRL-A005",
+                        path: f.path.to_string(),
+                        line: op.line,
+                        snippet: snippet_of(f.lexed, op.line),
+                        fingerprint: 0,
+                        message: format!(
+                            "compare_exchange on `{}` uses failure ordering {fail} stronger \
+                             than success ordering {succ} — the failed path promises more \
+                             than the taken one (`// protocol:` to justify)",
+                            op.field,
+                        ),
+                    });
+                }
+            }
+
+            // Check 3: seqlock reader must re-read the counter.
+            if op.kind == OpKind::Load && op.orders.first().is_some_and(|o| is_acquire_class(o)) {
+                let publishes: Vec<&(String, String)> =
+                    pairs.iter().filter(|(_, b)| *b == op.field).collect();
+                if publishes.is_empty() {
+                    continue;
+                }
+                let reach = f.cfg.reachable_from(op.stmt);
+                let is_after = |o: &AtomOp| {
+                    (o.stmt == op.stmt && o.tok > op.tok) || (o.stmt != op.stmt && reach[o.stmt])
+                };
+                let reads_other_data_after = f
+                    .ops
+                    .iter()
+                    .any(|o| o.kind == OpKind::Load && o.field != op.field && is_after(o));
+                if !reads_other_data_after {
+                    continue;
+                }
+                let revalidated = publishes.iter().all(|(a, _)| {
+                    f.ops
+                        .iter()
+                        .any(|o| o.kind == OpKind::Load && o.field == *a && is_after(o))
+                });
+                if !revalidated && !justified(f.lexed, op.line, f.info.item_line, "MRL-A005") {
+                    let counters: Vec<&str> = publishes.iter().map(|(a, _)| a.as_str()).collect();
+                    findings.push(Finding {
+                        rule: "MRL-A005",
+                        path: f.path.to_string(),
+                        line: op.line,
+                        snippet: snippet_of(f.lexed, op.line),
+                        fingerprint: 0,
+                        message: format!(
+                            "seqlock read: `{}` is the publish side of a reserve/publish \
+                             pair, but `{}` does not re-read `{}` after its data loads — \
+                             torn reads can escape validation (`// protocol:` to justify)",
+                            op.field,
+                            f.info.qualified(),
+                            counters.join("`/`"),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

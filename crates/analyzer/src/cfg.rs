@@ -1,0 +1,832 @@
+//! Intra-procedural control-flow graphs over the token stream.
+//!
+//! [`Cfg::build`] turns a function body (the token slice named by
+//! [`crate::parser::FnInfo::body`]) into statement-granularity nodes
+//! with branch, loop, match, early-return, and `?` edges. The dataflow
+//! passes (MRL-A005/A006/A007) run may/must analyses over it.
+//!
+//! Shape and deliberate approximations (DESIGN.md §3.15):
+//!
+//! * Nodes are **statements**, not basic blocks: one node per `;`-,
+//!   brace-, or arm-terminated statement. Intra-statement order is
+//!   recovered by comparing token indices inside the node's range.
+//! * `if`/`else if`/`else` chains fork at the condition node and join
+//!   after the chain; a missing `else` adds the condition → join edge.
+//! * `match` forks to one node list per arm. Matches are exhaustive, so
+//!   the scrutinee node is *not* a fallthrough tail (only empty arms
+//!   route it to the join).
+//! * `while`/`for` heads get a back edge from the body tails and a
+//!   head → join edge (zero-iteration path). `loop` exits only via
+//!   `break` (or `return`), so an infinite `loop` has no join edge.
+//! * A top-level `return`/`break`/`continue` statement has no
+//!   fallthrough. The same keywords (or `?`) *nested inside* a larger
+//!   statement add an extra exit/loop edge while keeping the
+//!   fallthrough — more paths than can execute, never fewer, so
+//!   must-analyses stay conservative. Closure bodies are not
+//!   distinguished: their `return`/`?` also count, again erring toward
+//!   extra paths.
+//! * `let x = if c { a } else { b };` is a single node — branch
+//!   structure inside one statement is flattened to token order.
+
+use crate::lexer::{TokKind, Token};
+
+/// Placeholder successor used while the final exit id is unknown.
+const EXIT_SENTINEL: usize = usize::MAX;
+
+/// One statement node.
+#[derive(Debug)]
+pub struct Stmt {
+    /// Token index range `[lo, hi)` relative to the slice given to
+    /// [`Cfg::build`]. For structured statements this is the *header*
+    /// only (condition, scrutinee, loop head); the bodies are separate
+    /// nodes.
+    pub range: (usize, usize),
+    /// Successor statement ids; `cfg.exit` marks function exit.
+    pub succs: Vec<usize>,
+    /// 1-based source line of the statement's first token.
+    pub line: u32,
+}
+
+/// One loop: its head node and the contiguous id range of body nodes.
+#[derive(Debug)]
+pub struct Loop {
+    /// The `loop`/`while`/`for` header statement.
+    pub head: usize,
+    /// Body statement ids `[lo, hi)` (nodes are allocated in order, so
+    /// a loop body is always a contiguous id range; nested loops nest
+    /// their ranges).
+    pub body: (usize, usize),
+}
+
+/// A function body's control-flow graph.
+#[derive(Debug, Default)]
+pub struct Cfg {
+    pub stmts: Vec<Stmt>,
+    /// Virtual exit node id (== `stmts.len()`, never indexable).
+    pub exit: usize,
+    pub loops: Vec<Loop>,
+}
+
+impl Cfg {
+    /// Build the CFG for one body token slice.
+    pub fn build(toks: &[Token]) -> Cfg {
+        let mut b = Builder {
+            toks,
+            stmts: Vec::new(),
+            loops: Vec::new(),
+        };
+        let mut frames = Vec::new();
+        let (_entry, tails) = b.stmt_list(0, toks.len(), &mut frames);
+        for t in tails {
+            b.add_succ(t, EXIT_SENTINEL);
+        }
+        let exit = b.stmts.len();
+        for s in &mut b.stmts {
+            for succ in &mut s.succs {
+                if *succ == EXIT_SENTINEL {
+                    *succ = exit;
+                }
+            }
+        }
+        Cfg {
+            stmts: b.stmts,
+            exit,
+            loops: b.loops,
+        }
+    }
+
+    /// Statement ids reachable from `from` by one or more edges
+    /// (excludes `from` itself unless it sits on a cycle).
+    pub fn reachable_from(&self, from: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.stmts.len() + 1];
+        let mut queue: Vec<usize> = self.stmts[from].succs.clone();
+        while let Some(s) = queue.pop() {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            if s < self.stmts.len() {
+                queue.extend(self.stmts[s].succs.iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Greatest-fixpoint must-analysis: for each statement, "every path
+    /// from its entry to exit passes a statement where `pred` holds".
+    /// The exit itself never satisfies `pred`, so a path that reaches
+    /// exit without a `pred` statement falsifies everything on it.
+    pub fn must_reach(&self, pred: impl Fn(usize) -> bool) -> Vec<bool> {
+        let n = self.stmts.len();
+        let holds: Vec<bool> = (0..n).map(&pred).collect();
+        let mut must = vec![true; n];
+        // Monotone decreasing iteration; terminates because a pass
+        // only ever flips entries true → false.
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                if !must[s] {
+                    continue;
+                }
+                let ok = holds[s] || self.stmts[s].succs.iter().all(|&t| t < n && must[t]);
+                if !ok {
+                    must[s] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return must;
+            }
+        }
+    }
+
+    /// The innermost loop whose body contains `stmt`, if any.
+    pub fn enclosing_loop(&self, stmt: usize) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| stmt >= l.body.0 && stmt < l.body.1)
+            .min_by_key(|l| l.body.1 - l.body.0)
+    }
+}
+
+/// An open loop during construction: where `continue` goes and the
+/// nodes whose `break` must be wired to the loop's join.
+struct LoopFrame {
+    head: usize,
+    breaks: Vec<usize>,
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    stmts: Vec<Stmt>,
+    loops: Vec<Loop>,
+}
+
+/// Item keywords that open a brace-terminated nested item inside a
+/// body; a plain-statement scan must stop after their `{…}` rather
+/// than hunting for a `;` that never comes.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "impl",
+    "trait",
+    "mod",
+    "macro_rules",
+];
+
+impl Builder<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    fn new_stmt(&mut self, lo: usize, hi: usize) -> usize {
+        self.stmts.push(Stmt {
+            range: (lo, hi),
+            succs: Vec::new(),
+            line: self.line(lo),
+        });
+        self.stmts.len() - 1
+    }
+
+    fn add_succ(&mut self, from: usize, to: usize) {
+        let succs = &mut self.stmts[from].succs;
+        if !succs.contains(&to) {
+            succs.push(to);
+        }
+    }
+
+    /// `toks[open]` is `{`; return `(interior_lo, interior_hi, after)`.
+    fn group(&self, open: usize) -> (usize, usize, usize) {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.toks.len() {
+            match self.text(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (open + 1, i, i + 1);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        (open + 1, self.toks.len(), self.toks.len())
+    }
+
+    /// First `{` at bracket depth 0 in `[i, hi)`, or `hi` if none.
+    fn first_brace(&self, i: usize, hi: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < hi {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// Scan a plain statement starting at `i`: ends after a depth-0
+    /// `;`, after the `{…}` of a nested item, or at `hi`. Depth-0
+    /// braces inside expressions (struct literals, `match`/`if`
+    /// subexpressions of a `let`, let-else blocks) are consumed and the
+    /// scan continues to the terminating `;`.
+    fn plain_end(&self, i: usize, hi: usize) -> usize {
+        let is_item = ITEM_KEYWORDS.contains(&self.text(i));
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < hi {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => return j + 1,
+                "{" if depth == 0 => {
+                    let (_, _, after) = self.group(j);
+                    if is_item {
+                        return after;
+                    }
+                    j = after;
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// Add the conservative edges for terminators *nested inside* a
+    /// statement's token range: `?` and `return` gain an exit edge,
+    /// `break`/`continue` gain loop edges — all while keeping the
+    /// fallthrough (extra paths, never fewer).
+    fn scan_terminators(&mut self, node: usize, lo: usize, hi: usize, frames: &mut [LoopFrame]) {
+        for j in lo..hi {
+            let t = &self.toks[j];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "?") | (TokKind::Ident, "return") => {
+                    self.add_succ(node, EXIT_SENTINEL);
+                }
+                (TokKind::Ident, "break") => {
+                    if let Some(f) = frames.last_mut() {
+                        if !f.breaks.contains(&node) {
+                            f.breaks.push(node);
+                        }
+                    } else {
+                        self.add_succ(node, EXIT_SENTINEL);
+                    }
+                }
+                (TokKind::Ident, "continue") => {
+                    if let Some(head) = frames.last().map(|f| f.head) {
+                        self.add_succ(node, head);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Parse the statement list in `[lo, hi)`. Returns the entry node
+    /// (None for an empty list) and the open tails whose fallthrough
+    /// the caller must wire to whatever follows.
+    fn stmt_list(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        frames: &mut Vec<LoopFrame>,
+    ) -> (Option<usize>, Vec<usize>) {
+        let mut entry = None;
+        let mut tails: Vec<usize> = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            match self.text(i) {
+                ";" => {
+                    i += 1;
+                    continue;
+                }
+                "#" | "#!" => {
+                    // Attribute: `#` (`#!`) then a bracket group.
+                    i += 1;
+                    if self.text(i) == "[" {
+                        let mut depth = 0usize;
+                        while i < hi {
+                            match self.text(i) {
+                                "[" => depth += 1,
+                                "]" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        i += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            let (e, t, next) = self.statement(i, hi, frames);
+            debug_assert!(next > i, "statement scan must advance");
+            if let Some(e) = e {
+                for &p in &tails {
+                    self.add_succ(p, e);
+                }
+                if entry.is_none() {
+                    entry = Some(e);
+                }
+                tails = t;
+            }
+            i = next.max(i + 1);
+        }
+        (entry, tails)
+    }
+
+    /// Parse one statement at `i`. Returns `(entry, open_tails, next)`.
+    fn statement(
+        &mut self,
+        i: usize,
+        hi: usize,
+        frames: &mut Vec<LoopFrame>,
+    ) -> (Option<usize>, Vec<usize>, usize) {
+        // Loop labels: `'name : loop { … }`.
+        let mut start = i;
+        if self.toks[start].kind == TokKind::Lifetime && self.text(start + 1) == ":" {
+            start += 2;
+            if start >= hi {
+                return (None, Vec::new(), hi);
+            }
+        }
+        match self.text(start) {
+            "if" => self.if_stmt(start, hi, frames),
+            "match" => self.match_stmt(start, hi, frames),
+            "loop" | "while" | "for" => self.loop_stmt(start, hi, frames),
+            "unsafe" if self.text(start + 1) == "{" => {
+                let (b_lo, b_hi, after) = self.group(start + 1);
+                let (e, t) = self.stmt_list(b_lo, b_hi, frames);
+                (e, t, after)
+            }
+            "{" => {
+                let (b_lo, b_hi, after) = self.group(start);
+                let (e, t) = self.stmt_list(b_lo, b_hi, frames);
+                (e, t, after)
+            }
+            "return" => {
+                let end = self.plain_end(start, hi);
+                let node = self.new_stmt(i, end);
+                self.add_succ(node, EXIT_SENTINEL);
+                (Some(node), Vec::new(), end)
+            }
+            "break" => {
+                let end = self.plain_end(start, hi);
+                let node = self.new_stmt(i, end);
+                if let Some(f) = frames.last_mut() {
+                    f.breaks.push(node);
+                } else {
+                    self.add_succ(node, EXIT_SENTINEL);
+                }
+                (Some(node), Vec::new(), end)
+            }
+            "continue" => {
+                let end = self.plain_end(start, hi);
+                let node = self.new_stmt(i, end);
+                if let Some(head) = frames.last().map(|f| f.head) {
+                    self.add_succ(node, head);
+                } else {
+                    self.add_succ(node, EXIT_SENTINEL);
+                }
+                (Some(node), Vec::new(), end)
+            }
+            _ => {
+                let end = self.plain_end(start, hi);
+                let node = self.new_stmt(i, end);
+                self.scan_terminators(node, start, end, frames);
+                (Some(node), vec![node], end)
+            }
+        }
+    }
+
+    /// `if cond { … } [else if … ] [else { … }]`.
+    fn if_stmt(
+        &mut self,
+        i: usize,
+        hi: usize,
+        frames: &mut Vec<LoopFrame>,
+    ) -> (Option<usize>, Vec<usize>, usize) {
+        let brace = self.first_brace(i, hi);
+        if brace >= hi {
+            // Malformed / truncated: degrade to one plain node.
+            let node = self.new_stmt(i, hi);
+            self.scan_terminators(node, i, hi, frames);
+            return (Some(node), vec![node], hi);
+        }
+        let cond = self.new_stmt(i, brace);
+        self.scan_terminators(cond, i, brace, frames);
+        let (b_lo, b_hi, mut after) = self.group(brace);
+        let (then_e, then_t) = self.stmt_list(b_lo, b_hi, frames);
+        let mut tails = Vec::new();
+        match then_e {
+            Some(e) => {
+                self.add_succ(cond, e);
+                tails.extend(then_t);
+            }
+            None => tails.push(cond),
+        }
+        if self.text(after) == "else" {
+            if self.text(after + 1) == "if" {
+                let (else_e, else_t, next) = self.if_stmt(after + 1, hi, frames);
+                if let Some(e) = else_e {
+                    self.add_succ(cond, e);
+                }
+                tails.extend(else_t);
+                after = next;
+            } else if self.text(after + 1) == "{" {
+                let (e_lo, e_hi, next) = self.group(after + 1);
+                let (else_e, else_t) = self.stmt_list(e_lo, e_hi, frames);
+                match else_e {
+                    Some(e) => {
+                        self.add_succ(cond, e);
+                        tails.extend(else_t);
+                    }
+                    None => tails.push(cond),
+                }
+                after = next;
+            } else {
+                // `else` not followed by a block: treat as no-else.
+                tails.push(cond);
+            }
+        } else {
+            // No else: the false path falls through.
+            tails.push(cond);
+        }
+        tails.sort_unstable();
+        tails.dedup();
+        (Some(cond), tails, after)
+    }
+
+    /// `match scrutinee { pat => body, … }`.
+    fn match_stmt(
+        &mut self,
+        i: usize,
+        hi: usize,
+        frames: &mut Vec<LoopFrame>,
+    ) -> (Option<usize>, Vec<usize>, usize) {
+        let brace = self.first_brace(i, hi);
+        if brace >= hi {
+            let node = self.new_stmt(i, hi);
+            self.scan_terminators(node, i, hi, frames);
+            return (Some(node), vec![node], hi);
+        }
+        let head = self.new_stmt(i, brace);
+        self.scan_terminators(head, i, brace, frames);
+        let (a_lo, a_hi, after) = self.group(brace);
+        let mut tails = Vec::new();
+        let mut arms = 0usize;
+        let mut j = a_lo;
+        while j < a_hi {
+            if matches!(self.text(j), "," | "|") {
+                j += 1;
+                continue;
+            }
+            if matches!(self.text(j), "#" | "#!") {
+                j += 1;
+                if self.text(j) == "[" {
+                    let mut depth = 0usize;
+                    while j < a_hi {
+                        match self.text(j) {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                continue;
+            }
+            // Pattern (and optional guard) up to the depth-0 `=>`.
+            let mut depth = 0usize;
+            let mut arrow = a_hi;
+            let mut k = j;
+            while k < a_hi {
+                match self.text(k) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "{" => {
+                        let (_, _, g_after) = self.group(k);
+                        k = g_after;
+                        continue;
+                    }
+                    "=>" if depth == 0 => {
+                        arrow = k;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if arrow >= a_hi {
+                break; // trailing tokens without an arm
+            }
+            let body_lo = arrow + 1;
+            let (arm_lo, arm_hi, next) = if self.text(body_lo) == "{" {
+                self.group(body_lo)
+            } else {
+                // Expression arm: up to the depth-0 `,` (or group end).
+                let mut depth = 0usize;
+                let mut k = body_lo;
+                while k < a_hi {
+                    match self.text(k) {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "{" if depth == 0 => {
+                            let (_, _, g_after) = self.group(k);
+                            k = g_after;
+                            continue;
+                        }
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                (body_lo, k, k)
+            };
+            let (arm_e, arm_t) = self.stmt_list(arm_lo, arm_hi, frames);
+            match arm_e {
+                Some(e) => {
+                    self.add_succ(head, e);
+                    tails.extend(arm_t);
+                }
+                None => tails.push(head),
+            }
+            arms += 1;
+            j = next.max(j + 1);
+        }
+        if arms == 0 {
+            tails.push(head);
+        }
+        tails.sort_unstable();
+        tails.dedup();
+        (Some(head), tails, after)
+    }
+
+    /// `loop { … }`, `while cond { … }`, `for pat in iter { … }`.
+    fn loop_stmt(
+        &mut self,
+        i: usize,
+        hi: usize,
+        frames: &mut Vec<LoopFrame>,
+    ) -> (Option<usize>, Vec<usize>, usize) {
+        let brace = if self.text(i) == "loop" {
+            if self.text(i + 1) == "{" {
+                i + 1
+            } else {
+                hi
+            }
+        } else {
+            self.first_brace(i, hi)
+        };
+        if brace >= hi {
+            let node = self.new_stmt(i, hi);
+            self.scan_terminators(node, i, hi, frames);
+            return (Some(node), vec![node], hi);
+        }
+        let head = self.new_stmt(i, brace);
+        self.scan_terminators(head, i, brace, frames);
+        let (b_lo, b_hi, after) = self.group(brace);
+        frames.push(LoopFrame {
+            head,
+            breaks: Vec::new(),
+        });
+        let body_start = self.stmts.len();
+        let (body_e, body_t) = self.stmt_list(b_lo, b_hi, frames);
+        let body_end = self.stmts.len();
+        let frame = frames.pop().expect("frame pushed above");
+        if let Some(e) = body_e {
+            self.add_succ(head, e);
+        }
+        for t in body_t {
+            self.add_succ(t, head); // back edge
+        }
+        let mut tails = frame.breaks;
+        if self.text(i) != "loop" {
+            // while/for: the zero-iteration path exits at the head. An
+            // infinite `loop` has no such path — it leaves via break.
+            tails.push(head);
+        }
+        tails.sort_unstable();
+        tails.dedup();
+        self.loops.push(Loop {
+            head,
+            body: (body_start, body_end),
+        });
+        (Some(head), tails, after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg_of(body: &str) -> Cfg {
+        let lexed = lex(body).expect("fixture lexes");
+        Cfg::build(&lexed.tokens)
+    }
+
+    /// The line-sorted statement id whose range starts on `line`.
+    fn on_line(cfg: &Cfg, line: u32) -> usize {
+        cfg.stmts
+            .iter()
+            .position(|s| s.line == line)
+            .unwrap_or_else(|| panic!("no stmt on line {line}"))
+    }
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let cfg = cfg_of("let a = 1;\nlet b = a + 1;\nb");
+        assert_eq!(cfg.stmts.len(), 3);
+        assert_eq!(cfg.stmts[0].succs, vec![1]);
+        assert_eq!(cfg.stmts[1].succs, vec![2]);
+        assert_eq!(cfg.stmts[2].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let cfg = cfg_of("let a = 1;\nif a > 0 {\nwork();\n}\ndone();");
+        let cond = on_line(&cfg, 2);
+        let then = on_line(&cfg, 3);
+        let join = on_line(&cfg, 5);
+        assert!(cfg.stmts[cond].succs.contains(&then));
+        assert!(cfg.stmts[cond].succs.contains(&join), "false path skips");
+        assert_eq!(cfg.stmts[then].succs, vec![join]);
+    }
+
+    #[test]
+    fn if_else_has_no_skip_edge() {
+        let cfg = cfg_of("if c {\na();\n} else {\nb();\n}\njoin();");
+        let cond = on_line(&cfg, 1);
+        let join = on_line(&cfg, 6);
+        assert_eq!(cfg.stmts[cond].succs.len(), 2);
+        assert!(!cfg.stmts[cond].succs.contains(&join));
+        assert!(cfg.stmts[on_line(&cfg, 2)].succs.contains(&join));
+        assert!(cfg.stmts[on_line(&cfg, 4)].succs.contains(&join));
+    }
+
+    #[test]
+    fn top_level_return_has_no_fallthrough() {
+        let cfg = cfg_of("if c {\nreturn 0;\n}\nafter();");
+        let ret = on_line(&cfg, 2);
+        assert_eq!(cfg.stmts[ret].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn nested_question_mark_keeps_fallthrough_plus_exit_edge() {
+        let cfg = cfg_of("let v = fallible()?;\nuse_it(v);");
+        let q = on_line(&cfg, 1);
+        let next = on_line(&cfg, 2);
+        assert!(cfg.stmts[q].succs.contains(&cfg.exit), "? adds exit edge");
+        assert!(cfg.stmts[q].succs.contains(&next), "fallthrough kept");
+    }
+
+    #[test]
+    fn match_forks_per_arm_and_scrutinee_is_not_a_tail() {
+        let cfg = cfg_of("match x {\nSome(v) => a(v),\nNone => {\nb();\n}\n}\njoin();");
+        let head = on_line(&cfg, 1);
+        let arm0 = on_line(&cfg, 2);
+        let arm1 = on_line(&cfg, 4);
+        let join = on_line(&cfg, 7);
+        assert_eq!(cfg.stmts[head].succs.len(), 2);
+        assert!(
+            !cfg.stmts[head].succs.contains(&join),
+            "match is exhaustive"
+        );
+        assert_eq!(cfg.stmts[arm0].succs, vec![join]);
+        assert_eq!(cfg.stmts[arm1].succs, vec![join]);
+    }
+
+    #[test]
+    fn arm_with_return_reaches_exit_only() {
+        let cfg = cfg_of("match x {\nNone => return,\nSome(v) => use_it(v),\n}\njoin();");
+        let ret = on_line(&cfg, 2);
+        assert_eq!(cfg.stmts[ret].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_and_zero_iteration_exit() {
+        let cfg = cfg_of("while rx.recv().is_ok() {\nstep();\n}\nafter();");
+        let head = on_line(&cfg, 1);
+        let body = on_line(&cfg, 2);
+        let after = on_line(&cfg, 4);
+        assert!(cfg.stmts[head].succs.contains(&body));
+        assert!(
+            cfg.stmts[head].succs.contains(&after),
+            "zero-iteration path"
+        );
+        assert!(cfg.stmts[body].succs.contains(&head), "back edge");
+        assert_eq!(cfg.loops.len(), 1);
+        assert_eq!(cfg.loops[0].head, head);
+        assert!(body >= cfg.loops[0].body.0 && body < cfg.loops[0].body.1);
+    }
+
+    #[test]
+    fn infinite_loop_exits_only_via_break() {
+        let cfg = cfg_of("loop {\nif done {\nbreak;\n}\nstep();\n}\nafter();");
+        let head = on_line(&cfg, 1);
+        let brk = on_line(&cfg, 3);
+        let after = on_line(&cfg, 7);
+        assert!(
+            !cfg.stmts[head].succs.contains(&after),
+            "no zero-iteration skip"
+        );
+        assert!(
+            cfg.stmts[brk].succs.contains(&after),
+            "break reaches the join"
+        );
+    }
+
+    #[test]
+    fn loop_without_break_never_reaches_following_statements() {
+        let cfg = cfg_of("loop {\nstep();\n}\nunreachable_after();");
+        let head = on_line(&cfg, 1);
+        let reach = cfg.reachable_from(head);
+        let after = on_line(&cfg, 4);
+        assert!(!reach[after]);
+        assert!(!reach[cfg.exit], "no path out of an infinite loop");
+    }
+
+    #[test]
+    fn continue_targets_the_loop_head() {
+        let cfg = cfg_of("for x in xs {\nif skip(x) {\ncontinue;\n}\nwork(x);\n}");
+        let head = on_line(&cfg, 1);
+        let cont = on_line(&cfg, 3);
+        assert_eq!(cfg.stmts[cont].succs, vec![head]);
+    }
+
+    #[test]
+    fn let_else_diverges_or_continues() {
+        let cfg = cfg_of("let Some(v) = opt else {\nreturn;\n};\nuse_it(v);");
+        // The whole let-else is one node with both an exit edge and a
+        // fallthrough (the brace group is consumed mid-statement).
+        let node = on_line(&cfg, 1);
+        assert!(cfg.stmts[node].succs.contains(&cfg.exit));
+        let next = on_line(&cfg, 4);
+        assert!(cfg.stmts[node].succs.contains(&next));
+    }
+
+    #[test]
+    fn nested_fn_item_is_one_opaque_node() {
+        let cfg = cfg_of("fn helper(x: u64) -> u64 {\nx + 1\n}\nlet y = helper(2);\ny");
+        assert_eq!(cfg.stmts.len(), 3, "item + let + tail expression");
+        assert_eq!(cfg.stmts[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn must_reach_sees_the_early_return_gap() {
+        // store; if c { return; } publish;  — publish is skipped on the
+        // early path, so must_reach(publish) fails from the store.
+        let cfg = cfg_of("store();\nif c {\nreturn;\n}\npublish();");
+        let store = on_line(&cfg, 1);
+        let publish = on_line(&cfg, 5);
+        let must = cfg.must_reach(|s| s == publish);
+        assert!(must[publish]);
+        assert!(!must[store], "early return dodges the publish");
+
+        // Without the early return every path publishes.
+        let cfg2 = cfg_of("store();\nif c {\nextra();\n}\npublish();");
+        let store2 = on_line(&cfg2, 1);
+        let publish2 = on_line(&cfg2, 5);
+        let must2 = cfg2.must_reach(|s| s == publish2);
+        assert!(must2[store2]);
+    }
+
+    #[test]
+    fn enclosing_loop_picks_the_innermost() {
+        let cfg = cfg_of("while a {\nwhile b {\ninner();\n}\nouter();\n}");
+        let inner_stmt = on_line(&cfg, 3);
+        let inner_head = on_line(&cfg, 2);
+        let l = cfg.enclosing_loop(inner_stmt).expect("inside two loops");
+        assert_eq!(l.head, inner_head);
+        let outer_stmt = on_line(&cfg, 5);
+        let outer_head = on_line(&cfg, 1);
+        let l2 = cfg.enclosing_loop(outer_stmt).expect("inside outer loop");
+        assert_eq!(l2.head, outer_head);
+    }
+}

@@ -1,0 +1,551 @@
+//! MRL-A006 — channel-topology deadlock analysis.
+//!
+//! Scoped to the `parallel` crate (the workspace's only mpsc user):
+//! every `channel()`/`sync_channel()` creation is tracked to its
+//! endpoint names — through `let`-tuple bindings, `.clone()`, plain
+//! rebinding, struct-literal fields, and `Vec::push` — and every
+//! `.send`/`.try_send`/`.recv`/`.try_recv`/iteration site is attributed
+//! to a *context*: the surrounding `spawn(move || …)` closure, or the
+//! shared main context for everything else. Three checks:
+//!
+//! 1. **Bounded cycles** — a bounded channel whose receive context can
+//!    reach its send context back through bounded edges: both sides can
+//!    block full/empty simultaneously.
+//! 2. **Dead receivers** — a channel with send sites whose receiver is
+//!    dropped or never read: bounded senders block forever once the
+//!    buffer fills, unbounded ones leak.
+//! 3. **Blocking bounded sends inside recv-blocked loops** — the
+//!    classic ABBA shape: holding a loop headed by a blocking `recv`
+//!    while issuing a blocking send on a *bounded* channel.
+//!
+//! Endpoints are tracked by name, crate-wide; an endpoint passed as a
+//! bare call argument escapes the analysis and mutes check 2 for its
+//! channel (`drop(rx)` is the deliberate exception — that *is* the
+//! dropped-receiver case). Suppression: `// protocol:`.
+
+use std::collections::BTreeSet;
+
+use crate::atomics::receiver_of;
+use crate::cfg::Cfg;
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::parser::FnInfo;
+use crate::rules::{justified, snippet_of, Finding};
+use crate::workspace::Workspace;
+
+/// One analysed function body in the crate.
+struct FnBody<'a> {
+    path: &'a str,
+    lexed: &'a Lexed,
+    info: &'a FnInfo,
+    /// Body token slice (relative indices everywhere below).
+    toks: &'a [Token],
+    cfg: Cfg,
+    /// `spawn(…)` closure body token ranges, innermost-last, with their
+    /// context ids.
+    spawns: Vec<(usize, usize, usize)>,
+}
+
+impl FnBody<'_> {
+    /// Context of a token position: the innermost enclosing spawn
+    /// closure, or the shared main context 0.
+    fn ctx_of(&self, tok: usize) -> usize {
+        self.spawns
+            .iter()
+            .filter(|&&(lo, hi, _)| tok >= lo && tok < hi)
+            .min_by_key(|&&(lo, hi, _)| hi - lo)
+            .map_or(MAIN_CTX, |&(_, _, id)| id)
+    }
+
+    /// CFG statement containing a token position, if any (match-arm
+    /// patterns and `else` keywords belong to no statement).
+    fn stmt_of(&self, tok: usize) -> Option<usize> {
+        self.cfg
+            .stmts
+            .iter()
+            .position(|s| tok >= s.range.0 && tok < s.range.1)
+    }
+}
+
+const MAIN_CTX: usize = 0;
+
+/// One channel creation site.
+struct Chan {
+    bounded: bool,
+    /// Function the channel was created in (index into the body list) —
+    /// anchors the finding and its justification lookup.
+    owner: usize,
+    line: u32,
+    /// Names the sender / receiver ends are reachable under.
+    senders: BTreeSet<String>,
+    receivers: BTreeSet<String>,
+    /// The receiver escaped as a bare call argument: another function
+    /// owns its fate, so "never received" cannot be concluded here.
+    receiver_escaped: bool,
+    /// An explicit `drop(rx)` was seen.
+    receiver_dropped: bool,
+}
+
+/// One send or receive site.
+struct Site {
+    chan: usize,
+    ctx: usize,
+    /// Body index of the op token, and which function.
+    f: usize,
+    tok: usize,
+    line: u32,
+    blocking: bool,
+}
+
+fn ident_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+/// Is `toks[j]` inside a `let (…)`-pattern group rather than a call
+/// argument list? The binding `let ( tx , rx ) = …` has the same local
+/// shape as a bare call argument, so the escape scan must walk back to
+/// the unmatched `(` and look at what opened the group.
+fn in_let_pattern(toks: &[Token], j: usize) -> bool {
+    let mut depth = 0usize;
+    let mut i = j;
+    while i > 0 {
+        i -= 1;
+        match toks[i].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                if depth == 0 {
+                    return i > 0 && ident_at(toks, i - 1, "let");
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Find the spawn-closure body ranges in a token slice: `spawn` `(`,
+/// then the first `|…|` closure inside, then its braced body (or the
+/// rest of the argument group for expression closures).
+fn spawn_ranges(toks: &[Token], next_ctx: &mut usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(ident_at(toks, i, "spawn") && toks.get(i + 1).is_some_and(|t| t.text == "(")) {
+            i += 1;
+            continue;
+        }
+        // Argument group bounds.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut g_hi = toks.len();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        g_hi = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // First closure: `|params|` (or `||`).
+        let mut k = i + 2;
+        let mut body_lo = None;
+        while k < g_hi {
+            if toks[k].text == "||" {
+                body_lo = Some(k + 1);
+                break;
+            }
+            if toks[k].text == "|" {
+                let mut m = k + 1;
+                while m < g_hi && toks[m].text != "|" {
+                    m += 1;
+                }
+                body_lo = Some(m + 1);
+                break;
+            }
+            k += 1;
+        }
+        if let Some(lo) = body_lo {
+            let (b_lo, b_hi) = if toks.get(lo).is_some_and(|t| t.text == "{") {
+                let mut depth = 0usize;
+                let mut m = lo;
+                let mut hi = g_hi;
+                while m < g_hi {
+                    match toks[m].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                hi = m + 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                (lo, hi)
+            } else {
+                (lo, g_hi)
+            };
+            out.push((b_lo, b_hi, *next_ctx));
+            *next_ctx += 1;
+        }
+        i = g_hi.max(i + 1);
+    }
+    out
+}
+
+const RECV_OPS: &[(&str, bool)] = &[
+    ("recv", true),
+    ("recv_timeout", true),
+    ("try_recv", false),
+    ("iter", true),
+    ("try_iter", false),
+    ("into_iter", true),
+];
+
+pub(crate) fn check(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if krate.dir != "parallel" {
+            continue;
+        }
+        check_crate(krate, findings);
+    }
+}
+
+fn check_crate(krate: &crate::workspace::Crate, findings: &mut Vec<Finding>) {
+    let mut next_ctx = MAIN_CTX + 1;
+    let mut fns: Vec<FnBody> = Vec::new();
+    for file in &krate.files {
+        for info in &file.fns {
+            if info.is_test || info.body.0 == info.body.1 {
+                continue;
+            }
+            let toks = &file.lexed.tokens[info.body.0..info.body.1];
+            fns.push(FnBody {
+                path: &file.path,
+                lexed: &file.lexed,
+                info,
+                toks,
+                cfg: Cfg::build(toks),
+                spawns: spawn_ranges(toks, &mut next_ctx),
+            });
+        }
+    }
+
+    // Pass 1: channel creations, with the `let (tx, rx) =` names.
+    let mut chans: Vec<Chan> = Vec::new();
+    for (fi, f) in fns.iter().enumerate() {
+        let toks = f.toks;
+        for stmt in &f.cfg.stmts {
+            let (lo, hi) = stmt.range;
+            for j in lo..hi {
+                let is_ctor = (ident_at(toks, j, "sync_channel") || ident_at(toks, j, "channel"))
+                    && j + 1 < hi
+                    && matches!(toks[j + 1].text.as_str(), "(" | "::")
+                    && (j == 0 || toks[j - 1].text != ".");
+                if !is_ctor {
+                    continue;
+                }
+                // `let ( tx , rx ) =` at the statement head.
+                let mut senders = BTreeSet::new();
+                let mut receivers = BTreeSet::new();
+                if ident_at(toks, lo, "let")
+                    && toks.get(lo + 1).is_some_and(|t| t.text == "(")
+                    && toks.get(lo + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(lo + 3).is_some_and(|t| t.text == ",")
+                    && toks.get(lo + 4).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(lo + 5).is_some_and(|t| t.text == ")")
+                {
+                    senders.insert(toks[lo + 2].text.clone());
+                    receivers.insert(toks[lo + 4].text.clone());
+                }
+                chans.push(Chan {
+                    bounded: toks[j].text == "sync_channel",
+                    owner: fi,
+                    line: toks[j].line,
+                    senders,
+                    receivers,
+                    receiver_escaped: false,
+                    receiver_dropped: false,
+                });
+            }
+        }
+    }
+    if chans.is_empty() {
+        return;
+    }
+
+    // Pass 2: alias propagation, two rounds for clone-of-clone chains.
+    for _ in 0..2 {
+        for f in &fns {
+            let toks = f.toks;
+            for j in 0..toks.len() {
+                // `let X = Y ;` / `let X = Y . clone ( )`
+                if ident_at(toks, j, "let")
+                    && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(j + 2).is_some_and(|t| t.text == "=")
+                    && toks.get(j + 3).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    let dst = &toks[j + 1].text;
+                    let src = &toks[j + 3].text;
+                    let simple = toks.get(j + 4).is_some_and(|t| t.text == ";")
+                        || (toks.get(j + 4).is_some_and(|t| t.text == ".")
+                            && ident_at(toks, j + 5, "clone"));
+                    if simple {
+                        for c in chans.iter_mut() {
+                            if c.senders.contains(src) {
+                                c.senders.insert(dst.clone());
+                            }
+                            if c.receivers.contains(src) {
+                                c.receivers.insert(dst.clone());
+                            }
+                        }
+                    }
+                }
+                // Struct-literal field or assignment: `name : Y` /
+                // `. name = Y`.
+                if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks
+                        .get(j + 1)
+                        .is_some_and(|t| t.text == ":" || t.text == "=")
+                    && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks
+                        .get(j + 3)
+                        .is_some_and(|t| matches!(t.text.as_str(), "," | "}" | ";"))
+                {
+                    let dst = &toks[j].text;
+                    let src = &toks[j + 2].text;
+                    for c in chans.iter_mut() {
+                        if c.senders.contains(src) {
+                            c.senders.insert(dst.clone());
+                        }
+                        if c.receivers.contains(src) {
+                            c.receivers.insert(dst.clone());
+                        }
+                    }
+                }
+                // `X . push ( Y )` — a collection of endpoints.
+                if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(j + 1).is_some_and(|t| t.text == ".")
+                    && ident_at(toks, j + 2, "push")
+                    && toks.get(j + 3).is_some_and(|t| t.text == "(")
+                    && toks.get(j + 4).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    let dst = &toks[j].text;
+                    let src = &toks[j + 4].text;
+                    for c in chans.iter_mut() {
+                        if c.senders.contains(src) {
+                            c.senders.insert(dst.clone());
+                        }
+                        if c.receivers.contains(src) {
+                            c.receivers.insert(dst.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: sends, receives, drops, escapes.
+    let mut sends: Vec<Site> = Vec::new();
+    let mut recvs: Vec<Site> = Vec::new();
+    for (fi, f) in fns.iter().enumerate() {
+        let toks = f.toks;
+        for j in 0..toks.len() {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let is_call =
+                j > 0 && toks[j - 1].text == "." && toks.get(j + 1).is_some_and(|t| t.text == "(");
+            if is_call && matches!(t.text.as_str(), "send" | "try_send") {
+                let recv_name = receiver_of(toks, j - 1);
+                if let Some(ci) = chans.iter().position(|c| c.senders.contains(&recv_name)) {
+                    sends.push(Site {
+                        chan: ci,
+                        ctx: f.ctx_of(j),
+                        f: fi,
+                        tok: j,
+                        line: t.line,
+                        blocking: t.text == "send",
+                    });
+                }
+            }
+            if is_call {
+                if let Some(&(_, blocking)) = RECV_OPS.iter().find(|(name, _)| *name == t.text) {
+                    let recv_name = receiver_of(toks, j - 1);
+                    if let Some(ci) = chans.iter().position(|c| c.receivers.contains(&recv_name)) {
+                        recvs.push(Site {
+                            chan: ci,
+                            ctx: f.ctx_of(j),
+                            f: fi,
+                            tok: j,
+                            line: t.line,
+                            blocking,
+                        });
+                    }
+                }
+            }
+            // `for pat in rx { … }` — blocking iteration.
+            if t.text == "in" && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                let name = &toks[j + 1].text;
+                if let Some(ci) = chans.iter().position(|c| c.receivers.contains(name)) {
+                    recvs.push(Site {
+                        chan: ci,
+                        ctx: f.ctx_of(j),
+                        f: fi,
+                        tok: j + 1,
+                        line: toks[j + 1].line,
+                        blocking: true,
+                    });
+                }
+            }
+            // `drop ( rx )` vs. a receiver escaping as a call argument.
+            let bare_arg = j > 0
+                && matches!(toks[j - 1].text.as_str(), "(" | ",")
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|t| matches!(t.text.as_str(), ")" | ","));
+            if bare_arg && !in_let_pattern(toks, j) {
+                let in_drop = toks[j - 1].text == "(" && j >= 2 && ident_at(toks, j - 2, "drop");
+                for c in chans.iter_mut() {
+                    if c.receivers.contains(&t.text) {
+                        if in_drop {
+                            c.receiver_dropped = true;
+                        } else {
+                            c.receiver_escaped = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let anchor = |c: &Chan| {
+        let f = &fns[c.owner];
+        (
+            f.path.to_string(),
+            c.line,
+            snippet_of(f.lexed, c.line),
+            justified(f.lexed, c.line, f.info.item_line, "MRL-A006"),
+        )
+    };
+
+    // Check 1: bounded cycles. Edge per bounded channel, send ctx →
+    // recv ctx; a channel is cyclic when some recv ctx reaches one of
+    // its send ctxs through bounded edges (self-loops included).
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for s in sends.iter().filter(|s| chans[s.chan].bounded) {
+        for r in recvs.iter().filter(|r| r.chan == s.chan) {
+            edges.push((s.ctx, r.ctx));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let reaches = |from: usize, to: usize| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![from];
+        while let Some(n) = queue.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            queue.extend(edges.iter().filter(|(a, _)| *a == n).map(|(_, b)| *b));
+        }
+        false
+    };
+    for (ci, c) in chans.iter().enumerate() {
+        if !c.bounded {
+            continue;
+        }
+        let cyclic = sends.iter().filter(|s| s.chan == ci).any(|s| {
+            recvs
+                .iter()
+                .filter(|r| r.chan == ci)
+                .any(|r| reaches(r.ctx, s.ctx))
+        });
+        if cyclic {
+            let (path, line, snippet, is_justified) = anchor(c);
+            if !is_justified {
+                findings.push(Finding {
+                    rule: "MRL-A006",
+                    path,
+                    line,
+                    snippet,
+                    fingerprint: 0,
+                    message: "bounded channel participates in a send/recv cycle over \
+                              bounded edges — every party can block full/empty at once \
+                              and deadlock (`// protocol:` to justify)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Check 2: dead or dropped receivers.
+    for (ci, c) in chans.iter().enumerate() {
+        let has_send = sends.iter().any(|s| s.chan == ci);
+        let has_recv = recvs.iter().any(|r| r.chan == ci);
+        if has_send && !has_recv && !c.receiver_escaped && !c.receivers.is_empty() {
+            let (path, line, snippet, is_justified) = anchor(c);
+            if is_justified {
+                continue;
+            }
+            let what = if c.receiver_dropped {
+                "its receiver is dropped while send sites remain — senders see \
+                 disconnection (or block forever on a full bounded buffer) before \
+                 finishing"
+            } else {
+                "it has send sites but no receive site — the data is never drained"
+            };
+            findings.push(Finding {
+                rule: "MRL-A006",
+                path,
+                line,
+                snippet,
+                fingerprint: 0,
+                message: format!("channel created here: {what} (`// protocol:` to justify)"),
+            });
+        }
+    }
+
+    // Check 3: blocking bounded send inside a recv-blocked loop.
+    for s in sends.iter().filter(|s| s.blocking && chans[s.chan].bounded) {
+        let f = &fns[s.f];
+        let Some(stmt) = f.stmt_of(s.tok) else {
+            continue;
+        };
+        let recv_headed = f.cfg.loops.iter().any(|l| {
+            if !(stmt >= l.body.0 && stmt < l.body.1) {
+                return false;
+            }
+            let (h_lo, h_hi) = f.cfg.stmts[l.head].range;
+            recvs
+                .iter()
+                .any(|r| r.f == s.f && r.blocking && r.tok >= h_lo && r.tok < h_hi)
+        });
+        if recv_headed && !justified(f.lexed, s.line, f.info.item_line, "MRL-A006") {
+            findings.push(Finding {
+                rule: "MRL-A006",
+                path: f.path.to_string(),
+                line: s.line,
+                snippet: snippet_of(f.lexed, s.line),
+                fingerprint: 0,
+                message: "blocking send on a bounded channel inside a loop that blocks \
+                          on recv — if the peer mirrors this shape both sides stall \
+                          (`// protocol:` to justify)"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! MRL-A007 — accounting-dataflow pass.
+//!
+//! Upgrades MRL-A002's identifier pattern-matching with a CFG-based
+//! taint walk over the conservation-critical paths: functions named
+//! `*seal*`, `*collapse*`, `*shipment*`, or `*absorb*` in the
+//! accounting crates. A `let`-binding whose right-hand side reads an
+//! accounting identifier (weight, mass, total_n, …) captures mass that
+//! belonged to a consumed buffer; the binding must be *used* again on
+//! **every** CFG path to exit — reaching a credit, a return value, or
+//! an assertion — or the mass silently leaks on the paths that skip it.
+//!
+//! Deliberate approximations (DESIGN.md §3.15): bindings are tracked by
+//! name (shadowing counts as a use), `_`-prefixed names are explicit
+//! discards and exempt, and any later mention of the name counts — the
+//! pass proves "not dropped", not "credited to the right ledger".
+//! Suppression: `// arith:` on the binding line or the enclosing fn.
+
+use crate::cfg::Cfg;
+use crate::lexer::TokKind;
+use crate::rules::{justified, snippet_of, Finding, ACCOUNTING_IDENTS};
+use crate::workspace::Workspace;
+
+/// Crates whose seal/collapse/shipment paths carry conservation
+/// obligations.
+const SCOPE_CRATES: &[&str] = &["core", "framework", "parallel"];
+
+/// Function-name substrings that mark a conservation-critical path.
+const SCOPE_FNS: &[&str] = &["seal", "collapse", "shipment", "absorb"];
+
+pub(crate) fn check(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if !SCOPE_CRATES.contains(&krate.dir.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            for info in &file.fns {
+                if info.is_test
+                    || info.body.0 == info.body.1
+                    || !SCOPE_FNS.iter().any(|s| info.name.contains(s))
+                {
+                    continue;
+                }
+                let toks = &file.lexed.tokens[info.body.0..info.body.1];
+                let cfg = Cfg::build(toks);
+                for (d, stmt) in cfg.stmts.iter().enumerate() {
+                    let (lo, hi) = stmt.range;
+                    // `let [mut] name [: ty] = rhs ;`
+                    if !(toks[lo].kind == TokKind::Ident && toks[lo].text == "let") {
+                        continue;
+                    }
+                    let mut i = lo + 1;
+                    if i < hi && toks[i].text == "mut" {
+                        i += 1;
+                    }
+                    if i >= hi || toks[i].kind != TokKind::Ident {
+                        continue; // destructuring pattern — not tracked
+                    }
+                    let name = toks[i].text.clone();
+                    if name.starts_with('_') {
+                        continue; // explicit discard
+                    }
+                    let mut eq = None;
+                    let mut depth = 0usize;
+                    for (j, tok) in toks.iter().enumerate().take(hi).skip(i + 1) {
+                        match tok.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                            "=" if depth == 0 => {
+                                eq = Some(j);
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let Some(eq) = eq else { continue };
+                    let read: Vec<&str> = toks[eq + 1..hi]
+                        .iter()
+                        .filter(|t| {
+                            t.kind == TokKind::Ident && ACCOUNTING_IDENTS.contains(&t.text.as_str())
+                        })
+                        .map(|t| t.text.as_str())
+                        .collect();
+                    if read.is_empty() {
+                        continue;
+                    }
+
+                    let uses: Vec<bool> = (0..cfg.stmts.len())
+                        .map(|s| {
+                            s != d && {
+                                let (slo, shi) = cfg.stmts[s].range;
+                                toks[slo..shi]
+                                    .iter()
+                                    .any(|t| t.kind == TokKind::Ident && t.text == name)
+                            }
+                        })
+                        .collect();
+                    let must_use = cfg.must_reach(|s| uses[s]);
+                    let conserved = cfg.stmts[d]
+                        .succs
+                        .iter()
+                        .all(|&t| t < cfg.stmts.len() && must_use[t]);
+                    if conserved || justified(&file.lexed, stmt.line, info.item_line, "MRL-A007") {
+                        continue;
+                    }
+                    let mut read = read;
+                    read.sort_unstable();
+                    read.dedup();
+                    findings.push(Finding {
+                        rule: "MRL-A007",
+                        path: file.path.clone(),
+                        line: stmt.line,
+                        snippet: snippet_of(&file.lexed, stmt.line),
+                        fingerprint: 0,
+                        message: format!(
+                            "`{name}` captures accounting state (`{}`) on the `{}` path \
+                             but is dropped on some path to exit — consumed mass must \
+                             reach a credit on every path (`// arith:` to justify)",
+                            read.join("`, `"),
+                            info.qualified(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -44,6 +44,26 @@ impl FnInfo {
     }
 }
 
+/// One named field of a top-level `struct`/`union`, with the head type
+/// path resolved to its last segment (`AtomicU64`, `OnceLock`, …). The
+/// atomics-protocol pass keys its field table on these.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Name of the enclosing struct or union.
+    pub struct_name: String,
+    /// The field name.
+    pub name: String,
+    /// Last segment of the field type's leading path, before any
+    /// generic arguments — `OnceLock` for `OnceLock<Box<[AtomicU64]>>`,
+    /// empty for tuple/array/fn-pointer types.
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// True when the struct is test-only (`#[cfg(test)]` or enclosing
+    /// test module).
+    pub is_test: bool,
+}
+
 /// A fully parsed source file.
 #[derive(Debug)]
 pub struct ParsedFile {
@@ -51,6 +71,8 @@ pub struct ParsedFile {
     pub path: String,
     pub lexed: Lexed,
     pub fns: Vec<FnInfo>,
+    /// Named fields of every top-level struct/union in the file.
+    pub fields: Vec<FieldInfo>,
     /// Every `feature = "…"` string referenced anywhere in the file
     /// (cfg / cfg_attr attributes and `cfg!` macro calls), with its line.
     pub features: Vec<(String, u32)>,
@@ -90,6 +112,7 @@ struct Parser<'a> {
     toks: &'a [Token],
     pos: usize,
     fns: Vec<FnInfo>,
+    fields: Vec<FieldInfo>,
     features: Vec<(String, u32)>,
     items: usize,
     recovered: Vec<(u32, String)>,
@@ -199,6 +222,90 @@ impl<'a> Parser<'a> {
                 }
             }
             self.pos += 1;
+        }
+    }
+
+    /// Harvest the named fields of a braced struct/union body at token
+    /// range `[lo, hi)`: field name plus the last segment of the type's
+    /// leading path (before generics). Tuple fields and embedded
+    /// attribute noise are skipped; the scan never fails, it only
+    /// under-collects on grammar it does not model.
+    fn collect_fields(&mut self, struct_name: &str, lo: usize, hi: usize, is_test: bool) {
+        let mut j = lo;
+        while j < hi {
+            match self.toks[j].text.as_str() {
+                "," | ";" | "pub" => {
+                    j += 1;
+                    // `pub(crate)`-style visibility scope.
+                    if self.toks[j - 1].text == "pub" && j < hi && self.toks[j].text == "(" {
+                        j = skip_balanced(self.toks, j, hi);
+                    }
+                    continue;
+                }
+                "#" => {
+                    j += 1;
+                    if j < hi && self.toks[j].text == "[" {
+                        j = skip_balanced(self.toks, j, hi);
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if self.toks[j].kind == TokKind::Ident && j + 1 < hi && self.toks[j + 1].text == ":" {
+                let name = self.toks[j].text.clone();
+                let line = self.toks[j].line;
+                let mut k = j + 2;
+                let mut ty = String::new();
+                // Leading type path: `&`, `mut`, lifetimes, and `dyn`
+                // prefixes are transparent; the last ident of the
+                // `::`-chain wins.
+                while k < hi {
+                    let t = &self.toks[k];
+                    match (t.kind, t.text.as_str()) {
+                        (TokKind::Punct, "&") | (TokKind::Lifetime, _) => k += 1,
+                        (TokKind::Ident, "mut" | "dyn") => k += 1,
+                        (TokKind::Ident, _) => {
+                            ty = t.text.clone();
+                            k += 1;
+                            if k < hi && self.toks[k].text == "::" {
+                                k += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                self.fields.push(FieldInfo {
+                    struct_name: struct_name.to_string(),
+                    name,
+                    ty,
+                    line,
+                    is_test,
+                });
+                // Advance to the next depth-0 comma, treating generic
+                // angle brackets as nesting.
+                let mut depth = 0usize;
+                let mut angle = 0usize;
+                while k < hi {
+                    match self.toks[k].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                        "<" => angle += 1,
+                        ">" => angle = angle.saturating_sub(1),
+                        ">>" => angle = angle.saturating_sub(2),
+                        "," if depth == 0 && angle == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k;
+            } else {
+                j += 1;
+            }
         }
     }
 
@@ -351,7 +458,7 @@ impl<'a> Parser<'a> {
             }
             "fn" => self.function(module, None, in_test || attrs.test, item_line),
             "struct" | "union" => {
-                self.bump(); // name
+                let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
                 self.skip_generics();
                 // Unit `;`, tuple `(…) [where …];`, or `[where …] { … }`.
                 loop {
@@ -366,7 +473,8 @@ impl<'a> Parser<'a> {
                             break;
                         }
                         Some("{") => {
-                            self.skip_group();
+                            let (lo, hi) = self.skip_group();
+                            self.collect_fields(&name, lo, hi, in_test || attrs.test);
                             break;
                         }
                         Some("<") => self.skip_generics(),
@@ -569,6 +677,34 @@ impl<'a> Parser<'a> {
 }
 
 /// Lex and parse one file.
+/// `toks[open]` is `(`/`[`/`{`: return the index just past the matching
+/// closer (clamped to `hi`). Used by scans that walk a token range
+/// without the cursor.
+fn skip_balanced(toks: &[Token], open: usize, hi: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < hi {
+        if toks[j].kind == TokKind::Punct {
+            if toks[j].text == o {
+                depth += 1;
+            } else if toks[j].text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    hi
+}
+
 pub fn parse_file(path: &str, src: &str) -> Result<ParsedFile, ParseError> {
     let lexed = lex(src).map_err(|e| ParseError {
         path: path.to_string(),
@@ -579,6 +715,7 @@ pub fn parse_file(path: &str, src: &str) -> Result<ParsedFile, ParseError> {
         toks: &lexed.tokens,
         pos: 0,
         fns: Vec::new(),
+        fields: Vec::new(),
         features: Vec::new(),
         items: 0,
         recovered: Vec::new(),
@@ -586,6 +723,7 @@ pub fn parse_file(path: &str, src: &str) -> Result<ParsedFile, ParseError> {
     parser.items(&[], false, false);
     let Parser {
         fns,
+        fields,
         features,
         items,
         recovered,
@@ -595,6 +733,7 @@ pub fn parse_file(path: &str, src: &str) -> Result<ParsedFile, ParseError> {
         path: path.to_string(),
         lexed,
         fns,
+        fields,
         features,
         items,
         recovered,

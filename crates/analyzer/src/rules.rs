@@ -96,7 +96,7 @@ const INGEST_ROOTS: &[&str] = &[
 /// Identifiers treated as exact-accounting values (weights, counts,
 /// stream totals) for MRL-A002. Matching any of these in either operand
 /// chain of an unchecked `+ - * <<` puts the site in scope.
-const ACCOUNTING_IDENTS: &[&str] = &[
+pub(crate) const ACCOUNTING_IDENTS: &[&str] = &[
     "weight",
     "w_sum",
     "w_max",
@@ -117,8 +117,9 @@ const ACCOUNTING_IDENTS: &[&str] = &[
 fn tag_for(rule: &'static str) -> &'static str {
     match rule {
         "MRL-A001" => "panic-free:",
-        "MRL-A002" => "arith:",
+        "MRL-A002" | "MRL-A007" => "arith:",
         "MRL-A003" => "alloc:",
+        "MRL-A005" | "MRL-A006" => "protocol:",
         _ => "\u{0}", // A004 has no tag vocabulary
     }
 }
@@ -147,7 +148,7 @@ fn tagged_at(lexed: &Lexed, line: u32, tag: &str) -> bool {
 /// Statement-level or function-level justification for a site at `line`
 /// inside a function whose item (attributes included) starts at
 /// `item_line`.
-fn justified(lexed: &Lexed, line: u32, item_line: u32, rule: &'static str) -> bool {
+pub(crate) fn justified(lexed: &Lexed, line: u32, item_line: u32, rule: &'static str) -> bool {
     let tag = tag_for(rule);
     tagged_at(lexed, line, tag) || (item_line > 0 && tagged_at(lexed, item_line, tag))
 }
@@ -155,7 +156,7 @@ fn justified(lexed: &Lexed, line: u32, item_line: u32, rule: &'static str) -> bo
 /// Tokens of `line` joined with single spaces — the fingerprint snippet.
 /// Comment-free and whitespace-normalised, so reformatting a line does
 /// not move its fingerprint.
-fn snippet_of(lexed: &Lexed, line: u32) -> String {
+pub(crate) fn snippet_of(lexed: &Lexed, line: u32) -> String {
     let mut out = String::new();
     for t in &lexed.tokens {
         if t.line == line {
@@ -338,7 +339,7 @@ fn feature_consistency(ws: &Workspace, out: &mut Vec<Finding>) {
     }
 }
 
-/// Run all four analyses over a loaded workspace.
+/// Run all seven analyses over a loaded workspace.
 pub fn analyze(ws: &Workspace) -> Vec<Finding> {
     let graph = ws.graph();
     let mut findings = Vec::new();
@@ -346,6 +347,9 @@ pub fn analyze(ws: &Workspace) -> Vec<Finding> {
     arithmetic_safety(ws, &graph, &mut findings);
     hot_path_allocation(ws, &graph, &mut findings);
     feature_consistency(ws, &mut findings);
+    crate::atomics::check(ws, &mut findings);
+    crate::channels::check(ws, &mut findings);
+    crate::dataflow::check(ws, &mut findings);
     findings.sort_by(|a, b| {
         (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
     });

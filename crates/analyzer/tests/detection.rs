@@ -124,6 +124,94 @@ fn feature_consistency_checks_both_directions() {
 }
 
 #[test]
+fn atomics_protocol_finds_leaky_publish_cas_and_torn_read() {
+    let all = findings();
+    let a005 = by_rule(&all, "MRL-A005");
+    // Check 1: the Relaxed reserve bump in `push_leaky` can reach exit
+    // through the early return without a Release-class write.
+    assert!(has(
+        &all,
+        "MRL-A005",
+        "obs/src/lib.rs",
+        "reserve . store ( seq + 1"
+    ));
+    // Check 2: failure ordering stronger than success in `claim`.
+    assert!(a005.iter().any(|f| {
+        f.path.ends_with("obs/src/lib.rs")
+            && f.message
+                .contains("failure ordering Acquire stronger than success ordering Relaxed")
+    }));
+    // Check 3: `read_torn` Acquire-loads the publish flag and then data
+    // without re-reading the reserve counter.
+    assert!(a005.iter().any(|f| {
+        f.path.ends_with("obs/src/lib.rs")
+            && f.snippet.contains("publish . load")
+            && f.message.contains("does not re-read `reserve`")
+    }));
+    assert_eq!(a005.len(), 3, "unexpected A005 set: {a005:#?}");
+    // Decoys: the all-paths-sealed writer, the revalidating reader, the
+    // legal CAS, and the `// protocol:`-tagged twin stay silent.
+    assert!(!a005.iter().any(|f| f.message.contains("push_ok")));
+    assert!(!a005.iter().any(|f| f.message.contains("read_ok")));
+    assert!(!a005.iter().any(|f| f.snippet.contains("AcqRel")));
+    assert!(!a005.iter().any(|f| f.message.contains("push_tagged")));
+}
+
+#[test]
+fn channel_topology_finds_cycles_dead_receivers_and_abba_sends() {
+    let all = findings();
+    let a006 = by_rule(&all, "MRL-A006");
+    // Check 1: both bounded channels in `bounded_cycle` sit on a
+    // send/recv cycle — one finding per creation site.
+    let cycles: Vec<_> = a006
+        .iter()
+        .filter(|f| f.message.contains("send/recv cycle"))
+        .collect();
+    assert_eq!(cycles.len(), 2, "unexpected cycle set: {cycles:#?}");
+    assert!(cycles
+        .iter()
+        .all(|f| f.path.ends_with("parallel/src/lib.rs") && f.snippet.contains("sync_channel")));
+    // Check 2: `dropped_collector` drops the receiver with sends left.
+    assert!(a006.iter().any(|f| {
+        f.snippet.contains("lost_tx , lost_rx") && f.message.contains("receiver is dropped")
+    }));
+    // Check 3: the blocking bounded send inside the recv-headed loop.
+    assert!(a006.iter().any(|f| {
+        f.snippet.contains("work_tx . send ( item )")
+            && f.message.contains("inside a loop that blocks on recv")
+    }));
+    assert_eq!(a006.len(), 4, "unexpected A006 set: {a006:#?}");
+    // Decoys: the unbounded return leg and the justified twin.
+    assert!(!a006.iter().any(|f| f.snippet.contains("feed_tx")));
+    assert!(!a006.iter().any(|f| f.snippet.contains("back_tx")));
+    assert!(!a006.iter().any(|f| f.snippet.contains("req_tx")));
+    assert!(!a006.iter().any(|f| f.snippet.contains("ack_tx")));
+}
+
+#[test]
+fn accounting_dataflow_requires_credit_on_every_path() {
+    let all = findings();
+    let a007 = by_rule(&all, "MRL-A007");
+    // True positives: the early return in `collapse_pair` and the empty
+    // match arm in `absorb_shipment` both drop captured weight.
+    assert!(a007.iter().any(|f| {
+        f.path.ends_with("framework/src/collapse.rs")
+            && f.snippet.contains("let w = src . weight")
+            && f.message.contains("collapse_pair")
+    }));
+    assert!(a007.iter().any(|f| {
+        f.snippet.contains("let mass = src . weight") && f.message.contains("absorb_shipment")
+    }));
+    assert_eq!(a007.len(), 2, "unexpected A007 set: {a007:#?}");
+    // Decoys: the every-path credit, the `// arith:`-tagged scrap, the
+    // non-accounting read, and the out-of-scope `rebalance`.
+    assert!(!a007.iter().any(|f| f.message.contains("collapse_even")));
+    assert!(!a007.iter().any(|f| f.message.contains("collapse_scrap")));
+    assert!(!a007.iter().any(|f| f.message.contains("collapse_len")));
+    assert!(!a007.iter().any(|f| f.message.contains("rebalance")));
+}
+
+#[test]
 fn fingerprints_are_stable_and_unique() {
     let a = findings();
     let b = findings();

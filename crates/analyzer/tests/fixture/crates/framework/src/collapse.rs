@@ -1,0 +1,68 @@
+//! Fixture module for MRL-A007: collapse paths that capture accounting
+//! state and must spend it on every path to exit.
+
+pub struct Bundle {
+    pub weight: u64,
+    pub items: Vec<u64>,
+}
+
+pub struct Ledger {
+    pub total_weight: u64,
+}
+
+impl Ledger {
+    /// MRL-A007 true positive: the captured weight never reaches the
+    /// ledger on the early-return path.
+    pub fn collapse_pair(&mut self, src: Bundle) -> u64 {
+        let w = src.weight;
+        if src.items.is_empty() {
+            return 0;
+        }
+        self.total_weight = self.total_weight.saturating_add(w);
+        w
+    }
+
+    /// MRL-A007 true positive: the empty match arm forgets the credit.
+    pub fn absorb_shipment(&mut self, src: Bundle) -> u64 {
+        let mass = src.weight;
+        match src.items.len() {
+            0 => 0,
+            _ => {
+                self.total_weight = self.total_weight.saturating_add(mass);
+                mass
+            }
+        }
+    }
+
+    /// Decoy: every path credits the captured weight.
+    pub fn collapse_even(&mut self, src: Bundle) -> u64 {
+        let w = src.weight;
+        self.total_weight = self.total_weight.saturating_add(w);
+        w
+    }
+
+    /// Suppressed twin: the drop is deliberate and audited.
+    pub fn collapse_scrap(&mut self, src: Bundle) -> usize {
+        // arith: fixture — scrapped mass is audited by the caller
+        let w = src.weight;
+        src.items.len()
+    }
+
+    /// Decoy: non-accounting reads are out of scope even on a collapse
+    /// path with an early return.
+    pub fn collapse_len(&mut self, src: Bundle) -> usize {
+        let n = src.items.len();
+        if n == 0 {
+            return 0;
+        }
+        n
+    }
+
+    /// Decoy: drops accounting state on a path, but `rebalance` is not
+    /// a seal/collapse/shipment/absorb function, so it is out of scope.
+    pub fn rebalance(&mut self, src: Bundle) -> u64 {
+        let w = src.weight;
+        let spare = src.items.len() as u64;
+        spare
+    }
+}

@@ -1,6 +1,8 @@
 //! Second fixture crate: pins cross-crate tracing and `Type::method`
 //! path-call resolution.
 
+pub mod collapse;
+
 pub struct Helper;
 
 impl Helper {

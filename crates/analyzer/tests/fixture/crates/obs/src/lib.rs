@@ -1,0 +1,79 @@
+//! Fixture crate for MRL-A005: a seqlock-shaped journal with one clean
+//! writer/reader pair, one leaky writer, one torn reader, one CAS with
+//! an over-strong failure ordering, and one suppressed twin.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+pub struct Journal {
+    pub reserve: AtomicU64,
+    pub publish: AtomicU64,
+    pub word: AtomicU64,
+    pub owner: AtomicU32,
+}
+
+impl Journal {
+    /// Decoy: the Relaxed reserve bump is sealed by Release stores on
+    /// every path, and both seqlock pairs (reserve/word,
+    /// reserve/publish) are formed here.
+    pub fn push_ok(&self, v: u64) {
+        let seq = self.reserve.load(Ordering::Relaxed);
+        self.reserve.store(seq + 1, Ordering::Relaxed);
+        self.word.store(v, Ordering::Release);
+        self.publish.store(seq + 1, Ordering::Release);
+    }
+
+    /// MRL-A005 true positive (check 1): the early return skips the
+    /// Release publish, so the Relaxed reserve bump can reach exit
+    /// unsealed.
+    pub fn push_leaky(&self, v: u64) {
+        let seq = self.reserve.load(Ordering::Relaxed);
+        self.reserve.store(seq + 1, Ordering::Relaxed);
+        if v == 0 {
+            return;
+        }
+        self.word.store(v, Ordering::Release);
+        self.publish.store(seq + 1, Ordering::Release);
+    }
+
+    /// Suppressed twin of `push_leaky`'s shape.
+    // protocol: fixture — the caller issues the sealing Release write
+    pub fn push_tagged(&self, v: u64) {
+        self.reserve.store(v, Ordering::Relaxed);
+    }
+
+    /// Decoy: a seqlock reader that re-reads the reserve counter after
+    /// its data loads.
+    pub fn read_ok(&self) -> Option<u64> {
+        let before = self.reserve.load(Ordering::Acquire);
+        let p = self.publish.load(Ordering::Acquire);
+        let w = self.word.load(Ordering::Acquire);
+        let after = self.reserve.load(Ordering::Acquire);
+        if before == after && p != 0 {
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// MRL-A005 true positive (check 3): loads the publish side of the
+    /// pair, then data, and never re-reads `reserve`.
+    pub fn read_torn(&self) -> u64 {
+        let _p = self.publish.load(Ordering::Acquire);
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// MRL-A005 true positive (check 2): the failure ordering outranks
+    /// the success ordering.
+    pub fn claim(&self) -> bool {
+        self.owner
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Decoy: success at least as strong as failure is the legal shape.
+    pub fn claim_ok(&self) -> bool {
+        self.owner
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}

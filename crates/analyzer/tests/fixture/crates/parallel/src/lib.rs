@@ -1,0 +1,74 @@
+//! Fixture crate for MRL-A006: a bounded request/response cycle, a
+//! dropped collector, an unbounded-return decoy, and a suppressed twin.
+
+use std::sync::mpsc;
+use std::thread;
+
+/// MRL-A006 true positives: both bounded channels sit on a send/recv
+/// cycle (two findings at the creation sites), and the main loop issues
+/// a blocking bounded send while headed by a blocking recv (one finding
+/// at the send).
+pub fn bounded_cycle() {
+    let (work_tx, work_rx) = mpsc::sync_channel::<u64>(2);
+    let (done_tx, done_rx) = mpsc::sync_channel::<u64>(2);
+    let worker = thread::spawn(move || {
+        for item in work_rx.iter() {
+            done_tx.send(item).ok();
+        }
+    });
+    work_tx.send(0).ok();
+    while let Ok(item) = done_rx.recv() {
+        work_tx.send(item).ok();
+    }
+    drop(work_tx);
+    worker.join().ok();
+}
+
+/// MRL-A006 true positive: the receiver is dropped while the spawned
+/// sender still has send sites.
+pub fn dropped_collector() {
+    let (lost_tx, lost_rx) = mpsc::channel::<u64>();
+    drop(lost_rx);
+    let feeder = thread::spawn(move || {
+        lost_tx.send(7).ok();
+    });
+    feeder.join().ok();
+}
+
+/// Decoy: the return leg is unbounded and the forward sends are
+/// non-blocking, so no check fires — recycle loops shaped like
+/// `parallel`'s buffer return path are legal.
+pub fn recycle_return_is_unbounded() {
+    let (feed_tx, feed_rx) = mpsc::sync_channel::<u64>(4);
+    let (back_tx, back_rx) = mpsc::channel::<u64>();
+    let worker = thread::spawn(move || {
+        for item in feed_rx.iter() {
+            back_tx.send(item).ok();
+        }
+    });
+    let mut i = 0;
+    while feed_tx.try_send(i).is_ok() {
+        i = i.wrapping_add(1);
+        while back_rx.try_recv().is_ok() {}
+    }
+    drop(feed_tx);
+    worker.join().ok();
+}
+
+/// Suppressed twin of `bounded_cycle`: same topology, justified.
+// protocol: fixture — request/ack strictly alternate, never both full
+pub fn justified_cycle() {
+    let (req_tx, req_rx) = mpsc::sync_channel::<u64>(2);
+    let (ack_tx, ack_rx) = mpsc::sync_channel::<u64>(2);
+    let worker = thread::spawn(move || {
+        for item in req_rx.iter() {
+            ack_tx.send(item).ok();
+        }
+    });
+    req_tx.send(0).ok();
+    while let Ok(item) = ack_rx.recv() {
+        req_tx.send(item).ok();
+    }
+    drop(req_tx);
+    worker.join().ok();
+}

@@ -1,0 +1,188 @@
+//! Cross-crate call-graph edge resolution, pinned against the DESIGN.md
+//! §3.11 contract: method calls over-approximate to every workspace
+//! method of that name (trait dispatch is never narrowed by receiver
+//! type), plain and module-qualified calls fan out to every same-name
+//! free function in any crate, `Self::` stays within the enclosing impl,
+//! and capitalised non-workspace types (std) produce no edge at all.
+
+use analyzer::graph::CallGraph;
+use analyzer::parser::{parse_file, ParsedFile};
+
+const ALPHA: &str = "\
+pub trait Step {
+    fn prep(&self);
+    fn step(&self) {
+        self.prep();
+    }
+}
+
+pub fn helper() {}
+";
+
+const BETA: &str = "\
+pub struct Engine;
+
+impl Step for Engine {
+    fn prep(&self) {}
+    fn step(&self) {
+        helper();
+    }
+}
+
+impl Engine {
+    pub fn park(&self) {}
+}
+
+pub fn helper() {}
+";
+
+const GAMMA: &str = "\
+pub struct Local;
+
+impl Local {
+    pub fn make() -> Local {
+        Local
+    }
+    pub fn go(&self) {
+        let _ = Self::make();
+    }
+}
+
+pub struct Other;
+
+impl Other {
+    pub fn make() -> Other {
+        Other
+    }
+}
+
+pub fn drive(x: &Engine) {
+    x.step();
+}
+
+pub fn call_free() {
+    helper();
+}
+
+pub fn call_mod() {
+    left::helper();
+}
+
+pub fn call_typed(e: &Engine) {
+    Engine::park(e);
+}
+
+pub fn call_std() {
+    let _v: Vec<u8> = Vec::new();
+}
+";
+
+/// Three single-file crates, exactly as the workspace loader would hand
+/// them to the graph builder.
+fn workspace() -> Vec<ParsedFile> {
+    [("alpha", ALPHA), ("beta", BETA), ("gamma", GAMMA)]
+        .into_iter()
+        .map(|(krate, src)| {
+            let path = format!("crates/{krate}/src/lib.rs");
+            parse_file(&path, src).expect("fixture parses")
+        })
+        .collect()
+}
+
+fn graph(files: &[ParsedFile]) -> CallGraph {
+    CallGraph::build(files, |path: &str| {
+        path.split('/').nth(1).expect("crates/<name>/…").to_string()
+    })
+}
+
+/// Index of the unique fn whose `crate::Type::name` label matches.
+fn idx(g: &CallGraph, label: &str) -> usize {
+    let hits = g.find(|f| f.label() == label);
+    assert_eq!(hits.len(), 1, "exactly one fn labelled {label}");
+    hits[0]
+}
+
+#[test]
+fn method_calls_over_approximate_across_trait_and_impl() {
+    let files = workspace();
+    let g = graph(&files);
+    let drive = idx(&g, "gamma::drive");
+    // `x.step()` is untyped dispatch: both the trait default in alpha
+    // and the concrete impl in beta must be edges — the analyzer keeps
+    // every candidate rather than guessing the receiver (§3.11).
+    let default = idx(&g, "alpha::Step::step");
+    let concrete = idx(&g, "beta::Engine::step");
+    assert!(g.edges[drive].contains(&default), "trait default dropped");
+    assert!(g.edges[drive].contains(&concrete), "concrete impl dropped");
+    // The over-approximation is exactly the step methods — the prep
+    // methods and free fns are not swept in by the method call.
+    assert_eq!(g.edges[drive].len(), 2);
+}
+
+#[test]
+fn trait_default_bodies_produce_edges_like_any_other_fn() {
+    let files = workspace();
+    let g = graph(&files);
+    // `Step::step`'s default body calls `self.prep()`: both the bodyless
+    // trait declaration and beta's implementation are candidates.
+    let default = idx(&g, "alpha::Step::step");
+    let decl = idx(&g, "alpha::Step::prep");
+    let impl_prep = idx(&g, "beta::Engine::prep");
+    assert!(g.edges[default].contains(&decl));
+    assert!(g.edges[default].contains(&impl_prep));
+}
+
+#[test]
+fn plain_calls_fan_out_to_same_name_free_fns_in_every_crate() {
+    let files = workspace();
+    let g = graph(&files);
+    let caller = idx(&g, "gamma::call_free");
+    let alpha_h = idx(&g, "alpha::helper");
+    let beta_h = idx(&g, "beta::helper");
+    // gamma has no `helper` of its own; resolution is workspace-wide and
+    // cannot tell the siblings apart, so both crates' fns get an edge.
+    assert_eq!(g.edges[caller], vec![alpha_h, beta_h]);
+    // The same holds from inside beta — and the ambiguity includes the
+    // caller's own crate-local definition.
+    let step = idx(&g, "beta::Engine::step");
+    assert!(g.edges[step].contains(&alpha_h));
+    assert!(g.edges[step].contains(&beta_h));
+}
+
+#[test]
+fn module_qualified_calls_fall_back_to_free_fns() {
+    let files = workspace();
+    let g = graph(&files);
+    let caller = idx(&g, "gamma::call_mod");
+    // `left::helper()` — the analyzer has no module map, so a lowercase
+    // qualifier degrades to the free-fn fan-out (§3.11 caveat: module
+    // paths do not narrow resolution).
+    let alpha_h = idx(&g, "alpha::helper");
+    let beta_h = idx(&g, "beta::helper");
+    assert_eq!(g.edges[caller], vec![alpha_h, beta_h]);
+}
+
+#[test]
+fn typed_paths_resolve_cross_crate_and_self_stays_home() {
+    let files = workspace();
+    let g = graph(&files);
+    // `Engine::park(e)` from gamma resolves through the workspace type
+    // index into beta — typed paths are precise when the type is known.
+    let typed = idx(&g, "gamma::call_typed");
+    assert_eq!(g.edges[typed], vec![idx(&g, "beta::Engine::park")]);
+    // `Self::make()` maps to the enclosing impl's type only: Local::make
+    // gets the edge, the same-name Other::make must not.
+    let go = idx(&g, "gamma::Local::go");
+    assert_eq!(g.edges[go], vec![idx(&g, "gamma::Local::make")]);
+}
+
+#[test]
+fn non_workspace_types_resolve_to_no_edge() {
+    let files = workspace();
+    let g = graph(&files);
+    // `Vec::new()` — capitalised but not a workspace type: std never
+    // re-enters the workspace, even though `make` free-fn fallback would
+    // be tempting for an unknown segment.
+    let caller = idx(&g, "gamma::call_std");
+    assert!(g.edges[caller].is_empty());
+}

@@ -1,6 +1,6 @@
 //! Property tests for the flight-recorder journal's drain guarantees.
 //!
-//! Two laws, over arbitrary event sequences:
+//! Three laws, over arbitrary event sequences:
 //!
 //! * **Below capacity, the drain is exact**: every recorded event comes
 //!   back exactly once — none duplicated, none lost — in per-thread
@@ -8,11 +8,84 @@
 //! * **Above capacity, the drain is the newest suffix**: exactly the
 //!   last `capacity` events survive, still in order, and the overwritten
 //!   prefix is accounted rather than silently gone.
+//! * **Encoding is lossless**: every [`EventKind`] variant survives the
+//!   five-word pack/unpack round trip bit-exactly, for any field values
+//!   the wire format can represent.
 
 use std::sync::Arc;
 
-use mrl_obs::{EventJournal, EventKind};
+use mrl_obs::{CollapsePath, EventJournal, EventKind, SealKernel};
 use proptest::prelude::*;
+
+/// Header-word fields share 24 bits and saturate above this; the round
+/// trip is only promised inside the representable range.
+const F1_MAX: u32 = 0x00ff_ffff;
+
+/// One of every [`EventKind`] variant, each field drawn from the range
+/// its wire slot can represent: narrow header fields from `narrow`
+/// (24-bit budget), wide payload fields from `wide` (full `u64`), the
+/// discriminant enums from their entire domains.
+fn all_variants(narrow: &[u32], wide: &[u64], kernel_ix: usize, path_ix: usize) -> Vec<EventKind> {
+    let kernel = [
+        SealKernel::Presorted,
+        SealKernel::RunMerge,
+        SealKernel::ParkedRaw,
+    ][kernel_ix];
+    let path = [
+        CollapsePath::Concat,
+        CollapsePath::TwoSource,
+        CollapsePath::ThreeSource,
+        CollapsePath::PairMerge,
+        CollapsePath::Scalar,
+    ][path_ix];
+    vec![
+        EventKind::BufferSeal {
+            level: narrow[0],
+            kernel,
+            k: wide[0],
+            runs: wide[1],
+            dur_ns: wide[2],
+        },
+        EventKind::CollapseSource {
+            slot: narrow[1],
+            // `level` rides the full 32-bit half of the header word.
+            level: wide[3] as u32,
+            weight: wide[4],
+            len: wide[5],
+        },
+        EventKind::Collapse {
+            output_level: narrow[2],
+            sources: narrow[3],
+            path,
+            weight_sum: wide[6],
+            dur_ns: wide[7],
+        },
+        EventKind::RateTransition {
+            from: wide[8],
+            to: wide[9],
+        },
+        EventKind::SpineRebuild {
+            epoch: wide[10],
+            pairs: wide[11],
+            dur_ns: wide[12],
+        },
+        EventKind::SpineInvalidate { epoch: wide[13] },
+        EventKind::ShardDispatch {
+            shard: narrow[4],
+            len: wide[14],
+            depth: wide[15],
+        },
+        EventKind::ShardStall {
+            shard: narrow[5],
+            dur_ns: wide[16],
+        },
+        EventKind::SpanBegin { name: narrow[6] },
+        EventKind::SpanEnd {
+            name: narrow[7],
+            dur_ns: wide[17],
+        },
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48 })]
@@ -80,6 +153,36 @@ proptest! {
         }
         let expected: usize = per_thread.iter().map(Vec::len).sum();
         prop_assert_eq!(total, expected, "events duplicated or lost across rings");
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_the_wire_format(
+        narrow in proptest::collection::vec(0u32..=F1_MAX, 8),
+        wide in proptest::collection::vec(any::<u64>(), 18),
+        kernel_ix in 0usize..3,
+        path_ix in 0usize..5,
+    ) {
+        // Every case covers every variant. Record through the real ring
+        // (not a private encode/decode pair), so the law covers the
+        // whole write→drain path.
+        let events = all_variants(&narrow, &wide, kernel_ix, path_ix);
+        let journal = EventJournal::with_capacity(64);
+        for (i, kind) in events.iter().enumerate() {
+            journal.record_at(i as u64 + 1, *kind);
+        }
+
+        let dump = journal.drain();
+        prop_assert_eq!(dump.lost(), 0);
+        let ring = dump
+            .rings
+            .iter()
+            .find(|r| !r.events.is_empty())
+            .expect("writer ring present");
+        prop_assert_eq!(ring.events.len(), events.len());
+        for (i, (ev, kind)) in ring.events.iter().zip(&events).enumerate() {
+            prop_assert_eq!(ev.ts_ns, i as u64 + 1, "timestamp word mangled");
+            prop_assert_eq!(&ev.kind, kind, "variant {} did not round-trip", i);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | `MRL-L002` | `Instant::now` and `SystemTime::now` only inside `mrl-obs`'s timer module — everything else must go through `ScopedTimer` (or the journal clock) so disabled metrics stay zero-cost |
 //! | `MRL-L003` | `thread::spawn` and `.unwrap()` on channel/join results only inside `mrl-parallel` — thread lifecycle errors must propagate as `ShardedError`, not panics |
 //! | `MRL-L004` | `sort_unstable` only in seal/collapse/output modules of the streaming crates — ingestion is sort-free by design |
-//! | `MRL-L005` | no `panic!`/`.expect(` in library crates' non-test code (pre-existing sites are pinned in the baseline ratchet) |
+//! | `MRL-L005` | no `panic!`/`.expect(`/`unreachable!`/`todo!`/`unimplemented!` in library crates' non-test code (pre-existing sites are pinned in the baseline ratchet) |
 //!
 //! Test code (`#[cfg(test)]` modules) is skipped; string literals and
 //! comments are lexed out so patterns inside them never match.
@@ -24,6 +24,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod sarif;
 pub mod validate;
 
 /// One source line split into its code and comment parts, with string
@@ -446,14 +447,18 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
             ));
         }
         if in_lib
-            && (code.contains("panic!(") || code.contains(".expect("))
+            && (code.contains("panic!(")
+                || code.contains(".expect(")
+                || code.contains("unreachable!(")
+                || code.contains("todo!(")
+                || code.contains("unimplemented!("))
             && !allowlisted("MRL-L005", path)
         {
             raw.push((
                 "MRL-L005",
                 idx,
                 code.clone(),
-                "library code must not panic!/expect outside tests (grandfathered sites live in the baseline)",
+                "library code must not panic!/expect/unreachable!/todo!/unimplemented! outside tests (grandfathered sites live in the baseline)",
             ));
         }
     }
@@ -550,6 +555,19 @@ pub fn parse_alloc_budget(contents: &str) -> Option<usize> {
         .map(str::trim)
         .find(|l| !l.is_empty() && !l.starts_with('#'))
         .and_then(|l| l.parse().ok())
+}
+
+/// Tighten-only re-pin decision for `cargo xtask analyze --prune`:
+/// pruning may keep or shrink the alloc-tag budget in the same pass that
+/// drops stale baseline entries, but never grow it — a higher live count
+/// is a deliberate `--update-baseline` decision, not a prune side
+/// effect. Returns the count to pin, or `Err` with the committed budget
+/// the live count exceeds. A missing budget pins fresh.
+pub fn prune_alloc_budget(count: usize, budget: Option<usize>) -> Result<usize, usize> {
+    match budget {
+        Some(b) if count > b => Err(b),
+        _ => Ok(count),
+    }
 }
 
 /// Render the alloc-budget file for a pinned tag count.

@@ -17,7 +17,9 @@
 //! each tag admits one allocation site on the per-element ingest path, so
 //! the count is the workspace's hot-path allocation budget
 //! (`crates/xtask/alloc-budget.txt`). More tags than the budget fail the
-//! check; fewer fail too until the tighter count is re-pinned.
+//! check; fewer fail too until the tighter count is re-pinned. `--prune`
+//! re-pins the tighter count in the same pass it drops stale baseline
+//! entries (one invocation, both files) and refuses to grow the budget.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -60,12 +62,15 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(mode_of(&args)),
         Some("analyze") => {
-            let json = args
-                .iter()
-                .position(|a| a == "--json")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from);
-            analyze(mode_of(&args), json.as_deref())
+            let path_arg = |flag: &str| {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .map(PathBuf::from)
+            };
+            let json = path_arg("--json");
+            let sarif = path_arg("--sarif");
+            analyze(mode_of(&args), json.as_deref(), sarif.as_deref())
         }
         Some("validate-trace") => validate_artifact(args.get(1), "validate-trace", |text| {
             xtask::validate::validate_trace(text).map(|s| {
@@ -86,12 +91,17 @@ fn main() -> ExitCode {
             xtask::validate::validate_prom(text)
                 .map(|s| format!("{} samples under {} `# TYPE` headers", s.samples, s.types))
         }),
+        Some("validate-sarif") => validate_artifact(args.get(1), "validate-sarif", |text| {
+            xtask::sarif::validate_sarif(text)
+                .map(|s| format!("{} result(s) under {} declared rule(s)", s.results, s.rules))
+        }),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--update-baseline|--prune]\n       \
-                 cargo xtask analyze [--update-baseline|--prune] [--json <path>]\n       \
+                 cargo xtask analyze [--update-baseline|--prune] [--json <path>] [--sarif <path>]\n       \
                  cargo xtask validate-trace <trace.json>\n       \
-                 cargo xtask validate-prom <metrics.prom>"
+                 cargo xtask validate-prom <metrics.prom>\n       \
+                 cargo xtask validate-sarif <analyze.sarif>"
             );
             ExitCode::FAILURE
         }
@@ -232,10 +242,12 @@ fn lint(mode: Mode) -> ExitCode {
 }
 
 /// Ratchet the live `// alloc:` tag count against the committed budget.
-/// In `Update`/`Prune` mode the budget is re-pinned to the live count;
-/// in `Check` mode any difference from the pin is an error (above: the
-/// hot path gained an allocation site; below: the tighter count must be
-/// committed). Returns `true` when the check failed.
+/// `Update` re-pins unconditionally; `Prune` re-pins in the same pass
+/// but only downward (`xtask::prune_alloc_budget`) — symmetric with the
+/// finding baseline, where pruning drops stale entries without admitting
+/// new ones. In `Check` mode any difference from the pin is an error
+/// (above: the hot path gained an allocation site; below: the tighter
+/// count must be committed). Returns `true` when the check failed.
 fn alloc_tag_ratchet(root: &Path, mode: Mode) -> bool {
     let budget_path = root.join(ALLOC_BUDGET_REL);
     let (count, per_file) = match xtask::count_alloc_tags(root) {
@@ -245,18 +257,36 @@ fn alloc_tag_ratchet(root: &Path, mode: Mode) -> bool {
             return true;
         }
     };
-    if mode != Mode::Check {
-        if let Err(e) = std::fs::write(&budget_path, xtask::render_alloc_budget(count)) {
-            eprintln!("xtask analyze: cannot write {}: {e}", budget_path.display());
-            return true;
-        }
-        println!("xtask analyze: alloc-tag budget pinned at {count}");
-        return false;
-    }
     let budget = std::fs::read_to_string(&budget_path)
         .ok()
         .as_deref()
         .and_then(xtask::parse_alloc_budget);
+    if mode != Mode::Check {
+        let pin = if mode == Mode::Prune {
+            match xtask::prune_alloc_budget(count, budget) {
+                Ok(pin) => pin,
+                Err(b) => {
+                    eprintln!(
+                        "xtask analyze: {count} `// alloc:` tag(s) but the budget is {b} — \
+                         pruning only tightens; growing the budget is a deliberate decision,\n\
+                         re-pinned with `cargo xtask analyze --update-baseline`. Tagged files:"
+                    );
+                    for (path, n) in &per_file {
+                        eprintln!("  {n:3}  {path}");
+                    }
+                    return true;
+                }
+            }
+        } else {
+            count
+        };
+        if let Err(e) = std::fs::write(&budget_path, xtask::render_alloc_budget(pin)) {
+            eprintln!("xtask analyze: cannot write {}: {e}", budget_path.display());
+            return true;
+        }
+        println!("xtask analyze: alloc-tag budget pinned at {pin}");
+        return false;
+    }
     match budget {
         None => {
             eprintln!(
@@ -315,7 +345,7 @@ fn display(f: &analyzer::Finding) -> String {
     )
 }
 
-fn analyze(mode: Mode, json: Option<&Path>) -> ExitCode {
+fn analyze(mode: Mode, json: Option<&Path>, sarif: Option<&Path>) -> ExitCode {
     let root = workspace_root();
     let ws = match analyzer::Workspace::load(&root) {
         Ok(ws) => ws,
@@ -346,6 +376,17 @@ fn analyze(mode: Mode, json: Option<&Path>) -> ExitCode {
         }
         println!(
             "xtask analyze: wrote {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = sarif {
+        if let Err(e) = std::fs::write(path, xtask::sarif::render(&findings)) {
+            eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: wrote SARIF with {} result(s) to {}",
             findings.len(),
             path.display()
         );

@@ -1,0 +1,320 @@
+//! Dependency-free SARIF 2.1.0 writer and validator for `cargo xtask
+//! analyze --sarif <path>` / `cargo xtask validate-sarif <path>`.
+//!
+//! The writer emits the minimal interchange shape SARIF viewers and code
+//! scanning UIs consume: one run, one `tool.driver` carrying the full
+//! MRL-A rule catalogue, and one `result` per finding with a physical
+//! location and the ratchet fingerprint under `partialFingerprints` (so
+//! a SARIF consumer's dedup keys line up with the committed baseline).
+//! The validator re-reads the document with the hand-rolled JSON reader
+//! from [`crate::validate`] and checks the structural contract below —
+//! writer and validator share no rendering code, so a writer bug cannot
+//! be masked by a shared serializer.
+
+use std::fmt::Write as _;
+
+use analyzer::Finding;
+
+use crate::validate::{parse_json, Json};
+
+/// The analyzer rule catalogue, emitted in full even when no finding
+/// references a rule — the driver section is the single source of truth
+/// for consumers mapping `ruleId`s to descriptions.
+pub const RULES: &[(&str, &str)] = &[
+    ("MRL-A001", "panic source reachable from a hot-path entry point"),
+    ("MRL-A002", "unchecked arithmetic on an exact-accounting value"),
+    ("MRL-A003", "allocation reachable from the per-element ingest path"),
+    ("MRL-A004", "cfg(feature) string inconsistent with the [features] table"),
+    ("MRL-A005", "atomics protocol violation: unsealed Relaxed publish, over-strong CAS failure ordering, or unvalidated seqlock read"),
+    ("MRL-A006", "channel topology deadlock risk: bounded cycle, dead receiver, or blocking bounded send in a recv-blocked loop"),
+    ("MRL-A007", "accounting state captured on a seal/collapse/shipment path is dropped on some path to exit"),
+];
+
+/// JSON string escape: quotes, backslashes, and control characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a SARIF 2.1.0 document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mrl-analyzer\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        esc(env!("CARGO_PKG_VERSION"))
+    );
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}{}",
+            esc(id),
+            esc(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("        {\n");
+        let _ = writeln!(out, "          \"ruleId\": \"{}\",", esc(f.rule));
+        out.push_str("          \"level\": \"error\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{ \"text\": \"{}\" }},",
+            esc(&f.message)
+        );
+        // SARIF wants a forward-slash URI even off Unix.
+        let uri = f.path.replace('\\', "/");
+        let _ = writeln!(
+            out,
+            "          \"locations\": [ {{ \"physicalLocation\": {{ \
+             \"artifactLocation\": {{ \"uri\": \"{}\" }}, \
+             \"region\": {{ \"startLine\": {} }} }} }} ],",
+            esc(&uri),
+            f.line.max(1)
+        );
+        let _ = writeln!(
+            out,
+            "          \"partialFingerprints\": {{ \"mrlFingerprint/v1\": \"{:016x}\" }}",
+            f.fingerprint
+        );
+        let _ = writeln!(
+            out,
+            "        }}{}",
+            if i + 1 < findings.len() { "," } else { "" }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// What a successful SARIF validation found, for the CLI summary line.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct SarifSummary {
+    /// Rules declared by the driver.
+    pub rules: usize,
+    /// Results across all runs.
+    pub results: usize,
+}
+
+fn str_at<'a>(v: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(_) => Err(format!("{what}: `{key}` must be a string")),
+        None => Err(format!("{what}: missing `{key}`")),
+    }
+}
+
+/// Structurally validate a SARIF 2.1.0 document as produced by
+/// [`render`]: version pin, non-empty runs, a named driver with a
+/// unique-id rule catalogue, and per-result ruleId/message/location/
+/// fingerprint discipline.
+pub fn validate_sarif(text: &str) -> Result<SarifSummary, String> {
+    let doc = parse_json(text)?;
+    match doc.get("version") {
+        Some(Json::Str(v)) if v == "2.1.0" => {}
+        Some(Json::Str(v)) => return Err(format!("version must be 2.1.0, got {v}")),
+        _ => return Err("top-level object has no string `version`".into()),
+    }
+    let runs = match doc.get("runs") {
+        Some(Json::Arr(runs)) if !runs.is_empty() => runs,
+        Some(Json::Arr(_)) => return Err("`runs` is empty".into()),
+        _ => return Err("top-level object has no `runs` array".into()),
+    };
+    let mut summary = SarifSummary::default();
+    for (ri, run) in runs.iter().enumerate() {
+        let what = format!("run {ri}");
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or_else(|| format!("{what}: missing `tool.driver`"))?;
+        let name = str_at(driver, "name", &what)?;
+        if name.is_empty() {
+            return Err(format!("{what}: empty driver name"));
+        }
+        let mut rule_ids: Vec<&str> = Vec::new();
+        if let Some(rules) = driver.get("rules") {
+            let Json::Arr(rules) = rules else {
+                return Err(format!("{what}: `rules` must be an array"));
+            };
+            for (i, rule) in rules.iter().enumerate() {
+                let id = str_at(rule, "id", &format!("{what} rule {i}"))?;
+                if rule_ids.contains(&id) {
+                    return Err(format!("{what}: duplicate rule id `{id}`"));
+                }
+                rule_ids.push(id);
+            }
+        }
+        summary.rules += rule_ids.len();
+        let results = match run.get("results") {
+            Some(Json::Arr(results)) => results,
+            Some(_) => return Err(format!("{what}: `results` must be an array")),
+            None => return Err(format!("{what}: missing `results`")),
+        };
+        for (i, res) in results.iter().enumerate() {
+            let what = format!("result {i}");
+            let rule_id = str_at(res, "ruleId", &what)?;
+            if !rule_ids.is_empty() && !rule_ids.contains(&rule_id) {
+                return Err(format!(
+                    "{what}: ruleId `{rule_id}` not in the driver catalogue"
+                ));
+            }
+            let msg = res
+                .get("message")
+                .ok_or_else(|| format!("{what}: missing `message`"))?;
+            if str_at(msg, "text", &what)?.is_empty() {
+                return Err(format!("{what}: empty message.text"));
+            }
+            let locs = match res.get("locations") {
+                Some(Json::Arr(locs)) if !locs.is_empty() => locs,
+                _ => return Err(format!("{what}: missing or empty `locations`")),
+            };
+            for loc in locs {
+                let phys = loc
+                    .get("physicalLocation")
+                    .ok_or_else(|| format!("{what}: location without `physicalLocation`"))?;
+                let art = phys
+                    .get("artifactLocation")
+                    .ok_or_else(|| format!("{what}: missing `artifactLocation`"))?;
+                let uri = str_at(art, "uri", &what)?;
+                if uri.is_empty() || uri.contains('\\') {
+                    return Err(format!(
+                        "{what}: uri must be non-empty forward-slash, got `{uri}`"
+                    ));
+                }
+                match phys.get("region").and_then(|r| r.get("startLine")) {
+                    Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => {}
+                    _ => return Err(format!("{what}: region.startLine must be an integer >= 1")),
+                }
+            }
+            if let Some(fps) = res.get("partialFingerprints") {
+                let Json::Obj(fields) = fps else {
+                    return Err(format!("{what}: `partialFingerprints` must be an object"));
+                };
+                for (k, v) in fields {
+                    match v {
+                        Json::Str(s)
+                            if !s.is_empty() && s.chars().all(|c| c.is_ascii_hexdigit()) => {}
+                        _ => return Err(format!("{what}: fingerprint `{k}` must be a hex string")),
+                    }
+                }
+            }
+            summary.results += 1;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            snippet: String::new(),
+            fingerprint: 0xdead_beef_0123_4567,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_validates_round_trip() {
+        let findings = vec![
+            finding("MRL-A001", "crates/core/src/lib.rs", 10, "panic reachable"),
+            finding(
+                "MRL-A005",
+                "crates/obs/src/journal.rs",
+                42,
+                "nasty \"quoted\" message with \\ backslash\nand newline\ttab",
+            ),
+        ];
+        let doc = render(&findings);
+        let summary = validate_sarif(&doc).unwrap();
+        assert_eq!(summary.rules, RULES.len());
+        assert_eq!(summary.results, 2);
+    }
+
+    #[test]
+    fn empty_findings_still_render_the_catalogue() {
+        let doc = render(&[]);
+        let summary = validate_sarif(&doc).unwrap();
+        assert_eq!(summary.rules, RULES.len());
+        assert_eq!(summary.results, 0);
+    }
+
+    #[test]
+    fn zero_line_findings_are_clamped_to_one() {
+        // Manifest-anchored findings (MRL-A004's feature table) can sit
+        // on line 0 in degenerate parses; SARIF requires >= 1.
+        let doc = render(&[finding("MRL-A004", "crates/core/Cargo.toml", 0, "m")]);
+        assert!(validate_sarif(&doc).is_ok());
+    }
+
+    #[test]
+    fn backslash_paths_are_normalised_to_uris() {
+        let doc = render(&[finding("MRL-A001", "crates\\core\\src\\lib.rs", 3, "m")]);
+        assert!(validate_sarif(&doc).is_ok());
+        assert!(doc.contains("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn validator_rejects_structural_defects() {
+        let cases = [
+            ("{}", "no string `version`"),
+            (r#"{"version":"2.0.0","runs":[]}"#, "version must be 2.1.0"),
+            (r#"{"version":"2.1.0","runs":[]}"#, "`runs` is empty"),
+            (
+                r#"{"version":"2.1.0","runs":[{"results":[]}]}"#,
+                "missing `tool.driver`",
+            ),
+            (
+                r#"{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"R1"},{"id":"R1"}]}},"results":[]}]}"#,
+                "duplicate rule id",
+            ),
+            (
+                r#"{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"t","rules":[{"id":"R1"}]}},"results":[{"ruleId":"R2","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.rs"},"region":{"startLine":1}}}]}]}]}"#,
+                "not in the driver catalogue",
+            ),
+            (
+                r#"{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"t"}},"results":[{"ruleId":"R1","message":{"text":"m"},"locations":[]}]}]}"#,
+                "missing or empty `locations`",
+            ),
+            (
+                r#"{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"t"}},"results":[{"ruleId":"R1","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.rs"},"region":{"startLine":0}}}]}]}]}"#,
+                "startLine must be an integer >= 1",
+            ),
+            (
+                r#"{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"t"}},"results":[{"ruleId":"R1","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.rs"},"region":{"startLine":1}}}],"partialFingerprints":{"k":"xyz-not-hex"}}]}]}"#,
+                "must be a hex string",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = validate_sarif(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc} -> {err}");
+        }
+    }
+}
