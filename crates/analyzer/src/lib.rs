@@ -6,7 +6,9 @@
 //! [`lexer`], enough of the item grammar to recover every function body,
 //! its enclosing impl type, module path, and test-ness. On top of that
 //! sit a workspace module map, a function-level call graph, per-function
-//! control-flow graphs ([`cfg`]), and seven analyses:
+//! control-flow graphs ([`cfg`]), an interprocedural summary engine
+//! ([`summary`]: SCC condensation + bottom-up fixpoint), and ten
+//! analyses:
 //!
 //! | rule | analysis |
 //! |------|----------|
@@ -17,12 +19,16 @@
 //! | MRL-A005 | atomics-protocol: `Relaxed` publishes that skip a `Release` on some path, CAS failure orderings stronger than success, seqlock readers without re-read validation |
 //! | MRL-A006 | channel-topology: bounded send/recv cycles, receivers dropped while senders remain, blocking bounded sends inside recv-blocked loops |
 //! | MRL-A007 | accounting-dataflow: weight/mass/total_n values read on seal/collapse/shipment paths must reach a credit on every path |
+//! | MRL-A008 | nondeterminism-taint: unseeded RNGs, hash-order iteration, time/TSC reads, and `recv` completion order must not reach result-affecting paths |
+//! | MRL-A009 | unsafe-containment: every `unsafe` site needs a `// safety:` contract and must live on the file allowlist |
+//! | MRL-A010 | panic-justification audit: `// panic-free:` tags contradicted by must-panic summaries, or stale under the sharper CFG-aware reachability |
 //!
 //! Findings carry the same FNV-1a, line-number-independent fingerprints
 //! as the lexer linter and ratchet against a committed baseline
 //! (`crates/xtask/analyze-baseline.txt`). Suppression is by
 //! justification tag: `// panic-free:`, `// arith:`, `// alloc:`,
-//! `// protocol:` (A005/A006).
+//! `// protocol:` (A005/A006), `// nondet:` (A008), `// safety:`
+//! (A009).
 //!
 //! The entry point is [`workspace::Workspace::load`] followed by
 //! [`rules::analyze`]; `cargo xtask analyze` drives both.
@@ -36,8 +42,11 @@ pub mod graph;
 pub mod json;
 pub mod lexer;
 pub mod manifest;
+pub mod nondet;
 pub mod parser;
 pub mod rules;
+pub mod summary;
+pub mod unsafety;
 pub mod workspace;
 
 pub use rules::{analyze, Finding};

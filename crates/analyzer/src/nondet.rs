@@ -1,0 +1,61 @@
+//! MRL-A008 — nondeterminism-taint pass.
+//!
+//! The MRL99 sketch is randomized but must be *reproducibly* randomized:
+//! ROADMAP item 4 requires that two same-seed runs agree bitwise, because
+//! replicated serving needs replicas to answer identically. This pass
+//! certifies the static half of that contract with the interprocedural
+//! summaries (DESIGN.md §3.16): any modelled nondeterminism **source** —
+//! unseeded RNG construction, hash-order iteration, wall-clock/TSC reads,
+//! cross-thread `recv` completion order — reachable from a
+//! result-affecting **sink root** (ingest, collapse/merge, shipment,
+//! snapshot, query) is a finding.
+//!
+//! Sources are collected per function by [`crate::summary`] (CFG-live
+//! statements only); reachability is the same name-based call-graph
+//! over-approximation as MRL-A001. A site reviewed with `// nondet:` is
+//! dropped at the origin and does not taint callers — the tag asserts
+//! the observed nondeterminism cannot alter sketch contents, merge
+//! order, shipment bytes, or query answers (e.g. a timestamp that only
+//! feeds metrics, or a recycled buffer whose contents are cleared).
+
+use crate::graph::CallGraph;
+use crate::rules::{lexed_of, snippet_of, Finding, HOT_CRATES, NONDET_ROOTS, REPORT_CRATES};
+use crate::summary::Summaries;
+use crate::workspace::Workspace;
+
+pub(crate) fn check(
+    ws: &Workspace,
+    graph: &CallGraph,
+    summaries: &Summaries,
+    out: &mut Vec<Finding>,
+) {
+    let roots = graph.find(|f| {
+        !f.info.is_test
+            && HOT_CRATES.contains(&f.krate.as_str())
+            && NONDET_ROOTS.contains(&f.info.name.as_str())
+    });
+    let reach = graph.reach(&roots);
+    for (&i, trace) in &reach {
+        let f = &graph.fns[i];
+        if f.info.is_test || !REPORT_CRATES.contains(&f.krate.as_str()) {
+            continue;
+        }
+        let lexed = lexed_of(ws, &f.path);
+        for site in &summaries.fns[i].sources {
+            out.push(Finding {
+                rule: "MRL-A008",
+                path: f.path.clone(),
+                line: site.line,
+                snippet: snippet_of(lexed, site.line),
+                fingerprint: 0,
+                message: format!(
+                    "{} (`{}`) on a result-affecting path: {} — seed it, order it \
+                     deterministically, or justify with `// nondet:`",
+                    site.kind.describe(),
+                    site.what,
+                    graph.render_trace(trace)
+                ),
+            });
+        }
+    }
+}

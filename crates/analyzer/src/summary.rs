@@ -1,0 +1,643 @@
+//! Interprocedural summary engine (DESIGN.md §3.16).
+//!
+//! Condenses the function-level call graph into strongly connected
+//! components (iterative Tarjan), then traverses the condensation
+//! bottom-up — callees before callers — computing one [`FnSummary`] per
+//! function. Inside a non-trivial SCC (mutual recursion) the transitive
+//! facts are iterated to a fixpoint; all lattices here are finite unions
+//! and booleans, so the loop terminates.
+//!
+//! Local facts are CFG-aware: a sink or nondeterminism source sitting on
+//! a statement no path from the function entry can reach is *discharged*
+//! (dead code cannot panic or perturb results), and a panic-family macro
+//! whose statement lies on **every** entry→exit path is *must*-executed.
+//! Transitive facts (taint kinds, may-panic, unsafe-reach) flow caller ←
+//! callee along resolved edges.
+//!
+//! Over-approximation discipline (same as `cfg.rs` / DESIGN.md §3.11):
+//!
+//! * Unresolved **dynamic** calls are widened conservatively by name: a
+//!   method call named `recv`/`try_recv`/`recv_timeout`/`recv_deadline`
+//!   on an unknown receiver is assumed to observe cross-thread completion
+//!   order. All other unresolved calls are assumed pure and panic-free —
+//!   std never re-enters the workspace (§3.11), so this is the existing
+//!   resolution contract, not a new hole.
+//! * `must_panic` is intra-procedural only: a call to a must-panicking
+//!   callee does not make the caller must-panic. Must-facts therefore
+//!   under-approximate, which is the safe direction for the lying-tag
+//!   check (MRL-A010) that consumes them.
+//! * A `// nondet:`-tagged source site is treated as reviewed: it is
+//!   dropped from the summary and does not taint callers.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::facts::{Sink, SinkKind};
+use crate::graph::CallGraph;
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// A modelled nondeterminism source kind (MRL-A008).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// Unseeded RNG construction (`from_entropy`, `thread_rng`).
+    UnseededRng,
+    /// Iteration over a `HashMap`/`HashSet` (randomized hash order).
+    HashIter,
+    /// Wall-clock / TSC read (`Instant::now`, `SystemTime::now`, rdtsc).
+    TimeRead,
+    /// Cross-thread receive — completion order depends on scheduling.
+    RecvOrder,
+}
+
+impl SourceKind {
+    pub fn describe(self) -> &'static str {
+        match self {
+            SourceKind::UnseededRng => "unseeded RNG construction",
+            SourceKind::HashIter => "hash-order iteration",
+            SourceKind::TimeRead => "time/TSC read",
+            SourceKind::RecvOrder => "cross-thread recv completion order",
+        }
+    }
+}
+
+/// One nondeterminism source site inside a function body.
+#[derive(Debug, Clone)]
+pub struct SourceSite {
+    pub kind: SourceKind,
+    pub line: u32,
+    /// Display form of what fired (`from_entropy`, `.keys`, …).
+    pub what: String,
+}
+
+/// One `unsafe` block inside a function body.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+}
+
+/// Per-function summary: CFG-filtered local facts plus the transitive
+/// facts computed by the bottom-up SCC fixpoint.
+#[derive(Debug, Default)]
+pub struct FnSummary {
+    /// Sinks on statements reachable from the function entry.
+    pub live_sinks: Vec<Sink>,
+    /// Sinks the CFG filter discharged (no entry-reachable statement).
+    pub dead_sinks: usize,
+    /// Lines of panic-family macros every entry→exit path executes.
+    pub must_panic_lines: BTreeSet<u32>,
+    /// Every path from entry hits a panic-family macro locally.
+    pub must_panic: bool,
+    /// Local nondeterminism sources on live statements, minus the
+    /// `// nondet:`-reviewed ones.
+    pub sources: Vec<SourceSite>,
+    /// Local `unsafe` blocks (lexical containment — not CFG-filtered:
+    /// dead unsafe code still needs a contract).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Declared `unsafe fn`.
+    pub unsafe_fn: bool,
+    /// Transitive: union of source kinds reaching this fn's results.
+    pub taint: BTreeSet<SourceKind>,
+    /// Transitive: some path through this fn may panic.
+    pub may_panic: bool,
+    /// Transitive: this fn contains or calls into `unsafe` code.
+    pub unsafe_reach: bool,
+}
+
+/// Workspace summaries, indexed parallel to `CallGraph::fns`.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    pub fns: Vec<FnSummary>,
+    /// SCCs in bottom-up (callee-first) order; singletons included.
+    pub sccs: Vec<Vec<usize>>,
+}
+
+impl Summaries {
+    /// Direct callers of `callee` (reverse edge scan).
+    pub fn callers_of(graph: &CallGraph, callee: usize) -> Vec<usize> {
+        (0..graph.fns.len())
+            .filter(|&i| graph.edges[i].contains(&callee))
+            .collect()
+    }
+}
+
+/// Method names widened to [`SourceKind::RecvOrder`] when the receiver
+/// cannot be resolved (it never can — channel endpoints are std types).
+const RECV_METHODS: &[&str] = &["recv", "try_recv", "recv_timeout", "recv_deadline"];
+
+/// Method names that iterate a collection; combined with a `HashMap`/
+/// `HashSet` mention in the same body they mark hash-order iteration.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// RNG constructors that ignore the seed plumbing.
+const UNSEEDED_RNG: &[&str] = &["from_entropy", "thread_rng"];
+
+/// Compute summaries for every function in `graph`. `lexed` maps a
+/// workspace-relative path to its lexed file (for tag lookup), and
+/// `nondet_reviewed` reports whether a source site carries a reviewed
+/// `// nondet:` justification (those are dropped before propagation).
+pub fn compute<'a>(
+    graph: &CallGraph,
+    lexed: impl Fn(&str) -> &'a Lexed,
+    nondet_reviewed: impl Fn(&Lexed, u32, u32) -> bool,
+) -> Summaries {
+    let n = graph.fns.len();
+    let mut fns: Vec<FnSummary> = Vec::with_capacity(n);
+    for f in &graph.fns {
+        let file = lexed(&f.path);
+        let sig_hash = signature_mentions_hash(file, f.info.body.0, f.info.line);
+        let mut s = local_summary(file, f.info.body, &f.facts.sinks, sig_hash);
+        s.unsafe_fn = is_unsafe_fn(file, f.info.body.0, f.info.line);
+        s.sources
+            .retain(|site| !nondet_reviewed(file, site.line, f.info.item_line));
+        fns.push(s);
+    }
+
+    let sccs = tarjan_sccs(&graph.edges);
+
+    // Bottom-up propagation: Tarjan emits an SCC only after everything
+    // it calls into, so callee summaries are final when we union them.
+    for scc in &sccs {
+        loop {
+            let mut changed = false;
+            for &i in scc {
+                let mut taint: BTreeSet<SourceKind> =
+                    fns[i].sources.iter().map(|s| s.kind).collect();
+                let mut may_panic = !fns[i].live_sinks.is_empty();
+                let mut unsafe_reach = !fns[i].unsafe_sites.is_empty() || fns[i].unsafe_fn;
+                for &j in &graph.edges[i] {
+                    taint.extend(fns[j].taint.iter().copied());
+                    may_panic |= fns[j].may_panic;
+                    unsafe_reach |= fns[j].unsafe_reach;
+                }
+                if taint != fns[i].taint
+                    || may_panic != fns[i].may_panic
+                    || unsafe_reach != fns[i].unsafe_reach
+                {
+                    fns[i].taint = taint;
+                    fns[i].may_panic = may_panic;
+                    fns[i].unsafe_reach = unsafe_reach;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    Summaries { fns, sccs }
+}
+
+/// CFG-filtered local facts for one body. `sig_hash` marks a
+/// `HashMap`/`HashSet` mention in the function signature (parameters and
+/// return type live outside the body slice).
+fn local_summary(file: &Lexed, body: (usize, usize), sinks: &[Sink], sig_hash: bool) -> FnSummary {
+    let mut s = FnSummary::default();
+    if body.0 == body.1 {
+        return s;
+    }
+    let toks = &file.tokens[body.0..body.1];
+    let cfg = Cfg::build(toks);
+    if cfg.stmts.is_empty() {
+        s.live_sinks = sinks.to_vec();
+        s.sources = scan_sources(toks, sig_hash);
+        s.unsafe_sites = scan_unsafe(toks);
+        return s;
+    }
+
+    // Statement entry is always node 0 (nodes are allocated in source
+    // order and the first statement is built first).
+    let entry = 0usize;
+    let reach = cfg.reachable_from(entry);
+    let live_stmt = |i: usize| i == entry || reach[i];
+
+    // Line coverage per statement; a site on a line no statement claims
+    // (brace-only lines, headers split oddly) stays conservatively live.
+    let mut stmt_lines: Vec<BTreeSet<u32>> = Vec::with_capacity(cfg.stmts.len());
+    let mut all_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut live_lines: BTreeSet<u32> = BTreeSet::new();
+    for (i, stmt) in cfg.stmts.iter().enumerate() {
+        let lines: BTreeSet<u32> = toks[stmt.range.0..stmt.range.1]
+            .iter()
+            .map(|t| t.line)
+            .collect();
+        all_lines.extend(lines.iter().copied());
+        if live_stmt(i) {
+            live_lines.extend(lines.iter().copied());
+        }
+        stmt_lines.push(lines);
+    }
+    let is_live_line = |line: u32| live_lines.contains(&line) || !all_lines.contains(&line);
+
+    for sink in sinks {
+        if is_live_line(sink.line) {
+            s.live_sinks.push(sink.clone());
+        } else {
+            s.dead_sinks += 1;
+        }
+    }
+
+    // Must-execution, per live panic-macro sink and for the whole fn.
+    let panic_stmt = |i: usize, line: u32| {
+        stmt_lines[i].contains(&line)
+            && toks[cfg.stmts[i].range.0..cfg.stmts[i].range.1]
+                .iter()
+                .any(|t| t.line == line && is_panic_macro(t))
+    };
+    for sink in &s.live_sinks {
+        if sink.kind != SinkKind::PanicMacro {
+            continue;
+        }
+        let must = cfg.must_reach(|i| panic_stmt(i, sink.line));
+        if must[entry] {
+            s.must_panic_lines.insert(sink.line);
+        }
+    }
+    let any_panic_line: BTreeSet<u32> = s
+        .live_sinks
+        .iter()
+        .filter(|k| k.kind == SinkKind::PanicMacro)
+        .map(|k| k.line)
+        .collect();
+    if !any_panic_line.is_empty() {
+        let must = cfg.must_reach(|i| any_panic_line.iter().any(|&l| panic_stmt(i, l)));
+        s.must_panic = must[entry];
+    }
+
+    s.sources = scan_sources(toks, sig_hash)
+        .into_iter()
+        .filter(|site| is_live_line(site.line))
+        .collect();
+    s.unsafe_sites = scan_unsafe(toks);
+    s
+}
+
+fn is_panic_macro(t: &Token) -> bool {
+    t.kind == TokKind::Ident
+        && matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        )
+}
+
+/// Token-level nondeterminism source scan over one body slice.
+fn scan_sources(toks: &[Token], sig_hash: bool) -> Vec<SourceSite> {
+    let mut out = Vec::new();
+    let mentions_hash = sig_hash
+        || toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet"));
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let prev2 = i.checked_sub(2).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let name = t.text.as_str();
+        if UNSEEDED_RNG.contains(&name) {
+            out.push(SourceSite {
+                kind: SourceKind::UnseededRng,
+                line: t.line,
+                what: name.to_string(),
+            });
+        } else if name == "now"
+            && prev == Some("::")
+            && matches!(prev2, Some("Instant") | Some("SystemTime"))
+        {
+            out.push(SourceSite {
+                kind: SourceKind::TimeRead,
+                line: t.line,
+                what: format!("{}::now", prev2.unwrap_or_default()),
+            });
+        } else if name == "_rdtsc" {
+            out.push(SourceSite {
+                kind: SourceKind::TimeRead,
+                line: t.line,
+                what: "_rdtsc".to_string(),
+            });
+        } else if prev == Some(".") && next == Some("(") && RECV_METHODS.contains(&name) {
+            // Widened dynamic call: the receiver is a std channel
+            // endpoint the resolver never sees into.
+            out.push(SourceSite {
+                kind: SourceKind::RecvOrder,
+                line: t.line,
+                what: format!(".{name}"),
+            });
+        } else if mentions_hash
+            && prev == Some(".")
+            && next == Some("(")
+            && ITER_METHODS.contains(&name)
+        {
+            out.push(SourceSite {
+                kind: SourceKind::HashIter,
+                line: t.line,
+                what: format!(".{name}"),
+            });
+        }
+    }
+    out
+}
+
+/// `unsafe { … }` blocks inside one body slice.
+fn scan_unsafe(toks: &[Token]) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "unsafe"
+            && toks.get(i + 1).is_some_and(|n| n.text == "{")
+        {
+            out.push(UnsafeSite { line: t.line });
+        }
+    }
+    out
+}
+
+/// Does the signature of the fn whose body starts at file-token index
+/// `body_lo` mention a hash collection? Walks back to the `fn` keyword
+/// on the declaration line, scanning the parameter/return tokens.
+fn signature_mentions_hash(file: &Lexed, body_lo: usize, fn_line: u32) -> bool {
+    let mut j = body_lo;
+    let mut seen_hash = false;
+    while j > 0 {
+        j -= 1;
+        let t = &file.tokens[j];
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            seen_hash = true;
+        }
+        if t.kind == TokKind::Ident && t.text == "fn" && t.line == fn_line {
+            return seen_hash;
+        }
+        if t.line + 64 < fn_line {
+            break; // runaway scan — give up conservatively
+        }
+    }
+    false
+}
+
+/// Is the fn whose body starts at file-token index `body_lo` declared
+/// `unsafe fn`? Walks back to the `fn` keyword on the declaration line
+/// and checks the qualifier before it (skipping an `extern "ABI"`).
+fn is_unsafe_fn(file: &Lexed, body_lo: usize, fn_line: u32) -> bool {
+    let mut j = body_lo;
+    while j > 0 {
+        j -= 1;
+        let t = &file.tokens[j];
+        if t.kind == TokKind::Ident && t.text == "fn" && t.line == fn_line {
+            let mut k = j;
+            while k > 0 {
+                k -= 1;
+                let q = &file.tokens[k];
+                if q.kind == TokKind::Str || (q.kind == TokKind::Ident && q.text == "extern") {
+                    continue;
+                }
+                return q.kind == TokKind::Ident && q.text == "unsafe";
+            }
+            return false;
+        }
+        if t.line < fn_line.saturating_sub(4) {
+            break; // signature scan overshot — not this fn's tokens
+        }
+    }
+    false
+}
+
+/// Iterative Tarjan SCC over an adjacency list; SCCs are emitted in
+/// reverse-topological (callee-first) order of the condensation.
+fn tarjan_sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS frames: (node, next-edge cursor).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if let Some(&w) = edges[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraph;
+    use crate::parser::{parse_file, ParsedFile};
+
+    fn setup(src: &str) -> (ParsedFile, CallGraph) {
+        let parsed = parse_file("crates/demo/src/lib.rs", src).unwrap();
+        let graph = CallGraph::build(std::iter::once(&parsed), |_| "demo".to_string());
+        (parsed, graph)
+    }
+
+    fn summaries(parsed: &ParsedFile, graph: &CallGraph) -> Summaries {
+        compute(graph, |_| &parsed.lexed, |_, _, _| false)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.find(|f| f.info.name == name)[0]
+    }
+
+    #[test]
+    fn sccs_come_out_callee_first() {
+        let (p, g) = setup("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let s = summaries(&p, &g);
+        let pos = |name: &str| {
+            let i = idx(&g, name);
+            s.sccs.iter().position(|scc| scc.contains(&i)).unwrap()
+        };
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn mutual_recursion_forms_one_scc_and_fixpoints() {
+        let (p, g) = setup(
+            "fn a(n: u64) { if n > 0 { b(n); } }\n\
+             fn b(n: u64) { let x = rx.recv();\nlet _ = x; a(n - 1); }\n",
+        );
+        let s = summaries(&p, &g);
+        let (a, b) = (idx(&g, "a"), idx(&g, "b"));
+        let scc = s.sccs.iter().find(|scc| scc.contains(&a)).unwrap();
+        assert!(scc.contains(&b), "a and b are mutually recursive: {scc:?}");
+        assert!(s.fns[a].taint.contains(&SourceKind::RecvOrder));
+        assert!(s.fns[b].taint.contains(&SourceKind::RecvOrder));
+    }
+
+    #[test]
+    fn taint_flows_caller_from_callee() {
+        let (p, g) = setup(
+            "fn root() { helper(); }\n\
+             fn helper() { let r = SmallRng::from_entropy();\nlet _ = r; }\n\
+             fn clean() { let x = 1;\nlet _ = x; }\n",
+        );
+        let s = summaries(&p, &g);
+        assert!(s.fns[idx(&g, "root")]
+            .taint
+            .contains(&SourceKind::UnseededRng));
+        assert!(s.fns[idx(&g, "clean")].taint.is_empty());
+        assert!(
+            s.fns[idx(&g, "root")].sources.is_empty(),
+            "site is local to helper"
+        );
+    }
+
+    #[test]
+    fn hash_iteration_needs_a_hash_collection_in_scope() {
+        let (p, g) = setup(
+            "fn hashy(m: &HashMap<u32, u32>) { for k in m.keys() { use_it(k); } }\n\
+             fn listy(v: &Vec<u32>) { for k in v.iter() { use_it(k); } }\n\
+             fn use_it(_k: &u32) {}\n",
+        );
+        let s = summaries(&p, &g);
+        assert_eq!(s.fns[idx(&g, "hashy")].sources.len(), 1);
+        assert_eq!(
+            s.fns[idx(&g, "hashy")].sources[0].kind,
+            SourceKind::HashIter
+        );
+        assert!(s.fns[idx(&g, "listy")].sources.is_empty());
+    }
+
+    #[test]
+    fn time_reads_detected_qualified_only() {
+        let (p, g) = setup(
+            "fn stamp() -> u64 { let t = Instant::now();\nelapsed(t) }\n\
+             fn decoy_now() { let now = 3;\nlet _ = now; }\n",
+        );
+        let s = summaries(&p, &g);
+        assert_eq!(s.fns[idx(&g, "stamp")].sources.len(), 1);
+        assert_eq!(
+            s.fns[idx(&g, "stamp")].sources[0].kind,
+            SourceKind::TimeRead
+        );
+        assert!(s.fns[idx(&g, "decoy_now")].sources.is_empty());
+    }
+
+    #[test]
+    fn dead_code_sinks_are_discharged() {
+        let (p, g) = setup(
+            "fn f(v: &[u64]) -> u64 {\n\
+             return 0;\n\
+             let x = v[9];\n\
+             x\n\
+             }\n",
+        );
+        let s = summaries(&p, &g);
+        let f = &s.fns[idx(&g, "f")];
+        assert_eq!(f.dead_sinks, 1, "index after return is dead: {f:?}");
+        assert!(f.live_sinks.is_empty());
+        assert!(!f.may_panic);
+    }
+
+    #[test]
+    fn must_panic_requires_every_path() {
+        let (p, g) = setup(
+            "fn always() { panic!(\"no\"); }\n\
+             fn maybe(c: bool) { if c {\npanic!(\"no\");\n} }\n",
+        );
+        let s = summaries(&p, &g);
+        assert!(s.fns[idx(&g, "always")].must_panic);
+        assert!(!s.fns[idx(&g, "always")].must_panic_lines.is_empty());
+        assert!(!s.fns[idx(&g, "maybe")].must_panic);
+        assert!(s.fns[idx(&g, "maybe")].may_panic);
+    }
+
+    #[test]
+    fn may_panic_is_interprocedural_must_is_not() {
+        let (p, g) = setup(
+            "fn outer() { inner(); }\n\
+             fn inner() { panic!(\"no\"); }\n",
+        );
+        let s = summaries(&p, &g);
+        assert!(s.fns[idx(&g, "outer")].may_panic);
+        assert!(!s.fns[idx(&g, "outer")].must_panic, "must stays local");
+    }
+
+    #[test]
+    fn unsafe_blocks_and_fns_propagate_reach() {
+        let (p, g) = setup(
+            "fn caller() { spooky(); tick(); }\n\
+             fn spooky() { unsafe { core::arch::x86_64::_rdtsc() }; }\n\
+             unsafe fn raw() {}\n\
+             fn tick() { let x = 1;\nlet _ = x; }\n",
+        );
+        let s = summaries(&p, &g);
+        assert_eq!(s.fns[idx(&g, "spooky")].unsafe_sites.len(), 1);
+        assert!(s.fns[idx(&g, "raw")].unsafe_fn);
+        assert!(s.fns[idx(&g, "caller")].unsafe_reach);
+        assert!(!s.fns[idx(&g, "tick")].unsafe_reach);
+    }
+
+    #[test]
+    fn reviewed_sources_do_not_taint() {
+        let parsed = parse_file(
+            "crates/demo/src/lib.rs",
+            "fn root() { helper(); }\n\
+             fn helper() {\n\
+             // nondet: reviewed — order does not affect results\n\
+             let x = rx.try_recv();\nlet _ = x; }\n",
+        )
+        .unwrap();
+        let graph = CallGraph::build(std::iter::once(&parsed), |_| "demo".to_string());
+        let s = compute(
+            &graph,
+            |_| &parsed.lexed,
+            |lexed, line, item_line| crate::rules::justified(lexed, line, item_line, "MRL-A008"),
+        );
+        let helper = idx(&graph, "helper");
+        assert!(s.fns[helper].sources.is_empty(), "reviewed site dropped");
+        assert!(s.fns[idx(&graph, "root")].taint.is_empty());
+    }
+}

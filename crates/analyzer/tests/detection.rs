@@ -212,6 +212,140 @@ fn accounting_dataflow_requires_credit_on_every_path() {
 }
 
 #[test]
+fn nondeterminism_taint_reports_each_source_kind_once() {
+    let all = findings();
+    let a008 = by_rule(&all, "MRL-A008");
+    // True positives: one per modelled source kind, all reached from the
+    // `from_shipments` nondet root.
+    assert!(has(
+        &all,
+        "MRL-A008",
+        "parallel/src/nondet.rs",
+        "inbox . recv"
+    ));
+    assert!(has(
+        &all,
+        "MRL-A008",
+        "parallel/src/nondet.rs",
+        "ranks . iter"
+    ));
+    assert!(has(
+        &all,
+        "MRL-A008",
+        "parallel/src/nondet.rs",
+        "from_entropy"
+    ));
+    assert!(has(
+        &all,
+        "MRL-A008",
+        "parallel/src/nondet.rs",
+        "Instant :: now"
+    ));
+    assert_eq!(a008.len(), 4, "unexpected A008 set: {a008:#?}");
+    // The entropy draw sits behind a mutual-recursion SCC; the trace
+    // must still start at the root.
+    let through_scc = a008
+        .iter()
+        .find(|f| f.snippet.contains("from_entropy"))
+        .expect("SCC-reached source");
+    assert!(
+        through_scc.message.contains("parallel::from_shipments"),
+        "trace must start at the nondet root: {}",
+        through_scc.message
+    );
+    // Decoys: seeded construction, tree-order iteration, the unreached
+    // entropy draw, the test-only clock, and the reviewed twin.
+    assert!(!a008.iter().any(|f| f.snippet.contains("seed_from_u64")));
+    assert!(!a008.iter().any(|f| f.snippet.contains("tree . iter")));
+    assert!(!a008.iter().any(|f| f.snippet.contains("thread_rng")));
+    assert_eq!(
+        a008.iter()
+            .filter(|f| f.snippet.contains("Instant :: now"))
+            .count(),
+        1,
+        "the reviewed clock twin must stay silent"
+    );
+}
+
+#[test]
+fn unsafe_containment_requires_tag_and_allowlist() {
+    let all = findings();
+    let a009 = by_rule(&all, "MRL-A009");
+    // Untagged block: both obligations fire on the same line.
+    let peek: Vec<_> = a009
+        .iter()
+        .filter(|f| f.message.contains("peek_unchecked"))
+        .collect();
+    assert_eq!(peek.len(), 2, "unexpected peek set: {peek:#?}");
+    assert!(peek.iter().any(|f| f.message.contains("no `// safety:`")));
+    assert!(peek
+        .iter()
+        .any(|f| f.message.contains("outside the unsafe allowlist")));
+    // Tagged block: only the allowlist obligation remains, and the
+    // message names the direct caller and hot-path status.
+    let masked: Vec<_> = a009
+        .iter()
+        .filter(|f| f.message.contains("masked_peek"))
+        .collect();
+    assert_eq!(masked.len(), 1, "a tag never waives the allowlist");
+    assert!(masked[0].message.contains("sampler"));
+    assert!(masked[0]
+        .message
+        .contains("not reachable from a hot-path root"));
+    // Untagged `unsafe fn`: two findings at the declaration.
+    let raw: Vec<_> = a009
+        .iter()
+        .filter(|f| f.message.contains("raw_total"))
+        .collect();
+    assert_eq!(raw.len(), 2, "unexpected raw_total set: {raw:#?}");
+    assert!(raw.iter().all(|f| f.message.contains("unsafe fn")));
+    assert_eq!(a009.len(), 5, "unexpected A009 set: {a009:#?}");
+    // Decoys: the tagged sites in the allowlisted timer file are silent.
+    assert!(!a009.iter().any(|f| f.path.ends_with("obs/src/timer.rs")));
+}
+
+#[test]
+fn panic_audit_flags_lying_and_stale_tags_only() {
+    let all = findings();
+    let a010 = by_rule(&all, "MRL-A010");
+    // Check 1: the tagged must-execute macro in a reached function.
+    let lying: Vec<_> = a010
+        .iter()
+        .filter(|f| f.message.contains("contradicted"))
+        .collect();
+    assert_eq!(lying.len(), 1, "unexpected lying set: {lying:#?}");
+    assert!(lying[0].path.ends_with("framework/src/audit.rs"));
+    assert!(lying[0].snippet.contains("unreachable !"));
+    assert!(
+        lying[0].message.contains("framework::Auditor::finish"),
+        "check 1 must name the reaching root: {}",
+        lying[0].message
+    );
+    // Check 2: the unreached-function tag and the sinkless tag.
+    let stale: Vec<_> = a010
+        .iter()
+        .filter(|f| f.message.contains("stale"))
+        .collect();
+    assert_eq!(stale.len(), 2, "unexpected stale set: {stale:#?}");
+    assert!(stale
+        .iter()
+        .any(|f| f.snippet.contains("no root reaches this function")));
+    assert!(stale
+        .iter()
+        .any(|f| f.snippet.contains("this body has no sink")));
+    assert_eq!(a010.len(), 3, "unexpected A010 set: {a010:#?}");
+    // Decoys: the credited tag on the guarded sink (here and in the
+    // core fixture) and the test-span tag stay silent.
+    assert!(!a010
+        .iter()
+        .any(|f| f.snippet.contains("keeps values non-empty")));
+    assert!(!a010.iter().any(|f| f.path.ends_with("core/src/sink.rs")));
+    assert!(!a010
+        .iter()
+        .any(|f| f.snippet.contains("test spans are exempt")));
+}
+
+#[test]
 fn fingerprints_are_stable_and_unique() {
     let a = findings();
     let b = findings();

@@ -1,0 +1,56 @@
+//! Fixture for MRL-A010: a lying panic-audit tag on a must-execute
+//! panic macro, stale tags that suppress nothing, and the decoys —
+//! a credited tag on a live guarded sink and a tag inside a test span.
+//!
+//! This file is never compiled; it only has to parse.
+
+pub struct Auditor;
+
+impl Auditor {
+    /// Hot root (`finish` is a panic root): reaches the lying tag and
+    /// the credited tag below.
+    pub fn finish(&self, values: &[u64]) -> u64 {
+        let tail = checked_tail(values);
+        tail ^ lying_path(tail)
+    }
+}
+
+/// Check-1 true positive: the tag claims the macro is unreachable, but
+/// it executes on every path through this reached function.
+fn lying_path(x: u64) -> u64 {
+    let _y = x.rotate_left(1);
+    // panic-free: fixture — lying, the macro below always runs
+    unreachable!("fixture: always taken")
+}
+
+/// Decoy: the tag below covers a live, reached sink — credited, silent.
+// panic-free: fixture — finish's caller contract keeps values non-empty
+fn checked_tail(values: &[u64]) -> u64 {
+    values[values.len() - 1]
+}
+
+/// Check-2 true positive: nothing reaches this function, so its tag
+/// suppresses no finding under the summaries.
+pub fn orphan_checked(values: &[u64]) -> u64 {
+    // panic-free: fixture — stale, no root reaches this function
+    values[0]
+}
+
+/// Check-2 true positive: there is no panic sink under this tag at all.
+// panic-free: fixture — stale, this body has no sink
+pub fn sinkless(x: u64) -> u64 {
+    x.wrapping_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decoy: tags inside test spans are documentation, never stale.
+    #[test]
+    fn tagged_test_decoy() {
+        // panic-free: fixture — test spans are exempt from the audit
+        let v = [1u64];
+        assert_eq!(sinkless(v[0]), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture for MRL-A009: unsafe sites outside the allowlist, with and
+//! without contract tags, plus an `unsafe fn` whose finding anchors at
+//! the declaration line. (The tag word itself must not appear in these
+//! docs — the scan is substring-based.)
+//!
+//! This file is never compiled; it only has to parse.
+
+/// Two findings: no contract tag, and outside the allowlist.
+pub fn peek_unchecked(values: &[u64], idx: usize) -> u64 {
+    unsafe { *values.get_unchecked(idx) }
+}
+
+/// One finding: tagged, but a tag never waives the allowlist.
+// safety: fixture — idx is masked to the slice's fixed length below
+pub fn masked_peek(values: &[u64], idx: usize) -> u64 {
+    unsafe { *values.get_unchecked(idx & 7) }
+}
+
+/// Caller of `masked_peek`: its name must appear in the allowlist
+/// finding's caller annotation.
+pub fn sampler(values: &[u64]) -> u64 {
+    masked_peek(values, 3)
+}
+
+/// Two findings anchored at this declaration: an untagged `unsafe fn`
+/// outside the allowlist.
+pub unsafe fn raw_total(ptr: *const u64, len: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0;
+    while i < len {
+        acc = acc.wrapping_add(*ptr.add(i));
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+//! Allowlist decoy for MRL-A009: this file's path ends in
+//! `crates/obs/src/timer.rs`, the one sanctioned unsafe location, and
+//! every site carries a contract tag — so nothing here may fire.
+//!
+//! This file is never compiled; it only has to parse.
+
+/// Decoy: tagged (uppercase, matched case-insensitively) and
+/// allowlisted — silent.
+pub fn cycle_count() -> u64 {
+    // SAFETY: fixture — register read with no preconditions
+    unsafe { fake_tick_read() }
+}
+
+/// Decoy: a tagged `unsafe fn` inside the allowlisted file — silent.
+// safety: fixture — callers need no preconditions, the read cannot trap
+unsafe fn fake_tick_read() -> u64 {
+    0
+}

@@ -1,0 +1,114 @@
+//! Fixture for MRL-A008: every modelled nondeterminism source on a
+//! result-affecting path, plus the decoys that must stay silent —
+//! seeded RNG, tree-order iteration, an unreached entropy draw, a
+//! test-only clock read, and a `// nondet:`-reviewed twin.
+//!
+//! This file is never compiled; it only has to parse.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::Receiver;
+use std::time::Instant;
+
+/// A008 root (`from_shipments` is on the nondet root list): everything
+/// called from here is on a result-affecting path.
+pub fn from_shipments(
+    inbox: &Receiver<u64>,
+    ranks: &HashMap<u64, u64>,
+    tree: &BTreeMap<u64, u64>,
+) -> u64 {
+    let mut acc = drain_order(inbox);
+    acc ^= hash_walk(ranks);
+    acc ^= spin_a(3);
+    acc ^= clock_salt(acc);
+    acc ^= reviewed_clock(acc);
+    acc ^= seeded_pick(acc);
+    acc ^= tree_walk(tree);
+    acc
+}
+
+/// MRL-A008 true positive: cross-thread completion order — the recv
+/// loop folds values in arrival order.
+fn drain_order(inbox: &Receiver<u64>) -> u64 {
+    let mut acc = 0u64;
+    while let Ok(v) = inbox.recv() {
+        acc = acc.rotate_left(7) ^ v;
+    }
+    acc
+}
+
+/// MRL-A008 true positive: hash-order iteration feeding the result.
+fn hash_walk(ranks: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in ranks.iter() {
+        acc ^= k.rotate_left(5) ^ v;
+    }
+    acc
+}
+
+/// Mutual recursion with `spin_b`: the SCC fixpoint must still surface
+/// the entropy draw reached through the cycle.
+fn spin_a(depth: u64) -> u64 {
+    if depth == 0 {
+        unseeded_pick()
+    } else {
+        spin_b(depth - 1)
+    }
+}
+
+fn spin_b(depth: u64) -> u64 {
+    spin_a(depth / 2)
+}
+
+/// MRL-A008 true positive, reached through the SCC: unseeded RNG
+/// construction.
+fn unseeded_pick() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+/// MRL-A008 true positive: a wall-clock read salted into the result.
+fn clock_salt(acc: u64) -> u64 {
+    let t = Instant::now();
+    acc ^ t.elapsed().subsec_nanos() as u64
+}
+
+/// Suppressed twin of `clock_salt`: same clock read, reviewed.
+fn reviewed_clock(acc: u64) -> u64 {
+    // nondet: fixture — justified site must stay silent
+    let t = Instant::now();
+    acc ^ t.elapsed().subsec_nanos() as u64
+}
+
+/// Decoy: deterministic seeding is the fix, not a finding.
+fn seeded_pick(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+/// Decoy: `BTreeMap` iteration is ordered — no hash collection in
+/// scope, so the `.iter()` stays silent.
+fn tree_walk(tree: &BTreeMap<u64, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in tree.iter() {
+        acc ^= k.rotate_left(3) ^ v;
+    }
+    acc
+}
+
+/// Decoy: draws entropy, but nothing on a result path calls it.
+pub fn orphan_entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decoy: clock reads in test code are never reported.
+    #[test]
+    fn timing_test_decoy() {
+        let t = Instant::now();
+        assert!(t.elapsed().subsec_nanos() < u32::MAX);
+    }
+}

@@ -722,6 +722,23 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_runs_are_bitwise_identical_across_modes() {
+        let input: String = (0..40_000u64)
+            .map(|i| format!("{}\n", (i * 2654435761) % 40_000))
+            .collect();
+        for shards in [1usize, 3] {
+            let mut args = args_with_phis(&[0.1, 0.5, 0.9]);
+            args.shards = shards;
+            args.seed = 42;
+            let (s1, out1) = run_on(&input, &args);
+            let (s2, out2) = run_on(&input, &args);
+            assert_eq!(out1, out2, "--seed must pin the output (shards={shards})");
+            assert_eq!(s1.quantiles, s2.quantiles);
+            assert_eq!(s1.n, s2.n);
+        }
+    }
+
+    #[test]
     fn large_stream_is_approximately_right() {
         let input: String = (0..50_000u64)
             .map(|i| format!("{}\n", (i * 48271) % 50_000))

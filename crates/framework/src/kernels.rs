@@ -140,9 +140,11 @@ pub fn select_two_weighted<T: Ord + Clone>(
     if targets.is_empty() {
         return;
     }
-    let seed = match (a.first(), b.first()) {
-        (Some(v), _) | (None, Some(v)) => v.clone(),
-        (None, None) => unreachable!("targets are ≤ total mass, so a source is non-empty"),
+    // Two empty sources cannot carry the ≥ 1 mass the first target
+    // demands (targets are ≤ total mass), so the early return only fires
+    // on a violated contract — and then emitting nothing beats panicking.
+    let Some(seed) = a.first().or(b.first()).cloned() else {
+        return;
     };
     // One slot of slack so the unconditional store stays in bounds on the
     // step that crosses the final target.
@@ -205,14 +207,9 @@ pub fn select_two_weighted<T: Ord + Clone>(
 /// compiles to a branch that mispredicts every other step, which is the
 /// dominant cost of the walk (measured ~5 ns/step branchy vs ~3.6 ns
 /// speculative on uniform u64 collapses).
-// panic-free: as select_two_weighted — out holds count + 1 slots; the
-// pair loop enters with ti ≤ count - 2 and each of its two stores
-// precedes an increment of at most one, so out[ti] stays in range; the
-// tail's running index `off` reproduces ((t - cum - 1) / w) exactly
-// (dq/dr carry arithmetic), which the mass contract bounds by
-// rest.len() - 1.
-// out is the caller's reused scratch (resize only, within capacity after
-// the first collapse).
+// All indexing happens inside `select_two_spaced_core`, justified
+// there; out is the caller's reused scratch (resize only, within
+// capacity after the first collapse).
 #[allow(clippy::too_many_arguments)]
 pub fn select_two_weighted_spaced<T: Ord + Clone>(
     a: &[T],
@@ -229,9 +226,10 @@ pub fn select_two_weighted_spaced<T: Ord + Clone>(
     if count == 0 {
         return;
     }
-    let seed = match (a.first(), b.first()) {
-        (Some(v), _) | (None, Some(v)) => v.clone(),
-        (None, None) => unreachable!("targets are ≤ total mass, so a source is non-empty"),
+    // Contract (`first` ≤ total mass) guarantees a non-empty source;
+    // on violation emit nothing instead of panicking.
+    let Some(seed) = a.first().or(b.first()).cloned() else {
+        return;
     };
     out.resize(count.saturating_add(1), seed);
     select_two_spaced_core(a, wa, b, wb, 0, first, spacing, count, 0, out);
@@ -368,9 +366,10 @@ pub fn select_three_weighted_spaced<T: Ord + Clone>(
     if count == 0 {
         return;
     }
-    let seed = match (a.first(), b.first(), c.first()) {
-        (Some(v), _, _) | (None, Some(v), _) | (None, None, Some(v)) => v.clone(),
-        (None, None, None) => unreachable!("targets are ≤ total mass, so a source is non-empty"),
+    // Contract (`first` ≤ total mass) guarantees a non-empty source;
+    // on violation emit nothing instead of panicking.
+    let Some(seed) = a.first().or(b.first()).or(c.first()).cloned() else {
+        return;
     };
     out.resize(count.saturating_add(1), seed);
     let (mut i, mut j, mut l) = (0usize, 0usize, 0usize);
@@ -592,9 +591,6 @@ pub fn slice_min_max_scalar<T: Ord + Clone>(data: &[T]) -> Option<(T, T)> {
 /// Identical result to [`slice_min_max_scalar`]; `ExtremeValue` uses it
 /// to screen whole batches against the heap thresholds before touching
 /// the heaps.
-// panic-free: chunks_exact(UNROLL) yields slices of exactly UNROLL
-// elements, so c[l] with l < UNROLL is in bounds, and the lane arrays
-// are indexed by the same literal-bounded l.
 pub fn slice_min_max<T: Ord + Clone>(data: &[T]) -> Option<(T, T)> {
     if !chunked_kernels_enabled() || data.len() < UNROLL * 2 {
         return slice_min_max_scalar(data);

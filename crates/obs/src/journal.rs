@@ -542,8 +542,9 @@ impl EventJournal {
         let mask = NAMES - 1;
         let mut idx = fp as usize & mask;
         for _ in 0..NAMES {
-            // panic-free: idx is always masked by NAMES - 1 and names
-            // holds exactly NAMES entries (NAMES is a power of two).
+            // idx is always masked by NAMES - 1 and names holds exactly
+            // NAMES entries (NAMES is a power of two), so the indexing
+            // below is in bounds by construction.
             let slot = &self.names[idx];
             match slot
                 .fingerprint

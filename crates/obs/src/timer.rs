@@ -30,6 +30,8 @@ pub(crate) fn now_ns() -> u64 {
     if let Some(ns) = fast_clock::now_ns() {
         return ns;
     }
+    // nondet: timestamps feed only the journal/metrics export surface —
+    // no sketch state, merge order, or query answer reads them.
     let epoch = EPOCH.get_or_init(Instant::now);
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
@@ -58,6 +60,8 @@ mod fast_clock {
         // time-stamp counter register, present on every x86_64 CPU; the
         // intrinsic is `unsafe fn` only by the blanket convention for
         // arch intrinsics.
+        // nondet: TSC ticks become journal timestamps only — determinism
+        // of sketch contents and query answers never depends on them.
         unsafe { core::arch::x86_64::_rdtsc() }
     }
 
@@ -106,6 +110,8 @@ pub struct ScopedTimer<'a> {
 
 impl<'a> ScopedTimer<'a> {
     pub(crate) fn start(handle: &'a MetricsHandle, key: Key) -> Self {
+        // nondet: the instant is subtracted into a latency histogram
+        // sample; results and replay state are untouched by it.
         let start = handle.is_enabled().then(Instant::now);
         Self { handle, key, start }
     }

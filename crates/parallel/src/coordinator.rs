@@ -91,8 +91,6 @@ impl<T: Ord + Clone + 'static> Coordinator<T> {
     ///
     /// # Panics
     /// Panics if the buffer is empty, oversized, or `Empty`-state.
-    // panic-free: the Empty arm is dead — the entry assert_ne rejects
-    // Empty-state buffers, which is the documented contract above.
     pub fn add_buffer(&mut self, buffer: Buffer<T>) {
         assert_ne!(
             buffer.state(),
@@ -105,16 +103,14 @@ impl<T: Ord + Clone + 'static> Coordinator<T> {
         );
         self.epoch = self.epoch.wrapping_add(1);
         self.total_weight_shipped += buffer.mass();
-        match buffer.state() {
-            BufferState::Full => {
-                let data = buffer.data().to_vec();
-                let w = buffer.weight();
-                self.push_full(data, w);
-            }
-            BufferState::Partial => {
-                self.add_partial(buffer.data().to_vec(), buffer.weight());
-            }
-            BufferState::Empty => unreachable!(),
+        // The entry assert rejected `Empty`, so a non-`Full` buffer here
+        // can only be `Partial`.
+        if buffer.state() == BufferState::Full {
+            let data = buffer.data().to_vec();
+            let w = buffer.weight();
+            self.push_full(data, w);
+        } else {
+            self.add_partial(buffer.data().to_vec(), buffer.weight());
         }
     }
 

@@ -257,6 +257,10 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
                 worker_journal.name_thread("shard", Some(shard));
                 let mut sketch = UnknownN::from_config(config, shard_seed);
                 sketch.set_journal(worker_journal.clone());
+                // nondet: single-producer FIFO — this shard's channel is
+                // fed only by `dispatch`, so batches arrive in dispatch
+                // order no matter how workers are scheduled; the element
+                // sequence each shard ingests is timing-invariant.
                 while let Ok(mut batch) = rx.recv() {
                     // ordering: relaxed — monitoring gauge; the channel recv
                     // already ordered this after the producer's increment.
@@ -383,6 +387,9 @@ impl<T: Ord + Clone + Send + 'static> ShardedSketch<T> {
         // Prefer a spent buffer a worker sent back; until the pool warms up
         // (or if the workers are all gone) fall back to an empty vector that
         // grows to `batch` capacity through the producer's pushes.
+        // nondet: which recycled buffer (or none) arrives here varies with
+        // worker timing, but every buffer was cleared before its return —
+        // only spare capacity differs, never the elements dispatched.
         let replacement = self.recycle.try_recv().unwrap_or_default();
         let batch = std::mem::replace(&mut self.pending, replacement);
         if self.dead_shard.is_some() {

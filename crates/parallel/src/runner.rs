@@ -11,6 +11,10 @@ use mrl_framework::Buffer;
 
 use crate::Coordinator;
 
+/// One worker's shipment tagged with its worker index, so the collector
+/// can restore a canonical merge order regardless of completion order.
+type IndexedShipment<T> = (usize, (u64, Vec<Buffer<T>>));
+
 /// Result of a parallel run.
 #[derive(Clone, Debug)]
 pub struct ParallelOutcome<T> {
@@ -53,11 +57,11 @@ where
     assert!(!inputs.is_empty(), "need at least one input sequence");
     let config = mrl_analysis_config(epsilon, delta, opts);
     let workers = inputs.len();
-    let (tx, rx) = mpsc::channel::<(u64, Vec<Buffer<T>>)>();
+    let (ship_tx, ship_rx) = mpsc::channel::<IndexedShipment<T>>();
 
     thread::scope(|scope| {
         for (i, input) in inputs.into_iter().enumerate() {
-            let tx = tx.clone();
+            let ship_tx = ship_tx.clone();
             let config = config.clone();
             scope.spawn(move || {
                 let mut sketch = UnknownN::from_config(
@@ -69,14 +73,26 @@ where
                 // the per-insert filling checks and RNG draws.
                 sketch.extend(input);
                 // At most one full + one partial buffer leave the worker.
-                tx.send(sketch.into_shipment())
+                ship_tx
+                    .send((i, sketch.into_shipment()))
                     .expect("coordinator outlives workers");
             });
         }
-        drop(tx);
+        drop(ship_tx);
 
-        let (coordinator, total_n) =
-            Coordinator::<T>::from_shipments(config.b, config.k, seed ^ 0x00C0_FFEE, rx);
+        // Shipments arrive in thread-completion order, which varies run to
+        // run; re-ordering by worker index before the merge makes the
+        // coordinator's collapse sequence — and thus the answers — a pure
+        // function of (inputs, seed).
+        let mut shipments: Vec<IndexedShipment<T>> = ship_rx.into_iter().collect();
+        shipments.sort_by_key(|&(i, _)| i);
+
+        let (coordinator, total_n) = Coordinator::<T>::from_shipments(
+            config.b,
+            config.k,
+            seed ^ 0x00C0_FFEE,
+            shipments.into_iter().map(|(_, s)| s),
+        );
 
         let quantiles = coordinator.query_many(phis)?;
         Some(ParallelOutcome {

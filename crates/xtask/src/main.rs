@@ -3,8 +3,10 @@
 //! * `cargo xtask lint` — the lexer-based concurrency-hygiene pass from
 //!   `xtask::lint_workspace` (rules MRL-L001..L005).
 //! * `cargo xtask analyze` — the parser-based analyses from the
-//!   `analyzer` crate (rules MRL-A001..A004: panic-reachability,
-//!   arithmetic safety, hot-path allocation, feature-gate consistency).
+//!   `analyzer` crate (rules MRL-A001..A010: panic-reachability,
+//!   arithmetic safety, hot-path allocation, feature-gate consistency,
+//!   atomics protocol, channel topology, accounting flow,
+//!   nondeterminism taint, unsafe containment, panic-tag audit).
 //!
 //! Both commands ratchet against a committed baseline of grandfathered
 //! fingerprints. A baseline entry that no longer fires is an error (the
@@ -443,7 +445,8 @@ fn analyze(mode: Mode, json: Option<&Path>, sarif: Option<&Path>) -> ExitCode {
         }
         eprintln!(
             "\nFix the finding or justify it at the site with the rule's tag\n\
-             (`// panic-free: …`, `// arith: …`, `// alloc: …`) — see DESIGN.md §3.11."
+             (`// panic-free: …`, `// arith: …`, `// alloc: …`, `// protocol: …`,\n\
+             `// nondet: …`, `// safety: …`) — see DESIGN.md §3.11 and §3.16."
         );
         failed = true;
     }

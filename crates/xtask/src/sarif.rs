@@ -28,6 +28,9 @@ pub const RULES: &[(&str, &str)] = &[
     ("MRL-A005", "atomics protocol violation: unsealed Relaxed publish, over-strong CAS failure ordering, or unvalidated seqlock read"),
     ("MRL-A006", "channel topology deadlock risk: bounded cycle, dead receiver, or blocking bounded send in a recv-blocked loop"),
     ("MRL-A007", "accounting state captured on a seal/collapse/shipment path is dropped on some path to exit"),
+    ("MRL-A008", "nondeterminism source (unseeded RNG, hash-order iteration, clock read, recv completion order) on a result-affecting path"),
+    ("MRL-A009", "unsafe block or fn without a safety contract tag, or outside the unsafe allowlist"),
+    ("MRL-A010", "panic-audit tag contradiction: the tag covers a must-execute panic macro, or suppresses nothing and is stale"),
 ];
 
 /// JSON string escape: quotes, backslashes, and control characters.

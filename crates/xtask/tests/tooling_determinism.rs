@@ -1,0 +1,34 @@
+//! Dogfood for MRL-A008 applied to the tooling itself: the analyzer's
+//! exported artifacts must be byte-identical across runs. Two
+//! independent workspace loads and analyses (fresh maps, fresh
+//! fingerprinting) must render the same `--json` and `--sarif` bytes —
+//! any hash-order iteration or clock read leaking into the writers
+//! shows up here as a diff.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .expect("xtask lives two levels under the workspace root")
+}
+
+#[test]
+fn analyze_exports_are_byte_identical_across_runs() {
+    let root = workspace_root();
+    let run = || {
+        let ws = analyzer::Workspace::load(&root).expect("workspace loads");
+        let findings = analyzer::analyze(&ws);
+        (
+            analyzer::json::render(&findings),
+            xtask::sarif::render(&findings),
+        )
+    };
+    let (json_a, sarif_a) = run();
+    let (json_b, sarif_b) = run();
+    assert_eq!(json_a, json_b, "analyze --json must be reproducible");
+    assert_eq!(sarif_a, sarif_b, "analyze --sarif must be reproducible");
+    xtask::sarif::validate_sarif(&sarif_a).expect("exported SARIF validates");
+}
